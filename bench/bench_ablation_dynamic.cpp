@@ -1,0 +1,127 @@
+// Ablation: plan-based rebalancing (this paper's approach) versus reactive
+// work stealing (the classical DLB baseline from the related-work section),
+// plus the periodic-rebalancing loop under cost drift. Work stealing needs no
+// load model but pays its communication on the critical path; plan-based
+// methods pay one bulk migration and then run balanced.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lrp/iterative.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+#include "runtime/bsp_sim.hpp"
+#include "runtime/work_stealing.hpp"
+#include "util/table.hpp"
+#include "workloads/samoa.hpp"
+#include "workloads/scenarios.hpp"
+
+int main() {
+  using namespace qulrb;
+  const bench::QuantumBudget budget = bench::QuantumBudget::from_env();
+
+  const auto scenario = workloads::scenarios::imbalance_levels()[4];  // Imb.4
+  const auto& problem = scenario.problem;
+  const lrp::KSelection k = lrp::select_k(problem);
+
+  std::cout << "Instance: M = 8, n = 50, baseline R_imb = "
+            << problem.imbalance_ratio() << "\n\n";
+
+  // --- one-iteration view: stealing vs plans ---------------------------------
+  runtime::BspConfig bsp;
+  bsp.comp_threads = 1;
+  bsp.iterations = 1;
+  bsp.overlap_migration = false;  // expose every communication cost
+  const runtime::BspSimulator sim(bsp);
+  const auto baseline = sim.run_baseline(problem);
+
+  runtime::WorkStealingConfig ws;
+  ws.comp_threads = 1;
+  const auto stealing = runtime::WorkStealingSimulator(ws).run(problem);
+
+  util::Table table({"Strategy", "makespan (ms)", "speedup", "tasks moved",
+                     "comm on critical path"});
+  table.add_row({"none (baseline)", util::Table::num(baseline.first_iteration_ms, 2),
+                 "1.0000", "0", "-"});
+  table.add_row({"work stealing", util::Table::num(stealing.makespan_ms, 2),
+                 util::Table::num(baseline.first_iteration_ms / stealing.makespan_ms, 4),
+                 util::Table::integer(stealing.tasks_stolen),
+                 util::Table::num(stealing.total_steal_wait_ms, 2) + " ms"});
+
+  lrp::ProactLbSolver proactlb;
+  lrp::QcqmOptions options = bench::make_qcqm_options(
+      lrp::CqmVariant::kReduced, k.k1, budget,
+      lrp::LrpCqm::predicted_qubits(lrp::CqmVariant::kReduced, 8, 50));
+  lrp::QcqmSolver qcqm(options);
+  for (lrp::RebalanceSolver* solver :
+       std::initializer_list<lrp::RebalanceSolver*>{&proactlb, &qcqm}) {
+    const auto output = solver->solve(problem);
+    const auto run = sim.run(problem, output.plan);
+    table.add_row({solver->name() + " (plan)",
+                   util::Table::num(run.first_iteration_ms, 2),
+                   util::Table::num(baseline.first_iteration_ms / run.first_iteration_ms, 4),
+                   util::Table::integer(output.plan.total_migrated()),
+                   util::Table::num(run.first_iteration_ms - run.steady_iteration_ms, 2) +
+                       " ms"});
+  }
+  std::cout << "=== One BSP iteration: reactive stealing vs plan-based ===\n";
+  table.print(std::cout);
+
+  // --- periodic rebalancing under drift --------------------------------------
+  std::cout << "\n=== Periodic rebalancing under cost drift (10 epochs, "
+               "sigma = 0.15) ===\n";
+  util::Table drift_table({"Rebalancer", "mean R_imb after", "total migrated"});
+  lrp::DriftModel drift;
+  drift.relative_sigma = 0.15;
+  drift.seed = 3;
+  lrp::GreedySolver greedy;
+  for (lrp::RebalanceSolver* solver :
+       std::initializer_list<lrp::RebalanceSolver*>{&greedy, &proactlb, &qcqm}) {
+    const lrp::IterativeRebalancer loop(*solver, drift);
+    const auto result = loop.run(problem, 10);
+    drift_table.add_row({solver->name(),
+                         util::Table::num(result.mean_imbalance_after, 5),
+                         util::Table::integer(result.total_migrated)});
+  }
+  drift_table.print(std::cout);
+  std::cout << "\nGreedy re-partitions from scratch every epoch (huge cumulative "
+               "migration volume);\nProactLB and the CQM method maintain the "
+               "same balance while moving a fraction of the tasks.\n";
+
+  // --- the oscillating lake as a *time series* -------------------------------
+  // The refined/limited front moves between output steps; each step is a
+  // fresh imbalance the rebalancer must absorb.
+  std::cout << "\n=== sam(oa)^2-like time series (front moves; rebalance each output step) ===\n";
+  workloads::SamoaConfig samoa;
+  samoa.num_processes = 8;
+  samoa.sections_per_process = 32;
+  samoa.base_depth = 5;
+  samoa.max_depth = 8;
+  samoa.target_imbalance = 2.5;
+  samoa.limiter_cost_factor = 120.0;
+  samoa.front_width = 0.01;
+  const auto series = workloads::make_samoa_time_series(samoa, 5);
+
+  util::Table series_table({"step", "baseline R_imb", "ProactLB R_imb/mig",
+                            "Q_CQM1_k1 R_imb/mig"});
+  for (std::size_t step = 0; step < series.size(); ++step) {
+    const auto& step_problem = series[step].problem;
+    const lrp::KSelection step_k = lrp::select_k(step_problem);
+    const auto pl = lrp::run_and_evaluate(proactlb, step_problem);
+    lrp::QcqmOptions step_options = bench::make_qcqm_options(
+        lrp::CqmVariant::kReduced, step_k.k1, budget,
+        lrp::LrpCqm::predicted_qubits(lrp::CqmVariant::kReduced, 8, 32));
+    lrp::QcqmSolver step_qcqm(step_options);
+    const auto qr = lrp::run_and_evaluate(step_qcqm, step_problem);
+    series_table.add_row(
+        {util::Table::integer(static_cast<long long>(step)),
+         util::Table::num(step_problem.imbalance_ratio(), 4),
+         util::Table::num(pl.metrics.imbalance_after, 4) + " / " +
+             util::Table::integer(pl.metrics.total_migrated),
+         util::Table::num(qr.metrics.imbalance_after, 4) + " / " +
+             util::Table::integer(qr.metrics.total_migrated)});
+  }
+  series_table.print(std::cout);
+  return 0;
+}

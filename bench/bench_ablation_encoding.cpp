@@ -1,0 +1,63 @@
+// Ablation: the paper's non-standard coefficient set (sums to exactly n)
+// versus plain clamped binary encoding, at identical solver budgets. The
+// coefficient set guarantees "all bits on == all n tasks", which tightens the
+// model; this bench quantifies the quality difference.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lrp/encoding.hpp"
+#include "lrp/solver.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workloads/scenarios.hpp"
+
+int main() {
+  using namespace qulrb;
+  const bench::QuantumBudget budget = bench::QuantumBudget::from_env();
+
+  std::cout << "=== Encoding sizes: |C| per n ===\n";
+  util::Table sizes({"n", "paper set", "standard binary", "paper set contents"});
+  for (std::int64_t n : {8, 13, 50, 100, 208, 2048}) {
+    const auto paper = lrp::coefficient_set(n);
+    std::string contents;
+    for (std::size_t i = 0; i < paper.size(); ++i) {
+      if (i) contents += ",";
+      contents += std::to_string(paper[i]);
+    }
+    sizes.add_row({util::Table::integer(n),
+                   util::Table::integer(static_cast<long long>(paper.size())),
+                   util::Table::integer(
+                       static_cast<long long>(lrp::standard_binary_set(n).size())),
+                   contents});
+  }
+  sizes.print(std::cout);
+
+  std::cout << "\n=== Solution quality: paper set vs standard binary ===\n";
+  util::Table table({"Scenario", "k", "Encoding", "#vars", "R_imb", "# mig.",
+                     "time (ms)"});
+  const workloads::scenarios::Scenario cases[] = {
+      workloads::scenarios::imbalance_levels()[3],
+      workloads::scenarios::task_scaling(256),
+  };
+  for (const auto& scenario : cases) {
+    const lrp::KSelection k = lrp::select_k(scenario.problem);
+    for (const bool use_paper : {true, false}) {
+      lrp::QcqmOptions options =
+          bench::make_qcqm_options(lrp::CqmVariant::kReduced, k.k2, budget);
+      options.build.use_paper_coefficient_set = use_paper;
+      lrp::QcqmSolver solver(options);
+      util::WallTimer timer;
+      const lrp::SolverReport report = lrp::run_and_evaluate(solver, scenario.problem);
+      const auto& diag = solver.last_diagnostics();
+      table.add_row({scenario.name, util::Table::integer(k.k2),
+                     use_paper ? "paper set" : "standard binary",
+                     util::Table::integer(static_cast<long long>(diag->num_variables)),
+                     util::Table::num(report.metrics.imbalance_after, 5),
+                     util::Table::integer(report.metrics.total_migrated),
+                     util::Table::num(timer.elapsed_ms(), 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark): the algorithm-runtime column of
+// Table II (classical methods on the 8-node / 50-task setting) plus the
+// throughput of the solver building blocks (CQM flip evaluation, annealer
+// sweeps, QUBO energy, PIMC sweeps).
+
+#include <benchmark/benchmark.h>
+
+#include "anneal/cqm_anneal.hpp"
+#include "anneal/pimc.hpp"
+#include "anneal/sa.hpp"
+#include "classical/greedy.hpp"
+#include "classical/kk.hpp"
+#include "classical/proactlb.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/solver.hpp"
+#include "model/cqm_to_qubo.hpp"
+#include "util/rng.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+const lrp::LrpProblem& table2_problem() {
+  static const lrp::LrpProblem problem =
+      workloads::scenarios::imbalance_levels()[4].problem;  // M=8, n=50
+  return problem;
+}
+
+// ----- Table II runtime column: classical algorithms ------------------------
+
+void BM_Table2_Greedy(benchmark::State& state) {
+  const auto items = table2_problem().flatten_tasks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classical::greedy_partition(items, 8));
+  }
+}
+BENCHMARK(BM_Table2_Greedy);
+
+void BM_Table2_KK(benchmark::State& state) {
+  const auto items = table2_problem().flatten_tasks();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classical::kk_partition(items, 8));
+  }
+}
+BENCHMARK(BM_Table2_KK);
+
+void BM_Table2_ProactLB(benchmark::State& state) {
+  const classical::UniformLoads input{table2_problem().task_loads(),
+                                      table2_problem().task_counts()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classical::proactlb(input));
+  }
+}
+BENCHMARK(BM_Table2_ProactLB);
+
+// ----- solver building blocks ------------------------------------------------
+
+void BM_CqmBuild(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto scenario = workloads::scenarios::node_scaling(m);
+  for (auto _ : state) {
+    const lrp::LrpCqm cqm(scenario.problem, lrp::CqmVariant::kReduced, 100);
+    benchmark::DoNotOptimize(cqm.num_binary_variables());
+  }
+}
+BENCHMARK(BM_CqmBuild)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CqmFlipDelta(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto scenario = workloads::scenarios::node_scaling(m);
+  const lrp::LrpCqm cqm(scenario.problem, lrp::CqmVariant::kReduced, 100);
+  const std::vector<double> penalties(cqm.cqm().num_constraints(), 1.0);
+  anneal::CqmIncrementalState walk(
+      cqm.cqm(), model::State(cqm.num_binary_variables(), 0), penalties);
+  util::Rng rng(3);
+  const auto n = cqm.num_binary_variables();
+  for (auto _ : state) {
+    const auto v = static_cast<model::VarId>(rng.next_below(n));
+    benchmark::DoNotOptimize(walk.flip_delta(v));
+  }
+}
+BENCHMARK(BM_CqmFlipDelta)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_CqmAnnealSweep(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto scenario = workloads::scenarios::node_scaling(m);
+  const lrp::LrpCqm cqm(scenario.problem, lrp::CqmVariant::kReduced, 500);
+  const std::vector<double> penalties(cqm.cqm().num_constraints(), 1.0);
+  util::Rng rng(5);
+  anneal::CqmAnnealParams params;
+  params.sweeps = 1;
+  const anneal::CqmAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        annealer.anneal_once(cqm.cqm(), penalties, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cqm.num_binary_variables()));
+}
+BENCHMARK(BM_CqmAnnealSweep)->Arg(8)->Arg(32);
+
+void BM_QuboEnergy(benchmark::State& state) {
+  const std::vector<int> sizes = {128, 192, 320, 448};
+  const lrp::LrpProblem problem = workloads::make_mxm_problem(sizes, 8);
+  const lrp::LrpCqm cqm(problem, lrp::CqmVariant::kReduced, 16);
+  const auto conv = model::cqm_to_qubo(cqm.cqm());
+  model::State s(conv.qubo.num_variables(), 0);
+  util::Rng rng(9);
+  for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_below(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.qubo.energy(s));
+  }
+}
+BENCHMARK(BM_QuboEnergy);
+
+void BM_PimcSweep(benchmark::State& state) {
+  const std::vector<int> sizes = {128, 192, 320, 448};
+  const lrp::LrpProblem problem = workloads::make_mxm_problem(sizes, 8);
+  const lrp::LrpCqm cqm(problem, lrp::CqmVariant::kReduced, 16);
+  const auto conv = model::cqm_to_qubo(cqm.cqm());
+  anneal::PimcParams params;
+  params.sweeps = 1;
+  params.trotter_slices = 8;
+  const anneal::PimcAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annealer.sample_qubo(conv.qubo));
+  }
+}
+BENCHMARK(BM_PimcSweep);
+
+void BM_KSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrp::select_k(table2_problem()));
+  }
+}
+BENCHMARK(BM_KSelect);
+
+}  // namespace

@@ -1,0 +1,59 @@
+// Table I reproduction: complexity overview and logical-qubit counts of every
+// method, across the experiment configurations used in the paper.
+//
+// The paper states Q_CQM1 uses (M-1)^2 * (floor(log2 n) + 1) variables; the
+// literal construction (inferring only the diagonal x_{j,j}) leaves
+// M * (M-1) * (floor(log2 n) + 1) binary variables, so both numbers are
+// reported ("paper formula" vs "built model").
+
+#include <iostream>
+
+#include "common.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/encoding.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace qulrb;
+
+  std::cout << "=== Table I (part 1): worst-case complexity ===\n";
+  util::Table complexity({"Algorithm", "Complexity"});
+  complexity.add_row({"Greedy", "O(N log N) .. O(2^N)"});
+  complexity.add_row({"KK", "O(N log N) .. O(2^N)"});
+  complexity.add_row({"ProactLB", "O(M^2 K)"});
+  complexity.add_row({"Q_CQM1_k1,_k2", "(M-1)^2 (floor(log2 n)+1) logical qubits"});
+  complexity.add_row({"Q_CQM2_k1,_k2", "M^2 (floor(log2 n)+1) logical qubits"});
+  complexity.print(std::cout);
+
+  std::cout << "\n=== Table I (part 2): logical qubits per experiment setup ===\n";
+  util::Table qubits({"Setup (M x n)", "Q_CQM1 paper", "Q_CQM1 built", "Q_CQM2"});
+  const struct {
+    std::size_t m;
+    std::int64_t n;
+  } setups[] = {
+      {8, 50},    // Fig. 3 / Table II
+      {4, 100},   {8, 100}, {16, 100}, {32, 100}, {64, 100},  // Fig. 4 / III
+      {8, 8},     {8, 2048},                                  // Fig. 5 / IV ends
+      {32, 208},  // Table V (sam(oa)^2)
+  };
+  for (const auto& s : setups) {
+    const std::size_t paper_formula =
+        lrp::LrpCqm::predicted_qubits(lrp::CqmVariant::kReduced, s.m, s.n);
+    const std::size_t full =
+        lrp::LrpCqm::predicted_qubits(lrp::CqmVariant::kFull, s.m, s.n);
+    // Build a tiny-but-real model only when affordable; otherwise compute the
+    // built-variable count directly (M(M-1) * bits).
+    const std::size_t bits = lrp::bits_per_count(s.n);
+    const std::size_t built = s.m * (s.m - 1) * bits;
+    qubits.add_row({std::to_string(s.m) + " x " + std::to_string(s.n),
+                    util::Table::integer(static_cast<long long>(paper_formula)),
+                    util::Table::integer(static_cast<long long>(built)),
+                    util::Table::integer(static_cast<long long>(full))});
+  }
+  qubits.print(std::cout);
+
+  std::cout << "\nNote: 'built' infers only the diagonal counts, as Section IV "
+               "describes; the\npaper's (M-1)^2 formula is reported alongside "
+               "for direct comparison.\n";
+  return 0;
+}

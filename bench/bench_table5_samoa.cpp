@@ -1,0 +1,61 @@
+// Table V reproduction: the realistic sam(oa)^2 oscillating-lake use case —
+// 32 compute nodes, 208 uniform sections per node, baseline R_imb = 4.1994.
+// Prints R_imb, speedup, migrated tasks and CPU/QPU runtimes per method with
+// the paper's reported values alongside.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "util/table.hpp"
+#include "workloads/samoa.hpp"
+
+int main() {
+  using namespace qulrb;
+  const bench::QuantumBudget budget = bench::QuantumBudget::from_env();
+
+  const workloads::SamoaWorkload workload = workloads::make_samoa_workload();
+  const auto& problem = workload.problem;
+  std::cout << "sam(oa)^2-like oscillating lake: " << workload.total_cells
+            << " cells (" << workload.limited_cells
+            << " limited), baseline R_imb = " << problem.imbalance_ratio()
+            << "\n\n";
+
+  const bench::ScenarioResult result =
+      bench::run_all_solvers("samoa", problem, budget);
+
+  util::Table table({"Algorithm", "R_imb", "Speedup", "# mig. tasks", "CPU (ms)",
+                     "QPU (ms)", "paper: R_imb", "paper: # mig."});
+  const struct {
+    const char* rimb;
+    const char* mig;
+  } paper[] = {
+      {"0.00007", "6447"},  // Greedy
+      {"0.00001", "6447"},  // KK
+      {"0.00944", "1568"},  // ProactLB
+      {"0.0001", "1567"},   // Q_CQM1_k1
+      {"0.0001", "6418"},   // Q_CQM1_k2
+      {"2.3192", "1550"},   // Q_CQM2_k1 (the paper's unstable case)
+      {"0.0001", "6440"},   // Q_CQM2_k2
+  };
+  table.add_row({"Baseline", util::Table::num(problem.imbalance_ratio(), 5), "1.0",
+                 "-", "-", "-", "4.19940", "-"});
+  for (std::size_t a = 0; a < bench::algorithm_labels().size(); ++a) {
+    const auto& row = result.rows[a];
+    table.add_row({row.algorithm, util::Table::num(row.metrics.imbalance_after, 5),
+                   util::Table::num(row.metrics.speedup, 4),
+                   util::Table::integer(row.metrics.total_migrated),
+                   util::Table::num(row.cpu_ms, 2),
+                   row.qpu_ms > 0.0 ? util::Table::num(row.qpu_ms, 1) : "-",
+                   paper[a].rimb, paper[a].mig});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nk1 = " << result.k.k1 << " (paper: 1568), k2 = " << result.k.k2
+            << " (paper: 6447).\n"
+               "Headline: the CQM methods balance the load with ~1/4 of the "
+               "migrations of Greedy/KK.\n"
+               "Paper runtime context: Q_* CPU times were ~19.3 s including "
+               "D-Wave Leap cloud latency;\nour stand-in reports local solver "
+               "time plus the constant simulated QPU access share.\n";
+  return 0;
+}

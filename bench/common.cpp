@@ -1,0 +1,126 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+
+#include "lrp/cqm_builder.hpp"
+#include "lrp/solver.hpp"
+
+namespace qulrb::bench {
+
+QuantumBudget QuantumBudget::from_env() {
+  QuantumBudget budget;
+  if (const char* sweeps = std::getenv("QULRB_BENCH_SWEEPS")) {
+    budget.sweeps = static_cast<std::size_t>(std::strtoull(sweeps, nullptr, 10));
+  }
+  if (const char* restarts = std::getenv("QULRB_BENCH_RESTARTS")) {
+    budget.restarts = static_cast<std::size_t>(std::strtoull(restarts, nullptr, 10));
+  }
+  if (const char* seed = std::getenv("QULRB_BENCH_SEED")) {
+    budget.seed = std::strtoull(seed, nullptr, 10);
+  }
+  return budget;
+}
+
+lrp::QcqmOptions make_qcqm_options(lrp::CqmVariant variant, std::int64_t k,
+                                   const QuantumBudget& budget,
+                                   std::size_t model_variables) {
+  lrp::QcqmOptions options;
+  options.variant = variant;
+  options.k = k;
+  options.hybrid.num_restarts = budget.restarts;
+  std::size_t sweeps = budget.sweeps;
+  if (model_variables > 0 && model_variables < 4096) {
+    const std::size_t boost = std::min<std::size_t>(16, 4096 / model_variables);
+    sweeps *= std::max<std::size_t>(1, boost);
+  }
+  options.hybrid.sweeps = sweeps;
+  options.hybrid.max_penalty_rounds = 2;
+  options.hybrid.seed = budget.seed;
+  return options;
+}
+
+const std::vector<std::string>& algorithm_labels() {
+  static const std::vector<std::string> labels = {
+      "Greedy", "KK", "ProactLB", "Q_CQM1_k1", "Q_CQM1_k2", "Q_CQM2_k1",
+      "Q_CQM2_k2"};
+  return labels;
+}
+
+ScenarioResult run_all_solvers(const std::string& scenario_name,
+                               const lrp::LrpProblem& problem,
+                               const QuantumBudget& budget) {
+  ScenarioResult result;
+  result.scenario = scenario_name;
+  result.k = lrp::select_k(problem);
+
+  auto run_one = [&](lrp::RebalanceSolver& solver, const std::string& label) {
+    const lrp::SolverReport report = lrp::run_and_evaluate(solver, problem);
+    result.rows.push_back(
+        {label, report.metrics, report.output.cpu_ms, report.output.qpu_ms});
+  };
+
+  lrp::GreedySolver greedy;
+  lrp::KkSolver kk;
+  lrp::ProactLbSolver proactlb;
+  run_one(greedy, "Greedy");
+  run_one(kk, "KK");
+  run_one(proactlb, "ProactLB");
+
+  const struct {
+    lrp::CqmVariant variant;
+    std::int64_t k;
+    const char* label;
+  } quantum_runs[] = {
+      {lrp::CqmVariant::kReduced, result.k.k1, "Q_CQM1_k1"},
+      {lrp::CqmVariant::kReduced, result.k.k2, "Q_CQM1_k2"},
+      {lrp::CqmVariant::kFull, result.k.k1, "Q_CQM2_k1"},
+      {lrp::CqmVariant::kFull, result.k.k2, "Q_CQM2_k2"},
+  };
+  for (const auto& run : quantum_runs) {
+    const std::size_t vars =
+        lrp::LrpCqm::predicted_qubits(run.variant, problem.num_processes(),
+                                      problem.tasks_on(0));
+    lrp::QcqmSolver solver(make_qcqm_options(run.variant, run.k, budget, vars));
+    run_one(solver, run.label);
+  }
+  return result;
+}
+
+namespace {
+
+util::Table make_metric_table(const std::vector<ScenarioResult>& results,
+                              const std::function<std::string(const Row&)>& cell) {
+  std::vector<std::string> header = {"Algorithm"};
+  for (const auto& r : results) header.push_back(r.scenario);
+  util::Table table(std::move(header));
+  for (std::size_t a = 0; a < algorithm_labels().size(); ++a) {
+    std::vector<std::string> row = {algorithm_labels()[a]};
+    for (const auto& r : results) row.push_back(cell(r.rows.at(a)));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+util::Table make_imbalance_table(const std::vector<ScenarioResult>& results) {
+  return make_metric_table(results, [](const Row& row) {
+    return util::Table::num(row.metrics.imbalance_after, 5);
+  });
+}
+
+util::Table make_speedup_table(const std::vector<ScenarioResult>& results) {
+  return make_metric_table(results, [](const Row& row) {
+    return util::Table::num(row.metrics.speedup, 4);
+  });
+}
+
+util::Table make_migration_table(const std::vector<ScenarioResult>& results) {
+  return make_metric_table(results, [](const Row& row) {
+    return util::Table::integer(row.metrics.total_migrated);
+  });
+}
+
+}  // namespace qulrb::bench

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lrp/kselect.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/problem.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "util/table.hpp"
+
+namespace qulrb::bench {
+
+/// One algorithm's result on one scenario.
+struct Row {
+  std::string algorithm;
+  lrp::RebalanceMetrics metrics;
+  double cpu_ms = 0.0;
+  double qpu_ms = 0.0;
+};
+
+/// All seven methods the paper compares, in the paper's order.
+struct ScenarioResult {
+  std::string scenario;
+  lrp::KSelection k;
+  std::vector<Row> rows;  // Greedy, KK, ProactLB, Q_CQM1_k1, Q_CQM1_k2,
+                          // Q_CQM2_k1, Q_CQM2_k2
+};
+
+/// Anneal budget scaled to the instance so the harness stays tractable on a
+/// laptop while keeping the paper's relative shapes. `QULRB_BENCH_SWEEPS`
+/// overrides the per-restart sweep count; `QULRB_BENCH_RESTARTS` the restart
+/// count (the paper ran each CQM >= 3 times and kept the best).
+struct QuantumBudget {
+  std::size_t sweeps = 1200;
+  std::size_t restarts = 3;
+  std::uint64_t seed = 2024;
+
+  static QuantumBudget from_env();
+};
+
+/// Budget is adaptive: small models get proportionally more sweeps (they are
+/// cheap), capped at 16x the base budget, so small-scale results approach the
+/// quality a production hybrid service delivers.
+lrp::QcqmOptions make_qcqm_options(lrp::CqmVariant variant, std::int64_t k,
+                                   const QuantumBudget& budget,
+                                   std::size_t model_variables = 0);
+
+/// Run the full comparison (3 classical + 4 quantum) on one problem.
+ScenarioResult run_all_solvers(const std::string& scenario_name,
+                               const lrp::LrpProblem& problem,
+                               const QuantumBudget& budget);
+
+/// Paper-order algorithm labels.
+const std::vector<std::string>& algorithm_labels();
+
+/// Render a "R_imb / speedup" figure-style table for a batch of scenarios.
+util::Table make_imbalance_table(const std::vector<ScenarioResult>& results);
+util::Table make_speedup_table(const std::vector<ScenarioResult>& results);
+util::Table make_migration_table(const std::vector<ScenarioResult>& results);
+
+}  // namespace qulrb::bench

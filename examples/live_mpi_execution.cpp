@@ -1,0 +1,75 @@
+// Live execution on the thread-based message-passing runtime: every process
+// is a real thread, migrated task batches travel as real messages, and each
+// BSP iteration ends in a real barrier + allreduce. This is the in-repository
+// analogue of running the rebalanced application under Chameleon on MPI —
+// useful to convince yourself the plans survive actual concurrency.
+//
+// Run: ./build/examples/live_mpi_execution
+
+#include <iostream>
+
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+#include "mpirt/lb_driver.hpp"
+#include "mpirt/reactive.hpp"
+#include "util/table.hpp"
+#include "workloads/scenarios.hpp"
+
+int main() {
+  using namespace qulrb;
+
+  const auto scenario = workloads::scenarios::imbalance_levels()[4];  // Imb.4
+  const auto& problem = scenario.problem;
+  const lrp::KSelection k = lrp::select_k(problem);
+
+  std::cout << "Launching " << problem.num_processes()
+            << " ranks (threads), n = " << problem.tasks_on(0)
+            << " tasks each, baseline R_imb = " << problem.imbalance_ratio()
+            << "\n\n";
+
+  mpirt::LiveExecConfig config;
+  config.iterations = 3;
+  config.work_scale = 0.0;  // accounting-only tasks; set > 0 for a stress run
+
+  util::Table table({"Plan", "# mig.", "virtual makespan (ms)", "measured R_imb",
+                     "wall (ms)"});
+
+  auto run_with = [&](const std::string& label, const lrp::MigrationPlan& plan) {
+    const mpirt::LiveExecResult r = mpirt::run_live(problem, plan, config);
+    table.add_row({label, util::Table::integer(r.tasks_migrated),
+                   util::Table::num(r.virtual_makespan_ms, 2),
+                   util::Table::num(r.measured_imbalance, 5),
+                   util::Table::num(r.wall_ms, 2)});
+  };
+
+  run_with("(none)", lrp::MigrationPlan::identity(problem));
+
+  lrp::ProactLbSolver proactlb;
+  run_with("ProactLB", proactlb.solve(problem).plan);
+
+  lrp::QcqmOptions options;
+  options.variant = lrp::CqmVariant::kReduced;
+  options.k = k.k1;
+  options.hybrid.sweeps = 3000;
+  options.hybrid.seed = 17;
+  lrp::QcqmSolver qcqm(options);
+  run_with("Q_CQM1_k1", qcqm.solve(problem).plan);
+
+  // Reactive offloading (no plan at all): tasks move in response to live
+  // REQUEST/REPLY messages instead of a precomputed matrix.
+  {
+    const mpirt::ReactiveResult r = mpirt::run_reactive(problem);
+    table.add_row({"reactive offload", util::Table::integer(r.tasks_offloaded),
+                   util::Table::num(r.virtual_makespan_ms, 2),
+                   util::Table::num(r.measured_imbalance, 5),
+                   util::Table::num(r.wall_ms, 2)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEvery row executed " << problem.total_tasks()
+            << " tasks through real threads, mailboxes, barriers and "
+               "reductions;\nthe measured imbalance is computed from the "
+               "per-rank compute times the ranks\nreported via allreduce.\n";
+  return 0;
+}

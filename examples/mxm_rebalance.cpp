@@ -1,0 +1,92 @@
+// MxM rebalancing walkthrough: calibrates the cost model with the *real*
+// blocked matrix-multiply kernel, builds the paper's synthetic imbalance
+// scenario from it, selects the migration bounds k1/k2 from the classical
+// methods, and compares all rebalancing strategies — including a sweep of the
+// migration bound k, the knob the paper highlights as the key trade-off.
+//
+// Run: ./build/examples/mxm_rebalance
+
+#include <iostream>
+#include <tuple>
+
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+#include "util/table.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/mxm_kernel.hpp"
+
+int main() {
+  using namespace qulrb;
+
+  // --- 1. calibrate the cost model on this machine --------------------------
+  std::cout << "Calibrating MxM kernel (blocked dgemm, size 192)...\n";
+  const double gflops = workloads::calibrate_gflops(192);
+  workloads::MxmCostModel model;
+  model.gflops = gflops;
+  std::cout << "  sustained rate: " << gflops << " GFLOP/s\n"
+            << "  predicted task times: 128 -> " << model.task_ms(128)
+            << " ms, 512 -> " << model.task_ms(512) << " ms\n\n";
+
+  // --- 2. build an imbalanced run -------------------------------------------
+  // 8 nodes, 50 tasks each; the per-node matrix size spread creates the
+  // imbalance (tasks within a node are uniform, exactly the paper's setup).
+  const std::vector<int> sizes = {128, 128, 192, 256, 320, 384, 448, 512};
+  const lrp::LrpProblem problem = workloads::make_mxm_problem(sizes, 50, model);
+  std::cout << "Imbalanced MxM run: M = 8, n = 50, R_imb = "
+            << problem.imbalance_ratio() << "\n\n";
+
+  // --- 3. classical methods first (they also set k1/k2) ---------------------
+  const lrp::KSelection k = lrp::select_k(problem);
+  std::cout << "Migration bounds from the classical runs: k1 = " << k.k1
+            << " (ProactLB), k2 = " << k.k2 << " (Greedy)\n\n";
+
+  auto qcqm = [&](lrp::CqmVariant variant, std::int64_t bound) {
+    lrp::QcqmOptions options;
+    options.variant = variant;
+    options.k = bound;
+    options.hybrid.sweeps = 4000;
+    options.hybrid.num_restarts = 3;
+    options.hybrid.seed = 7;
+    return lrp::QcqmSolver(options);
+  };
+
+  util::Table table({"Algorithm", "R_imb", "Speedup", "# mig. tasks"});
+  lrp::GreedySolver greedy;
+  lrp::KkSolver kk;
+  lrp::ProactLbSolver proactlb;
+  for (lrp::RebalanceSolver* solver :
+       std::initializer_list<lrp::RebalanceSolver*>{&greedy, &kk, &proactlb}) {
+    const auto report = lrp::run_and_evaluate(*solver, problem);
+    table.add_row({solver->name(), util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::num(report.metrics.speedup, 4),
+                   util::Table::integer(report.metrics.total_migrated)});
+  }
+  for (const auto& [variant, bound, label] :
+       {std::tuple{lrp::CqmVariant::kReduced, k.k1, "Q_CQM1_k1"},
+        std::tuple{lrp::CqmVariant::kReduced, k.k2, "Q_CQM1_k2"},
+        std::tuple{lrp::CqmVariant::kFull, k.k2, "Q_CQM2_k2"}}) {
+    auto solver = qcqm(variant, bound);
+    const auto report = lrp::run_and_evaluate(solver, problem);
+    table.add_row({label, util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::num(report.metrics.speedup, 4),
+                   util::Table::integer(report.metrics.total_migrated)});
+  }
+  table.print(std::cout);
+
+  // --- 4. the k trade-off ----------------------------------------------------
+  std::cout << "\nSweeping the migration bound k (Q_CQM1):\n";
+  util::Table sweep({"k", "R_imb", "# mig. tasks"});
+  for (const std::int64_t bound :
+       {std::int64_t{0}, k.k1 / 2, k.k1, k.k1 * 2, k.k2}) {
+    auto solver = qcqm(lrp::CqmVariant::kReduced, bound);
+    const auto report = lrp::run_and_evaluate(solver, problem);
+    sweep.add_row({util::Table::integer(bound),
+                   util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::integer(report.metrics.total_migrated)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nBalance saturates near k1: migrating more than the minimum "
+               "needed buys nothing.\n";
+  return 0;
+}

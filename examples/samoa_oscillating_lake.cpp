@@ -1,0 +1,77 @@
+// The paper's realistic use case end to end: generate the sam(oa)^2-like
+// oscillating-lake AMR workload (adaptive quadtree refined around the moving
+// wet/dry front, Hilbert-curve-ordered sections, ADER-DG limiter cost),
+// write the imbalance input in the paper's Appendix-B CSV format, rebalance
+// with ProactLB and Q_CQM1, and write the Appendix-B output tables.
+//
+// Run: ./build/examples/samoa_oscillating_lake [output-dir]
+
+#include <filesystem>
+#include <iostream>
+
+#include "io/lrp_io.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+#include "util/table.hpp"
+#include "workloads/samoa.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qulrb;
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "samoa_out";
+  std::filesystem::create_directories(out_dir);
+
+  // --- 1. generate the AMR workload ----------------------------------------
+  workloads::SamoaConfig config;  // paper defaults: 32 nodes, 208 sections
+  const workloads::SamoaWorkload workload = workloads::make_samoa_workload(config);
+  const lrp::LrpProblem& problem = workload.problem;
+
+  std::cout << "Oscillating-lake mesh: " << workload.total_cells << " cells, "
+            << workload.limited_cells << " with the a-posteriori limiter active\n"
+            << "LRP input: M = " << problem.num_processes()
+            << ", n = " << problem.tasks_on(0)
+            << ", baseline R_imb = " << problem.imbalance_ratio() << "\n";
+
+  const auto input_path = out_dir / "input_lrp.csv";
+  io::write_input_file(input_path.string(), problem);
+  std::cout << "wrote " << input_path.string() << " (Appendix-B input format)\n\n";
+
+  // --- 2. rebalance ----------------------------------------------------------
+  const lrp::KSelection k = lrp::select_k(problem);
+  std::cout << "k1 = " << k.k1 << " (ProactLB), k2 = " << k.k2 << " (Greedy)\n\n";
+
+  util::Table table({"Algorithm", "R_imb", "Speedup", "# mig. tasks", "output file"});
+
+  lrp::ProactLbSolver proactlb;
+  {
+    const auto report = lrp::run_and_evaluate(proactlb, problem);
+    const auto path = out_dir / "output_proactlb.csv";
+    io::write_output_file(path.string(), problem, report.output.plan);
+    table.add_row({"ProactLB", util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::num(report.metrics.speedup, 4),
+                   util::Table::integer(report.metrics.total_migrated),
+                   path.filename().string()});
+  }
+
+  {
+    lrp::QcqmOptions options;
+    options.variant = lrp::CqmVariant::kReduced;
+    options.k = k.k1;
+    options.hybrid.sweeps = 2000;
+    options.hybrid.num_restarts = 2;
+    options.hybrid.seed = 2024;
+    lrp::QcqmSolver solver(options);
+    const auto report = lrp::run_and_evaluate(solver, problem);
+    const auto path = out_dir / "output_qcqm1_k1.csv";
+    io::write_output_file(path.string(), problem, report.output.plan);
+    table.add_row({"Q_CQM1_k1", util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::num(report.metrics.speedup, 4),
+                   util::Table::integer(report.metrics.total_migrated),
+                   path.filename().string()});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nThe CQM method balances the lake with ~1/4 of the migrations a "
+               "from-scratch\nrepartitioning would need (paper Table V).\n";
+  return 0;
+}

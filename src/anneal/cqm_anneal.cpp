@@ -1,0 +1,303 @@
+#include "anneal/cqm_anneal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qulrb::anneal {
+
+using model::CqmModel;
+using model::Sense;
+using model::VarId;
+
+CqmIncrementalState::CqmIncrementalState(const CqmModel& cqm, model::State initial,
+                                         std::vector<double> penalties)
+    : cqm_(&cqm), state_(std::move(initial)), penalties_(std::move(penalties)) {
+  util::require(state_.size() == cqm.num_variables(),
+                "CqmIncrementalState: state size mismatch");
+  util::require(penalties_.size() == cqm.num_constraints(),
+                "CqmIncrementalState: penalty count mismatch");
+
+  // Touch incidence caches once so flip paths are allocation-free.
+  (void)cqm.group_incidence();
+  (void)cqm.constraint_incidence();
+  (void)cqm.quadratic_incidence();
+
+  const auto groups = cqm.squared_groups();
+  group_values_.resize(groups.size());
+  objective_ = cqm.objective_offset();
+  const auto linear = cqm.objective_linear();
+  for (VarId v = 0; v < linear.size(); ++v) {
+    if (state_[v]) objective_ += linear[v];
+  }
+  for (const auto& q : cqm.objective_quadratic()) {
+    if (state_[q.i] && state_[q.j]) objective_ += q.coeff;
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    group_values_[g] = groups[g].expr.evaluate(state_);
+    objective_ += groups[g].weight * group_values_[g] * group_values_[g];
+  }
+
+  const auto constraints = cqm.constraints();
+  activities_.resize(constraints.size());
+  penalty_ = 0.0;
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    activities_[c] = constraints[c].lhs.evaluate(state_);
+    penalty_ += penalty_of_activity(c, activities_[c]);
+  }
+}
+
+double CqmIncrementalState::penalty_of_activity(std::size_t c,
+                                                double activity) const noexcept {
+  const auto& con = cqm_->constraints()[c];
+  return penalties_[c] * CqmModel::violation_of(con.sense, activity, con.rhs);
+}
+
+double CqmIncrementalState::total_violation() const noexcept {
+  double v = 0.0;
+  const auto constraints = cqm_->constraints();
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    v += CqmModel::violation_of(constraints[c].sense, activities_[c],
+                                constraints[c].rhs);
+  }
+  return v;
+}
+
+bool CqmIncrementalState::feasible(double tol) const noexcept {
+  const auto constraints = cqm_->constraints();
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    if (CqmModel::violation_of(constraints[c].sense, activities_[c],
+                               constraints[c].rhs) > tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+CqmIncrementalState::FlipDelta CqmIncrementalState::flip_delta_parts(
+    VarId v) const noexcept {
+  const double sign = state_[v] ? -1.0 : 1.0;
+  const auto linear = cqm_->objective_linear();
+  FlipDelta delta;
+  delta.objective = sign * linear[v];
+
+  for (const auto& nb : cqm_->quadratic_incidence()[v]) {
+    if (state_[nb.other]) delta.objective += sign * nb.coeff;
+  }
+
+  const auto groups = cqm_->squared_groups();
+  for (const auto& inc : cqm_->group_incidence()[v]) {
+    const double gv = group_values_[inc.index];
+    const double nv = gv + sign * inc.coeff;
+    delta.objective += groups[inc.index].weight * (nv * nv - gv * gv);
+  }
+
+  for (const auto& inc : cqm_->constraint_incidence()[v]) {
+    const double act = activities_[inc.index];
+    const double nact = act + sign * inc.coeff;
+    delta.penalty += penalty_of_activity(inc.index, nact) -
+                     penalty_of_activity(inc.index, act);
+  }
+  return delta;
+}
+
+void CqmIncrementalState::apply_flip(VarId v) noexcept {
+  const double sign = state_[v] ? -1.0 : 1.0;
+  const auto linear = cqm_->objective_linear();
+  objective_ += sign * linear[v];
+
+  for (const auto& nb : cqm_->quadratic_incidence()[v]) {
+    if (state_[nb.other]) objective_ += sign * nb.coeff;
+  }
+
+  const auto groups = cqm_->squared_groups();
+  for (const auto& inc : cqm_->group_incidence()[v]) {
+    double& gv = group_values_[inc.index];
+    const double nv = gv + sign * inc.coeff;
+    objective_ += groups[inc.index].weight * (nv * nv - gv * gv);
+    gv = nv;
+  }
+
+  for (const auto& inc : cqm_->constraint_incidence()[v]) {
+    double& act = activities_[inc.index];
+    const double nact = act + sign * inc.coeff;
+    penalty_ += penalty_of_activity(inc.index, nact) -
+                penalty_of_activity(inc.index, act);
+    act = nact;
+  }
+
+  state_[v] ^= 1u;
+}
+
+void CqmIncrementalState::set_penalties(std::vector<double> penalties) {
+  util::require(penalties.size() == cqm_->num_constraints(),
+                "CqmIncrementalState: penalty count mismatch");
+  penalties_ = std::move(penalties);
+  penalty_ = 0.0;
+  for (std::size_t c = 0; c < activities_.size(); ++c) {
+    penalty_ += penalty_of_activity(c, activities_[c]);
+  }
+}
+
+PairMoveIndex PairMoveIndex::build(const CqmModel& cqm) {
+  PairMoveIndex index;
+  for (const auto& con : cqm.constraints()) {
+    // Group this constraint's variables by |coefficient| (exact match — the
+    // LRP coefficients are integers scaled by task loads, so equality is
+    // meaningful; near-equal floats simply land in separate classes).
+    std::vector<std::pair<double, VarId>> by_coeff;
+    by_coeff.reserve(con.lhs.size());
+    for (const auto& t : con.lhs.terms()) {
+      by_coeff.emplace_back(std::abs(t.coeff), t.var);
+    }
+    std::sort(by_coeff.begin(), by_coeff.end());
+    std::size_t start = 0;
+    for (std::size_t i = 1; i <= by_coeff.size(); ++i) {
+      if (i == by_coeff.size() || by_coeff[i].first != by_coeff[start].first) {
+        if (i - start >= 2) {
+          std::vector<VarId> members;
+          members.reserve(i - start);
+          for (std::size_t p = start; p < i; ++p) members.push_back(by_coeff[p].second);
+          index.classes_.push_back(std::move(members));
+        }
+        start = i;
+      }
+    }
+  }
+  return index;
+}
+
+bool PairMoveIndex::attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
+                            bool feasible_only) const {
+  if (classes_.empty()) return false;
+  const auto& members =
+      classes_[static_cast<std::size_t>(rng.next_below(classes_.size()))];
+  // Find a (set, clear) pair by rejection sampling.
+  VarId set_var = 0;
+  VarId clear_var = 0;
+  bool found = false;
+  for (int attempt_i = 0; attempt_i < 8 && !found; ++attempt_i) {
+    const VarId a = members[static_cast<std::size_t>(rng.next_below(members.size()))];
+    const VarId b = members[static_cast<std::size_t>(rng.next_below(members.size()))];
+    if (a == b) continue;
+    const bool sa = walk.state()[a] != 0;
+    const bool sb = walk.state()[b] != 0;
+    if (sa == sb) continue;
+    set_var = sa ? a : b;
+    clear_var = sa ? b : a;
+    found = true;
+  }
+  if (!found) return false;
+
+  CqmIncrementalState::FlipDelta delta = walk.flip_delta_parts(set_var);
+  walk.apply_flip(set_var);
+  const auto second = walk.flip_delta_parts(clear_var);
+  delta.objective += second.objective;
+  delta.penalty += second.penalty;
+
+  const double criterion = feasible_only ? delta.objective : delta.total();
+  const bool vetoed = feasible_only && delta.penalty > 0.0;
+  if (!vetoed &&
+      (criterion <= 0.0 || rng.next_double() < std::exp(-beta * criterion))) {
+    walk.apply_flip(clear_var);
+    return true;
+  }
+  walk.apply_flip(set_var);  // revert
+  return false;
+}
+
+Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalties,
+                                util::Rng& rng, const model::State& initial,
+                                AnnealTrace* trace) const {
+  const std::size_t n = cqm.num_variables();
+  util::require(initial.empty() || initial.size() == n,
+                "CqmAnnealer: initial state size mismatch");
+
+  model::State start(n);
+  if (initial.empty()) {
+    for (auto& b : start) b = static_cast<std::uint8_t>(rng.next_below(2));
+  } else {
+    start = initial;
+  }
+
+  CqmIncrementalState walk(cqm, std::move(start), std::move(penalties));
+  if (n == 0) {
+    return {walk.state(), walk.objective(), walk.total_violation(), walk.feasible()};
+  }
+
+  // Temperature range: hot end covers the full (objective + penalty) move
+  // scale so constraints can be escaped early; cold end resolves moves on the
+  // *objective* scale so the final refinement is not left at an effectively
+  // infinite temperature when penalties dwarf the objective.
+  BetaSchedule schedule = [&] {
+    if (params_.beta_hot && params_.beta_cold) {
+      return BetaSchedule(*params_.beta_hot, *params_.beta_cold, params_.sweeps,
+                          params_.schedule);
+    }
+    double max_abs_total = 1e-9;
+    double max_abs_obj = 1e-9;
+    const std::size_t probes = std::min<std::size_t>(n, 512);
+    for (std::size_t p = 0; p < probes; ++p) {
+      const auto v = static_cast<VarId>(rng.next_below(n));
+      const auto d = walk.flip_delta_parts(v);
+      max_abs_total = std::max(max_abs_total, std::abs(d.total()));
+      max_abs_obj = std::max(max_abs_obj, std::abs(d.objective));
+    }
+    if (params_.refinement) {
+      // Anneal on the objective scale only (feasibility is enforced by the
+      // move filter, not the temperature).
+      return BetaSchedule::for_energy_scale(max_abs_obj * 1e-7, max_abs_obj,
+                                            params_.sweeps, params_.schedule);
+    }
+    return BetaSchedule::for_energy_scale(max_abs_obj * 1e-6, max_abs_total,
+                                          params_.sweeps, params_.schedule);
+  }();
+
+  Sample best{walk.state(), walk.objective(), walk.total_violation(), walk.feasible()};
+
+  const PairMoveIndex pairs = params_.pair_move_prob > 0.0
+                                  ? PairMoveIndex::build(cqm)
+                                  : PairMoveIndex{};
+
+  for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
+    const double beta = schedule.at(sweep);
+    bool improved = false;
+    for (std::size_t step = 0; step < n; ++step) {
+      if (!pairs.empty() && rng.next_bool(params_.pair_move_prob)) {
+        const bool accepted = pairs.attempt(walk, rng, beta, params_.refinement);
+        improved = accepted || improved;
+        if (trace != nullptr) {
+          ++trace->pair_attempts;
+          if (accepted) ++trace->pair_accepts;
+        }
+        continue;
+      }
+      const auto v = static_cast<VarId>(rng.next_below(n));
+      if (trace != nullptr) ++trace->flip_attempts;
+      const auto d = walk.flip_delta_parts(v);
+      if (params_.refinement && d.penalty > 0.0) continue;  // keep feasibility
+      const double criterion = params_.refinement ? d.objective : d.total();
+      if (criterion <= 0.0 || rng.next_double() < std::exp(-beta * criterion)) {
+        walk.apply_flip(v);
+        improved = true;
+        if (trace != nullptr) ++trace->flip_accepts;
+      }
+    }
+    if (improved) {
+      Sample current{{}, walk.objective(), walk.total_violation(), walk.feasible()};
+      if (current.better_than(best)) {
+        current.state = walk.state();
+        best = std::move(current);
+      }
+    }
+    if (trace != nullptr) {
+      trace->best_energy_per_sweep.push_back(best.energy + best.violation);
+      trace->violation_per_sweep.push_back(walk.total_violation());
+    }
+  }
+  return best;
+}
+
+}  // namespace qulrb::anneal

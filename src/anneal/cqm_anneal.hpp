@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anneal/sampleset.hpp"
+#include "anneal/schedule.hpp"
+#include "model/cqm.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+
+/// Incrementally-maintained evaluation of a CqmModel under single-bit flips.
+///
+/// Keeps the running value of every squared objective group and every
+/// constraint activity so that the *total* energy change of flipping one
+/// variable — objective plus weighted constraint violations — costs
+/// O(incidences of that variable), independent of model size. This is what
+/// makes annealing the LRP formulation tractable at M = 64 (~28k binary
+/// variables) without materialising the dense quadratic expansion.
+class CqmIncrementalState {
+ public:
+  /// penalties: per-constraint weight on (linear) violation. Must match
+  /// cqm.num_constraints().
+  CqmIncrementalState(const model::CqmModel& cqm, model::State initial,
+                      std::vector<double> penalties);
+
+  std::size_t num_variables() const noexcept { return state_.size(); }
+  const model::State& state() const noexcept { return state_; }
+
+  double objective() const noexcept { return objective_; }
+  double penalty_energy() const noexcept { return penalty_; }
+  double total_energy() const noexcept { return objective_ + penalty_; }
+  double total_violation() const noexcept;
+  bool feasible(double tol = 1e-9) const noexcept;
+
+  /// Energy change of flipping variable v, split into objective and penalty
+  /// contributions (solvers schedule temperatures on the objective scale and
+  /// can veto violation-increasing moves via the penalty part).
+  struct FlipDelta {
+    double objective = 0.0;
+    double penalty = 0.0;
+    double total() const noexcept { return objective + penalty; }
+  };
+  FlipDelta flip_delta_parts(model::VarId v) const noexcept;
+
+  /// Combined energy change (objective + penalty) of flipping variable v.
+  double flip_delta(model::VarId v) const noexcept {
+    return flip_delta_parts(v).total();
+  }
+  /// Commit the flip of variable v, updating all running values.
+  void apply_flip(model::VarId v) noexcept;
+
+  /// Replace the penalty weights and recompute the penalty energy (running
+  /// activities are unaffected). Used by adaptive penalty loops.
+  void set_penalties(std::vector<double> penalties);
+
+  std::span<const double> constraint_activities() const noexcept { return activities_; }
+
+ private:
+  double penalty_of_activity(std::size_t c, double activity) const noexcept;
+
+  const model::CqmModel* cqm_;
+  model::State state_;
+  std::vector<double> penalties_;
+  std::vector<double> group_values_;  ///< expr_g(x) including its constant
+  std::vector<double> activities_;   ///< lhs_c(x)
+  double objective_ = 0.0;
+  double penalty_ = 0.0;
+};
+
+/// Index of "pair move" candidates: for every constraint, variables sharing
+/// the same |coefficient| form a class. Flipping a set bit and a clear bit of
+/// one class keeps that constraint's activity unchanged — on the LRP models
+/// this is "reroute a chunk of c_l tasks to a different process", the move
+/// that makes equality constraints and tight migration bounds navigable.
+class PairMoveIndex {
+ public:
+  static PairMoveIndex build(const model::CqmModel& cqm);
+
+  bool empty() const noexcept { return classes_.empty(); }
+  std::size_t num_classes() const noexcept { return classes_.size(); }
+  std::span<const model::VarId> class_at(std::size_t c) const { return classes_.at(c); }
+
+  /// Propose flipping one set and one clear variable from a random class;
+  /// accept with the Metropolis criterion at `beta` on the combined energy
+  /// delta. With `feasible_only`, any violation-increasing proposal is
+  /// rejected and the criterion applies to the objective part alone.
+  /// Returns true when a move was applied.
+  bool attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
+               bool feasible_only = false) const;
+
+ private:
+  std::vector<std::vector<model::VarId>> classes_;
+};
+
+struct CqmAnnealParams {
+  std::size_t sweeps = 2000;
+  ScheduleKind schedule = ScheduleKind::kGeometric;
+  std::optional<double> beta_hot;
+  std::optional<double> beta_cold;
+  /// Fraction of steps using constraint-preserving pair moves instead of
+  /// single-bit flips. 0 disables.
+  double pair_move_prob = 0.5;
+  /// Refinement mode: a flat, cold schedule (mostly-descent with rare uphill
+  /// moves) that polishes the initial state instead of scrambling it. Used by
+  /// the hybrid portfolio to refine trivially feasible starting points.
+  bool refinement = false;
+};
+
+/// Per-run diagnostics: convergence trace and move statistics. Opt-in via
+/// the trace out-parameter of CqmAnnealer::anneal_once.
+struct AnnealTrace {
+  std::vector<double> best_energy_per_sweep;  ///< objective+penalty incumbent
+  std::vector<double> violation_per_sweep;    ///< total violation at sweep end
+  std::size_t flip_attempts = 0;
+  std::size_t flip_accepts = 0;
+  std::size_t pair_attempts = 0;
+  std::size_t pair_accepts = 0;
+
+  double flip_acceptance() const noexcept {
+    return flip_attempts > 0
+               ? static_cast<double>(flip_accepts) / static_cast<double>(flip_attempts)
+               : 0.0;
+  }
+};
+
+/// Single-flip Metropolis annealing directly on a CQM: energy is
+/// objective + sum_c penalty_c * violation_c. Tracks the best feasible state
+/// seen during the walk (the anytime semantics of hybrid CQM services).
+class CqmAnnealer {
+ public:
+  explicit CqmAnnealer(CqmAnnealParams params = {}) : params_(params) {}
+
+  /// Anneal from `initial` (random when empty) with the given per-constraint
+  /// penalty weights. Returns the best-seen sample: best feasible if any
+  /// state visited was feasible, otherwise the lowest (violation, energy).
+  /// When `trace` is non-null, per-sweep convergence data is recorded.
+  Sample anneal_once(const model::CqmModel& cqm, std::vector<double> penalties,
+                     util::Rng& rng, const model::State& initial = {},
+                     AnnealTrace* trace = nullptr) const;
+
+  const CqmAnnealParams& params() const noexcept { return params_; }
+
+ private:
+  CqmAnnealParams params_;
+};
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,241 @@
+#include "anneal/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "anneal/tempering.hpp"
+#include "model/presolve.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::anneal {
+
+using model::CqmModel;
+using model::VarId;
+
+namespace {
+
+/// Approximate largest single-flip objective change: used to scale penalties
+/// so that violating a constraint is never profitable at convergence.
+double objective_gradient_scale(const CqmModel& cqm) {
+  double scale = 0.0;
+  for (double a : cqm.objective_linear()) scale = std::max(scale, std::abs(a));
+  for (const auto& q : cqm.objective_quadratic()) {
+    scale = std::max(scale, std::abs(q.coeff));
+  }
+  for (const auto& g : cqm.squared_groups()) {
+    const double span =
+        std::max(std::abs(g.expr.min_value()), std::abs(g.expr.max_value()));
+    double max_coeff = 0.0;
+    for (const auto& t : g.expr.terms()) {
+      max_coeff = std::max(max_coeff, std::abs(t.coeff));
+    }
+    // |d/dflip (w * v^2)| <= w * (2 * span * a + a^2) with a = max coefficient.
+    scale = std::max(scale,
+                     std::abs(g.weight) * (2.0 * span * max_coeff + max_coeff * max_coeff));
+  }
+  return scale > 0.0 ? scale : 1.0;
+}
+
+/// Per-constraint base penalty: the weight applies per unit of violation, so
+/// normalize by the smallest step a single flip can take on that constraint.
+std::vector<double> initial_penalties(const CqmModel& cqm, double penalty_scale) {
+  const double grad = objective_gradient_scale(cqm);
+  std::vector<double> penalties;
+  penalties.reserve(cqm.num_constraints());
+  for (const auto& con : cqm.constraints()) {
+    double min_step = 0.0;
+    for (const auto& t : con.lhs.terms()) {
+      const double a = std::abs(t.coeff);
+      if (a > 0.0) min_step = (min_step == 0.0) ? a : std::min(min_step, a);
+    }
+    if (min_step == 0.0) min_step = 1.0;
+    penalties.push_back(penalty_scale * grad / min_step);
+  }
+  return penalties;
+}
+
+model::State random_state(std::size_t n, util::Rng& rng) {
+  model::State s(n);
+  for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_below(2));
+  return s;
+}
+
+void apply_fixings(model::State& s, const model::PresolveResult& pre) {
+  for (std::size_t v = 0; v < s.size(); ++v) {
+    if (pre.fixed[v].has_value()) s[v] = *pre.fixed[v];
+  }
+}
+
+}  // namespace
+
+void HybridCqmSolver::greedy_descent(CqmIncrementalState& walk, util::Rng& rng,
+                                     std::size_t max_passes) {
+  const std::size_t n = walk.num_variables();
+  if (n == 0) return;
+  std::vector<VarId> order(n);
+  std::iota(order.begin(), order.end(), VarId{0});
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    // Fisher-Yates shuffle for a fresh scan order each pass.
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
+      std::swap(order[i], order[j]);
+    }
+    bool improved = false;
+    for (const VarId v : order) {
+      if (walk.flip_delta(v) < -1e-12) {
+        walk.apply_flip(v);
+        improved = true;
+      }
+    }
+    if (!improved) return;
+  }
+}
+
+HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
+  util::WallTimer timer;
+  HybridSolveResult result;
+  result.stats.num_variables = cqm.num_variables();
+  result.stats.num_constraints = cqm.num_constraints();
+  result.stats.simulated_qpu_ms = params_.simulated_qpu_access_ms;
+
+  // --- classical presolve --------------------------------------------------
+  const model::PresolveResult pre = model::presolve(cqm);
+  result.stats.presolve_fixed = pre.num_fixed;
+  if (pre.proven_infeasible) {
+    result.stats.presolve_infeasible = true;
+    model::State zero(cqm.num_variables(), 0);
+    result.best = {zero, cqm.objective_value(zero), cqm.total_violation(zero), false};
+    result.stats.cpu_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  const std::vector<double> base_penalties =
+      initial_penalties(cqm, params_.penalty_scale);
+  const PairMoveIndex pair_index = PairMoveIndex::build(cqm);
+
+  // Is there a trivially feasible refinement seed?
+  const bool have_hint = params_.initial_hint.size() == cqm.num_variables();
+  bool zeros_feasible = false;
+  {
+    model::State zeros(cqm.num_variables(), 0);
+    apply_fixings(zeros, pre);
+    zeros_feasible = cqm.is_feasible(zeros);
+  }
+  const bool refinement_available =
+      params_.use_refinement_start && (have_hint || zeros_feasible);
+
+  std::mutex merge_mutex;
+  SampleSet all;
+  std::size_t restarts_used = 0;
+  std::size_t penalty_rounds_used = 0;
+
+  util::Rng master(params_.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(params_.num_restarts);
+  for (std::size_t r = 0; r < params_.num_restarts; ++r) streams.push_back(master.split());
+
+  auto run_restart = [&](std::size_t r) {
+    if (params_.time_limit_ms > 0.0 && timer.elapsed_ms() > params_.time_limit_ms &&
+        r > 0) {
+      return;  // keep at least one restart
+    }
+    util::Rng rng = streams[r];
+    std::vector<double> penalties = base_penalties;
+    const bool refine = r == 0 && refinement_available;
+    model::State init;
+    if (refine) {
+      init = have_hint ? params_.initial_hint : model::State(cqm.num_variables(), 0);
+    } else {
+      init = random_state(cqm.num_variables(), rng);
+    }
+    apply_fixings(init, pre);
+
+    Sample best_of_restart;
+    bool have_sample = false;
+    std::size_t rounds = 0;
+
+    const bool tempered = params_.use_tempering && r == params_.num_restarts - 1 &&
+                          !refine;
+
+    for (std::size_t round = 0; round < std::max<std::size_t>(1, params_.max_penalty_rounds);
+         ++round) {
+      ++rounds;
+      Sample s;
+      if (tempered) {
+        TemperingParams tp;
+        tp.num_replicas = params_.tempering_replicas;
+        tp.sweeps = params_.sweeps / 2 + 1;
+        tp.seed = rng.next_u64();
+        s = ParallelTempering(tp).run(cqm, penalties, init);
+      } else {
+        CqmAnnealParams ap;
+        ap.sweeps = params_.sweeps;
+        ap.refinement = refine;
+        s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init);
+      }
+
+      // Feasibility polish: steepest descent with current penalties, then
+      // zero-temperature pair moves (constraint-preserving reroutes).
+      {
+        CqmIncrementalState walk(cqm, s.state, penalties);
+        greedy_descent(walk, rng);
+        if (!pair_index.empty()) {
+          const std::size_t attempts = 8 * std::max<std::size_t>(1, walk.num_variables());
+          for (std::size_t t = 0; t < attempts; ++t) {
+            pair_index.attempt(walk, rng, 1e30);
+          }
+          greedy_descent(walk, rng);
+        }
+        Sample polished{walk.state(), walk.objective(), walk.total_violation(),
+                        walk.feasible()};
+        if (polished.better_than(s)) s = std::move(polished);
+      }
+
+      if (!have_sample || s.better_than(best_of_restart)) {
+        best_of_restart = s;
+        have_sample = true;
+      }
+      if (s.feasible) break;
+
+      // Escalate penalties where the best state is still violating.
+      CqmIncrementalState probe(cqm, s.state, penalties);
+      const auto activities = probe.constraint_activities();
+      const auto constraints = cqm.constraints();
+      for (std::size_t c = 0; c < constraints.size(); ++c) {
+        if (CqmModel::violation_of(constraints[c].sense, activities[c],
+                                   constraints[c].rhs) > 1e-9) {
+          penalties[c] *= params_.penalty_growth;
+        }
+      }
+      init = s.state;  // warm start the next round
+    }
+
+    std::lock_guard lock(merge_mutex);
+    if (have_sample) all.add(std::move(best_of_restart));
+    ++restarts_used;
+    penalty_rounds_used += rounds;
+  };
+
+  if (params_.threads <= 1 || params_.num_restarts <= 1) {
+    for (std::size_t r = 0; r < params_.num_restarts; ++r) run_restart(r);
+  } else {
+    util::ThreadPool pool(std::min(params_.threads, params_.num_restarts));
+    pool.parallel_for(params_.num_restarts, run_restart);
+  }
+
+  result.stats.restarts_used = restarts_used;
+  result.stats.penalty_rounds_used = penalty_rounds_used;
+  result.samples = all;
+  const auto best = all.best();
+  util::ensure(best.has_value(), "HybridCqmSolver: no restart produced a sample");
+  result.best = *best;
+  result.stats.cpu_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,145 @@
+#include "anneal/pimc.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+
+using model::VarId;
+
+Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
+  const std::size_t n = ising.num_spins();
+  const std::size_t P = params_.trotter_slices;
+  util::require(P >= 2, "PimcAnnealer: need at least 2 Trotter slices");
+  util::require(params_.beta > 0.0, "PimcAnnealer: beta must be positive");
+
+  util::Rng rng(params_.seed);
+
+  if (n == 0) {
+    return {model::State{}, ising.offset(), 0.0, true};
+  }
+
+  // spins[k][i] for slice k.
+  std::vector<std::vector<std::int8_t>> spins(P, std::vector<std::int8_t>(n));
+  for (auto& slice : spins) {
+    for (auto& s : slice) s = rng.next_bool(0.5) ? std::int8_t{1} : std::int8_t{-1};
+  }
+
+  std::vector<double> slice_energy(P);
+  for (std::size_t k = 0; k < P; ++k) slice_energy[k] = ising.energy(spins[k]);
+
+  double best_energy = slice_energy[0];
+  std::vector<std::int8_t> best_spins = spins[0];
+  for (std::size_t k = 1; k < P; ++k) {
+    if (slice_energy[k] < best_energy) {
+      best_energy = slice_energy[k];
+      best_spins = spins[k];
+    }
+  }
+
+  const double beta = params_.beta;
+  const double Pd = static_cast<double>(P);
+
+  for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
+    const double t = params_.sweeps == 1
+                         ? 1.0
+                         : static_cast<double>(sweep) /
+                               static_cast<double>(params_.sweeps - 1);
+    const double gamma =
+        params_.gamma_initial +
+        t * (params_.gamma_final - params_.gamma_initial);
+    // Ferromagnetic inter-slice coupling strength; diverges as gamma -> 0,
+    // freezing the slices together (the classical limit).
+    const double arg = std::tanh(beta * gamma / Pd);
+    const double j_perp = arg > 0.0 ? -0.5 * Pd / beta * std::log(arg) : 1e12;
+
+    // Local moves: one Metropolis pass over every (slice, spin) pair.
+    for (std::size_t k = 0; k < P; ++k) {
+      const std::size_t up = (k + 1) % P;
+      const std::size_t down = (k + P - 1) % P;
+      for (std::size_t step = 0; step < n; ++step) {
+        const auto i = static_cast<VarId>(rng.next_below(n));
+        const double h_local = ising.local_field(spins[k], i);
+        const double s = spins[k][i];
+        // Problem part is scaled by 1/P in the Trotter decomposition.
+        const double delta = 2.0 * s * h_local / Pd +
+                             2.0 * s * j_perp *
+                                 (spins[up][i] + spins[down][i]);
+        if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+          spins[k][i] = static_cast<std::int8_t>(-spins[k][i]);
+          slice_energy[k] += 2.0 * (-s) * h_local;  // flip changes E by -2 s h
+          if (slice_energy[k] < best_energy) {
+            best_energy = slice_energy[k];
+            best_spins = spins[k];
+          }
+        }
+      }
+    }
+
+    // Global move: flip spin i in every slice simultaneously (the inter-slice
+    // term is invariant, only the problem energy changes).
+    for (std::size_t g = 0; g < n; ++g) {
+      const auto i = static_cast<VarId>(rng.next_below(n));
+      double delta = 0.0;
+      for (std::size_t k = 0; k < P; ++k) {
+        delta += 2.0 * spins[k][i] * ising.local_field(spins[k], i) / Pd;
+      }
+      if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+        for (std::size_t k = 0; k < P; ++k) {
+          const double s = spins[k][i];
+          const double h_local = ising.local_field(spins[k], i);
+          spins[k][i] = static_cast<std::int8_t>(-spins[k][i]);
+          slice_energy[k] += 2.0 * (-s) * h_local;
+          if (slice_energy[k] < best_energy) {
+            best_energy = slice_energy[k];
+            best_spins = spins[k];
+          }
+        }
+      }
+    }
+  }
+
+  // Zero-temperature quench of the best slice: accept all non-increasing
+  // flips (plateau walks let residual domain walls diffuse and annihilate),
+  // mirroring the classical readout quench of SQA implementations.
+  {
+    double energy = ising.energy(best_spins);
+    for (std::size_t pass = 0; pass < 20 * n; ++pass) {
+      const auto i = static_cast<VarId>(rng.next_below(n));
+      const double h_local = ising.local_field(best_spins, i);
+      const double delta = -2.0 * best_spins[i] * h_local;
+      if (delta <= 0.0) {
+        best_spins[i] = static_cast<std::int8_t>(-best_spins[i]);
+        energy += delta;
+        if (energy < best_energy) best_energy = energy;
+      }
+    }
+    // The plateau walk may end above the best point it visited; re-descend.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (VarId i = 0; i < n; ++i) {
+        const double delta = -2.0 * best_spins[i] * ising.local_field(best_spins, i);
+        if (delta < -1e-15) {
+          best_spins[i] = static_cast<std::int8_t>(-best_spins[i]);
+          improved = true;
+        }
+      }
+    }
+    best_energy = std::min(best_energy, ising.energy(best_spins));
+  }
+
+  return {model::spins_to_state(best_spins), best_energy, 0.0, true};
+}
+
+Sample PimcAnnealer::sample_qubo(const model::QuboModel& qubo) const {
+  const model::IsingModel ising = model::qubo_to_ising(qubo);
+  Sample s = sample_ising(ising);
+  s.energy = qubo.energy(s.state);
+  return s;
+}
+
+}  // namespace qulrb::anneal

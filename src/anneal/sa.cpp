@@ -1,0 +1,67 @@
+#include "anneal/sa.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qulrb::anneal {
+
+BetaSchedule SimulatedAnnealer::make_schedule(const model::QuboModel& qubo) const {
+  if (params_.beta_hot && params_.beta_cold) {
+    return BetaSchedule(*params_.beta_hot, *params_.beta_cold, params_.sweeps,
+                        params_.schedule);
+  }
+  const double scale = qubo.max_abs_coefficient();
+  return BetaSchedule::for_energy_scale(scale * 1e-3, scale * 2.0, params_.sweeps,
+                                        params_.schedule);
+}
+
+Sample SimulatedAnnealer::anneal_once(const model::QuboModel& qubo, util::Rng& rng,
+                                      const model::State& initial) const {
+  const std::size_t n = qubo.num_variables();
+  util::require(initial.empty() || initial.size() == n,
+                "SimulatedAnnealer: initial state size mismatch");
+
+  model::State state(n);
+  if (initial.empty()) {
+    for (auto& b : state) b = static_cast<std::uint8_t>(rng.next_below(2));
+  } else {
+    state = initial;
+  }
+
+  if (n == 0) return {state, qubo.energy(state), 0.0, true};
+
+  const BetaSchedule schedule = make_schedule(qubo);
+  double energy = qubo.energy(state);
+  model::State best_state = state;
+  double best_energy = energy;
+
+  for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
+    const double beta = schedule.at(sweep);
+    for (std::size_t step = 0; step < n; ++step) {
+      const auto v = static_cast<model::VarId>(rng.next_below(n));
+      const double delta = qubo.flip_delta(state, v);
+      if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+        state[v] ^= 1u;
+        energy += delta;
+        if (energy < best_energy) {
+          best_energy = energy;
+          best_state = state;
+        }
+      }
+    }
+  }
+  return {std::move(best_state), best_energy, 0.0, true};
+}
+
+SampleSet SimulatedAnnealer::sample(const model::QuboModel& qubo) const {
+  SampleSet set;
+  util::Rng master(params_.seed);
+  for (std::size_t read = 0; read < params_.num_reads; ++read) {
+    util::Rng rng = master.split();
+    set.add(anneal_once(qubo, rng));
+  }
+  return set;
+}
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "anneal/sampleset.hpp"
+#include "anneal/schedule.hpp"
+#include "model/qubo.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+
+struct SaParams {
+  std::size_t sweeps = 1000;
+  std::size_t num_reads = 8;  ///< independent restarts, one sample kept per read
+  ScheduleKind schedule = ScheduleKind::kGeometric;
+  /// Optional explicit beta range; unset derives it from the model scale.
+  std::optional<double> beta_hot;
+  std::optional<double> beta_cold;
+  std::uint64_t seed = 1;
+};
+
+/// Plain single-flip Metropolis simulated annealing over a QUBO, with O(deg)
+/// incremental energy updates. This is the workhorse behind both the QUBO
+/// path (ablations, penalty studies) and the test oracles.
+class SimulatedAnnealer {
+ public:
+  explicit SimulatedAnnealer(SaParams params = {}) : params_(params) {}
+
+  /// Run num_reads independent anneals; each read contributes its best-seen
+  /// state (not the final state) to the sample set.
+  SampleSet sample(const model::QuboModel& qubo) const;
+
+  /// Single anneal starting from `initial` (random when empty).
+  Sample anneal_once(const model::QuboModel& qubo, util::Rng& rng,
+                     const model::State& initial = {}) const;
+
+ private:
+  BetaSchedule make_schedule(const model::QuboModel& qubo) const;
+
+  SaParams params_;
+};
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,42 @@
+#include "anneal/sampleset.hpp"
+
+#include <algorithm>
+
+namespace qulrb::anneal {
+
+bool Sample::better_than(const Sample& other) const noexcept {
+  if (feasible != other.feasible) return feasible;
+  if (violation != other.violation) return violation < other.violation;
+  return energy < other.energy;
+}
+
+void SampleSet::add(Sample sample) { samples_.push_back(std::move(sample)); }
+
+void SampleSet::merge(SampleSet other) {
+  samples_.insert(samples_.end(), std::make_move_iterator(other.samples_.begin()),
+                  std::make_move_iterator(other.samples_.end()));
+}
+
+std::optional<Sample> SampleSet::best() const {
+  if (samples_.empty()) return std::nullopt;
+  const auto it = std::max_element(
+      samples_.begin(), samples_.end(),
+      [](const Sample& a, const Sample& b) { return b.better_than(a); });
+  return *it;
+}
+
+std::optional<Sample> SampleSet::best_feasible() const {
+  std::optional<Sample> best;
+  for (const auto& s : samples_) {
+    if (!s.feasible) continue;
+    if (!best || s.better_than(*best)) best = s;
+  }
+  return best;
+}
+
+std::size_t SampleSet::num_feasible() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      samples_.begin(), samples_.end(), [](const Sample& s) { return s.feasible; }));
+}
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "model/expr.hpp"
+
+namespace qulrb::anneal {
+
+/// One solution candidate returned by a sampler.
+struct Sample {
+  model::State state;
+  double energy = 0.0;      ///< objective value (constraints NOT folded in)
+  double violation = 0.0;   ///< total constraint violation (0 for QUBO samplers)
+  bool feasible = true;
+
+  /// Ordering used to pick "the best" sample: feasibility first, then lower
+  /// violation, then lower energy.
+  bool better_than(const Sample& other) const noexcept;
+};
+
+/// Collection of samples from one or more solver runs (mirrors the sample-set
+/// abstraction of quantum annealing SDKs).
+class SampleSet {
+ public:
+  void add(Sample sample);
+  void merge(SampleSet other);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  const Sample& at(std::size_t i) const { return samples_.at(i); }
+
+  /// Best sample by (feasible, violation, energy); nullopt if empty.
+  std::optional<Sample> best() const;
+  /// Best strictly feasible sample; nullopt if none.
+  std::optional<Sample> best_feasible() const;
+
+  std::size_t num_feasible() const noexcept;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,97 @@
+#include "anneal/tabu.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+
+Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
+                                const model::State& initial) const {
+  const std::size_t n = qubo.num_variables();
+  util::require(initial.empty() || initial.size() == n,
+                "TabuSampler: initial state size mismatch");
+
+  model::State state(n);
+  if (initial.empty()) {
+    for (auto& b : state) b = static_cast<std::uint8_t>(rng.next_below(2));
+  } else {
+    state = initial;
+  }
+  if (n == 0) return {state, qubo.energy(state), 0.0, true};
+
+  // Maintain all flip deltas incrementally: delta[v] = E(flip v) - E.
+  std::vector<double> delta(n);
+  for (model::VarId v = 0; v < n; ++v) delta[v] = qubo.flip_delta(state, v);
+
+  const std::size_t tenure =
+      params_.tenure > 0 ? params_.tenure : std::max<std::size_t>(4, n / 10);
+  std::vector<std::size_t> tabu_until(n, 0);
+
+  double energy = qubo.energy(state);
+  model::State best_state = state;
+  double best_energy = energy;
+  std::size_t stall = 0;
+
+  const auto& adjacency = qubo.adjacency();
+
+  for (std::size_t iteration = 1;
+       iteration <= params_.max_iterations && stall < params_.stall_limit;
+       ++iteration) {
+    // Pick the best admissible move; aspiration overrides tabu.
+    std::size_t chosen = n;
+    double chosen_delta = std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < n; ++v) {
+      const bool tabu = tabu_until[v] >= iteration;
+      const bool aspirates = energy + delta[v] < best_energy - 1e-12;
+      if (tabu && !aspirates) continue;
+      if (delta[v] < chosen_delta) {
+        chosen_delta = delta[v];
+        chosen = v;
+      }
+    }
+    if (chosen == n) {  // everything tabu and nothing aspirates: free the oldest
+      chosen = static_cast<std::size_t>(rng.next_below(n));
+      chosen_delta = delta[chosen];
+    }
+
+    // Apply the flip and update the delta table in O(deg).
+    const auto v = static_cast<model::VarId>(chosen);
+    const bool was_set = state[v] != 0;
+    state[v] ^= 1u;
+    energy += chosen_delta;
+    delta[v] = -chosen_delta;
+    for (const auto& nb : adjacency[v]) {
+      // Flipping v toggles whether nb's delta includes the coupler with v.
+      const bool nb_set = state[nb.other] != 0;
+      const double sign_v = was_set ? -1.0 : 1.0;       // v's new contribution
+      const double direction = nb_set ? -1.0 : 1.0;     // nb turning on vs off
+      delta[nb.other] += direction * sign_v * nb.coeff;
+    }
+    tabu_until[chosen] = iteration + tenure;
+
+    if (energy < best_energy - 1e-12) {
+      best_energy = energy;
+      best_state = state;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  return {std::move(best_state), best_energy, 0.0, true};
+}
+
+SampleSet TabuSampler::sample(const model::QuboModel& qubo) const {
+  SampleSet set;
+  util::Rng master(params_.seed);
+  for (std::size_t restart = 0; restart < params_.num_restarts; ++restart) {
+    util::Rng rng = master.split();
+    set.add(search_once(qubo, rng));
+  }
+  return set;
+}
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,111 @@
+#include "anneal/tempering.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "anneal/cqm_anneal.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::anneal {
+
+using model::VarId;
+
+Sample ParallelTempering::run(const model::CqmModel& cqm,
+                              std::vector<double> penalties,
+                              const model::State& initial) const {
+  const std::size_t n = cqm.num_variables();
+  util::require(params_.num_replicas >= 2, "ParallelTempering: need >= 2 replicas");
+  util::require(initial.empty() || initial.size() == n,
+                "ParallelTempering: initial state size mismatch");
+
+  util::Rng master(params_.seed);
+
+  // Build replicas, each with its own RNG stream and start state.
+  std::vector<std::unique_ptr<CqmIncrementalState>> replicas;
+  std::vector<util::Rng> rngs;
+  replicas.reserve(params_.num_replicas);
+  for (std::size_t r = 0; r < params_.num_replicas; ++r) {
+    rngs.push_back(master.split());
+    model::State start(n);
+    if (initial.empty()) {
+      for (auto& b : start) b = static_cast<std::uint8_t>(rngs[r].next_below(2));
+    } else {
+      start = initial;
+    }
+    replicas.push_back(
+        std::make_unique<CqmIncrementalState>(cqm, std::move(start), penalties));
+  }
+
+  // Beta ladder (geometric between hot and cold).
+  double beta_hot = params_.beta_hot;
+  double beta_cold = params_.beta_cold;
+  if (beta_hot <= 0.0 || beta_cold <= 0.0) {
+    double max_abs = 1e-9;
+    if (n > 0) {
+      const std::size_t probes = std::min<std::size_t>(n, 256);
+      for (std::size_t p = 0; p < probes; ++p) {
+        const auto v = static_cast<VarId>(rngs[0].next_below(n));
+        max_abs = std::max(max_abs, std::abs(replicas[0]->flip_delta(v)));
+      }
+    }
+    beta_hot = std::log(2.0) / max_abs;
+    beta_cold = 1e4 / max_abs;
+  }
+  std::vector<double> betas(params_.num_replicas);
+  for (std::size_t r = 0; r < params_.num_replicas; ++r) {
+    const double t = params_.num_replicas == 1
+                         ? 1.0
+                         : static_cast<double>(r) /
+                               static_cast<double>(params_.num_replicas - 1);
+    betas[r] = beta_hot * std::pow(beta_cold / beta_hot, t);
+  }
+
+  const PairMoveIndex pairs = PairMoveIndex::build(cqm);
+
+  auto snapshot = [](const CqmIncrementalState& w) {
+    return Sample{w.state(), w.objective(), w.total_violation(), w.feasible()};
+  };
+  Sample best = snapshot(*replicas.back());
+
+  if (n == 0) return best;
+
+  for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      auto& walk = *replicas[r];
+      auto& rng = rngs[r];
+      const double beta = betas[r];
+      for (std::size_t step = 0; step < n; ++step) {
+        if (!pairs.empty() && rng.next_bool(0.5)) {
+          pairs.attempt(walk, rng, beta);
+          continue;
+        }
+        const auto v = static_cast<VarId>(rng.next_below(n));
+        const double delta = walk.flip_delta(v);
+        if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
+          walk.apply_flip(v);
+        }
+      }
+      Sample current{{}, walk.objective(), walk.total_violation(), walk.feasible()};
+      if (current.better_than(best)) {
+        current.state = walk.state();
+        best = std::move(current);
+      }
+    }
+
+    if ((sweep + 1) % params_.swap_interval == 0) {
+      for (std::size_t r = 0; r + 1 < replicas.size(); ++r) {
+        const double ea = replicas[r]->total_energy();
+        const double eb = replicas[r + 1]->total_energy();
+        const double log_accept = (betas[r] - betas[r + 1]) * (ea - eb);
+        if (log_accept >= 0.0 ||
+            rngs[0].next_double() < std::exp(log_accept)) {
+          std::swap(replicas[r], replicas[r + 1]);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace qulrb::anneal

@@ -1,0 +1,130 @@
+#include "classical/ckk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+namespace {
+
+/// A signed combination of original items: value == |sum of +items - sum of
+/// -items| with the convention that the combination's value is non-negative.
+struct Node {
+  double value;
+  std::vector<std::pair<std::size_t, std::int8_t>> signs;  // (item, +1/-1)
+};
+
+struct Search {
+  double best_diff;
+  std::vector<std::pair<std::size_t, std::int8_t>> best_signs;
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit;
+  bool truncated = false;
+
+  void dfs(std::vector<Node>& nodes_list) {
+    if (best_diff == 0.0) return;  // perfect partition found
+    if (++nodes > node_limit) {
+      truncated = true;
+      return;
+    }
+
+    // Keep descending by value.
+    std::sort(nodes_list.begin(), nodes_list.end(),
+              [](const Node& a, const Node& b) { return a.value > b.value; });
+
+    if (nodes_list.size() == 1) {
+      if (nodes_list[0].value < best_diff) {
+        best_diff = nodes_list[0].value;
+        best_signs = nodes_list[0].signs;
+      }
+      return;
+    }
+
+    // Prune: if the largest dominates the rest, the best completion is
+    // largest - rest; explore that single completion directly.
+    double rest = 0.0;
+    for (std::size_t i = 1; i < nodes_list.size(); ++i) rest += nodes_list[i].value;
+    if (nodes_list[0].value >= rest) {
+      const double diff = nodes_list[0].value - rest;
+      if (diff < best_diff) {
+        // All remaining nodes go opposite to the largest.
+        std::vector<std::pair<std::size_t, std::int8_t>> signs = nodes_list[0].signs;
+        for (std::size_t i = 1; i < nodes_list.size(); ++i) {
+          for (auto [item, s] : nodes_list[i].signs) {
+            signs.emplace_back(item, static_cast<std::int8_t>(-s));
+          }
+        }
+        best_diff = diff;
+        best_signs = std::move(signs);
+      }
+      return;
+    }
+
+    Node a = nodes_list[0];
+    Node b = nodes_list[1];
+    std::vector<Node> remainder(nodes_list.begin() + 2, nodes_list.end());
+
+    // Branch 1 (KK move): a and b in opposite sets -> value a - b.
+    {
+      Node diff;
+      diff.value = a.value - b.value;
+      diff.signs = a.signs;
+      for (auto [item, s] : b.signs) {
+        diff.signs.emplace_back(item, static_cast<std::int8_t>(-s));
+      }
+      std::vector<Node> next = remainder;
+      next.push_back(std::move(diff));
+      dfs(next);
+      if (best_diff == 0.0 || truncated) return;
+    }
+
+    // Branch 2: a and b in the same set -> value a + b.
+    {
+      Node sum;
+      sum.value = a.value + b.value;
+      sum.signs = a.signs;
+      sum.signs.insert(sum.signs.end(), b.signs.begin(), b.signs.end());
+      std::vector<Node> next = std::move(remainder);
+      next.push_back(std::move(sum));
+      dfs(next);
+    }
+  }
+};
+
+}  // namespace
+
+CkkResult ckk_two_way(std::span<const double> items, std::uint64_t node_limit) {
+  CkkResult result;
+  result.partition.bins.assign(2, {});
+  result.partition.bin_sums.assign(2, 0.0);
+  if (items.empty()) {
+    result.proven_optimal = true;
+    return result;
+  }
+
+  std::vector<Node> nodes_list;
+  nodes_list.reserve(items.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    util::require(items[i] >= 0.0, "ckk_two_way: items must be non-negative");
+    nodes_list.push_back({items[i], {{i, std::int8_t{1}}}});
+    total += items[i];
+  }
+
+  Search search{.best_diff = total + 1.0, .best_signs = {}, .node_limit = node_limit};
+  search.dfs(nodes_list);
+
+  for (auto [item, sign] : search.best_signs) {
+    result.partition.bins[sign > 0 ? 0 : 1].push_back(item);
+  }
+  result.partition.bin_sums = compute_bin_sums(result.partition.bins, items);
+  result.difference = std::abs(result.partition.bin_sums[0] - result.partition.bin_sums[1]);
+  result.proven_optimal = !search.truncated;
+  result.nodes_explored = search.nodes;
+  return result;
+}
+
+}  // namespace qulrb::classical

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "classical/partition.hpp"
+
+namespace qulrb::classical {
+
+struct CkkResult {
+  PartitionResult partition;
+  double difference = 0.0;   ///< |sum(bin 0) - sum(bin 1)|
+  bool proven_optimal = false;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Complete Karmarkar-Karp for 2-way partitioning (Korf 1998): depth-first
+/// branch-and-bound where the left branch *differences* the two largest
+/// numbers (the KK move) and the right branch *sums* them. Anytime: stops at
+/// `node_limit` and reports whether optimality was proven. Used as the
+/// optimal-baseline oracle in tests and the encoding ablation.
+CkkResult ckk_two_way(std::span<const double> items,
+                      std::uint64_t node_limit = 1'000'000);
+
+}  // namespace qulrb::classical

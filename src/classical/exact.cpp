@@ -1,0 +1,117 @@
+#include "classical/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "classical/greedy.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+namespace {
+
+struct Search {
+  std::span<const double> items;        // sorted descending via order
+  std::vector<std::size_t> order;
+  std::size_t num_bins;
+  std::vector<double> suffix_sum;       // suffix_sum[d] = sum of items[d..]
+  double lower_bound;
+
+  std::vector<double> bin_sums;
+  std::vector<std::size_t> assignment;  // assignment[d] = bin of order[d]
+
+  double best_makespan;
+  std::vector<std::size_t> best_assignment;
+  std::uint64_t nodes = 0;
+  std::uint64_t node_limit;
+  bool truncated = false;
+
+  void dfs(std::size_t depth) {
+    if (best_makespan <= lower_bound) return;  // already optimal
+    if (++nodes > node_limit) {
+      truncated = true;
+      return;
+    }
+    if (depth == order.size()) {
+      const double makespan = *std::max_element(bin_sums.begin(), bin_sums.end());
+      if (makespan < best_makespan) {
+        best_makespan = makespan;
+        best_assignment = assignment;
+      }
+      return;
+    }
+
+    const double item = items[order[depth]];
+    double prev_sum = -1.0;
+    for (std::size_t b = 0; b < num_bins; ++b) {
+      // Symmetry pruning: bins with the same current sum are interchangeable.
+      if (bin_sums[b] == prev_sum) continue;
+      prev_sum = bin_sums[b];
+      // Bound pruning against incumbent.
+      if (bin_sums[b] + item >= best_makespan) continue;
+
+      bin_sums[b] += item;
+      assignment[depth] = b;
+      dfs(depth + 1);
+      bin_sums[b] -= item;
+      if (truncated) return;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult exact_partition(std::span<const double> items, std::size_t num_bins,
+                            std::uint64_t node_limit) {
+  util::require(num_bins > 0, "exact_partition: need at least one bin");
+
+  ExactResult result;
+
+  Search search;
+  search.items = items;
+  search.num_bins = num_bins;
+  search.node_limit = node_limit;
+  search.order.resize(items.size());
+  std::iota(search.order.begin(), search.order.end(), std::size_t{0});
+  std::stable_sort(search.order.begin(), search.order.end(),
+                   [&](std::size_t a, std::size_t b) { return items[a] > items[b]; });
+
+  double total = 0.0;
+  double max_item = 0.0;
+  for (double w : items) {
+    util::require(w >= 0.0, "exact_partition: items must be non-negative");
+    total += w;
+    max_item = std::max(max_item, w);
+  }
+  search.lower_bound = std::max(total / static_cast<double>(num_bins), max_item);
+
+  // Seed the incumbent with Greedy so pruning bites immediately.
+  const PartitionResult seed = greedy_partition(items, num_bins);
+  search.best_makespan = seed.makespan();
+  search.best_assignment.assign(items.size(), 0);
+  {
+    std::vector<std::size_t> item_to_bin(items.size(), 0);
+    for (std::size_t b = 0; b < seed.bins.size(); ++b) {
+      for (std::size_t idx : seed.bins[b]) item_to_bin[idx] = b;
+    }
+    for (std::size_t d = 0; d < search.order.size(); ++d) {
+      search.best_assignment[d] = item_to_bin[search.order[d]];
+    }
+  }
+
+  search.bin_sums.assign(num_bins, 0.0);
+  search.assignment.assign(items.size(), 0);
+  search.dfs(0);
+
+  result.partition.bins.assign(num_bins, {});
+  for (std::size_t d = 0; d < search.order.size(); ++d) {
+    result.partition.bins[search.best_assignment[d]].push_back(search.order[d]);
+  }
+  result.partition.bin_sums = compute_bin_sums(result.partition.bins, items);
+  result.proven_optimal = !search.truncated;
+  result.nodes_explored = search.nodes;
+  return result;
+}
+
+}  // namespace qulrb::classical

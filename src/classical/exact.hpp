@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "classical/partition.hpp"
+
+namespace qulrb::classical {
+
+struct ExactResult {
+  PartitionResult partition;
+  bool proven_optimal = false;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Exact minimum-makespan multiway partitioning by depth-first branch-and-
+/// bound: items sorted descending, each assigned to every non-symmetric bin,
+/// pruned against the incumbent makespan and the L_avg lower bound.
+/// Exponential — intended as a small-instance oracle for tests and for
+/// validating that quantum/classical heuristics reach the true optimum.
+ExactResult exact_partition(std::span<const double> items, std::size_t num_bins,
+                            std::uint64_t node_limit = 5'000'000);
+
+}  // namespace qulrb::classical

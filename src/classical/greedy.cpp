@@ -1,0 +1,39 @@
+#include "classical/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+PartitionResult greedy_partition(std::span<const double> items, std::size_t num_bins) {
+  util::require(num_bins > 0, "greedy_partition: need at least one bin");
+
+  PartitionResult result;
+  result.bins.assign(num_bins, {});
+  result.bin_sums.assign(num_bins, 0.0);
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return items[a] > items[b]; });
+
+  // Min-heap over (bin sum, bin index); ties resolved by lower index so the
+  // result is deterministic regardless of heap internals.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::size_t b = 0; b < num_bins; ++b) heap.emplace(0.0, b);
+
+  for (std::size_t idx : order) {
+    auto [sum, b] = heap.top();
+    heap.pop();
+    result.bins[b].push_back(idx);
+    result.bin_sums[b] = sum + items[idx];
+    heap.emplace(result.bin_sums[b], b);
+  }
+  return result;
+}
+
+}  // namespace qulrb::classical

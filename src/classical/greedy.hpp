@@ -1,0 +1,14 @@
+#pragma once
+
+#include <span>
+
+#include "classical/partition.hpp"
+
+namespace qulrb::classical {
+
+/// Greedy / Longest-Processing-Time multiway partitioning (Graham 1966): sort
+/// items descending and place each into the currently lightest bin.
+/// Guarantees makespan <= (4/3 - 1/(3M)) * OPT. O(N log N + N log M).
+PartitionResult greedy_partition(std::span<const double> items, std::size_t num_bins);
+
+}  // namespace qulrb::classical

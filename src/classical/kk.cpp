@@ -1,0 +1,94 @@
+#include "classical/kk.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+namespace {
+
+/// Partial partition: `sums` sorted descending, bin p holds `members[p]`.
+struct Tuple {
+  std::vector<double> sums;
+  std::vector<std::vector<std::size_t>> members;
+  std::uint64_t id = 0;  ///< creation order, for deterministic tie-breaking
+
+  double spread() const noexcept { return sums.front() - sums.back(); }
+};
+
+struct SpreadLess {
+  bool operator()(const Tuple& a, const Tuple& b) const noexcept {
+    if (a.spread() != b.spread()) return a.spread() < b.spread();
+    return a.id > b.id;  // older tuple wins ties
+  }
+};
+
+}  // namespace
+
+PartitionResult kk_partition(std::span<const double> items, std::size_t num_bins) {
+  util::require(num_bins > 0, "kk_partition: need at least one bin");
+
+  PartitionResult result;
+  result.bins.assign(num_bins, {});
+  result.bin_sums.assign(num_bins, 0.0);
+  if (items.empty()) return result;
+
+  std::priority_queue<Tuple, std::vector<Tuple>, SpreadLess> heap;
+  std::uint64_t next_id = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    Tuple t;
+    t.sums.assign(num_bins, 0.0);
+    t.members.assign(num_bins, {});
+    t.sums[0] = items[i];
+    t.members[0] = {i};
+    t.id = next_id++;
+    heap.push(std::move(t));
+  }
+
+  while (heap.size() > 1) {
+    Tuple a = heap.top();
+    heap.pop();
+    Tuple b = heap.top();
+    heap.pop();
+
+    // Combine: a's p-th largest bin with b's p-th smallest bin.
+    Tuple merged;
+    merged.sums.resize(num_bins);
+    merged.members.resize(num_bins);
+    for (std::size_t p = 0; p < num_bins; ++p) {
+      const std::size_t q = num_bins - 1 - p;
+      merged.sums[p] = a.sums[p] + b.sums[q];
+      merged.members[p] = std::move(a.members[p]);
+      merged.members[p].insert(merged.members[p].end(), b.members[q].begin(),
+                               b.members[q].end());
+    }
+    // Restore descending order of (sum, members) pairs.
+    std::vector<std::size_t> order(num_bins);
+    for (std::size_t p = 0; p < num_bins; ++p) order[p] = p;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return merged.sums[x] > merged.sums[y];
+    });
+    Tuple sorted;
+    sorted.sums.resize(num_bins);
+    sorted.members.resize(num_bins);
+    for (std::size_t p = 0; p < num_bins; ++p) {
+      sorted.sums[p] = merged.sums[order[p]];
+      sorted.members[p] = std::move(merged.members[order[p]]);
+    }
+    sorted.id = next_id++;
+    heap.push(std::move(sorted));
+  }
+
+  Tuple final_tuple = heap.top();
+  for (std::size_t p = 0; p < num_bins; ++p) {
+    result.bins[p] = std::move(final_tuple.members[p]);
+    result.bin_sums[p] = final_tuple.sums[p];
+  }
+  return result;
+}
+
+}  // namespace qulrb::classical

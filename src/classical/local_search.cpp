@@ -1,0 +1,81 @@
+#include "classical/local_search.hpp"
+
+#include <algorithm>
+
+#include "classical/greedy.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+namespace {
+
+std::size_t argmax_bin(const std::vector<double>& sums) {
+  return static_cast<std::size_t>(
+      std::max_element(sums.begin(), sums.end()) - sums.begin());
+}
+
+}  // namespace
+
+PartitionResult local_search_partition(std::span<const double> items,
+                                       std::size_t num_bins,
+                                       const LocalSearchParams& params) {
+  util::require(num_bins > 0, "local_search_partition: need at least one bin");
+
+  PartitionResult result = greedy_partition(items, num_bins);
+  if (items.empty() || num_bins == 1) return result;
+
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    bool improved = false;
+    const std::size_t heavy = argmax_bin(result.bin_sums);
+    const double makespan = result.bin_sums[heavy];
+
+    // Move: take an item out of the heaviest bin if some bin can host it
+    // with a strictly lower resulting maximum of the two bins involved.
+    for (std::size_t pos = 0; pos < result.bins[heavy].size() && !improved; ++pos) {
+      const std::size_t item = result.bins[heavy][pos];
+      const double w = items[item];
+      for (std::size_t b = 0; b < num_bins; ++b) {
+        if (b == heavy) continue;
+        if (result.bin_sums[b] + w < makespan - 1e-12) {
+          result.bins[heavy].erase(result.bins[heavy].begin() +
+                                   static_cast<std::ptrdiff_t>(pos));
+          result.bins[b].push_back(item);
+          result.bin_sums[heavy] -= w;
+          result.bin_sums[b] += w;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (improved) continue;
+
+    // Swap: exchange one item of the heaviest bin with a smaller item of
+    // another bin when that lowers the max of the pair.
+    for (std::size_t pa = 0; pa < result.bins[heavy].size() && !improved; ++pa) {
+      const std::size_t item_a = result.bins[heavy][pa];
+      const double wa = items[item_a];
+      for (std::size_t b = 0; b < num_bins && !improved; ++b) {
+        if (b == heavy) continue;
+        for (std::size_t pb = 0; pb < result.bins[b].size(); ++pb) {
+          const std::size_t item_b = result.bins[b][pb];
+          const double wb = items[item_b];
+          const double delta = wa - wb;
+          if (delta <= 1e-12) continue;  // must shrink the heavy bin
+          const double new_heavy = result.bin_sums[heavy] - delta;
+          const double new_other = result.bin_sums[b] + delta;
+          if (std::max(new_heavy, new_other) < makespan - 1e-12) {
+            std::swap(result.bins[heavy][pa], result.bins[b][pb]);
+            result.bin_sums[heavy] = new_heavy;
+            result.bin_sums[b] = new_other;
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!improved) break;  // local optimum for both neighborhoods
+  }
+  return result;
+}
+
+}  // namespace qulrb::classical

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "classical/partition.hpp"
+
+namespace qulrb::classical {
+
+struct LocalSearchParams {
+  std::uint64_t seed = 1;
+  std::size_t max_rounds = 64;  ///< passes over moves/swaps before giving up
+};
+
+/// Classical improvement baseline: start from an LPT (Greedy) partition and
+/// descend with single-item *moves* (item to a lighter bin) and pairwise
+/// *swaps* between the makespan bin and every other bin, until neither
+/// improves the makespan. This is the standard polish step optimal
+/// partitioning solvers use to tighten their upper bound (Schreiber, Korf &
+/// Moffitt 2018) — a stronger classical reference point than plain Greedy/KK.
+PartitionResult local_search_partition(std::span<const double> items,
+                                       std::size_t num_bins,
+                                       const LocalSearchParams& params = {});
+
+}  // namespace qulrb::classical

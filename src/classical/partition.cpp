@@ -1,0 +1,39 @@
+#include "classical/partition.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace qulrb::classical {
+
+double PartitionResult::makespan() const noexcept {
+  double m = 0.0;
+  for (double s : bin_sums) m = std::max(m, s);
+  return m;
+}
+
+double PartitionResult::min_sum() const noexcept {
+  if (bin_sums.empty()) return 0.0;
+  return *std::min_element(bin_sums.begin(), bin_sums.end());
+}
+
+bool PartitionResult::is_valid(std::size_t num_items) const {
+  std::vector<std::uint8_t> seen(num_items, 0);
+  for (const auto& bin : bins) {
+    for (std::size_t idx : bin) {
+      if (idx >= num_items || seen[idx]) return false;
+      seen[idx] = 1;
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](std::uint8_t s) { return s == 1; });
+}
+
+std::vector<double> compute_bin_sums(
+    const std::vector<std::vector<std::size_t>>& bins, std::span<const double> items) {
+  std::vector<double> sums(bins.size(), 0.0);
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    for (std::size_t idx : bins[b]) sums[b] += items[idx];
+  }
+  return sums;
+}
+
+}  // namespace qulrb::classical

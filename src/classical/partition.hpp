@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qulrb::classical {
+
+/// Result of a multiway number-partitioning algorithm: `bins[b]` holds the
+/// indices (into the input item array) assigned to bin b.
+struct PartitionResult {
+  std::vector<std::vector<std::size_t>> bins;
+  std::vector<double> bin_sums;
+
+  double makespan() const noexcept;   ///< max bin sum
+  double min_sum() const noexcept;
+  double spread() const noexcept { return makespan() - min_sum(); }
+
+  /// Every input index appears in exactly one bin.
+  bool is_valid(std::size_t num_items) const;
+};
+
+/// Recompute bin_sums from bins and items (defensive helper).
+std::vector<double> compute_bin_sums(
+    const std::vector<std::vector<std::size_t>>& bins, std::span<const double> items);
+
+}  // namespace qulrb::classical

@@ -1,0 +1,101 @@
+#include "classical/proactlb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+double UniformLoads::total_load() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < task_load.size(); ++i) total += load_of(i);
+  return total;
+}
+
+double UniformLoads::average_load() const {
+  return task_load.empty() ? 0.0
+                           : total_load() / static_cast<double>(task_load.size());
+}
+
+ProactLbResult proactlb(const UniformLoads& input, const ProactLbParams& params) {
+  const std::size_t m = input.num_processes();
+  util::require(input.num_tasks.size() == m,
+                "proactlb: task_load / num_tasks size mismatch");
+  for (std::size_t i = 0; i < m; ++i) {
+    util::require(input.task_load[i] >= 0.0, "proactlb: negative task load");
+    util::require(input.num_tasks[i] >= 0, "proactlb: negative task count");
+  }
+
+  ProactLbResult result;
+  result.new_loads.resize(m);
+  for (std::size_t i = 0; i < m; ++i) result.new_loads[i] = input.load_of(i);
+  if (m == 0) return result;
+
+  const double avg = input.average_load();
+
+  struct Giver {
+    std::size_t proc;
+    std::int64_t tasks_to_shed;  ///< round(surplus / w), capped by K and n
+  };
+  std::vector<Giver> givers;
+  std::vector<std::size_t> takers;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double surplus = result.new_loads[i] - avg;
+    if (surplus > 0.0 && input.task_load[i] > 0.0) {
+      auto shed = static_cast<std::int64_t>(std::llround(surplus / input.task_load[i]));
+      shed = std::min(shed, input.num_tasks[i]);
+      if (params.max_tasks_per_process > 0) {
+        shed = std::min(shed, params.max_tasks_per_process);
+      }
+      if (shed > 0) givers.push_back({i, shed});
+    } else if (surplus < 0.0) {
+      takers.push_back(i);
+    }
+  }
+
+  // Most overloaded first; receivers re-sorted by current deficit each round.
+  std::stable_sort(givers.begin(), givers.end(), [&](const Giver& a, const Giver& b) {
+    return result.new_loads[a.proc] > result.new_loads[b.proc];
+  });
+
+  for (auto& giver : givers) {
+    const double w = input.task_load[giver.proc];
+    while (giver.tasks_to_shed > 0) {
+      // Pick the receiver with the largest remaining deficit.
+      std::size_t best_taker = m;
+      double best_deficit = 0.0;
+      for (std::size_t t : takers) {
+        const double deficit = avg - result.new_loads[t];
+        if (deficit > best_deficit) {
+          best_deficit = deficit;
+          best_taker = t;
+        }
+      }
+      if (best_taker == m) break;
+
+      // Don't push the receiver above average: cap by floor(deficit / w),
+      // but always allow a single task if the deficit covers most of it
+      // (otherwise big-task processes could never shed anything).
+      auto fit = static_cast<std::int64_t>(std::floor(best_deficit / w));
+      std::int64_t count = std::min(giver.tasks_to_shed, fit);
+      if (count == 0) {
+        if (best_deficit >= 0.5 * w) {
+          count = 1;
+        } else {
+          break;  // nothing productive left for this giver
+        }
+      }
+
+      result.transfers.push_back({giver.proc, best_taker, count});
+      const double moved = static_cast<double>(count) * w;
+      result.new_loads[giver.proc] -= moved;
+      result.new_loads[best_taker] += moved;
+      result.total_migrated += count;
+      giver.tasks_to_shed -= count;
+    }
+  }
+  return result;
+}
+
+}  // namespace qulrb::classical

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qulrb::classical {
+
+/// LRP input as seen by ProactLB: per-process uniform task load and task
+/// count (the paper's experimental setting: every task on process i costs
+/// w_i, process i initially holds n_i tasks).
+struct UniformLoads {
+  std::vector<double> task_load;       ///< w_i
+  std::vector<std::int64_t> num_tasks; ///< n_i
+
+  std::size_t num_processes() const noexcept { return task_load.size(); }
+  double load_of(std::size_t i) const {
+    return task_load[i] * static_cast<double>(num_tasks[i]);
+  }
+  double total_load() const;
+  double average_load() const;
+};
+
+struct Transfer {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::int64_t count = 0;  ///< number of tasks moved (tasks keep `from`'s load)
+};
+
+struct ProactLbParams {
+  /// Search-space bound K from the ProactLB paper (complexity O(M^2 K)):
+  /// at most this many tasks are considered for migration per process.
+  /// 0 = unbounded (K = n_i).
+  std::int64_t max_tasks_per_process = 0;
+};
+
+struct ProactLbResult {
+  std::vector<Transfer> transfers;
+  std::vector<double> new_loads;
+  std::int64_t total_migrated = 0;
+};
+
+/// Proactive load balancing (Chung, Weidendorfer, Fürlinger, Kranzlmüller
+/// 2023): processes are split into overloaded/underloaded against L_avg;
+/// the most overloaded sheds round(surplus / w) tasks toward the most
+/// underloaded processes, bounded by each receiver's deficit. Unlike
+/// Greedy/KK it is placement-aware, so it migrates roughly the *minimum*
+/// number of tasks needed to balance — the property the paper uses to set
+/// the CQM bound k1.
+ProactLbResult proactlb(const UniformLoads& input, const ProactLbParams& params = {});
+
+}  // namespace qulrb::classical

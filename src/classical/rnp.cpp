@@ -1,0 +1,59 @@
+#include "classical/rnp.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "classical/ckk.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::classical {
+
+namespace {
+
+/// Recursively split `indices` (into `items`) across bins [first, last).
+void split(std::span<const double> items, const std::vector<std::size_t>& indices,
+           std::size_t first_bin, std::size_t num_bins, const RnpParams& params,
+           PartitionResult& out) {
+  if (num_bins == 1) {
+    for (const std::size_t idx : indices) {
+      out.bins[first_bin].push_back(idx);
+      out.bin_sums[first_bin] += items[idx];
+    }
+    return;
+  }
+
+  // Two-way split of the current item subset by (complete) KK.
+  std::vector<double> values;
+  values.reserve(indices.size());
+  for (const std::size_t idx : indices) values.push_back(items[idx]);
+  const CkkResult ckk = ckk_two_way(values, params.ckk_node_limit);
+
+  std::vector<std::size_t> left, right;
+  left.reserve(indices.size());
+  right.reserve(indices.size());
+  for (const std::size_t local : ckk.partition.bins[0]) left.push_back(indices[local]);
+  for (const std::size_t local : ckk.partition.bins[1]) right.push_back(indices[local]);
+
+  const std::size_t half = num_bins / 2;
+  split(items, left, first_bin, half, params, out);
+  split(items, right, first_bin + half, half, params, out);
+}
+
+}  // namespace
+
+PartitionResult rnp_partition(std::span<const double> items, std::size_t num_bins,
+                              const RnpParams& params) {
+  util::require(num_bins >= 1 && std::has_single_bit(num_bins),
+                "rnp_partition: number of bins must be a power of two");
+
+  PartitionResult result;
+  result.bins.assign(num_bins, {});
+  result.bin_sums.assign(num_bins, 0.0);
+
+  std::vector<std::size_t> all(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) all[i] = i;
+  split(items, all, 0, num_bins, params, result);
+  return result;
+}
+
+}  // namespace qulrb::classical

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "classical/partition.hpp"
+
+namespace qulrb::classical {
+
+struct RnpParams {
+  /// Node budget of each 2-way CKK call (anytime: larger = better splits).
+  std::uint64_t ckk_node_limit = 200'000;
+};
+
+/// Recursive Number Partitioning for a power-of-two number of bins: split the
+/// item set into two halves with (complete) Karmarkar-Karp, then recurse on
+/// each half. This is the scheme Rathore et al. (the related-work quantum
+/// load-balancing study) use to map workloads onto 2^k processors; included
+/// as the classical reference for that lineage. Requires num_bins = 2^k.
+PartitionResult rnp_partition(std::span<const double> items, std::size_t num_bins,
+                              const RnpParams& params = {});
+
+}  // namespace qulrb::classical

@@ -1,0 +1,117 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qulrb::io {
+
+std::size_t CsvDocument::column_index(const std::string& name) const {
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == name) return c;
+  }
+  throw util::InvalidArgument("CsvDocument: no column named '" + name + "'");
+}
+
+namespace {
+
+std::vector<std::string> parse_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      quoted = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+void write_field(std::ostream& out, const std::string& field) {
+  if (!needs_quoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char ch : field) {
+    if (ch == '"') out << '"';
+    out << ch;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+CsvDocument read_csv(std::istream& in) {
+  CsvDocument doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = parse_line(line);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      util::require(fields.size() == doc.header.size(),
+                    "read_csv: row width does not match header");
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  util::require(!first, "read_csv: empty document (no header)");
+  return doc;
+}
+
+CsvDocument read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  util::require(in.good(), "read_csv_file: cannot open '" + path + "'");
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const CsvDocument& doc) {
+  for (std::size_t c = 0; c < doc.header.size(); ++c) {
+    if (c) out << ',';
+    write_field(out, doc.header[c]);
+  }
+  out << '\n';
+  for (const auto& row : doc.rows) {
+    util::require(row.size() == doc.header.size(),
+                  "write_csv: row width does not match header");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      write_field(out, row[c]);
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvDocument& doc) {
+  std::ofstream out(path);
+  util::require(out.good(), "write_csv_file: cannot open '" + path + "'");
+  write_csv(out, doc);
+}
+
+}  // namespace qulrb::io

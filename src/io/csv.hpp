@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qulrb::io {
+
+/// Minimal CSV document: first row is the header. Fields containing commas,
+/// quotes, or newlines are quoted per RFC 4180 on write; quoted fields are
+/// handled on read.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t column_index(const std::string& name) const;  ///< throws if absent
+};
+
+CsvDocument read_csv(std::istream& in);
+CsvDocument read_csv_file(const std::string& path);
+
+void write_csv(std::ostream& out, const CsvDocument& doc);
+void write_csv_file(const std::string& path, const CsvDocument& doc);
+
+}  // namespace qulrb::io

@@ -1,0 +1,135 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace qulrb::io {
+
+JsonWriter::JsonWriter() = default;
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) return;
+  if (stack_.back() == 'o') {
+    util::require(pending_key_, "JsonWriter: object value requires key() first");
+    pending_key_ = false;
+    return;
+  }
+  if (has_elements_.back()) out_ << ',';
+  has_elements_.back() = true;
+}
+
+void JsonWriter::append_escaped(const std::string& s) {
+  out_ << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out_ << buf;
+        } else {
+          out_ << ch;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back('o');
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  util::require(!stack_.empty() && stack_.back() == 'o',
+                "JsonWriter: end_object without matching begin_object");
+  util::require(!pending_key_, "JsonWriter: dangling key at end_object");
+  stack_.pop_back();
+  has_elements_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back('a');
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  util::require(!stack_.empty() && stack_.back() == 'a',
+                "JsonWriter: end_array without matching begin_array");
+  stack_.pop_back();
+  has_elements_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  util::require(!stack_.empty() && stack_.back() == 'o',
+                "JsonWriter: key() outside an object");
+  util::require(!pending_key_, "JsonWriter: key() twice in a row");
+  if (has_elements_.back()) out_ << ',';
+  has_elements_.back() = true;
+  append_escaped(name);
+  out_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  append_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ << buf;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  util::require(stack_.empty(), "JsonWriter: unclosed containers remain");
+  return out_.str();
+}
+
+}  // namespace qulrb::io

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qulrb::io {
+
+/// Minimal streaming JSON writer (objects, arrays, scalars) — enough to emit
+/// machine-readable experiment reports without external dependencies.
+/// Usage is push-based; nesting is tracked so commas and closings are
+/// automatic. Keys/values are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Set the key for the next value inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key + scalar.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// Finished document; throws if containers are still open.
+  std::string str() const;
+
+ private:
+  void before_value();
+  void append_escaped(const std::string& s);
+
+  std::ostringstream out_;
+  /// Stack of container states: 'o' = object, 'a' = array; parallel flags
+  /// whether the container already holds an element.
+  std::vector<char> stack_;
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace qulrb::io

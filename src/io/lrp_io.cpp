@@ -1,0 +1,139 @@
+#include "io/lrp_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace qulrb::io {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v,
+                                    std::chars_format::fixed, 6);
+  return std::string(buf, result.ptr);
+}
+
+double parse_double(const std::string& s) {
+  double v = 0.0;
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), v);
+  util::require(result.ec == std::errc{} && result.ptr == s.data() + s.size(),
+                "lrp_io: malformed numeric field '" + s + "'");
+  return v;
+}
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t v = 0;
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), v);
+  util::require(result.ec == std::errc{} && result.ptr == s.data() + s.size(),
+                "lrp_io: malformed integer field '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+CsvDocument to_input_table(const lrp::LrpProblem& problem) {
+  const std::size_t m = problem.num_processes();
+  CsvDocument doc;
+  doc.header.push_back("Process");
+  for (std::size_t j = 0; j < m; ++j) doc.header.push_back("P" + std::to_string(j + 1));
+  doc.header.push_back("w");
+  doc.header.push_back("L");
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::string> row;
+    row.push_back("P" + std::to_string(i + 1));
+    for (std::size_t j = 0; j < m; ++j) {
+      row.push_back(i == j ? std::to_string(problem.tasks_on(i)) : "0");
+    }
+    row.push_back(fmt(problem.task_load(i)));
+    row.push_back(fmt(problem.load(i)));
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+void write_input_file(const std::string& path, const lrp::LrpProblem& problem) {
+  write_csv_file(path, to_input_table(problem));
+}
+
+lrp::LrpProblem from_input_table(const CsvDocument& doc) {
+  const std::size_t m = doc.rows.size();
+  util::require(m >= 1, "lrp_io: input table has no process rows");
+  util::require(doc.header.size() == m + 3,
+                "lrp_io: input table must have Process, P1..PM, w, L columns");
+  const std::size_t w_col = doc.column_index("w");
+
+  std::vector<double> task_load(m);
+  std::vector<std::int64_t> num_tasks(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& row = doc.rows[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::int64_t count = parse_int(row[1 + j]);
+      if (i == j) {
+        num_tasks[i] = count;
+      } else {
+        util::require(count == 0,
+                      "lrp_io: input table has off-diagonal assignments "
+                      "(already rebalanced?)");
+      }
+    }
+    task_load[i] = parse_double(row[w_col]);
+  }
+  return lrp::LrpProblem(std::move(task_load), std::move(num_tasks));
+}
+
+lrp::LrpProblem read_input_file(const std::string& path) {
+  return from_input_table(read_csv_file(path));
+}
+
+CsvDocument to_output_table(const lrp::LrpProblem& problem,
+                            const lrp::MigrationPlan& plan) {
+  plan.validate(problem);
+  const std::size_t m = problem.num_processes();
+  CsvDocument doc;
+  doc.header.push_back("Process");
+  for (std::size_t j = 0; j < m; ++j) doc.header.push_back("P" + std::to_string(j + 1));
+  doc.header.push_back("num_total");
+  doc.header.push_back("num_local");
+  doc.header.push_back("num_remote");
+  doc.header.push_back("L");
+
+  const std::vector<double> new_loads = plan.new_loads(problem);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<std::string> row;
+    row.push_back("P" + std::to_string(i + 1));
+    for (std::size_t j = 0; j < m; ++j) {
+      row.push_back(std::to_string(plan.count(i, j)));
+    }
+    row.push_back(std::to_string(plan.tasks_hosted(i)));
+    row.push_back(std::to_string(plan.count(i, i)));
+    row.push_back(std::to_string(plan.migrated_to(i)));
+    row.push_back(fmt(new_loads[i]));
+    doc.rows.push_back(std::move(row));
+  }
+  return doc;
+}
+
+void write_output_file(const std::string& path, const lrp::LrpProblem& problem,
+                       const lrp::MigrationPlan& plan) {
+  write_csv_file(path, to_output_table(problem, plan));
+}
+
+lrp::MigrationPlan plan_from_output_table(const CsvDocument& doc) {
+  const std::size_t m = doc.rows.size();
+  util::require(m >= 1, "lrp_io: output table has no process rows");
+  util::require(doc.header.size() >= m + 1,
+                "lrp_io: output table is missing assignment columns");
+  lrp::MigrationPlan plan(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      plan.set_count(i, j, parse_int(doc.rows[i][1 + j]));
+    }
+  }
+  return plan;
+}
+
+}  // namespace qulrb::io

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "io/csv.hpp"
+#include "lrp/plan.hpp"
+#include "lrp/problem.hpp"
+
+namespace qulrb::io {
+
+/// The paper's Appendix-B imbalance *input* format (Table VI): one row per
+/// process with columns P1..PM (assignment matrix, diagonal = original task
+/// counts), "w" (per-task load) and "L" (total load).
+CsvDocument to_input_table(const lrp::LrpProblem& problem);
+void write_input_file(const std::string& path, const lrp::LrpProblem& problem);
+
+/// Parse an input table back into a problem. Off-diagonal entries must be 0
+/// (pre-rebalance state); w/L inconsistencies beyond rounding are rejected.
+lrp::LrpProblem from_input_table(const CsvDocument& doc);
+lrp::LrpProblem read_input_file(const std::string& path);
+
+/// The paper's *output* format (Table VII): the post-rebalance assignment
+/// matrix plus num_total / num_local / num_remote cross-check columns and the
+/// new load column.
+CsvDocument to_output_table(const lrp::LrpProblem& problem,
+                            const lrp::MigrationPlan& plan);
+void write_output_file(const std::string& path, const lrp::LrpProblem& problem,
+                       const lrp::MigrationPlan& plan);
+
+/// Parse an output table back into a migration plan (for round-trip tests
+/// and for consuming externally produced solutions).
+lrp::MigrationPlan plan_from_output_table(const CsvDocument& doc);
+
+}  // namespace qulrb::io

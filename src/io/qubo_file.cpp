@@ -1,0 +1,107 @@
+#include "io/qubo_file.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <fstream>
+#include <tuple>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qulrb::io {
+
+void write_qubo(std::ostream& out, const model::QuboModel& qubo) {
+  out << std::setprecision(17);  // lossless double round-trip
+  const std::size_t n = qubo.num_variables();
+
+  std::size_t diagonal_count = 0;
+  for (model::VarId v = 0; v < n; ++v) {
+    if (qubo.linear(v) != 0.0) ++diagonal_count;
+  }
+
+  out << "c qulrb QUBO export\n";
+  if (qubo.offset() != 0.0) out << "c offset " << qubo.offset() << "\n";
+  out << "p qubo 0 " << n << ' ' << diagonal_count << ' '
+      << qubo.num_interactions() << "\n";
+  for (model::VarId v = 0; v < n; ++v) {
+    if (qubo.linear(v) != 0.0) {
+      out << v << ' ' << v << ' ' << qubo.linear(v) << "\n";
+    }
+  }
+  // Deterministic order: collect and sort couplers.
+  std::vector<std::tuple<model::VarId, model::VarId, double>> couplers;
+  qubo.for_each_quadratic([&](model::VarId i, model::VarId j, double w) {
+    couplers.emplace_back(i, j, w);
+  });
+  std::sort(couplers.begin(), couplers.end());
+  for (const auto& [i, j, w] : couplers) {
+    out << i << ' ' << j << ' ' << w << "\n";
+  }
+}
+
+void write_qubo_file(const std::string& path, const model::QuboModel& qubo) {
+  std::ofstream out(path);
+  util::require(out.good(), "write_qubo_file: cannot open '" + path + "'");
+  write_qubo(out, qubo);
+}
+
+model::QuboModel read_qubo(std::istream& in) {
+  std::string line;
+  bool have_header = false;
+  std::size_t num_nodes = 0;
+  double offset = 0.0;
+  model::QuboModel qubo(0);
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    if (line[0] == 'c') {
+      std::string c_tag, key;
+      fields >> c_tag >> key;
+      if (key == "offset") {
+        double value = 0.0;
+        util::require(static_cast<bool>(fields >> value),
+                      "read_qubo: malformed offset comment");
+        offset = value;
+      }
+      continue;
+    }
+    if (line[0] == 'p') {
+      std::string p_tag, format;
+      int zero = 0;
+      std::size_t max_nodes = 0, diagonals = 0, couplers = 0;
+      fields >> p_tag >> format >> zero >> max_nodes >> diagonals >> couplers;
+      util::require(!fields.fail() && format == "qubo",
+                    "read_qubo: malformed problem line");
+      num_nodes = max_nodes;
+      qubo = model::QuboModel(num_nodes);
+      have_header = true;
+      continue;
+    }
+    util::require(have_header, "read_qubo: data before the problem line");
+    std::size_t i = 0, j = 0;
+    double w = 0.0;
+    std::istringstream data(line);
+    util::require(static_cast<bool>(data >> i >> j >> w),
+                  "read_qubo: malformed entry '" + line + "'");
+    util::require(i < num_nodes && j < num_nodes, "read_qubo: node out of range");
+    if (i == j) {
+      qubo.add_linear(static_cast<model::VarId>(i), w);
+    } else {
+      qubo.add_quadratic(static_cast<model::VarId>(i),
+                         static_cast<model::VarId>(j), w);
+    }
+  }
+  util::require(have_header, "read_qubo: missing problem line");
+  qubo.add_offset(offset);
+  return qubo;
+}
+
+model::QuboModel read_qubo_file(const std::string& path) {
+  std::ifstream in(path);
+  util::require(in.good(), "read_qubo_file: cannot open '" + path + "'");
+  return read_qubo(in);
+}
+
+}  // namespace qulrb::io

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/qubo.hpp"
+
+namespace qulrb::io {
+
+/// Read/write QUBO models in the qbsolv text format — the de-facto
+/// interchange format of the annealing ecosystem, so models built here can be
+/// handed to external samplers (and vice versa):
+///
+///   c optional comments
+///   p qubo 0 <maxNodes> <nNodes> <nCouplers>
+///   <i> <i> <linear_i>         (diagonal entries)
+///   <i> <j> <quadratic_ij>     (i < j couplers)
+///
+/// The format cannot carry an offset; write_qubo_file emits it as a comment
+/// (`c offset <value>`) which read_qubo recovers.
+void write_qubo(std::ostream& out, const model::QuboModel& qubo);
+void write_qubo_file(const std::string& path, const model::QuboModel& qubo);
+
+model::QuboModel read_qubo(std::istream& in);
+model::QuboModel read_qubo_file(const std::string& path);
+
+}  // namespace qulrb::io

@@ -1,0 +1,71 @@
+#include "io/report.hpp"
+
+#include <fstream>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::io {
+
+namespace {
+
+void emit_record(JsonWriter& json, const ExperimentRecord& record) {
+  json.begin_object();
+  json.field("scenario", record.scenario);
+  json.field("num_processes", record.num_processes);
+  json.field("tasks_per_process", record.tasks_per_process);
+  json.field("baseline_imbalance", record.baseline_imbalance);
+  json.key("solvers");
+  json.begin_array();
+  for (const auto& report : record.reports) {
+    json.begin_object();
+    json.field("name", report.name);
+    json.field("imbalance_before", report.metrics.imbalance_before);
+    json.field("imbalance_after", report.metrics.imbalance_after);
+    json.field("speedup", report.metrics.speedup);
+    json.field("migrated_tasks", report.metrics.total_migrated);
+    json.field("migrated_per_process", report.metrics.migrated_per_process);
+    json.field("cpu_ms", report.output.cpu_ms);
+    json.field("qpu_ms", report.output.qpu_ms);
+    json.field("feasible", report.output.feasible);
+    if (!report.output.notes.empty()) json.field("notes", report.output.notes);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+ExperimentRecord make_record(std::string scenario, const lrp::LrpProblem& problem,
+                             std::vector<lrp::SolverReport> reports) {
+  ExperimentRecord record;
+  record.scenario = std::move(scenario);
+  record.num_processes = problem.num_processes();
+  record.tasks_per_process = problem.tasks_on(0);
+  record.baseline_imbalance = problem.imbalance_ratio();
+  record.reports = std::move(reports);
+  return record;
+}
+
+std::string to_json(const ExperimentRecord& record) {
+  JsonWriter json;
+  emit_record(json, record);
+  return json.str();
+}
+
+std::string to_json(const std::vector<ExperimentRecord>& records) {
+  JsonWriter json;
+  json.begin_array();
+  for (const auto& record : records) emit_record(json, record);
+  json.end_array();
+  return json.str();
+}
+
+void write_json_file(const std::string& path, const std::string& json) {
+  std::ofstream out(path);
+  util::require(out.good(), "write_json_file: cannot open '" + path + "'");
+  out << json << '\n';
+}
+
+}  // namespace qulrb::io

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lrp/problem.hpp"
+#include "lrp/solver.hpp"
+
+namespace qulrb::io {
+
+/// Machine-readable experiment record (one scenario, many solvers), for
+/// downstream plotting/analysis — the role the paper repository's
+/// extract_rimb_speedup.py output plays.
+struct ExperimentRecord {
+  std::string scenario;
+  std::size_t num_processes = 0;
+  std::int64_t tasks_per_process = 0;
+  double baseline_imbalance = 0.0;
+  std::vector<lrp::SolverReport> reports;
+};
+
+/// Serialize one record (or a batch) as JSON.
+std::string to_json(const ExperimentRecord& record);
+std::string to_json(const std::vector<ExperimentRecord>& records);
+
+/// Build a record by running every report against one problem.
+ExperimentRecord make_record(std::string scenario, const lrp::LrpProblem& problem,
+                             std::vector<lrp::SolverReport> reports);
+
+void write_json_file(const std::string& path, const std::string& json);
+
+}  // namespace qulrb::io

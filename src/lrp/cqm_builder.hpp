@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lrp/plan.hpp"
+#include "lrp/problem.hpp"
+#include "model/cqm.hpp"
+
+namespace qulrb::lrp {
+
+/// The paper's two CQM formulations of the LRP.
+enum class CqmVariant {
+  /// Q_CQM1: qubit-reduced. Diagonal counts x_{j,j} are inferred from the
+  /// off-diagonal outflow, leaving (M-1)^2 * (floor(log2 n) + 1) binary
+  /// variables per the paper's formula; every constraint becomes an
+  /// inequality.
+  kReduced,
+  /// Q_CQM2: full. All M^2 counts are encoded, M equality ("no task lost")
+  /// constraints plus M + 1 inequalities; M^2 * (floor(log2 n) + 1) vars.
+  kFull,
+};
+
+const char* to_string(CqmVariant variant);
+
+struct CqmBuildOptions {
+  /// Use the paper's coefficient set (default) or plain binary (ablation).
+  bool use_paper_coefficient_set = true;
+};
+
+/// A built LRP CQM plus the bookkeeping needed to decode solver samples back
+/// into migration plans.
+///
+/// Extension over the paper: per-process task counts need not be equal. Each
+/// source column j gets its own coefficient set C_j built from n_j, so the
+/// model stays exact for the unequal post-migration states that arise in
+/// periodic (dynamic) rebalancing.
+class LrpCqm {
+ public:
+  LrpCqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
+         const CqmBuildOptions& options = {});
+
+  const model::CqmModel& cqm() const noexcept { return cqm_; }
+  CqmVariant variant() const noexcept { return variant_; }
+  std::int64_t k() const noexcept { return k_; }
+
+  /// Coefficient set used for counts whose *source* is process j (empty when
+  /// process j holds no tasks).
+  std::span<const std::int64_t> coefficients(std::size_t source) const;
+
+  std::size_t num_processes() const noexcept { return m_; }
+  std::int64_t tasks_on(std::size_t j) const { return counts_.at(j); }
+  std::size_t num_binary_variables() const noexcept { return cqm_.num_variables(); }
+
+  /// Variable id of bit l of count x_{to,from}. For kReduced, to == from is
+  /// invalid (the diagonal is inferred); sources with zero tasks have no bits.
+  model::VarId var(std::size_t to, std::size_t from, std::size_t bit) const;
+
+  /// Number of bits encoding count x_{*,from}.
+  std::size_t bits_for_source(std::size_t from) const {
+    return coeffs_.at(from).size();
+  }
+
+  /// Decode a solver state into an M x M count matrix; for kReduced the
+  /// diagonal is filled in as n_j - outflow_j (which may be negative if the
+  /// state violates the outflow constraints — validate the plan after).
+  MigrationPlan decode(std::span<const std::uint8_t> state) const;
+
+  /// Predicted qubit counts from Table I (the paper's stated formulas, for
+  /// the equal-n setting).
+  static std::size_t predicted_qubits(CqmVariant variant, std::size_t num_processes,
+                                      std::int64_t tasks_per_process);
+
+ private:
+  static constexpr model::VarId kInvalid = static_cast<model::VarId>(-1);
+
+  model::CqmModel cqm_;
+  CqmVariant variant_;
+  std::int64_t k_;
+  std::size_t m_;
+  std::vector<std::int64_t> counts_;                ///< n_j per process
+  std::vector<std::vector<std::int64_t>> coeffs_;   ///< C_j per source
+  std::vector<model::VarId> pair_base_;             ///< first bit of (to, from)
+};
+
+/// Convenience wrapper.
+LrpCqm build_lrp_cqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
+                     const CqmBuildOptions& options = {});
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,94 @@
+#include "lrp/encoding.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/math.hpp"
+
+namespace qulrb::lrp {
+
+std::vector<std::int64_t> coefficient_set(std::int64_t n) {
+  util::require(n >= 1, "coefficient_set: n must be >= 1");
+  const int f = util::ilog2_floor(static_cast<std::uint64_t>(n));
+  std::vector<std::int64_t> coeffs;
+  coeffs.reserve(static_cast<std::size_t>(f) + 1);
+  // Powers 2^0 .. 2^(f-1); empty when n == 1.
+  for (int l = 0; l < f; ++l) coeffs.push_back(std::int64_t{1} << l);
+  // Residual coefficient so the set sums to exactly n.
+  coeffs.push_back(n - (std::int64_t{1} << f) + 1);
+  return coeffs;
+}
+
+std::size_t bits_per_count(std::int64_t n) {
+  util::require(n >= 1, "bits_per_count: n must be >= 1");
+  return static_cast<std::size_t>(util::ilog2_floor(static_cast<std::uint64_t>(n))) + 1;
+}
+
+std::vector<std::int64_t> standard_binary_set(std::int64_t n) {
+  util::require(n >= 1, "standard_binary_set: n must be >= 1");
+  std::vector<std::int64_t> coeffs;
+  std::int64_t remaining = n;
+  std::int64_t bit = 1;
+  while (remaining > 0) {
+    const std::int64_t value = std::min(bit, remaining);
+    coeffs.push_back(value);
+    remaining -= value;
+    bit <<= 1;
+  }
+  return coeffs;
+}
+
+std::int64_t decode_count(std::span<const std::uint8_t> bits,
+                          std::span<const std::int64_t> coeffs) {
+  util::require(bits.size() == coeffs.size(), "decode_count: size mismatch");
+  std::int64_t value = 0;
+  for (std::size_t l = 0; l < bits.size(); ++l) {
+    if (bits[l]) value += coeffs[l];
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> encode_count(std::int64_t count,
+                                       std::span<const std::int64_t> coeffs) {
+  const std::int64_t total = std::accumulate(coeffs.begin(), coeffs.end(), std::int64_t{0});
+  util::require(count >= 0 && count <= total,
+                "encode_count: count outside representable range");
+
+  std::vector<std::uint8_t> bits(coeffs.size(), 0);
+  std::int64_t remaining = count;
+  // Largest coefficients first: for both the paper set and the standard set
+  // this greedy choice always succeeds, because after removing the largest
+  // feasible coefficient the remaining prefix covers a contiguous range.
+  std::vector<std::size_t> order(coeffs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return coeffs[a] > coeffs[b];
+  });
+  for (std::size_t l : order) {
+    if (remaining >= coeffs[l]) {
+      bits[l] = 1;
+      remaining -= coeffs[l];
+    }
+  }
+  util::ensure(remaining == 0, "encode_count: greedy encoding failed");
+  return bits;
+}
+
+bool covers_range(std::span<const std::int64_t> coeffs, std::int64_t n) {
+  // Subset-sum reachability over [0, n] with a bitset-like DP.
+  std::vector<std::uint8_t> reachable(static_cast<std::size_t>(n) + 1, 0);
+  reachable[0] = 1;
+  for (std::int64_t c : coeffs) {
+    if (c < 0) return false;
+    for (std::int64_t v = n; v >= c; --v) {
+      if (reachable[static_cast<std::size_t>(v - c)]) {
+        reachable[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+  }
+  return std::all_of(reachable.begin(), reachable.end(),
+                     [](std::uint8_t r) { return r == 1; });
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qulrb::lrp {
+
+/// The paper's non-standard binary coefficient set for encoding a task count
+/// in [0, n]:
+///   C = {2^0, 2^1, ..., 2^(floor(log2 n) - 1)} ∪ {n - 2^floor(log2 n) + 1}.
+/// The coefficients sum to exactly n, so "all bits set" means "all n tasks";
+/// every integer in [0, n] is representable (the power prefix covers
+/// [0, 2^f - 1] and the top coefficient shifts that window to [r, n]).
+/// |C| = floor(log2 n) + 1 — this is the per-count qubit cost in Table I.
+std::vector<std::int64_t> coefficient_set(std::int64_t n);
+
+/// Number of bits the paper's formulas use per (i, j) count.
+std::size_t bits_per_count(std::int64_t n);
+
+/// Standard binary encoding {1, 2, 4, ..., 2^(ceil(log2(n+1)) - 1)} with the
+/// top coefficient clamped so the maximum representable value is exactly n.
+/// Used by the encoding ablation bench as the conventional alternative.
+std::vector<std::int64_t> standard_binary_set(std::int64_t n);
+
+/// Value of a bit pattern under a coefficient set.
+std::int64_t decode_count(std::span<const std::uint8_t> bits,
+                          std::span<const std::int64_t> coeffs);
+
+/// A bit pattern representing `count` (greedy: top coefficient first, then
+/// binary remainder). Throws InvalidArgument when count is out of [0, sum C].
+std::vector<std::uint8_t> encode_count(std::int64_t count,
+                                       std::span<const std::int64_t> coeffs);
+
+/// True if every value in [0, n] is representable under the set (test aid).
+bool covers_range(std::span<const std::int64_t> coeffs, std::int64_t n);
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,54 @@
+#include "lrp/gate_solver.hpp"
+
+#include "lrp/quantum_solver.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::lrp {
+
+SolveOutput GateQaoaSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+
+  const LrpCqm lrp_cqm(problem, options_.variant, options_.k);
+  const model::QuboConversion conv =
+      model::cqm_to_qubo(lrp_cqm.cqm(), options_.penalty);
+
+  const quantum::QaoaSolver qaoa(options_.qaoa);
+  const quantum::QaoaResult result = qaoa.solve_qubo(conv.qubo);
+
+  // Pick the best *CQM-feasible* measured bitstring; the raw QUBO minimizer
+  // can sit outside the feasible region when penalties are soft (the
+  // unbalanced method trades exactness for qubit count).
+  model::State projected = conv.project(result.best.state);
+  {
+    bool have_feasible = false;
+    double best_objective = 0.0;
+    for (std::size_t s = 0; s < result.samples.size(); ++s) {
+      const model::State candidate = conv.project(result.samples.at(s).state);
+      if (!lrp_cqm.cqm().is_feasible(candidate, 1e-6)) continue;
+      const double objective = lrp_cqm.cqm().objective_value(candidate);
+      if (!have_feasible || objective < best_objective) {
+        have_feasible = true;
+        best_objective = objective;
+        projected = candidate;
+      }
+    }
+  }
+  MigrationPlan plan = lrp_cqm.decode(projected);
+  const bool repaired = repair_plan(problem, plan);
+
+  GateSolverDiagnostics diag;
+  diag.num_qubits = conv.qubo.num_variables();
+  diag.qaoa_expectation = result.expectation;
+  diag.circuit_evaluations = result.circuit_evaluations;
+  diag.sample_feasible = lrp_cqm.cqm().is_feasible(projected, 1e-6);
+  diag.plan_repaired = repaired;
+  diagnostics_ = diag;
+
+  SolveOutput out(std::move(plan));
+  out.cpu_ms = timer.elapsed_ms();
+  out.feasible = diag.sample_feasible;
+  if (repaired) out.notes = "plan repaired after decode";
+  return out;
+}
+
+}  // namespace qulrb::lrp

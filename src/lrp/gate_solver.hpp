@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "lrp/cqm_builder.hpp"
+#include "lrp/solver.hpp"
+#include "model/cqm_to_qubo.hpp"
+#include "quantum/qaoa.hpp"
+
+namespace qulrb::lrp {
+
+struct GateSolverOptions {
+  CqmVariant variant = CqmVariant::kReduced;
+  std::int64_t k = 0;
+  /// Unbalanced penalization keeps the QUBO at the CQM's variable count — the
+  /// property the paper cites (Montañez-Barrera et al.) as what makes the
+  /// gate-based path viable without slack ancillas.
+  model::PenaltyOptions penalty{.inequality = model::InequalityMethod::kUnbalanced};
+  quantum::QaoaParams qaoa;
+};
+
+struct GateSolverDiagnostics {
+  std::size_t num_qubits = 0;
+  double qaoa_expectation = 0.0;
+  std::size_t circuit_evaluations = 0;
+  bool sample_feasible = false;
+  bool plan_repaired = false;
+};
+
+/// Gate-based variant of the paper's pipeline (its Section VI extension):
+/// LRP -> CQM -> penalty QUBO (no ancillas) -> QAOA on a state-vector
+/// simulator -> decode. Limited to tiny instances (<= 20 qubits), i.e.
+/// M in {2, 3} with small n — exactly the regime where gate hardware and
+/// simulators currently operate.
+class GateQaoaSolver final : public RebalanceSolver {
+ public:
+  explicit GateQaoaSolver(GateSolverOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "Q_GATE(QAOA)"; }
+  SolveOutput solve(const LrpProblem& problem) override;
+
+  const std::optional<GateSolverDiagnostics>& last_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  GateSolverOptions options_;
+  std::optional<GateSolverDiagnostics> diagnostics_;
+};
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,59 @@
+#include "lrp/iterative.hpp"
+
+#include <cmath>
+
+#include "lrp/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::lrp {
+
+LrpProblem IterativeRebalancer::apply_and_uniformize(const LrpProblem& problem,
+                                                     const MigrationPlan& plan) {
+  plan.validate(problem);
+  const std::vector<double> loads = plan.new_loads(problem);
+  const std::size_t m = problem.num_processes();
+  std::vector<double> task_load(m, 0.0);
+  std::vector<std::int64_t> num_tasks(m, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    num_tasks[i] = plan.tasks_hosted(i);
+    task_load[i] =
+        num_tasks[i] > 0 ? loads[i] / static_cast<double>(num_tasks[i]) : 0.0;
+  }
+  return LrpProblem(std::move(task_load), std::move(num_tasks));
+}
+
+IterativeResult IterativeRebalancer::run(LrpProblem problem,
+                                         std::size_t epochs) const {
+  IterativeResult result;
+  util::Rng rng(drift_.seed);
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const SolveOutput output = solver_->solve(problem);
+    output.plan.validate(problem);
+    const RebalanceMetrics metrics = evaluate_plan(problem, output.plan);
+
+    result.epochs.push_back({metrics.imbalance_before, metrics.imbalance_after,
+                             metrics.speedup, metrics.total_migrated});
+    result.total_migrated += metrics.total_migrated;
+
+    LrpProblem next = apply_and_uniformize(problem, output.plan);
+
+    // Cost drift: the load predictor is wrong again by the next epoch.
+    std::vector<double> drifted(next.num_processes());
+    for (std::size_t i = 0; i < next.num_processes(); ++i) {
+      drifted[i] =
+          next.task_load(i) * std::exp(drift_.relative_sigma * rng.next_normal());
+    }
+    problem = LrpProblem(std::move(drifted),
+                         std::vector<std::int64_t>(next.task_counts()));
+  }
+
+  if (!result.epochs.empty()) {
+    double sum = 0.0;
+    for (const auto& e : result.epochs) sum += e.imbalance_after;
+    result.mean_imbalance_after = sum / static_cast<double>(result.epochs.size());
+  }
+  return result;
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,16 @@
+#include "lrp/kselect.hpp"
+
+#include "lrp/solver.hpp"
+
+namespace qulrb::lrp {
+
+KSelection select_k(const LrpProblem& problem) {
+  KSelection selection;
+  ProactLbSolver proactlb;
+  GreedySolver greedy;
+  selection.k1 = proactlb.solve(problem).plan.total_migrated();
+  selection.k2 = greedy.solve(problem).plan.total_migrated();
+  return selection;
+}
+
+}  // namespace qulrb::lrp

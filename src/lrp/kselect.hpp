@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lrp/problem.hpp"
+
+namespace qulrb::lrp {
+
+/// The paper's protocol for choosing the migration bound k: run the classical
+/// methods first, then bound the quantum methods by their migration counts.
+struct KSelection {
+  std::int64_t k1 = 0;  ///< ProactLB's migration count (the frugal bound)
+  std::int64_t k2 = 0;  ///< Greedy/KK's migration count (the relaxed bound)
+};
+
+KSelection select_k(const LrpProblem& problem);
+
+}  // namespace qulrb::lrp

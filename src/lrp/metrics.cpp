@@ -1,0 +1,38 @@
+#include "lrp/metrics.hpp"
+
+#include <algorithm>
+
+namespace qulrb::lrp {
+
+double imbalance_ratio(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  double total = 0.0;
+  double max_load = 0.0;
+  for (double l : loads) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  const double avg = total / static_cast<double>(loads.size());
+  if (avg <= 0.0) return 0.0;
+  return (max_load - avg) / avg;
+}
+
+RebalanceMetrics evaluate_plan(const LrpProblem& problem, const MigrationPlan& plan) {
+  RebalanceMetrics metrics;
+  metrics.imbalance_before = problem.imbalance_ratio();
+  metrics.max_load_before = problem.max_load();
+
+  const std::vector<double> after = plan.new_loads(problem);
+  metrics.imbalance_after = imbalance_ratio(after);
+  metrics.max_load_after = after.empty() ? 0.0 : *std::max_element(after.begin(), after.end());
+  metrics.speedup = metrics.max_load_after > 0.0
+                        ? metrics.max_load_before / metrics.max_load_after
+                        : 1.0;
+  metrics.total_migrated = plan.total_migrated();
+  metrics.migrated_per_process =
+      static_cast<double>(metrics.total_migrated) /
+      static_cast<double>(problem.num_processes());
+  return metrics;
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "lrp/plan.hpp"
+#include "lrp/problem.hpp"
+
+namespace qulrb::lrp {
+
+/// The paper's evaluation metrics for one rebalancing solution.
+struct RebalanceMetrics {
+  double imbalance_before = 0.0;   ///< R_imb of the input
+  double imbalance_after = 0.0;    ///< R_imb of the plan's new loads
+  double max_load_before = 0.0;    ///< L_max baseline
+  double max_load_after = 0.0;     ///< L_max after rebalancing
+  /// speedup = L_max(before) / L_max(after); 1.0 when nothing changes.
+  double speedup = 1.0;
+  std::int64_t total_migrated = 0;
+  double migrated_per_process = 0.0;  ///< total_migrated / M
+};
+
+RebalanceMetrics evaluate_plan(const LrpProblem& problem, const MigrationPlan& plan);
+
+/// R_imb of an explicit load vector (helper shared with the runtime sim).
+double imbalance_ratio(const std::vector<double>& loads);
+
+}  // namespace qulrb::lrp

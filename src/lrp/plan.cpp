@@ -1,0 +1,121 @@
+#include "lrp/plan.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+
+MigrationPlan::MigrationPlan(std::size_t num_processes)
+    : m_(num_processes), x_(num_processes * num_processes, 0) {
+  util::require(num_processes > 0, "MigrationPlan: need at least one process");
+}
+
+MigrationPlan MigrationPlan::identity(const LrpProblem& problem) {
+  MigrationPlan plan(problem.num_processes());
+  for (std::size_t i = 0; i < problem.num_processes(); ++i) {
+    plan.set_count(i, i, problem.tasks_on(i));
+  }
+  return plan;
+}
+
+MigrationPlan MigrationPlan::from_partition(
+    const LrpProblem& problem, const classical::PartitionResult& partition) {
+  util::require(partition.bins.size() == problem.num_processes(),
+                "MigrationPlan::from_partition: bin count != process count");
+  MigrationPlan plan(problem.num_processes());
+  for (std::size_t b = 0; b < partition.bins.size(); ++b) {
+    for (std::size_t item : partition.bins[b]) {
+      plan.add_count(b, problem.origin_of(item), 1);
+    }
+  }
+  return plan;
+}
+
+MigrationPlan MigrationPlan::from_transfers(
+    const LrpProblem& problem, const std::vector<classical::Transfer>& transfers) {
+  MigrationPlan plan = identity(problem);
+  for (const auto& t : transfers) {
+    util::require(t.from < plan.num_processes() && t.to < plan.num_processes(),
+                  "MigrationPlan::from_transfers: process index out of range");
+    util::require(t.count >= 0, "MigrationPlan::from_transfers: negative count");
+    plan.add_count(t.from, t.from, -t.count);
+    plan.add_count(t.to, t.from, t.count);
+  }
+  return plan;
+}
+
+void MigrationPlan::validate(const LrpProblem& problem) const {
+  util::require(problem.num_processes() == m_,
+                "MigrationPlan::validate: process count mismatch");
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      util::require(count(i, j) >= 0,
+                    "MigrationPlan::validate: negative entry at (" +
+                        std::to_string(i) + "," + std::to_string(j) + ")");
+    }
+  }
+  for (std::size_t j = 0; j < m_; ++j) {
+    std::int64_t column = 0;
+    for (std::size_t i = 0; i < m_; ++i) column += count(i, j);
+    util::require(column == problem.tasks_on(j),
+                  "MigrationPlan::validate: column " + std::to_string(j) +
+                      " sums to " + std::to_string(column) + ", expected " +
+                      std::to_string(problem.tasks_on(j)) + " (task lost/duplicated)");
+  }
+}
+
+bool MigrationPlan::is_valid(const LrpProblem& problem) const noexcept {
+  try {
+    validate(problem);
+    return true;
+  } catch (const util::InvalidArgument&) {
+    return false;
+  }
+}
+
+std::int64_t MigrationPlan::total_migrated() const noexcept {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      if (i != j) total += x_[i * m_ + j];
+    }
+  }
+  return total;
+}
+
+std::int64_t MigrationPlan::migrated_from(std::size_t j) const {
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i != j) total += count(i, j);
+  }
+  return total;
+}
+
+std::int64_t MigrationPlan::migrated_to(std::size_t i) const {
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (i != j) total += count(i, j);
+  }
+  return total;
+}
+
+std::vector<double> MigrationPlan::new_loads(const LrpProblem& problem) const {
+  util::require(problem.num_processes() == m_,
+                "MigrationPlan::new_loads: process count mismatch");
+  std::vector<double> loads(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      loads[i] += problem.task_load(j) * static_cast<double>(count(i, j));
+    }
+  }
+  return loads;
+}
+
+std::int64_t MigrationPlan::tasks_hosted(std::size_t i) const {
+  std::int64_t total = 0;
+  for (std::size_t j = 0; j < m_; ++j) total += count(i, j);
+  return total;
+}
+
+}  // namespace qulrb::lrp

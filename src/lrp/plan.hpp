@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "classical/partition.hpp"
+#include "classical/proactlb.hpp"
+#include "lrp/problem.hpp"
+
+namespace qulrb::lrp {
+
+/// Rebalancing solution in the paper's output format (Appendix B, Table VII):
+/// an M x M matrix where entry (i, j) is the number of tasks residing on
+/// process i that originated on process j. The diagonal holds retained tasks;
+/// column j always sums to the original task count of process j ("no task is
+/// lost"). Migrated tasks keep their origin's per-task load.
+class MigrationPlan {
+ public:
+  explicit MigrationPlan(std::size_t num_processes);
+
+  /// Plan that migrates nothing: diag(i) = n_i.
+  static MigrationPlan identity(const LrpProblem& problem);
+
+  /// Build from a from-scratch partitioning: bin b becomes process b's new
+  /// task set (the naive bin-to-process mapping Greedy/KK use, which is what
+  /// makes them migrate ~N(M-1)/M tasks).
+  static MigrationPlan from_partition(const LrpProblem& problem,
+                                      const classical::PartitionResult& partition);
+
+  /// Build from a ProactLB transfer list.
+  static MigrationPlan from_transfers(const LrpProblem& problem,
+                                      const std::vector<classical::Transfer>& transfers);
+
+  std::size_t num_processes() const noexcept { return m_; }
+
+  std::int64_t count(std::size_t to, std::size_t from) const {
+    return x_.at(to * m_ + from);
+  }
+  void set_count(std::size_t to, std::size_t from, std::int64_t value) {
+    x_.at(to * m_ + from) = value;
+  }
+  void add_count(std::size_t to, std::size_t from, std::int64_t delta) {
+    x_.at(to * m_ + from) += delta;
+  }
+
+  /// Throws InvalidArgument when the plan is inconsistent with the problem
+  /// (negative entries, column sums != origin task counts).
+  void validate(const LrpProblem& problem) const;
+  bool is_valid(const LrpProblem& problem) const noexcept;
+
+  /// Total number of migrated tasks (off-diagonal sum).
+  std::int64_t total_migrated() const noexcept;
+  /// Tasks leaving process j (column j minus the diagonal).
+  std::int64_t migrated_from(std::size_t j) const;
+  /// Tasks arriving at process i (row i minus the diagonal).
+  std::int64_t migrated_to(std::size_t i) const;
+
+  /// New per-process loads L'_i = sum_j w_j * x(i, j).
+  std::vector<double> new_loads(const LrpProblem& problem) const;
+  /// Tasks now hosted by process i (row sum).
+  std::int64_t tasks_hosted(std::size_t i) const;
+
+ private:
+  std::size_t m_;
+  std::vector<std::int64_t> x_;  // row-major: x_[to * m_ + from]
+};
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,80 @@
+#include "lrp/problem.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+
+LrpProblem::LrpProblem(std::vector<double> task_load,
+                       std::vector<std::int64_t> num_tasks)
+    : task_load_(std::move(task_load)), num_tasks_(std::move(num_tasks)) {
+  util::require(task_load_.size() == num_tasks_.size(),
+                "LrpProblem: task_load / num_tasks size mismatch");
+  util::require(!task_load_.empty(), "LrpProblem: need at least one process");
+  for (std::size_t i = 0; i < task_load_.size(); ++i) {
+    util::require(task_load_[i] >= 0.0, "LrpProblem: negative task load");
+    util::require(num_tasks_[i] >= 0, "LrpProblem: negative task count");
+  }
+}
+
+LrpProblem LrpProblem::uniform(std::vector<double> task_load,
+                               std::int64_t tasks_per_process) {
+  util::require(tasks_per_process >= 0, "LrpProblem: negative tasks_per_process");
+  std::vector<std::int64_t> counts(task_load.size(), tasks_per_process);
+  return LrpProblem(std::move(task_load), std::move(counts));
+}
+
+bool LrpProblem::has_equal_task_counts() const noexcept {
+  return std::all_of(num_tasks_.begin(), num_tasks_.end(),
+                     [&](std::int64_t n) { return n == num_tasks_.front(); });
+}
+
+std::int64_t LrpProblem::total_tasks() const noexcept {
+  std::int64_t total = 0;
+  for (std::int64_t n : num_tasks_) total += n;
+  return total;
+}
+
+double LrpProblem::total_load() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < task_load_.size(); ++i) total += load(i);
+  return total;
+}
+
+double LrpProblem::average_load() const noexcept {
+  return total_load() / static_cast<double>(num_processes());
+}
+
+double LrpProblem::max_load() const noexcept {
+  double m = 0.0;
+  for (std::size_t i = 0; i < task_load_.size(); ++i) m = std::max(m, load(i));
+  return m;
+}
+
+double LrpProblem::imbalance_ratio() const noexcept {
+  const double avg = average_load();
+  if (avg <= 0.0) return 0.0;
+  return (max_load() - avg) / avg;
+}
+
+std::vector<double> LrpProblem::flatten_tasks() const {
+  std::vector<double> items;
+  items.reserve(static_cast<std::size_t>(total_tasks()));
+  for (std::size_t i = 0; i < num_processes(); ++i) {
+    for (std::int64_t t = 0; t < num_tasks_[i]; ++t) items.push_back(task_load_[i]);
+  }
+  return items;
+}
+
+std::size_t LrpProblem::origin_of(std::size_t item_index) const {
+  std::size_t cursor = item_index;
+  for (std::size_t i = 0; i < num_processes(); ++i) {
+    const auto n = static_cast<std::size_t>(num_tasks_[i]);
+    if (cursor < n) return i;
+    cursor -= n;
+  }
+  throw util::InvalidArgument("LrpProblem::origin_of: item index out of range");
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qulrb::lrp {
+
+/// Load Rebalancing Problem instance (Aggarwal et al. 2006, in the paper's
+/// task-parallel setting): M processes, process i initially holds
+/// `num_tasks[i]` tasks that each cost `task_load[i]` (uniform load per
+/// process — the paper's experimental assumption; different processes may
+/// have very different task costs, which is where the imbalance comes from).
+class LrpProblem {
+ public:
+  /// General constructor: per-process task load w_i and count n_i.
+  LrpProblem(std::vector<double> task_load, std::vector<std::int64_t> num_tasks);
+
+  /// Paper setting: every process holds exactly n tasks.
+  static LrpProblem uniform(std::vector<double> task_load, std::int64_t tasks_per_process);
+
+  std::size_t num_processes() const noexcept { return task_load_.size(); }
+  std::int64_t tasks_on(std::size_t i) const { return num_tasks_.at(i); }
+  double task_load(std::size_t i) const { return task_load_.at(i); }
+
+  const std::vector<double>& task_loads() const noexcept { return task_load_; }
+  const std::vector<std::int64_t>& task_counts() const noexcept { return num_tasks_; }
+
+  /// True when every process holds the same number of tasks (required by the
+  /// paper's CQM formulations).
+  bool has_equal_task_counts() const noexcept;
+
+  double load(std::size_t i) const {
+    return task_load_.at(i) * static_cast<double>(num_tasks_.at(i));
+  }
+  std::int64_t total_tasks() const noexcept;
+  double total_load() const noexcept;
+  double average_load() const noexcept;   ///< L_avg
+  double max_load() const noexcept;       ///< L_max
+  /// R_imb = (L_max - L_avg) / L_avg  (Menon & Kale 2013). 0 for empty/zero.
+  double imbalance_ratio() const noexcept;
+
+  /// Flattened task list (item index -> load), grouped by origin process in
+  /// process order; used by the partition-based classical baselines.
+  std::vector<double> flatten_tasks() const;
+  /// Origin process of flattened item index t.
+  std::size_t origin_of(std::size_t item_index) const;
+
+ private:
+  std::vector<double> task_load_;
+  std::vector<std::int64_t> num_tasks_;
+};
+
+}  // namespace qulrb::lrp

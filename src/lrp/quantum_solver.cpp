@@ -1,0 +1,90 @@
+#include "lrp/quantum_solver.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+
+namespace qulrb::lrp {
+
+std::string QcqmSolver::name() const {
+  return std::string(to_string(options_.variant));
+}
+
+bool repair_plan(const LrpProblem& problem, MigrationPlan& plan) {
+  bool changed = false;
+  const std::size_t m = problem.num_processes();
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (plan.count(i, j) < 0) {
+        plan.set_count(i, j, 0);
+        changed = true;
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < m; ++j) {
+    std::int64_t off_diag = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i != j) off_diag += plan.count(i, j);
+    }
+    const std::int64_t target_diag = problem.tasks_on(j) - off_diag;
+    if (target_diag >= 0) {
+      if (plan.count(j, j) != target_diag) {
+        plan.set_count(j, j, target_diag);
+        changed = true;
+      }
+      continue;
+    }
+    // Too many tasks emigrated on paper: return the excess to the diagonal,
+    // trimming the largest recipients first.
+    std::int64_t excess = -target_diag;
+    plan.set_count(j, j, 0);
+    changed = true;
+    while (excess > 0) {
+      std::size_t biggest = m;
+      std::int64_t biggest_count = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (i != j && plan.count(i, j) > biggest_count) {
+          biggest_count = plan.count(i, j);
+          biggest = i;
+        }
+      }
+      if (biggest == m) break;  // nothing left to trim (shouldn't happen)
+      const std::int64_t take = std::min(excess, biggest_count);
+      plan.add_count(biggest, j, -take);
+      excess -= take;
+    }
+  }
+  return changed;
+}
+
+SolveOutput QcqmSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+
+  const LrpCqm lrp_cqm(problem, options_.variant, options_.k, options_.build);
+  const anneal::HybridCqmSolver hybrid(options_.hybrid);
+  const anneal::HybridSolveResult result = hybrid.solve(lrp_cqm.cqm());
+
+  MigrationPlan plan = lrp_cqm.decode(result.best.state);
+  const bool repaired = repair_plan(problem, plan);
+
+  QcqmDiagnostics diag;
+  diag.num_variables = lrp_cqm.num_binary_variables();
+  diag.num_constraints = lrp_cqm.cqm().num_constraints();
+  diag.objective = result.best.energy;
+  diag.violation = result.best.violation;
+  diag.sample_feasible = result.best.feasible;
+  diag.plan_repaired = repaired;
+  diag.hybrid_stats = result.stats;
+  diagnostics_ = diag;
+
+  SolveOutput out(std::move(plan));
+  out.cpu_ms = timer.elapsed_ms();
+  out.qpu_ms = result.stats.simulated_qpu_ms;
+  out.feasible = result.best.feasible;
+  if (repaired) out.notes = "plan repaired after decode";
+  return out;
+}
+
+}  // namespace qulrb::lrp

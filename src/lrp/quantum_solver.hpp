@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "anneal/hybrid.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/solver.hpp"
+
+namespace qulrb::lrp {
+
+struct QcqmOptions {
+  CqmVariant variant = CqmVariant::kReduced;
+  std::int64_t k = 0;  ///< migration bound
+  CqmBuildOptions build;
+  anneal::HybridSolverParams hybrid;
+};
+
+/// Extra diagnostics for the quantum-path solver.
+struct QcqmDiagnostics {
+  std::size_t num_variables = 0;   ///< logical qubits of the CQM
+  std::size_t num_constraints = 0;
+  double objective = 0.0;          ///< CQM objective of the returned sample
+  double violation = 0.0;
+  bool sample_feasible = false;
+  bool plan_repaired = false;      ///< decode needed a conservation repair
+  anneal::HybridSolveStats hybrid_stats;
+};
+
+/// The paper's hybrid classical-quantum method (Q_CQM1 / Q_CQM2 with a bound
+/// k): builds the CQM, sends it to the hybrid solver (our D-Wave Leap
+/// stand-in), decodes the best sample into a migration plan, and — mirroring
+/// how a production pipeline must treat a heuristic sampler — repairs any
+/// residual conservation violation so the returned plan is always valid.
+class QcqmSolver final : public RebalanceSolver {
+ public:
+  explicit QcqmSolver(QcqmOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override;
+  SolveOutput solve(const LrpProblem& problem) override;
+
+  /// Diagnostics of the most recent solve() call.
+  const std::optional<QcqmDiagnostics>& last_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  const QcqmOptions& options() const noexcept { return options_; }
+
+ private:
+  QcqmOptions options_;
+  std::optional<QcqmDiagnostics> diagnostics_;
+};
+
+/// Make a plan consistent with the problem: clamp negative entries and adjust
+/// diagonals so every column sums to its origin count; if a diagonal would go
+/// negative, trims that column's largest off-diagonal entries. Returns true
+/// when anything was changed.
+bool repair_plan(const LrpProblem& problem, MigrationPlan& plan);
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,60 @@
+#include "lrp/qubo_solver.hpp"
+
+#include "lrp/quantum_solver.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::lrp {
+
+SolveOutput QuboAnnealSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+
+  const LrpCqm lrp_cqm(problem, options_.variant, options_.k);
+  const model::QuboConversion conv =
+      model::cqm_to_qubo(lrp_cqm.cqm(), options_.penalty);
+
+  const anneal::SampleSet set = anneal::SimulatedAnnealer(options_.sa).sample(conv.qubo);
+
+  // Best CQM-feasible read wins; fall back to the lowest-energy read.
+  model::State projected(lrp_cqm.num_binary_variables(), 0);
+  bool have_feasible = false;
+  double best_objective = 0.0;
+  double best_energy = 0.0;
+  bool have_any = false;
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    const model::State candidate = conv.project(set.at(s).state);
+    const bool feasible = lrp_cqm.cqm().is_feasible(candidate, 1e-6);
+    if (feasible) {
+      const double objective = lrp_cqm.cqm().objective_value(candidate);
+      if (!have_feasible || objective < best_objective) {
+        have_feasible = true;
+        best_objective = objective;
+        projected = candidate;
+      }
+    } else if (!have_feasible) {
+      if (!have_any || set.at(s).energy < best_energy) {
+        have_any = true;
+        best_energy = set.at(s).energy;
+        projected = candidate;
+      }
+    }
+  }
+
+  MigrationPlan plan = lrp_cqm.decode(projected);
+  const bool repaired = repair_plan(problem, plan);
+
+  QuboSolverDiagnostics diag;
+  diag.qubo_variables = conv.qubo.num_variables();
+  diag.slack_variables = conv.num_slack_variables;
+  diag.lambda_used = conv.lambda_used;
+  diag.sample_feasible = have_feasible;
+  diag.plan_repaired = repaired;
+  diagnostics_ = diag;
+
+  SolveOutput out(std::move(plan));
+  out.cpu_ms = timer.elapsed_ms();
+  out.feasible = have_feasible;
+  if (repaired) out.notes = "plan repaired after decode";
+  return out;
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "anneal/sa.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/solver.hpp"
+#include "model/cqm_to_qubo.hpp"
+
+namespace qulrb::lrp {
+
+struct QuboSolverOptions {
+  CqmVariant variant = CqmVariant::kReduced;
+  std::int64_t k = 0;
+  model::PenaltyOptions penalty;  ///< slack bits by default (exact)
+  anneal::SaParams sa;
+};
+
+struct QuboSolverDiagnostics {
+  std::size_t qubo_variables = 0;
+  std::size_t slack_variables = 0;
+  double lambda_used = 0.0;
+  bool sample_feasible = false;
+  bool plan_repaired = false;
+};
+
+/// The fully-unconstrained path (the paper's qubo/ work-in-progress folder):
+/// LRP -> CQM -> penalty QUBO (Glover et al.) -> plain simulated annealing.
+/// Exact with slack bits, ancilla-free with unbalanced penalization. Best for
+/// small/medium instances — the expanded QUBO materializes the dense
+/// objective, unlike the structured CQM annealer.
+class QuboAnnealSolver final : public RebalanceSolver {
+ public:
+  explicit QuboAnnealSolver(QuboSolverOptions options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "Q_QUBO(SA)"; }
+  SolveOutput solve(const LrpProblem& problem) override;
+
+  const std::optional<QuboSolverDiagnostics>& last_diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  QuboSolverOptions options_;
+  std::optional<QuboSolverDiagnostics> diagnostics_;
+};
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,43 @@
+#include "lrp/solver.hpp"
+
+#include "classical/greedy.hpp"
+#include "classical/kk.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::lrp {
+
+SolveOutput GreedySolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+  const std::vector<double> items = problem.flatten_tasks();
+  const auto partition = classical::greedy_partition(items, problem.num_processes());
+  SolveOutput out(MigrationPlan::from_partition(problem, partition));
+  out.cpu_ms = timer.elapsed_ms();
+  return out;
+}
+
+SolveOutput KkSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+  const std::vector<double> items = problem.flatten_tasks();
+  const auto partition = classical::kk_partition(items, problem.num_processes());
+  SolveOutput out(MigrationPlan::from_partition(problem, partition));
+  out.cpu_ms = timer.elapsed_ms();
+  return out;
+}
+
+SolveOutput ProactLbSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+  classical::UniformLoads input{problem.task_loads(), problem.task_counts()};
+  const auto result = classical::proactlb(input, params_);
+  SolveOutput out(MigrationPlan::from_transfers(problem, result.transfers));
+  out.cpu_ms = timer.elapsed_ms();
+  return out;
+}
+
+SolverReport run_and_evaluate(RebalanceSolver& solver, const LrpProblem& problem) {
+  SolverReport report{solver.name(), solver.solve(problem), {}};
+  report.output.plan.validate(problem);
+  report.metrics = evaluate_plan(problem, report.output.plan);
+  return report;
+}
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classical/proactlb.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/plan.hpp"
+#include "lrp/problem.hpp"
+
+namespace qulrb::lrp {
+
+/// Outcome of one rebalancing run.
+struct SolveOutput {
+  explicit SolveOutput(MigrationPlan p) : plan(std::move(p)) {}
+
+  MigrationPlan plan;
+  double cpu_ms = 0.0;   ///< classical algorithm / solver time
+  double qpu_ms = 0.0;   ///< simulated QPU access share (quantum methods only)
+  bool feasible = true;  ///< false when the solver could not satisfy its constraints
+  std::string notes;
+};
+
+/// Common interface for every rebalancing method compared in the paper.
+class RebalanceSolver {
+ public:
+  virtual ~RebalanceSolver() = default;
+  virtual std::string name() const = 0;
+  virtual SolveOutput solve(const LrpProblem& problem) = 0;
+};
+
+/// Greedy / LPT baseline: flattens all tasks, re-partitions from scratch with
+/// Graham's rule, maps bin b to process b. Balance-optimal in practice but
+/// placement-oblivious, so ~N(M-1)/M tasks end up migrating.
+class GreedySolver final : public RebalanceSolver {
+ public:
+  std::string name() const override { return "Greedy"; }
+  SolveOutput solve(const LrpProblem& problem) override;
+};
+
+/// Karmarkar-Karp baseline, same placement-oblivious protocol as Greedy.
+class KkSolver final : public RebalanceSolver {
+ public:
+  std::string name() const override { return "KK"; }
+  SolveOutput solve(const LrpProblem& problem) override;
+};
+
+/// ProactLB baseline (placement-aware, migration-frugal).
+class ProactLbSolver final : public RebalanceSolver {
+ public:
+  explicit ProactLbSolver(classical::ProactLbParams params = {}) : params_(params) {}
+  std::string name() const override { return "ProactLB"; }
+  SolveOutput solve(const LrpProblem& problem) override;
+
+ private:
+  classical::ProactLbParams params_;
+};
+
+/// Convenience: run a solver and evaluate its plan in one call.
+struct SolverReport {
+  std::string name;
+  SolveOutput output;
+  RebalanceMetrics metrics;
+};
+
+SolverReport run_and_evaluate(RebalanceSolver& solver, const LrpProblem& problem);
+
+}  // namespace qulrb::lrp

@@ -1,0 +1,179 @@
+#include "model/cqm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qulrb::model {
+
+std::string to_string(Sense s) {
+  switch (s) {
+    case Sense::LE: return "<=";
+    case Sense::GE: return ">=";
+    case Sense::EQ: return "==";
+  }
+  return "?";
+}
+
+VarId CqmModel::add_variable(std::string name) {
+  const auto id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(std::move(name));
+  linear_.push_back(0.0);
+  invalidate_incidence();
+  return id;
+}
+
+void CqmModel::add_objective_linear(VarId v, double coeff) {
+  util::require(v < num_variables(), "CqmModel: objective variable out of range");
+  linear_[v] += coeff;
+}
+
+void CqmModel::add_objective_quadratic(VarId i, VarId j, double coeff) {
+  util::require(i < num_variables() && j < num_variables(),
+                "CqmModel: objective variable out of range");
+  if (i == j) {
+    linear_[i] += coeff;  // x^2 == x
+    return;
+  }
+  if (i > j) std::swap(i, j);
+  quadratic_.push_back({i, j, coeff});
+  invalidate_incidence();
+}
+
+std::size_t CqmModel::add_squared_group(LinearExpr expr, double weight) {
+  expr.normalize();
+  for (const auto& t : expr.terms()) {
+    util::require(t.var < num_variables(), "CqmModel: group variable out of range");
+  }
+  groups_.push_back({std::move(expr), weight});
+  invalidate_incidence();
+  return groups_.size() - 1;
+}
+
+std::size_t CqmModel::add_constraint(LinearExpr lhs, Sense sense, double rhs,
+                                     std::string label) {
+  lhs.normalize();
+  for (const auto& t : lhs.terms()) {
+    util::require(t.var < num_variables(), "CqmModel: constraint variable out of range");
+  }
+  rhs -= lhs.constant();
+  lhs.add_constant(-lhs.constant());
+  constraints_.push_back({std::move(lhs), sense, rhs, std::move(label)});
+  invalidate_incidence();
+  return constraints_.size() - 1;
+}
+
+std::size_t CqmModel::num_equality_constraints() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(constraints_.begin(), constraints_.end(),
+                    [](const Constraint& c) { return c.sense == Sense::EQ; }));
+}
+
+std::size_t CqmModel::num_inequality_constraints() const noexcept {
+  return constraints_.size() - num_equality_constraints();
+}
+
+double CqmModel::objective_value(std::span<const std::uint8_t> state) const {
+  util::require(state.size() == num_variables(), "CqmModel: state size mismatch");
+  double e = objective_offset_;
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    if (state[i]) e += linear_[i];
+  }
+  for (const auto& q : quadratic_) {
+    if (state[q.i] && state[q.j]) e += q.coeff;
+  }
+  for (const auto& g : groups_) {
+    const double v = g.expr.evaluate(state);
+    e += g.weight * v * v;
+  }
+  return e;
+}
+
+double CqmModel::constraint_activity(std::size_t c,
+                                     std::span<const std::uint8_t> state) const {
+  util::require(c < constraints_.size(), "CqmModel: constraint index out of range");
+  return constraints_[c].lhs.evaluate(state);
+}
+
+double CqmModel::violation_of(Sense sense, double activity, double rhs) noexcept {
+  switch (sense) {
+    case Sense::LE: return std::max(0.0, activity - rhs);
+    case Sense::GE: return std::max(0.0, rhs - activity);
+    case Sense::EQ: return std::abs(activity - rhs);
+  }
+  return 0.0;
+}
+
+double CqmModel::constraint_violation(std::size_t c,
+                                      std::span<const std::uint8_t> state) const {
+  const auto& con = constraints_.at(c);
+  return violation_of(con.sense, con.lhs.evaluate(state), con.rhs);
+}
+
+double CqmModel::total_violation(std::span<const std::uint8_t> state) const {
+  double v = 0.0;
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    v += constraint_violation(c, state);
+  }
+  return v;
+}
+
+bool CqmModel::is_feasible(std::span<const std::uint8_t> state, double tol) const {
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    if (constraint_violation(c, state) > tol) return false;
+  }
+  return true;
+}
+
+void CqmModel::build_incidence() const {
+  group_incidence_.assign(num_variables(), {});
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const auto& t : groups_[g].expr.terms()) {
+      group_incidence_[t.var].push_back({static_cast<std::uint32_t>(g), t.coeff});
+    }
+  }
+  constraint_incidence_.assign(num_variables(), {});
+  for (std::size_t c = 0; c < constraints_.size(); ++c) {
+    for (const auto& t : constraints_[c].lhs.terms()) {
+      constraint_incidence_[t.var].push_back({static_cast<std::uint32_t>(c), t.coeff});
+    }
+  }
+  quadratic_incidence_.assign(num_variables(), {});
+  for (const auto& q : quadratic_) {
+    quadratic_incidence_[q.i].push_back({q.j, q.coeff});
+    quadratic_incidence_[q.j].push_back({q.i, q.coeff});
+  }
+  incidence_valid_ = true;
+}
+
+const std::vector<std::vector<CqmModel::Incidence>>& CqmModel::group_incidence() const {
+  if (!incidence_valid_) build_incidence();
+  return group_incidence_;
+}
+
+const std::vector<std::vector<CqmModel::Incidence>>& CqmModel::constraint_incidence()
+    const {
+  if (!incidence_valid_) build_incidence();
+  return constraint_incidence_;
+}
+
+const std::vector<std::vector<CqmModel::QuadNeighbor>>& CqmModel::quadratic_incidence()
+    const {
+  if (!incidence_valid_) build_incidence();
+  return quadratic_incidence_;
+}
+
+double CqmModel::objective_scale() const {
+  double scale = 0.0;
+  for (double a : linear_) scale = std::max(scale, std::abs(a));
+  for (const auto& q : quadratic_) scale = std::max(scale, std::abs(q.coeff));
+  for (const auto& g : groups_) {
+    const double span =
+        std::max(std::abs(g.expr.min_value()), std::abs(g.expr.max_value()));
+    scale = std::max(scale, std::abs(g.weight) * span * span);
+  }
+  return scale > 0.0 ? scale : 1.0;
+}
+
+}  // namespace qulrb::model

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/expr.hpp"
+
+namespace qulrb::model {
+
+enum class Sense : std::uint8_t { LE, GE, EQ };
+
+std::string to_string(Sense s);
+
+/// Constrained Quadratic Model over binary variables, mirroring the model
+/// class consumed by D-Wave's Leap hybrid CQM solver:
+///
+///   minimize   f(x) = linear + quadratic + sum_g weight_g * (expr_g(x))^2
+///   subject to lhs_c(x) {<=,>=,==} rhs_c   for every constraint c
+///
+/// The *squared-linear-group* objective form is first-class (rather than
+/// pre-expanded into quadratic terms) so that solvers can maintain each
+/// group's running value and evaluate single-bit flips in O(groups touched).
+/// The LRP objective  sum_i (L'_i - L_avg)^2  uses exactly this form; at
+/// M = 64 processes its dense quadratic expansion would hold ~10^7 terms,
+/// while the grouped form holds ~M^2 |C| linear terms.
+class CqmModel {
+ public:
+  struct Constraint {
+    LinearExpr lhs;       ///< normalized expression (constant folded into rhs by add_constraint)
+    Sense sense;
+    double rhs;
+    std::string label;
+  };
+
+  struct SquaredGroup {
+    LinearExpr expr;  ///< contributes weight * expr(x)^2 to the objective
+    double weight;
+  };
+
+  struct QuadraticTerm {
+    VarId i, j;  ///< i < j
+    double coeff;
+  };
+
+  CqmModel() = default;
+
+  // --- construction -------------------------------------------------------
+
+  VarId add_variable(std::string name = {});
+  std::size_t num_variables() const noexcept { return var_names_.size(); }
+  const std::string& variable_name(VarId v) const { return var_names_.at(v); }
+
+  void add_objective_linear(VarId v, double coeff);
+  void add_objective_quadratic(VarId i, VarId j, double coeff);
+  void add_objective_offset(double c) noexcept { objective_offset_ += c; }
+
+  /// Adds weight * (expr)^2 to the objective. The expression is normalized.
+  std::size_t add_squared_group(LinearExpr expr, double weight);
+
+  /// Adds `lhs sense rhs`; any constant inside lhs is folded into rhs.
+  std::size_t add_constraint(LinearExpr lhs, Sense sense, double rhs,
+                             std::string label = {});
+
+  // --- introspection ------------------------------------------------------
+
+  std::span<const Constraint> constraints() const noexcept { return constraints_; }
+  std::span<const SquaredGroup> squared_groups() const noexcept { return groups_; }
+  std::span<const QuadraticTerm> objective_quadratic() const noexcept {
+    return quadratic_;
+  }
+  std::span<const double> objective_linear() const noexcept { return linear_; }
+  double objective_offset() const noexcept { return objective_offset_; }
+
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+  std::size_t num_equality_constraints() const noexcept;
+  std::size_t num_inequality_constraints() const noexcept;
+
+  // --- evaluation ---------------------------------------------------------
+
+  double objective_value(std::span<const std::uint8_t> state) const;
+
+  /// lhs value of constraint c under the assignment.
+  double constraint_activity(std::size_t c, std::span<const std::uint8_t> state) const;
+
+  /// Non-negative amount by which constraint c is violated (0 if satisfied).
+  double constraint_violation(std::size_t c, std::span<const std::uint8_t> state) const;
+
+  /// Sum of violations across all constraints.
+  double total_violation(std::span<const std::uint8_t> state) const;
+
+  bool is_feasible(std::span<const std::uint8_t> state, double tol = 1e-9) const;
+
+  /// Violation implied by a raw activity value (no state needed).
+  static double violation_of(Sense sense, double activity, double rhs) noexcept;
+
+  // --- incidence (solver support) -----------------------------------------
+
+  struct Incidence {
+    std::uint32_t index;  ///< group or constraint index
+    double coeff;         ///< this variable's coefficient there
+  };
+
+  /// For each variable, the squared groups it appears in. Built lazily.
+  const std::vector<std::vector<Incidence>>& group_incidence() const;
+  /// For each variable, the constraints it appears in. Built lazily.
+  const std::vector<std::vector<Incidence>>& constraint_incidence() const;
+  /// For each variable, objective quadratic neighbours. Built lazily.
+  struct QuadNeighbor {
+    VarId other;
+    double coeff;
+  };
+  const std::vector<std::vector<QuadNeighbor>>& quadratic_incidence() const;
+
+  /// Rough magnitude of the objective (used to auto-scale penalties):
+  /// max over groups of weight * (max|expr|)^2, plus max |linear|.
+  double objective_scale() const;
+
+ private:
+  void invalidate_incidence() noexcept { incidence_valid_ = false; }
+  void build_incidence() const;
+
+  std::vector<std::string> var_names_;
+  std::vector<double> linear_;
+  std::vector<QuadraticTerm> quadratic_;
+  std::vector<SquaredGroup> groups_;
+  std::vector<Constraint> constraints_;
+  double objective_offset_ = 0.0;
+
+  mutable std::vector<std::vector<Incidence>> group_incidence_;
+  mutable std::vector<std::vector<Incidence>> constraint_incidence_;
+  mutable std::vector<std::vector<QuadNeighbor>> quadratic_incidence_;
+  mutable bool incidence_valid_ = false;
+};
+
+}  // namespace qulrb::model

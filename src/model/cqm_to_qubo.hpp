@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/cqm.hpp"
+#include "model/qubo.hpp"
+
+namespace qulrb::model {
+
+/// How inequality constraints are folded into the unconstrained objective.
+enum class InequalityMethod {
+  /// Classic: introduce binary slack bits s so that `lhs + s == rhs`, then
+  /// square-penalize. Exact, but each inequality costs ceil(log2(range))+1
+  /// ancilla qubits.
+  kSlackBits,
+  /// Unbalanced penalization (Montañez-Barrera et al. 2024): penalize
+  /// `-lambda1 * g + lambda2 * g^2` with g = slack of the inequality. Needs
+  /// no ancillas (the qubit count the paper assumes), at the cost of a small
+  /// bias that slightly rewards tight constraints.
+  kUnbalanced,
+};
+
+struct PenaltyOptions {
+  InequalityMethod inequality = InequalityMethod::kSlackBits;
+  /// Penalty weight for squared constraint terms; <= 0 selects
+  /// `penalty_factor * objective_scale` automatically.
+  double lambda = 0.0;
+  double penalty_factor = 10.0;
+  /// Unbalanced method's linear reward coefficient (lambda1 = ratio * lambda).
+  double unbalanced_linear_ratio = 0.1;
+  /// Resolution used to discretize slack for constraints with non-integer
+  /// coefficients. Integer-coefficient constraints use resolution 1 exactly.
+  double slack_resolution = 1.0;
+};
+
+struct QuboConversion {
+  QuboModel qubo;
+  std::size_t num_original_variables = 0;  ///< prefix of the QUBO variable space
+  std::size_t num_slack_variables = 0;
+  double lambda_used = 0.0;
+
+  /// Truncate a QUBO state back to an assignment of the original CQM vars.
+  State project(std::span<const std::uint8_t> qubo_state) const;
+};
+
+/// Expand a CQM into a penalty-form QUBO. Squared objective groups are
+/// expanded exactly (O(|expr|^2) terms each), so this is intended for small
+/// and medium models; large structured models should be solved with the
+/// native CQM annealer instead.
+QuboConversion cqm_to_qubo(const CqmModel& cqm, const PenaltyOptions& options = {});
+
+}  // namespace qulrb::model

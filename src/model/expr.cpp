@@ -1,0 +1,61 @@
+#include "model/expr.hpp"
+
+#include <algorithm>
+
+namespace qulrb::model {
+
+void LinearExpr::normalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const LinearTerm& a, const LinearTerm& b) { return a.var < b.var; });
+  std::vector<LinearTerm> merged;
+  merged.reserve(terms_.size());
+  for (const auto& t : terms_) {
+    if (!merged.empty() && merged.back().var == t.var) {
+      merged.back().coeff += t.coeff;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  std::erase_if(merged, [](const LinearTerm& t) { return t.coeff == 0.0; });
+  terms_ = std::move(merged);
+}
+
+double LinearExpr::evaluate(std::span<const std::uint8_t> state) const noexcept {
+  double v = constant_;
+  for (const auto& t : terms_) {
+    if (state[t.var]) v += t.coeff;
+  }
+  return v;
+}
+
+double LinearExpr::min_value() const noexcept {
+  double v = constant_;
+  for (const auto& t : terms_) {
+    if (t.coeff < 0.0) v += t.coeff;
+  }
+  return v;
+}
+
+double LinearExpr::max_value() const noexcept {
+  double v = constant_;
+  for (const auto& t : terms_) {
+    if (t.coeff > 0.0) v += t.coeff;
+  }
+  return v;
+}
+
+LinearExpr& LinearExpr::operator+=(const LinearExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  normalize();
+  return *this;
+}
+
+LinearExpr& LinearExpr::operator*=(double scale) {
+  for (auto& t : terms_) t.coeff *= scale;
+  constant_ *= scale;
+  if (scale == 0.0) terms_.clear();
+  return *this;
+}
+
+}  // namespace qulrb::model

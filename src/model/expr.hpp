@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qulrb::model {
+
+/// Index of a binary decision variable within a model.
+using VarId = std::uint32_t;
+
+/// Binary assignment: state[v] in {0, 1}.
+using State = std::vector<std::uint8_t>;
+
+/// One linear term `coeff * x[var]`.
+struct LinearTerm {
+  VarId var;
+  double coeff;
+
+  friend bool operator==(const LinearTerm&, const LinearTerm&) = default;
+};
+
+/// Sparse affine expression `sum_i coeff_i * x_i + constant` over binary
+/// variables. Terms are kept sorted by variable id with duplicates merged
+/// (see normalize()).
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+  explicit LinearExpr(double constant) : constant_(constant) {}
+
+  /// Append a term; call normalize() once after bulk construction.
+  void add_term(VarId var, double coeff) { terms_.push_back({var, coeff}); }
+  void add_constant(double c) { constant_ += c; }
+
+  /// Sort terms by variable, merge duplicates, drop exact zeros.
+  void normalize();
+
+  std::span<const LinearTerm> terms() const noexcept { return terms_; }
+  double constant() const noexcept { return constant_; }
+
+  bool empty() const noexcept { return terms_.empty(); }
+  std::size_t size() const noexcept { return terms_.size(); }
+
+  /// Value of the expression under a full assignment.
+  double evaluate(std::span<const std::uint8_t> state) const noexcept;
+
+  /// Smallest / largest achievable value over all binary assignments.
+  double min_value() const noexcept;
+  double max_value() const noexcept;
+
+  LinearExpr& operator+=(const LinearExpr& other);
+  LinearExpr& operator*=(double scale);
+
+ private:
+  std::vector<LinearTerm> terms_;
+  double constant_ = 0.0;
+};
+
+}  // namespace qulrb::model

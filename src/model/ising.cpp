@@ -1,0 +1,121 @@
+#include "model/ising.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qulrb::model {
+
+IsingModel::IsingModel(std::size_t num_spins) : h_(num_spins, 0.0) {}
+
+void IsingModel::add_field(VarId i, double h) {
+  util::require(i < h_.size(), "IsingModel::add_field: spin out of range");
+  h_[i] += h;
+}
+
+void IsingModel::add_coupling(VarId i, VarId j, double J) {
+  util::require(i < h_.size() && j < h_.size(),
+                "IsingModel::add_coupling: spin out of range");
+  util::require(i != j, "IsingModel::add_coupling: self-coupling (s_i^2 == 1 is a constant)");
+  if (i > j) std::swap(i, j);
+  couplings_[key_of(i, j)] += J;
+  adjacency_valid_ = false;
+}
+
+double IsingModel::coupling(VarId i, VarId j) const {
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  const auto it = couplings_.find(key_of(i, j));
+  return it == couplings_.end() ? 0.0 : it->second;
+}
+
+double IsingModel::energy(std::span<const std::int8_t> spins) const {
+  util::require(spins.size() == h_.size(), "IsingModel::energy: spin count mismatch");
+  double e = offset_;
+  for (std::size_t i = 0; i < h_.size(); ++i) e += h_[i] * spins[i];
+  for (const auto& [key, J] : couplings_) {
+    const auto i = static_cast<VarId>(key >> 32);
+    const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
+    e += J * spins[i] * spins[j];
+  }
+  return e;
+}
+
+const std::vector<std::vector<IsingModel::Neighbor>>& IsingModel::adjacency() const {
+  if (!adjacency_valid_) {
+    adjacency_.assign(h_.size(), {});
+    for (const auto& [key, J] : couplings_) {
+      const auto i = static_cast<VarId>(key >> 32);
+      const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
+      adjacency_[i].push_back({j, J});
+      adjacency_[j].push_back({i, J});
+    }
+    adjacency_valid_ = true;
+  }
+  return adjacency_;
+}
+
+double IsingModel::local_field(std::span<const std::int8_t> spins, VarId v) const {
+  const auto& adj = adjacency();
+  double f = h_[v];
+  for (const auto& nb : adj[v]) f += nb.coupling * spins[nb.other];
+  return f;
+}
+
+IsingModel qubo_to_ising(const QuboModel& qubo) {
+  // x_i = (1 + s_i)/2:
+  //   a_i x_i            -> a_i/2 s_i + a_i/2
+  //   b_ij x_i x_j       -> b_ij/4 (s_i s_j + s_i + s_j + 1)
+  IsingModel ising(qubo.num_variables());
+  ising.add_offset(qubo.offset());
+  for (VarId i = 0; i < qubo.num_variables(); ++i) {
+    const double a = qubo.linear(i);
+    ising.add_field(i, a / 2.0);
+    ising.add_offset(a / 2.0);
+  }
+  qubo.for_each_quadratic([&](VarId i, VarId j, double b) {
+    ising.add_coupling(i, j, b / 4.0);
+    ising.add_field(i, b / 4.0);
+    ising.add_field(j, b / 4.0);
+    ising.add_offset(b / 4.0);
+  });
+  return ising;
+}
+
+QuboModel ising_to_qubo(const IsingModel& ising) {
+  // s_i = 2 x_i - 1:
+  //   h_i s_i      -> 2 h_i x_i - h_i
+  //   J_ij s_i s_j -> 4 J_ij x_i x_j - 2 J_ij x_i - 2 J_ij x_j + J_ij
+  QuboModel qubo(ising.num_spins());
+  qubo.add_offset(ising.offset());
+  for (VarId i = 0; i < ising.num_spins(); ++i) {
+    const double h = ising.field(i);
+    qubo.add_linear(i, 2.0 * h);
+    qubo.add_offset(-h);
+  }
+  ising.for_each_coupling([&](VarId i, VarId j, double J) {
+    qubo.add_quadratic(i, j, 4.0 * J);
+    qubo.add_linear(i, -2.0 * J);
+    qubo.add_linear(j, -2.0 * J);
+    qubo.add_offset(J);
+  });
+  return qubo;
+}
+
+std::vector<std::int8_t> state_to_spins(std::span<const std::uint8_t> state) {
+  std::vector<std::int8_t> spins(state.size());
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    spins[i] = state[i] ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return spins;
+}
+
+State spins_to_state(std::span<const std::int8_t> spins) {
+  State state(spins.size());
+  for (std::size_t i = 0; i < spins.size(); ++i) {
+    state[i] = spins[i] > 0 ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  return state;
+}
+
+}  // namespace qulrb::model

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "model/expr.hpp"
+#include "model/qubo.hpp"
+
+namespace qulrb::model {
+
+/// Ising spin model:
+///   E(s) = offset + sum_i h_i s_i + sum_{i<j} J_ij s_i s_j,  s in {-1,+1}^n.
+/// Used by the path-integral Monte-Carlo (simulated quantum annealing)
+/// sampler, which is naturally expressed over spins.
+class IsingModel {
+ public:
+  explicit IsingModel(std::size_t num_spins = 0);
+
+  std::size_t num_spins() const noexcept { return h_.size(); }
+
+  void add_field(VarId i, double h);
+  void add_coupling(VarId i, VarId j, double J);
+  void add_offset(double c) noexcept { offset_ += c; }
+
+  double field(VarId i) const { return h_.at(i); }
+  double coupling(VarId i, VarId j) const;  ///< 0.0 if absent
+  double offset() const noexcept { return offset_; }
+
+  /// spins[i] in {-1, +1}.
+  double energy(std::span<const std::int8_t> spins) const;
+
+  struct Neighbor {
+    VarId other;
+    double coupling;
+  };
+  const std::vector<std::vector<Neighbor>>& adjacency() const;
+
+  /// Local field acting on spin v: h_v + sum_j J_vj s_j.
+  double local_field(std::span<const std::int8_t> spins, VarId v) const;
+
+  template <typename F>
+  void for_each_coupling(F&& f) const {
+    for (const auto& [key, J] : couplings_) {
+      f(static_cast<VarId>(key >> 32), static_cast<VarId>(key & 0xFFFFFFFFu), J);
+    }
+  }
+
+ private:
+  static std::uint64_t key_of(VarId i, VarId j) noexcept {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+  std::vector<double> h_;
+  std::unordered_map<std::uint64_t, double> couplings_;
+  double offset_ = 0.0;
+
+  mutable std::vector<std::vector<Neighbor>> adjacency_;
+  mutable bool adjacency_valid_ = false;
+};
+
+/// QUBO -> Ising under x = (1 + s) / 2; energies match exactly:
+/// E_qubo(x) == E_ising(s) for corresponding assignments.
+IsingModel qubo_to_ising(const QuboModel& qubo);
+
+/// Ising -> QUBO under s = 2x - 1; exact energy correspondence.
+QuboModel ising_to_qubo(const IsingModel& ising);
+
+/// Convert a binary state to spins (0 -> -1, 1 -> +1) and back.
+std::vector<std::int8_t> state_to_spins(std::span<const std::uint8_t> state);
+State spins_to_state(std::span<const std::int8_t> spins);
+
+}  // namespace qulrb::model

@@ -1,0 +1,94 @@
+#include "model/lp_format.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace qulrb::model {
+
+namespace {
+
+std::string var_name(const CqmModel& cqm, VarId v) {
+  const std::string& name = cqm.variable_name(v);
+  return name.empty() ? "v" + std::to_string(v) : name;
+}
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void write_term(std::ostream& out, bool& first, double coeff,
+                const std::string& symbol) {
+  if (coeff == 0.0) return;
+  if (first) {
+    if (coeff < 0.0) out << "- ";
+    first = false;
+  } else {
+    out << (coeff < 0.0 ? " - " : " + ");
+  }
+  out << format_number(std::abs(coeff));
+  if (!symbol.empty()) out << ' ' << symbol;
+}
+
+void write_expr(std::ostream& out, const CqmModel& cqm, const LinearExpr& expr) {
+  bool first = true;
+  for (const auto& t : expr.terms()) {
+    write_term(out, first, t.coeff, var_name(cqm, t.var));
+  }
+  if (expr.constant() != 0.0 || first) {
+    write_term(out, first, expr.constant(), "");
+  }
+}
+
+}  // namespace
+
+void write_lp(std::ostream& out, const CqmModel& cqm) {
+  out << "Minimize\n  obj: ";
+  bool first = true;
+  const auto linear = cqm.objective_linear();
+  for (VarId v = 0; v < linear.size(); ++v) {
+    write_term(out, first, linear[v], var_name(cqm, v));
+  }
+  for (const auto& q : cqm.objective_quadratic()) {
+    write_term(out, first, q.coeff, var_name(cqm, q.i) + " * " + var_name(cqm, q.j));
+  }
+  if (cqm.objective_offset() != 0.0) {
+    write_term(out, first, cqm.objective_offset(), "");
+  }
+  for (const auto& g : cqm.squared_groups()) {
+    if (!first) out << " + ";
+    first = false;
+    if (g.weight != 1.0) out << format_number(g.weight) << ' ';
+    out << "[ ";
+    write_expr(out, cqm, g.expr);
+    out << " ]^2";
+  }
+  if (first) out << "0";
+  out << "\n";
+
+  out << "Subject To\n";
+  std::size_t anonymous = 0;
+  for (const auto& con : cqm.constraints()) {
+    const std::string label =
+        con.label.empty() ? "c" + std::to_string(anonymous++) : con.label;
+    out << "  " << label << ": ";
+    write_expr(out, cqm, con.lhs);
+    out << ' ' << to_string(con.sense) << ' ' << format_number(con.rhs) << "\n";
+  }
+
+  out << "Binary\n ";
+  for (VarId v = 0; v < cqm.num_variables(); ++v) {
+    out << ' ' << var_name(cqm, v);
+  }
+  out << "\nEnd\n";
+}
+
+std::string to_lp_string(const CqmModel& cqm) {
+  std::ostringstream os;
+  write_lp(os, cqm);
+  return os.str();
+}
+
+}  // namespace qulrb::model

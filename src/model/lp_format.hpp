@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/cqm.hpp"
+
+namespace qulrb::model {
+
+/// Render a CQM in a human-readable LP-like text format (CPLEX-LP flavoured;
+/// squared groups are written as `[expr]^2` comments since LP files cannot
+/// express them natively). Primarily a debugging/inspection aid — the same
+/// role `print(cqm)` plays in quantum-SDK notebooks.
+///
+///   Minimize
+///     obj: 2 x0 - 1 x1 + [ 1 x0 + 1 x1 - 3 ]^2
+///   Subject To
+///     capacity: 1 x0 + 1 x1 <= 2
+///   Binary
+///     x0 x1
+void write_lp(std::ostream& out, const CqmModel& cqm);
+std::string to_lp_string(const CqmModel& cqm);
+
+}  // namespace qulrb::model

@@ -1,0 +1,93 @@
+#include "model/presolve.hpp"
+
+#include <cmath>
+
+namespace qulrb::model {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+struct Bounds {
+  double lo = 0.0;  ///< min achievable lhs given current fixings
+  double hi = 0.0;  ///< max achievable lhs given current fixings
+};
+
+Bounds constraint_bounds(const CqmModel::Constraint& con,
+                         const std::vector<std::optional<std::uint8_t>>& fixed) {
+  Bounds b{con.lhs.constant(), con.lhs.constant()};
+  for (const auto& t : con.lhs.terms()) {
+    if (fixed[t.var].has_value()) {
+      const double v = *fixed[t.var] ? t.coeff : 0.0;
+      b.lo += v;
+      b.hi += v;
+    } else if (t.coeff < 0.0) {
+      b.lo += t.coeff;
+    } else {
+      b.hi += t.coeff;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+PresolveResult presolve(const CqmModel& cqm) {
+  PresolveResult result;
+  result.fixed.assign(cqm.num_variables(), std::nullopt);
+
+  bool changed = true;
+  while (changed && !result.proven_infeasible) {
+    changed = false;
+    for (const auto& con : cqm.constraints()) {
+      const Bounds b = constraint_bounds(con, result.fixed);
+
+      // Infeasibility checks on the whole constraint.
+      if ((con.sense == Sense::LE && b.lo > con.rhs + kTol) ||
+          (con.sense == Sense::GE && b.hi < con.rhs - kTol) ||
+          (con.sense == Sense::EQ &&
+           (b.lo > con.rhs + kTol || b.hi < con.rhs - kTol))) {
+        result.proven_infeasible = true;
+        break;
+      }
+
+      for (const auto& t : con.lhs.terms()) {
+        if (result.fixed[t.var].has_value()) continue;
+        // Bounds of lhs with x_v forced to 1 / 0.
+        const double lo_if_one = b.lo + (t.coeff > 0.0 ? t.coeff : 0.0);
+        const double hi_if_one = b.hi + (t.coeff < 0.0 ? t.coeff : 0.0);
+        const double lo_if_zero = b.lo - (t.coeff < 0.0 ? t.coeff : 0.0);
+        const double hi_if_zero = b.hi - (t.coeff > 0.0 ? t.coeff : 0.0);
+
+        const bool one_impossible =
+            (con.sense == Sense::LE && lo_if_one > con.rhs + kTol) ||
+            (con.sense == Sense::GE && hi_if_one < con.rhs - kTol) ||
+            (con.sense == Sense::EQ &&
+             (lo_if_one > con.rhs + kTol || hi_if_one < con.rhs - kTol));
+        const bool zero_impossible =
+            (con.sense == Sense::LE && lo_if_zero > con.rhs + kTol) ||
+            (con.sense == Sense::GE && hi_if_zero < con.rhs - kTol) ||
+            (con.sense == Sense::EQ &&
+             (lo_if_zero > con.rhs + kTol || hi_if_zero < con.rhs - kTol));
+
+        if (one_impossible && zero_impossible) {
+          result.proven_infeasible = true;
+          break;
+        }
+        if (one_impossible) {
+          result.fixed[t.var] = 0;
+          ++result.num_fixed;
+          changed = true;
+        } else if (zero_impossible) {
+          result.fixed[t.var] = 1;
+          ++result.num_fixed;
+          changed = true;
+        }
+      }
+      if (result.proven_infeasible) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace qulrb::model

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/cqm.hpp"
+
+namespace qulrb::model {
+
+/// Result of a presolve pass: variables provably fixed in every feasible
+/// assignment. value is 0 or 1; unset means free.
+struct PresolveResult {
+  std::vector<std::optional<std::uint8_t>> fixed;
+  std::size_t num_fixed = 0;
+  bool proven_infeasible = false;
+};
+
+/// Cheap bound-based variable fixing, iterated to a fixed point:
+///  * For `lhs <= rhs`: if min(lhs | x_v = 1) > rhs, then x_v = 0 in every
+///    feasible solution (symmetrically for GE / the 0 branch).
+///  * If even min(lhs) > rhs the model is infeasible.
+/// This mirrors the classical presolve layer of hybrid CQM services; it is
+/// deliberately conservative (never cuts optimal solutions).
+PresolveResult presolve(const CqmModel& cqm);
+
+}  // namespace qulrb::model

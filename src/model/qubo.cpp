@@ -1,0 +1,107 @@
+#include "model/qubo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qulrb::model {
+
+QuboModel::QuboModel(std::size_t num_variables) : linear_(num_variables, 0.0) {}
+
+void QuboModel::add_variable() {
+  linear_.push_back(0.0);
+  adjacency_valid_ = false;
+}
+
+void QuboModel::add_linear(VarId i, double coeff) {
+  util::require(i < linear_.size(), "QuboModel::add_linear: variable out of range");
+  linear_[i] += coeff;
+}
+
+void QuboModel::add_quadratic(VarId i, VarId j, double coeff) {
+  util::require(i < linear_.size() && j < linear_.size(),
+                "QuboModel::add_quadratic: variable out of range");
+  if (i == j) {
+    // x^2 == x for binary variables.
+    linear_[i] += coeff;
+    return;
+  }
+  if (i > j) std::swap(i, j);
+  quadratic_[key_of(i, j)] += coeff;
+  adjacency_valid_ = false;
+}
+
+void QuboModel::add_squared_expr(const LinearExpr& expr, double weight) {
+  const auto terms = expr.terms();
+  const double b = expr.constant();
+  add_offset(weight * b * b);
+  for (std::size_t p = 0; p < terms.size(); ++p) {
+    const auto& tp = terms[p];
+    // a_p^2 x_p^2 = a_p^2 x_p, plus the 2 a_p b x_p cross term.
+    add_linear(tp.var, weight * (tp.coeff * tp.coeff + 2.0 * tp.coeff * b));
+    for (std::size_t q = p + 1; q < terms.size(); ++q) {
+      const auto& tq = terms[q];
+      add_quadratic(tp.var, tq.var, weight * 2.0 * tp.coeff * tq.coeff);
+    }
+  }
+}
+
+double QuboModel::quadratic(VarId i, VarId j) const {
+  if (i == j) return 0.0;
+  if (i > j) std::swap(i, j);
+  const auto it = quadratic_.find(key_of(i, j));
+  return it == quadratic_.end() ? 0.0 : it->second;
+}
+
+double QuboModel::energy(std::span<const std::uint8_t> state) const {
+  util::require(state.size() == linear_.size(),
+                "QuboModel::energy: state size mismatch");
+  double e = offset_;
+  for (std::size_t i = 0; i < linear_.size(); ++i) {
+    if (state[i]) e += linear_[i];
+  }
+  for (const auto& [key, coeff] : quadratic_) {
+    const auto i = static_cast<VarId>(key >> 32);
+    const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
+    if (state[i] && state[j]) e += coeff;
+  }
+  return e;
+}
+
+const std::vector<std::vector<QuboModel::Neighbor>>& QuboModel::adjacency() const {
+  if (!adjacency_valid_) {
+    adjacency_.assign(linear_.size(), {});
+    for (const auto& [key, coeff] : quadratic_) {
+      const auto i = static_cast<VarId>(key >> 32);
+      const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
+      adjacency_[i].push_back({j, coeff});
+      adjacency_[j].push_back({i, coeff});
+    }
+    adjacency_valid_ = true;
+  }
+  return adjacency_;
+}
+
+double QuboModel::flip_delta(std::span<const std::uint8_t> state, VarId v) const {
+  const auto& adj = adjacency();
+  double delta = linear_[v];
+  for (const auto& nb : adj[v]) {
+    if (state[nb.other]) delta += nb.coeff;
+  }
+  // Turning the bit on adds `delta`; turning it off removes it.
+  return state[v] ? -delta : delta;
+}
+
+double QuboModel::max_abs_coefficient() const noexcept {
+  double m = 0.0;
+  for (double a : linear_) m = std::max(m, std::abs(a));
+  for (const auto& [key, coeff] : quadratic_) {
+    (void)key;
+    m = std::max(m, std::abs(coeff));
+  }
+  return m;
+}
+
+}  // namespace qulrb::model

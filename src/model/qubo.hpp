@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "model/expr.hpp"
+
+namespace qulrb::model {
+
+/// Sparse Quadratic Unconstrained Binary Optimization model:
+///   E(x) = offset + sum_i a_i x_i + sum_{i<j} b_ij x_i x_j,  x in {0,1}^n.
+///
+/// Quadratic terms are stored upper-triangular (i < j); adding (j, i) or a
+/// diagonal term folds into the canonical place (x_i^2 == x_i folds into the
+/// linear part).
+class QuboModel {
+ public:
+  explicit QuboModel(std::size_t num_variables = 0);
+
+  std::size_t num_variables() const noexcept { return linear_.size(); }
+  std::size_t num_interactions() const noexcept { return quadratic_.size(); }
+
+  void add_variable();  ///< appends one variable with zero bias
+
+  void add_linear(VarId i, double coeff);
+  void add_quadratic(VarId i, VarId j, double coeff);
+  void add_offset(double c) noexcept { offset_ += c; }
+
+  /// Adds weight * (expr)^2 expanded into linear/quadratic/offset terms.
+  /// The expression must be normalized. Cost: O(|expr|^2) — intended for
+  /// small/medium expressions; large structured objectives should stay in
+  /// CqmModel form instead (see CqmModel::SquaredGroup).
+  void add_squared_expr(const LinearExpr& expr, double weight);
+
+  double linear(VarId i) const { return linear_.at(i); }
+  double quadratic(VarId i, VarId j) const;  ///< 0.0 if absent
+  double offset() const noexcept { return offset_; }
+
+  /// Full energy evaluation, O(n + m).
+  double energy(std::span<const std::uint8_t> state) const;
+
+  /// Neighbour list: for each variable, the (other, coeff) quadratic terms it
+  /// participates in. Built lazily; invalidated by further mutation.
+  struct Neighbor {
+    VarId other;
+    double coeff;
+  };
+  const std::vector<std::vector<Neighbor>>& adjacency() const;
+
+  /// Energy change of flipping variable v in `state`, O(deg(v)).
+  /// Requires adjacency() to have been built (done on first call).
+  double flip_delta(std::span<const std::uint8_t> state, VarId v) const;
+
+  /// Largest |coefficient| over linear+quadratic terms (penalty scaling aid).
+  double max_abs_coefficient() const noexcept;
+
+  /// Iterate quadratic terms: f(i, j, coeff) with i < j.
+  template <typename F>
+  void for_each_quadratic(F&& f) const {
+    for (const auto& [key, coeff] : quadratic_) {
+      f(static_cast<VarId>(key >> 32), static_cast<VarId>(key & 0xFFFFFFFFu), coeff);
+    }
+  }
+
+ private:
+  static std::uint64_t key_of(VarId i, VarId j) noexcept {
+    return (static_cast<std::uint64_t>(i) << 32) | j;
+  }
+
+  std::vector<double> linear_;
+  std::unordered_map<std::uint64_t, double> quadratic_;  // key: (min,max) packed
+  double offset_ = 0.0;
+
+  mutable std::vector<std::vector<Neighbor>> adjacency_;
+  mutable bool adjacency_valid_ = false;
+};
+
+}  // namespace qulrb::model

@@ -1,0 +1,152 @@
+#include "mpirt/communicator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace qulrb::mpirt {
+
+int RankContext::size() const noexcept {
+  return static_cast<int>(comm_->num_ranks());
+}
+
+void RankContext::send(int dest, int tag, std::vector<double> payload) {
+  util::require(dest >= 0 && dest < size(), "send: destination out of range");
+  comm_->deliver(dest, Message{rank_, tag, std::move(payload)});
+}
+
+Message RankContext::recv(int source, int tag) {
+  util::require(source >= 0 && source < size(), "recv: source out of range");
+  return comm_->take_matching(rank_, source, tag);
+}
+
+bool RankContext::probe(int source, int tag) {
+  util::require(source >= 0 && source < size(), "probe: source out of range");
+  return comm_->probe_matching(rank_, source, tag);
+}
+
+std::optional<Message> RankContext::try_recv_any(int tag) {
+  return comm_->take_any(rank_, tag);
+}
+
+void RankContext::barrier() { comm_->barrier_wait(); }
+
+double RankContext::allreduce_sum(double value) {
+  {
+    std::lock_guard lock(comm_->reduce_mutex_);
+    comm_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
+  }
+  comm_->barrier_wait();  // every slot written
+  double sum = 0.0;
+  {
+    std::lock_guard lock(comm_->reduce_mutex_);
+    for (double v : comm_->reduce_slots_) sum += v;
+  }
+  comm_->barrier_wait();  // everyone done reading before slots are reused
+  return sum;
+}
+
+double RankContext::allreduce_max(double value) {
+  {
+    std::lock_guard lock(comm_->reduce_mutex_);
+    comm_->reduce_slots_[static_cast<std::size_t>(rank_)] = value;
+  }
+  comm_->barrier_wait();
+  double result = -std::numeric_limits<double>::infinity();
+  {
+    std::lock_guard lock(comm_->reduce_mutex_);
+    for (double v : comm_->reduce_slots_) result = std::max(result, v);
+  }
+  comm_->barrier_wait();
+  return result;
+}
+
+Communicator::Communicator(std::size_t num_ranks)
+    : num_ranks_(num_ranks),
+      mailboxes_(num_ranks),
+      reduce_slots_(num_ranks, 0.0) {
+  util::require(num_ranks >= 1, "Communicator: need at least one rank");
+}
+
+void Communicator::run(const std::function<void(RankContext&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(num_ranks_);
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (std::size_t r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &error_mutex, &first_error] {
+      RankContext ctx(this, static_cast<int>(r));
+      try {
+        fn(ctx);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Communicator::deliver(int dest, Message message) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+Message Communicator::take_matching(int dest, int source, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(),
+        [&](const Message& m) { return m.source == source && m.tag == tag; });
+    if (it != box.messages.end()) {
+      Message message = std::move(*it);
+      box.messages.erase(it);
+      return message;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Communicator::probe_matching(int dest, int source, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  std::lock_guard lock(box.mutex);
+  return std::any_of(
+      box.messages.begin(), box.messages.end(),
+      [&](const Message& m) { return m.source == source && m.tag == tag; });
+}
+
+std::optional<Message> Communicator::take_any(int dest, int tag) {
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dest)];
+  std::lock_guard lock(box.mutex);
+  const auto it =
+      std::find_if(box.messages.begin(), box.messages.end(),
+                   [&](const Message& m) { return m.tag == tag; });
+  if (it == box.messages.end()) return std::nullopt;
+  Message message = std::move(*it);
+  box.messages.erase(it);
+  return message;
+}
+
+void Communicator::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t generation = barrier_generation_;
+  if (++barrier_waiting_ == num_ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] { return barrier_generation_ != generation; });
+}
+
+}  // namespace qulrb::mpirt

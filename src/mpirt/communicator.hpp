@@ -1,0 +1,103 @@
+#pragma once
+
+#include <condition_variable>
+#include <optional>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace qulrb::mpirt {
+
+/// Message payload: tagged vector of doubles (enough to serialize task
+/// batches; a real implementation would be typed).
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<double> payload;
+};
+
+class Communicator;
+
+/// Per-rank handle passed to the rank function — the MPI-like surface:
+/// point-to-point send/recv (tag + source matching), barrier, and the two
+/// reductions the LB driver needs. All operations are safe to call
+/// concurrently from different ranks (each rank is one thread).
+class RankContext {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Non-blocking enqueue to `dest`'s mailbox.
+  void send(int dest, int tag, std::vector<double> payload);
+
+  /// Block until a message with this (source, tag) arrives; FIFO per pair.
+  Message recv(int source, int tag);
+
+  /// True if a matching message is already queued (non-blocking probe).
+  bool probe(int source, int tag);
+
+  /// Take any queued message with this tag, from any source (non-blocking);
+  /// empty optional when none is waiting.
+  std::optional<Message> try_recv_any(int tag);
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Reductions over one double per rank; every rank gets the result.
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+ private:
+  friend class Communicator;
+  RankContext(Communicator* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  Communicator* comm_;
+  int rank_;
+};
+
+/// In-process "MPI": N ranks as threads with mailboxes, a generation-counted
+/// barrier, and tree-free (barrier-based) reductions. Substrate for running
+/// the LRP migration plans with *real* messages and threads rather than the
+/// discrete-event model in runtime/.
+class Communicator {
+ public:
+  explicit Communicator(std::size_t num_ranks);
+
+  std::size_t num_ranks() const noexcept { return num_ranks_; }
+
+  /// Launch `fn(ctx)` on every rank and join. Exceptions thrown by rank
+  /// functions are captured and rethrown (the first one) after the join.
+  void run(const std::function<void(RankContext&)>& fn);
+
+ private:
+  friend class RankContext;
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  void deliver(int dest, Message message);
+  Message take_matching(int dest, int source, int tag);
+  bool probe_matching(int dest, int source, int tag);
+  std::optional<Message> take_any(int dest, int tag);
+  void barrier_wait();
+
+  std::size_t num_ranks_;
+  std::vector<Mailbox> mailboxes_;
+
+  // Barrier (generation counted so it is reusable).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::size_t barrier_waiting_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  // Reduction scratch (guarded by the barrier protocol around it).
+  std::mutex reduce_mutex_;
+  std::vector<double> reduce_slots_;
+};
+
+}  // namespace qulrb::mpirt

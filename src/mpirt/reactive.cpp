@@ -1,0 +1,171 @@
+#include "mpirt/reactive.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <numeric>
+#include <thread>
+
+#include "lrp/metrics.hpp"
+#include "mpirt/communicator.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::mpirt {
+
+namespace {
+
+constexpr int kRequestTag = 21;   ///< thief -> victim: "give me work"
+constexpr int kReplyTag = 22;     ///< victim -> thief: batch (possibly empty)
+constexpr int kFinishedTag = 23;  ///< rank -> 0: "I am out of work"
+constexpr int kShutdownTag = 24;  ///< 0 -> all: global termination
+
+void busy_spin_ms(double ms) {
+  if (ms <= 0.0) return;
+  const util::WallTimer timer;
+  volatile double sink = 0.0;
+  while (timer.elapsed_ms() < ms) sink = sink + 1.0;
+}
+
+}  // namespace
+
+ReactiveResult run_reactive(const lrp::LrpProblem& problem,
+                            const ReactiveConfig& config) {
+  util::require(config.batch_size >= 1, "run_reactive: batch_size must be >= 1");
+  const std::size_t m = problem.num_processes();
+  util::require(m >= 2, "run_reactive: need at least two ranks");
+
+  ReactiveResult result;
+  result.tasks_executed.assign(m, 0);
+  result.compute_ms.assign(m, 0.0);
+
+  std::vector<double> per_rank_compute(m, 0.0);
+  std::vector<std::int64_t> per_rank_tasks(m, 0);
+  std::atomic<std::int64_t> requests{0};
+  std::atomic<std::int64_t> offloaded{0};
+
+  // Victim preference: initially heaviest first (every rank knows the static
+  // input, mirroring the status exchange of the reactive scheme).
+  std::vector<std::size_t> by_load(m);
+  std::iota(by_load.begin(), by_load.end(), std::size_t{0});
+  std::sort(by_load.begin(), by_load.end(), [&](std::size_t a, std::size_t b) {
+    return problem.load(a) > problem.load(b);
+  });
+
+  util::WallTimer wall;
+  Communicator comm(m);
+  comm.run([&](RankContext& ctx) {
+    const auto rank = static_cast<std::size_t>(ctx.rank());
+    std::deque<double> queue(static_cast<std::size_t>(problem.tasks_on(rank)),
+                             problem.task_load(rank));
+    double compute = 0.0;
+    std::int64_t executed = 0;
+
+    // Answer queued REQUESTs, shipping up to batch_size tasks each but never
+    // dropping the local queue below `keep` (the task we are about to run).
+    auto service_requests = [&](std::size_t keep) {
+      while (auto request = ctx.try_recv_any(kRequestTag)) {
+        std::vector<double> batch;
+        while (batch.size() < static_cast<std::size_t>(config.batch_size) &&
+               queue.size() > keep) {
+          batch.push_back(queue.back());
+          queue.pop_back();
+        }
+        offloaded.fetch_add(static_cast<std::int64_t>(batch.size()));
+        ctx.send(request->source, kReplyTag, std::move(batch));
+      }
+    };
+
+    // --- work + steal loop ---------------------------------------------------
+    std::size_t next_victim = 0;
+    auto pick_victim = [&]() -> int {
+      while (next_victim < m && by_load[next_victim] == rank) ++next_victim;
+      if (next_victim >= m) return -1;
+      return static_cast<int>(by_load[next_victim++]);
+    };
+
+    int awaiting_victim = -1;
+    // Initially idle ranks register their first request *before* the barrier,
+    // so victims are guaranteed to see them before executing anything — this
+    // makes the first offload deterministic even for zero-cost tasks.
+    if (queue.empty()) {
+      awaiting_victim = pick_victim();
+      if (awaiting_victim >= 0) {
+        requests.fetch_add(1);
+        ctx.send(awaiting_victim, kRequestTag, {});
+      }
+    }
+    ctx.barrier();
+
+    for (;;) {
+      if (!queue.empty()) {
+        service_requests(/*keep=*/1);
+        const double task_ms = queue.front();
+        queue.pop_front();
+        busy_spin_ms(task_ms * config.work_scale);
+        compute += task_ms;
+        ++executed;
+        continue;
+      }
+      if (awaiting_victim >= 0) {
+        // Serve others while waiting so two mutually-stealing ranks never
+        // deadlock.
+        if (!ctx.probe(awaiting_victim, kReplyTag)) {
+          service_requests(/*keep=*/0);
+          std::this_thread::yield();
+          continue;
+        }
+        Message reply = ctx.recv(awaiting_victim, kReplyTag);
+        awaiting_victim = -1;
+        for (const double task_ms : reply.payload) queue.push_back(task_ms);
+        continue;
+      }
+      awaiting_victim = pick_victim();
+      if (awaiting_victim < 0) break;  // every victim tried: done
+      requests.fetch_add(1);
+      ctx.send(awaiting_victim, kRequestTag, {});
+    }
+
+    // --- termination ----------------------------------------------------------
+    if (ctx.rank() != 0) {
+      ctx.send(0, kFinishedTag, {});
+      while (!ctx.probe(0, kShutdownTag)) {
+        service_requests(/*keep=*/0);
+        std::this_thread::yield();
+      }
+      (void)ctx.recv(0, kShutdownTag);
+    } else {
+      std::size_t finished = 0;
+      while (finished + 1 < m) {
+        if (auto note = ctx.try_recv_any(kFinishedTag)) {
+          (void)note;
+          ++finished;
+        } else {
+          service_requests(/*keep=*/0);
+          std::this_thread::yield();
+        }
+      }
+      for (std::size_t r = 1; r < m; ++r) {
+        ctx.send(static_cast<int>(r), kShutdownTag, {});
+      }
+    }
+    // Drain any stragglers so results are clean (no rank blocks on us now).
+    service_requests(/*keep=*/0);
+    ctx.barrier();
+
+    per_rank_compute[rank] = compute;
+    per_rank_tasks[rank] = executed;
+  });
+
+  result.wall_ms = wall.elapsed_ms();
+  result.compute_ms = per_rank_compute;
+  result.tasks_executed = per_rank_tasks;
+  result.offload_requests = requests.load();
+  result.tasks_offloaded = offloaded.load();
+  result.virtual_makespan_ms =
+      *std::max_element(per_rank_compute.begin(), per_rank_compute.end());
+  result.measured_imbalance = lrp::imbalance_ratio(per_rank_compute);
+  return result;
+}
+
+}  // namespace qulrb::mpirt

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lrp/problem.hpp"
+
+namespace qulrb::mpirt {
+
+struct ReactiveConfig {
+  /// Tasks handed over per offload reply (victims batch their tail).
+  std::int64_t batch_size = 4;
+  /// Real CPU spin per task (ms multiplier); 0 = accounting only.
+  double work_scale = 0.0;
+};
+
+struct ReactiveResult {
+  std::vector<std::int64_t> tasks_executed;  ///< per rank
+  std::vector<double> compute_ms;            ///< virtual work executed per rank
+  std::int64_t offload_requests = 0;         ///< REQUEST messages sent
+  std::int64_t tasks_offloaded = 0;          ///< tasks that changed ranks
+  double virtual_makespan_ms = 0.0;          ///< max per-rank virtual work
+  double measured_imbalance = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Reactive task offloading (Samfass et al. 2021 — the paper's direct
+/// predecessor) executed live on the message-passing runtime:
+///
+///  * every rank executes its local queue, and between tasks services
+///    incoming REQUEST messages by shipping a batch off its queue tail;
+///  * a rank that drains its queue requests work from the (initially)
+///    heaviest remaining ranks, one victim at a time;
+///  * termination is detected by rank 0 collecting FINISHED notices and
+///    broadcasting SHUTDOWN, after which idle ranks keep answering EMPTY so
+///    no thief can block forever.
+///
+/// This is the *runtime* (no-plan) counterpart of the paper's plan-based
+/// migration — useful to compare "decide online with messages" against
+/// "decide upfront with a solver" on identical inputs.
+ReactiveResult run_reactive(const lrp::LrpProblem& problem,
+                            const ReactiveConfig& config = {});
+
+}  // namespace qulrb::mpirt

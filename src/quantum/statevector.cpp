@@ -1,0 +1,145 @@
+#include "quantum/statevector.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qulrb::quantum {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}
+
+StateVector::StateVector(std::size_t num_qubits) : num_qubits_(num_qubits) {
+  util::require(num_qubits >= 1 && num_qubits <= 26,
+                "StateVector: qubit count out of supported range [1, 26]");
+  amplitudes_.assign(std::size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+  amplitudes_[0] = Amplitude{1.0, 0.0};
+}
+
+void StateVector::apply_unitary(std::size_t qubit, Amplitude a, Amplitude b,
+                                Amplitude c, Amplitude d) {
+  util::require(qubit < num_qubits_, "StateVector: qubit out of range");
+  const std::size_t stride = std::size_t{1} << qubit;
+  for (std::size_t base = 0; base < amplitudes_.size(); base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      Amplitude& lo = amplitudes_[base + offset];
+      Amplitude& hi = amplitudes_[base + offset + stride];
+      const Amplitude new_lo = a * lo + b * hi;
+      const Amplitude new_hi = c * lo + d * hi;
+      lo = new_lo;
+      hi = new_hi;
+    }
+  }
+}
+
+void StateVector::apply_h(std::size_t qubit) {
+  apply_unitary(qubit, {kInvSqrt2, 0}, {kInvSqrt2, 0}, {kInvSqrt2, 0},
+                {-kInvSqrt2, 0});
+}
+
+void StateVector::apply_x(std::size_t qubit) {
+  apply_unitary(qubit, {0, 0}, {1, 0}, {1, 0}, {0, 0});
+}
+
+void StateVector::apply_z(std::size_t qubit) {
+  apply_unitary(qubit, {1, 0}, {0, 0}, {0, 0}, {-1, 0});
+}
+
+void StateVector::apply_rx(std::size_t qubit, double theta) {
+  const double cos_half = std::cos(theta / 2.0);
+  const double sin_half = std::sin(theta / 2.0);
+  apply_unitary(qubit, {cos_half, 0}, {0, -sin_half}, {0, -sin_half}, {cos_half, 0});
+}
+
+void StateVector::apply_ry(std::size_t qubit, double theta) {
+  const double cos_half = std::cos(theta / 2.0);
+  const double sin_half = std::sin(theta / 2.0);
+  apply_unitary(qubit, {cos_half, 0}, {-sin_half, 0}, {sin_half, 0}, {cos_half, 0});
+}
+
+void StateVector::apply_rz(std::size_t qubit, double theta) {
+  const Amplitude phase_lo = std::polar(1.0, -theta / 2.0);
+  const Amplitude phase_hi = std::polar(1.0, theta / 2.0);
+  apply_unitary(qubit, phase_lo, {0, 0}, {0, 0}, phase_hi);
+}
+
+void StateVector::apply_cnot(std::size_t control, std::size_t target) {
+  util::require(control < num_qubits_ && target < num_qubits_ && control != target,
+                "StateVector: bad CNOT qubits");
+  const std::size_t cbit = std::size_t{1} << control;
+  const std::size_t tbit = std::size_t{1} << target;
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    if ((z & cbit) && !(z & tbit)) {
+      std::swap(amplitudes_[z], amplitudes_[z | tbit]);
+    }
+  }
+}
+
+void StateVector::apply_cz(std::size_t control, std::size_t target) {
+  util::require(control < num_qubits_ && target < num_qubits_ && control != target,
+                "StateVector: bad CZ qubits");
+  const std::size_t mask = (std::size_t{1} << control) | (std::size_t{1} << target);
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    if ((z & mask) == mask) amplitudes_[z] = -amplitudes_[z];
+  }
+}
+
+void StateVector::apply_rzz(std::size_t a, std::size_t b, double theta) {
+  util::require(a < num_qubits_ && b < num_qubits_ && a != b,
+                "StateVector: bad RZZ qubits");
+  const Amplitude aligned = std::polar(1.0, -theta / 2.0);
+  const Amplitude anti = std::polar(1.0, theta / 2.0);
+  const std::size_t abit = std::size_t{1} << a;
+  const std::size_t bbit = std::size_t{1} << b;
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    const bool za = (z & abit) != 0;
+    const bool zb = (z & bbit) != 0;
+    amplitudes_[z] *= (za == zb) ? aligned : anti;
+  }
+}
+
+void StateVector::apply_diagonal_phases(std::span<const double> phases) {
+  util::require(phases.size() == amplitudes_.size(),
+                "StateVector: phase table size mismatch");
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    amplitudes_[z] *= std::polar(1.0, -phases[z]);
+  }
+}
+
+void StateVector::apply_h_all() {
+  for (std::size_t q = 0; q < num_qubits_; ++q) apply_h(q);
+}
+
+double StateVector::probability(std::uint64_t basis_state) const {
+  util::require(basis_state < amplitudes_.size(),
+                "StateVector: basis state out of range");
+  return std::norm(amplitudes_[basis_state]);
+}
+
+double StateVector::expectation_diagonal(std::span<const double> values) const {
+  util::require(values.size() == amplitudes_.size(),
+                "StateVector: observable size mismatch");
+  double expectation = 0.0;
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    expectation += std::norm(amplitudes_[z]) * values[z];
+  }
+  return expectation;
+}
+
+std::uint64_t StateVector::sample(util::Rng& rng) const {
+  double u = rng.next_double();
+  for (std::size_t z = 0; z < amplitudes_.size(); ++z) {
+    u -= std::norm(amplitudes_[z]);
+    if (u <= 0.0) return z;
+  }
+  return amplitudes_.size() - 1;  // numerical leftover lands on the last state
+}
+
+double StateVector::norm_squared() const {
+  double n = 0.0;
+  for (const auto& a : amplitudes_) n += std::norm(a);
+  return n;
+}
+
+}  // namespace qulrb::quantum

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qulrb::quantum {
+
+using Amplitude = std::complex<double>;
+
+/// Dense state-vector simulator for small quantum registers (the gate-based
+/// backend the paper's Section VI points to via the Munich Quantum Software
+/// Stack). Qubit q corresponds to bit q of the basis index (little-endian).
+/// Practical up to ~22 qubits (2^22 amplitudes, 64 MiB).
+class StateVector {
+ public:
+  /// Initializes to |0...0>.
+  explicit StateVector(std::size_t num_qubits);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dimension() const noexcept { return amplitudes_.size(); }
+  std::span<const Amplitude> amplitudes() const noexcept { return amplitudes_; }
+
+  // --- single-qubit gates ---------------------------------------------------
+  void apply_h(std::size_t qubit);
+  void apply_x(std::size_t qubit);
+  void apply_z(std::size_t qubit);
+  void apply_rx(std::size_t qubit, double theta);
+  void apply_ry(std::size_t qubit, double theta);
+  void apply_rz(std::size_t qubit, double theta);
+  /// Arbitrary single-qubit unitary [[a, b], [c, d]].
+  void apply_unitary(std::size_t qubit, Amplitude a, Amplitude b, Amplitude c,
+                     Amplitude d);
+
+  // --- two-qubit gates --------------------------------------------------------
+  void apply_cnot(std::size_t control, std::size_t target);
+  void apply_cz(std::size_t control, std::size_t target);
+  /// exp(-i theta/2 Z_a Z_b) — the QAOA cost-layer primitive.
+  void apply_rzz(std::size_t a, std::size_t b, double theta);
+
+  // --- bulk / diagonal --------------------------------------------------------
+  /// Multiply each basis amplitude |z> by exp(-i * phases[z]). This is how a
+  /// diagonal cost Hamiltonian layer e^{-i gamma C} is applied exactly.
+  void apply_diagonal_phases(std::span<const double> phases);
+
+  /// Hadamard on every qubit (the |+>^n QAOA start state).
+  void apply_h_all();
+
+  // --- measurement ------------------------------------------------------------
+  double probability(std::uint64_t basis_state) const;
+  /// <psi| diag(values) |psi> for a diagonal observable.
+  double expectation_diagonal(std::span<const double> values) const;
+  /// Sample a basis state from |amplitude|^2.
+  std::uint64_t sample(util::Rng& rng) const;
+  /// Squared norm (should stay 1 up to rounding; exposed for tests).
+  double norm_squared() const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+}  // namespace qulrb::quantum

@@ -1,0 +1,45 @@
+#include "runtime/chameleon.hpp"
+
+#include "util/error.hpp"
+
+namespace qulrb::runtime {
+
+MiniChameleon::MiniChameleon(std::size_t num_processes, BspConfig config)
+    : config_(config), task_load_(num_processes, 0.0), num_tasks_(num_processes, 0) {
+  util::require(num_processes > 0, "MiniChameleon: need at least one process");
+}
+
+void MiniChameleon::add_tasks(std::size_t process, std::int64_t count, double load_ms) {
+  util::require(process < task_load_.size(), "MiniChameleon: process out of range");
+  util::require(count >= 0, "MiniChameleon: negative task count");
+  util::require(load_ms >= 0.0, "MiniChameleon: negative task load");
+  util::require(num_tasks_[process] == 0 || task_load_[process] == load_ms,
+                "MiniChameleon: per-process task load must be uniform");
+  task_load_[process] = load_ms;
+  num_tasks_[process] += count;
+}
+
+lrp::LrpProblem MiniChameleon::problem() const {
+  return lrp::LrpProblem(task_load_, num_tasks_);
+}
+
+MiniChameleon::RunReport MiniChameleon::distributed_taskwait(
+    lrp::RebalanceSolver& solver) const {
+  const lrp::LrpProblem prob = problem();
+  lrp::SolveOutput output = solver.solve(prob);
+  output.plan.validate(prob);
+
+  const BspSimulator sim(config_);
+  RunReport report{solver.name(),
+                   output.plan,
+                   lrp::evaluate_plan(prob, output.plan),
+                   sim.run_baseline(prob),
+                   sim.run(prob, output.plan),
+                   1.0};
+  if (report.rebalanced.total_ms > 0.0) {
+    report.simulated_speedup = report.baseline.total_ms / report.rebalanced.total_ms;
+  }
+  return report;
+}
+
+}  // namespace qulrb::runtime

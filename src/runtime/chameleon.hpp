@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lrp/metrics.hpp"
+#include "lrp/solver.hpp"
+#include "runtime/bsp_sim.hpp"
+
+namespace qulrb::runtime {
+
+/// Thin facade over the simulator that mirrors how a Chameleon-style
+/// task-parallel application is driven (Figure 2 of the paper): processes
+/// declare their tasks, then a `distributed_taskwait` executes an iteration —
+/// here with an optional rebalancing solver deciding the migrations first.
+class MiniChameleon {
+ public:
+  explicit MiniChameleon(std::size_t num_processes, BspConfig config = {});
+
+  /// Declare `count` tasks of `load_ms` each on `process`. The paper's
+  /// setting has uniform load per process; repeated calls on one process must
+  /// use the same load.
+  void add_tasks(std::size_t process, std::int64_t count, double load_ms);
+
+  std::size_t num_processes() const noexcept { return task_load_.size(); }
+  lrp::LrpProblem problem() const;
+
+  struct RunReport {
+    std::string solver_name;
+    lrp::MigrationPlan plan;
+    lrp::RebalanceMetrics metrics;   ///< analytic (solution-level) metrics
+    BspResult baseline;              ///< simulated run without rebalancing
+    BspResult rebalanced;            ///< simulated run under the plan
+    /// End-to-end speedup including migration overhead (total/total).
+    double simulated_speedup = 1.0;
+  };
+
+  /// Rebalance with `solver`, then simulate both the baseline and the
+  /// rebalanced execution.
+  RunReport distributed_taskwait(lrp::RebalanceSolver& solver) const;
+
+ private:
+  BspConfig config_;
+  std::vector<double> task_load_;
+  std::vector<std::int64_t> num_tasks_;
+};
+
+}  // namespace qulrb::runtime

@@ -1,0 +1,4 @@
+#include "runtime/comm_model.hpp"
+
+// CommModel is header-only arithmetic; this translation unit anchors the
+// library target and keeps a home for future (e.g. congestion-aware) models.

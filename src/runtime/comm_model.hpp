@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+namespace qulrb::runtime {
+
+/// Latency/bandwidth cost model for task migration messages, in the spirit of
+/// the interconnect of the paper's CoolMUC2 testbed (FDR14 Infiniband).
+/// Tasks in one (from -> to) edge are batched into a single message.
+struct CommModel {
+  double latency_ms = 0.05;                 ///< per-message startup cost
+  double bytes_per_task = 1.0 * (1 << 20);  ///< serialized task payload
+  double bandwidth_bytes_per_ms = 1.5e6;    ///< ~12 Gbit/s effective
+
+  /// Wall time to transfer `count` tasks in one message.
+  double transfer_ms(std::int64_t count) const noexcept {
+    if (count <= 0) return 0.0;
+    return latency_ms +
+           static_cast<double>(count) * bytes_per_task / bandwidth_bytes_per_ms;
+  }
+};
+
+}  // namespace qulrb::runtime

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "lrp/plan.hpp"
+#include "lrp/problem.hpp"
+#include "runtime/bsp_sim.hpp"
+
+namespace qulrb::runtime {
+
+/// Export one simulated BSP run as a Chrome-tracing JSON document
+/// (chrome://tracing or https://ui.perfetto.dev): one row per process with
+/// complete events for migration send, compute, and barrier-wait (idle)
+/// phases of the first iteration. The visual counterpart of Figure 1.
+std::string to_chrome_trace(const lrp::LrpProblem& problem,
+                            const lrp::MigrationPlan& plan, const BspResult& result);
+
+void write_chrome_trace_file(const std::string& path, const lrp::LrpProblem& problem,
+                             const lrp::MigrationPlan& plan, const BspResult& result);
+
+}  // namespace qulrb::runtime

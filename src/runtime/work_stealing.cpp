@@ -1,0 +1,111 @@
+#include "runtime/work_stealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace qulrb::runtime {
+
+namespace {
+
+struct Proc {
+  std::deque<double> tasks;  ///< per-task cost (ms); back is the steal end
+  double free_at = 0.0;
+  double busy_ms = 0.0;
+};
+
+}  // namespace
+
+WorkStealingResult WorkStealingSimulator::run(const lrp::LrpProblem& problem) const {
+  util::require(config_.comp_threads >= 1, "WorkStealingSimulator: need >= 1 thread");
+  util::require(config_.steal_fraction > 0.0 && config_.steal_fraction <= 1.0,
+                "WorkStealingSimulator: steal_fraction must be in (0, 1]");
+
+  const std::size_t m = problem.num_processes();
+  const double threads = static_cast<double>(config_.comp_threads);
+
+  std::vector<Proc> procs(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::int64_t t = 0; t < problem.tasks_on(p); ++t) {
+      procs[p].tasks.push_back(problem.task_load(p));
+    }
+  }
+
+  WorkStealingResult result;
+  result.process_busy_ms.assign(m, 0.0);
+
+  // Min-heap of (time the process becomes free, process id).
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> agenda;
+  for (std::size_t p = 0; p < m; ++p) agenda.emplace(0.0, p);
+
+  auto queued_load = [&](std::size_t p) {
+    double load = 0.0;
+    for (double w : procs[p].tasks) load += w;
+    return load;
+  };
+
+  std::int64_t steals = 0;
+  double makespan = 0.0;
+
+  while (!agenda.empty()) {
+    const auto [now, p] = agenda.top();
+    agenda.pop();
+    Proc& self = procs[p];
+
+    if (!self.tasks.empty()) {
+      // Execute the next local task (front of the deque).
+      const double w = self.tasks.front();
+      self.tasks.pop_front();
+      const double duration = w / threads;
+      self.free_at = now + duration;
+      self.busy_ms += duration;
+      makespan = std::max(makespan, self.free_at);
+      agenda.emplace(self.free_at, p);
+      continue;
+    }
+
+    // Idle: try to steal from the process with the largest queued load.
+    if (steals >= static_cast<std::int64_t>(config_.max_steals)) continue;
+    std::size_t victim = m;
+    double victim_load = 0.0;
+    for (std::size_t q = 0; q < m; ++q) {
+      if (q == p) continue;
+      const double load = queued_load(q);
+      if (load > victim_load) {
+        victim_load = load;
+        victim = q;
+      }
+    }
+    if (victim == m || procs[victim].tasks.empty()) continue;  // all drained
+
+    Proc& target = procs[victim];
+    const auto take = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(
+               config_.steal_fraction * static_cast<double>(target.tasks.size()))));
+    double moved_count = 0.0;
+    for (std::size_t i = 0; i < take && !target.tasks.empty(); ++i) {
+      self.tasks.push_back(target.tasks.back());
+      target.tasks.pop_back();
+      moved_count += 1.0;
+    }
+    ++steals;
+    result.tasks_stolen += static_cast<std::int64_t>(moved_count);
+
+    const double wait = config_.steal_request_ms +
+                        config_.comm.transfer_ms(static_cast<std::int64_t>(moved_count));
+    result.total_steal_wait_ms += wait;
+    self.free_at = now + wait;
+    agenda.emplace(self.free_at, p);
+  }
+
+  result.total_steals = steals;
+  result.makespan_ms = makespan;
+  for (std::size_t p = 0; p < m; ++p) result.process_busy_ms[p] = procs[p].busy_ms;
+  return result;
+}
+
+}  // namespace qulrb::runtime

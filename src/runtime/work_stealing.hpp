@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lrp/problem.hpp"
+#include "runtime/comm_model.hpp"
+
+namespace qulrb::runtime {
+
+struct WorkStealingConfig {
+  std::size_t comp_threads = 1;
+  CommModel comm;
+  /// One-way request latency: an idle process must ask before it can steal
+  /// (the delay that Samfass et al. identify as the weakness of reactive
+  /// stealing on distributed memory).
+  double steal_request_ms = 0.1;
+  /// Fraction of the victim's remaining queue taken per steal (steal-half is
+  /// the classic policy).
+  double steal_fraction = 0.5;
+  std::size_t max_steals = 100000;  ///< safety valve
+};
+
+struct WorkStealingResult {
+  double makespan_ms = 0.0;
+  std::int64_t total_steals = 0;       ///< steal transactions
+  std::int64_t tasks_stolen = 0;       ///< tasks moved in total
+  double total_steal_wait_ms = 0.0;    ///< time thieves spent waiting
+  std::vector<double> process_busy_ms;
+};
+
+/// Reactive work stealing over one BSP iteration (Blumofe-Leiserson style,
+/// adapted to distributed memory): processes execute their local queues;
+/// when a process drains its queue it requests work from the currently
+/// busiest process, pays the request latency plus the batched task transfer
+/// time, and continues. This is the classical *dynamic* baseline the paper's
+/// related-work section contrasts with plan-based rebalancing: it needs no
+/// load model, but every steal pays communication on the critical path.
+class WorkStealingSimulator {
+ public:
+  explicit WorkStealingSimulator(WorkStealingConfig config = {}) : config_(config) {}
+
+  WorkStealingResult run(const lrp::LrpProblem& problem) const;
+
+ private:
+  WorkStealingConfig config_;
+};
+
+}  // namespace qulrb::runtime

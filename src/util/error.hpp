@@ -1,0 +1,32 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qulrb::util {
+
+/// Thrown when a caller violates an API precondition (bad model, bad plan,
+/// malformed input file, ...). Callers that construct models from untrusted
+/// input should catch this.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken; indicates a library bug.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition check that is always on (cheap checks on public API
+/// boundaries). Use plain assert() for hot inner-loop invariants.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace qulrb::util

@@ -1,0 +1,70 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qulrb::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  require(bins >= 1, "Histogram: need at least one bin");
+  require(hi > lo, "Histogram: need hi > lo");
+}
+
+Histogram Histogram::from_data(std::span<const double> xs, std::size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!xs.empty()) {
+    lo = *std::min_element(xs.begin(), xs.end());
+    hi = *std::max_element(xs.begin(), xs.end());
+    if (hi <= lo) hi = lo + 1.0;  // degenerate data: one unit-wide range
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto bins = static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(t * bins));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  require(bin < counts_.size(), "Histogram: bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+void Histogram::print(std::ostream& os, std::size_t width) const {
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double bin_lo = lo_ + static_cast<double>(b) * bin_width;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    os << "[" << bin_lo << ", " << bin_lo + bin_width << ") "
+       << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+}
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::ostringstream os;
+  print(os, width);
+  return os.str();
+}
+
+}  // namespace qulrb::util

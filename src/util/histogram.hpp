@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qulrb::util {
+
+/// Fixed-bin histogram over a [lo, hi] range, with ASCII rendering — used to
+/// inspect sample-energy and load distributions from the solvers without
+/// external plotting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Build with bounds taken from the data (degenerate data gets one bin).
+  static Histogram from_data(std::span<const double> xs, std::size_t bins);
+
+  void add(double x) noexcept;  ///< values outside [lo, hi] clamp to edge bins
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t num_bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Render as rows of "[lo, hi) ####  count", scaled to `width` characters.
+  void print(std::ostream& os, std::size_t width = 40) const;
+  std::string to_string(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace qulrb::util

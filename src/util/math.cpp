@@ -1,0 +1,36 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace qulrb::util {
+
+int ilog2_floor(std::uint64_t n) noexcept {
+  assert(n > 0);
+  return 63 - std::countl_zero(n);
+}
+
+int ilog2_ceil(std::uint64_t n) noexcept {
+  assert(n > 0);
+  const int f = ilog2_floor(n);
+  return std::has_single_bit(n) ? f : f + 1;
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) noexcept {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+double kahan_sum(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  double c = 0.0;
+  for (double x : xs) {
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+}  // namespace qulrb::util

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace qulrb::util {
+
+/// floor(log2(n)) for n >= 1. Precondition: n > 0.
+int ilog2_floor(std::uint64_t n) noexcept;
+
+/// ceil(log2(n)) for n >= 1. Precondition: n > 0.
+int ilog2_ceil(std::uint64_t n) noexcept;
+
+/// ceil(a / b) for non-negative integers, b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// True if |a - b| <= atol + rtol * max(|a|, |b|).
+bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12) noexcept;
+
+/// Kahan-compensated sum, for long load accumulations.
+double kahan_sum(std::span<const double> xs) noexcept;
+
+}  // namespace qulrb::util

@@ -1,0 +1,124 @@
+#include "util/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace qulrb::util {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> start,
+                             const NelderMeadParams& params) {
+  const std::size_t dim = start.size();
+  require(dim > 0, "nelder_mead: need at least one dimension");
+
+  NelderMeadResult result;
+
+  // Initial simplex: start plus one vertex per axis.
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back(start);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto vertex = start;
+    vertex[d] += params.initial_step;
+    simplex.push_back(std::move(vertex));
+  }
+
+  std::vector<double> values(dim + 1);
+  for (std::size_t i = 0; i <= dim; ++i) {
+    values[i] = f(simplex[i]);
+    ++result.evaluations;
+  }
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(dim + 1);
+    for (std::size_t i = 0; i <= dim; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    return idx;
+  };
+
+  while (result.evaluations < params.max_evaluations) {
+    const auto idx = order();
+    const std::size_t best = idx[0];
+    const std::size_t worst = idx[dim];
+    const std::size_t second_worst = idx[dim - 1];
+
+    if (std::abs(values[worst] - values[best]) < params.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i <= dim; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    auto blend = [&](double coeff) {
+      std::vector<double> point(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        point[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return point;
+    };
+
+    // Reflection.
+    const auto reflected = blend(-params.reflection);
+    const double fr = f(reflected);
+    ++result.evaluations;
+
+    if (fr < values[best]) {
+      // Expansion.
+      const auto expanded = blend(-params.expansion);
+      const double fe = f(expanded);
+      ++result.evaluations;
+      if (fe < fr) {
+        simplex[worst] = expanded;
+        values[worst] = fe;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = fr;
+      }
+      continue;
+    }
+    if (fr < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = fr;
+      continue;
+    }
+
+    // Contraction (toward the better of worst/reflected).
+    const bool outside = fr < values[worst];
+    const auto contracted = blend(outside ? -params.contraction : params.contraction);
+    const double fc = f(contracted);
+    ++result.evaluations;
+    if (fc < std::min(fr, values[worst])) {
+      simplex[worst] = contracted;
+      values[worst] = fc;
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= dim; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        simplex[i][d] =
+            simplex[best][d] + params.shrink * (simplex[i][d] - simplex[best][d]);
+      }
+      values[i] = f(simplex[i]);
+      ++result.evaluations;
+      if (result.evaluations >= params.max_evaluations) break;
+    }
+  }
+
+  const auto idx = order();
+  result.x = simplex[idx[0]];
+  result.value = values[idx[0]];
+  return result;
+}
+
+}  // namespace qulrb::util

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace qulrb::util {
+
+struct NelderMeadParams {
+  std::size_t max_evaluations = 2000;
+  double initial_step = 0.5;       ///< simplex edge length around the start
+  double tolerance = 1e-7;         ///< stop when the simplex f-spread is below
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;
+};
+
+/// Derivative-free downhill-simplex minimization (Nelder & Mead 1965). Used
+/// for the variational parameter loop of the QAOA solver, where gradients of
+/// the simulated expectation value are unavailable.
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& f,
+                             std::vector<double> start,
+                             const NelderMeadParams& params = {});
+
+}  // namespace qulrb::util

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qulrb::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm). Numerically
+/// stable for long Monte-Carlo runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+/// Median; copies the input (caller keeps ordering).
+double median(std::vector<double> xs) noexcept;
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::vector<double> xs, double q) noexcept;
+
+}  // namespace qulrb::util

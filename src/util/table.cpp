@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace qulrb::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must not be empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "Table: row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::integer(long long v) { return std::to_string(v); }
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+void print_separator(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    os << ' ' << cells[c] << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  const auto widths = column_widths(header_, rows_);
+  print_separator(os, widths);
+  print_cells(os, header_, widths);
+  print_separator(os, widths);
+  for (const auto& row : rows_) print_cells(os, row, widths);
+  print_separator(os, widths);
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& h : header_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  }
+}
+
+}  // namespace qulrb::util

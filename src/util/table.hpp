@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qulrb::util {
+
+/// Lightweight ASCII table formatter used by the benchmark harnesses to print
+/// paper-style tables. Column widths auto-fit; numeric cells are supplied by
+/// the caller already formatted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Render with box-drawing separators; suitable for terminal output.
+  void print(std::ostream& os) const;
+
+  /// Render as a GitHub-flavoured markdown table (for EXPERIMENTS.md).
+  void print_markdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qulrb::util

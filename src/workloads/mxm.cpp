@@ -1,0 +1,45 @@
+#include "workloads/mxm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::workloads {
+
+std::vector<int> paper_matrix_sizes() {
+  std::vector<int> sizes;
+  for (int s = 128; s <= 512; s += 64) sizes.push_back(s);
+  return sizes;
+}
+
+lrp::LrpProblem make_mxm_problem(std::span<const int> matrix_sizes,
+                                 std::int64_t tasks_per_process,
+                                 const MxmCostModel& model) {
+  util::require(!matrix_sizes.empty(), "make_mxm_problem: need at least one process");
+  std::vector<double> loads;
+  loads.reserve(matrix_sizes.size());
+  for (int s : matrix_sizes) {
+    util::require(s > 0, "make_mxm_problem: matrix size must be positive");
+    loads.push_back(model.task_ms(s));
+  }
+  return lrp::LrpProblem::uniform(std::move(loads), tasks_per_process);
+}
+
+lrp::LrpProblem make_heavy_tail_problem(std::size_t num_processes,
+                                        std::int64_t tasks_per_process,
+                                        double alpha, std::uint64_t seed) {
+  util::require(num_processes >= 1, "make_heavy_tail_problem: need a process");
+  util::require(alpha > 0.0, "make_heavy_tail_problem: alpha must be positive");
+  util::Rng rng(seed);
+  std::vector<double> loads(num_processes);
+  for (auto& w : loads) {
+    // Inverse-CDF Pareto sample with x_min = 1: w = (1 - u)^(-1/alpha).
+    double u = rng.next_double();
+    while (u >= 1.0) u = rng.next_double();
+    w = std::pow(1.0 - u, -1.0 / alpha);
+  }
+  return lrp::LrpProblem::uniform(std::move(loads), tasks_per_process);
+}
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "lrp/problem.hpp"
+
+namespace qulrb::workloads {
+
+/// Cost model for one MxM task A = B x C of the given square matrix size:
+/// 2 s^3 floating-point operations at `gflops` sustained rate. The paper's
+/// synthetic benchmark varies the matrix size per process (128..512) to
+/// create imbalance while tasks within a process stay uniform.
+struct MxmCostModel {
+  double gflops = 10.0;  ///< sustained DGEMM rate per compute thread
+
+  double task_ms(int matrix_size) const noexcept {
+    const double flops = 2.0 * static_cast<double>(matrix_size) *
+                         static_cast<double>(matrix_size) *
+                         static_cast<double>(matrix_size);
+    return flops / (gflops * 1e9) * 1e3;
+  }
+};
+
+/// The matrix sizes the paper samples from: {128, 192, 256, ..., 512}.
+std::vector<int> paper_matrix_sizes();
+
+/// Build an LRP instance: process i runs `tasks_per_process` MxM tasks of
+/// size `matrix_sizes[i]`.
+lrp::LrpProblem make_mxm_problem(std::span<const int> matrix_sizes,
+                                 std::int64_t tasks_per_process,
+                                 const MxmCostModel& model = {});
+
+/// Stress workload beyond the paper's matrix-size palette: per-process loads
+/// drawn from a Pareto (heavy-tailed) distribution, the pathological shape
+/// that adaptive codes exhibit when a few partitions concentrate nearly all
+/// cost. `alpha` < 2 gives infinite-variance tails (harder); larger alpha
+/// approaches uniformity.
+lrp::LrpProblem make_heavy_tail_problem(std::size_t num_processes,
+                                        std::int64_t tasks_per_process,
+                                        double alpha = 1.5,
+                                        std::uint64_t seed = 1);
+
+}  // namespace qulrb::workloads

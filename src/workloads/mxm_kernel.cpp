@@ -1,0 +1,63 @@
+#include "workloads/mxm_kernel.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::workloads {
+
+void mxm(const Matrix& a, const Matrix& b, Matrix& c, std::size_t block) {
+  util::require(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols(),
+                "mxm: dimension mismatch");
+  util::require(block > 0, "mxm: block must be positive");
+  const std::size_t n = a.rows();
+  const std::size_t k_dim = a.cols();
+  const std::size_t m = b.cols();
+
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    const std::size_t i_end = std::min(ii + block, n);
+    for (std::size_t kk = 0; kk < k_dim; kk += block) {
+      const std::size_t k_end = std::min(kk + block, k_dim);
+      for (std::size_t jj = 0; jj < m; jj += block) {
+        const std::size_t j_end = std::min(jj + block, m);
+        // i-k-j order: streams B rows, accumulates into C rows.
+        for (std::size_t i = ii; i < i_end; ++i) {
+          for (std::size_t k = kk; k < k_end; ++k) {
+            const double aik = a.at(i, k);
+            const double* b_row = b.data() + k * m;
+            double* c_row = c.data() + i * m;
+            for (std::size_t j = jj; j < j_end; ++j) {
+              c_row[j] += aik * b_row[j];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+double measure_mxm_ms(int matrix_size, std::size_t block) {
+  util::require(matrix_size > 0, "measure_mxm_ms: size must be positive");
+  const auto n = static_cast<std::size_t>(matrix_size);
+  Matrix a(n, n, 1.0);
+  Matrix b(n, n, 0.5);
+  Matrix c(n, n, 0.0);
+  util::WallTimer timer;
+  mxm(a, b, c, block);
+  const double ms = timer.elapsed_ms();
+  // Keep the result alive so the kernel cannot be optimized away.
+  volatile double sink = c.at(0, 0);
+  (void)sink;
+  return ms;
+}
+
+double calibrate_gflops(int matrix_size) {
+  const double ms = measure_mxm_ms(matrix_size);
+  const double flops = 2.0 * static_cast<double>(matrix_size) *
+                       static_cast<double>(matrix_size) *
+                       static_cast<double>(matrix_size);
+  return flops / (ms * 1e-3) / 1e9;
+}
+
+}  // namespace qulrb::workloads

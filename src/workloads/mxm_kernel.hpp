@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qulrb::workloads {
+
+/// Dense row-major matrix for the real MxM kernel.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Cache-blocked C += A * B (the compute kernel of the paper's synthetic
+/// benchmark). Dimensions must agree.
+void mxm(const Matrix& a, const Matrix& b, Matrix& c, std::size_t block = 64);
+
+/// Execute one MxM task of the given square size and return its wall time in
+/// milliseconds; used to calibrate MxmCostModel::gflops on the host machine.
+double measure_mxm_ms(int matrix_size, std::size_t block = 64);
+
+/// Measured sustained GFLOP/s for the given size (2 n^3 flops / time).
+double calibrate_gflops(int matrix_size = 256);
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,220 @@
+#include "workloads/samoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "workloads/swe_kernel.hpp"
+
+namespace qulrb::workloads {
+
+namespace {
+
+struct Cell {
+  double x, y, half;  ///< center and half-width
+  double cost_us;
+  std::uint64_t curve_key;
+};
+
+/// Distance from the lake front (signed: negative inside the wet region).
+double front_distance(const SamoaConfig& cfg, double x, double y) {
+  const double r = cfg.lake_radius +
+                   cfg.oscillation_amplitude * std::sin(cfg.time_phase);
+  const double d = std::hypot(x - cfg.lake_center_x, y - cfg.lake_center_y);
+  return d - r;
+}
+
+/// True when the square cell intersects the limited band around the front.
+bool intersects_front(const SamoaConfig& cfg, double x, double y, double half) {
+  const double d = std::abs(front_distance(cfg, x, y));
+  // Conservative: cell diagonal reach plus the band half-width.
+  return d <= cfg.front_width + half * std::numbers::sqrt2;
+}
+
+void refine(const SamoaConfig& cfg, double x, double y, double half, int depth,
+            std::vector<Cell>& cells) {
+  if (depth < cfg.max_depth && intersects_front(cfg, x, y, half)) {
+    const double q = half / 2.0;
+    refine(cfg, x - q, y - q, q, depth + 1, cells);
+    refine(cfg, x + q, y - q, q, depth + 1, cells);
+    refine(cfg, x - q, y + q, q, depth + 1, cells);
+    refine(cfg, x + q, y + q, q, depth + 1, cells);
+    return;
+  }
+  Cell cell{x, y, half, cfg.base_cell_cost_us, 0};
+  if (std::abs(front_distance(cfg, x, y)) <= cfg.front_width) {
+    cell.cost_us *= cfg.limiter_cost_factor;  // a-posteriori limiter fires
+  }
+  cells.push_back(cell);
+}
+
+/// Mean-preserving calibration of `loads` to the target imbalance ratio:
+/// deviations from the mean are scaled, small loads clamped to a floor, and
+/// the maximum finally solved exactly so R_imb == target.
+void calibrate(std::vector<double>& loads, double target) {
+  const std::size_t m = loads.size();
+  if (m < 2 || target <= 0.0) return;
+
+  auto avg_of = [&] {
+    double s = 0.0;
+    for (double l : loads) s += l;
+    return s / static_cast<double>(m);
+  };
+
+  for (int iter = 0; iter < 8; ++iter) {
+    const double avg = avg_of();
+    if (avg <= 0.0) return;
+    const double max_load = *std::max_element(loads.begin(), loads.end());
+    const double current = (max_load - avg) / avg;
+    if (current <= 0.0) {
+      // Degenerate flat input: concentrate mass on process 0 a little.
+      loads[0] *= 1.5;
+      continue;
+    }
+    const double s = target / current;
+    const double floor_load = 0.02 * avg;
+    for (double& l : loads) {
+      l = std::max(floor_load, avg + s * (l - avg));
+    }
+  }
+
+  // Exact final adjustment of the maximum:
+  //   (M x - (S + x)) / (S + x) = target  =>  x = (1 + target) S / (M - 1 - target)
+  const auto max_it = std::max_element(loads.begin(), loads.end());
+  double rest = 0.0;
+  for (const double& l : loads) {
+    if (&l != &*max_it) rest += l;
+  }
+  const double denom = static_cast<double>(m) - 1.0 - target;
+  if (denom > 0.0) {
+    const double x = (1.0 + target) * rest / denom;
+    // Only valid if x really is the maximum; cap the runners-up if needed.
+    for (double& l : loads) {
+      if (&l != &*max_it) l = std::min(l, x);
+    }
+    rest = 0.0;
+    for (const double& l : loads) {
+      if (&l != &*max_it) rest += l;
+    }
+    *max_it = (1.0 + target) * rest / denom;
+  }
+}
+
+}  // namespace
+
+std::uint64_t hilbert_index(std::uint32_t order, std::uint32_t x, std::uint32_t y) {
+  std::uint64_t d = 0;
+  for (std::uint32_t s = order == 0 ? 0 : (1u << (order - 1)); s > 0; s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+SamoaWorkload make_samoa_workload(const SamoaConfig& config_in) {
+  SamoaConfig config = config_in;
+  if (config.calibrate_with_swe_kernel) {
+    // Cost of one finite-volume cell update, measured on this host with the
+    // real SWE kernel (a 64x64 step spread over its 4096 cells).
+    const double step_ms = measure_swe_step_ms(64, 2);
+    config.base_cell_cost_us = step_ms * 1e3 / (64.0 * 64.0);
+  }
+  util::require(config.num_processes >= 2, "samoa: need at least two processes");
+  util::require(config.sections_per_process >= 1, "samoa: need at least one section");
+  util::require(config.base_depth >= 1 && config.max_depth >= config.base_depth,
+                "samoa: invalid refinement depths");
+
+  // --- adaptive mesh --------------------------------------------------------
+  std::vector<Cell> cells;
+  const int nb = 1 << config.base_depth;
+  const double half0 = 0.5 / static_cast<double>(nb);
+  for (int by = 0; by < nb; ++by) {
+    for (int bx = 0; bx < nb; ++bx) {
+      const double x = (2.0 * bx + 1.0) * half0;
+      const double y = (2.0 * by + 1.0) * half0;
+      refine(config, x, y, half0, config.base_depth, cells);
+    }
+  }
+
+  const std::size_t total_sections =
+      config.num_processes * static_cast<std::size_t>(config.sections_per_process);
+  util::require(cells.size() >= total_sections,
+                "samoa: mesh too coarse for the requested section count; "
+                "increase base_depth");
+
+  // --- space-filling-curve order --------------------------------------------
+  const auto order = static_cast<std::uint32_t>(config.max_depth);
+  const double grid = static_cast<double>(1u << order);
+  for (auto& cell : cells) {
+    const auto gx = static_cast<std::uint32_t>(
+        std::min(grid - 1.0, std::max(0.0, cell.x * grid)));
+    const auto gy = static_cast<std::uint32_t>(
+        std::min(grid - 1.0, std::max(0.0, cell.y * grid)));
+    cell.curve_key = hilbert_index(order, gx, gy);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const Cell& a, const Cell& b) { return a.curve_key < b.curve_key; });
+
+  // --- sections: contiguous curve segments with near-equal cell counts ------
+  // (sam(oa)^2 partitions by its cost predictor; the paper assumes that
+  // predictor is wrong, which is exactly what count-based splitting gives us.)
+  std::vector<double> section_cost(total_sections, 0.0);
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::size_t s = c * total_sections / cells.size();
+    section_cost[s] += cells[c].cost_us;
+  }
+
+  // --- processes: contiguous blocks of sections ------------------------------
+  SamoaWorkload workload{
+      lrp::LrpProblem::uniform({0.0, 0.0}, 1), {}, cells.size(), 0};
+  for (const auto& cell : cells) {
+    if (cell.cost_us > config.base_cell_cost_us) ++workload.limited_cells;
+  }
+
+  std::vector<double> loads(config.num_processes, 0.0);
+  const auto per_proc = static_cast<std::size_t>(config.sections_per_process);
+  for (std::size_t p = 0; p < config.num_processes; ++p) {
+    for (std::size_t s = 0; s < per_proc; ++s) {
+      loads[p] += section_cost[p * per_proc + s];
+    }
+  }
+
+  calibrate(loads, config.target_imbalance);
+
+  // Uniformize: each of the n sections on process i costs L_i / n.
+  std::vector<double> task_loads(config.num_processes);
+  for (std::size_t p = 0; p < config.num_processes; ++p) {
+    task_loads[p] = loads[p] / static_cast<double>(config.sections_per_process);
+  }
+  workload.process_loads = std::move(loads);
+  workload.problem =
+      lrp::LrpProblem::uniform(std::move(task_loads), config.sections_per_process);
+  return workload;
+}
+
+std::vector<SamoaWorkload> make_samoa_time_series(const SamoaConfig& config,
+                                                  std::size_t steps,
+                                                  double phase_step) {
+  util::require(steps >= 1, "samoa: need at least one time step");
+  std::vector<SamoaWorkload> series;
+  series.reserve(steps);
+  SamoaConfig step_config = config;
+  for (std::size_t step = 0; step < steps; ++step) {
+    series.push_back(make_samoa_workload(step_config));
+    step_config.time_phase += phase_step;
+    step_config.target_imbalance = 0.0;  // later steps drift freely
+  }
+  return series;
+}
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lrp/problem.hpp"
+
+namespace qulrb::workloads {
+
+/// Configuration of the sam(oa)^2-like oscillating-lake workload generator.
+///
+/// The real sam(oa)^2 solves 2D shallow-water equations with ADER-DG +
+/// a-posteriori finite-volume limiting on a dynamically adaptive triangular
+/// mesh ordered along a Sierpinski curve. We model the pieces that matter for
+/// the LRP input: an adaptive quadtree refined around the lake's moving
+/// wet/dry front, cells ordered along a Hilbert space-filling curve (our
+/// stand-in for the Sierpinski order), a limiter that multiplies the cost of
+/// front cells, and contiguous curve segments forming the sections that
+/// become Chameleon tasks.
+struct SamoaConfig {
+  std::size_t num_processes = 32;        ///< paper's Table V setup
+  std::int64_t sections_per_process = 208;
+  int base_depth = 7;                    ///< uniform refinement depth
+  int max_depth = 10;                    ///< extra refinement at the front
+  double lake_center_x = 0.5;
+  double lake_center_y = 0.5;
+  double lake_radius = 0.3;
+  double oscillation_amplitude = 0.08;   ///< radial amplitude of the sloshing
+  double time_phase = 0.7;               ///< snapshot phase in [0, 2*pi)
+  double front_width = 0.015;            ///< half-width of the limited band
+  double base_cell_cost_us = 1.0;        ///< unlimited DG cell cost
+  /// Derive base_cell_cost_us from a measured step of the real shallow-water
+  /// kernel (swe_kernel.hpp) on this machine instead of the abstract unit.
+  bool calibrate_with_swe_kernel = false;
+  double limiter_cost_factor = 30.0;     ///< a-posteriori FV limiting overhead
+  /// Calibrate process loads (mean-preserving) so the baseline R_imb matches
+  /// the paper's 4.1994; <= 0 keeps the raw generated imbalance.
+  double target_imbalance = 4.1994;
+};
+
+struct SamoaWorkload {
+  lrp::LrpProblem problem;            ///< uniformized LRP input (w_i = L_i / n)
+  std::vector<double> process_loads;  ///< L_i in microseconds
+  std::size_t total_cells = 0;
+  std::size_t limited_cells = 0;      ///< cells where the limiter fired
+};
+
+SamoaWorkload make_samoa_workload(const SamoaConfig& config = {});
+
+/// Time series of the oscillating lake: one workload per simulated output
+/// step, with the sloshing front (and therefore the refined/limited region)
+/// moving between steps. Feeds the periodic-rebalancing loop with the
+/// dynamic behaviour the real application exhibits. When the base config
+/// requests a calibrated imbalance, only the first step is calibrated; later
+/// steps keep the raw generated imbalance (the drifting ground truth).
+std::vector<SamoaWorkload> make_samoa_time_series(const SamoaConfig& config,
+                                                  std::size_t steps,
+                                                  double phase_step = 0.35);
+
+/// Hilbert curve index of cell (x, y) on a 2^order x 2^order grid. Exposed
+/// for tests (locality properties of the section ordering).
+std::uint64_t hilbert_index(std::uint32_t order, std::uint32_t x, std::uint32_t y);
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,56 @@
+#include "workloads/scenarios.hpp"
+
+#include "util/error.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/samoa.hpp"
+
+namespace qulrb::workloads::scenarios {
+
+std::vector<Scenario> imbalance_levels() {
+  // Matrix sizes per node; task load ~ size^3, so the spread of sizes sets
+  // the imbalance. Imb.0 is flat (the "should we migrate at all" control).
+  const std::vector<std::vector<int>> level_sizes = {
+      {256, 256, 256, 256, 256, 256, 256, 256},  // Imb.0
+      {192, 256, 256, 256, 256, 256, 256, 320},  // Imb.1
+      {192, 192, 256, 256, 256, 256, 320, 384},  // Imb.2
+      {128, 192, 192, 256, 256, 320, 384, 448},  // Imb.3
+      {128, 128, 192, 256, 320, 384, 448, 512},  // Imb.4
+  };
+  std::vector<Scenario> result;
+  result.reserve(level_sizes.size());
+  for (std::size_t level = 0; level < level_sizes.size(); ++level) {
+    result.push_back({"Imb." + std::to_string(level),
+                      make_mxm_problem(level_sizes[level], 50)});
+  }
+  return result;
+}
+
+std::vector<std::size_t> node_scaling_counts() { return {4, 8, 16, 32, 64}; }
+
+Scenario node_scaling(std::size_t num_nodes) {
+  util::require(num_nodes >= 2, "node_scaling: need at least two nodes");
+  const std::vector<int> palette = paper_matrix_sizes();  // 128..512 step 64
+  std::vector<int> sizes(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    sizes[i] = palette[i % palette.size()];
+  }
+  return {std::to_string(num_nodes) + " nodes", make_mxm_problem(sizes, 100)};
+}
+
+std::vector<std::int64_t> task_scaling_counts() {
+  return {8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+}
+
+Scenario task_scaling(std::int64_t tasks_per_node) {
+  // The Imb.3 size spread, held fixed while n grows.
+  const std::vector<int> sizes = {128, 192, 192, 256, 256, 320, 384, 448};
+  return {std::to_string(tasks_per_node) + " tasks/node",
+          make_mxm_problem(sizes, tasks_per_node)};
+}
+
+Scenario samoa_oscillating_lake() {
+  const SamoaWorkload workload = make_samoa_workload();
+  return {"sam(oa)^2 oscillating lake", workload.problem};
+}
+
+}  // namespace qulrb::workloads::scenarios

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lrp/problem.hpp"
+
+namespace qulrb::workloads::scenarios {
+
+struct Scenario {
+  std::string name;
+  lrp::LrpProblem problem;
+};
+
+/// Section V-B.1 / Figure 3 / Table II: M = 8 nodes, n = 50 uniform MxM tasks
+/// per node, five imbalance levels Imb.0 (balanced) .. Imb.4 (severe) built
+/// from matrix sizes in {128, 192, ..., 512}.
+std::vector<Scenario> imbalance_levels();
+
+/// Section V-B.2 / Figure 4 / Table III: n = 100 tasks per node, node count
+/// in {4, 8, 16, 32, 64}; matrix sizes cycle through the paper's range.
+std::vector<std::size_t> node_scaling_counts();
+Scenario node_scaling(std::size_t num_nodes);
+
+/// Section V-B.3 / Figure 5 / Table IV: M = 8 nodes, tasks per node in
+/// {8, 16, ..., 2048}; fixed size spread.
+std::vector<std::int64_t> task_scaling_counts();
+Scenario task_scaling(std::int64_t tasks_per_node);
+
+/// Section V-C / Table V: the sam(oa)^2 oscillating-lake use case
+/// (M = 32, n = 208, baseline R_imb = 4.1994).
+Scenario samoa_oscillating_lake();
+
+}  // namespace qulrb::workloads::scenarios

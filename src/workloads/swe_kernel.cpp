@@ -1,0 +1,143 @@
+#include "workloads/swe_kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace qulrb::workloads {
+
+namespace {
+constexpr double kGravity = 9.81;
+}
+
+SweGrid::SweGrid(std::size_t nx, std::size_t ny, double cell_size)
+    : nx_(nx), ny_(ny), cell_(cell_size) {
+  util::require(nx >= 3 && ny >= 3, "SweGrid: need at least a 3x3 grid");
+  util::require(cell_size > 0.0, "SweGrid: cell size must be positive");
+  h_.assign(nx * ny, 1.0);
+  hu_.assign(nx * ny, 0.0);
+  hv_.assign(nx * ny, 0.0);
+}
+
+void SweGrid::initialize_lake(double cx, double cy, double radius,
+                              double hump_height, double base_height) {
+  util::require(base_height > 0.0, "SweGrid: base height must be positive");
+  for (std::size_t y = 0; y < ny_; ++y) {
+    for (std::size_t x = 0; x < nx_; ++x) {
+      const double fx = (static_cast<double>(x) + 0.5) / static_cast<double>(nx_);
+      const double fy = (static_cast<double>(y) + 0.5) / static_cast<double>(ny_);
+      const double d = std::hypot(fx - cx, fy - cy);
+      const std::size_t i = index(x, y);
+      h_[i] = base_height + (d < radius ? hump_height * (1.0 - d / radius) : 0.0);
+      hu_[i] = 0.0;
+      hv_[i] = 0.0;
+    }
+  }
+}
+
+double SweGrid::step(double dt) {
+  util::require(dt > 0.0, "SweGrid: dt must be positive");
+  const std::size_t cells = nx_ * ny_;
+  std::vector<double> nh(cells), nhu(cells), nhv(cells);
+
+  // Physical fluxes of the SWE system.
+  auto flux_x = [](double h, double hu, double hv, double& fh, double& fhu,
+                   double& fhv) {
+    const double u = hu / h;
+    fh = hu;
+    fhu = hu * u + 0.5 * kGravity * h * h;
+    fhv = hv * u;
+  };
+  auto flux_y = [](double h, double hu, double hv, double& fh, double& fhu,
+                   double& fhv) {
+    const double v = hv / h;
+    fh = hv;
+    fhu = hu * v;
+    fhv = hv * v + 0.5 * kGravity * h * h;
+  };
+
+  // Reflective-wall neighbour lookup: out-of-range mirrors the cell with the
+  // normal momentum negated.
+  auto neighbor = [&](std::ptrdiff_t x, std::ptrdiff_t y, bool flip_u, bool flip_v,
+                      double& h, double& hu, double& hv) {
+    const auto cx = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(x, 0, static_cast<std::ptrdiff_t>(nx_) - 1));
+    const auto cy = static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(y, 0, static_cast<std::ptrdiff_t>(ny_) - 1));
+    const bool mirrored =
+        cx != static_cast<std::size_t>(x) || cy != static_cast<std::size_t>(y);
+    const std::size_t i = cy * nx_ + cx;
+    h = h_[i];
+    hu = (mirrored && flip_u) ? -hu_[i] : hu_[i];
+    hv = (mirrored && flip_v) ? -hv_[i] : hv_[i];
+  };
+
+  double max_speed = 0.0;
+  const double lambda = dt / cell_;
+
+  for (std::size_t y = 0; y < ny_; ++y) {
+    for (std::size_t x = 0; x < nx_; ++x) {
+      const std::size_t i = y * nx_ + x;
+      double hw, huw, hvw, he, hue, hve, hs, hus, hvs, hn, hun, hvn;
+      neighbor(static_cast<std::ptrdiff_t>(x) - 1, static_cast<std::ptrdiff_t>(y),
+               true, false, hw, huw, hvw);
+      neighbor(static_cast<std::ptrdiff_t>(x) + 1, static_cast<std::ptrdiff_t>(y),
+               true, false, he, hue, hve);
+      neighbor(static_cast<std::ptrdiff_t>(x), static_cast<std::ptrdiff_t>(y) - 1,
+               false, true, hs, hus, hvs);
+      neighbor(static_cast<std::ptrdiff_t>(x), static_cast<std::ptrdiff_t>(y) + 1,
+               false, true, hn, hun, hvn);
+
+      double fwh, fwhu, fwhv, feh, fehu, fehv, fsh, fshu, fshv, fnh, fnhu, fnhv;
+      flux_x(hw, huw, hvw, fwh, fwhu, fwhv);
+      flux_x(he, hue, hve, feh, fehu, fehv);
+      flux_y(hs, hus, hvs, fsh, fshu, fshv);
+      flux_y(hn, hun, hvn, fnh, fnhu, fnhv);
+
+      // Lax-Friedrichs: average of neighbours minus flux differences.
+      nh[i] = 0.25 * (hw + he + hs + hn) - 0.5 * lambda * (feh - fwh + fnh - fsh);
+      nhu[i] =
+          0.25 * (huw + hue + hus + hun) - 0.5 * lambda * (fehu - fwhu + fnhu - fshu);
+      nhv[i] =
+          0.25 * (hvw + hve + hvs + hvn) - 0.5 * lambda * (fehv - fwhv + fnhv - fshv);
+      nh[i] = std::max(nh[i], 1e-9);  // dry floor
+
+      const double u = hu_[i] / h_[i];
+      const double v = hv_[i] / h_[i];
+      const double c = std::sqrt(kGravity * h_[i]);
+      max_speed = std::max({max_speed, std::abs(u) + c, std::abs(v) + c});
+    }
+  }
+  h_ = std::move(nh);
+  hu_ = std::move(nhu);
+  hv_ = std::move(nhv);
+  return max_speed;
+}
+
+double SweGrid::total_volume() const {
+  double volume = 0.0;
+  for (double h : h_) volume += h;
+  return volume;
+}
+
+std::size_t SweGrid::active_cells(double base_height, double threshold) const {
+  std::size_t active = 0;
+  for (double h : h_) {
+    if (std::abs(h - base_height) > threshold) ++active;
+  }
+  return active;
+}
+
+double measure_swe_step_ms(std::size_t n, std::size_t repetitions) {
+  util::require(repetitions >= 1, "measure_swe_step_ms: need a repetition");
+  SweGrid grid(n, n);
+  grid.initialize_lake(0.5, 0.5, 0.25, 0.3);
+  const util::WallTimer timer;
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    (void)grid.step(0.001);
+  }
+  return timer.elapsed_ms() / static_cast<double>(repetitions);
+}
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qulrb::workloads {
+
+/// Minimal 2D shallow-water-equations solver (Lax-Friedrichs finite volumes
+/// on a regular grid) — the *real* compute kernel behind the sam(oa)^2-like
+/// workload. Where the mxm kernel calibrates the synthetic benchmark, this
+/// kernel calibrates per-cell costs of the AMR generator, and its wet/dry
+/// handling is the physical reason the paper's limiter cells cost more.
+///
+/// State per cell: water height h and momenta (hu, hv); reflective walls.
+class SweGrid {
+ public:
+  SweGrid(std::size_t nx, std::size_t ny, double cell_size = 1.0);
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+
+  double& h(std::size_t x, std::size_t y) { return h_[index(x, y)]; }
+  double& hu(std::size_t x, std::size_t y) { return hu_[index(x, y)]; }
+  double& hv(std::size_t x, std::size_t y) { return hv_[index(x, y)]; }
+  double h(std::size_t x, std::size_t y) const { return h_[index(x, y)]; }
+  double hu(std::size_t x, std::size_t y) const { return hu_[index(x, y)]; }
+  double hv(std::size_t x, std::size_t y) const { return hv_[index(x, y)]; }
+
+  /// Initialize the oscillating-lake scenario: a raised circular hump of
+  /// water centered at (cx, cy) (grid-relative in [0,1]) over a flat basin.
+  void initialize_lake(double cx, double cy, double radius, double hump_height,
+                       double base_height = 1.0);
+
+  /// One explicit time step (Lax-Friedrichs). Returns the largest wave speed
+  /// observed (for CFL monitoring). dt must satisfy dt <= cell/(2*speed).
+  double step(double dt);
+
+  /// Total water volume (h summed over cells) — conserved by the scheme up
+  /// to wall effects; used as the correctness invariant in tests.
+  double total_volume() const;
+
+  /// Cells whose height differs from the base state by more than `threshold`
+  /// — a proxy for "where the limiter would fire" in the ADER-DG scheme.
+  std::size_t active_cells(double base_height, double threshold) const;
+
+ private:
+  std::size_t index(std::size_t x, std::size_t y) const {
+    util::require(x < nx_ && y < ny_, "SweGrid: cell out of range");
+    return y * nx_ + x;
+  }
+
+  std::size_t nx_, ny_;
+  double cell_;
+  std::vector<double> h_, hu_, hv_;
+};
+
+/// Wall time (ms) of one SWE step on an n x n grid — used to calibrate the
+/// per-cell cost of the samoa workload generator on the host machine.
+double measure_swe_step_ms(std::size_t n, std::size_t repetitions = 3);
+
+}  // namespace qulrb::workloads

@@ -1,0 +1,133 @@
+// Property sweep over the BSP simulator: for random problems and random
+// valid plans, the simulator must satisfy accounting identities that hold by
+// construction of the model — work conservation, barrier dominance, overlap
+// monotonicity, and agreement with the analytic metrics layer.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "lrp/metrics.hpp"
+#include "runtime/bsp_sim.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::runtime {
+namespace {
+
+lrp::LrpProblem random_problem(util::Rng& rng, std::size_t m, std::int64_t n) {
+  std::vector<double> loads(m);
+  for (auto& w : loads) w = 0.2 + rng.next_double() * 5.0;
+  return lrp::LrpProblem::uniform(std::move(loads), n);
+}
+
+lrp::MigrationPlan random_plan(util::Rng& rng, const lrp::LrpProblem& problem) {
+  lrp::MigrationPlan plan = lrp::MigrationPlan::identity(problem);
+  const std::size_t m = problem.num_processes();
+  for (int move = 0; move < static_cast<int>(2 * m); ++move) {
+    const auto from = static_cast<std::size_t>(rng.next_below(m));
+    const auto to = static_cast<std::size_t>(rng.next_below(m));
+    if (from == to || plan.count(from, from) <= 0) continue;
+    const std::int64_t count = rng.next_in(1, plan.count(from, from));
+    plan.add_count(from, from, -count);
+    plan.add_count(to, from, count);
+  }
+  return plan;
+}
+
+class BspProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::int64_t, int>> {};
+
+TEST_P(BspProperty, AccountingIdentitiesHold) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 613 + m * 5 +
+                static_cast<std::uint64_t>(n));
+  const lrp::LrpProblem problem = random_problem(rng, m, n);
+  const lrp::MigrationPlan plan = random_plan(rng, problem);
+
+  BspConfig config;
+  config.comp_threads = 1 + static_cast<std::size_t>(rng.next_below(4));
+  config.iterations = 3;
+  const BspResult r = BspSimulator(config).run(problem, plan);
+
+  // 1. Work conservation: executed compute equals the problem's total load.
+  double busy = 0.0;
+  std::int64_t executed = 0, sent = 0, received = 0;
+  for (const auto& p : r.processes) {
+    busy += p.compute_ms;
+    executed += p.tasks_executed;
+    sent += p.tasks_sent;
+    received += p.tasks_received;
+  }
+  EXPECT_NEAR(busy, problem.total_load(), 1e-6);
+  EXPECT_EQ(executed, problem.total_tasks());
+  EXPECT_EQ(sent, plan.total_migrated());
+  EXPECT_EQ(received, plan.total_migrated());
+
+  // 2. Barrier dominance: nobody finishes after the barrier; idle >= 0.
+  for (const auto& p : r.processes) {
+    EXPECT_LE(p.finish_ms, r.first_iteration_ms + 1e-9);
+    EXPECT_GE(p.idle_ms, -1e-9);
+  }
+
+  // 3. First iteration (with traffic) >= steady iteration.
+  EXPECT_GE(r.first_iteration_ms, r.steady_iteration_ms - 1e-9);
+  EXPECT_NEAR(r.total_ms,
+              r.first_iteration_ms + 2.0 * r.steady_iteration_ms, 1e-9);
+
+  // 4. Steady-state agrees with the analytic metric layer at 1 thread.
+  if (config.comp_threads == 1) {
+    const auto loads = plan.new_loads(problem);
+    const double analytic_max = *std::max_element(loads.begin(), loads.end());
+    EXPECT_NEAR(r.steady_iteration_ms, analytic_max, 1e-9);
+    EXPECT_NEAR(r.compute_imbalance, lrp::imbalance_ratio(loads), 1e-9);
+  }
+
+  // 5. Efficiency in (0, 1].
+  EXPECT_GT(r.parallel_efficiency, 0.0);
+  EXPECT_LE(r.parallel_efficiency, 1.0 + 1e-9);
+}
+
+TEST_P(BspProperty, OverlapNeverSlower) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 211 + m +
+                static_cast<std::uint64_t>(n));
+  const lrp::LrpProblem problem = random_problem(rng, m, n);
+  const lrp::MigrationPlan plan = random_plan(rng, problem);
+
+  BspConfig overlap;
+  overlap.overlap_migration = true;
+  BspConfig blocking = overlap;
+  blocking.overlap_migration = false;
+  const BspResult with = BspSimulator(overlap).run(problem, plan);
+  const BspResult without = BspSimulator(blocking).run(problem, plan);
+  EXPECT_LE(with.first_iteration_ms, without.first_iteration_ms + 1e-9);
+  // Steady state is traffic-free, so the toggle must not matter there.
+  EXPECT_NEAR(with.steady_iteration_ms, without.steady_iteration_ms, 1e-9);
+}
+
+TEST_P(BspProperty, MoreThreadsNeverSlower) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 401 + m +
+                static_cast<std::uint64_t>(n));
+  const lrp::LrpProblem problem = random_problem(rng, m, n);
+
+  BspConfig one;
+  one.comp_threads = 1;
+  BspConfig four;
+  four.comp_threads = 4;
+  const double t1 = BspSimulator(one).run_baseline(problem).steady_iteration_ms;
+  const double t4 = BspSimulator(four).run_baseline(problem).steady_iteration_ms;
+  EXPECT_LE(t4, t1 + 1e-9);
+  // With uniform tasks per process the speedup is bounded by the thread count.
+  EXPECT_GE(t4, t1 / 4.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BspProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8),
+                       ::testing::Values<std::int64_t>(3, 10, 40),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace qulrb::runtime

@@ -1,0 +1,165 @@
+// Property sweep over the Q_CQM1/Q_CQM2 builders: for a grid of (M, n,
+// variant, seed) cells, random valid migration plans are encoded into the
+// model's binary variables and the model's own view (objective value,
+// feasibility classification, decode round-trip) is checked against the
+// plan-level ground truth computed independently by MigrationPlan.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "lrp/cqm_builder.hpp"
+#include "lrp/encoding.hpp"
+#include "lrp/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+LrpProblem random_problem(util::Rng& rng, std::size_t m, std::int64_t n) {
+  std::vector<double> loads(m);
+  for (auto& w : loads) w = 0.5 + rng.next_double() * 3.5;
+  return LrpProblem::uniform(std::move(loads), n);
+}
+
+/// Random valid plan: repeatedly move a random chunk from a random donor
+/// column's diagonal to a random recipient.
+MigrationPlan random_plan(util::Rng& rng, const LrpProblem& problem) {
+  MigrationPlan plan = MigrationPlan::identity(problem);
+  const std::size_t m = problem.num_processes();
+  const int moves = static_cast<int>(rng.next_below(2 * m)) + 1;
+  for (int move = 0; move < moves; ++move) {
+    const auto from = static_cast<std::size_t>(rng.next_below(m));
+    const auto to = static_cast<std::size_t>(rng.next_below(m));
+    if (from == to) continue;
+    const std::int64_t available = plan.count(from, from);
+    if (available <= 0) continue;
+    const std::int64_t count = rng.next_in(1, available);
+    plan.add_count(from, from, -count);
+    plan.add_count(to, from, count);
+  }
+  plan.validate(problem);
+  return plan;
+}
+
+model::State encode_plan(const LrpCqm& cqm, const MigrationPlan& plan) {
+  model::State state(cqm.num_binary_variables(), 0);
+  const std::size_t m = cqm.num_processes();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (cqm.variant() == CqmVariant::kReduced && i == j) continue;
+      if (cqm.coefficients(j).empty()) continue;
+      const auto bits = encode_count(plan.count(i, j), cqm.coefficients(j));
+      for (std::size_t l = 0; l < bits.size(); ++l) {
+        if (bits[l]) state[cqm.var(i, j, l)] = 1;
+      }
+    }
+  }
+  return state;
+}
+
+class BuilderSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::int64_t, int>> {};
+
+TEST_P(BuilderSweep, StructureMatchesFormulas) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 31 + m * 7 +
+                static_cast<std::uint64_t>(n));
+  const LrpProblem problem = random_problem(rng, m, n);
+  const std::size_t bits = bits_per_count(n);
+
+  const LrpCqm full(problem, CqmVariant::kFull, n);
+  const LrpCqm reduced(problem, CqmVariant::kReduced, n);
+
+  EXPECT_EQ(full.num_binary_variables(), m * m * bits);
+  EXPECT_EQ(reduced.num_binary_variables(), m * (m - 1) * bits);
+  EXPECT_EQ(full.cqm().num_constraints(), 2 * m + 1);
+  EXPECT_EQ(reduced.cqm().num_constraints(), 2 * m + 1);
+  EXPECT_EQ(full.cqm().num_equality_constraints(), m);
+  EXPECT_EQ(reduced.cqm().num_equality_constraints(), 0u);
+  EXPECT_EQ(full.cqm().squared_groups().size(), m);
+  EXPECT_EQ(reduced.cqm().squared_groups().size(), m);
+}
+
+TEST_P(BuilderSweep, EncodeDecodeRoundTripsRandomPlans) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 131 + m * 17 +
+                static_cast<std::uint64_t>(n));
+  const LrpProblem problem = random_problem(rng, m, n);
+
+  for (const auto variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    const LrpCqm cqm(problem, variant, problem.total_tasks());
+    for (int trial = 0; trial < 3; ++trial) {
+      const MigrationPlan plan = random_plan(rng, problem);
+      const model::State state = encode_plan(cqm, plan);
+      const MigrationPlan decoded = cqm.decode(state);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          ASSERT_EQ(decoded.count(i, j), plan.count(i, j))
+              << to_string(variant) << " m=" << m << " n=" << n << " (" << i << ","
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(BuilderSweep, ObjectiveEqualsVarianceForRandomPlans) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 733 + m + static_cast<std::uint64_t>(n));
+  const LrpProblem problem = random_problem(rng, m, n);
+  const double avg = problem.average_load();
+
+  for (const auto variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    const LrpCqm cqm(problem, variant, problem.total_tasks());
+    const MigrationPlan plan = random_plan(rng, problem);
+    const model::State state = encode_plan(cqm, plan);
+    const auto loads = plan.new_loads(problem);
+    double expected = 0.0;
+    for (double l : loads) expected += (l - avg) * (l - avg);
+    EXPECT_NEAR(cqm.cqm().objective_value(state), expected,
+                1e-6 * std::max(1.0, expected))
+        << to_string(variant);
+  }
+}
+
+TEST_P(BuilderSweep, FeasibilityClassificationMatchesPlanChecks) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 977 + m * 3 +
+                static_cast<std::uint64_t>(n));
+  const LrpProblem problem = random_problem(rng, m, n);
+  const double l_max = problem.max_load();
+
+  for (const auto variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const MigrationPlan plan = random_plan(rng, problem);
+      const std::int64_t migrated = plan.total_migrated();
+      const auto loads = plan.new_loads(problem);
+      const bool capacity_ok =
+          std::all_of(loads.begin(), loads.end(),
+                      [&](double l) { return l <= l_max + 1e-9; });
+
+      // k exactly at the plan's migration count: feasible iff capacity holds.
+      const LrpCqm tight(problem, variant, migrated);
+      EXPECT_EQ(tight.cqm().is_feasible(encode_plan(tight, plan), 1e-6),
+                capacity_ok)
+          << to_string(variant) << " tight";
+
+      // k below the count: must be infeasible (if anything was migrated).
+      if (migrated > 0) {
+        const LrpCqm throttled(problem, variant, migrated - 1);
+        EXPECT_FALSE(throttled.cqm().is_feasible(encode_plan(throttled, plan), 1e-6))
+            << to_string(variant) << " throttled";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BuilderSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 8),
+                       ::testing::Values<std::int64_t>(1, 2, 5, 13, 50),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace qulrb::lrp

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "model/cqm.hpp"
+#include "model/cqm_to_qubo.hpp"
+
+namespace qulrb::model {
+namespace {
+
+State make_state(std::size_t n, unsigned bits) {
+  State s(n);
+  for (std::size_t i = 0; i < n; ++i) s[i] = (bits >> i) & 1u;
+  return s;
+}
+
+/// Brute-force minimum of a QUBO over all assignments (n <= 20).
+std::pair<State, double> brute_force_min(const QuboModel& q) {
+  const std::size_t n = q.num_variables();
+  State best;
+  double best_e = std::numeric_limits<double>::infinity();
+  for (unsigned bits = 0; bits < (1u << n); ++bits) {
+    const State s = make_state(n, bits);
+    const double e = q.energy(s);
+    if (e < best_e) {
+      best_e = e;
+      best = s;
+    }
+  }
+  return {best, best_e};
+}
+
+/// A tiny CQM: minimize -x0 - 2 x1 - 3 x2 subject to x0 + x1 + x2 <= 2.
+CqmModel knapsack3() {
+  CqmModel m;
+  for (int i = 0; i < 3; ++i) m.add_variable();
+  m.add_objective_linear(0, -1.0);
+  m.add_objective_linear(1, -2.0);
+  m.add_objective_linear(2, -3.0);
+  LinearExpr cap;
+  cap.add_term(0, 1.0);
+  cap.add_term(1, 1.0);
+  cap.add_term(2, 1.0);
+  m.add_constraint(cap, Sense::LE, 2.0, "capacity");
+  return m;
+}
+
+TEST(CqmToQubo, SlackMinimizerIsCqmOptimum) {
+  const CqmModel cqm = knapsack3();
+  const QuboConversion conv = cqm_to_qubo(cqm);
+  ASSERT_LE(conv.qubo.num_variables(), 20u);
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  const State projected = conv.project(state);
+  // CQM optimum: x1 = x2 = 1 (objective -5), x0 = 0.
+  EXPECT_TRUE(cqm.is_feasible(projected));
+  EXPECT_DOUBLE_EQ(cqm.objective_value(projected), -5.0);
+  EXPECT_NEAR(energy, -5.0, 1e-9);  // slack exactly cancels the penalty
+}
+
+TEST(CqmToQubo, UnbalancedMinimizerIsFeasible) {
+  const CqmModel cqm = knapsack3();
+  PenaltyOptions options;
+  options.inequality = InequalityMethod::kUnbalanced;
+  const QuboConversion conv = cqm_to_qubo(cqm, options);
+  EXPECT_EQ(conv.num_slack_variables, 0u);  // the point of the method
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  const State projected = conv.project(state);
+  EXPECT_TRUE(cqm.is_feasible(projected));
+  EXPECT_DOUBLE_EQ(cqm.objective_value(projected), -5.0);
+}
+
+TEST(CqmToQubo, EqualityConstraintEncodedExactly) {
+  CqmModel m;
+  for (int i = 0; i < 3; ++i) m.add_variable();
+  m.add_objective_linear(0, -1.0);  // prefer x0 on
+  LinearExpr sum;
+  for (VarId v = 0; v < 3; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(sum, Sense::EQ, 1.0, "one-hot");
+  const QuboConversion conv = cqm_to_qubo(m);
+  EXPECT_EQ(conv.num_slack_variables, 0u);  // equalities need no slack
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  EXPECT_EQ(conv.project(state), make_state(3, 0b001));
+  EXPECT_NEAR(energy, -1.0, 1e-9);
+}
+
+TEST(CqmToQubo, GeConstraintHandled) {
+  CqmModel m;
+  for (int i = 0; i < 3; ++i) m.add_variable();
+  // Minimize x0 + x1 + x2 subject to sum >= 2 -> optimum picks exactly 2.
+  for (VarId v = 0; v < 3; ++v) m.add_objective_linear(v, 1.0);
+  LinearExpr sum;
+  for (VarId v = 0; v < 3; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(sum, Sense::GE, 2.0, "at-least-two");
+  const QuboConversion conv = cqm_to_qubo(m);
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  const State projected = conv.project(state);
+  EXPECT_TRUE(m.is_feasible(projected));
+  EXPECT_DOUBLE_EQ(m.objective_value(projected), 2.0);
+}
+
+TEST(CqmToQubo, SquaredGroupsExpandExactly) {
+  CqmModel m;
+  for (int i = 0; i < 4; ++i) m.add_variable();
+  LinearExpr g(-2.0);
+  for (VarId v = 0; v < 4; ++v) g.add_term(v, 1.0);
+  m.add_squared_group(g, 1.5);
+  const QuboConversion conv = cqm_to_qubo(m);
+  for (unsigned bits = 0; bits < 16; ++bits) {
+    const State s = make_state(4, bits);
+    EXPECT_NEAR(conv.qubo.energy(s), m.objective_value(s), 1e-9) << bits;
+  }
+}
+
+TEST(CqmToQubo, ProjectStripsSlack) {
+  const CqmModel cqm = knapsack3();
+  const QuboConversion conv = cqm_to_qubo(cqm);
+  EXPECT_EQ(conv.num_original_variables, 3u);
+  EXPECT_GT(conv.qubo.num_variables(), 3u);  // has slack bits
+  State full(conv.qubo.num_variables(), 1);
+  const State projected = conv.project(full);
+  EXPECT_EQ(projected.size(), 3u);
+}
+
+TEST(CqmToQubo, ExplicitLambdaIsUsed) {
+  const CqmModel cqm = knapsack3();
+  PenaltyOptions options;
+  options.lambda = 123.0;
+  const QuboConversion conv = cqm_to_qubo(cqm, options);
+  EXPECT_DOUBLE_EQ(conv.lambda_used, 123.0);
+}
+
+TEST(CqmToQubo, AutoLambdaScalesWithObjective) {
+  const CqmModel cqm = knapsack3();
+  const QuboConversion conv = cqm_to_qubo(cqm);
+  EXPECT_GT(conv.lambda_used, 3.0);  // larger than any objective coefficient
+}
+
+TEST(CqmToQubo, InfeasibleConstraintStillProducesModel) {
+  CqmModel m;
+  m.add_variable();
+  LinearExpr lhs;
+  lhs.add_term(0, 1.0);
+  m.add_constraint(lhs, Sense::GE, 5.0, "impossible");  // max lhs is 1
+  const QuboConversion conv = cqm_to_qubo(m);
+  // The QUBO minimizer should at least minimize violation (x0 = 1).
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  EXPECT_EQ(conv.project(state)[0], 1);
+}
+
+TEST(CqmToQubo, FractionalSlackResolution) {
+  CqmModel m;
+  for (int i = 0; i < 2; ++i) m.add_variable();
+  m.add_objective_linear(0, -1.0);
+  m.add_objective_linear(1, -1.0);
+  LinearExpr cap;
+  cap.add_term(0, 0.6);
+  cap.add_term(1, 0.6);
+  m.add_constraint(cap, Sense::LE, 1.0, "fractional");
+  PenaltyOptions options;
+  options.slack_resolution = 0.1;
+  // With fractional coefficients the smallest violation (0.2 here) is
+  // squared, so the automatic lambda derived from coefficient magnitudes is
+  // not sufficient — callers must scale it for the violation granularity.
+  options.lambda = 100.0;
+  const QuboConversion conv = cqm_to_qubo(m, options);
+  const auto [state, energy] = brute_force_min(conv.qubo);
+  const State projected = conv.project(state);
+  EXPECT_TRUE(m.is_feasible(projected));
+  // Only one variable fits under the 1.0 cap.
+  EXPECT_DOUBLE_EQ(m.objective_value(projected), -1.0);
+}
+
+}  // namespace
+}  // namespace qulrb::model

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lrp/encoding.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+TEST(Encoding, PaperExampleN13) {
+  // The paper: to express 13, coefficients {2^0, 2^1, 2^2, 6}.
+  const auto coeffs = coefficient_set(13);
+  EXPECT_EQ(coeffs, (std::vector<std::int64_t>{1, 2, 4, 6}));
+}
+
+TEST(Encoding, SetSumsToExactlyN) {
+  for (std::int64_t n = 1; n <= 300; ++n) {
+    const auto coeffs = coefficient_set(n);
+    const auto sum = std::accumulate(coeffs.begin(), coeffs.end(), std::int64_t{0});
+    EXPECT_EQ(sum, n) << "n=" << n;
+  }
+}
+
+TEST(Encoding, SizeMatchesTableOneFormula) {
+  // |C| = floor(log2 n) + 1, the per-count qubit cost in Table I.
+  EXPECT_EQ(coefficient_set(1).size(), 1u);
+  EXPECT_EQ(coefficient_set(2).size(), 2u);
+  EXPECT_EQ(coefficient_set(3).size(), 2u);
+  EXPECT_EQ(coefficient_set(50).size(), 6u);    // floor(log2 50)=5
+  EXPECT_EQ(coefficient_set(100).size(), 7u);
+  EXPECT_EQ(coefficient_set(208).size(), 8u);
+  EXPECT_EQ(coefficient_set(2048).size(), 12u);
+  for (std::int64_t n = 1; n <= 300; ++n) {
+    EXPECT_EQ(coefficient_set(n).size(), bits_per_count(n)) << "n=" << n;
+  }
+}
+
+TEST(Encoding, EdgeCases) {
+  EXPECT_EQ(coefficient_set(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(coefficient_set(2), (std::vector<std::int64_t>{1, 1}));
+  EXPECT_EQ(coefficient_set(4), (std::vector<std::int64_t>{1, 2, 1}));
+  EXPECT_THROW(coefficient_set(0), util::InvalidArgument);
+  EXPECT_THROW(coefficient_set(-3), util::InvalidArgument);
+}
+
+class CoefficientSetCoverage : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CoefficientSetCoverage, EveryValueInRangeRepresentable) {
+  const std::int64_t n = GetParam();
+  const auto coeffs = coefficient_set(n);
+  EXPECT_TRUE(covers_range(coeffs, n)) << "n=" << n;
+}
+
+TEST_P(CoefficientSetCoverage, EncodeDecodeRoundTrip) {
+  const std::int64_t n = GetParam();
+  const auto coeffs = coefficient_set(n);
+  for (std::int64_t count = 0; count <= n; ++count) {
+    const auto bits = encode_count(count, coeffs);
+    EXPECT_EQ(decode_count(bits, coeffs), count) << "n=" << n << " count=" << count;
+  }
+}
+
+TEST_P(CoefficientSetCoverage, StandardBinaryAlsoCovers) {
+  const std::int64_t n = GetParam();
+  const auto coeffs = standard_binary_set(n);
+  EXPECT_TRUE(covers_range(coeffs, n)) << "n=" << n;
+  const auto sum = std::accumulate(coeffs.begin(), coeffs.end(), std::int64_t{0});
+  EXPECT_EQ(sum, n);  // clamped top coefficient: max representable is n
+  for (std::int64_t count = 0; count <= n; ++count) {
+    const auto bits = encode_count(count, coeffs);
+    EXPECT_EQ(decode_count(bits, coeffs), count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepN, CoefficientSetCoverage,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 50, 64,
+                                           100, 127, 128, 200, 208, 255, 256, 300));
+
+TEST(Encoding, AllBitsSetMeansAllTasks) {
+  // The design property the paper exploits: using every coefficient yields
+  // exactly n, so "all bits on" can only mean "all n tasks placed here".
+  for (std::int64_t n : {5, 50, 100, 208}) {
+    const auto coeffs = coefficient_set(n);
+    const std::vector<std::uint8_t> all_on(coeffs.size(), 1);
+    EXPECT_EQ(decode_count(all_on, coeffs), n);
+  }
+}
+
+TEST(Encoding, EncodeRejectsOutOfRange) {
+  const auto coeffs = coefficient_set(10);
+  EXPECT_THROW(encode_count(-1, coeffs), util::InvalidArgument);
+  EXPECT_THROW(encode_count(11, coeffs), util::InvalidArgument);
+}
+
+TEST(Encoding, DecodeRejectsSizeMismatch) {
+  const auto coeffs = coefficient_set(10);
+  const std::vector<std::uint8_t> bits(coeffs.size() + 1, 0);
+  EXPECT_THROW(decode_count(bits, coeffs), util::InvalidArgument);
+}
+
+TEST(Encoding, CoversRangeDetectsGaps) {
+  // {1, 4} cannot represent 2, 3, 6, 7.
+  const std::vector<std::int64_t> gapped = {1, 4};
+  EXPECT_FALSE(covers_range(gapped, 5));
+  const std::vector<std::int64_t> ones = {1, 1, 1};
+  EXPECT_TRUE(covers_range(ones, 3));
+}
+
+TEST(Encoding, StandardBinaryUsesAtMostOneMoreBit) {
+  // The ablation premise: the standard encoding never uses fewer bits than
+  // the paper's set and at most one more.
+  for (std::int64_t n = 1; n <= 300; ++n) {
+    const auto paper = coefficient_set(n).size();
+    const auto standard = standard_binary_set(n).size();
+    EXPECT_GE(standard, paper) << n;
+    EXPECT_LE(standard, paper + 1) << n;
+  }
+}
+
+}  // namespace
+}  // namespace qulrb::lrp

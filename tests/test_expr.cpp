@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "model/expr.hpp"
+
+namespace qulrb::model {
+namespace {
+
+TEST(LinearExpr, EmptyEvaluatesToConstant) {
+  LinearExpr e(2.5);
+  EXPECT_DOUBLE_EQ(e.evaluate(State{}), 2.5);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(LinearExpr, EvaluateSelectsSetVariables) {
+  LinearExpr e;
+  e.add_term(0, 1.0);
+  e.add_term(1, 2.0);
+  e.add_term(2, 4.0);
+  e.normalize();
+  EXPECT_DOUBLE_EQ(e.evaluate(State{1, 0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(State{0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(e.evaluate(State{1, 1, 1}), 7.0);
+}
+
+TEST(LinearExpr, NormalizeMergesDuplicates) {
+  LinearExpr e;
+  e.add_term(3, 1.5);
+  e.add_term(3, 2.5);
+  e.add_term(1, 1.0);
+  e.normalize();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e.terms()[0].var, 1u);
+  EXPECT_EQ(e.terms()[1].var, 3u);
+  EXPECT_DOUBLE_EQ(e.terms()[1].coeff, 4.0);
+}
+
+TEST(LinearExpr, NormalizeDropsZeroCoefficients) {
+  LinearExpr e;
+  e.add_term(0, 1.0);
+  e.add_term(0, -1.0);
+  e.add_term(1, 2.0);
+  e.normalize();
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e.terms()[0].var, 1u);
+}
+
+TEST(LinearExpr, MinMaxValues) {
+  LinearExpr e(1.0);
+  e.add_term(0, 3.0);
+  e.add_term(1, -2.0);
+  e.normalize();
+  EXPECT_DOUBLE_EQ(e.min_value(), -1.0);  // constant + negative term
+  EXPECT_DOUBLE_EQ(e.max_value(), 4.0);   // constant + positive term
+}
+
+TEST(LinearExpr, MinMaxAllPositive) {
+  LinearExpr e;
+  e.add_term(0, 1.0);
+  e.add_term(1, 2.0);
+  e.normalize();
+  EXPECT_DOUBLE_EQ(e.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(e.max_value(), 3.0);
+}
+
+TEST(LinearExpr, PlusEqualsMergesTerms) {
+  LinearExpr a(1.0);
+  a.add_term(0, 1.0);
+  a.normalize();
+  LinearExpr b(2.0);
+  b.add_term(0, 3.0);
+  b.add_term(1, 1.0);
+  b.normalize();
+  a += b;
+  EXPECT_DOUBLE_EQ(a.constant(), 3.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.terms()[0].coeff, 4.0);
+}
+
+TEST(LinearExpr, ScaleMultipliesEverything) {
+  LinearExpr e(2.0);
+  e.add_term(0, 3.0);
+  e.normalize();
+  e *= -2.0;
+  EXPECT_DOUBLE_EQ(e.constant(), -4.0);
+  EXPECT_DOUBLE_EQ(e.terms()[0].coeff, -6.0);
+}
+
+TEST(LinearExpr, ScaleByZeroClearsTerms) {
+  LinearExpr e(2.0);
+  e.add_term(0, 3.0);
+  e.normalize();
+  e *= 0.0;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.constant(), 0.0);
+}
+
+TEST(LinearExpr, AddConstantAccumulates) {
+  LinearExpr e;
+  e.add_constant(1.5);
+  e.add_constant(-0.5);
+  EXPECT_DOUBLE_EQ(e.constant(), 1.0);
+}
+
+TEST(LinearExpr, EvaluateMatchesMinMaxBounds) {
+  LinearExpr e(0.5);
+  e.add_term(0, -1.0);
+  e.add_term(1, 2.0);
+  e.add_term(2, -3.0);
+  e.normalize();
+  // Exhaustively check that min/max are attained and are true bounds.
+  double lo = 1e300, hi = -1e300;
+  for (int bits = 0; bits < 8; ++bits) {
+    State s{static_cast<std::uint8_t>(bits & 1),
+            static_cast<std::uint8_t>((bits >> 1) & 1),
+            static_cast<std::uint8_t>((bits >> 2) & 1)};
+    const double v = e.evaluate(s);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(e.min_value(), lo);
+  EXPECT_DOUBLE_EQ(e.max_value(), hi);
+}
+
+}  // namespace
+}  // namespace qulrb::model

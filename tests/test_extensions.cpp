@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "lrp/iterative.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/qubo_solver.hpp"
+#include "lrp/solver.hpp"
+#include "runtime/work_stealing.hpp"
+#include "util/error.hpp"
+
+namespace qulrb {
+namespace {
+
+const lrp::LrpProblem kPaper = lrp::LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+// -------------------------------------------------------- qubo solver ------
+
+lrp::QuboSolverOptions qubo_options(std::int64_t k) {
+  lrp::QuboSolverOptions options;
+  options.k = k;
+  options.sa.sweeps = 3000;
+  options.sa.num_reads = 8;
+  options.sa.seed = 13;
+  return options;
+}
+
+TEST(QuboSolver, ProducesValidPlan) {
+  lrp::QuboAnnealSolver solver(qubo_options(8));
+  const lrp::SolveOutput out = solver.solve(kPaper);
+  EXPECT_NO_THROW(out.plan.validate(kPaper));
+  EXPECT_LE(out.plan.total_migrated(), 8);
+}
+
+TEST(QuboSolver, SlackBitsGrowTheModel) {
+  lrp::QuboAnnealSolver solver(qubo_options(8));
+  (void)solver.solve(kPaper);
+  const auto& diag = solver.last_diagnostics();
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_GT(diag->slack_variables, 0u);
+  EXPECT_GT(diag->qubo_variables, diag->slack_variables);
+  EXPECT_GT(diag->lambda_used, 0.0);
+}
+
+TEST(QuboSolver, UnbalancedMethodAddsNoSlack) {
+  lrp::QuboSolverOptions options = qubo_options(8);
+  options.penalty.inequality = model::InequalityMethod::kUnbalanced;
+  lrp::QuboAnnealSolver solver(options);
+  (void)solver.solve(kPaper);
+  EXPECT_EQ(solver.last_diagnostics()->slack_variables, 0u);
+}
+
+TEST(QuboSolver, ImprovesBalance) {
+  lrp::QuboAnnealSolver solver(qubo_options(16));
+  const lrp::SolverReport report = lrp::run_and_evaluate(solver, kPaper);
+  EXPECT_LT(report.metrics.imbalance_after, report.metrics.imbalance_before);
+  EXPECT_TRUE(solver.last_diagnostics()->sample_feasible);
+}
+
+TEST(QuboSolver, FullVariantAlsoWorks) {
+  lrp::QuboSolverOptions options = qubo_options(8);
+  options.variant = lrp::CqmVariant::kFull;
+  lrp::QuboAnnealSolver solver(options);
+  const lrp::SolveOutput out = solver.solve(kPaper);
+  EXPECT_NO_THROW(out.plan.validate(kPaper));
+}
+
+// ---------------------------------------------------- iterative LB ---------
+
+TEST(Iterative, ApplyAndUniformizePreservesLoadAndCounts) {
+  lrp::ProactLbSolver solver;
+  const lrp::SolveOutput out = solver.solve(kPaper);
+  const lrp::LrpProblem next =
+      lrp::IterativeRebalancer::apply_and_uniformize(kPaper, out.plan);
+  EXPECT_EQ(next.total_tasks(), kPaper.total_tasks());
+  EXPECT_NEAR(next.total_load(), kPaper.total_load(), 1e-9);
+  const auto loads = out.plan.new_loads(kPaper);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(next.load(i), loads[i], 1e-9);
+    EXPECT_EQ(next.tasks_on(i), out.plan.tasks_hosted(i));
+  }
+}
+
+TEST(Iterative, IdentityPlanKeepsProblem) {
+  const lrp::LrpProblem next = lrp::IterativeRebalancer::apply_and_uniformize(
+      kPaper, lrp::MigrationPlan::identity(kPaper));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(next.task_load(i), kPaper.task_load(i), 1e-12);
+    EXPECT_EQ(next.tasks_on(i), kPaper.tasks_on(i));
+  }
+}
+
+TEST(Iterative, KeepsImbalanceLowAcrossEpochs) {
+  lrp::ProactLbSolver solver;
+  lrp::DriftModel drift;
+  drift.relative_sigma = 0.2;
+  drift.seed = 5;
+  const lrp::IterativeRebalancer loop(solver, drift);
+  const lrp::IterativeResult result = loop.run(kPaper, 10);
+  ASSERT_EQ(result.epochs.size(), 10u);
+  // Epoch 0 starts imbalanced; afterwards each epoch starts from a
+  // drifted-but-rebalanced state, so the post-balance ratio stays small.
+  for (const auto& epoch : result.epochs) {
+    EXPECT_LE(epoch.imbalance_after, epoch.imbalance_before + 1e-9);
+  }
+  EXPECT_LT(result.mean_imbalance_after, 0.15);
+  EXPECT_GT(result.total_migrated, 0);
+}
+
+TEST(Iterative, DeterministicForSeed) {
+  lrp::ProactLbSolver solver;
+  lrp::DriftModel drift;
+  drift.seed = 9;
+  const lrp::IterativeRebalancer loop(solver, drift);
+  const auto a = loop.run(kPaper, 5);
+  const auto b = loop.run(kPaper, 5);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.epochs[e].imbalance_after, b.epochs[e].imbalance_after);
+    EXPECT_EQ(a.epochs[e].migrated, b.epochs[e].migrated);
+  }
+}
+
+// ------------------------------------------------------ work stealing ------
+
+TEST(WorkStealing, BalancedInputNeedsNoSteals) {
+  const lrp::LrpProblem p = lrp::LrpProblem::uniform({2.0, 2.0, 2.0}, 10);
+  const auto r = runtime::WorkStealingSimulator(runtime::WorkStealingConfig{}).run(p);
+  // All processes finish together (within one task length); steals may only
+  // happen at the very end when queues drain simultaneously.
+  EXPECT_NEAR(r.makespan_ms, 20.0, 2.0 + 1e-9);
+}
+
+TEST(WorkStealing, StealsReduceMakespanOnImbalance) {
+  // One heavy process, three idle ones: stealing must beat no-balancing.
+  const lrp::LrpProblem p({8.0, 0.0, 0.0, 0.0}, {16, 0, 0, 0});
+  const auto r = runtime::WorkStealingSimulator(runtime::WorkStealingConfig{}).run(p);
+  EXPECT_GT(r.total_steals, 0);
+  EXPECT_LT(r.makespan_ms, 8.0 * 16.0);        // better than serial on P0
+  EXPECT_GT(r.makespan_ms, 8.0 * 16.0 / 4.0);  // cannot beat perfect split
+}
+
+TEST(WorkStealing, AllWorkGetsExecuted) {
+  const auto r = runtime::WorkStealingSimulator(runtime::WorkStealingConfig{}).run(kPaper);
+  double busy = 0.0;
+  for (double b : r.process_busy_ms) busy += b;
+  EXPECT_NEAR(busy, kPaper.total_load(), 1e-6);
+}
+
+TEST(WorkStealing, StealLatencyHurts) {
+  const lrp::LrpProblem p({8.0, 0.0, 0.0, 0.0}, {16, 0, 0, 0});
+  runtime::WorkStealingConfig cheap;
+  cheap.steal_request_ms = 0.0;
+  cheap.comm.latency_ms = 0.0;
+  runtime::WorkStealingConfig expensive;
+  expensive.steal_request_ms = 5.0;
+  const auto fast = runtime::WorkStealingSimulator(cheap).run(p);
+  const auto slow = runtime::WorkStealingSimulator(expensive).run(p);
+  EXPECT_LT(fast.makespan_ms, slow.makespan_ms);
+}
+
+TEST(WorkStealing, RejectsBadConfig) {
+  runtime::WorkStealingConfig config;
+  config.comp_threads = 0;
+  EXPECT_THROW(runtime::WorkStealingSimulator(config).run(kPaper),
+               util::InvalidArgument);
+  config.comp_threads = 1;
+  config.steal_fraction = 0.0;
+  EXPECT_THROW(runtime::WorkStealingSimulator(config).run(kPaper),
+               util::InvalidArgument);
+}
+
+TEST(WorkStealing, ThreadsSpeedExecution) {
+  runtime::WorkStealingConfig one;
+  one.comp_threads = 1;
+  runtime::WorkStealingConfig four;
+  four.comp_threads = 4;
+  const auto slow = runtime::WorkStealingSimulator(one).run(kPaper);
+  const auto fast = runtime::WorkStealingSimulator(four).run(kPaper);
+  EXPECT_LT(fast.makespan_ms, slow.makespan_ms);
+}
+
+}  // namespace
+}  // namespace qulrb

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "workloads/mxm.hpp"
+
+namespace qulrb {
+namespace {
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  util::Histogram h(0.0, 10.0, 5);  // bins of width 2
+  h.add(1.0);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  util::Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, UpperBoundGoesToLastBin) {
+  util::Histogram h(0.0, 1.0, 2);
+  h.add(1.0);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, FromDataCoversRange) {
+  const std::vector<double> xs = {2.0, 4.0, 8.0};
+  const auto h = util::Histogram::from_data(xs, 3);
+  EXPECT_DOUBLE_EQ(h.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 8.0);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, DegenerateDataHandled) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0};
+  const auto h = util::Histogram::from_data(xs, 4);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 3u);  // everything in the first bin of [5, 6]
+}
+
+TEST(Histogram, BinCenters) {
+  util::Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+  EXPECT_THROW(h.bin_center(5), util::InvalidArgument);
+}
+
+TEST(Histogram, PrintRendersBars) {
+  util::Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string text = h.to_string(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bin full width
+  EXPECT_NE(text.find(" 2\n"), std::string::npos);
+  EXPECT_NE(text.find(" 1\n"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(util::Histogram(0.0, 1.0, 0), util::InvalidArgument);
+  EXPECT_THROW(util::Histogram(1.0, 1.0, 3), util::InvalidArgument);
+}
+
+// ------------------------------------------------------ heavy-tail gen -----
+
+TEST(HeavyTail, LoadsArePositiveAndSkewed) {
+  const auto p = workloads::make_heavy_tail_problem(64, 10, 1.2, 7);
+  EXPECT_EQ(p.num_processes(), 64u);
+  double max_w = 0.0, min_w = 1e300;
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_GE(p.task_load(i), 1.0);  // Pareto x_min
+    max_w = std::max(max_w, p.task_load(i));
+    min_w = std::min(min_w, p.task_load(i));
+  }
+  EXPECT_GT(max_w / min_w, 3.0);  // genuinely heavy-tailed
+  EXPECT_GT(p.imbalance_ratio(), 0.5);
+}
+
+TEST(HeavyTail, LargerAlphaIsMoreUniform) {
+  const auto heavy = workloads::make_heavy_tail_problem(128, 4, 1.0, 3);
+  const auto light = workloads::make_heavy_tail_problem(128, 4, 8.0, 3);
+  EXPECT_GT(heavy.imbalance_ratio(), light.imbalance_ratio());
+}
+
+TEST(HeavyTail, DeterministicPerSeed) {
+  const auto a = workloads::make_heavy_tail_problem(8, 4, 1.5, 9);
+  const auto b = workloads::make_heavy_tail_problem(8, 4, 1.5, 9);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.task_load(i), b.task_load(i));
+  }
+}
+
+TEST(HeavyTail, RejectsBadParameters) {
+  EXPECT_THROW(workloads::make_heavy_tail_problem(0, 4), util::InvalidArgument);
+  EXPECT_THROW(workloads::make_heavy_tail_problem(4, 4, 0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qulrb

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+#include "util/error.hpp"
+
+#include "anneal/hybrid.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+namespace {
+
+using model::CqmModel;
+using model::LinearExpr;
+using model::Sense;
+using model::State;
+using model::VarId;
+
+/// min (sum x - 3)^2 subject to sum x <= 4 over 8 variables.
+CqmModel target_three() {
+  CqmModel m;
+  for (int i = 0; i < 8; ++i) m.add_variable();
+  LinearExpr g(-3.0);
+  for (VarId v = 0; v < 8; ++v) g.add_term(v, 1.0);
+  m.add_squared_group(std::move(g), 1.0);
+  LinearExpr cap;
+  for (VarId v = 0; v < 8; ++v) cap.add_term(v, 1.0);
+  m.add_constraint(std::move(cap), Sense::LE, 4.0);
+  return m;
+}
+
+HybridSolverParams fast_params() {
+  HybridSolverParams p;
+  p.num_restarts = 2;
+  p.sweeps = 200;
+  p.max_penalty_rounds = 2;
+  p.seed = 9;
+  return p;
+}
+
+TEST(Hybrid, SolvesToyToOptimum) {
+  const CqmModel m = target_three();
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+  EXPECT_DOUBLE_EQ(r.best.energy, 0.0);
+  EXPECT_EQ(r.stats.num_variables, 8u);
+  EXPECT_EQ(r.stats.num_constraints, 1u);
+}
+
+TEST(Hybrid, StatsArepopulated) {
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(target_three());
+  EXPECT_GT(r.stats.cpu_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.stats.simulated_qpu_ms, 32.0);
+  EXPECT_GE(r.stats.restarts_used, 1u);
+  EXPECT_GE(r.samples.size(), 1u);
+}
+
+TEST(Hybrid, PresolveInfeasibleShortCircuits) {
+  CqmModel m;
+  m.add_variable();
+  LinearExpr lhs;
+  lhs.add_term(0, 1.0);
+  m.add_constraint(std::move(lhs), Sense::GE, 2.0);  // impossible
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_TRUE(r.stats.presolve_infeasible);
+  EXPECT_FALSE(r.best.feasible);
+}
+
+TEST(Hybrid, EqualityConstraintSatisfied) {
+  CqmModel m;
+  for (int i = 0; i < 6; ++i) m.add_variable();
+  for (VarId v = 0; v < 6; ++v) m.add_objective_linear(v, -1.0);  // wants all on
+  LinearExpr sum;
+  for (VarId v = 0; v < 6; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(std::move(sum), Sense::EQ, 2.0);  // but only 2 allowed
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+  EXPECT_DOUBLE_EQ(r.best.energy, -2.0);
+}
+
+TEST(Hybrid, DeterministicForSeed) {
+  const CqmModel m = target_three();
+  const auto a = HybridCqmSolver(fast_params()).solve(m);
+  const auto b = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_EQ(a.best.state, b.best.state);
+  EXPECT_EQ(a.best.energy, b.best.energy);
+}
+
+TEST(Hybrid, InitialHintIsHonored) {
+  // A flat objective with a tight equality: the hint is already optimal, so
+  // the refinement restart must return (at least) a solution this good.
+  CqmModel m;
+  for (int i = 0; i < 10; ++i) m.add_variable();
+  LinearExpr sum;
+  for (VarId v = 0; v < 10; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(std::move(sum), Sense::EQ, 5.0);
+  HybridSolverParams p = fast_params();
+  p.initial_hint = State{1, 1, 1, 1, 1, 0, 0, 0, 0, 0};
+  const HybridSolveResult r = HybridCqmSolver(p).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+}
+
+TEST(Hybrid, GreedyDescentReachesLocalMinimum) {
+  CqmModel m;
+  for (int i = 0; i < 5; ++i) m.add_variable();
+  for (VarId v = 0; v < 5; ++v) m.add_objective_linear(v, -1.0);
+  util::Rng rng(4);
+  CqmIncrementalState walk(m, State(5, 0), {});
+  HybridCqmSolver::greedy_descent(walk, rng);
+  EXPECT_DOUBLE_EQ(walk.objective(), -5.0);  // all bits turned on
+}
+
+TEST(Hybrid, ThreadedRestartsMatchSequentialQuality) {
+  const CqmModel m = target_three();
+  HybridSolverParams p = fast_params();
+  p.threads = 4;
+  p.num_restarts = 4;
+  const HybridSolveResult r = HybridCqmSolver(p).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+  EXPECT_DOUBLE_EQ(r.best.energy, 0.0);
+}
+
+TEST(Hybrid, ZeroVariableModel) {
+  CqmModel m;
+  m.add_objective_offset(5.0);
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+  EXPECT_DOUBLE_EQ(r.best.energy, 5.0);
+}
+
+TEST(Hybrid, RefinementSkippedWhenZerosInfeasible) {
+  // All-zeros violates the GE constraint; the solver must still find the
+  // optimum via penalty annealing.
+  CqmModel m;
+  for (int i = 0; i < 6; ++i) m.add_variable();
+  for (VarId v = 0; v < 6; ++v) m.add_objective_linear(v, 1.0);
+  LinearExpr sum;
+  for (VarId v = 0; v < 6; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(std::move(sum), Sense::GE, 2.0);
+  const HybridSolveResult r = HybridCqmSolver(fast_params()).solve(m);
+  EXPECT_TRUE(r.best.feasible);
+  EXPECT_DOUBLE_EQ(r.best.energy, 2.0);
+}
+
+}  // namespace
+}  // namespace qulrb::anneal

@@ -1,0 +1,163 @@
+// Oracle property suite: the hybrid CQM solver and the penalty-QUBO path are
+// checked against exhaustive enumeration on randomly generated constrained
+// models small enough to brute-force. This is the strongest correctness
+// evidence the annealing stack has: for every (seed, size) cell the solver
+// must return a feasible assignment whose objective matches the true
+// constrained optimum (or prove infeasibility when there is none).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "anneal/hybrid.hpp"
+#include "model/cqm.hpp"
+#include "model/cqm_to_qubo.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb {
+namespace {
+
+using model::CqmModel;
+using model::LinearExpr;
+using model::Sense;
+using model::State;
+using model::VarId;
+
+struct BruteForce {
+  bool feasible_exists = false;
+  double best_objective = std::numeric_limits<double>::infinity();
+  State best_state;
+};
+
+BruteForce brute_force(const CqmModel& cqm) {
+  BruteForce result;
+  const std::size_t n = cqm.num_variables();
+  for (unsigned bits = 0; bits < (1u << n); ++bits) {
+    State s(n);
+    for (std::size_t q = 0; q < n; ++q) s[q] = (bits >> q) & 1u;
+    if (!cqm.is_feasible(s, 1e-9)) continue;
+    const double objective = cqm.objective_value(s);
+    if (!result.feasible_exists || objective < result.best_objective) {
+      result.feasible_exists = true;
+      result.best_objective = objective;
+      result.best_state = s;
+    }
+  }
+  return result;
+}
+
+/// Random integer-coefficient CQM: linear + one squared group objective,
+/// two inequality constraints and (sometimes) one equality.
+CqmModel random_constrained_model(util::Rng& rng, std::size_t n) {
+  CqmModel m;
+  for (std::size_t i = 0; i < n; ++i) m.add_variable();
+  for (VarId v = 0; v < n; ++v) {
+    m.add_objective_linear(v, static_cast<double>(rng.next_in(-4, 4)));
+  }
+  LinearExpr group(static_cast<double>(rng.next_in(-3, 0)));
+  for (VarId v = 0; v < n; ++v) {
+    if (rng.next_bool(0.7)) group.add_term(v, static_cast<double>(rng.next_in(1, 3)));
+  }
+  m.add_squared_group(std::move(group), 1.0);
+
+  for (int c = 0; c < 2; ++c) {
+    LinearExpr lhs;
+    double max_activity = 0.0;
+    for (VarId v = 0; v < n; ++v) {
+      if (rng.next_bool(0.6)) {
+        const double coeff = static_cast<double>(rng.next_in(1, 3));
+        lhs.add_term(v, coeff);
+        max_activity += coeff;
+      }
+    }
+    if (lhs.empty()) continue;
+    // rhs below the max so the constraint actually bites.
+    const double rhs = std::max(1.0, std::floor(max_activity * 0.6));
+    m.add_constraint(std::move(lhs), Sense::LE, rhs);
+  }
+  if (rng.next_bool(0.5)) {
+    LinearExpr lhs;
+    for (VarId v = 0; v < n; ++v) {
+      if (rng.next_bool(0.5)) lhs.add_term(v, 1.0);
+    }
+    if (!lhs.empty()) {
+      m.add_constraint(std::move(lhs), Sense::EQ,
+                       std::floor(static_cast<double>(lhs.size()) / 2.0));
+    }
+  }
+  return m;
+}
+
+class HybridOracle : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(HybridOracle, MatchesBruteForceOptimum) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + n);
+  const CqmModel cqm = random_constrained_model(rng, n);
+  const BruteForce truth = brute_force(cqm);
+
+  anneal::HybridSolverParams params;
+  params.num_restarts = 3;
+  params.sweeps = 600;
+  params.seed = static_cast<std::uint64_t>(seed) + 100;
+  const anneal::HybridSolveResult result = anneal::HybridCqmSolver(params).solve(cqm);
+
+  if (!truth.feasible_exists) {
+    EXPECT_FALSE(result.best.feasible);
+    return;
+  }
+  ASSERT_TRUE(result.best.feasible)
+      << "solver missed a feasible region of size-" << n << " model, seed " << seed;
+  EXPECT_NEAR(result.best.energy, truth.best_objective, 1e-6)
+      << "suboptimal: got " << result.best.energy << ", optimum "
+      << truth.best_objective;
+  // Reported energy must be the true objective of the reported state.
+  EXPECT_NEAR(cqm.objective_value(result.best.state), result.best.energy, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HybridOracle,
+                         ::testing::Combine(::testing::Values<std::size_t>(6, 8, 10,
+                                                                           12),
+                                            ::testing::Values(1, 2, 3, 4, 5)));
+
+class QuboPathOracle : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {
+};
+
+TEST_P(QuboPathOracle, SlackConversionPreservesOptimum) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 104729 + n);
+  const CqmModel cqm = random_constrained_model(rng, n);
+  const BruteForce truth = brute_force(cqm);
+  if (!truth.feasible_exists) GTEST_SKIP() << "no feasible assignment";
+
+  const model::QuboConversion conv = model::cqm_to_qubo(cqm);
+  ASSERT_LE(conv.qubo.num_variables(), 24u);
+
+  // Brute-force the QUBO; its projected minimizer must be a CQM optimum.
+  double best_energy = std::numeric_limits<double>::infinity();
+  State best_state;
+  const std::size_t total = conv.qubo.num_variables();
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << total); ++bits) {
+    State s(total);
+    for (std::size_t q = 0; q < total; ++q) s[q] = (bits >> q) & 1u;
+    const double e = conv.qubo.energy(s);
+    if (e < best_energy) {
+      best_energy = e;
+      best_state = s;
+    }
+  }
+  const State projected = conv.project(best_state);
+  EXPECT_TRUE(cqm.is_feasible(projected, 1e-6));
+  EXPECT_NEAR(cqm.objective_value(projected), truth.best_objective, 1e-6);
+}
+
+// Keep the exhaustive QUBO enumeration tractable: small models only (slack
+// bits can add ~10 ancillas).
+INSTANTIATE_TEST_SUITE_P(Sweep, QuboPathOracle,
+                         ::testing::Combine(::testing::Values<std::size_t>(5, 6, 7),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace qulrb

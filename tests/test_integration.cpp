@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "classical/exact.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+#include "runtime/bsp_sim.hpp"
+#include "util/rng.hpp"
+#include "workloads/samoa.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace qulrb {
+namespace {
+
+using lrp::CqmVariant;
+using lrp::LrpProblem;
+using lrp::QcqmOptions;
+using lrp::QcqmSolver;
+
+QcqmOptions fast_options(CqmVariant variant, std::int64_t k, std::uint64_t seed) {
+  QcqmOptions o;
+  o.variant = variant;
+  o.k = k;
+  o.hybrid.num_restarts = 2;
+  o.hybrid.sweeps = 300;
+  o.hybrid.max_penalty_rounds = 2;
+  o.hybrid.seed = seed;
+  return o;
+}
+
+LrpProblem random_problem(util::Rng& rng, std::size_t m, std::int64_t n) {
+  std::vector<double> loads(m);
+  for (auto& w : loads) w = 0.5 + rng.next_double() * 4.5;
+  return LrpProblem::uniform(std::move(loads), n);
+}
+
+// --------------------------------------------------- property sweeps -------
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::int64_t, int>> {};
+
+TEST_P(PipelineProperty, EverySolverProducesValidPlanWithinBounds) {
+  const auto [m, n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 977 + m * 31 +
+                static_cast<std::uint64_t>(n));
+  const LrpProblem problem = random_problem(rng, m, n);
+  const lrp::KSelection k = lrp::select_k(problem);
+  EXPECT_LE(k.k1, k.k2);
+
+  lrp::GreedySolver greedy;
+  lrp::KkSolver kk;
+  lrp::ProactLbSolver proactlb;
+  for (lrp::RebalanceSolver* solver :
+       std::initializer_list<lrp::RebalanceSolver*>{&greedy, &kk, &proactlb}) {
+    const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+    EXPECT_LE(report.metrics.imbalance_after,
+              report.metrics.imbalance_before + 1e-9)
+        << solver->name();
+    EXPECT_LE(report.metrics.total_migrated, problem.total_tasks()) << solver->name();
+  }
+
+  for (auto variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    QcqmSolver solver(fast_options(variant, k.k1, static_cast<std::uint64_t>(seed)));
+    const lrp::SolveOutput out = solver.solve(problem);
+    EXPECT_NO_THROW(out.plan.validate(problem)) << lrp::to_string(variant);
+    EXPECT_LE(out.plan.total_migrated(), k.k1) << lrp::to_string(variant);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SweepMxN, PipelineProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 4, 6),
+                       ::testing::Values<std::int64_t>(4, 9, 16),
+                       ::testing::Values(1, 2)));
+
+// ------------------------------------------- quantum vs exact oracle -------
+
+TEST(QuantumVsExact, ReachesExactMakespanOnTinyInstances) {
+  // With a generous k the CQM optimum equals the exact min-makespan
+  // partition. The annealer should find it on tiny instances.
+  util::Rng rng(5);
+  for (int trial = 0; trial < 3; ++trial) {
+    const LrpProblem problem = random_problem(rng, 3, 4);
+    const auto items = problem.flatten_tasks();
+    const auto exact = classical::exact_partition(items, 3);
+    ASSERT_TRUE(exact.proven_optimal);
+
+    QcqmSolver solver(fast_options(CqmVariant::kReduced, problem.total_tasks(),
+                                   static_cast<std::uint64_t>(trial) + 1));
+    const lrp::SolveOutput out = solver.solve(problem);
+    const auto loads = out.plan.new_loads(problem);
+    const double makespan = *std::max_element(loads.begin(), loads.end());
+    EXPECT_NEAR(makespan, exact.partition.makespan(), 1e-6) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------- paper-shape smoke runs -----
+
+TEST(PaperShape, QuantumK1MatchesProactLbMigrations) {
+  const auto scenario = workloads::scenarios::imbalance_levels()[3];  // Imb.3
+  const lrp::KSelection k = lrp::select_k(scenario.problem);
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, k.k1, 3));
+  const lrp::SolveOutput out = solver.solve(scenario.problem);
+  EXPECT_NO_THROW(out.plan.validate(scenario.problem));
+  EXPECT_LE(out.plan.total_migrated(), k.k1);
+  // The bound is the minimum needed, so the solver should use most of it.
+  EXPECT_GE(out.plan.total_migrated(), k.k1 * 3 / 4);
+}
+
+TEST(PaperShape, QuantumK2BalancesLikeGreedy) {
+  const auto scenario = workloads::scenarios::imbalance_levels()[2];  // Imb.2
+  const lrp::KSelection k = lrp::select_k(scenario.problem);
+  QcqmSolver quantum(fast_options(CqmVariant::kReduced, k.k2, 7));
+  lrp::GreedySolver greedy;
+  const auto q = lrp::run_and_evaluate(quantum, scenario.problem);
+  const auto g = lrp::run_and_evaluate(greedy, scenario.problem);
+  EXPECT_LT(q.metrics.imbalance_after, 0.15);
+  EXPECT_LE(q.metrics.total_migrated, g.metrics.total_migrated);
+}
+
+TEST(PaperShape, BalancedInputNeedsNoMigration) {
+  // Imb.0: every method should keep (or reach) R_imb ~ 0; ProactLB and the
+  // quantum methods must not migrate anything (k1 = 0).
+  const auto scenario = workloads::scenarios::imbalance_levels()[0];
+  const lrp::KSelection k = lrp::select_k(scenario.problem);
+  EXPECT_EQ(k.k1, 0);
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, k.k1, 5));
+  const lrp::SolveOutput out = solver.solve(scenario.problem);
+  EXPECT_EQ(out.plan.total_migrated(), 0);
+}
+
+TEST(PaperShape, EndToEndSimulatedSpeedupFavorsFrugalMigration) {
+  // Greedy and ProactLB reach similar balance, but ProactLB's smaller
+  // migration traffic gives it the better first iteration.
+  const auto scenario = workloads::scenarios::imbalance_levels()[4];
+  lrp::GreedySolver greedy;
+  lrp::ProactLbSolver proactlb;
+  runtime::BspConfig config;
+  config.iterations = 2;
+  const runtime::BspSimulator sim(config);
+  const auto g = sim.run(scenario.problem, greedy.solve(scenario.problem).plan);
+  const auto p = sim.run(scenario.problem, proactlb.solve(scenario.problem).plan);
+  EXPECT_LT(p.migration_overhead_ms, g.migration_overhead_ms);
+}
+
+TEST(PaperShape, SamoaPipelineAtReducedBudget) {
+  // Down-scaled sam(oa)^2-like instance to keep CI fast: the full pipeline
+  // (generator -> k-selection -> CQM -> hybrid solve -> decode) end to end.
+  workloads::SamoaConfig config;
+  config.num_processes = 8;
+  config.sections_per_process = 32;
+  config.base_depth = 5;
+  config.max_depth = 8;
+  config.target_imbalance = 3.0;
+  const auto workload = workloads::make_samoa_workload(config);
+  const lrp::KSelection k = lrp::select_k(workload.problem);
+  ASSERT_GT(k.k1, 0);
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, k.k1, 9));
+  const lrp::SolverReport report = lrp::run_and_evaluate(solver, workload.problem);
+  EXPECT_LT(report.metrics.imbalance_after, workload.problem.imbalance_ratio());
+  EXPECT_LE(report.metrics.total_migrated, k.k1);
+  EXPECT_GT(report.metrics.speedup, 1.5);
+}
+
+}  // namespace
+}  // namespace qulrb

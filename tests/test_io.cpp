@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/lrp_io.hpp"
+#include "lrp/solver.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::io {
+namespace {
+
+const lrp::LrpProblem kPaper = lrp::LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+// ------------------------------------------------------------------ csv ----
+
+TEST(Csv, RoundTripSimple) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"x", "y"}};
+  std::stringstream ss;
+  write_csv(ss, doc);
+  const CsvDocument back = read_csv(ss);
+  EXPECT_EQ(back.header, doc.header);
+  EXPECT_EQ(back.rows, doc.rows);
+}
+
+TEST(Csv, QuotedFieldsRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"name", "value"};
+  doc.rows = {{"has,comma", "has\"quote"}};
+  std::stringstream ss;
+  write_csv(ss, doc);
+  const CsvDocument back = read_csv(ss);
+  EXPECT_EQ(back.rows[0][0], "has,comma");
+  EXPECT_EQ(back.rows[0][1], "has\"quote");
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  std::stringstream ss("a,b,c\n1,,3\n");
+  const CsvDocument doc = read_csv(ss);
+  EXPECT_EQ(doc.rows[0][1], "");
+}
+
+TEST(Csv, CrLfHandled) {
+  std::stringstream ss("a,b\r\n1,2\r\n");
+  const CsvDocument doc = read_csv(ss);
+  EXPECT_EQ(doc.rows[0][1], "2");
+}
+
+TEST(Csv, ColumnIndexLookup) {
+  CsvDocument doc;
+  doc.header = {"x", "y", "z"};
+  EXPECT_EQ(doc.column_index("y"), 1u);
+  EXPECT_THROW(doc.column_index("missing"), util::InvalidArgument);
+}
+
+TEST(Csv, MalformedRowWidthRejected) {
+  std::stringstream ss("a,b\n1,2,3\n");
+  EXPECT_THROW(read_csv(ss), util::InvalidArgument);
+}
+
+TEST(Csv, EmptyDocumentRejected) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_csv(ss), util::InvalidArgument);
+}
+
+TEST(Csv, MissingFileRejected) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), util::InvalidArgument);
+}
+
+TEST(Csv, WriteRejectsRaggedRows) {
+  CsvDocument doc;
+  doc.header = {"a"};
+  doc.rows = {{"1", "2"}};
+  std::stringstream ss;
+  EXPECT_THROW(write_csv(ss, doc), util::InvalidArgument);
+}
+
+// --------------------------------------------------------------- lrp io ----
+
+TEST(LrpIo, InputTableMatchesAppendixFormat) {
+  const CsvDocument doc = to_input_table(kPaper);
+  // Header: Process, P1..P4, w, L.
+  ASSERT_EQ(doc.header.size(), 7u);
+  EXPECT_EQ(doc.header[0], "Process");
+  EXPECT_EQ(doc.header[1], "P1");
+  EXPECT_EQ(doc.header[5], "w");
+  EXPECT_EQ(doc.header[6], "L");
+  ASSERT_EQ(doc.rows.size(), 4u);
+  EXPECT_EQ(doc.rows[0][1], "5");  // diagonal task count
+  EXPECT_EQ(doc.rows[0][2], "0");  // off-diagonal zero
+}
+
+TEST(LrpIo, InputRoundTrip) {
+  const lrp::LrpProblem back = from_input_table(to_input_table(kPaper));
+  ASSERT_EQ(back.num_processes(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.tasks_on(i), kPaper.tasks_on(i));
+    EXPECT_NEAR(back.task_load(i), kPaper.task_load(i), 1e-6);
+  }
+}
+
+TEST(LrpIo, InputFileRoundTrip) {
+  const std::string path = "/tmp/qulrb_test_input.csv";
+  write_input_file(path, kPaper);
+  const lrp::LrpProblem back = read_input_file(path);
+  EXPECT_EQ(back.num_processes(), 4u);
+  EXPECT_NEAR(back.load(2), 15.6, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(LrpIo, InputRejectsOffDiagonalAssignments) {
+  CsvDocument doc = to_input_table(kPaper);
+  doc.rows[0][2] = "3";  // P1 row, P2 column
+  EXPECT_THROW(from_input_table(doc), util::InvalidArgument);
+}
+
+TEST(LrpIo, InputRejectsMalformedNumbers) {
+  CsvDocument doc = to_input_table(kPaper);
+  doc.rows[0][5] = "not-a-number";
+  EXPECT_THROW(from_input_table(doc), util::InvalidArgument);
+  doc = to_input_table(kPaper);
+  doc.rows[1][1] = "";
+  EXPECT_THROW(from_input_table(doc), util::InvalidArgument);
+}
+
+TEST(LrpIo, OutputTableCrossChecks) {
+  lrp::GreedySolver greedy;
+  const lrp::SolveOutput out = greedy.solve(kPaper);
+  const CsvDocument doc = to_output_table(kPaper, out.plan);
+  const std::size_t total_col = doc.column_index("num_total");
+  const std::size_t local_col = doc.column_index("num_local");
+  const std::size_t remote_col = doc.column_index("num_remote");
+  for (std::size_t i = 0; i < 4; ++i) {
+    const long long total = std::stoll(doc.rows[i][total_col]);
+    const long long local = std::stoll(doc.rows[i][local_col]);
+    const long long remote = std::stoll(doc.rows[i][remote_col]);
+    EXPECT_EQ(total, local + remote) << "row " << i;
+    EXPECT_EQ(total, out.plan.tasks_hosted(i));
+  }
+}
+
+TEST(LrpIo, OutputPlanRoundTrip) {
+  lrp::ProactLbSolver solver;
+  const lrp::SolveOutput out = solver.solve(kPaper);
+  const CsvDocument doc = to_output_table(kPaper, out.plan);
+  const lrp::MigrationPlan back = plan_from_output_table(doc);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(back.count(i, j), out.plan.count(i, j));
+    }
+  }
+  EXPECT_NO_THROW(back.validate(kPaper));
+}
+
+TEST(LrpIo, OutputFileWriteAndParse) {
+  const std::string path = "/tmp/qulrb_test_output.csv";
+  lrp::GreedySolver greedy;
+  const lrp::SolveOutput out = greedy.solve(kPaper);
+  write_output_file(path, kPaper, out.plan);
+  const lrp::MigrationPlan back = plan_from_output_table(read_csv_file(path));
+  EXPECT_EQ(back.total_migrated(), out.plan.total_migrated());
+  std::remove(path.c_str());
+}
+
+TEST(LrpIo, OutputRejectsInvalidPlan) {
+  lrp::MigrationPlan bad(4);  // all zeros: tasks lost
+  EXPECT_THROW(to_output_table(kPaper, bad), util::InvalidArgument);
+}
+
+TEST(LrpIo, OutputLoadColumnMatchesPlan) {
+  lrp::GreedySolver greedy;
+  const lrp::SolveOutput out = greedy.solve(kPaper);
+  const CsvDocument doc = to_output_table(kPaper, out.plan);
+  const auto loads = out.plan.new_loads(kPaper);
+  const std::size_t l_col = doc.column_index("L");
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::stod(doc.rows[i][l_col]), loads[i], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace qulrb::io

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "model/ising.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::model {
+namespace {
+
+std::vector<std::int8_t> make_spins(std::size_t n, unsigned bits) {
+  std::vector<std::int8_t> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = ((bits >> i) & 1u) ? std::int8_t{1} : std::int8_t{-1};
+  }
+  return s;
+}
+
+TEST(Ising, FieldEnergy) {
+  IsingModel m(2);
+  m.add_field(0, 1.0);
+  m.add_field(1, -2.0);
+  EXPECT_DOUBLE_EQ(m.energy(make_spins(2, 0b01)), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(m.energy(make_spins(2, 0b11)), 1.0 - 2.0);
+}
+
+TEST(Ising, CouplingEnergy) {
+  IsingModel m(2);
+  m.add_coupling(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(m.energy(make_spins(2, 0b11)), 1.0);   // aligned up
+  EXPECT_DOUBLE_EQ(m.energy(make_spins(2, 0b00)), 1.0);   // aligned down
+  EXPECT_DOUBLE_EQ(m.energy(make_spins(2, 0b01)), -1.0);  // anti-aligned
+}
+
+TEST(Ising, SelfCouplingRejected) {
+  IsingModel m(2);
+  EXPECT_THROW(m.add_coupling(1, 1, 1.0), util::InvalidArgument);
+}
+
+TEST(Ising, LocalFieldMatchesDefinition) {
+  IsingModel m(3);
+  m.add_field(1, 0.5);
+  m.add_coupling(0, 1, 2.0);
+  m.add_coupling(1, 2, -1.0);
+  const auto spins = make_spins(3, 0b101);  // +1, -1, +1
+  EXPECT_DOUBLE_EQ(m.local_field(spins, 1), 0.5 + 2.0 * 1 + (-1.0) * 1);
+}
+
+TEST(Ising, QuboRoundTripPreservesEnergies) {
+  util::Rng rng(7);
+  QuboModel qubo(5);
+  qubo.add_offset(rng.next_normal());
+  for (VarId i = 0; i < 5; ++i) qubo.add_linear(i, rng.next_normal());
+  for (VarId i = 0; i < 5; ++i) {
+    for (VarId j = i + 1; j < 5; ++j) {
+      if (rng.next_bool(0.6)) qubo.add_quadratic(i, j, rng.next_normal());
+    }
+  }
+  const IsingModel ising = qubo_to_ising(qubo);
+  const QuboModel back = ising_to_qubo(ising);
+  for (unsigned bits = 0; bits < 32; ++bits) {
+    State s(5);
+    for (std::size_t i = 0; i < 5; ++i) s[i] = (bits >> i) & 1u;
+    const auto spins = state_to_spins(s);
+    EXPECT_NEAR(qubo.energy(s), ising.energy(spins), 1e-9) << "bits " << bits;
+    EXPECT_NEAR(qubo.energy(s), back.energy(s), 1e-9) << "bits " << bits;
+  }
+}
+
+TEST(Ising, StateSpinConversionRoundTrip) {
+  const State s{1, 0, 1, 1, 0};
+  const auto spins = state_to_spins(s);
+  EXPECT_EQ(spins[0], 1);
+  EXPECT_EQ(spins[1], -1);
+  EXPECT_EQ(spins_to_state(spins), s);
+}
+
+TEST(Ising, AdjacencySymmetric) {
+  IsingModel m(3);
+  m.add_coupling(0, 2, 1.5);
+  const auto& adj = m.adjacency();
+  ASSERT_EQ(adj[0].size(), 1u);
+  ASSERT_EQ(adj[2].size(), 1u);
+  EXPECT_EQ(adj[0][0].other, 2u);
+  EXPECT_EQ(adj[2][0].other, 0u);
+  EXPECT_TRUE(adj[1].empty());
+}
+
+TEST(Ising, OffsetPropagatesThroughConversion) {
+  QuboModel qubo(1);
+  qubo.add_offset(7.0);
+  qubo.add_linear(0, 2.0);
+  const IsingModel ising = qubo_to_ising(qubo);
+  EXPECT_NEAR(ising.energy(make_spins(1, 0b1)), qubo.energy(State{1}), 1e-12);
+  EXPECT_NEAR(ising.energy(make_spins(1, 0b0)), qubo.energy(State{0}), 1e-12);
+}
+
+TEST(Ising, SpinCountMismatchThrows) {
+  IsingModel m(2);
+  EXPECT_THROW(m.energy(make_spins(1, 0)), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qulrb::model

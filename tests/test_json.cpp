@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "io/json.hpp"
+#include "io/report.hpp"
+#include "lrp/solver.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::io {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter json;
+    json.begin_object().end_object();
+    EXPECT_EQ(json.str(), "{}");
+  }
+  {
+    JsonWriter json;
+    json.begin_array().end_array();
+    EXPECT_EQ(json.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, ScalarsAndCommas) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("a", 1);
+  json.field("b", 2.5);
+  json.field("c", "x");
+  json.field("d", true);
+  json.key("e").null();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":2.5,"c":"x","d":true,"e":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("xs").begin_array().value(1).value(2).end_array();
+  json.key("o").begin_object().field("k", "v").end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"xs":[1,2],"o":{"k":"v"}})");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("q", "a\"b\\c\nd");
+  json.end_object();
+  EXPECT_EQ(json.str(), "{\"q\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter json;
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseIsRejected) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), util::InvalidArgument);  // value without key
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), util::InvalidArgument);  // key in array
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW((void)json.str(), util::InvalidArgument);  // unclosed
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.end_object(), util::InvalidArgument);  // nothing open
+  }
+}
+
+TEST(Report, RecordSerializesAllFields) {
+  const lrp::LrpProblem problem = lrp::LrpProblem::uniform({2.0, 1.0}, 4);
+  lrp::GreedySolver greedy;
+  lrp::ProactLbSolver proactlb;
+  std::vector<lrp::SolverReport> reports;
+  reports.push_back(lrp::run_and_evaluate(greedy, problem));
+  reports.push_back(lrp::run_and_evaluate(proactlb, problem));
+  const ExperimentRecord record = make_record("toy", problem, std::move(reports));
+  const std::string json = to_json(record);
+  EXPECT_NE(json.find("\"scenario\":\"toy\""), std::string::npos);
+  EXPECT_NE(json.find("\"num_processes\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"Greedy\""), std::string::npos);
+  EXPECT_NE(json.find("\"ProactLB\""), std::string::npos);
+  EXPECT_NE(json.find("\"migrated_tasks\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, BatchIsJsonArray) {
+  const lrp::LrpProblem problem = lrp::LrpProblem::uniform({2.0, 1.0}, 4);
+  const ExperimentRecord record = make_record("a", problem, {});
+  const std::string json = to_json(std::vector<ExperimentRecord>{record, record});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+}
+
+TEST(Report, WriteJsonFileRoundTrip) {
+  const std::string path = "/tmp/qulrb_test_report.json";
+  write_json_file(path, "{\"ok\":true}");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"ok\":true}\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qulrb::io

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "anneal/cqm_anneal.hpp"
+#include "classical/exact.hpp"
+#include "classical/greedy.hpp"
+#include "classical/rnp.hpp"
+#include "model/lp_format.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb {
+namespace {
+
+// ------------------------------------------------------------------ rnp ----
+
+TEST(Rnp, RequiresPowerOfTwoBins) {
+  const std::vector<double> items = {1.0, 2.0};
+  EXPECT_THROW(classical::rnp_partition(items, 3), util::InvalidArgument);
+  EXPECT_THROW(classical::rnp_partition(items, 0), util::InvalidArgument);
+  EXPECT_NO_THROW(classical::rnp_partition(items, 4));
+}
+
+TEST(Rnp, OneBinTakesEverything) {
+  const std::vector<double> items = {3.0, 1.0};
+  const auto r = classical::rnp_partition(items, 1);
+  EXPECT_EQ(r.bins[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(r.makespan(), 4.0);
+}
+
+TEST(Rnp, TwoWayMatchesCkkOptimum) {
+  const std::vector<double> items = {8.0, 7.0, 6.0, 5.0, 4.0};
+  const auto r = classical::rnp_partition(items, 2);
+  // CKK on this instance is optimal: spread 0 (15/15).
+  EXPECT_DOUBLE_EQ(r.spread(), 0.0);
+  EXPECT_TRUE(r.is_valid(items.size()));
+}
+
+TEST(Rnp, ValidAndCompetitiveOnRandomInputs) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> items(32);
+    for (auto& w : items) w = 1.0 + rng.next_double() * 50.0;
+    const auto rnp = classical::rnp_partition(items, 8);
+    EXPECT_TRUE(rnp.is_valid(items.size()));
+    const auto greedy = classical::greedy_partition(items, 8);
+    // RNP is usually close to Greedy; never catastrophically worse.
+    EXPECT_LT(rnp.makespan(), greedy.makespan() * 1.5) << "trial " << trial;
+  }
+}
+
+TEST(Rnp, NearOptimalOnTinyInstances) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> items(12);
+    for (auto& w : items) w = static_cast<double>(rng.next_in(1, 30));
+    const auto rnp = classical::rnp_partition(items, 4);
+    const auto exact = classical::exact_partition(items, 4);
+    ASSERT_TRUE(exact.proven_optimal);
+    // Recursive bisection is not optimal in general, but stays close here.
+    EXPECT_LE(rnp.makespan(), exact.partition.makespan() * 1.3 + 1e-9);
+  }
+}
+
+TEST(Rnp, EmptyInput) {
+  const auto r = classical::rnp_partition({}, 4);
+  EXPECT_TRUE(r.is_valid(0));
+  EXPECT_DOUBLE_EQ(r.makespan(), 0.0);
+}
+
+// ------------------------------------------------------------ lp format ----
+
+model::CqmModel lp_model() {
+  model::CqmModel m;
+  m.add_variable("a");
+  m.add_variable("b");
+  m.add_objective_linear(0, 2.0);
+  m.add_objective_linear(1, -1.0);
+  model::LinearExpr g(-3.0);
+  g.add_term(0, 1.0);
+  g.add_term(1, 1.0);
+  m.add_squared_group(std::move(g), 1.0);
+  model::LinearExpr cap;
+  cap.add_term(0, 1.0);
+  cap.add_term(1, 1.0);
+  m.add_constraint(std::move(cap), model::Sense::LE, 2.0, "capacity");
+  return m;
+}
+
+TEST(LpFormat, ContainsAllSections) {
+  const std::string lp = model::to_lp_string(lp_model());
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+}
+
+TEST(LpFormat, UsesVariableNamesAndLabels) {
+  const std::string lp = model::to_lp_string(lp_model());
+  EXPECT_NE(lp.find("capacity:"), std::string::npos);
+  EXPECT_NE(lp.find(" a "), std::string::npos);
+  EXPECT_NE(lp.find("<= 2"), std::string::npos);
+}
+
+TEST(LpFormat, SquaredGroupRendered) {
+  const std::string lp = model::to_lp_string(lp_model());
+  EXPECT_NE(lp.find("]^2"), std::string::npos);
+  EXPECT_NE(lp.find("[ "), std::string::npos);
+}
+
+TEST(LpFormat, EmptyObjectiveRendersZero) {
+  model::CqmModel m;
+  m.add_variable("x");
+  const std::string lp = model::to_lp_string(m);
+  EXPECT_NE(lp.find("obj: 0"), std::string::npos);
+}
+
+TEST(LpFormat, AnonymousVariablesAndConstraintsGetNames) {
+  model::CqmModel m;
+  m.add_variable();  // unnamed
+  model::LinearExpr lhs;
+  lhs.add_term(0, 1.0);
+  m.add_constraint(std::move(lhs), model::Sense::GE, 1.0);  // unlabeled
+  const std::string lp = model::to_lp_string(m);
+  EXPECT_NE(lp.find("v0"), std::string::npos);
+  EXPECT_NE(lp.find("c0:"), std::string::npos);
+}
+
+// ---------------------------------------------------------- anneal trace ---
+
+TEST(AnnealTrace, RecordsPerSweepData) {
+  model::CqmModel m;
+  for (int i = 0; i < 6; ++i) m.add_variable();
+  for (model::VarId v = 0; v < 6; ++v) m.add_objective_linear(v, 1.0);
+  model::LinearExpr sum;
+  for (model::VarId v = 0; v < 6; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(std::move(sum), model::Sense::GE, 2.0);
+
+  anneal::CqmAnnealParams params;
+  params.sweeps = 50;
+  util::Rng rng(3);
+  anneal::AnnealTrace trace;
+  const anneal::Sample s = anneal::CqmAnnealer(params).anneal_once(
+      m, std::vector<double>(m.num_constraints(), 20.0), rng, {}, &trace);
+
+  EXPECT_EQ(trace.best_energy_per_sweep.size(), 50u);
+  EXPECT_EQ(trace.violation_per_sweep.size(), 50u);
+  EXPECT_GT(trace.flip_attempts, 0u);
+  EXPECT_GT(trace.flip_accepts, 0u);
+  EXPECT_LE(trace.flip_accepts, trace.flip_attempts);
+  EXPECT_GE(trace.flip_acceptance(), 0.0);
+  EXPECT_LE(trace.flip_acceptance(), 1.0);
+
+  // The incumbent track is monotone non-increasing.
+  for (std::size_t i = 1; i < trace.best_energy_per_sweep.size(); ++i) {
+    EXPECT_LE(trace.best_energy_per_sweep[i], trace.best_energy_per_sweep[i - 1] + 1e-9);
+  }
+  // The final incumbent matches the returned sample (objective + violations
+  // are both zero-penalty at the optimum here).
+  EXPECT_TRUE(s.feasible);
+}
+
+TEST(AnnealTrace, NullTraceIsNoOverheadPath) {
+  model::CqmModel m;
+  m.add_variable();
+  m.add_objective_linear(0, -1.0);
+  anneal::CqmAnnealParams params;
+  params.sweeps = 10;
+  util::Rng rng(1);
+  const anneal::Sample s = anneal::CqmAnnealer(params).anneal_once(
+      m, std::vector<double>{}, rng);
+  EXPECT_DOUBLE_EQ(s.energy, -1.0);
+}
+
+}  // namespace
+}  // namespace qulrb

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "lrp/solver.hpp"
+#include "mpirt/communicator.hpp"
+#include "mpirt/lb_driver.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::mpirt {
+namespace {
+
+TEST(Communicator, RunLaunchesEveryRank) {
+  Communicator comm(6);
+  std::atomic<int> hits{0};
+  std::atomic<int> rank_sum{0};
+  comm.run([&](RankContext& ctx) {
+    hits.fetch_add(1);
+    rank_sum.fetch_add(ctx.rank());
+    EXPECT_EQ(ctx.size(), 6);
+  });
+  EXPECT_EQ(hits.load(), 6);
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Communicator, PointToPointDelivery) {
+  Communicator comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 5, {1.0, 2.0, 3.0});
+    } else {
+      const Message m = ctx.recv(0, 5);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 5);
+      EXPECT_EQ(m.payload, (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(Communicator, FifoPerSourceTagPair) {
+  Communicator comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 10; ++i) ctx.send(1, 1, {static_cast<double>(i)});
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        const Message m = ctx.recv(0, 1);
+        EXPECT_DOUBLE_EQ(m.payload[0], static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(Communicator, TagAndSourceMatching) {
+  Communicator comm(3);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(2, 1, {10.0});
+    } else if (ctx.rank() == 1) {
+      ctx.send(2, 2, {20.0});
+    } else {
+      // Receive in the "wrong" arrival order: matching must pick correctly.
+      const Message from1 = ctx.recv(1, 2);
+      const Message from0 = ctx.recv(0, 1);
+      EXPECT_DOUBLE_EQ(from1.payload[0], 20.0);
+      EXPECT_DOUBLE_EQ(from0.payload[0], 10.0);
+    }
+  });
+}
+
+TEST(Communicator, ProbeSeesQueuedMessages) {
+  Communicator comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      ctx.send(1, 9, {1.0});
+      ctx.barrier();
+    } else {
+      ctx.barrier();  // after the barrier the send has been enqueued
+      EXPECT_TRUE(ctx.probe(0, 9));
+      EXPECT_FALSE(ctx.probe(0, 8));
+      (void)ctx.recv(0, 9);
+      EXPECT_FALSE(ctx.probe(0, 9));
+    }
+  });
+}
+
+TEST(Communicator, BarrierIsReusable) {
+  Communicator comm(4);
+  std::atomic<int> phase_counter{0};
+  comm.run([&](RankContext& ctx) {
+    for (int phase = 0; phase < 5; ++phase) {
+      phase_counter.fetch_add(1);
+      ctx.barrier();
+      // After the barrier, all 4 increments of this phase must be visible.
+      EXPECT_EQ(phase_counter.load() % 4, 0) << "phase " << phase;
+      ctx.barrier();
+    }
+  });
+  EXPECT_EQ(phase_counter.load(), 20);
+}
+
+TEST(Communicator, AllreduceSumAndMax) {
+  Communicator comm(5);
+  comm.run([](RankContext& ctx) {
+    const double r = static_cast<double>(ctx.rank());
+    EXPECT_DOUBLE_EQ(ctx.allreduce_sum(r), 0.0 + 1.0 + 2.0 + 3.0 + 4.0);
+    EXPECT_DOUBLE_EQ(ctx.allreduce_max(r), 4.0);
+    // Back-to-back reductions must not interfere.
+    EXPECT_DOUBLE_EQ(ctx.allreduce_sum(1.0), 5.0);
+  });
+}
+
+TEST(Communicator, RankExceptionPropagates) {
+  Communicator comm(3);
+  EXPECT_THROW(comm.run([](RankContext& ctx) {
+                 if (ctx.rank() == 1) throw util::InvalidArgument("boom");
+               }),
+               util::InvalidArgument);
+}
+
+TEST(Communicator, SendValidation) {
+  Communicator comm(2);
+  comm.run([](RankContext& ctx) {
+    if (ctx.rank() == 0) {
+      EXPECT_THROW(ctx.send(7, 0, {}), util::InvalidArgument);
+    }
+  });
+}
+
+TEST(Communicator, StressManyMessages) {
+  Communicator comm(4);
+  std::atomic<std::int64_t> received{0};
+  comm.run([&](RankContext& ctx) {
+    const int n = ctx.size();
+    for (int dest = 0; dest < n; ++dest) {
+      if (dest == ctx.rank()) continue;
+      for (int i = 0; i < 50; ++i) {
+        ctx.send(dest, 3, {static_cast<double>(ctx.rank() * 1000 + i)});
+      }
+    }
+    for (int src = 0; src < n; ++src) {
+      if (src == ctx.rank()) continue;
+      for (int i = 0; i < 50; ++i) {
+        const Message m = ctx.recv(src, 3);
+        EXPECT_DOUBLE_EQ(m.payload[0], static_cast<double>(src * 1000 + i));
+        received.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(received.load(), 4 * 3 * 50);
+}
+
+// ----------------------------------------------------------- lb driver -----
+
+const lrp::LrpProblem kPaper = lrp::LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+TEST(LbDriver, IdentityPlanExecutesLocally) {
+  const LiveExecResult r = run_live(kPaper, lrp::MigrationPlan::identity(kPaper));
+  EXPECT_EQ(r.tasks_migrated, 0);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(r.tasks_executed[p], 5);
+    EXPECT_NEAR(r.compute_ms[p], kPaper.load(p), 1e-9);
+  }
+  EXPECT_NEAR(r.virtual_makespan_ms, kPaper.max_load(), 1e-9);
+  EXPECT_NEAR(r.measured_imbalance, kPaper.imbalance_ratio(), 1e-9);
+}
+
+TEST(LbDriver, MigratedPlanMatchesAnalyticLoads) {
+  lrp::ProactLbSolver solver;
+  const lrp::SolveOutput out = solver.solve(kPaper);
+  const LiveExecResult r = run_live(kPaper, out.plan);
+  const auto expected = out.plan.new_loads(kPaper);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_NEAR(r.compute_ms[p], expected[p], 1e-9) << "rank " << p;
+    EXPECT_EQ(r.tasks_executed[p], out.plan.tasks_hosted(p));
+  }
+  EXPECT_EQ(r.tasks_migrated, out.plan.total_migrated());
+  EXPECT_LT(r.measured_imbalance, kPaper.imbalance_ratio());
+}
+
+TEST(LbDriver, WorkConservationUnderHeavyMigration) {
+  lrp::GreedySolver greedy;
+  const lrp::SolveOutput out = greedy.solve(kPaper);
+  const LiveExecResult r = run_live(kPaper, out.plan);
+  const double total =
+      std::accumulate(r.compute_ms.begin(), r.compute_ms.end(), 0.0);
+  EXPECT_NEAR(total, kPaper.total_load(), 1e-6);
+  std::int64_t tasks = 0;
+  for (auto t : r.tasks_executed) tasks += t;
+  EXPECT_EQ(tasks, kPaper.total_tasks());
+}
+
+TEST(LbDriver, MultipleIterationsScaleNothing) {
+  // compute_ms is per-iteration; more iterations must not change it.
+  LiveExecConfig one;
+  one.iterations = 1;
+  LiveExecConfig five;
+  five.iterations = 5;
+  const auto a = run_live(kPaper, lrp::MigrationPlan::identity(kPaper), one);
+  const auto b = run_live(kPaper, lrp::MigrationPlan::identity(kPaper), five);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_NEAR(a.compute_ms[p], b.compute_ms[p], 1e-9);
+  }
+}
+
+TEST(LbDriver, RealSpinWorkTakesWallTime) {
+  // Tiny spin so the test stays fast even on one core.
+  const lrp::LrpProblem small = lrp::LrpProblem::uniform({1.0, 1.0}, 2);
+  LiveExecConfig config;
+  config.iterations = 1;
+  config.work_scale = 1.0;  // 1 ms per task, 4 tasks total
+  const LiveExecResult r = run_live(small, lrp::MigrationPlan::identity(small), config);
+  EXPECT_GE(r.wall_ms, 1.9);  // at least ~2 ms of real work per rank
+}
+
+TEST(LbDriver, InvalidInputsRejected) {
+  lrp::MigrationPlan bad(4);
+  EXPECT_THROW(run_live(kPaper, bad), util::InvalidArgument);
+  LiveExecConfig config;
+  config.iterations = 0;
+  EXPECT_THROW(run_live(kPaper, lrp::MigrationPlan::identity(kPaper), config),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qulrb::mpirt

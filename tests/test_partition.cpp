@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "classical/ckk.hpp"
+#include "classical/exact.hpp"
+#include "classical/greedy.hpp"
+#include "classical/kk.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::classical {
+namespace {
+
+std::vector<double> random_items(util::Rng& rng, std::size_t n, double lo = 1.0,
+                                 double hi = 100.0) {
+  std::vector<double> items(n);
+  for (auto& x : items) x = lo + rng.next_double() * (hi - lo);
+  return items;
+}
+
+// -------------------------------------------------------------- greedy -----
+
+TEST(Greedy, EmptyInput) {
+  const auto r = greedy_partition({}, 3);
+  EXPECT_EQ(r.bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.makespan(), 0.0);
+  EXPECT_TRUE(r.is_valid(0));
+}
+
+TEST(Greedy, SingleBinTakesEverything) {
+  const std::vector<double> items = {3.0, 1.0, 2.0};
+  const auto r = greedy_partition(items, 1);
+  EXPECT_EQ(r.bins[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(r.makespan(), 6.0);
+}
+
+TEST(Greedy, ZeroBinsRejected) {
+  EXPECT_THROW(greedy_partition({}, 0), util::InvalidArgument);
+}
+
+TEST(Greedy, LptPlacementOrder) {
+  // LPT on {3,3,2,2,2} / 2 bins: 3|3, 5|5, 7|5 — the known 7/6-suboptimal
+  // case (optimum is 6/6).
+  const std::vector<double> items = {3.0, 3.0, 2.0, 2.0, 2.0};
+  const auto r = greedy_partition(items, 2);
+  EXPECT_DOUBLE_EQ(r.makespan(), 7.0);
+  EXPECT_DOUBLE_EQ(r.spread(), 2.0);
+}
+
+TEST(Greedy, PerfectSplitOnUniformItems) {
+  const std::vector<double> items = {2.0, 2.0, 2.0, 2.0};
+  const auto r = greedy_partition(items, 2);
+  EXPECT_DOUBLE_EQ(r.makespan(), 4.0);
+  EXPECT_DOUBLE_EQ(r.spread(), 0.0);
+}
+
+TEST(Greedy, ValidPartitionOnRandomInputs) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto items = random_items(rng, 50);
+    const auto r = greedy_partition(items, 7);
+    EXPECT_TRUE(r.is_valid(items.size()));
+    const auto sums = compute_bin_sums(r.bins, items);
+    for (std::size_t b = 0; b < 7; ++b) EXPECT_NEAR(sums[b], r.bin_sums[b], 1e-9);
+  }
+}
+
+TEST(Greedy, GrahamBoundHolds) {
+  // LPT guarantee: makespan <= (4/3 - 1/(3m)) * OPT.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto items = random_items(rng, 12);
+    const std::size_t m = 3;
+    const auto greedy = greedy_partition(items, m);
+    const auto optimal = exact_partition(items, m);
+    ASSERT_TRUE(optimal.proven_optimal);
+    const double bound = (4.0 / 3.0 - 1.0 / (3.0 * static_cast<double>(m))) *
+                         optimal.partition.makespan();
+    EXPECT_LE(greedy.makespan(), bound + 1e-9);
+  }
+}
+
+TEST(Greedy, DeterministicOrdering) {
+  const std::vector<double> items = {5.0, 5.0, 5.0, 5.0};
+  const auto a = greedy_partition(items, 2);
+  const auto b = greedy_partition(items, 2);
+  EXPECT_EQ(a.bins, b.bins);
+}
+
+// ------------------------------------------------------------------ kk -----
+
+TEST(Kk, EmptyInput) {
+  const auto r = kk_partition({}, 4);
+  EXPECT_TRUE(r.is_valid(0));
+  EXPECT_DOUBLE_EQ(r.makespan(), 0.0);
+}
+
+TEST(Kk, TwoWayClassicExample) {
+  // {8,7,6,5,4} -> KK difference 2 for 2-way (known result).
+  const std::vector<double> items = {8.0, 7.0, 6.0, 5.0, 4.0};
+  const auto r = kk_partition(items, 2);
+  EXPECT_TRUE(r.is_valid(items.size()));
+  EXPECT_DOUBLE_EQ(r.spread(), 2.0);
+}
+
+TEST(Kk, ValidPartitionOnRandomInputs) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto items = random_items(rng, 40);
+    const auto r = kk_partition(items, 5);
+    EXPECT_TRUE(r.is_valid(items.size()));
+    const auto sums = compute_bin_sums(r.bins, items);
+    for (std::size_t b = 0; b < 5; ++b) EXPECT_NEAR(sums[b], r.bin_sums[b], 1e-9);
+  }
+}
+
+TEST(Kk, PerfectSplitOnEvenInput) {
+  // {5,5,4,4,3,3,3,3} into 2 bins (total 30, perfect split 15).
+  const std::vector<double> items = {5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0, 3.0};
+  const auto kk = kk_partition(items, 2);
+  EXPECT_DOUBLE_EQ(kk.spread(), 0.0);
+}
+
+TEST(Kk, SumsConservedAcrossBins) {
+  util::Rng rng(4);
+  const auto items = random_items(rng, 30);
+  const double total = std::accumulate(items.begin(), items.end(), 0.0);
+  const auto r = kk_partition(items, 6);
+  const double sum_of_bins = std::accumulate(r.bin_sums.begin(), r.bin_sums.end(), 0.0);
+  EXPECT_NEAR(total, sum_of_bins, 1e-6);
+}
+
+TEST(Kk, MoreBinsThanItems) {
+  const std::vector<double> items = {2.0, 1.0};
+  const auto r = kk_partition(items, 5);
+  EXPECT_TRUE(r.is_valid(2));
+  EXPECT_DOUBLE_EQ(r.makespan(), 2.0);
+}
+
+TEST(Kk, ZeroBinsRejected) {
+  EXPECT_THROW(kk_partition({}, 0), util::InvalidArgument);
+}
+
+// ----------------------------------------------------------------- ckk -----
+
+TEST(Ckk, PerfectPartitionFound) {
+  const std::vector<double> items = {4.0, 5.0, 6.0, 7.0, 8.0};  // total 30
+  const auto r = ckk_two_way(items);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.difference, 0.0);
+  EXPECT_TRUE(r.partition.is_valid(items.size()));
+}
+
+TEST(Ckk, OddTotalHasDifferenceOne) {
+  const std::vector<double> items = {1.0, 2.0, 4.0};  // total 7, best diff 1
+  const auto r = ckk_two_way(items);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.difference, 1.0);
+}
+
+TEST(Ckk, MatchesExactOnRandomInstances) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> items(10);
+    for (auto& x : items) x = static_cast<double>(rng.next_in(1, 50));
+    const auto ckk = ckk_two_way(items);
+    const auto exact = exact_partition(items, 2);
+    ASSERT_TRUE(ckk.proven_optimal);
+    ASSERT_TRUE(exact.proven_optimal);
+    const double exact_diff =
+        std::abs(exact.partition.bin_sums[0] - exact.partition.bin_sums[1]);
+    EXPECT_DOUBLE_EQ(ckk.difference, exact_diff) << "trial " << trial;
+  }
+}
+
+TEST(Ckk, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(ckk_two_way({}).difference, 0.0);
+  const std::vector<double> one = {5.0};
+  const auto r = ckk_two_way(one);
+  EXPECT_DOUBLE_EQ(r.difference, 5.0);
+  EXPECT_TRUE(r.partition.is_valid(1));
+}
+
+TEST(Ckk, NodeLimitTruncates) {
+  util::Rng rng(6);
+  std::vector<double> items(30);
+  for (auto& x : items) x = rng.next_double() * 1000.0 + 1.0;
+  const auto r = ckk_two_way(items, 100);
+  EXPECT_FALSE(r.proven_optimal);
+  EXPECT_TRUE(r.partition.is_valid(items.size()));  // still returns something valid
+}
+
+TEST(Ckk, RejectsNegativeItems) {
+  const std::vector<double> items = {1.0, -2.0};
+  EXPECT_THROW(ckk_two_way(items), util::InvalidArgument);
+}
+
+// --------------------------------------------------------------- exact -----
+
+TEST(Exact, TinyInstanceOptimal) {
+  const std::vector<double> items = {4.0, 3.0, 2.0, 1.0};
+  const auto r = exact_partition(items, 2);
+  EXPECT_TRUE(r.proven_optimal);
+  EXPECT_DOUBLE_EQ(r.partition.makespan(), 5.0);
+  EXPECT_TRUE(r.partition.is_valid(4));
+}
+
+TEST(Exact, NeverWorseThanGreedyOrKk) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> items(11);
+    for (auto& x : items) x = static_cast<double>(rng.next_in(1, 30));
+    const auto exact = exact_partition(items, 3);
+    ASSERT_TRUE(exact.proven_optimal);
+    EXPECT_LE(exact.partition.makespan(),
+              greedy_partition(items, 3).makespan() + 1e-9);
+    EXPECT_LE(exact.partition.makespan(), kk_partition(items, 3).makespan() + 1e-9);
+  }
+}
+
+TEST(Exact, LowerBoundRespected) {
+  util::Rng rng(8);
+  const auto items = random_items(rng, 10);
+  const double total = std::accumulate(items.begin(), items.end(), 0.0);
+  const auto r = exact_partition(items, 4);
+  EXPECT_GE(r.partition.makespan(), total / 4.0 - 1e-9);
+}
+
+TEST(Exact, MoreBinsThanItemsIsMaxItem) {
+  const std::vector<double> items = {7.0, 3.0};
+  const auto r = exact_partition(items, 5);
+  EXPECT_DOUBLE_EQ(r.partition.makespan(), 7.0);
+}
+
+TEST(Exact, NodeLimitStillReturnsValidPartition) {
+  util::Rng rng(9);
+  const auto items = random_items(rng, 30);
+  const auto r = exact_partition(items, 4, 50);
+  EXPECT_TRUE(r.partition.is_valid(items.size()));
+}
+
+// ---------------------------------------------------- PartitionResult ------
+
+TEST(PartitionResult, ValidityDetectsMissingItem) {
+  PartitionResult r;
+  r.bins = {{0, 1}, {}};
+  r.bin_sums = {2.0, 0.0};
+  EXPECT_TRUE(r.is_valid(2));
+  EXPECT_FALSE(r.is_valid(3));  // item 2 missing
+}
+
+TEST(PartitionResult, ValidityDetectsDuplicates) {
+  PartitionResult r;
+  r.bins = {{0, 1}, {1}};
+  EXPECT_FALSE(r.is_valid(2));
+}
+
+TEST(PartitionResult, SpreadIsMaxMinusMin) {
+  PartitionResult r;
+  r.bin_sums = {5.0, 2.0, 8.0};
+  EXPECT_DOUBLE_EQ(r.makespan(), 8.0);
+  EXPECT_DOUBLE_EQ(r.min_sum(), 2.0);
+  EXPECT_DOUBLE_EQ(r.spread(), 6.0);
+}
+
+}  // namespace
+}  // namespace qulrb::classical

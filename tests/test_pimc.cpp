@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+#include "util/error.hpp"
+
+#include "anneal/pimc.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::anneal {
+namespace {
+
+using model::IsingModel;
+using model::QuboModel;
+using model::VarId;
+
+TEST(Pimc, FerromagneticChainAligns) {
+  // Ferromagnetic chain (J < 0 favors alignment): ground energy -(n-1)|J|.
+  const std::size_t n = 8;
+  IsingModel m(n);
+  for (VarId i = 0; i + 1 < n; ++i) m.add_coupling(i, i + 1, -1.0);
+  PimcParams params;
+  params.sweeps = 300;
+  params.trotter_slices = 8;
+  params.seed = 4;
+  const Sample s = PimcAnnealer(params).sample_ising(m);
+  EXPECT_DOUBLE_EQ(s.energy, -(static_cast<double>(n) - 1.0));
+}
+
+TEST(Pimc, FieldPolarizesSpins) {
+  IsingModel m(6);
+  for (VarId i = 0; i < 6; ++i) m.add_field(i, 1.0);  // favors spin -1
+  PimcParams params;
+  params.sweeps = 200;
+  params.seed = 8;
+  const Sample s = PimcAnnealer(params).sample_ising(m);
+  EXPECT_DOUBLE_EQ(s.energy, -6.0);
+  for (auto bit : s.state) EXPECT_EQ(bit, 0);  // spin -1 -> binary 0
+}
+
+TEST(Pimc, FrustratedTriangleGroundState) {
+  // Antiferromagnetic triangle: ground energy is -J (one unsatisfied bond).
+  IsingModel m(3);
+  m.add_coupling(0, 1, 1.0);
+  m.add_coupling(1, 2, 1.0);
+  m.add_coupling(0, 2, 1.0);
+  PimcParams params;
+  params.sweeps = 300;
+  params.seed = 12;
+  const Sample s = PimcAnnealer(params).sample_ising(m);
+  EXPECT_DOUBLE_EQ(s.energy, -1.0);
+}
+
+TEST(Pimc, QuboInterfaceReportsQuboEnergy) {
+  QuboModel q(4);
+  for (VarId v = 0; v < 4; ++v) q.add_linear(v, 1.0);  // all-zero optimal
+  PimcParams params;
+  params.sweeps = 200;
+  params.seed = 3;
+  const Sample s = PimcAnnealer(params).sample_qubo(q);
+  EXPECT_DOUBLE_EQ(s.energy, 0.0);
+  EXPECT_NEAR(q.energy(s.state), s.energy, 1e-12);
+}
+
+TEST(Pimc, DeterministicForSeed) {
+  QuboModel q(5);
+  util::Rng rng(77);
+  for (VarId v = 0; v < 5; ++v) q.add_linear(v, rng.next_normal());
+  PimcParams params;
+  params.sweeps = 50;
+  params.seed = 42;
+  const Sample a = PimcAnnealer(params).sample_qubo(q);
+  const Sample b = PimcAnnealer(params).sample_qubo(q);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.energy, b.energy);
+}
+
+TEST(Pimc, RejectsDegenerateParams) {
+  IsingModel m(2);
+  PimcParams params;
+  params.trotter_slices = 1;
+  EXPECT_THROW(PimcAnnealer(params).sample_ising(m), util::InvalidArgument);
+  params.trotter_slices = 4;
+  params.beta = 0.0;
+  EXPECT_THROW(PimcAnnealer(params).sample_ising(m), util::InvalidArgument);
+}
+
+TEST(Pimc, EmptyModel) {
+  IsingModel m(0);
+  m.add_offset(2.0);
+  const Sample s = PimcAnnealer(PimcParams{}).sample_ising(m);
+  EXPECT_DOUBLE_EQ(s.energy, 2.0);
+  EXPECT_TRUE(s.state.empty());
+}
+
+TEST(Pimc, MatchesClassicalOptimumOnRandomInstance) {
+  util::Rng rng(101);
+  QuboModel q(10);
+  for (VarId i = 0; i < 10; ++i) q.add_linear(i, rng.next_normal());
+  for (VarId i = 0; i < 10; ++i) {
+    for (VarId j = i + 1; j < 10; ++j) {
+      if (rng.next_bool(0.4)) q.add_quadratic(i, j, rng.next_normal());
+    }
+  }
+  double brute = 1e300;
+  for (unsigned bits = 0; bits < 1024; ++bits) {
+    model::State s(10);
+    for (std::size_t i = 0; i < 10; ++i) s[i] = (bits >> i) & 1u;
+    brute = std::min(brute, q.energy(s));
+  }
+  PimcParams params;
+  params.sweeps = 600;
+  params.trotter_slices = 12;
+  params.seed = 6;
+  const Sample s = PimcAnnealer(params).sample_qubo(q);
+  EXPECT_NEAR(s.energy, brute, 1e-9);
+}
+
+}  // namespace
+}  // namespace qulrb::anneal

@@ -1,0 +1,101 @@
+// End-to-end artifact pipeline: the full loop a user of the paper's
+// repository walks — generate an imbalance input CSV, solve, write the
+// Appendix-B output CSV and a JSON report, then reload every artifact and
+// cross-check that all three views agree.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/lrp_io.hpp"
+#include "io/report.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/registry.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace qulrb {
+namespace {
+
+class PipelineIo : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(input_path.c_str());
+    std::remove(output_path.c_str());
+    std::remove(json_path.c_str());
+  }
+
+  const std::string input_path = "/tmp/qulrb_pipe_in.csv";
+  const std::string output_path = "/tmp/qulrb_pipe_out.csv";
+  const std::string json_path = "/tmp/qulrb_pipe_report.json";
+};
+
+TEST_F(PipelineIo, FullLoopAgreesAcrossArtifacts) {
+  // 1. Generate and persist the input.
+  const auto scenario = workloads::scenarios::imbalance_levels()[2];
+  io::write_input_file(input_path, scenario.problem);
+
+  // 2. Reload it (the CLI's view of the world).
+  const lrp::LrpProblem problem = io::read_input_file(input_path);
+  EXPECT_NEAR(problem.imbalance_ratio(), scenario.problem.imbalance_ratio(), 1e-6);
+
+  // 3. Solve via the registry with the paper's k1 protocol.
+  lrp::SolverSpec spec;
+  spec.name = "qcqm1";
+  spec.sweeps = 800;
+  spec.restarts = 2;
+  spec.seed = 77;
+  const auto solver = lrp::make_solver(spec, problem);
+  const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+
+  // 4. Persist the plan and a JSON record.
+  io::write_output_file(output_path, problem, report.output.plan);
+  const auto record = io::make_record("pipe", problem, {report});
+  io::write_json_file(json_path, io::to_json(record));
+
+  // 5. Reload the plan; all derived numbers must match the live run.
+  const lrp::MigrationPlan reloaded =
+      io::plan_from_output_table(io::read_csv_file(output_path));
+  EXPECT_NO_THROW(reloaded.validate(problem));
+  EXPECT_EQ(reloaded.total_migrated(), report.metrics.total_migrated);
+  const auto metrics = lrp::evaluate_plan(problem, reloaded);
+  EXPECT_NEAR(metrics.imbalance_after, report.metrics.imbalance_after, 1e-6);
+  EXPECT_NEAR(metrics.speedup, report.metrics.speedup, 1e-6);
+
+  // 6. The JSON record carries the same numbers (string-level spot checks).
+  std::ifstream in(json_path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"name\":\"Q_CQM1\""), std::string::npos);
+  EXPECT_NE(json.find("\"migrated_tasks\":" +
+                      std::to_string(report.metrics.total_migrated)),
+            std::string::npos);
+}
+
+TEST_F(PipelineIo, KSelectionSurvivesTheRoundTrip) {
+  const auto scenario = workloads::scenarios::imbalance_levels()[3];
+  io::write_input_file(input_path, scenario.problem);
+  const lrp::LrpProblem reloaded = io::read_input_file(input_path);
+  const lrp::KSelection live = lrp::select_k(scenario.problem);
+  const lrp::KSelection from_file = lrp::select_k(reloaded);
+  EXPECT_EQ(live.k1, from_file.k1);
+  EXPECT_EQ(live.k2, from_file.k2);
+}
+
+TEST_F(PipelineIo, EverySolverNameProducesConsistentArtifacts) {
+  const lrp::LrpProblem problem = lrp::LrpProblem::uniform({2.5, 1.0, 1.0}, 6);
+  io::write_input_file(input_path, problem);
+  for (const char* name : {"greedy", "kk", "proactlb"}) {
+    lrp::SolverSpec spec;
+    spec.name = name;
+    const auto solver = lrp::make_solver(spec, problem);
+    const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+    io::write_output_file(output_path, problem, report.output.plan);
+    const lrp::MigrationPlan reloaded =
+        io::plan_from_output_table(io::read_csv_file(output_path));
+    EXPECT_EQ(reloaded.total_migrated(), report.metrics.total_migrated) << name;
+  }
+}
+
+}  // namespace
+}  // namespace qulrb

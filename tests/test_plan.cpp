@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "classical/greedy.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/plan.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+const LrpProblem kPaper = LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+TEST(Plan, IdentityIsValidAndMigratesNothing) {
+  const MigrationPlan plan = MigrationPlan::identity(kPaper);
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  EXPECT_EQ(plan.total_migrated(), 0);
+  const auto loads = plan.new_loads(kPaper);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(loads[i], kPaper.load(i), 1e-12);
+}
+
+TEST(Plan, CountAccessors) {
+  MigrationPlan plan(3);
+  plan.set_count(0, 1, 4);
+  plan.add_count(0, 1, 2);
+  EXPECT_EQ(plan.count(0, 1), 6);
+  EXPECT_EQ(plan.count(1, 0), 0);
+}
+
+TEST(Plan, ValidateRejectsNegativeEntries) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.set_count(0, 1, -1);
+  EXPECT_THROW(plan.validate(kPaper), util::InvalidArgument);
+  EXPECT_FALSE(plan.is_valid(kPaper));
+}
+
+TEST(Plan, ValidateRejectsLostTask) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.set_count(0, 0, 4);  // one task of P0 vanished
+  EXPECT_THROW(plan.validate(kPaper), util::InvalidArgument);
+}
+
+TEST(Plan, ValidateRejectsDuplicatedTask) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.add_count(1, 0, 1);  // P0's tasks now count 6
+  EXPECT_THROW(plan.validate(kPaper), util::InvalidArgument);
+}
+
+TEST(Plan, MigrationAccounting) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  // Move 2 tasks from P2 to P0 and 1 task from P3 to P1.
+  plan.add_count(2, 2, -2);
+  plan.add_count(0, 2, 2);
+  plan.add_count(3, 3, -1);
+  plan.add_count(1, 3, 1);
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  EXPECT_EQ(plan.total_migrated(), 3);
+  EXPECT_EQ(plan.migrated_from(2), 2);
+  EXPECT_EQ(plan.migrated_from(3), 1);
+  EXPECT_EQ(plan.migrated_to(0), 2);
+  EXPECT_EQ(plan.migrated_to(1), 1);
+  EXPECT_EQ(plan.tasks_hosted(0), 7);
+  EXPECT_EQ(plan.tasks_hosted(2), 3);
+}
+
+TEST(Plan, NewLoadsUseOriginTaskLoad) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.add_count(2, 2, -2);
+  plan.add_count(0, 2, 2);
+  const auto loads = plan.new_loads(kPaper);
+  EXPECT_NEAR(loads[0], 9.35 + 2 * 3.12, 1e-9);  // receives P2-loads
+  EXPECT_NEAR(loads[2], 15.6 - 2 * 3.12, 1e-9);
+}
+
+TEST(Plan, FromTransfers) {
+  const std::vector<classical::Transfer> transfers = {{2, 0, 2}, {3, 1, 1}};
+  const MigrationPlan plan = MigrationPlan::from_transfers(kPaper, transfers);
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  EXPECT_EQ(plan.count(0, 2), 2);
+  EXPECT_EQ(plan.count(2, 2), 3);
+  EXPECT_EQ(plan.count(1, 3), 1);
+  EXPECT_EQ(plan.total_migrated(), 3);
+}
+
+TEST(Plan, FromTransfersRejectsBadIndices) {
+  const std::vector<classical::Transfer> transfers = {{9, 0, 1}};
+  EXPECT_THROW(MigrationPlan::from_transfers(kPaper, transfers),
+               util::InvalidArgument);
+}
+
+TEST(Plan, FromPartitionIsValid) {
+  const auto items = kPaper.flatten_tasks();
+  const auto partition = classical::greedy_partition(items, 4);
+  const MigrationPlan plan = MigrationPlan::from_partition(kPaper, partition);
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  // Every task accounted for.
+  std::int64_t hosted = 0;
+  for (std::size_t i = 0; i < 4; ++i) hosted += plan.tasks_hosted(i);
+  EXPECT_EQ(hosted, kPaper.total_tasks());
+}
+
+TEST(Plan, FromPartitionBinCountMustMatch) {
+  const auto items = kPaper.flatten_tasks();
+  const auto partition = classical::greedy_partition(items, 3);
+  EXPECT_THROW(MigrationPlan::from_partition(kPaper, partition),
+               util::InvalidArgument);
+}
+
+TEST(Plan, EvaluatePlanMetrics) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.add_count(2, 2, -2);
+  plan.add_count(0, 2, 2);
+  const RebalanceMetrics m = evaluate_plan(kPaper, plan);
+  EXPECT_NEAR(m.imbalance_before, kPaper.imbalance_ratio(), 1e-12);
+  EXPECT_NEAR(m.max_load_before, 15.6, 1e-9);
+  EXPECT_EQ(m.total_migrated, 2);
+  EXPECT_NEAR(m.migrated_per_process, 0.5, 1e-12);
+  EXPECT_GT(m.speedup, 1.0);  // straggler was relieved
+  EXPECT_LT(m.imbalance_after, m.imbalance_before);
+}
+
+TEST(Plan, IdentityMetricsAreNeutral) {
+  const RebalanceMetrics m = evaluate_plan(kPaper, MigrationPlan::identity(kPaper));
+  EXPECT_DOUBLE_EQ(m.speedup, 1.0);
+  EXPECT_NEAR(m.imbalance_after, m.imbalance_before, 1e-12);
+  EXPECT_EQ(m.total_migrated, 0);
+}
+
+TEST(Plan, ProcessCountMismatchRejected) {
+  MigrationPlan plan(3);
+  EXPECT_THROW(plan.validate(kPaper), util::InvalidArgument);
+  EXPECT_THROW(plan.new_loads(kPaper), util::InvalidArgument);
+}
+
+TEST(Plan, ZeroProcessesRejected) {
+  EXPECT_THROW(MigrationPlan(0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qulrb::lrp

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "model/cqm.hpp"
+#include "model/presolve.hpp"
+
+namespace qulrb::model {
+namespace {
+
+TEST(Presolve, NoConstraintsFixesNothing) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.num_fixed, 0u);
+  EXPECT_FALSE(r.proven_infeasible);
+}
+
+TEST(Presolve, FixesVariableTooBigForLeConstraint) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  LinearExpr lhs;
+  lhs.add_term(0, 5.0);
+  lhs.add_term(1, 1.0);
+  m.add_constraint(lhs, Sense::LE, 2.0);
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.fixed[0].has_value());
+  EXPECT_EQ(*r.fixed[0], 0);       // 5 > 2, x0 can never be on
+  EXPECT_FALSE(r.fixed[1].has_value());  // x1 alone is fine
+}
+
+TEST(Presolve, FixesVariableRequiredByGeConstraint) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  LinearExpr lhs;
+  lhs.add_term(0, 5.0);
+  lhs.add_term(1, 1.0);
+  m.add_constraint(lhs, Sense::GE, 5.0);
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.fixed[0].has_value());
+  EXPECT_EQ(*r.fixed[0], 1);  // without x0 the max is 1 < 5
+}
+
+TEST(Presolve, DetectsInfeasibleLe) {
+  CqmModel m;
+  m.add_variable();
+  LinearExpr lhs(3.0);  // constant 3 folded: 0 <= -... wait, folded into rhs
+  lhs.add_term(0, 1.0);
+  m.add_constraint(lhs, Sense::LE, 2.0);  // x0 <= -1: impossible
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.proven_infeasible);
+}
+
+TEST(Presolve, DetectsInfeasibleEq) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  LinearExpr lhs;
+  lhs.add_term(0, 1.0);
+  lhs.add_term(1, 1.0);
+  m.add_constraint(lhs, Sense::EQ, 5.0);  // max is 2
+  const PresolveResult r = presolve(m);
+  EXPECT_TRUE(r.proven_infeasible);
+}
+
+TEST(Presolve, PropagatesAcrossConstraints) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  // c1 forces x0 = 1; c2 then forces x1 = 0 (x0 + x1 <= 1).
+  LinearExpr c1;
+  c1.add_term(0, 1.0);
+  m.add_constraint(c1, Sense::GE, 1.0);
+  LinearExpr c2;
+  c2.add_term(0, 1.0);
+  c2.add_term(1, 1.0);
+  m.add_constraint(c2, Sense::LE, 1.0);
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.fixed[0].has_value());
+  ASSERT_TRUE(r.fixed[1].has_value());
+  EXPECT_EQ(*r.fixed[0], 1);
+  EXPECT_EQ(*r.fixed[1], 0);
+  EXPECT_EQ(r.num_fixed, 2u);
+}
+
+TEST(Presolve, EqualityFixesAllWhenTight) {
+  CqmModel m;
+  for (int i = 0; i < 3; ++i) m.add_variable();
+  LinearExpr sum;
+  for (VarId v = 0; v < 3; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(sum, Sense::EQ, 3.0);  // everything must be on
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.num_fixed, 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(*r.fixed[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(Presolve, ZeroMigrationBoundFixesAllMovers) {
+  // Mirrors the LRP migration constraint with k = 0: every migration bit
+  // must be 0, while untouched variables stay free.
+  CqmModel m;
+  for (int i = 0; i < 4; ++i) m.add_variable();
+  LinearExpr mig;
+  mig.add_term(0, 1.0);
+  mig.add_term(1, 2.0);
+  mig.add_term(2, 4.0);
+  m.add_constraint(mig, Sense::LE, 0.0);
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.num_fixed, 3u);
+  EXPECT_FALSE(r.fixed[3].has_value());
+  EXPECT_FALSE(r.proven_infeasible);
+}
+
+TEST(Presolve, NegativeCoefficientsHandled) {
+  CqmModel m;
+  m.add_variable();
+  m.add_variable();
+  // -x0 + x1 <= -1  =>  requires x0 = 1 and x1 = 0.
+  LinearExpr lhs;
+  lhs.add_term(0, -1.0);
+  lhs.add_term(1, 1.0);
+  m.add_constraint(lhs, Sense::LE, -1.0);
+  const PresolveResult r = presolve(m);
+  ASSERT_TRUE(r.fixed[0].has_value());
+  ASSERT_TRUE(r.fixed[1].has_value());
+  EXPECT_EQ(*r.fixed[0], 1);
+  EXPECT_EQ(*r.fixed[1], 0);
+}
+
+TEST(Presolve, LooseConstraintFixesNothing) {
+  CqmModel m;
+  for (int i = 0; i < 3; ++i) m.add_variable();
+  LinearExpr sum;
+  for (VarId v = 0; v < 3; ++v) sum.add_term(v, 1.0);
+  m.add_constraint(sum, Sense::LE, 3.0);  // trivially satisfied
+  const PresolveResult r = presolve(m);
+  EXPECT_EQ(r.num_fixed, 0u);
+}
+
+}  // namespace
+}  // namespace qulrb::model

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "classical/proactlb.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::classical {
+namespace {
+
+UniformLoads make_loads(std::vector<double> w, std::vector<std::int64_t> n) {
+  return UniformLoads{std::move(w), std::move(n)};
+}
+
+double imbalance(const std::vector<double>& loads) {
+  double total = 0.0, max_load = 0.0;
+  for (double l : loads) {
+    total += l;
+    max_load = std::max(max_load, l);
+  }
+  const double avg = total / static_cast<double>(loads.size());
+  return avg > 0.0 ? (max_load - avg) / avg : 0.0;
+}
+
+TEST(UniformLoadsStruct, Aggregates) {
+  const auto input = make_loads({2.0, 4.0}, {10, 5});
+  EXPECT_DOUBLE_EQ(input.load_of(0), 20.0);
+  EXPECT_DOUBLE_EQ(input.load_of(1), 20.0);
+  EXPECT_DOUBLE_EQ(input.total_load(), 40.0);
+  EXPECT_DOUBLE_EQ(input.average_load(), 20.0);
+}
+
+TEST(ProactLb, BalancedInputMigratesNothing) {
+  const auto r = proactlb(make_loads({1.0, 1.0, 1.0, 1.0}, {10, 10, 10, 10}));
+  EXPECT_EQ(r.total_migrated, 0);
+  EXPECT_TRUE(r.transfers.empty());
+}
+
+TEST(ProactLb, SimpleTwoProcessTransfer) {
+  // P0: 10 tasks x 2.0 = 20; P1: 10 x 1.0 = 10; avg 15 -> move ~2.5/2.0 tasks.
+  const auto r = proactlb(make_loads({2.0, 1.0}, {10, 10}));
+  EXPECT_GT(r.total_migrated, 0);
+  EXPECT_LE(imbalance(r.new_loads), 0.1);
+  for (const auto& t : r.transfers) {
+    EXPECT_EQ(t.from, 0u);
+    EXPECT_EQ(t.to, 1u);
+  }
+}
+
+TEST(ProactLb, LoadConservation) {
+  const auto input = make_loads({4.0, 1.0, 2.0, 0.5}, {20, 20, 20, 20});
+  const auto r = proactlb(input);
+  double before = input.total_load();
+  double after = 0.0;
+  for (double l : r.new_loads) after += l;
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(ProactLb, TransfersAreExecutable) {
+  // Every giver sends at most the tasks it owns.
+  const auto input = make_loads({10.0, 1.0, 1.0, 1.0}, {5, 5, 5, 5});
+  const auto r = proactlb(input);
+  std::vector<std::int64_t> sent(4, 0);
+  for (const auto& t : r.transfers) {
+    EXPECT_GE(t.count, 0);
+    sent[t.from] += t.count;
+  }
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_LE(sent[i], input.num_tasks[i]);
+}
+
+TEST(ProactLb, ReducesImbalanceOnRandomInputs) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> w(8);
+    for (auto& x : w) x = 0.5 + rng.next_double() * 9.5;
+    const auto input = make_loads(w, std::vector<std::int64_t>(8, 50));
+    const auto r = proactlb(input);
+    std::vector<double> before(8);
+    for (std::size_t i = 0; i < 8; ++i) before[i] = input.load_of(i);
+    EXPECT_LE(imbalance(r.new_loads), imbalance(before) + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ProactLb, MigratesFarFewerTasksThanFullRepartition) {
+  // The defining property vs Greedy/KK: migration count ~ surplus/w, not N.
+  const auto input = make_loads({2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0},
+                                std::vector<std::int64_t>(8, 100));
+  const auto r = proactlb(input);
+  // Surplus of P0 = 200 - 112.5 = 87.5 -> ~44 tasks of load 2. Far below the
+  // ~700 a from-scratch partitioner would migrate.
+  EXPECT_GT(r.total_migrated, 20);
+  EXPECT_LT(r.total_migrated, 100);
+}
+
+TEST(ProactLb, SearchSpaceBoundKRespected) {
+  const auto input = make_loads({10.0, 1.0}, {100, 100});
+  ProactLbParams params;
+  params.max_tasks_per_process = 3;
+  const auto r = proactlb(input, params);
+  std::vector<std::int64_t> sent(2, 0);
+  for (const auto& t : r.transfers) sent[t.from] += t.count;
+  EXPECT_LE(sent[0], 3);
+}
+
+TEST(ProactLb, ZeroLoadProcessesHandled) {
+  const auto r = proactlb(make_loads({0.0, 2.0}, {10, 10}));
+  // P1 overloaded, P0 idle: some tasks should flow 1 -> 0.
+  EXPECT_GT(r.total_migrated, 0);
+  for (const auto& t : r.transfers) EXPECT_EQ(t.from, 1u);
+}
+
+TEST(ProactLb, SingleProcessNoop) {
+  const auto r = proactlb(make_loads({5.0}, {10}));
+  EXPECT_EQ(r.total_migrated, 0);
+}
+
+TEST(ProactLb, EmptyInput) {
+  const auto r = proactlb(make_loads({}, {}));
+  EXPECT_EQ(r.total_migrated, 0);
+  EXPECT_TRUE(r.new_loads.empty());
+}
+
+TEST(ProactLb, RejectsMalformedInput) {
+  EXPECT_THROW(proactlb(make_loads({1.0}, {1, 2})), util::InvalidArgument);
+  EXPECT_THROW(proactlb(make_loads({-1.0}, {1})), util::InvalidArgument);
+  EXPECT_THROW(proactlb(make_loads({1.0}, {-1})), util::InvalidArgument);
+}
+
+TEST(ProactLb, NewLoadsMatchTransferArithmetic) {
+  const auto input = make_loads({3.0, 1.0, 1.0}, {30, 30, 30});
+  const auto r = proactlb(input);
+  std::vector<double> expected = {input.load_of(0), input.load_of(1), input.load_of(2)};
+  for (const auto& t : r.transfers) {
+    expected[t.from] -= static_cast<double>(t.count) * input.task_load[t.from];
+    expected[t.to] += static_cast<double>(t.count) * input.task_load[t.from];
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(r.new_loads[i], expected[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace qulrb::classical

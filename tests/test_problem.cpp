@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "lrp/metrics.hpp"
+#include "lrp/problem.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+TEST(Problem, PaperFigure7Values) {
+  // The paper's running example: 4 processes, 5 tasks each, loads
+  // 1.87/1.97/3.12/2.81 -> totals 9.35/9.85/15.6/14.05, L_max on P3.
+  const LrpProblem p = LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+  EXPECT_EQ(p.num_processes(), 4u);
+  EXPECT_EQ(p.total_tasks(), 20);
+  EXPECT_NEAR(p.load(0), 9.35, 1e-9);
+  EXPECT_NEAR(p.load(2), 15.6, 1e-9);
+  EXPECT_NEAR(p.max_load(), 15.6, 1e-9);
+  EXPECT_NEAR(p.average_load(), (9.35 + 9.85 + 15.6 + 14.05) / 4.0, 1e-9);
+}
+
+TEST(Problem, ImbalanceRatioDefinition) {
+  const LrpProblem p = LrpProblem::uniform({2.0, 1.0}, 10);
+  // Loads 20/10, avg 15, R_imb = (20-15)/15 = 1/3.
+  EXPECT_NEAR(p.imbalance_ratio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Problem, BalancedInputHasZeroImbalance) {
+  const LrpProblem p = LrpProblem::uniform({3.0, 3.0, 3.0}, 7);
+  EXPECT_DOUBLE_EQ(p.imbalance_ratio(), 0.0);
+}
+
+TEST(Problem, ZeroLoadIsZeroImbalance) {
+  const LrpProblem p = LrpProblem::uniform({0.0, 0.0}, 5);
+  EXPECT_DOUBLE_EQ(p.imbalance_ratio(), 0.0);
+}
+
+TEST(Problem, UnequalTaskCounts) {
+  const LrpProblem p({1.0, 2.0}, {3, 4});
+  EXPECT_FALSE(p.has_equal_task_counts());
+  EXPECT_EQ(p.total_tasks(), 7);
+  EXPECT_DOUBLE_EQ(p.load(1), 8.0);
+}
+
+TEST(Problem, EqualTaskCountsDetected) {
+  const LrpProblem p = LrpProblem::uniform({1.0, 2.0, 3.0}, 4);
+  EXPECT_TRUE(p.has_equal_task_counts());
+}
+
+TEST(Problem, FlattenTasksGroupsByOrigin) {
+  const LrpProblem p({1.5, 2.5}, {2, 3});
+  const auto items = p.flatten_tasks();
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_DOUBLE_EQ(items[0], 1.5);
+  EXPECT_DOUBLE_EQ(items[1], 1.5);
+  EXPECT_DOUBLE_EQ(items[2], 2.5);
+  EXPECT_DOUBLE_EQ(items[4], 2.5);
+}
+
+TEST(Problem, OriginOfMapsItemsBack) {
+  const LrpProblem p({1.0, 2.0, 3.0}, {2, 1, 2});
+  EXPECT_EQ(p.origin_of(0), 0u);
+  EXPECT_EQ(p.origin_of(1), 0u);
+  EXPECT_EQ(p.origin_of(2), 1u);
+  EXPECT_EQ(p.origin_of(3), 2u);
+  EXPECT_EQ(p.origin_of(4), 2u);
+  EXPECT_THROW(p.origin_of(5), util::InvalidArgument);
+}
+
+TEST(Problem, RejectsMalformedInput) {
+  EXPECT_THROW(LrpProblem({}, {}), util::InvalidArgument);
+  EXPECT_THROW(LrpProblem({1.0}, {1, 2}), util::InvalidArgument);
+  EXPECT_THROW(LrpProblem({-1.0}, {1}), util::InvalidArgument);
+  EXPECT_THROW(LrpProblem({1.0}, {-1}), util::InvalidArgument);
+  EXPECT_THROW(LrpProblem::uniform({1.0}, -5), util::InvalidArgument);
+}
+
+TEST(Problem, ZeroTasksAllowed) {
+  const LrpProblem p = LrpProblem::uniform({1.0, 2.0}, 0);
+  EXPECT_EQ(p.total_tasks(), 0);
+  EXPECT_DOUBLE_EQ(p.max_load(), 0.0);
+}
+
+TEST(Metrics, ImbalanceRatioHelper) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio({5.0, 5.0}), 0.0);
+  EXPECT_NEAR(imbalance_ratio({20.0, 10.0}), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(imbalance_ratio({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace qulrb::lrp

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "lrp/kselect.hpp"
+#include "lrp/quantum_solver.hpp"
+#include "lrp/solver.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+const LrpProblem kPaper = LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+QcqmOptions fast_options(CqmVariant variant, std::int64_t k) {
+  QcqmOptions o;
+  o.variant = variant;
+  o.k = k;
+  o.hybrid.num_restarts = 2;
+  o.hybrid.sweeps = 400;
+  o.hybrid.max_penalty_rounds = 2;
+  o.hybrid.seed = 11;
+  return o;
+}
+
+TEST(QcqmSolver, ProducesValidPlanBothVariants) {
+  for (auto variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    QcqmSolver solver(fast_options(variant, 16));
+    const SolveOutput out = solver.solve(kPaper);
+    EXPECT_NO_THROW(out.plan.validate(kPaper)) << to_string(variant);
+    EXPECT_LE(out.plan.total_migrated(), 16) << to_string(variant);
+  }
+}
+
+TEST(QcqmSolver, ImprovesImbalance) {
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, 16));
+  const SolverReport report = run_and_evaluate(solver, kPaper);
+  EXPECT_LT(report.metrics.imbalance_after, report.metrics.imbalance_before);
+  EXPECT_GT(report.metrics.speedup, 1.0);
+}
+
+TEST(QcqmSolver, RespectsTightMigrationBound) {
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, 2));
+  const SolveOutput out = solver.solve(kPaper);
+  EXPECT_NO_THROW(out.plan.validate(kPaper));
+  EXPECT_LE(out.plan.total_migrated(), 2);
+}
+
+TEST(QcqmSolver, KZeroReturnsIdentity) {
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, 0));
+  const SolveOutput out = solver.solve(kPaper);
+  EXPECT_EQ(out.plan.total_migrated(), 0);
+  EXPECT_TRUE(out.feasible);
+}
+
+TEST(QcqmSolver, DiagnosticsPopulated) {
+  QcqmSolver solver(fast_options(CqmVariant::kFull, 8));
+  (void)solver.solve(kPaper);
+  const auto& diag = solver.last_diagnostics();
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->num_variables, 16u * 3u);  // M^2 * bits(5) = 16 * 3
+  EXPECT_EQ(diag->num_constraints, 9u);      // M eq + M cap + 1 mig
+  EXPECT_GT(diag->hybrid_stats.cpu_ms, 0.0);
+}
+
+TEST(QcqmSolver, NameReflectsVariant) {
+  EXPECT_EQ(QcqmSolver(fast_options(CqmVariant::kReduced, 1)).name(), "Q_CQM1");
+  EXPECT_EQ(QcqmSolver(fast_options(CqmVariant::kFull, 1)).name(), "Q_CQM2");
+}
+
+TEST(QcqmSolver, DeterministicForSeed) {
+  QcqmSolver a(fast_options(CqmVariant::kReduced, 8));
+  QcqmSolver b(fast_options(CqmVariant::kReduced, 8));
+  const SolveOutput ra = a.solve(kPaper);
+  const SolveOutput rb = b.solve(kPaper);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(ra.plan.count(i, j), rb.plan.count(i, j));
+    }
+  }
+}
+
+TEST(QcqmSolver, ReportsSimulatedQpuTime) {
+  QcqmSolver solver(fast_options(CqmVariant::kReduced, 4));
+  const SolveOutput out = solver.solve(kPaper);
+  EXPECT_DOUBLE_EQ(out.qpu_ms, 32.0);
+}
+
+// ------------------------------------------------------------ repair -------
+
+TEST(RepairPlan, ValidPlanUntouched) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  EXPECT_FALSE(repair_plan(kPaper, plan));
+  EXPECT_EQ(plan.total_migrated(), 0);
+}
+
+TEST(RepairPlan, ClampsNegativeEntries) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.set_count(0, 1, -3);
+  EXPECT_TRUE(repair_plan(kPaper, plan));
+  EXPECT_NO_THROW(plan.validate(kPaper));
+}
+
+TEST(RepairPlan, FixesShortColumn) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  plan.set_count(1, 1, 2);  // lost 3 tasks of P1
+  EXPECT_TRUE(repair_plan(kPaper, plan));
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  EXPECT_EQ(plan.count(1, 1), 5);
+}
+
+TEST(RepairPlan, TrimsOversubscribedColumn) {
+  MigrationPlan plan = MigrationPlan::identity(kPaper);
+  // Column 0 claims 5 (diag) + 4 + 4 = 13 tasks but P0 only has 5.
+  plan.set_count(1, 0, 4);
+  plan.set_count(2, 0, 4);
+  EXPECT_TRUE(repair_plan(kPaper, plan));
+  EXPECT_NO_THROW(plan.validate(kPaper));
+  std::int64_t column = 0;
+  for (std::size_t i = 0; i < 4; ++i) column += plan.count(i, 0);
+  EXPECT_EQ(column, 5);
+}
+
+TEST(KSelect, MatchesClassicalMigrationCounts) {
+  const KSelection k = select_k(kPaper);
+  ProactLbSolver proactlb;
+  GreedySolver greedy;
+  EXPECT_EQ(k.k1, proactlb.solve(kPaper).plan.total_migrated());
+  EXPECT_EQ(k.k2, greedy.solve(kPaper).plan.total_migrated());
+  EXPECT_LE(k.k1, k.k2);  // ProactLB is migration-frugal by design
+}
+
+TEST(ClassicalSolvers, AllProduceValidBalancedPlans) {
+  GreedySolver greedy;
+  KkSolver kk;
+  ProactLbSolver proactlb;
+  for (RebalanceSolver* solver :
+       std::initializer_list<RebalanceSolver*>{&greedy, &kk, &proactlb}) {
+    const SolverReport report = run_and_evaluate(*solver, kPaper);
+    EXPECT_LE(report.metrics.imbalance_after, report.metrics.imbalance_before)
+        << solver->name();
+    EXPECT_GE(report.metrics.speedup, 1.0) << solver->name();
+  }
+}
+
+TEST(ClassicalSolvers, GreedyAndKkMigrateMostTasks) {
+  // Placement-oblivious repartitioning migrates ~N(M-1)/M tasks; ProactLB
+  // migrates only the surplus.
+  const LrpProblem p = LrpProblem::uniform({4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0}, 50);
+  GreedySolver greedy;
+  ProactLbSolver proactlb;
+  const auto g = greedy.solve(p).plan.total_migrated();
+  const auto pl = proactlb.solve(p).plan.total_migrated();
+  EXPECT_GT(g, 250);  // ~= 400 * 7/8 = 350
+  EXPECT_LT(pl, 100);
+  EXPECT_LT(pl, g / 3);
+}
+
+}  // namespace
+}  // namespace qulrb::lrp

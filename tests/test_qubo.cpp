@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "model/qubo.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::model {
+namespace {
+
+State make_state(std::size_t n, unsigned bits) {
+  State s(n);
+  for (std::size_t i = 0; i < n; ++i) s[i] = (bits >> i) & 1u;
+  return s;
+}
+
+TEST(Qubo, EmptyModelEnergyIsOffset) {
+  QuboModel q(0);
+  q.add_offset(3.5);
+  EXPECT_DOUBLE_EQ(q.energy(State{}), 3.5);
+}
+
+TEST(Qubo, LinearEnergy) {
+  QuboModel q(3);
+  q.add_linear(0, 1.0);
+  q.add_linear(1, -2.0);
+  q.add_linear(2, 4.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(3, 0b011)), -1.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(3, 0b000)), 0.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(3, 0b111)), 3.0);
+}
+
+TEST(Qubo, QuadraticEnergyNeedsBothBits) {
+  QuboModel q(2);
+  q.add_quadratic(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(2, 0b01)), 0.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(2, 0b10)), 0.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(2, 0b11)), 5.0);
+}
+
+TEST(Qubo, QuadraticOrderInvariant) {
+  QuboModel q(2);
+  q.add_quadratic(1, 0, 2.0);
+  q.add_quadratic(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(1, 0), 5.0);
+}
+
+TEST(Qubo, DiagonalQuadraticFoldsIntoLinear) {
+  QuboModel q(1);
+  q.add_quadratic(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(q.linear(0), 2.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(1, 1)), 2.0);
+}
+
+TEST(Qubo, OutOfRangeThrows) {
+  QuboModel q(2);
+  EXPECT_THROW(q.add_linear(2, 1.0), util::InvalidArgument);
+  EXPECT_THROW(q.add_quadratic(0, 5, 1.0), util::InvalidArgument);
+  EXPECT_THROW(q.energy(State{1}), util::InvalidArgument);
+}
+
+TEST(Qubo, FlipDeltaMatchesFullRecompute) {
+  util::Rng rng(99);
+  QuboModel q(8);
+  for (VarId i = 0; i < 8; ++i) q.add_linear(i, rng.next_normal());
+  for (VarId i = 0; i < 8; ++i) {
+    for (VarId j = i + 1; j < 8; ++j) {
+      if (rng.next_bool(0.5)) q.add_quadratic(i, j, rng.next_normal());
+    }
+  }
+  State s(8);
+  for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_below(2));
+  for (VarId v = 0; v < 8; ++v) {
+    const double before = q.energy(s);
+    const double delta = q.flip_delta(s, v);
+    State flipped = s;
+    flipped[v] ^= 1u;
+    EXPECT_NEAR(q.energy(flipped), before + delta, 1e-9) << "var " << v;
+  }
+}
+
+TEST(Qubo, AddSquaredExprMatchesDirectSquare) {
+  LinearExpr e(1.5);
+  e.add_term(0, 2.0);
+  e.add_term(1, -1.0);
+  e.add_term(2, 0.5);
+  e.normalize();
+  QuboModel q(3);
+  q.add_squared_expr(e, 2.0);
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const State s = make_state(3, bits);
+    const double v = e.evaluate(s);
+    EXPECT_NEAR(q.energy(s), 2.0 * v * v, 1e-9) << "bits " << bits;
+  }
+}
+
+TEST(Qubo, AdjacencyListsAreSymmetric) {
+  QuboModel q(3);
+  q.add_quadratic(0, 1, 1.0);
+  q.add_quadratic(1, 2, 2.0);
+  const auto& adj = q.adjacency();
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0].size(), 1u);
+  EXPECT_EQ(adj[1].size(), 2u);
+  EXPECT_EQ(adj[2].size(), 1u);
+  EXPECT_EQ(adj[0][0].other, 1u);
+}
+
+TEST(Qubo, MaxAbsCoefficient) {
+  QuboModel q(2);
+  q.add_linear(0, -3.0);
+  q.add_quadratic(0, 1, 2.0);
+  EXPECT_DOUBLE_EQ(q.max_abs_coefficient(), 3.0);
+}
+
+TEST(Qubo, AddVariableGrowsModel) {
+  QuboModel q(1);
+  q.add_variable();
+  EXPECT_EQ(q.num_variables(), 2u);
+  q.add_linear(1, 1.0);
+  EXPECT_DOUBLE_EQ(q.energy(make_state(2, 0b10)), 1.0);
+}
+
+TEST(Qubo, ForEachQuadraticVisitsAllTerms) {
+  QuboModel q(3);
+  q.add_quadratic(0, 1, 1.0);
+  q.add_quadratic(0, 2, 2.0);
+  q.add_quadratic(1, 2, 3.0);
+  double sum = 0.0;
+  int count = 0;
+  q.for_each_quadratic([&](VarId i, VarId j, double c) {
+    EXPECT_LT(i, j);
+    sum += c;
+    ++count;
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+}
+
+}  // namespace
+}  // namespace qulrb::model

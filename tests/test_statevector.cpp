@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "quantum/statevector.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::quantum {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, InitializesToZeroState) {
+  StateVector psi(3);
+  EXPECT_EQ(psi.dimension(), 8u);
+  EXPECT_NEAR(psi.probability(0), 1.0, kTol);
+  for (std::uint64_t z = 1; z < 8; ++z) EXPECT_NEAR(psi.probability(z), 0.0, kTol);
+}
+
+TEST(StateVector, QubitCountLimits) {
+  EXPECT_THROW(StateVector(0), util::InvalidArgument);
+  EXPECT_THROW(StateVector(27), util::InvalidArgument);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector psi(2);
+  psi.apply_x(0);
+  EXPECT_NEAR(psi.probability(0b01), 1.0, kTol);
+  psi.apply_x(1);
+  EXPECT_NEAR(psi.probability(0b11), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardCreatesUniformSuperposition) {
+  StateVector psi(3);
+  psi.apply_h_all();
+  for (std::uint64_t z = 0; z < 8; ++z) {
+    EXPECT_NEAR(psi.probability(z), 1.0 / 8.0, kTol);
+  }
+  EXPECT_NEAR(psi.norm_squared(), 1.0, kTol);
+}
+
+TEST(StateVector, HadamardIsSelfInverse) {
+  StateVector psi(2);
+  psi.apply_h(0);
+  psi.apply_h(0);
+  EXPECT_NEAR(psi.probability(0), 1.0, kTol);
+}
+
+TEST(StateVector, CnotEntangles) {
+  // Bell state: H(0) then CNOT(0 -> 1).
+  StateVector psi(2);
+  psi.apply_h(0);
+  psi.apply_cnot(0, 1);
+  EXPECT_NEAR(psi.probability(0b00), 0.5, kTol);
+  EXPECT_NEAR(psi.probability(0b11), 0.5, kTol);
+  EXPECT_NEAR(psi.probability(0b01), 0.0, kTol);
+  EXPECT_NEAR(psi.probability(0b10), 0.0, kTol);
+}
+
+TEST(StateVector, CnotRequiresDistinctQubits) {
+  StateVector psi(2);
+  EXPECT_THROW(psi.apply_cnot(1, 1), util::InvalidArgument);
+  EXPECT_THROW(psi.apply_cnot(0, 5), util::InvalidArgument);
+}
+
+TEST(StateVector, RxRotatesProbability) {
+  StateVector psi(1);
+  psi.apply_rx(0, std::numbers::pi);  // RX(pi)|0> = -i|1>
+  EXPECT_NEAR(psi.probability(1), 1.0, kTol);
+  psi.apply_rx(0, std::numbers::pi / 2.0);
+  EXPECT_NEAR(psi.probability(0), 0.5, kTol);
+}
+
+TEST(StateVector, RzIsDiagonalPhaseOnly) {
+  StateVector psi(1);
+  psi.apply_h(0);
+  psi.apply_rz(0, 1.234);
+  EXPECT_NEAR(psi.probability(0), 0.5, kTol);  // probabilities unchanged
+  EXPECT_NEAR(psi.probability(1), 0.5, kTol);
+}
+
+TEST(StateVector, RzzMatchesCnotRzCnotDecomposition) {
+  const double theta = 0.731;
+  StateVector direct(2);
+  direct.apply_h_all();
+  direct.apply_rzz(0, 1, theta);
+
+  StateVector decomposed(2);
+  decomposed.apply_h_all();
+  decomposed.apply_cnot(0, 1);
+  decomposed.apply_rz(1, theta);
+  decomposed.apply_cnot(0, 1);
+
+  for (std::size_t z = 0; z < 4; ++z) {
+    EXPECT_NEAR(std::abs(direct.amplitudes()[z] - decomposed.amplitudes()[z]), 0.0,
+                1e-12)
+        << "z=" << z;
+  }
+}
+
+TEST(StateVector, CzSymmetric) {
+  StateVector a(2), b(2);
+  a.apply_h_all();
+  b.apply_h_all();
+  a.apply_cz(0, 1);
+  b.apply_cz(1, 0);
+  for (std::size_t z = 0; z < 4; ++z) {
+    EXPECT_NEAR(std::abs(a.amplitudes()[z] - b.amplitudes()[z]), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, DiagonalPhasesPreserveNorm) {
+  StateVector psi(3);
+  psi.apply_h_all();
+  std::vector<double> phases(8);
+  for (std::size_t z = 0; z < 8; ++z) phases[z] = 0.3 * static_cast<double>(z);
+  psi.apply_diagonal_phases(phases);
+  EXPECT_NEAR(psi.norm_squared(), 1.0, kTol);
+  for (std::uint64_t z = 0; z < 8; ++z) {
+    EXPECT_NEAR(psi.probability(z), 1.0 / 8.0, kTol);
+  }
+}
+
+TEST(StateVector, ExpectationDiagonal) {
+  StateVector psi(2);
+  psi.apply_h_all();  // uniform: expectation = mean of values
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(psi.expectation_diagonal(values), 2.5, kTol);
+}
+
+TEST(StateVector, SampleFollowsDistribution) {
+  StateVector psi(1);
+  psi.apply_x(0);  // deterministic |1>
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(psi.sample(rng), 1u);
+}
+
+TEST(StateVector, SampleUniformCoversStates) {
+  StateVector psi(2);
+  psi.apply_h_all();
+  util::Rng rng(7);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[psi.sample(rng)];
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 each
+}
+
+TEST(StateVector, UnitaryPreservesNormOnRandomCircuit) {
+  StateVector psi(4);
+  util::Rng rng(11);
+  for (int step = 0; step < 100; ++step) {
+    const auto q = static_cast<std::size_t>(rng.next_below(4));
+    switch (rng.next_below(5)) {
+      case 0: psi.apply_h(q); break;
+      case 1: psi.apply_rx(q, rng.next_double() * 3.0); break;
+      case 2: psi.apply_rz(q, rng.next_double() * 3.0); break;
+      case 3: psi.apply_ry(q, rng.next_double() * 3.0); break;
+      default: {
+        const auto t = static_cast<std::size_t>(rng.next_below(4));
+        if (t != q) psi.apply_cnot(q, t);
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qulrb::quantum

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "lrp/solver.hpp"
+#include "runtime/trace_export.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::runtime {
+namespace {
+
+const lrp::LrpProblem kPaper = lrp::LrpProblem::uniform({1.87, 1.97, 3.12, 2.81}, 5);
+
+BspResult simulate(const lrp::MigrationPlan& plan) {
+  BspConfig config;
+  config.overlap_migration = false;  // expose send phases in the trace
+  return BspSimulator(config).run(kPaper, plan);
+}
+
+TEST(TraceExport, ContainsEventsForEveryProcess) {
+  lrp::GreedySolver greedy;
+  const auto plan = greedy.solve(kPaper).plan;
+  const std::string json = to_chrome_trace(kPaper, plan, simulate(plan));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("compute ("), std::string::npos);
+  EXPECT_NE(json.find("migrate-send"), std::string::npos);
+  for (int tid = 0; tid < 4; ++tid) {
+    EXPECT_NE(json.find("\"tid\":" + std::to_string(tid)), std::string::npos);
+  }
+}
+
+TEST(TraceExport, BaselineHasNoCommEvents) {
+  const auto plan = lrp::MigrationPlan::identity(kPaper);
+  const std::string json = to_chrome_trace(kPaper, plan, simulate(plan));
+  EXPECT_EQ(json.find("migrate-send"), std::string::npos);
+  EXPECT_NE(json.find("barrier-wait"), std::string::npos);  // idle still shows
+}
+
+TEST(TraceExport, StructurallyBalancedJson) {
+  lrp::ProactLbSolver proactlb;
+  const auto plan = proactlb.solve(kPaper).plan;
+  const std::string json = to_chrome_trace(kPaper, plan, simulate(plan));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(json.find("\"migrated_tasks\""), std::string::npos);
+}
+
+TEST(TraceExport, FileWriting) {
+  const std::string path = "/tmp/qulrb_test_trace.json";
+  const auto plan = lrp::MigrationPlan::identity(kPaper);
+  write_chrome_trace_file(path, kPaper, plan, simulate(plan));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, MismatchedResultRejected) {
+  const auto plan = lrp::MigrationPlan::identity(kPaper);
+  BspResult bogus;
+  bogus.processes.resize(2);  // wrong process count
+  EXPECT_THROW(to_chrome_trace(kPaper, plan, bogus), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace qulrb::runtime

@@ -1,0 +1,198 @@
+// qulrb — command-line rebalancer, the C++ counterpart of the paper
+// repository's run_*.sh scripts:
+//
+//   qulrb solve   --input input_lrp.csv --solver qcqm1 [--k N | --k2]
+//                 [--output out.csv] [--seed S] [--sweeps N] [--restarts N]
+//   qulrb compare --input input_lrp.csv [--seed S]
+//   qulrb gen     --scenario samoa|imb0..imb4|nodes<M>|tasks<N> --output in.csv
+//   qulrb solvers
+//
+// Input/output files use the paper's Appendix-B CSV formats (Tables VI/VII).
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "io/lrp_io.hpp"
+#include "io/report.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/registry.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workloads/samoa.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback = {}) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw util::InvalidArgument("unexpected argument '" + key + "'");
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  qulrb solve   --input in.csv --solver NAME [--k N | --k2] "
+      "[--output out.csv]\n"
+      "                [--seed S] [--sweeps N] [--restarts N]\n"
+      "  qulrb compare --input in.csv [--seed S] [--json out.json]\n"
+      "  qulrb gen     --scenario samoa|imb0..imb4|nodesM|tasksN --output in.csv\n"
+      "  qulrb solvers\n";
+  return 2;
+}
+
+lrp::SolverSpec spec_from_args(const Args& args) {
+  lrp::SolverSpec spec;
+  spec.name = args.get("solver");
+  if (args.has("k")) spec.k = std::stoll(args.get("k"));
+  spec.relaxed_k = args.has("k2");
+  if (args.has("seed")) spec.seed = std::stoull(args.get("seed"));
+  if (args.has("sweeps")) spec.sweeps = std::stoull(args.get("sweeps"));
+  if (args.has("restarts")) spec.restarts = std::stoull(args.get("restarts"));
+  return spec;
+}
+
+void print_report(const lrp::LrpProblem& problem, const lrp::SolverReport& report) {
+  util::Table table({"Metric", "Value"});
+  table.add_row({"algorithm", report.name});
+  table.add_row({"R_imb before", util::Table::num(report.metrics.imbalance_before, 5)});
+  table.add_row({"R_imb after", util::Table::num(report.metrics.imbalance_after, 5)});
+  table.add_row({"speedup", util::Table::num(report.metrics.speedup, 4)});
+  table.add_row({"migrated tasks", util::Table::integer(report.metrics.total_migrated)});
+  table.add_row({"of total tasks", util::Table::integer(problem.total_tasks())});
+  table.add_row({"cpu (ms)", util::Table::num(report.output.cpu_ms, 3)});
+  if (report.output.qpu_ms > 0.0) {
+    table.add_row({"sim. qpu (ms)", util::Table::num(report.output.qpu_ms, 1)});
+  }
+  table.print(std::cout);
+}
+
+int cmd_solve(const Args& args) {
+  util::require(args.has("input") && args.has("solver"),
+                "solve: --input and --solver are required");
+  const lrp::LrpProblem problem = io::read_input_file(args.get("input"));
+  const lrp::SolverSpec spec = spec_from_args(args);
+  const auto solver = lrp::make_solver(spec, problem);
+  const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+  print_report(problem, report);
+  if (args.has("output")) {
+    io::write_output_file(args.get("output"), problem, report.output.plan);
+    std::cout << "wrote " << args.get("output") << "\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  util::require(args.has("input"), "compare: --input is required");
+  const lrp::LrpProblem problem = io::read_input_file(args.get("input"));
+  std::vector<lrp::SolverReport> reports;
+  const lrp::KSelection k = lrp::select_k(problem);
+  std::cout << "baseline R_imb = " << problem.imbalance_ratio() << ", k1 = " << k.k1
+            << ", k2 = " << k.k2 << "\n\n";
+
+  util::Table table({"Algorithm", "R_imb", "Speedup", "# mig.", "CPU (ms)"});
+  const struct {
+    const char* name;
+    bool relaxed;
+  } runs[] = {{"greedy", false}, {"kk", false},    {"proactlb", false},
+              {"qcqm1", false},  {"qcqm1", true},  {"qcqm2", false},
+              {"qcqm2", true}};
+  for (const auto& run : runs) {
+    lrp::SolverSpec spec;
+    spec.name = run.name;
+    spec.relaxed_k = run.relaxed;
+    if (args.has("seed")) spec.seed = std::stoull(args.get("seed"));
+    const auto solver = lrp::make_solver(spec, problem);
+    lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+    if (std::string(run.name).rfind("qcqm", 0) == 0) {
+      report.name += run.relaxed ? "_k2" : "_k1";
+    }
+    table.add_row({report.name, util::Table::num(report.metrics.imbalance_after, 5),
+                   util::Table::num(report.metrics.speedup, 4),
+                   util::Table::integer(report.metrics.total_migrated),
+                   util::Table::num(report.output.cpu_ms, 2)});
+    reports.push_back(std::move(report));
+  }
+  table.print(std::cout);
+  if (args.has("json")) {
+    const auto record = io::make_record(args.get("input"), problem, std::move(reports));
+    io::write_json_file(args.get("json"), io::to_json(record));
+    std::cout << "wrote " << args.get("json") << "\n";
+  }
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  util::require(args.has("scenario") && args.has("output"),
+                "gen: --scenario and --output are required");
+  const std::string name = args.get("scenario");
+  std::optional<lrp::LrpProblem> problem;
+  if (name == "samoa") {
+    problem = workloads::scenarios::samoa_oscillating_lake().problem;
+  } else if (name.rfind("imb", 0) == 0) {
+    const auto level = static_cast<std::size_t>(std::stoul(name.substr(3)));
+    const auto levels = workloads::scenarios::imbalance_levels();
+    util::require(level < levels.size(), "gen: imbalance level out of range");
+    problem = levels[level].problem;
+  } else if (name.rfind("nodes", 0) == 0) {
+    problem = workloads::scenarios::node_scaling(std::stoul(name.substr(5))).problem;
+  } else if (name.rfind("tasks", 0) == 0) {
+    problem = workloads::scenarios::task_scaling(std::stoll(name.substr(5))).problem;
+  } else {
+    throw util::InvalidArgument("gen: unknown scenario '" + name + "'");
+  }
+  io::write_input_file(args.get("output"), *problem);
+  std::cout << "wrote " << args.get("output") << " (M = " << problem->num_processes()
+            << ", n = " << problem->tasks_on(0)
+            << ", R_imb = " << problem->imbalance_ratio() << ")\n";
+  return 0;
+}
+
+int cmd_solvers() {
+  for (const auto& name : lrp::solver_names()) std::cout << name << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "solve") return cmd_solve(args);
+    if (args.command == "compare") return cmd_compare(args);
+    if (args.command == "gen") return cmd_gen(args);
+    if (args.command == "solvers") return cmd_solvers();
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
