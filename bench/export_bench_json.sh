@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Export the kernel micro-benchmarks as machine-readable JSON.
+#
+# Runs bench_solver_micro (google-benchmark JSON format), joins the results
+# against the checked-in pre-CSR seed baseline (bench/baseline_kernel_seed.json,
+# re-measure with QULRB_BASELINE_JSON=<file> to swap it), and writes
+# BENCH_kernel.json at the repository root with before/after times and
+# speedups per benchmark.
+#
+# Usage: bench/export_bench_json.sh [build-dir]   (default: ./build)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+bench_bin="$build_dir/bench/bench_solver_micro"
+baseline=${QULRB_BASELINE_JSON:-"$repo_root/bench/baseline_kernel_seed.json"}
+out="$repo_root/BENCH_kernel.json"
+min_time=${QULRB_BENCH_MIN_TIME:-0.3}
+filter=${QULRB_BENCH_FILTER:-'BM_CqmFlipDelta|BM_CqmAnnealSweep|BM_CqmPairIndexBuild|BM_QuboEnergy|BM_PimcSweep'}
+
+if [ ! -x "$bench_bin" ]; then
+  echo "error: $bench_bin not found or not executable (build with -DQULRB_BUILD_BENCHES=ON)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+"$bench_bin" \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_format=json > "$tmp"
+
+python3 - "$tmp" "$baseline" "$out" <<'PY'
+import json
+import sys
+
+current_path, baseline_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+with open(current_path) as f:
+    current = json.load(f)
+
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except FileNotFoundError:
+    baseline = {"benchmarks": []}
+
+def times(report):
+    return {
+        b["name"]: {"real_time_ns": b["real_time"], "cpu_time_ns": b["cpu_time"]}
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+before = times(baseline)
+after = times(current)
+
+rows = {}
+for name, cur in sorted(after.items()):
+    row = {"after": cur}
+    base = before.get(name)
+    if base:
+        row["before"] = base
+        row["speedup"] = round(base["real_time_ns"] / cur["real_time_ns"], 3)
+    rows[name] = row
+
+result = {
+    "bench": "bench_solver_micro",
+    "baseline": {
+        "source": baseline_path,
+        "note": baseline.get("note", "pre-CSR seed layout, same machine"),
+        "context": baseline.get("context", {}),
+    },
+    "context": current.get("context", {}),
+    "benchmarks": rows,
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+for name, row in rows.items():
+    speedup = f'  {row["speedup"]:.2f}x' if "speedup" in row else ""
+    print(f'{name}: {row["after"]["real_time_ns"]:.1f} ns{speedup}')
+print(f"wrote {out_path}")
+PY

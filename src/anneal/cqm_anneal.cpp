@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "util/error.hpp"
@@ -14,23 +15,26 @@ using model::VarId;
 
 CqmIncrementalState::CqmIncrementalState(const CqmModel& cqm, model::State initial,
                                          std::vector<double> penalties)
-    : cqm_(&cqm), state_(std::move(initial)), penalties_(std::move(penalties)) {
+    : cqm_(&cqm), state_(std::move(initial)) {
   util::require(state_.size() == cqm.num_variables(),
                 "CqmIncrementalState: state size mismatch");
-  util::require(penalties_.size() == cqm.num_constraints(),
+  util::require(penalties.size() == cqm.num_constraints(),
                 "CqmIncrementalState: penalty count mismatch");
 
-  // Touch incidence caches once so flip paths are allocation-free.
-  (void)cqm.group_incidence();
-  (void)cqm.constraint_incidence();
-  (void)cqm.quadratic_incidence();
+  // Bind the model's flat kernel views once so flip paths are allocation-free
+  // contiguous scans.
+  group_kernel_ = &cqm.group_kernel();
+  group_inc_ = &cqm.group_incidence();
+  con_inc_ = &cqm.constraint_incidence();
+  quad_inc_ = &cqm.quadratic_incidence();
+  linear_ = cqm.objective_linear();
+  group_weights_ = cqm.group_weight_flat();
 
   const auto groups = cqm.squared_groups();
   group_values_.resize(groups.size());
   objective_ = cqm.objective_offset();
-  const auto linear = cqm.objective_linear();
-  for (VarId v = 0; v < linear.size(); ++v) {
-    if (state_[v]) objective_ += linear[v];
+  for (VarId v = 0; v < linear_.size(); ++v) {
+    if (state_[v]) objective_ += linear_[v];
   }
   for (const auto& q : cqm.objective_quadratic()) {
     if (state_[q.i] && state_[q.j]) objective_ += q.coeff;
@@ -41,35 +45,29 @@ CqmIncrementalState::CqmIncrementalState(const CqmModel& cqm, model::State initi
   }
 
   const auto constraints = cqm.constraints();
-  activities_.resize(constraints.size());
+  cons_.resize(constraints.size());
   penalty_ = 0.0;
   for (std::size_t c = 0; c < constraints.size(); ++c) {
-    activities_[c] = constraints[c].lhs.evaluate(state_);
-    penalty_ += penalty_of_activity(c, activities_[c]);
+    auto& slot = cons_[c];
+    slot.activity = constraints[c].lhs.evaluate(state_);
+    slot.rhs = constraints[c].rhs;
+    slot.penalty = penalties[c];
+    slot.sense = constraints[c].sense;
+    penalty_ += penalty_of(slot, slot.activity);
   }
-}
-
-double CqmIncrementalState::penalty_of_activity(std::size_t c,
-                                                double activity) const noexcept {
-  const auto& con = cqm_->constraints()[c];
-  return penalties_[c] * CqmModel::violation_of(con.sense, activity, con.rhs);
 }
 
 double CqmIncrementalState::total_violation() const noexcept {
   double v = 0.0;
-  const auto constraints = cqm_->constraints();
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
-    v += CqmModel::violation_of(constraints[c].sense, activities_[c],
-                                constraints[c].rhs);
+  for (const auto& slot : cons_) {
+    v += CqmModel::violation_of(slot.sense, slot.activity, slot.rhs);
   }
   return v;
 }
 
 bool CqmIncrementalState::feasible(double tol) const noexcept {
-  const auto constraints = cqm_->constraints();
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
-    if (CqmModel::violation_of(constraints[c].sense, activities_[c],
-                               constraints[c].rhs) > tol) {
+  for (const auto& slot : cons_) {
+    if (CqmModel::violation_of(slot.sense, slot.activity, slot.rhs) > tol) {
       return false;
     }
   }
@@ -79,53 +77,133 @@ bool CqmIncrementalState::feasible(double tol) const noexcept {
 CqmIncrementalState::FlipDelta CqmIncrementalState::flip_delta_parts(
     VarId v) const noexcept {
   const double sign = state_[v] ? -1.0 : 1.0;
-  const auto linear = cqm_->objective_linear();
   FlipDelta delta;
-  delta.objective = sign * linear[v];
+  double obj = sign * linear_[v];
 
-  for (const auto& nb : cqm_->quadratic_incidence()[v]) {
-    if (state_[nb.other]) delta.objective += sign * nb.coeff;
+  for (const auto& nb : (*quad_inc_)[v]) {
+    if (state_[nb.other]) obj += sign * nb.coeff;
+  }
+  for (const auto& t : (*group_kernel_)[v]) {
+    obj += sign * t.alpha * group_values_[t.index] + t.beta;
   }
 
-  const auto groups = cqm_->squared_groups();
-  for (const auto& inc : cqm_->group_incidence()[v]) {
-    const double gv = group_values_[inc.index];
-    const double nv = gv + sign * inc.coeff;
-    delta.objective += groups[inc.index].weight * (nv * nv - gv * gv);
+  double pen = 0.0;
+  for (const auto& inc : (*con_inc_)[v]) {
+    const ConSlot& slot = cons_[inc.index];
+    pen += penalty_of(slot, slot.activity + sign * inc.coeff) -
+           penalty_of(slot, slot.activity);
+  }
+  delta.objective = obj;
+  delta.penalty = pen;
+  return delta;
+}
+
+CqmIncrementalState::FlipDelta CqmIncrementalState::pair_delta_parts(
+    VarId a, VarId b) const noexcept {
+  const double sign_a = state_[a] ? -1.0 : 1.0;
+  const double sign_b = state_[b] ? -1.0 : 1.0;
+  FlipDelta delta;
+  double obj = sign_a * linear_[a] + sign_b * linear_[b];
+
+  // Quadratic couplers: both rows at current state; the (a, b) coupler (if
+  // any) appears once in each row and needs the joint product change.
+  for (const auto& nb : (*quad_inc_)[a]) {
+    if (nb.other == b) {
+      const double before = state_[a] && state_[b] ? 1.0 : 0.0;
+      const double after = !state_[a] && !state_[b] ? 1.0 : 0.0;
+      obj += nb.coeff * (after - before);
+    } else if (state_[nb.other]) {
+      obj += sign_a * nb.coeff;
+    }
+  }
+  for (const auto& nb : (*quad_inc_)[b]) {
+    if (nb.other != a && state_[nb.other]) obj += sign_b * nb.coeff;
   }
 
-  for (const auto& inc : cqm_->constraint_incidence()[v]) {
-    const double act = activities_[inc.index];
-    const double nact = act + sign * inc.coeff;
-    delta.penalty += penalty_of_activity(inc.index, nact) -
-                     penalty_of_activity(inc.index, act);
+  // Squared groups: merge the two sorted incidence rows; a group containing
+  // both variables sees the combined step d = s_a*c_a + s_b*c_b.
+  {
+    const auto row_a = (*group_inc_)[a];
+    const auto row_b = (*group_inc_)[b];
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    while (ia < row_a.size() || ib < row_b.size()) {
+      std::uint32_t g;
+      double d;
+      if (ib == row_b.size() ||
+          (ia < row_a.size() && row_a[ia].index < row_b[ib].index)) {
+        g = row_a[ia].index;
+        d = sign_a * row_a[ia].coeff;
+        ++ia;
+      } else if (ia == row_a.size() || row_b[ib].index < row_a[ia].index) {
+        g = row_b[ib].index;
+        d = sign_b * row_b[ib].coeff;
+        ++ib;
+      } else {
+        g = row_a[ia].index;
+        d = sign_a * row_a[ia].coeff + sign_b * row_b[ib].coeff;
+        ++ia;
+        ++ib;
+      }
+      const double gv = group_values_[g];
+      obj += group_weights_[g] * (2.0 * gv * d + d * d);
+    }
   }
+
+  // Constraints: same merge; a shared constraint sees both activity steps at
+  // once (this is exactly what makes matched pair moves penalty-neutral).
+  double pen = 0.0;
+  {
+    const auto row_a = (*con_inc_)[a];
+    const auto row_b = (*con_inc_)[b];
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    while (ia < row_a.size() || ib < row_b.size()) {
+      std::uint32_t c;
+      double d;
+      if (ib == row_b.size() ||
+          (ia < row_a.size() && row_a[ia].index < row_b[ib].index)) {
+        c = row_a[ia].index;
+        d = sign_a * row_a[ia].coeff;
+        ++ia;
+      } else if (ia == row_a.size() || row_b[ib].index < row_a[ia].index) {
+        c = row_b[ib].index;
+        d = sign_b * row_b[ib].coeff;
+        ++ib;
+      } else {
+        c = row_a[ia].index;
+        d = sign_a * row_a[ia].coeff + sign_b * row_b[ib].coeff;
+        ++ia;
+        ++ib;
+      }
+      const ConSlot& slot = cons_[c];
+      pen += penalty_of(slot, slot.activity + d) - penalty_of(slot, slot.activity);
+    }
+  }
+  delta.objective = obj;
+  delta.penalty = pen;
   return delta;
 }
 
 void CqmIncrementalState::apply_flip(VarId v) noexcept {
   const double sign = state_[v] ? -1.0 : 1.0;
-  const auto linear = cqm_->objective_linear();
-  objective_ += sign * linear[v];
+  objective_ += sign * linear_[v];
 
-  for (const auto& nb : cqm_->quadratic_incidence()[v]) {
+  for (const auto& nb : (*quad_inc_)[v]) {
     if (state_[nb.other]) objective_ += sign * nb.coeff;
   }
 
-  const auto groups = cqm_->squared_groups();
-  for (const auto& inc : cqm_->group_incidence()[v]) {
-    double& gv = group_values_[inc.index];
-    const double nv = gv + sign * inc.coeff;
-    objective_ += groups[inc.index].weight * (nv * nv - gv * gv);
-    gv = nv;
+  for (const auto& t : (*group_kernel_)[v]) {
+    double& gv = group_values_[t.index];
+    objective_ += sign * t.alpha * gv + t.beta;
+    gv += sign * t.coeff;
   }
 
-  for (const auto& inc : cqm_->constraint_incidence()[v]) {
-    double& act = activities_[inc.index];
-    const double nact = act + sign * inc.coeff;
-    penalty_ += penalty_of_activity(inc.index, nact) -
-                penalty_of_activity(inc.index, act);
-    act = nact;
+  for (const auto& inc : (*con_inc_)[v]) {
+    ConSlot& slot = cons_[inc.index];
+    const double nact = slot.activity + sign * inc.coeff;
+    penalty_ += penalty_of(slot, nact) - penalty_of(slot, slot.activity);
+    slot.activity = nact;
   }
 
   state_[v] ^= 1u;
@@ -134,36 +212,70 @@ void CqmIncrementalState::apply_flip(VarId v) noexcept {
 void CqmIncrementalState::set_penalties(std::vector<double> penalties) {
   util::require(penalties.size() == cqm_->num_constraints(),
                 "CqmIncrementalState: penalty count mismatch");
-  penalties_ = std::move(penalties);
   penalty_ = 0.0;
-  for (std::size_t c = 0; c < activities_.size(); ++c) {
-    penalty_ += penalty_of_activity(c, activities_[c]);
+  for (std::size_t c = 0; c < cons_.size(); ++c) {
+    cons_[c].penalty = penalties[c];
+    penalty_ += penalty_of(cons_[c], cons_[c].activity);
   }
 }
 
 PairMoveIndex PairMoveIndex::build(const CqmModel& cqm) {
   PairMoveIndex index;
+  index.class_offsets_.push_back(0);
+  // Group each constraint's variables by |coefficient| (exact bit match — the
+  // LRP coefficients are integers scaled by task loads, so equality is
+  // meaningful; near-equal floats simply land in separate classes). Grouping
+  // uses a linear-probe table keyed on the coefficient's bit pattern instead
+  // of a comparison sort: O(terms) per constraint, and the scratch buffers
+  // are reused across constraints so build cost stays linear in the model.
+  // Classes come out in first-occurrence order and members in term order,
+  // both of which are deterministic model insertion orders.
+  constexpr std::uint32_t kFree = 0xFFFFFFFFu;
+  std::vector<std::uint64_t> slot_key;
+  std::vector<std::uint32_t> slot_class;
+  std::vector<std::uint32_t> term_class;
+  std::vector<std::uint32_t> counts;
+  std::vector<std::size_t> cursor;
   for (const auto& con : cqm.constraints()) {
-    // Group this constraint's variables by |coefficient| (exact match — the
-    // LRP coefficients are integers scaled by task loads, so equality is
-    // meaningful; near-equal floats simply land in separate classes).
-    std::vector<std::pair<double, VarId>> by_coeff;
-    by_coeff.reserve(con.lhs.size());
-    for (const auto& t : con.lhs.terms()) {
-      by_coeff.emplace_back(std::abs(t.coeff), t.var);
-    }
-    std::sort(by_coeff.begin(), by_coeff.end());
-    std::size_t start = 0;
-    for (std::size_t i = 1; i <= by_coeff.size(); ++i) {
-      if (i == by_coeff.size() || by_coeff[i].first != by_coeff[start].first) {
-        if (i - start >= 2) {
-          std::vector<VarId> members;
-          members.reserve(i - start);
-          for (std::size_t p = start; p < i; ++p) members.push_back(by_coeff[p].second);
-          index.classes_.push_back(std::move(members));
-        }
-        start = i;
+    const auto terms = con.lhs.terms();
+    if (terms.size() < 2) continue;
+    std::size_t cap = 2;
+    while (cap < 2 * terms.size()) cap <<= 1;
+    const std::size_t mask = cap - 1;
+    slot_key.assign(cap, 0);
+    slot_class.assign(cap, kFree);
+    term_class.resize(terms.size());
+    counts.clear();
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      std::uint64_t bits;
+      const double mag = std::abs(terms[t].coeff);
+      static_assert(sizeof(bits) == sizeof(mag));
+      std::memcpy(&bits, &mag, sizeof(bits));
+      std::uint64_t h = bits * 0x9E3779B97F4A7C15ull;
+      h ^= h >> 32;
+      std::size_t s = static_cast<std::size_t>(h) & mask;
+      while (slot_class[s] != kFree && slot_key[s] != bits) s = (s + 1) & mask;
+      if (slot_class[s] == kFree) {
+        slot_key[s] = bits;
+        slot_class[s] = static_cast<std::uint32_t>(counts.size());
+        counts.push_back(0);
       }
+      term_class[t] = slot_class[s];
+      ++counts[term_class[t]];
+    }
+    // Lay out classes of size >= 2 contiguously, in discovery order.
+    cursor.assign(counts.size(), static_cast<std::size_t>(-1));
+    std::size_t base = index.members_.size();
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      if (counts[c] < 2) continue;
+      cursor[c] = base;
+      base += counts[c];
+      index.class_offsets_.push_back(base);
+    }
+    index.members_.resize(base);
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      auto& at = cursor[term_class[t]];
+      if (at != static_cast<std::size_t>(-1)) index.members_[at++] = terms[t].var;
     }
   }
   return index;
@@ -171,9 +283,9 @@ PairMoveIndex PairMoveIndex::build(const CqmModel& cqm) {
 
 bool PairMoveIndex::attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
                             bool feasible_only) const {
-  if (classes_.empty()) return false;
-  const auto& members =
-      classes_[static_cast<std::size_t>(rng.next_below(classes_.size()))];
+  if (empty()) return false;
+  const auto members =
+      class_at(static_cast<std::size_t>(rng.next_below(num_classes())));
   // Find a (set, clear) pair by rejection sampling.
   VarId set_var = 0;
   VarId clear_var = 0;
@@ -191,26 +303,60 @@ bool PairMoveIndex::attempt(CqmIncrementalState& walk, util::Rng& rng, double be
   }
   if (!found) return false;
 
-  CqmIncrementalState::FlipDelta delta = walk.flip_delta_parts(set_var);
-  walk.apply_flip(set_var);
-  const auto second = walk.flip_delta_parts(clear_var);
-  delta.objective += second.objective;
-  delta.penalty += second.penalty;
-
+  // Evaluate the joint move without touching the state; apply only on accept.
+  const auto delta = walk.pair_delta_parts(set_var, clear_var);
   const double criterion = feasible_only ? delta.objective : delta.total();
   const bool vetoed = feasible_only && delta.penalty > 0.0;
   if (!vetoed &&
       (criterion <= 0.0 || rng.next_double() < std::exp(-beta * criterion))) {
+    walk.apply_flip(set_var);
     walk.apply_flip(clear_var);
     return true;
   }
-  walk.apply_flip(set_var);  // revert
   return false;
+}
+
+std::size_t PairMoveIndex::pair_scan_cost() const noexcept {
+  std::size_t cost = 0;
+  for (std::size_t c = 0; c + 1 < class_offsets_.size(); ++c) {
+    const std::size_t size = class_offsets_[c + 1] - class_offsets_[c];
+    cost += size * size;
+  }
+  return cost;
+}
+
+std::size_t PairMoveIndex::descend(CqmIncrementalState& walk,
+                                   std::size_t max_passes) const {
+  std::size_t applied = 0;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t c = 0; c < num_classes(); ++c) {
+      const auto members = class_at(c);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const VarId a = members[i];
+        if (walk.state()[a] == 0) continue;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          const VarId b = members[j];
+          if (b == a || walk.state()[b] != 0) continue;
+          if (walk.pair_delta_parts(a, b).total() < -1e-12) {
+            walk.apply_flip(a);
+            walk.apply_flip(b);
+            ++applied;
+            improved = true;
+            break;  // a is now clear; continue with the next set member
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return applied;
 }
 
 Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalties,
                                 util::Rng& rng, const model::State& initial,
-                                AnnealTrace* trace) const {
+                                AnnealTrace* trace,
+                                const PairMoveIndex* pairs) const {
   const std::size_t n = cqm.num_variables();
   util::require(initial.empty() || initial.size() == n,
                 "CqmAnnealer: initial state size mismatch");
@@ -257,16 +403,18 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
 
   Sample best{walk.state(), walk.objective(), walk.total_violation(), walk.feasible()};
 
-  const PairMoveIndex pairs = params_.pair_move_prob > 0.0
-                                  ? PairMoveIndex::build(cqm)
-                                  : PairMoveIndex{};
+  const PairMoveIndex local_pairs =
+      (pairs == nullptr && params_.pair_move_prob > 0.0) ? PairMoveIndex::build(cqm)
+                                                         : PairMoveIndex{};
+  const PairMoveIndex& pair_index = pairs != nullptr ? *pairs : local_pairs;
+  const bool use_pairs = params_.pair_move_prob > 0.0 && !pair_index.empty();
 
   for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
     const double beta = schedule.at(sweep);
     bool improved = false;
     for (std::size_t step = 0; step < n; ++step) {
-      if (!pairs.empty() && rng.next_bool(params_.pair_move_prob)) {
-        const bool accepted = pairs.attempt(walk, rng, beta, params_.refinement);
+      if (use_pairs && rng.next_bool(params_.pair_move_prob)) {
+        const bool accepted = pair_index.attempt(walk, rng, beta, params_.refinement);
         improved = accepted || improved;
         if (trace != nullptr) {
           ++trace->pair_attempts;

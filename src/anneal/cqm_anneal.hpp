@@ -21,6 +21,12 @@ namespace qulrb::anneal {
 /// O(incidences of that variable), independent of model size. This is what
 /// makes annealing the LRP formulation tractable at M = 64 (~28k binary
 /// variables) without materialising the dense quadratic expansion.
+///
+/// The flip kernel is cache-resident: all per-variable incidence walks go
+/// through the model's flat CSR rows (one contiguous scan per flip), group
+/// flip arithmetic is pre-baked into (alpha, beta) coefficients, and
+/// constraint senses / rhs / penalties / activities live in tight parallel
+/// arrays so the inner loop never strides over LinearExpr or label storage.
 class CqmIncrementalState {
  public:
   /// penalties: per-constraint weight on (linear) violation. Must match
@@ -30,6 +36,7 @@ class CqmIncrementalState {
 
   std::size_t num_variables() const noexcept { return state_.size(); }
   const model::State& state() const noexcept { return state_; }
+  const model::CqmModel& cqm() const noexcept { return *cqm_; }
 
   double objective() const noexcept { return objective_; }
   double penalty_energy() const noexcept { return penalty_; }
@@ -51,6 +58,14 @@ class CqmIncrementalState {
   double flip_delta(model::VarId v) const noexcept {
     return flip_delta_parts(v).total();
   }
+
+  /// Exact combined energy change of flipping variables a and b together
+  /// (a != b), evaluated without mutating the state: shared squared groups,
+  /// shared constraints, and the (a, b) objective coupler are corrected via
+  /// a merge walk over the two sorted incidence rows. Replaces the
+  /// apply/evaluate/revert churn pair-move proposals otherwise need.
+  FlipDelta pair_delta_parts(model::VarId a, model::VarId b) const noexcept;
+
   /// Commit the flip of variable v, updating all running values.
   void apply_flip(model::VarId v) noexcept;
 
@@ -58,18 +73,44 @@ class CqmIncrementalState {
   /// activities are unaffected). Used by adaptive penalty loops.
   void set_penalties(std::vector<double> penalties);
 
-  std::span<const double> constraint_activities() const noexcept { return activities_; }
+  std::size_t num_constraints() const noexcept { return cons_.size(); }
+  double constraint_activity(std::size_t c) const noexcept { return cons_[c].activity; }
+  double constraint_violation(std::size_t c) const noexcept {
+    return model::CqmModel::violation_of(cons_[c].sense, cons_[c].activity,
+                                         cons_[c].rhs);
+  }
+  double penalty_weight(std::size_t c) const noexcept { return cons_[c].penalty; }
+  std::span<const double> group_values() const noexcept { return group_values_; }
 
  private:
-  double penalty_of_activity(std::size_t c, double activity) const noexcept;
+  /// Everything the penalty kernel needs for one constraint, packed so each
+  /// incidence costs one contiguous load instead of four scattered ones.
+  struct ConSlot {
+    double activity;     ///< running lhs_c(x)
+    double rhs;
+    double penalty;      ///< weight on violation
+    model::Sense sense;
+  };
+
+  static double penalty_of(const ConSlot& slot, double activity) noexcept {
+    return slot.penalty *
+           model::CqmModel::violation_of(slot.sense, activity, slot.rhs);
+  }
 
   const model::CqmModel* cqm_;
   model::State state_;
-  std::vector<double> penalties_;
   std::vector<double> group_values_;  ///< expr_g(x) including its constant
-  std::vector<double> activities_;   ///< lhs_c(x)
+  std::vector<ConSlot> cons_;
   double objective_ = 0.0;
   double penalty_ = 0.0;
+
+  // Borrowed flat views into the model (valid for the model's lifetime).
+  std::span<const double> linear_;
+  std::span<const double> group_weights_;
+  const model::CsrRows<model::CqmModel::GroupKernelTerm>* group_kernel_ = nullptr;
+  const model::CsrRows<model::CqmModel::Incidence>* group_inc_ = nullptr;
+  const model::CsrRows<model::CqmModel::Incidence>* con_inc_ = nullptr;
+  const model::CsrRows<model::CqmModel::QuadNeighbor>* quad_inc_ = nullptr;
 };
 
 /// Index of "pair move" candidates: for every constraint, variables sharing
@@ -77,13 +118,23 @@ class CqmIncrementalState {
 /// one class keeps that constraint's activity unchanged — on the LRP models
 /// this is "reroute a chunk of c_l tasks to a different process", the move
 /// that makes equality constraints and tight migration bounds navigable.
+///
+/// Classes are stored as flat offsets + members arrays, and build() reuses a
+/// single scratch buffer across constraints, so constructing the index is a
+/// sort per constraint and nothing else. The index depends only on the model;
+/// build it once per CQM and share it across restarts and sweeps.
 class PairMoveIndex {
  public:
   static PairMoveIndex build(const model::CqmModel& cqm);
 
-  bool empty() const noexcept { return classes_.empty(); }
-  std::size_t num_classes() const noexcept { return classes_.size(); }
-  std::span<const model::VarId> class_at(std::size_t c) const { return classes_.at(c); }
+  bool empty() const noexcept { return class_offsets_.size() <= 1; }
+  std::size_t num_classes() const noexcept {
+    return class_offsets_.empty() ? 0 : class_offsets_.size() - 1;
+  }
+  std::span<const model::VarId> class_at(std::size_t c) const {
+    return {members_.data() + class_offsets_.at(c),
+            class_offsets_.at(c + 1) - class_offsets_.at(c)};
+  }
 
   /// Propose flipping one set and one clear variable from a random class;
   /// accept with the Metropolis criterion at `beta` on the combined energy
@@ -93,8 +144,20 @@ class PairMoveIndex {
   bool attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
                bool feasible_only = false) const;
 
+  /// Zero-temperature systematic polish: scan every class's (set, clear)
+  /// pairs and commit strictly improving moves, repeating until a full scan
+  /// finds none (or max_passes). Returns the number of moves applied. One
+  /// pass costs pair_scan_cost() delta evaluations — callers should prefer
+  /// this over random attempt() sampling exactly when that is the cheaper
+  /// budget.
+  std::size_t descend(CqmIncrementalState& walk, std::size_t max_passes = 8) const;
+
+  /// Ordered pair evaluations per descend() pass: sum of |class|^2.
+  std::size_t pair_scan_cost() const noexcept;
+
  private:
-  std::vector<std::vector<model::VarId>> classes_;
+  std::vector<std::size_t> class_offsets_;  ///< size num_classes()+1
+  std::vector<model::VarId> members_;
 };
 
 struct CqmAnnealParams {
@@ -139,9 +202,13 @@ class CqmAnnealer {
   /// penalty weights. Returns the best-seen sample: best feasible if any
   /// state visited was feasible, otherwise the lowest (violation, energy).
   /// When `trace` is non-null, per-sweep convergence data is recorded.
+  /// When `pairs` is non-null it is used as the pair-move index instead of
+  /// rebuilding one (callers running many anneals on one model should build
+  /// it once and pass it here).
   Sample anneal_once(const model::CqmModel& cqm, std::vector<double> penalties,
                      util::Rng& rng, const model::State& initial = {},
-                     AnnealTrace* trace = nullptr) const;
+                     AnnealTrace* trace = nullptr,
+                     const PairMoveIndex* pairs = nullptr) const;
 
   const CqmAnnealParams& params() const noexcept { return params_; }
 

@@ -1,9 +1,13 @@
 #include "anneal/hybrid.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <mutex>
+#include <cstdint>
 #include <numeric>
+#include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "anneal/tempering.hpp"
@@ -114,6 +118,57 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     return result;
   }
 
+  // --- exhaustive enumeration for tiny models ------------------------------
+  // With few enough free variables, visiting every assignment via a Gray-code
+  // walk (one incremental flip per state) costs less than a single annealing
+  // schedule and returns the provable CQM optimum. Sampling tiny models is
+  // all overhead and no guarantee.
+  std::vector<VarId> free_vars;
+  free_vars.reserve(cqm.num_variables());
+  for (std::size_t v = 0; v < cqm.num_variables(); ++v) {
+    if (!pre.fixed[v].has_value()) free_vars.push_back(static_cast<VarId>(v));
+  }
+  if (params_.exhaustive_max_vars > 0 && free_vars.size() < 64 &&
+      free_vars.size() <= params_.exhaustive_max_vars) {
+    model::State base(cqm.num_variables(), 0);
+    apply_fixings(base, pre);
+    CqmIncrementalState walk(cqm, base,
+                             std::vector<double>(cqm.num_constraints(), 0.0));
+    // Track the incumbent by its Gray code; the state is rebuilt once at the
+    // end so the loop never copies.
+    std::uint64_t best_code = 0;
+    double best_obj = walk.objective();
+    double best_viol = walk.total_violation();
+    std::uint64_t code = 0;
+    const std::uint64_t total = std::uint64_t{1} << free_vars.size();
+    for (std::uint64_t i = 1; i < total; ++i) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(i));
+      walk.apply_flip(free_vars[bit]);
+      code ^= std::uint64_t{1} << bit;
+      const double viol = walk.total_violation();
+      if (viol < best_viol ||
+          (viol == best_viol && walk.objective() < best_obj)) {
+        best_code = code;
+        best_obj = walk.objective();
+        best_viol = viol;
+      }
+    }
+    model::State best_state = std::move(base);
+    for (std::size_t b = 0; b < free_vars.size(); ++b) {
+      if (best_code & (std::uint64_t{1} << b)) best_state[free_vars[b]] ^= 1u;
+    }
+    // Recompute from scratch: the reported numbers carry no incremental
+    // floating-point drift.
+    Sample s{best_state, cqm.objective_value(best_state),
+             cqm.total_violation(best_state), false};
+    s.feasible = s.violation <= 1e-9;
+    result.samples.add(s);
+    result.best = std::move(s);
+    result.stats.restarts_used = 1;
+    result.stats.cpu_ms = timer.elapsed_ms();
+    return result;
+  }
+
   const std::vector<double> base_penalties =
       initial_penalties(cqm, params_.penalty_scale);
   const PairMoveIndex pair_index = PairMoveIndex::build(cqm);
@@ -129,10 +184,11 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   const bool refinement_available =
       params_.use_refinement_start && (have_hint || zeros_feasible);
 
-  std::mutex merge_mutex;
-  SampleSet all;
-  std::size_t restarts_used = 0;
-  std::size_t penalty_rounds_used = 0;
+  // Per-restart result slots: restarts run on any thread in any order, but
+  // each writes only its own slot and the merge below walks slots in restart
+  // order, so the solve is bitwise identical for every `threads` setting.
+  std::vector<std::optional<Sample>> results(params_.num_restarts);
+  std::vector<std::size_t> rounds_by_restart(params_.num_restarts, 0);
 
   util::Rng master(params_.seed);
   std::vector<util::Rng> streams;
@@ -171,12 +227,13 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
         tp.num_replicas = params_.tempering_replicas;
         tp.sweeps = params_.sweeps / 2 + 1;
         tp.seed = rng.next_u64();
-        s = ParallelTempering(tp).run(cqm, penalties, init);
+        s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
       } else {
         CqmAnnealParams ap;
         ap.sweeps = params_.sweeps;
         ap.refinement = refine;
-        s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init);
+        s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init, nullptr,
+                                        &pair_index);
       }
 
       // Feasibility polish: steepest descent with current penalties, then
@@ -186,8 +243,14 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
         greedy_descent(walk, rng);
         if (!pair_index.empty()) {
           const std::size_t attempts = 8 * std::max<std::size_t>(1, walk.num_variables());
-          for (std::size_t t = 0; t < attempts; ++t) {
-            pair_index.attempt(walk, rng, 1e30);
+          if (pair_index.pair_scan_cost() <= attempts) {
+            // Enumerating every (set, clear) pair is cheaper than sampling
+            // the same budget at random — and never misses an improving move.
+            pair_index.descend(walk);
+          } else {
+            for (std::size_t t = 0; t < attempts; ++t) {
+              pair_index.attempt(walk, rng, 1e30);
+            }
           }
           greedy_descent(walk, rng);
         }
@@ -203,33 +266,38 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       if (s.feasible) break;
 
       // Escalate penalties where the best state is still violating.
-      CqmIncrementalState probe(cqm, s.state, penalties);
-      const auto activities = probe.constraint_activities();
-      const auto constraints = cqm.constraints();
-      for (std::size_t c = 0; c < constraints.size(); ++c) {
-        if (CqmModel::violation_of(constraints[c].sense, activities[c],
-                                   constraints[c].rhs) > 1e-9) {
+      const CqmIncrementalState probe(cqm, s.state, penalties);
+      for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
+        if (probe.constraint_violation(c) > 1e-9) {
           penalties[c] *= params_.penalty_growth;
         }
       }
       init = s.state;  // warm start the next round
     }
 
-    std::lock_guard lock(merge_mutex);
-    if (have_sample) all.add(std::move(best_of_restart));
-    ++restarts_used;
-    penalty_rounds_used += rounds;
+    if (have_sample) results[r] = std::move(best_of_restart);
+    rounds_by_restart[r] = rounds;
   };
 
-  if (params_.threads <= 1 || params_.num_restarts <= 1) {
+  const std::size_t threads = params_.threads == 0
+                                  ? std::max(1u, std::thread::hardware_concurrency())
+                                  : params_.threads;
+  if (threads <= 1 || params_.num_restarts <= 1) {
     for (std::size_t r = 0; r < params_.num_restarts; ++r) run_restart(r);
   } else {
-    util::ThreadPool pool(std::min(params_.threads, params_.num_restarts));
+    util::ThreadPool pool(std::min(threads, params_.num_restarts));
     pool.parallel_for(params_.num_restarts, run_restart);
   }
 
-  result.stats.restarts_used = restarts_used;
-  result.stats.penalty_rounds_used = penalty_rounds_used;
+  // Ordered merge: identical regardless of which thread finished first.
+  SampleSet all;
+  for (std::size_t r = 0; r < params_.num_restarts; ++r) {
+    if (results[r].has_value()) {
+      all.add(std::move(*results[r]));
+      ++result.stats.restarts_used;
+    }
+    result.stats.penalty_rounds_used += rounds_by_restart[r];
+  }
   result.samples = all;
   const auto best = all.best();
   util::ensure(best.has_value(), "HybridCqmSolver: no restart produced a sample");

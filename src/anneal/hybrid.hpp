@@ -31,8 +31,15 @@ struct HybridSolverParams {
   /// a structural asymmetry the paper's results also exhibit.
   bool use_refinement_start = true;
   std::size_t tempering_replicas = 6;
-  /// 0 = all hardware threads. Restarts are farmed to a thread pool.
-  std::size_t threads = 1;
+  /// 0 = all hardware threads. Restarts are farmed to a thread pool. Every
+  /// restart draws from a pre-split RNG stream and results merge in restart
+  /// order, so the outcome is identical for any thread count.
+  std::size_t threads = 0;
+  /// Free-variable count (after presolve) at or below which the solver skips
+  /// sampling entirely and enumerates every assignment with a Gray-code walk
+  /// (one incremental flip per state). Tiny models get the provable CQM
+  /// optimum instead of annealing luck. 0 disables.
+  std::size_t exhaustive_max_vars = 18;
   std::uint64_t seed = 1;
   /// Optional warm-start assignment (e.g. an incumbent from a classical
   /// heuristic — the "classical" half of a hybrid service). When set, the

@@ -1,6 +1,7 @@
 #include "anneal/pimc.hpp"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "util/error.hpp"
@@ -9,6 +10,40 @@
 namespace qulrb::anneal {
 
 using model::VarId;
+
+namespace {
+
+/// Local fields h_i + sum_j J_ij s_j for one spin configuration, maintained
+/// incrementally: reading a candidate flip is O(1), committing one is
+/// O(deg). Each Trotter slice owns an instance; the quench reuses one for
+/// the readout configuration.
+class FieldCache {
+ public:
+  FieldCache(const model::IsingModel& ising, std::span<const std::int8_t> spins)
+      : adjacency_(&ising.adjacency()) {
+    field_.resize(ising.num_spins());
+    for (VarId i = 0; i < field_.size(); ++i) {
+      field_[i] = ising.local_field(spins, i);
+    }
+  }
+
+  double at(VarId i) const noexcept { return field_[i]; }
+
+  /// Negate spin i in `spins` and propagate to the neighbours' fields.
+  void flip(std::vector<std::int8_t>& spins, VarId i) noexcept {
+    spins[i] = static_cast<std::int8_t>(-spins[i]);
+    const double two_s = 2.0 * spins[i];
+    for (const auto& nb : (*adjacency_)[i]) {
+      field_[nb.other] += two_s * nb.coupling;
+    }
+  }
+
+ private:
+  const model::CsrRows<model::IsingModel::Neighbor>* adjacency_;
+  std::vector<double> field_;
+};
+
+}  // namespace
 
 Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
   const std::size_t n = ising.num_spins();
@@ -27,6 +62,10 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
   for (auto& slice : spins) {
     for (auto& s : slice) s = rng.next_bool(0.5) ? std::int8_t{1} : std::int8_t{-1};
   }
+
+  std::vector<FieldCache> fields;
+  fields.reserve(P);
+  for (std::size_t k = 0; k < P; ++k) fields.emplace_back(ising, spins[k]);
 
   std::vector<double> slice_energy(P);
   for (std::size_t k = 0; k < P; ++k) slice_energy[k] = ising.energy(spins[k]);
@@ -62,14 +101,14 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
       const std::size_t down = (k + P - 1) % P;
       for (std::size_t step = 0; step < n; ++step) {
         const auto i = static_cast<VarId>(rng.next_below(n));
-        const double h_local = ising.local_field(spins[k], i);
+        const double h_local = fields[k].at(i);
         const double s = spins[k][i];
         // Problem part is scaled by 1/P in the Trotter decomposition.
         const double delta = 2.0 * s * h_local / Pd +
                              2.0 * s * j_perp *
                                  (spins[up][i] + spins[down][i]);
         if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
-          spins[k][i] = static_cast<std::int8_t>(-spins[k][i]);
+          fields[k].flip(spins[k], i);
           slice_energy[k] += 2.0 * (-s) * h_local;  // flip changes E by -2 s h
           if (slice_energy[k] < best_energy) {
             best_energy = slice_energy[k];
@@ -85,13 +124,13 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
       const auto i = static_cast<VarId>(rng.next_below(n));
       double delta = 0.0;
       for (std::size_t k = 0; k < P; ++k) {
-        delta += 2.0 * spins[k][i] * ising.local_field(spins[k], i) / Pd;
+        delta += 2.0 * spins[k][i] * fields[k].at(i) / Pd;
       }
       if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
         for (std::size_t k = 0; k < P; ++k) {
           const double s = spins[k][i];
-          const double h_local = ising.local_field(spins[k], i);
-          spins[k][i] = static_cast<std::int8_t>(-spins[k][i]);
+          const double h_local = fields[k].at(i);
+          fields[k].flip(spins[k], i);
           slice_energy[k] += 2.0 * (-s) * h_local;
           if (slice_energy[k] < best_energy) {
             best_energy = slice_energy[k];
@@ -106,13 +145,13 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
   // flips (plateau walks let residual domain walls diffuse and annihilate),
   // mirroring the classical readout quench of SQA implementations.
   {
+    FieldCache quench_fields(ising, best_spins);
     double energy = ising.energy(best_spins);
     for (std::size_t pass = 0; pass < 20 * n; ++pass) {
       const auto i = static_cast<VarId>(rng.next_below(n));
-      const double h_local = ising.local_field(best_spins, i);
-      const double delta = -2.0 * best_spins[i] * h_local;
+      const double delta = -2.0 * best_spins[i] * quench_fields.at(i);
       if (delta <= 0.0) {
-        best_spins[i] = static_cast<std::int8_t>(-best_spins[i]);
+        quench_fields.flip(best_spins, i);
         energy += delta;
         if (energy < best_energy) best_energy = energy;
       }
@@ -122,9 +161,9 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
     while (improved) {
       improved = false;
       for (VarId i = 0; i < n; ++i) {
-        const double delta = -2.0 * best_spins[i] * ising.local_field(best_spins, i);
+        const double delta = -2.0 * best_spins[i] * quench_fields.at(i);
         if (delta < -1e-15) {
-          best_spins[i] = static_cast<std::int8_t>(-best_spins[i]);
+          quench_fields.flip(best_spins, i);
           improved = true;
         }
       }

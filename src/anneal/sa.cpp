@@ -1,7 +1,9 @@
 #include "anneal/sa.hpp"
 
 #include <cmath>
+#include <vector>
 
+#include "anneal/delta_cache.hpp"
 #include "util/error.hpp"
 
 namespace qulrb::anneal {
@@ -32,24 +34,43 @@ Sample SimulatedAnnealer::anneal_once(const model::QuboModel& qubo, util::Rng& r
   if (n == 0) return {state, qubo.energy(state), 0.0, true};
 
   const BetaSchedule schedule = make_schedule(qubo);
-  double energy = qubo.energy(state);
+  QuboDeltaCache cache(qubo, state);
   model::State best_state = state;
-  double best_energy = energy;
+  double best_energy = cache.energy();
+
+  // Incumbent tracking without per-improvement copies: log accepted flips in
+  // a journal and remember where in it the best energy occurred. At sweep
+  // end, sync best_state with one copy of the current state plus an undo of
+  // the journal suffix past the best point (flips are involutions).
+  std::vector<model::VarId> journal;
+  journal.reserve(n);
+  std::size_t best_pos = 0;
+  bool improved_this_sweep = false;
 
   for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
     const double beta = schedule.at(sweep);
     for (std::size_t step = 0; step < n; ++step) {
       const auto v = static_cast<model::VarId>(rng.next_below(n));
-      const double delta = qubo.flip_delta(state, v);
+      const double delta = cache.delta(v);
       if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
-        state[v] ^= 1u;
-        energy += delta;
-        if (energy < best_energy) {
-          best_energy = energy;
-          best_state = state;
+        cache.apply_flip(state, v);
+        journal.push_back(v);
+        if (cache.energy() < best_energy) {
+          best_energy = cache.energy();
+          best_pos = journal.size();
+          improved_this_sweep = true;
         }
       }
     }
+    if (improved_this_sweep) {
+      best_state = state;
+      for (std::size_t i = journal.size(); i > best_pos; --i) {
+        best_state[journal[i - 1]] ^= 1u;
+      }
+      improved_this_sweep = false;
+    }
+    journal.clear();
+    best_pos = 0;
   }
   return {std::move(best_state), best_energy, 0.0, true};
 }

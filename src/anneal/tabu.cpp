@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "anneal/delta_cache.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -23,20 +24,19 @@ Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
   }
   if (n == 0) return {state, qubo.energy(state), 0.0, true};
 
-  // Maintain all flip deltas incrementally: delta[v] = E(flip v) - E.
-  std::vector<double> delta(n);
-  for (model::VarId v = 0; v < n; ++v) delta[v] = qubo.flip_delta(state, v);
+  // All flip deltas live in the shared cache: O(1) candidate scoring, O(deg)
+  // refresh per committed move.
+  QuboDeltaCache cache(qubo, state);
 
   const std::size_t tenure =
       params_.tenure > 0 ? params_.tenure : std::max<std::size_t>(4, n / 10);
   std::vector<std::size_t> tabu_until(n, 0);
 
-  double energy = qubo.energy(state);
   model::State best_state = state;
-  double best_energy = energy;
+  double best_energy = cache.energy();
   std::size_t stall = 0;
 
-  const auto& adjacency = qubo.adjacency();
+  const auto deltas = cache.deltas();
 
   for (std::size_t iteration = 1;
        iteration <= params_.max_iterations && stall < params_.stall_limit;
@@ -46,35 +46,22 @@ Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
     double chosen_delta = std::numeric_limits<double>::infinity();
     for (std::size_t v = 0; v < n; ++v) {
       const bool tabu = tabu_until[v] >= iteration;
-      const bool aspirates = energy + delta[v] < best_energy - 1e-12;
+      const bool aspirates = cache.energy() + deltas[v] < best_energy - 1e-12;
       if (tabu && !aspirates) continue;
-      if (delta[v] < chosen_delta) {
-        chosen_delta = delta[v];
+      if (deltas[v] < chosen_delta) {
+        chosen_delta = deltas[v];
         chosen = v;
       }
     }
     if (chosen == n) {  // everything tabu and nothing aspirates: free the oldest
       chosen = static_cast<std::size_t>(rng.next_below(n));
-      chosen_delta = delta[chosen];
     }
 
-    // Apply the flip and update the delta table in O(deg).
-    const auto v = static_cast<model::VarId>(chosen);
-    const bool was_set = state[v] != 0;
-    state[v] ^= 1u;
-    energy += chosen_delta;
-    delta[v] = -chosen_delta;
-    for (const auto& nb : adjacency[v]) {
-      // Flipping v toggles whether nb's delta includes the coupler with v.
-      const bool nb_set = state[nb.other] != 0;
-      const double sign_v = was_set ? -1.0 : 1.0;       // v's new contribution
-      const double direction = nb_set ? -1.0 : 1.0;     // nb turning on vs off
-      delta[nb.other] += direction * sign_v * nb.coeff;
-    }
+    cache.apply_flip(state, static_cast<model::VarId>(chosen));
     tabu_until[chosen] = iteration + tenure;
 
-    if (energy < best_energy - 1e-12) {
-      best_energy = energy;
+    if (cache.energy() < best_energy - 1e-12) {
+      best_energy = cache.energy();
       best_state = state;
       stall = 0;
     } else {

@@ -13,7 +13,8 @@ using model::VarId;
 
 Sample ParallelTempering::run(const model::CqmModel& cqm,
                               std::vector<double> penalties,
-                              const model::State& initial) const {
+                              const model::State& initial,
+                              const PairMoveIndex* prebuilt_pairs) const {
   const std::size_t n = cqm.num_variables();
   util::require(params_.num_replicas >= 2, "ParallelTempering: need >= 2 replicas");
   util::require(initial.empty() || initial.size() == n,
@@ -61,7 +62,10 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
     betas[r] = beta_hot * std::pow(beta_cold / beta_hot, t);
   }
 
-  const PairMoveIndex pairs = PairMoveIndex::build(cqm);
+  const PairMoveIndex local_pairs =
+      prebuilt_pairs == nullptr ? PairMoveIndex::build(cqm) : PairMoveIndex{};
+  const PairMoveIndex& pairs =
+      prebuilt_pairs != nullptr ? *prebuilt_pairs : local_pairs;
 
   auto snapshot = [](const CqmIncrementalState& w) {
     return Sample{w.state(), w.objective(), w.total_violation(), w.feasible()};

@@ -9,6 +9,8 @@
 
 namespace qulrb::anneal {
 
+class PairMoveIndex;
+
 struct TemperingParams {
   std::size_t num_replicas = 8;
   std::size_t sweeps = 1000;          ///< Metropolis sweeps per replica
@@ -28,9 +30,11 @@ class ParallelTempering {
  public:
   explicit ParallelTempering(TemperingParams params = {}) : params_(params) {}
 
-  /// Returns the best sample seen by any replica.
+  /// Returns the best sample seen by any replica. When `pairs` is non-null
+  /// it is used as the pair-move index instead of rebuilding one per run.
   Sample run(const model::CqmModel& cqm, std::vector<double> penalties,
-             const model::State& initial = {}) const;
+             const model::State& initial = {},
+             const PairMoveIndex* pairs = nullptr) const;
 
  private:
   TemperingParams params_;

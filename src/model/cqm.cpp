@@ -96,15 +96,6 @@ double CqmModel::constraint_activity(std::size_t c,
   return constraints_[c].lhs.evaluate(state);
 }
 
-double CqmModel::violation_of(Sense sense, double activity, double rhs) noexcept {
-  switch (sense) {
-    case Sense::LE: return std::max(0.0, activity - rhs);
-    case Sense::GE: return std::max(0.0, rhs - activity);
-    case Sense::EQ: return std::abs(activity - rhs);
-  }
-  return 0.0;
-}
-
 double CqmModel::constraint_violation(std::size_t c,
                                       std::span<const std::uint8_t> state) const {
   const auto& con = constraints_.at(c);
@@ -127,41 +118,93 @@ bool CqmModel::is_feasible(std::span<const std::uint8_t> state, double tol) cons
 }
 
 void CqmModel::build_incidence() const {
-  group_incidence_.assign(num_variables(), {});
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
-    for (const auto& t : groups_[g].expr.terms()) {
-      group_incidence_[t.var].push_back({static_cast<std::uint32_t>(g), t.coeff});
+  const std::size_t n = num_variables();
+  // Rows come out ascending by group / constraint index because the fill
+  // callbacks iterate those containers in index order (CsrRows::build keeps
+  // per-row emission order). This ordering is what makes the flip kernels
+  // and pair-move merges deterministic across platforms.
+  group_incidence_ = CsrRows<Incidence>::build(n, [&](auto&& emit) {
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (const auto& t : groups_[g].expr.terms()) {
+        emit(t.var, Incidence{static_cast<std::uint32_t>(g), t.coeff});
+      }
     }
-  }
-  constraint_incidence_.assign(num_variables(), {});
+  });
+  group_kernel_ = CsrRows<GroupKernelTerm>::build(n, [&](auto&& emit) {
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const double w = groups_[g].weight;
+      for (const auto& t : groups_[g].expr.terms()) {
+        emit(t.var, GroupKernelTerm{static_cast<std::uint32_t>(g),
+                                    2.0 * w * t.coeff, w * t.coeff * t.coeff,
+                                    t.coeff});
+      }
+    }
+  });
+  constraint_incidence_ = CsrRows<Incidence>::build(n, [&](auto&& emit) {
+    for (std::size_t c = 0; c < constraints_.size(); ++c) {
+      for (const auto& t : constraints_[c].lhs.terms()) {
+        emit(t.var, Incidence{static_cast<std::uint32_t>(c), t.coeff});
+      }
+    }
+  });
+  // Quadratic rows ascending by `other`: emit from terms sorted by (i, j).
+  std::vector<QuadraticTerm> sorted = quadratic_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const QuadraticTerm& a, const QuadraticTerm& b) {
+              return a.i != b.i ? a.i < b.i : a.j < b.j;
+            });
+  quadratic_incidence_ = CsrRows<QuadNeighbor>::build(n, [&](auto&& emit) {
+    for (const auto& q : sorted) {
+      emit(q.i, QuadNeighbor{q.j, q.coeff});
+      emit(q.j, QuadNeighbor{q.i, q.coeff});
+    }
+  });
+  sense_flat_.resize(constraints_.size());
+  rhs_flat_.resize(constraints_.size());
   for (std::size_t c = 0; c < constraints_.size(); ++c) {
-    for (const auto& t : constraints_[c].lhs.terms()) {
-      constraint_incidence_[t.var].push_back({static_cast<std::uint32_t>(c), t.coeff});
-    }
+    sense_flat_[c] = constraints_[c].sense;
+    rhs_flat_[c] = constraints_[c].rhs;
   }
-  quadratic_incidence_.assign(num_variables(), {});
-  for (const auto& q : quadratic_) {
-    quadratic_incidence_[q.i].push_back({q.j, q.coeff});
-    quadratic_incidence_[q.j].push_back({q.i, q.coeff});
+  group_weight_flat_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    group_weight_flat_[g] = groups_[g].weight;
   }
   incidence_valid_ = true;
 }
 
-const std::vector<std::vector<CqmModel::Incidence>>& CqmModel::group_incidence() const {
+const CsrRows<CqmModel::Incidence>& CqmModel::group_incidence() const {
   if (!incidence_valid_) build_incidence();
   return group_incidence_;
 }
 
-const std::vector<std::vector<CqmModel::Incidence>>& CqmModel::constraint_incidence()
-    const {
+const CsrRows<CqmModel::Incidence>& CqmModel::constraint_incidence() const {
   if (!incidence_valid_) build_incidence();
   return constraint_incidence_;
 }
 
-const std::vector<std::vector<CqmModel::QuadNeighbor>>& CqmModel::quadratic_incidence()
-    const {
+const CsrRows<CqmModel::QuadNeighbor>& CqmModel::quadratic_incidence() const {
   if (!incidence_valid_) build_incidence();
   return quadratic_incidence_;
+}
+
+const CsrRows<CqmModel::GroupKernelTerm>& CqmModel::group_kernel() const {
+  if (!incidence_valid_) build_incidence();
+  return group_kernel_;
+}
+
+std::span<const Sense> CqmModel::constraint_sense_flat() const {
+  if (!incidence_valid_) build_incidence();
+  return sense_flat_;
+}
+
+std::span<const double> CqmModel::constraint_rhs_flat() const {
+  if (!incidence_valid_) build_incidence();
+  return rhs_flat_;
+}
+
+std::span<const double> CqmModel::group_weight_flat() const {
+  if (!incidence_valid_) build_incidence();
+  return group_weight_flat_;
 }
 
 double CqmModel::objective_scale() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "model/csr.hpp"
 #include "model/expr.hpp"
 
 namespace qulrb::model {
@@ -92,8 +93,16 @@ class CqmModel {
 
   bool is_feasible(std::span<const std::uint8_t> state, double tol = 1e-9) const;
 
-  /// Violation implied by a raw activity value (no state needed).
-  static double violation_of(Sense sense, double activity, double rhs) noexcept;
+  /// Violation implied by a raw activity value (no state needed). Inline:
+  /// this is the innermost operation of every penalty-annealing kernel.
+  static double violation_of(Sense sense, double activity, double rhs) noexcept {
+    switch (sense) {
+      case Sense::LE: return activity > rhs ? activity - rhs : 0.0;
+      case Sense::GE: return rhs > activity ? rhs - activity : 0.0;
+      case Sense::EQ: return activity > rhs ? activity - rhs : rhs - activity;
+    }
+    return 0.0;
+  }
 
   // --- incidence (solver support) -----------------------------------------
 
@@ -102,16 +111,43 @@ class CqmModel {
     double coeff;         ///< this variable's coefficient there
   };
 
-  /// For each variable, the squared groups it appears in. Built lazily.
-  const std::vector<std::vector<Incidence>>& group_incidence() const;
-  /// For each variable, the constraints it appears in. Built lazily.
-  const std::vector<std::vector<Incidence>>& constraint_incidence() const;
-  /// For each variable, objective quadratic neighbours. Built lazily.
+  /// For each variable, the squared groups it appears in, ascending by group
+  /// index. Flat CSR; built lazily.
+  const CsrRows<Incidence>& group_incidence() const;
+  /// For each variable, the constraints it appears in, ascending by
+  /// constraint index. Flat CSR; built lazily.
+  const CsrRows<Incidence>& constraint_incidence() const;
+  /// For each variable, objective quadratic neighbours, ascending by `other`.
+  /// Flat CSR; built lazily.
   struct QuadNeighbor {
     VarId other;
     double coeff;
   };
-  const std::vector<std::vector<QuadNeighbor>>& quadratic_incidence() const;
+  const CsrRows<QuadNeighbor>& quadratic_incidence() const;
+
+  // --- flip kernel (solver hot path) ---------------------------------------
+
+  /// Per-variable squared-group incidence with the flip arithmetic
+  /// pre-baked: flipping v with sign s changes group g's contribution by
+  ///   w * ((G + s*a)^2 - G^2) = s * alpha * G + beta,
+  /// with alpha = 2*w*a and beta = w*a^2. Stored alongside group_incidence()
+  /// so the annealing kernel reads one contiguous row per variable and does
+  /// one fused multiply-add per incidence.
+  struct GroupKernelTerm {
+    std::uint32_t index;  ///< group index
+    double alpha;         ///< 2 * weight * coeff
+    double beta;          ///< weight * coeff^2
+    double coeff;         ///< raw coefficient (for the group-value update)
+  };
+  const CsrRows<GroupKernelTerm>& group_kernel() const;
+
+  /// Constraint senses / right-hand sides / group weights as tight flat
+  /// arrays (indexable by constraint or group id) so penalty and pair-move
+  /// evaluation never strides over the full Constraint / SquaredGroup structs
+  /// (LinearExpr + label) in the hot loop.
+  std::span<const Sense> constraint_sense_flat() const;
+  std::span<const double> constraint_rhs_flat() const;
+  std::span<const double> group_weight_flat() const;
 
   /// Rough magnitude of the objective (used to auto-scale penalties):
   /// max over groups of weight * (max|expr|)^2, plus max |linear|.
@@ -128,9 +164,13 @@ class CqmModel {
   std::vector<Constraint> constraints_;
   double objective_offset_ = 0.0;
 
-  mutable std::vector<std::vector<Incidence>> group_incidence_;
-  mutable std::vector<std::vector<Incidence>> constraint_incidence_;
-  mutable std::vector<std::vector<QuadNeighbor>> quadratic_incidence_;
+  mutable CsrRows<Incidence> group_incidence_;
+  mutable CsrRows<Incidence> constraint_incidence_;
+  mutable CsrRows<QuadNeighbor> quadratic_incidence_;
+  mutable CsrRows<GroupKernelTerm> group_kernel_;
+  mutable std::vector<Sense> sense_flat_;
+  mutable std::vector<double> rhs_flat_;
+  mutable std::vector<double> group_weight_flat_;
   mutable bool incidence_valid_ = false;
 };
 

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace qulrb::model {
+
+/// Compressed-sparse-row container: `rows` contiguous rows of `Entry` packed
+/// into one flat array with an offsets table. Replaces vector<vector<Entry>>
+/// in every solver hot path — one pointer indirection instead of two, rows
+/// laid out back-to-back so a sweep over a variable's incidences is a single
+/// contiguous scan, and iteration order is a deterministic function of the
+/// build input (no hash-map ordering).
+template <typename Entry>
+class CsrRows {
+ public:
+  CsrRows() = default;
+
+  std::size_t size() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  std::span<const Entry> operator[](std::size_t row) const noexcept {
+    return {entries_.data() + offsets_[row], offsets_[row + 1] - offsets_[row]};
+  }
+  std::span<const Entry> row(std::size_t r) const noexcept { return (*this)[r]; }
+
+  std::size_t num_entries() const noexcept { return entries_.size(); }
+  std::span<const Entry> entries() const noexcept { return entries_; }
+
+  /// Counting-sort build: `fill` is invoked twice with a callback
+  /// `emit(row, entry)` — first pass counts entries per row, second pass
+  /// places them. Entries within a row keep their emission order, so the
+  /// result is fully deterministic.
+  template <typename FillFn>
+  static CsrRows build(std::size_t rows, FillFn&& fill) {
+    CsrRows csr;
+    csr.offsets_.assign(rows + 1, 0);
+    fill([&](std::size_t row, const Entry&) { ++csr.offsets_[row + 1]; });
+    for (std::size_t r = 0; r < rows; ++r) csr.offsets_[r + 1] += csr.offsets_[r];
+    csr.entries_.resize(csr.offsets_[rows]);
+    std::vector<std::size_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+    fill([&](std::size_t row, const Entry& e) { csr.entries_[cursor[row]++] = e; });
+    return csr;
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< size rows+1
+  std::vector<Entry> entries_;
+};
+
+}  // namespace qulrb::model

@@ -1,5 +1,6 @@
 #include "model/ising.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.hpp"
@@ -18,47 +19,80 @@ void IsingModel::add_coupling(VarId i, VarId j, double J) {
                 "IsingModel::add_coupling: spin out of range");
   util::require(i != j, "IsingModel::add_coupling: self-coupling (s_i^2 == 1 is a constant)");
   if (i > j) std::swap(i, j);
-  couplings_[key_of(i, j)] += J;
+  pending_.push_back({key_of(i, j), J});
   adjacency_valid_ = false;
+}
+
+void IsingModel::merge_pending() const {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Term& a, const Term& b) { return a.key < b.key; });
+  std::vector<Term> merged;
+  merged.reserve(terms_.size() + pending_.size());
+  std::size_t t = 0;
+  std::size_t p = 0;
+  while (t < terms_.size() || p < pending_.size()) {
+    if (p == pending_.size() ||
+        (t < terms_.size() && terms_[t].key < pending_[p].key)) {
+      merged.push_back(terms_[t++]);
+      continue;
+    }
+    Term next = pending_[p++];
+    while (p < pending_.size() && pending_[p].key == next.key) {
+      next.coeff += pending_[p++].coeff;
+    }
+    if (t < terms_.size() && terms_[t].key == next.key) {
+      next.coeff += terms_[t++].coeff;
+    }
+    merged.push_back(next);
+  }
+  terms_ = std::move(merged);
+  pending_.clear();
 }
 
 double IsingModel::coupling(VarId i, VarId j) const {
   if (i == j) return 0.0;
   if (i > j) std::swap(i, j);
-  const auto it = couplings_.find(key_of(i, j));
-  return it == couplings_.end() ? 0.0 : it->second;
+  ensure_finalized();
+  const std::uint64_t key = key_of(i, j);
+  const auto it = std::lower_bound(
+      terms_.begin(), terms_.end(), key,
+      [](const Term& t, std::uint64_t k) { return t.key < k; });
+  return (it != terms_.end() && it->key == key) ? it->coeff : 0.0;
 }
 
 double IsingModel::energy(std::span<const std::int8_t> spins) const {
   util::require(spins.size() == h_.size(), "IsingModel::energy: spin count mismatch");
+  ensure_finalized();
   double e = offset_;
   for (std::size_t i = 0; i < h_.size(); ++i) e += h_[i] * spins[i];
-  for (const auto& [key, J] : couplings_) {
-    const auto i = static_cast<VarId>(key >> 32);
-    const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
-    e += J * spins[i] * spins[j];
+  for (const auto& t : terms_) {
+    const auto i = static_cast<VarId>(t.key >> 32);
+    const auto j = static_cast<VarId>(t.key & 0xFFFFFFFFu);
+    e += t.coeff * spins[i] * spins[j];
   }
   return e;
 }
 
-const std::vector<std::vector<IsingModel::Neighbor>>& IsingModel::adjacency() const {
+const CsrRows<IsingModel::Neighbor>& IsingModel::adjacency() const {
   if (!adjacency_valid_) {
-    adjacency_.assign(h_.size(), {});
-    for (const auto& [key, J] : couplings_) {
-      const auto i = static_cast<VarId>(key >> 32);
-      const auto j = static_cast<VarId>(key & 0xFFFFFFFFu);
-      adjacency_[i].push_back({j, J});
-      adjacency_[j].push_back({i, J});
-    }
+    ensure_finalized();
+    adjacency_ = CsrRows<Neighbor>::build(h_.size(), [&](auto&& emit) {
+      for (const auto& t : terms_) {
+        const auto i = static_cast<VarId>(t.key >> 32);
+        const auto j = static_cast<VarId>(t.key & 0xFFFFFFFFu);
+        emit(i, Neighbor{j, t.coeff});
+        emit(j, Neighbor{i, t.coeff});
+      }
+    });
     adjacency_valid_ = true;
   }
   return adjacency_;
 }
 
 double IsingModel::local_field(std::span<const std::int8_t> spins, VarId v) const {
-  const auto& adj = adjacency();
   double f = h_[v];
-  for (const auto& nb : adj[v]) f += nb.coupling * spins[nb.other];
+  for (const auto& nb : adjacency()[v]) f += nb.coupling * spins[nb.other];
   return f;
 }
 

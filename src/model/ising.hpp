@@ -2,9 +2,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "model/csr.hpp"
 #include "model/expr.hpp"
 #include "model/qubo.hpp"
 
@@ -14,6 +14,11 @@ namespace qulrb::model {
 ///   E(s) = offset + sum_i h_i s_i + sum_{i<j} J_ij s_i s_j,  s in {-1,+1}^n.
 /// Used by the path-integral Monte-Carlo (simulated quantum annealing)
 /// sampler, which is naturally expressed over spins.
+///
+/// Couplings use the same flat sorted-CSR storage as QuboModel: appends go to
+/// a pending COO buffer, folded into a key-sorted array on first read, with a
+/// packed symmetric adjacency for the local-field kernels. Iteration order is
+/// ascending (i, j).
 class IsingModel {
  public:
   explicit IsingModel(std::size_t num_spins = 0);
@@ -35,28 +40,39 @@ class IsingModel {
     VarId other;
     double coupling;
   };
-  const std::vector<std::vector<Neighbor>>& adjacency() const;
+  const CsrRows<Neighbor>& adjacency() const;
 
   /// Local field acting on spin v: h_v + sum_j J_vj s_j.
   double local_field(std::span<const std::int8_t> spins, VarId v) const;
 
   template <typename F>
   void for_each_coupling(F&& f) const {
-    for (const auto& [key, J] : couplings_) {
-      f(static_cast<VarId>(key >> 32), static_cast<VarId>(key & 0xFFFFFFFFu), J);
+    ensure_finalized();
+    for (const auto& t : terms_) {
+      f(static_cast<VarId>(t.key >> 32), static_cast<VarId>(t.key & 0xFFFFFFFFu),
+        t.coeff);
     }
   }
 
  private:
+  struct Term {
+    std::uint64_t key;  ///< (i << 32) | j with i < j
+    double coeff;
+  };
+
   static std::uint64_t key_of(VarId i, VarId j) noexcept {
     return (static_cast<std::uint64_t>(i) << 32) | j;
   }
 
+  void merge_pending() const;
+  void ensure_finalized() const { merge_pending(); }
+
   std::vector<double> h_;
-  std::unordered_map<std::uint64_t, double> couplings_;
+  mutable std::vector<Term> pending_;
+  mutable std::vector<Term> terms_;  ///< merged, sorted by key
   double offset_ = 0.0;
 
-  mutable std::vector<std::vector<Neighbor>> adjacency_;
+  mutable CsrRows<Neighbor> adjacency_;
   mutable bool adjacency_valid_ = false;
 };
 
