@@ -1,0 +1,144 @@
+// Service-level benchmarks: per-request latency with and without the session
+// cache, checkout cost by hit kind, and closed-loop throughput at several
+// concurrency levels. Exported to BENCH_service.json by
+// bench/export_bench_json.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <vector>
+
+#include "service/rebalance_service.hpp"
+#include "service/session_cache.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+service::RebalanceRequest request_for(std::uint64_t seq, bool drift) {
+  service::RebalanceRequest request;
+  request.task_counts.assign(8, 8);
+  request.task_loads.assign(8, 1.0);
+  request.task_loads[drift ? seq % 8 : 0] =
+      8.0 + (drift ? 0.05 * static_cast<double>(seq % 17) : 0.0);
+  request.k = 8;
+  request.hybrid.sweeps = 50;
+  request.hybrid.num_restarts = 1;
+  request.hybrid.seed = seq + 1;
+  return request;
+}
+
+lrp::LrpProblem problem_for(std::uint64_t seq, bool drift) {
+  const service::RebalanceRequest r = request_for(seq, drift);
+  return lrp::LrpProblem(r.task_loads, r.task_counts);
+}
+
+// ------------------------------------------------------- request latency -----
+
+// cache_capacity = 0: every request rebuilds model, presolve, and pair index.
+void BM_ServiceSolveCold(benchmark::State& state) {
+  service::ServiceParams params;
+  params.num_workers = 1;
+  params.cache_capacity = 0;
+  service::RebalanceService svc(params);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(request_for(seq++, false)).get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceSolveCold);
+
+// Same topology and loads every time: exact hits, everything reused.
+void BM_ServiceSolveWarmExact(benchmark::State& state) {
+  service::RebalanceService svc({.num_workers = 1});
+  svc.submit(request_for(0, false)).get();  // populate the cache
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(request_for(seq++, false)).get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceSolveWarmExact);
+
+// Same topology, drifting loads: the retarget path (in-place coefficient
+// rewrite + presolve/pair refresh, no model rebuild).
+void BM_ServiceSolveWarmRetarget(benchmark::State& state) {
+  service::RebalanceService svc({.num_workers = 1});
+  svc.submit(request_for(0, true)).get();
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(request_for(seq++, true)).get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServiceSolveWarmRetarget);
+
+// ------------------------------------------------------- checkout by kind -----
+
+void BM_SessionCheckoutCold(benchmark::State& state) {
+  service::SessionCache cache(0);  // capacity 0: give_back discards
+  const lrp::CqmBuildOptions options;
+  for (auto _ : state) {
+    auto checkout = cache.checkout(problem_for(0, false),
+                                   lrp::CqmVariant::kReduced, 8, options);
+    benchmark::DoNotOptimize(checkout.session.get());
+    cache.give_back(std::move(checkout));
+  }
+}
+BENCHMARK(BM_SessionCheckoutCold);
+
+void BM_SessionCheckoutExact(benchmark::State& state) {
+  service::SessionCache cache(4);
+  const lrp::CqmBuildOptions options;
+  cache.give_back(cache.checkout(problem_for(0, false),
+                                 lrp::CqmVariant::kReduced, 8, options));
+  for (auto _ : state) {
+    auto checkout = cache.checkout(problem_for(0, false),
+                                   lrp::CqmVariant::kReduced, 8, options);
+    benchmark::DoNotOptimize(checkout.session.get());
+    cache.give_back(std::move(checkout));
+  }
+}
+BENCHMARK(BM_SessionCheckoutExact);
+
+void BM_SessionCheckoutRetarget(benchmark::State& state) {
+  service::SessionCache cache(4);
+  const lrp::CqmBuildOptions options;
+  cache.give_back(cache.checkout(problem_for(0, true),
+                                 lrp::CqmVariant::kReduced, 8, options));
+  std::uint64_t seq = 1;
+  for (auto _ : state) {
+    auto checkout = cache.checkout(problem_for(seq++, true),
+                                   lrp::CqmVariant::kReduced, 8, options);
+    benchmark::DoNotOptimize(checkout.session.get());
+    cache.give_back(std::move(checkout));
+  }
+}
+BENCHMARK(BM_SessionCheckoutRetarget);
+
+// ------------------------------------------------------------ throughput -----
+
+// Closed loop with `concurrency` requests in flight; reports req/s as
+// items_per_second.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const auto concurrency = static_cast<std::size_t>(state.range(0));
+  service::ServiceParams params;
+  params.max_pending = 2 * concurrency + 8;
+  service::RebalanceService svc(params);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    std::vector<std::future<service::RebalanceResponse>> inflight;
+    inflight.reserve(concurrency);
+    for (std::size_t c = 0; c < concurrency; ++c) {
+      inflight.push_back(svc.submit(request_for(seq++, false)));
+    }
+    for (auto& f : inflight) benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(concurrency));
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(1)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# Export the kernel micro-benchmarks as machine-readable JSON.
+# Export the kernel and service benchmarks as machine-readable JSON.
 #
 # Runs bench_solver_micro (google-benchmark JSON format), joins the results
 # against the checked-in pre-CSR seed baseline (bench/baseline_kernel_seed.json,
 # re-measure with QULRB_BASELINE_JSON=<file> to swap it), and writes
 # BENCH_kernel.json at the repository root with before/after times and
-# speedups per benchmark.
+# speedups per benchmark. Then runs bench_service and writes
+# BENCH_service.json with request latency cold vs cached (and the implied
+# cache speedup), per-kind session-checkout cost, and closed-loop throughput
+# by concurrency.
 #
 # Usage: bench/export_bench_json.sh [build-dir]   (default: ./build)
 set -eu
@@ -83,5 +86,85 @@ with open(out_path, "w") as f:
 for name, row in rows.items():
     speedup = f'  {row["speedup"]:.2f}x' if "speedup" in row else ""
     print(f'{name}: {row["after"]["real_time_ns"]:.1f} ns{speedup}')
+print(f"wrote {out_path}")
+PY
+
+# ----------------------------------------------------------- service bench ---
+service_bin="$build_dir/bench/bench_service"
+service_out="$repo_root/BENCH_service.json"
+service_min_time=${QULRB_SERVICE_BENCH_MIN_TIME:-0.2}
+
+if [ ! -x "$service_bin" ]; then
+  echo "warning: $service_bin not found; skipping BENCH_service.json" >&2
+  exit 0
+fi
+
+service_tmp=$(mktemp)
+trap 'rm -f "$tmp" "$service_tmp"' EXIT
+
+"$service_bin" \
+  --benchmark_min_time="$service_min_time" \
+  --benchmark_format=json > "$service_tmp"
+
+python3 - "$service_tmp" "$service_out" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1], sys.argv[2]
+
+with open(current_path) as f:
+    report = json.load(f)
+
+rows = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    row = {
+        "real_time": b["real_time"],
+        "cpu_time": b["cpu_time"],
+        "time_unit": b.get("time_unit", "ns"),
+    }
+    if "items_per_second" in b:
+        row["items_per_second"] = round(b["items_per_second"], 1)
+    rows[b["name"]] = row
+
+def ms(name):
+    row = rows.get(name)
+    if not row:
+        return None
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[row["time_unit"]]
+    return row["real_time"] * scale
+
+summary = {}
+cold, exact, retarget = (ms("BM_ServiceSolveCold"), ms("BM_ServiceSolveWarmExact"),
+                         ms("BM_ServiceSolveWarmRetarget"))
+if cold and exact:
+    summary["request_ms_cold"] = round(cold, 4)
+    summary["request_ms_warm_exact"] = round(exact, 4)
+    summary["cache_speedup_exact"] = round(cold / exact, 3)
+if cold and retarget:
+    summary["request_ms_warm_retarget"] = round(retarget, 4)
+    summary["cache_speedup_retarget"] = round(cold / retarget, 3)
+throughput = {
+    name.split("/")[1].split(":")[0]: row["items_per_second"]
+    for name, row in rows.items()
+    if name.startswith("BM_ServiceThroughput/") and "items_per_second" in row
+}
+if throughput:
+    summary["throughput_req_per_s_by_concurrency"] = throughput
+
+result = {
+    "bench": "bench_service",
+    "context": report.get("context", {}),
+    "summary": summary,
+    "benchmarks": rows,
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+for key, value in summary.items():
+    print(f"{key}: {value}")
 print(f"wrote {out_path}")
 PY

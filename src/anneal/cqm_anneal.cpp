@@ -326,9 +326,11 @@ std::size_t PairMoveIndex::pair_scan_cost() const noexcept {
 }
 
 std::size_t PairMoveIndex::descend(CqmIncrementalState& walk,
-                                   std::size_t max_passes) const {
+                                   std::size_t max_passes,
+                                   const util::CancelToken* cancel) const {
   std::size_t applied = 0;
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    if (cancel != nullptr && cancel->expired()) break;
     bool improved = false;
     for (std::size_t c = 0; c < num_classes(); ++c) {
       const auto members = class_at(c);
@@ -410,6 +412,7 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
   const bool use_pairs = params_.pair_move_prob > 0.0 && !pair_index.empty();
 
   for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
+    if (params_.cancel.expired()) break;
     const double beta = schedule.at(sweep);
     bool improved = false;
     for (std::size_t step = 0; step < n; ++step) {

@@ -9,6 +9,7 @@
 #include "anneal/sampleset.hpp"
 #include "anneal/schedule.hpp"
 #include "model/cqm.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace qulrb::anneal {
@@ -149,8 +150,9 @@ class PairMoveIndex {
   /// finds none (or max_passes). Returns the number of moves applied. One
   /// pass costs pair_scan_cost() delta evaluations — callers should prefer
   /// this over random attempt() sampling exactly when that is the cheaper
-  /// budget.
-  std::size_t descend(CqmIncrementalState& walk, std::size_t max_passes = 8) const;
+  /// budget. The cancel token (when given) is polled once per pass.
+  std::size_t descend(CqmIncrementalState& walk, std::size_t max_passes = 8,
+                      const util::CancelToken* cancel = nullptr) const;
 
   /// Ordered pair evaluations per descend() pass: sum of |class|^2.
   std::size_t pair_scan_cost() const noexcept;
@@ -172,6 +174,9 @@ struct CqmAnnealParams {
   /// moves) that polishes the initial state instead of scrambling it. Used by
   /// the hybrid portfolio to refine trivially feasible starting points.
   bool refinement = false;
+  /// Polled once per sweep; when expired the best-seen sample is returned
+  /// immediately (anytime semantics). Inert by default.
+  util::CancelToken cancel;
 };
 
 /// Per-run diagnostics: convergence trace and move statistics. Opt-in via

@@ -78,12 +78,14 @@ void apply_fixings(model::State& s, const model::PresolveResult& pre) {
 }  // namespace
 
 void HybridCqmSolver::greedy_descent(CqmIncrementalState& walk, util::Rng& rng,
-                                     std::size_t max_passes) {
+                                     std::size_t max_passes,
+                                     const util::CancelToken* cancel) {
   const std::size_t n = walk.num_variables();
   if (n == 0) return;
   std::vector<VarId> order(n);
   std::iota(order.begin(), order.end(), VarId{0});
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    if (cancel != nullptr && cancel->expired()) return;
     // Fisher-Yates shuffle for a fresh scan order each pass.
     for (std::size_t i = n - 1; i > 0; --i) {
       const auto j = static_cast<std::size_t>(rng.next_below(i + 1));
@@ -107,8 +109,21 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   result.stats.num_constraints = cqm.num_constraints();
   result.stats.simulated_qpu_ms = params_.simulated_qpu_access_ms;
 
+  // One effective budget: the caller's token (service deadline, client
+  // cancel) tightened by the solver's own wall-clock limit. Every portfolio
+  // member polls it per sweep, so running restarts stop near the budget
+  // instead of only between restarts.
+  util::CancelToken budget = params_.cancel;
+  if (params_.time_limit_ms > 0.0) {
+    budget = budget.with_deadline_ms(params_.time_limit_ms);
+  }
+
   // --- classical presolve --------------------------------------------------
-  const model::PresolveResult pre = model::presolve(cqm);
+  const model::PresolveResult local_pre =
+      params_.reuse_presolve != nullptr ? model::PresolveResult{}
+                                        : model::presolve(cqm);
+  const model::PresolveResult& pre =
+      params_.reuse_presolve != nullptr ? *params_.reuse_presolve : local_pre;
   result.stats.presolve_fixed = pre.num_fixed;
   if (pre.proven_infeasible) {
     result.stats.presolve_infeasible = true;
@@ -141,7 +156,12 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     double best_viol = walk.total_violation();
     std::uint64_t code = 0;
     const std::uint64_t total = std::uint64_t{1} << free_vars.size();
+    const bool poll_budget = budget.can_expire();
     for (std::uint64_t i = 1; i < total; ++i) {
+      if (poll_budget && (i & 0xFFFu) == 0 && budget.expired()) {
+        result.stats.budget_expired = true;
+        break;
+      }
       const auto bit = static_cast<std::size_t>(std::countr_zero(i));
       walk.apply_flip(free_vars[bit]);
       code ^= std::uint64_t{1} << bit;
@@ -171,7 +191,11 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
 
   const std::vector<double> base_penalties =
       initial_penalties(cqm, params_.penalty_scale);
-  const PairMoveIndex pair_index = PairMoveIndex::build(cqm);
+  const PairMoveIndex local_pairs = params_.reuse_pairs != nullptr
+                                        ? PairMoveIndex{}
+                                        : PairMoveIndex::build(cqm);
+  const PairMoveIndex& pair_index =
+      params_.reuse_pairs != nullptr ? *params_.reuse_pairs : local_pairs;
 
   // Is there a trivially feasible refinement seed?
   const bool have_hint = params_.initial_hint.size() == cqm.num_variables();
@@ -196,9 +220,8 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   for (std::size_t r = 0; r < params_.num_restarts; ++r) streams.push_back(master.split());
 
   auto run_restart = [&](std::size_t r) {
-    if (params_.time_limit_ms > 0.0 && timer.elapsed_ms() > params_.time_limit_ms &&
-        r > 0) {
-      return;  // keep at least one restart
+    if (r > 0 && budget.expired()) {
+      return;  // keep at least one restart so solve() always has an incumbent
     }
     util::Rng rng = streams[r];
     std::vector<double> penalties = base_penalties;
@@ -227,11 +250,13 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
         tp.num_replicas = params_.tempering_replicas;
         tp.sweeps = params_.sweeps / 2 + 1;
         tp.seed = rng.next_u64();
+        tp.cancel = budget;
         s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
       } else {
         CqmAnnealParams ap;
         ap.sweeps = params_.sweeps;
         ap.refinement = refine;
+        ap.cancel = budget;
         s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init, nullptr,
                                         &pair_index);
       }
@@ -240,19 +265,20 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       // zero-temperature pair moves (constraint-preserving reroutes).
       {
         CqmIncrementalState walk(cqm, s.state, penalties);
-        greedy_descent(walk, rng);
+        greedy_descent(walk, rng, 32, &budget);
         if (!pair_index.empty()) {
           const std::size_t attempts = 8 * std::max<std::size_t>(1, walk.num_variables());
           if (pair_index.pair_scan_cost() <= attempts) {
             // Enumerating every (set, clear) pair is cheaper than sampling
             // the same budget at random — and never misses an improving move.
-            pair_index.descend(walk);
+            pair_index.descend(walk, 8, &budget);
           } else {
             for (std::size_t t = 0; t < attempts; ++t) {
+              if ((t & 0xFFu) == 0 && budget.expired()) break;
               pair_index.attempt(walk, rng, 1e30);
             }
           }
-          greedy_descent(walk, rng);
+          greedy_descent(walk, rng, 32, &budget);
         }
         Sample polished{walk.state(), walk.objective(), walk.total_violation(),
                         walk.feasible()};
@@ -264,6 +290,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
         have_sample = true;
       }
       if (s.feasible) break;
+      if (budget.expired()) break;  // keep the incumbent; skip escalation
 
       // Escalate penalties where the best state is still violating.
       const CqmIncrementalState probe(cqm, s.state, penalties);
@@ -302,6 +329,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   const auto best = all.best();
   util::ensure(best.has_value(), "HybridCqmSolver: no restart produced a sample");
   result.best = *best;
+  if (budget.expired()) result.stats.budget_expired = true;
   result.stats.cpu_ms = timer.elapsed_ms();
   return result;
 }

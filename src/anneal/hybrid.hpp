@@ -6,6 +6,8 @@
 #include "anneal/cqm_anneal.hpp"
 #include "anneal/sampleset.hpp"
 #include "model/cqm.hpp"
+#include "model/presolve.hpp"
+#include "util/cancel.hpp"
 
 namespace qulrb::anneal {
 
@@ -45,8 +47,21 @@ struct HybridSolverParams {
   /// heuristic — the "classical" half of a hybrid service). When set, the
   /// first restart anneals from it instead of a random state.
   model::State initial_hint;
-  /// Soft wall-clock budget; restarts stop launching once exceeded. 0 = off.
+  /// Wall-clock budget enforced *inside* running restarts: the deadline is
+  /// polled once per sweep in every portfolio member (annealer, tempering,
+  /// polish passes), so a solve returns within roughly one sweep of the
+  /// budget while still reporting its best incumbent. 0 = off.
   double time_limit_ms = 0.0;
+  /// Cooperative cancellation (service deadlines, client disconnects).
+  /// Combined with time_limit_ms into one effective budget. Inert by
+  /// default; cancellation never forfeits the incumbent.
+  util::CancelToken cancel;
+  /// Session-cache reuse: when non-null these are used instead of being
+  /// recomputed per solve. Both must describe exactly the model passed to
+  /// solve() (same variables, constraints, and coefficients); the caller
+  /// keeps them alive for the duration of the call.
+  const model::PresolveResult* reuse_presolve = nullptr;
+  const PairMoveIndex* reuse_pairs = nullptr;
   /// Reported per solve() to mirror the constant QPU-access share that
   /// D-Wave's CQM logs show (~32 ms in the paper's Table V). Purely an
   /// accounting stand-in: no quantum hardware is involved.
@@ -62,6 +77,9 @@ struct HybridSolveStats {
   std::size_t num_constraints = 0;
   std::size_t presolve_fixed = 0;
   bool presolve_infeasible = false;
+  /// True when the time budget or a cancellation cut the solve short (the
+  /// reported best is the incumbent at that point).
+  bool budget_expired = false;
 };
 
 struct HybridSolveResult {
@@ -84,9 +102,11 @@ class HybridCqmSolver {
   const HybridSolverParams& params() const noexcept { return params_; }
 
   /// Steepest-descent polish on objective+penalty; pure local improvement
-  /// (only accepts strictly negative deltas). Exposed for tests.
+  /// (only accepts strictly negative deltas). Exposed for tests. The cancel
+  /// token (when given) is polled once per pass.
   static void greedy_descent(CqmIncrementalState& walk, util::Rng& rng,
-                             std::size_t max_passes = 32);
+                             std::size_t max_passes = 32,
+                             const util::CancelToken* cancel = nullptr);
 
  private:
   HybridSolverParams params_;

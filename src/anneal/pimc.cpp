@@ -83,6 +83,7 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
   const double Pd = static_cast<double>(P);
 
   for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
+    if (params_.cancel.expired()) break;
     const double t = params_.sweeps == 1
                          ? 1.0
                          : static_cast<double>(sweep) /

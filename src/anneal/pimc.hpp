@@ -6,6 +6,7 @@
 #include "anneal/sampleset.hpp"
 #include "model/ising.hpp"
 #include "model/qubo.hpp"
+#include "util/cancel.hpp"
 
 namespace qulrb::anneal {
 
@@ -16,6 +17,9 @@ struct PimcParams {
   double gamma_initial = 3.0;       ///< transverse field at t = 0
   double gamma_final = 1e-3;        ///< transverse field at t = 1
   std::uint64_t seed = 1;
+  /// Polled once per field-schedule sweep; when expired the best slice seen
+  /// so far is quenched and returned. Inert by default.
+  util::CancelToken cancel;
 };
 
 /// Path-integral Monte-Carlo simulated *quantum* annealing

@@ -48,6 +48,7 @@ Sample SimulatedAnnealer::anneal_once(const model::QuboModel& qubo, util::Rng& r
   bool improved_this_sweep = false;
 
   for (std::size_t sweep = 0; sweep < schedule.sweeps(); ++sweep) {
+    if (params_.cancel.expired()) break;
     const double beta = schedule.at(sweep);
     for (std::size_t step = 0; step < n; ++step) {
       const auto v = static_cast<model::VarId>(rng.next_below(n));
@@ -81,6 +82,8 @@ SampleSet SimulatedAnnealer::sample(const model::QuboModel& qubo) const {
   for (std::size_t read = 0; read < params_.num_reads; ++read) {
     util::Rng rng = master.split();
     set.add(anneal_once(qubo, rng));
+    // Keep at least one read so callers always get a sample.
+    if (params_.cancel.expired()) break;
   }
   return set;
 }

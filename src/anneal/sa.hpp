@@ -7,6 +7,7 @@
 #include "anneal/sampleset.hpp"
 #include "anneal/schedule.hpp"
 #include "model/qubo.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace qulrb::anneal {
@@ -19,6 +20,9 @@ struct SaParams {
   std::optional<double> beta_hot;
   std::optional<double> beta_cold;
   std::uint64_t seed = 1;
+  /// Polled once per sweep (and between reads); when expired the best
+  /// incumbent so far is returned. Inert by default.
+  util::CancelToken cancel;
 };
 
 /// Plain single-flip Metropolis simulated annealing over a QUBO, with O(deg)

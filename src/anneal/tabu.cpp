@@ -41,6 +41,9 @@ Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
   for (std::size_t iteration = 1;
        iteration <= params_.max_iterations && stall < params_.stall_limit;
        ++iteration) {
+    // Each iteration already scans all n deltas, so a poll every 64
+    // iterations keeps the clock read off the critical path.
+    if (iteration % 64 == 0 && params_.cancel.expired()) break;
     // Pick the best admissible move; aspiration overrides tabu.
     std::size_t chosen = n;
     double chosen_delta = std::numeric_limits<double>::infinity();
@@ -77,6 +80,8 @@ SampleSet TabuSampler::sample(const model::QuboModel& qubo) const {
   for (std::size_t restart = 0; restart < params_.num_restarts; ++restart) {
     util::Rng rng = master.split();
     set.add(search_once(qubo, rng));
+    // Keep at least one restart so callers always get a sample.
+    if (params_.cancel.expired()) break;
   }
   return set;
 }

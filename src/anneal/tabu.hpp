@@ -4,6 +4,7 @@
 
 #include "anneal/sampleset.hpp"
 #include "model/qubo.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace qulrb::anneal {
@@ -17,6 +18,9 @@ struct TabuParams {
   std::uint64_t seed = 1;
   /// Stop a restart after this many non-improving iterations.
   std::size_t stall_limit = 2000;
+  /// Polled inside the iteration loop (and between restarts); when expired
+  /// the best incumbent so far is returned. Inert by default.
+  util::CancelToken cancel;
 };
 
 /// Single-flip tabu search over a QUBO (Glover's metaheuristic — the actual

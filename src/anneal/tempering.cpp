@@ -75,6 +75,7 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
   if (n == 0) return best;
 
   for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
+    if (params_.cancel.expired()) break;
     for (std::size_t r = 0; r < replicas.size(); ++r) {
       auto& walk = *replicas[r];
       auto& rng = rngs[r];

@@ -5,6 +5,7 @@
 
 #include "anneal/sampleset.hpp"
 #include "model/cqm.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace qulrb::anneal {
@@ -18,6 +19,9 @@ struct TemperingParams {
   double beta_hot = 0.0;              ///< 0 selects automatically from scale
   double beta_cold = 0.0;
   std::uint64_t seed = 1;
+  /// Polled once per replica round; when expired the best sample seen by any
+  /// replica so far is returned. Inert by default.
+  util::CancelToken cancel;
 };
 
 /// Replica-exchange (parallel tempering) Monte Carlo on a CQM with penalty

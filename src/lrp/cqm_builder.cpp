@@ -30,6 +30,7 @@ LrpCqm::LrpCqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
 
   m_ = problem.num_processes();
   counts_ = problem.task_counts();
+  loads_ = problem.task_loads();
 
   // Per-source coefficient sets (empty for task-less sources).
   coeffs_.resize(m_);
@@ -58,36 +59,10 @@ LrpCqm::LrpCqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
     }
   }
 
-  // Terms of the new load L'_i of process i, appended to `expr`.
-  auto add_load_terms = [&](LinearExpr& expr, std::size_t i) {
-    if (variant_ == CqmVariant::kFull) {
-      for (std::size_t j = 0; j < m_; ++j) {
-        const double w = problem.task_load(j);
-        for (std::size_t l = 0; l < coeffs_[j].size(); ++l) {
-          expr.add_term(var(i, j, l), w * static_cast<double>(coeffs_[j][l]));
-        }
-      }
-      return;
-    }
-    // Reduced: L'_i = w_i * (n_i - outflow_i) + inflow.
-    expr.add_constant(problem.task_load(i) * static_cast<double>(counts_[i]));
-    for (std::size_t j = 0; j < m_; ++j) {
-      if (j == i) continue;
-      const double w_in = problem.task_load(j);
-      const double w_out = problem.task_load(i);
-      for (std::size_t l = 0; l < coeffs_[j].size(); ++l) {
-        expr.add_term(var(i, j, l), w_in * static_cast<double>(coeffs_[j][l]));
-      }
-      for (std::size_t l = 0; l < coeffs_[i].size(); ++l) {
-        expr.add_term(var(j, i, l), -w_out * static_cast<double>(coeffs_[i][l]));
-      }
-    }
-  };
-
   // --- objective: sum_i (L'_i - L_avg)^2 ------------------------------------
   for (std::size_t i = 0; i < m_; ++i) {
     LinearExpr load_i;
-    add_load_terms(load_i, i);
+    append_load_terms(load_i, i);
     load_i.add_constant(-l_avg);
     cqm_.add_squared_group(std::move(load_i), 1.0);
   }
@@ -127,9 +102,10 @@ LrpCqm::LrpCqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
   }
 
   // Capacity: no process may end above the baseline maximum load.
+  capacity_base_ = cqm_.num_constraints();
   for (std::size_t i = 0; i < m_; ++i) {
     LinearExpr load_i;
-    add_load_terms(load_i, i);
+    append_load_terms(load_i, i);
     cqm_.add_constraint(std::move(load_i), Sense::LE, l_max,
                         "capacity[" + std::to_string(i) + "]");
   }
@@ -146,6 +122,56 @@ LrpCqm::LrpCqm(const LrpProblem& problem, CqmVariant variant, std::int64_t k,
   }
   cqm_.add_constraint(std::move(migration), Sense::LE, static_cast<double>(k_),
                       "migration_bound");
+}
+
+void LrpCqm::append_load_terms(LinearExpr& expr, std::size_t i) const {
+  if (variant_ == CqmVariant::kFull) {
+    for (std::size_t j = 0; j < m_; ++j) {
+      const double w = loads_[j];
+      for (std::size_t l = 0; l < coeffs_[j].size(); ++l) {
+        expr.add_term(var(i, j, l), w * static_cast<double>(coeffs_[j][l]));
+      }
+    }
+    return;
+  }
+  // Reduced: L'_i = w_i * (n_i - outflow_i) + inflow.
+  expr.add_constant(loads_[i] * static_cast<double>(counts_[i]));
+  for (std::size_t j = 0; j < m_; ++j) {
+    if (j == i) continue;
+    const double w_in = loads_[j];
+    const double w_out = loads_[i];
+    for (std::size_t l = 0; l < coeffs_[j].size(); ++l) {
+      expr.add_term(var(i, j, l), w_in * static_cast<double>(coeffs_[j][l]));
+    }
+    for (std::size_t l = 0; l < coeffs_[i].size(); ++l) {
+      expr.add_term(var(j, i, l), -w_out * static_cast<double>(coeffs_[i][l]));
+    }
+  }
+}
+
+bool LrpCqm::retarget(const LrpProblem& problem) {
+  if (problem.num_processes() != m_) return false;
+  if (problem.task_counts() != counts_) return false;
+  // Zero task loads drop their terms at normalization, so a changed zero
+  // pattern means a changed sparsity pattern — cold rebuild territory.
+  for (std::size_t j = 0; j < m_; ++j) {
+    if ((problem.task_load(j) == 0.0) != (loads_[j] == 0.0)) return false;
+  }
+  loads_ = problem.task_loads();
+  const double l_avg = problem.average_load();
+  const double l_max = problem.max_load();
+  for (std::size_t i = 0; i < m_; ++i) {
+    LinearExpr load_i;
+    append_load_terms(load_i, i);
+    LinearExpr group = load_i;
+    group.add_constant(-l_avg);
+    // The checks above pin the pattern, so these rewrites cannot fail.
+    util::ensure(cqm_.reset_group_expr(i, std::move(group)),
+                 "LrpCqm::retarget: group pattern drifted");
+    util::ensure(cqm_.reset_constraint(capacity_base_ + i, std::move(load_i), l_max),
+                 "LrpCqm::retarget: capacity pattern drifted");
+  }
+  return true;
 }
 
 std::span<const std::int64_t> LrpCqm::coefficients(std::size_t source) const {

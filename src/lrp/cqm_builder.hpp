@@ -67,6 +67,18 @@ class LrpCqm {
   /// state violates the outflow constraints — validate the plan after).
   MigrationPlan decode(std::span<const std::uint8_t> state) const;
 
+  /// Re-point the built model at new task loads without rebuilding it. Valid
+  /// when `problem` has the same topology as the build-time instance: same
+  /// task counts (hence same variables and coefficient sets) and the same
+  /// set of zero-load processes (hence the same sparsity pattern). Only the
+  /// objective groups and capacity constraints depend on the loads — their
+  /// coefficients, constants, and rhs are rewritten in place, patching the
+  /// model's CSR caches without rebuilding them. The load-independent
+  /// conservation / outflow / migration-bound constraints are untouched.
+  /// Returns false, with the model unchanged, when the topology differs
+  /// (callers should fall back to a cold build).
+  bool retarget(const LrpProblem& problem);
+
   /// Predicted qubit counts from Table I (the paper's stated formulas, for
   /// the equal-n setting).
   static std::size_t predicted_qubits(CqmVariant variant, std::size_t num_processes,
@@ -75,13 +87,19 @@ class LrpCqm {
  private:
   static constexpr model::VarId kInvalid = static_cast<model::VarId>(-1);
 
+  /// Terms of the new load L'_i of process i, appended to `expr` (uses the
+  /// current loads_).
+  void append_load_terms(model::LinearExpr& expr, std::size_t i) const;
+
   model::CqmModel cqm_;
   CqmVariant variant_;
   std::int64_t k_;
   std::size_t m_;
   std::vector<std::int64_t> counts_;                ///< n_j per process
+  std::vector<double> loads_;                       ///< w_j per process
   std::vector<std::vector<std::int64_t>> coeffs_;   ///< C_j per source
   std::vector<model::VarId> pair_base_;             ///< first bit of (to, from)
+  std::size_t capacity_base_ = 0;                   ///< index of capacity[0]
 };
 
 /// Convenience wrapper.

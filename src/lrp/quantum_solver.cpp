@@ -59,31 +59,44 @@ bool repair_plan(const LrpProblem& problem, MigrationPlan& plan) {
   return changed;
 }
 
-SolveOutput QcqmSolver::solve(const LrpProblem& problem) {
+SolveOutput solve_lrp_cqm(const LrpProblem& problem, const LrpCqm& lrp_cqm,
+                          const anneal::HybridSolverParams& hybrid_params,
+                          QcqmDiagnostics* diagnostics) {
   util::WallTimer timer;
 
-  const LrpCqm lrp_cqm(problem, options_.variant, options_.k, options_.build);
-  const anneal::HybridCqmSolver hybrid(options_.hybrid);
+  const anneal::HybridCqmSolver hybrid(hybrid_params);
   const anneal::HybridSolveResult result = hybrid.solve(lrp_cqm.cqm());
 
   MigrationPlan plan = lrp_cqm.decode(result.best.state);
   const bool repaired = repair_plan(problem, plan);
 
-  QcqmDiagnostics diag;
-  diag.num_variables = lrp_cqm.num_binary_variables();
-  diag.num_constraints = lrp_cqm.cqm().num_constraints();
-  diag.objective = result.best.energy;
-  diag.violation = result.best.violation;
-  diag.sample_feasible = result.best.feasible;
-  diag.plan_repaired = repaired;
-  diag.hybrid_stats = result.stats;
-  diagnostics_ = diag;
+  if (diagnostics != nullptr) {
+    diagnostics->num_variables = lrp_cqm.num_binary_variables();
+    diagnostics->num_constraints = lrp_cqm.cqm().num_constraints();
+    diagnostics->objective = result.best.energy;
+    diagnostics->violation = result.best.violation;
+    diagnostics->sample_feasible = result.best.feasible;
+    diagnostics->plan_repaired = repaired;
+    diagnostics->hybrid_stats = result.stats;
+    diagnostics->best_state = result.best.state;
+  }
 
   SolveOutput out(std::move(plan));
   out.cpu_ms = timer.elapsed_ms();
   out.qpu_ms = result.stats.simulated_qpu_ms;
   out.feasible = result.best.feasible;
   if (repaired) out.notes = "plan repaired after decode";
+  return out;
+}
+
+SolveOutput QcqmSolver::solve(const LrpProblem& problem) {
+  util::WallTimer timer;
+
+  const LrpCqm lrp_cqm(problem, options_.variant, options_.k, options_.build);
+  QcqmDiagnostics diag;
+  SolveOutput out = solve_lrp_cqm(problem, lrp_cqm, options_.hybrid, &diag);
+  diagnostics_ = diag;
+  out.cpu_ms = timer.elapsed_ms();  // include the model build
   return out;
 }
 

@@ -26,6 +26,9 @@ struct QcqmDiagnostics {
   bool sample_feasible = false;
   bool plan_repaired = false;      ///< decode needed a conservation repair
   anneal::HybridSolveStats hybrid_stats;
+  /// Raw best CQM state (pre-decode) — session caches keep it as the
+  /// warm-start hint for the next solve on the same topology.
+  model::State best_state;
 };
 
 /// The paper's hybrid classical-quantum method (Q_CQM1 / Q_CQM2 with a bound
@@ -57,5 +60,13 @@ class QcqmSolver final : public RebalanceSolver {
 /// negative, trims that column's largest off-diagonal entries. Returns true
 /// when anything was changed.
 bool repair_plan(const LrpProblem& problem, MigrationPlan& plan);
+
+/// Core of QcqmSolver::solve against a caller-owned model: run the hybrid
+/// solver on `lrp_cqm`, decode, repair, report. `lrp_cqm` must have been
+/// built (or retargeted) for exactly `problem` — this is the entry point the
+/// service's session cache uses to reuse one built model across requests.
+SolveOutput solve_lrp_cqm(const LrpProblem& problem, const LrpCqm& lrp_cqm,
+                          const anneal::HybridSolverParams& hybrid_params,
+                          QcqmDiagnostics* diagnostics = nullptr);
 
 }  // namespace qulrb::lrp

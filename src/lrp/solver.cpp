@@ -8,6 +8,14 @@ namespace qulrb::lrp {
 
 SolveOutput GreedySolver::solve(const LrpProblem& problem) {
   util::WallTimer timer;
+  // An exactly balanced instance cannot be improved; the from-scratch
+  // partitioning below would still permute tasks across processes for
+  // nothing, so short-circuit to the migration-free plan.
+  if (problem.imbalance_ratio() == 0.0) {
+    SolveOutput out(MigrationPlan::identity(problem));
+    out.cpu_ms = timer.elapsed_ms();
+    return out;
+  }
   const std::vector<double> items = problem.flatten_tasks();
   const auto partition = classical::greedy_partition(items, problem.num_processes());
   SolveOutput out(MigrationPlan::from_partition(problem, partition));
@@ -17,6 +25,11 @@ SolveOutput GreedySolver::solve(const LrpProblem& problem) {
 
 SolveOutput KkSolver::solve(const LrpProblem& problem) {
   util::WallTimer timer;
+  if (problem.imbalance_ratio() == 0.0) {
+    SolveOutput out(MigrationPlan::identity(problem));
+    out.cpu_ms = timer.elapsed_ms();
+    return out;
+  }
   const std::vector<double> items = problem.flatten_tasks();
   const auto partition = classical::kk_partition(items, problem.num_processes());
   SolveOutput out(MigrationPlan::from_partition(problem, partition));

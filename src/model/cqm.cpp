@@ -64,6 +64,75 @@ std::size_t CqmModel::add_constraint(LinearExpr lhs, Sense sense, double rhs,
   return constraints_.size() - 1;
 }
 
+namespace {
+
+/// Same variables in the same order (both exprs normalized).
+bool same_pattern(const LinearExpr& a, const LinearExpr& b) {
+  const auto ta = a.terms();
+  const auto tb = b.terms();
+  if (ta.size() != tb.size()) return false;
+  for (std::size_t t = 0; t < ta.size(); ++t) {
+    if (ta[t].var != tb[t].var) return false;
+  }
+  return true;
+}
+
+/// Entry for `index` in a CSR row that is ascending by index.
+template <typename Entry>
+Entry* find_in_row(std::span<Entry> row, std::uint32_t index) {
+  auto it = std::lower_bound(
+      row.begin(), row.end(), index,
+      [](const Entry& e, std::uint32_t idx) { return e.index < idx; });
+  return (it != row.end() && it->index == index) ? &*it : nullptr;
+}
+
+}  // namespace
+
+bool CqmModel::reset_group_expr(std::size_t g, LinearExpr expr) {
+  util::require(g < groups_.size(), "CqmModel: group index out of range");
+  expr.normalize();
+  auto& group = groups_[g];
+  if (!same_pattern(group.expr, expr)) return false;
+  group.expr = std::move(expr);
+  if (!incidence_valid_) return true;
+
+  const auto gid = static_cast<std::uint32_t>(g);
+  const double w = group.weight;
+  for (const auto& t : group.expr.terms()) {
+    auto* inc = find_in_row(group_incidence_.mutable_row(t.var), gid);
+    auto* ker = find_in_row(group_kernel_.mutable_row(t.var), gid);
+    util::ensure(inc != nullptr && ker != nullptr,
+                 "CqmModel: incidence cache out of sync with group pattern");
+    inc->coeff = t.coeff;
+    ker->alpha = 2.0 * w * t.coeff;
+    ker->beta = w * t.coeff * t.coeff;
+    ker->coeff = t.coeff;
+  }
+  return true;
+}
+
+bool CqmModel::reset_constraint(std::size_t c, LinearExpr lhs, double rhs) {
+  util::require(c < constraints_.size(), "CqmModel: constraint index out of range");
+  lhs.normalize();
+  rhs -= lhs.constant();
+  lhs.add_constant(-lhs.constant());
+  auto& con = constraints_[c];
+  if (!same_pattern(con.lhs, lhs)) return false;
+  con.lhs = std::move(lhs);
+  con.rhs = rhs;
+  if (!incidence_valid_) return true;
+
+  const auto cid = static_cast<std::uint32_t>(c);
+  for (const auto& t : con.lhs.terms()) {
+    auto* inc = find_in_row(constraint_incidence_.mutable_row(t.var), cid);
+    util::ensure(inc != nullptr,
+                 "CqmModel: incidence cache out of sync with constraint pattern");
+    inc->coeff = t.coeff;
+  }
+  rhs_flat_[c] = rhs;
+  return true;
+}
+
 std::size_t CqmModel::num_equality_constraints() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(constraints_.begin(), constraints_.end(),

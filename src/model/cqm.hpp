@@ -64,6 +64,24 @@ class CqmModel {
   std::size_t add_constraint(LinearExpr lhs, Sense sense, double rhs,
                              std::string label = {});
 
+  // --- in-place retargeting -----------------------------------------------
+  // Session caches reuse one built model across solve requests that differ
+  // only in coefficient values (same variables, same sparsity pattern). The
+  // reset_* calls rewrite coefficients in place and patch the flat CSR
+  // incidence caches without rebuilding them — offsets, orderings, and all
+  // borrowed spans stay valid.
+
+  /// Replace squared group g's expression. The normalized replacement must
+  /// touch exactly the variables the current expression touches (in the same
+  /// order); only coefficients and the constant may differ. Returns false —
+  /// with the model untouched — when the sparsity pattern differs.
+  bool reset_group_expr(std::size_t g, LinearExpr expr);
+
+  /// Replace constraint c's lhs and rhs (sense and label are kept); any
+  /// constant in lhs is folded into rhs. Same same-pattern contract and
+  /// false-on-mismatch behaviour as reset_group_expr.
+  bool reset_constraint(std::size_t c, LinearExpr lhs, double rhs);
+
   // --- introspection ------------------------------------------------------
 
   std::span<const Constraint> constraints() const noexcept { return constraints_; }

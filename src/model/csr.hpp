@@ -27,6 +27,13 @@ class CsrRows {
   }
   std::span<const Entry> row(std::size_t r) const noexcept { return (*this)[r]; }
 
+  /// Writable view of one row, for in-place coefficient rewrites that keep
+  /// the sparsity pattern (offsets) intact. Callers must not change any key
+  /// an ordered consumer relies on (e.g. the ascending index fields).
+  std::span<Entry> mutable_row(std::size_t r) noexcept {
+    return {entries_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+  }
+
   std::size_t num_entries() const noexcept { return entries_.size(); }
   std::span<const Entry> entries() const noexcept { return entries_; }
 

@@ -1,0 +1,164 @@
+#include "service/protocol.hpp"
+
+#include <utility>
+
+#include "io/json.hpp"
+#include "io/json_value.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::service {
+
+using io::JsonValue;
+using io::JsonWriter;
+
+ProtocolRequest parse_request_line(const std::string& line) {
+  const JsonValue doc = JsonValue::parse(line);
+  util::require(doc.is_object(), "request must be a JSON object");
+
+  ProtocolRequest out;
+  const std::string op = doc.string_or("op", "solve");
+  if (op == "cancel") {
+    out.op = OpKind::kCancel;
+  } else if (op == "stats") {
+    out.op = OpKind::kStats;
+  } else if (op == "shutdown") {
+    out.op = OpKind::kShutdown;
+  } else if (op == "solve") {
+    out.op = OpKind::kSolve;
+  } else {
+    throw util::InvalidArgument("unknown op '" + op + "'");
+  }
+  out.client_id = static_cast<std::uint64_t>(doc.int_or("id", 0));
+  if (out.op != OpKind::kSolve) return out;
+
+  const JsonValue* loads = doc.find("loads");
+  const JsonValue* counts = doc.find("counts");
+  util::require(loads != nullptr && counts != nullptr,
+                "solve needs 'loads' and 'counts' arrays");
+  for (const JsonValue& v : loads->as_array()) {
+    out.request.task_loads.push_back(v.as_number());
+  }
+  for (const JsonValue& v : counts->as_array()) {
+    out.request.task_counts.push_back(v.as_int());
+  }
+
+  const std::string variant = doc.string_or("variant", "qcqm1");
+  if (variant == "qcqm1") {
+    out.request.variant = lrp::CqmVariant::kReduced;
+  } else if (variant == "qcqm2") {
+    out.request.variant = lrp::CqmVariant::kFull;
+  } else {
+    throw util::InvalidArgument("unknown variant '" + variant +
+                                "' (want qcqm1 or qcqm2)");
+  }
+  out.request.k = doc.int_or("k", 0);
+  out.request.build.use_paper_coefficient_set =
+      doc.bool_or("paper_coefficients", true);
+  out.request.priority = static_cast<int>(doc.int_or("priority", 0));
+  out.request.deadline_ms = doc.number_or("deadline_ms", 0.0);
+
+  auto& hybrid = out.request.hybrid;
+  hybrid.sweeps = static_cast<std::size_t>(
+      doc.int_or("sweeps", static_cast<std::int64_t>(hybrid.sweeps)));
+  hybrid.num_restarts = static_cast<std::size_t>(doc.int_or(
+      "restarts", static_cast<std::int64_t>(hybrid.num_restarts)));
+  hybrid.seed = static_cast<std::uint64_t>(
+      doc.int_or("seed", static_cast<std::int64_t>(hybrid.seed)));
+  hybrid.time_limit_ms = doc.number_or("time_limit_ms", hybrid.time_limit_ms);
+
+  out.include_plan = doc.bool_or("plan", false);
+  return out;
+}
+
+std::string encode_response(std::uint64_t client_id,
+                            const RebalanceResponse& response,
+                            bool include_plan) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.field("outcome", to_string(response.outcome));
+  if (!response.error.empty()) w.field("error", response.error);
+  if (response.plan.has_value()) {
+    w.field("feasible", response.feasible);
+    w.field("budget_expired", response.budget_expired);
+    w.field("cache_hit", response.cache_hit);
+    w.field("retargeted", response.cache_retargeted);
+    w.field("imbalance_before", response.metrics.imbalance_before);
+    w.field("imbalance_after", response.metrics.imbalance_after);
+    w.field("speedup", response.metrics.speedup);
+    w.field("migrated", response.metrics.total_migrated);
+    if (include_plan) {
+      const lrp::MigrationPlan& plan = *response.plan;
+      w.key("plan");
+      w.begin_array();
+      for (std::size_t i = 0; i < plan.num_processes(); ++i) {
+        w.begin_array();
+        for (std::size_t j = 0; j < plan.num_processes(); ++j) {
+          w.value(plan.count(i, j));
+        }
+        w.end_array();
+      }
+      w.end_array();
+    }
+  }
+  w.field("queue_ms", response.queue_ms);
+  w.field("solve_ms", response.solve_ms);
+  w.field("total_ms", response.total_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_stats(const ServiceStats& stats) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("stats");
+  w.begin_object();
+  w.field("submitted", stats.submitted);
+  w.field("completed", stats.completed);
+  w.field("rejected_queue_full", stats.rejected_queue_full);
+  w.field("rejected_deadline", stats.rejected_deadline);
+  w.field("shed", stats.shed);
+  w.field("cancelled", stats.cancelled);
+  w.field("failed", stats.failed);
+  w.field("deadline_met", stats.deadline_met);
+  w.field("deadline_missed", stats.deadline_missed);
+  w.field("budget_expired", stats.budget_expired);
+  w.field("pending", stats.pending);
+  w.field("running", stats.running);
+  w.field("ewma_solve_ms", stats.ewma_solve_ms);
+  w.key("cache");
+  w.begin_object();
+  w.field("exact_hits", stats.cache.exact_hits);
+  w.field("retarget_hits", stats.cache.retarget_hits);
+  w.field("misses", stats.cache.misses);
+  w.field("evictions", stats.cache.evictions);
+  w.end_object();
+  w.key("solve_ms");
+  w.begin_object();
+  w.field("count", stats.solve_ms.count());
+  w.field("mean", stats.solve_ms.mean());
+  w.field("min", stats.solve_ms.min());
+  w.field("max", stats.solve_ms.max());
+  w.end_object();
+  w.key("total_ms");
+  w.begin_object();
+  w.field("count", stats.total_ms.count());
+  w.field("mean", stats.total_ms.mean());
+  w.field("min", stats.total_ms.min());
+  w.field("max", stats.total_ms.max());
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_error(const std::string& message, std::uint64_t client_id) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("error", message);
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace qulrb::service

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/rebalance_service.hpp"
+#include "service/request.hpp"
+
+namespace qulrb::service {
+
+/// JSON-lines wire protocol of qulrb_serve: one JSON object per line in, one
+/// per line out. Requests:
+///
+///   {"op":"solve","id":7,"loads":[10,2,2,2],"counts":[8,8,8,8],
+///    "variant":"qcqm1","k":4,"priority":0,"deadline_ms":50,
+///    "sweeps":400,"restarts":2,"seed":1,"time_limit_ms":0,"plan":false}
+///   {"op":"cancel","id":7}
+///   {"op":"stats"}
+///   {"op":"shutdown"}
+///
+/// `id` is the client's correlation id (echoed verbatim); responses may
+/// arrive out of submission order. Responses:
+///
+///   {"id":7,"outcome":"ok","feasible":true,...}
+///   {"stats":{...}}
+///   {"error":"...","id":7}
+enum class OpKind : std::uint8_t { kSolve, kCancel, kStats, kShutdown };
+
+struct ProtocolRequest {
+  OpKind op = OpKind::kSolve;
+  std::uint64_t client_id = 0;
+  RebalanceRequest request;   ///< populated for kSolve
+  bool include_plan = false;  ///< echo the migration matrix in the response
+};
+
+/// Parse one request line; throws util::InvalidArgument with a message fit
+/// for an {"error":...} reply on malformed input.
+ProtocolRequest parse_request_line(const std::string& line);
+
+/// One response line (no trailing newline).
+std::string encode_response(std::uint64_t client_id,
+                            const RebalanceResponse& response,
+                            bool include_plan);
+
+std::string encode_stats(const ServiceStats& stats);
+
+std::string encode_error(const std::string& message, std::uint64_t client_id);
+
+}  // namespace qulrb::service

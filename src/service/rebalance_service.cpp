@@ -1,0 +1,295 @@
+#include "service/rebalance_service.hpp"
+
+#include <exception>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "lrp/quantum_solver.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::service {
+
+const char* to_string(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kRejected: return "rejected";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kCancelled: return "cancelled";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+RebalanceService::RebalanceService(ServiceParams params)
+    : params_(params),
+      cache_(params.cache_capacity),
+      stats_(params.latency_hist_max_ms, params.latency_hist_bins),
+      pool_(params.num_workers) {}
+
+RebalanceService::~RebalanceService() {
+  std::vector<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (auto& [key, item] : pending_) orphaned.push_back(std::move(item));
+    pending_.clear();
+    pending_index_.clear();
+    // Trip running solves so shutdown is prompt; they answer kCancelled with
+    // their incumbent through the normal finish path.
+    for (auto& [id, token] : running_) token.cancel();
+  }
+  for (auto& item : orphaned) {
+    RebalanceResponse response;
+    response.id = item.id;
+    response.outcome = RequestOutcome::kCancelled;
+    response.error = "service shutting down";
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cancelled;
+    }
+    if (item.callback) item.callback(std::move(response));
+  }
+  // ~ThreadPool (first member destroyed) drains the remaining drain-one
+  // tasks, which find the queue empty, and waits out the cancelled solves.
+}
+
+std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callback) {
+  RebalanceResponse rejection;
+  std::uint64_t id = 0;
+  bool admitted = false;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    ++stats_.submitted;
+
+    double deadline_ms = request.deadline_ms > 0.0 ? request.deadline_ms
+                                                   : params_.default_deadline_ms;
+    if (stopping_) {
+      rejection.outcome = RequestOutcome::kRejected;
+      rejection.error = "service shutting down";
+      ++stats_.rejected_queue_full;
+    } else if (pending_.size() >= params_.max_pending) {
+      rejection.outcome = RequestOutcome::kRejected;
+      rejection.error = "queue full";
+      ++stats_.rejected_queue_full;
+    } else if (params_.admission_deadline_check && deadline_ms > 0.0 &&
+               stats_.ewma_solve_ms > 0.0 &&
+               static_cast<double>(pending_.size()) * stats_.ewma_solve_ms /
+                       static_cast<double>(pool_.size()) >
+                   deadline_ms) {
+      // The queue wait alone is predicted to consume the whole budget; the
+      // honest answer is an immediate rejection, not a future shed.
+      rejection.outcome = RequestOutcome::kRejected;
+      rejection.error = "deadline unattainable at current backlog";
+      ++stats_.rejected_deadline;
+    } else {
+      Pending item;
+      item.id = id;
+      item.request = std::move(request);
+      item.callback = std::move(callback);
+      item.deadline_ms = deadline_ms;
+      item.token = util::CancelToken::cancellable();
+      if (deadline_ms > 0.0) {
+        // Anchored at admission: queue time spends the same budget.
+        item.token = item.token.with_deadline_ms(deadline_ms);
+      }
+      const PendingKey key{item.request.priority,
+                           deadline_ms > 0.0
+                               ? deadline_ms
+                               : std::numeric_limits<double>::infinity(),
+                           id};
+      pending_index_.emplace(id, key);
+      pending_.emplace(key, std::move(item));
+      admitted = true;
+    }
+  }
+
+  if (!admitted) {
+    rejection.id = id;
+    if (callback) callback(std::move(rejection));
+    return id;
+  }
+  pool_.submit([this] { run_one(); });
+  return id;
+}
+
+std::future<RebalanceResponse> RebalanceService::submit(RebalanceRequest request) {
+  auto promise = std::make_shared<std::promise<RebalanceResponse>>();
+  auto future = promise->get_future();
+  submit(std::move(request), [promise](RebalanceResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+bool RebalanceService::cancel(std::uint64_t id) {
+  Pending item;
+  bool was_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto idx = pending_index_.find(id);
+    if (idx != pending_index_.end()) {
+      auto it = pending_.find(idx->second);
+      item = std::move(it->second);
+      pending_.erase(it);
+      pending_index_.erase(idx);
+      // Count as running until finish() has delivered the callback, so
+      // drain() cannot return under it.
+      running_.emplace(item.id, item.token);
+      was_pending = true;
+    } else {
+      auto run = running_.find(id);
+      if (run == running_.end()) return false;
+      run->second.cancel();
+      return true;
+    }
+  }
+  RebalanceResponse response;
+  response.id = item.id;
+  response.outcome = RequestOutcome::kCancelled;
+  response.queue_ms = item.queued.elapsed_ms();
+  response.total_ms = response.queue_ms;
+  finish(std::move(item), std::move(response));
+  return was_pending;
+}
+
+void RebalanceService::run_one() {
+  Pending item;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) {
+      idle_cv_.notify_all();
+      return;  // drained by a cancel or shutdown
+    }
+    auto it = pending_.begin();
+    item = std::move(it->second);
+    pending_.erase(it);
+    pending_index_.erase(item.id);
+    running_.emplace(item.id, item.token);
+  }
+
+  RebalanceResponse response;
+  response.id = item.id;
+  response.queue_ms = item.queued.elapsed_ms();
+
+  if (item.token.cancel_requested()) {
+    response.outcome = RequestOutcome::kCancelled;
+    response.total_ms = item.queued.elapsed_ms();
+  } else if (params_.shed_expired && item.deadline_ms > 0.0 &&
+             response.queue_ms > item.deadline_ms) {
+    response.outcome = RequestOutcome::kShed;
+    response.error = "deadline passed while queued";
+    response.total_ms = item.queued.elapsed_ms();
+  } else {
+    response = solve_item(item);
+  }
+  finish(std::move(item), std::move(response));
+}
+
+RebalanceResponse RebalanceService::solve_item(Pending& item) {
+  RebalanceResponse response;
+  response.id = item.id;
+  response.queue_ms = item.queued.elapsed_ms();
+  try {
+    const lrp::LrpProblem problem(item.request.task_loads,
+                                  item.request.task_counts);
+    auto checkout = cache_.checkout(problem, item.request.variant,
+                                    item.request.k, item.request.build);
+    response.cache_hit = checkout.hit != CacheHit::kMiss;
+    response.cache_retargeted = checkout.hit == CacheHit::kRetarget;
+
+    anneal::HybridSolverParams hybrid = item.request.hybrid;
+    if (hybrid.threads == 0) hybrid.threads = params_.solver_threads;
+    hybrid.cancel = item.token;
+    hybrid.reuse_presolve = &checkout.session->presolve;
+    hybrid.reuse_pairs = &checkout.session->pairs;
+    if (hybrid.initial_hint.empty() && !checkout.session->warm_hint.empty()) {
+      hybrid.initial_hint = checkout.session->warm_hint;
+    }
+
+    util::WallTimer solve_timer;
+    lrp::QcqmDiagnostics diag;
+    lrp::SolveOutput out =
+        lrp::solve_lrp_cqm(problem, checkout.session->model, hybrid, &diag);
+    response.solve_ms = solve_timer.elapsed_ms();
+
+    checkout.session->warm_hint = std::move(diag.best_state);
+    cache_.give_back(std::move(checkout));
+
+    response.metrics = lrp::evaluate_plan(problem, out.plan);
+    response.feasible = out.feasible;
+    response.budget_expired = diag.hybrid_stats.budget_expired;
+    response.plan = std::move(out.plan);
+    response.outcome = item.token.cancel_requested()
+                           ? RequestOutcome::kCancelled
+                           : RequestOutcome::kOk;
+  } catch (const std::exception& e) {
+    response.outcome = RequestOutcome::kFailed;
+    response.error = e.what();
+  }
+  response.total_ms = item.queued.elapsed_ms();
+  return response;
+}
+
+void RebalanceService::finish(Pending item, RebalanceResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    switch (response.outcome) {
+      case RequestOutcome::kOk:
+        ++stats_.completed;
+        if (item.deadline_ms > 0.0) {
+          if (response.total_ms <= item.deadline_ms) {
+            ++stats_.deadline_met;
+          } else {
+            ++stats_.deadline_missed;
+          }
+        }
+        break;
+      case RequestOutcome::kShed: ++stats_.shed; break;
+      case RequestOutcome::kCancelled: ++stats_.cancelled; break;
+      case RequestOutcome::kFailed: ++stats_.failed; break;
+      case RequestOutcome::kRejected: break;  // counted at admission
+    }
+    if (response.budget_expired) ++stats_.budget_expired;
+    if (response.solve_ms > 0.0) {
+      stats_.ewma_solve_ms = stats_.ewma_solve_ms == 0.0
+                                 ? response.solve_ms
+                                 : 0.8 * stats_.ewma_solve_ms +
+                                       0.2 * response.solve_ms;
+      stats_.solve_ms.add(response.solve_ms);
+      stats_.solve_hist.add(response.solve_ms);
+    }
+    stats_.queue_ms.add(response.queue_ms);
+    stats_.total_ms.add(response.total_ms);
+    stats_.total_hist.add(response.total_ms);
+  }
+  if (item.callback) item.callback(std::move(response));
+  // Only now is the request truly finished: drain() must not return while a
+  // callback is still writing (e.g. to a connection about to be closed).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.erase(item.id);
+    idle_cv_.notify_all();
+  }
+}
+
+void RebalanceService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_.empty() && running_.empty(); });
+}
+
+ServiceStats RebalanceService::stats() const {
+  ServiceStats snapshot(params_.latency_hist_max_ms, params_.latency_hist_bins);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = stats_;
+    snapshot.pending = pending_.size();
+    snapshot.running = running_.size();
+  }
+  snapshot.cache = cache_.stats();
+  return snapshot;
+}
+
+}  // namespace qulrb::service

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "service/request.hpp"
+#include "service/session_cache.hpp"
+#include "util/cancel.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace qulrb::service {
+
+struct ServiceParams {
+  /// Worker threads draining the queue. 0 = hardware_concurrency().
+  std::size_t num_workers = 0;
+  /// Admission bound: submissions beyond this many pending requests are
+  /// rejected immediately (backpressure, never unbounded growth).
+  std::size_t max_pending = 256;
+  /// Reject a request at admission when the EWMA-predicted queue wait alone
+  /// already exceeds its deadline. Saves the queue slot for work that can
+  /// still make it.
+  bool admission_deadline_check = true;
+  /// Drop (shed) dequeued requests whose deadline has already passed instead
+  /// of solving them — a late answer to a rebalancing question is worthless,
+  /// the load snapshot has moved on.
+  bool shed_expired = true;
+  /// Deadline applied when a request carries none. 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Sessions kept across requests (LRU). 0 disables caching.
+  std::size_t cache_capacity = 16;
+  /// Restart-parallelism granted to one solve when the request leaves
+  /// hybrid.threads at 0. Kept at 1: the worker pool provides the
+  /// concurrency, individual solves should not each fan out machine-wide.
+  std::size_t solver_threads = 1;
+  /// Range of the latency histograms ([0, hi] ms).
+  double latency_hist_max_ms = 250.0;
+  std::size_t latency_hist_bins = 50;
+};
+
+/// Aggregated service telemetry; a consistent snapshot from stats().
+struct ServiceStats {
+  explicit ServiceStats(double hist_max_ms = 250.0, std::size_t hist_bins = 50)
+      : solve_hist(0.0, hist_max_ms, hist_bins),
+        total_hist(0.0, hist_max_ms, hist_bins) {}
+
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;            ///< kOk responses
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_met = 0;     ///< kOk within the deadline
+  std::uint64_t deadline_missed = 0;  ///< kOk but past the deadline
+  std::uint64_t budget_expired = 0;   ///< solves truncated by their budget
+
+  SessionCache::Stats cache;
+
+  util::RunningStats queue_ms;
+  util::RunningStats solve_ms;
+  util::RunningStats total_ms;
+  util::Histogram solve_hist;  ///< solve_ms distribution
+  util::Histogram total_hist;  ///< total_ms distribution
+
+  double ewma_solve_ms = 0.0;  ///< the admission controller's wait predictor
+  std::size_t pending = 0;
+  std::size_t running = 0;
+};
+
+/// In-process asynchronous rebalancing service: bounded priority queue,
+/// deadline-aware admission control, a worker pool layered on
+/// util::ThreadPool, cooperative cancellation threaded into the solvers, and
+/// a session cache that reuses built models across requests sharing a
+/// problem topology.
+///
+/// Requests are solved in (priority desc, deadline asc, arrival asc) order.
+/// Callbacks run on worker threads (or on the submitting thread for
+/// synchronous rejections) and must not block for long — they are the
+/// response path.
+class RebalanceService {
+ public:
+  using Callback = std::function<void(RebalanceResponse)>;
+
+  explicit RebalanceService(ServiceParams params = {});
+  ~RebalanceService();
+
+  RebalanceService(const RebalanceService&) = delete;
+  RebalanceService& operator=(const RebalanceService&) = delete;
+
+  /// Submit a request; the callback fires exactly once with the response.
+  /// Returns the request id (usable with cancel()). Admission rejections
+  /// invoke the callback synchronously before returning.
+  std::uint64_t submit(RebalanceRequest request, Callback callback);
+
+  /// Future-returning convenience wrapper over the callback form.
+  std::future<RebalanceResponse> submit(RebalanceRequest request);
+
+  /// Cancel a request. Pending: it is removed and answered kCancelled.
+  /// Running: its CancelToken is tripped — the solve stops at the next sweep
+  /// and the response (kCancelled) carries the incumbent plan. Returns false
+  /// when the id is unknown or already answered.
+  bool cancel(std::uint64_t id);
+
+  /// Block until no request is pending or running.
+  void drain();
+
+  ServiceStats stats() const;
+  const ServiceParams& params() const noexcept { return params_; }
+
+ private:
+  struct Pending {
+    std::uint64_t id = 0;
+    RebalanceRequest request;
+    Callback callback;
+    util::WallTimer queued;        ///< started at admission
+    double deadline_ms = 0.0;      ///< effective (request or default), 0 = none
+    util::CancelToken token;       ///< created at admission so cancel() works
+  };
+
+  /// Queue order: priority desc, deadline asc (none = last), arrival asc.
+  struct PendingKey {
+    int priority;
+    double deadline_ms;  ///< +inf when none
+    std::uint64_t seq;
+
+    bool operator<(const PendingKey& other) const noexcept {
+      if (priority != other.priority) return priority > other.priority;
+      if (deadline_ms != other.deadline_ms) return deadline_ms < other.deadline_ms;
+      return seq < other.seq;
+    }
+  };
+
+  void run_one();
+  void finish(Pending item, RebalanceResponse response);
+  RebalanceResponse solve_item(Pending& item);
+
+  ServiceParams params_;
+  SessionCache cache_;
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::map<PendingKey, Pending> pending_;
+  std::unordered_map<std::uint64_t, PendingKey> pending_index_;
+  std::unordered_map<std::uint64_t, util::CancelToken> running_;
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+
+  // Telemetry (guarded by mutex_).
+  ServiceStats stats_;
+
+  // Last: workers must die before the state they touch.
+  util::ThreadPool pool_;
+};
+
+}  // namespace qulrb::service

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anneal/hybrid.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/plan.hpp"
+
+namespace qulrb::service {
+
+/// One rebalancing request as submitted to the service. The instance is
+/// carried as raw vectors (not an LrpProblem) so requests are cheap to stage
+/// on queues and straight to parse off the wire; the service validates and
+/// materialises the problem when the request is picked up.
+struct RebalanceRequest {
+  std::vector<double> task_loads;        ///< w_i per process
+  std::vector<std::int64_t> task_counts; ///< n_i per process
+  lrp::CqmVariant variant = lrp::CqmVariant::kReduced;
+  std::int64_t k = 0;                    ///< migration bound
+  lrp::CqmBuildOptions build;
+
+  /// Higher runs first; ties break by (deadline, arrival order).
+  int priority = 0;
+  /// Wall-clock budget from submission, 0 = none. Enforced three times:
+  /// at admission (reject when the queue wait alone would blow it), at
+  /// dispatch (shed if already late), and inside the solve (the worker's
+  /// CancelToken carries the remaining budget into every sweep loop).
+  double deadline_ms = 0.0;
+
+  /// Solver knobs. threads == 0 is rewritten to the service's per-solve
+  /// thread count (the pool provides the concurrency; individual solves
+  /// should not each claim the whole machine).
+  anneal::HybridSolverParams hybrid;
+};
+
+enum class RequestOutcome : std::uint8_t {
+  kOk,         ///< solved (possibly on a truncated budget — see budget_expired)
+  kRejected,   ///< refused at admission: queue full or deadline unattainable
+  kShed,       ///< dequeued after its deadline had already passed; not solved
+  kCancelled,  ///< cancelled; a running solve still reports its incumbent plan
+  kFailed,     ///< invalid instance or internal solver error
+};
+
+const char* to_string(RequestOutcome outcome);
+
+struct RebalanceResponse {
+  std::uint64_t id = 0;
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  std::string error;  ///< set for kRejected / kShed / kFailed
+
+  /// Present for kOk and for kCancelled when the solve was already running.
+  std::optional<lrp::MigrationPlan> plan;
+  lrp::RebalanceMetrics metrics;
+  bool feasible = false;
+  bool budget_expired = false;  ///< solve returned an incumbent at the deadline
+  bool cache_hit = false;       ///< session cache reused a built model
+  bool cache_retargeted = false;///< hit required re-pointing at new loads
+
+  double queue_ms = 0.0;  ///< admission -> dispatch
+  double solve_ms = 0.0;  ///< dispatch -> solver done
+  double total_ms = 0.0;  ///< admission -> response
+};
+
+}  // namespace qulrb::service

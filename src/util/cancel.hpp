@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace qulrb::util {
+
+/// Cooperative cancellation handle shared between a solve and its controller
+/// (the rebalancing service, a deadline watchdog, a client disconnect).
+///
+/// A token combines two independent triggers:
+///  * an explicit cancel *flag*, shared by every copy of the token — calling
+///    cancel() on any copy trips all of them;
+///  * an optional *deadline* on the monotonic clock, carried per copy so a
+///    callee can tighten its own budget (with_deadline_ms) without affecting
+///    the caller's token.
+///
+/// Default-constructed tokens are inert: expired() is a two-load fast path
+/// that never touches the clock, so solver inner loops can poll a token
+/// unconditionally. Samplers are expected to poll once per sweep and, when
+/// expired, return their best incumbent so far — cancellation is a budget,
+/// not an abort.
+class CancelToken {
+ public:
+  /// Inert token: never expires, cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A token that can be cancelled explicitly via cancel().
+  static CancelToken cancellable() {
+    CancelToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// Copy of this token whose deadline is `budget_ms` from now, or the
+  /// current deadline if that is sooner. The cancel flag stays shared.
+  CancelToken with_deadline_ms(double budget_ms) const {
+    CancelToken token = *this;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(budget_ms));
+    if (!token.has_deadline_ || deadline < token.deadline_) {
+      token.deadline_ = deadline;
+      token.has_deadline_ = true;
+    }
+    return token;
+  }
+
+  /// Trip the shared flag. No-op on an inert token (no flag allocated).
+  void cancel() const noexcept {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// True once the flag is tripped or the deadline has passed. This is the
+  /// poll solvers place in their sweep loops.
+  bool expired() const noexcept {
+    if (flag_ && flag_->load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// Milliseconds until the deadline (+inf when none; <= 0 when passed).
+  double remaining_ms() const noexcept {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(deadline_ - Clock::now())
+        .count();
+  }
+
+  bool has_deadline() const noexcept { return has_deadline_; }
+  /// True when some trigger exists (flag or deadline) — i.e. polling can
+  /// ever return true.
+  bool can_expire() const noexcept { return flag_ != nullptr || has_deadline_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::shared_ptr<std::atomic<bool>> flag_;  ///< null on inert tokens
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+}  // namespace qulrb::util

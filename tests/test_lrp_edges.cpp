@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "lrp/iterative.hpp"
+#include "lrp/kselect.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/problem.hpp"
+#include "lrp/registry.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::lrp {
+namespace {
+
+SolverSpec fast_spec(const std::string& name) {
+  SolverSpec spec;
+  spec.name = name;
+  spec.sweeps = 300;
+  spec.restarts = 1;
+  return spec;
+}
+
+// -------------------------------------------------------------- k = 0 -----
+
+// A migration bound of zero admits exactly one plan: move nothing.
+TEST(LrpEdges, KZeroMeansNoMigration) {
+  const LrpProblem problem = LrpProblem::uniform({8.0, 1.0, 1.0, 1.0}, 6);
+  for (const char* name : {"qcqm1", "qcqm2"}) {
+    SolverSpec spec = fast_spec(name);
+    spec.k = 0;
+    const auto solver = make_solver(spec, problem);
+    const SolverReport report = run_and_evaluate(*solver, problem);
+    EXPECT_EQ(report.metrics.total_migrated, 0) << name;
+    EXPECT_DOUBLE_EQ(report.metrics.imbalance_after,
+                     report.metrics.imbalance_before)
+        << name;
+    EXPECT_DOUBLE_EQ(report.metrics.imbalance_before,
+                     problem.imbalance_ratio())
+        << name;
+  }
+}
+
+// -------------------------------------------------------------- M = 1 -----
+
+// With a single process there is nowhere to migrate to; every solver must
+// return the identity plan.
+TEST(LrpEdges, SingleProcessIsAlreadyBalanced) {
+  const LrpProblem problem = LrpProblem::uniform({3.5}, 10);
+  EXPECT_DOUBLE_EQ(problem.imbalance_ratio(), 0.0);
+  for (const char* name : {"greedy", "kk", "proactlb", "qcqm1", "qcqm2"}) {
+    const auto solver = make_solver(fast_spec(name), problem);
+    const SolverReport report = run_and_evaluate(*solver, problem);
+    EXPECT_EQ(report.metrics.total_migrated, 0) << name;
+    EXPECT_DOUBLE_EQ(report.metrics.imbalance_after, 0.0) << name;
+  }
+}
+
+// ------------------------------------------------------ already balanced -----
+
+// All-equal loads: R_imb = 0, any migration can only hurt. The plan must be
+// empty and the imbalance unchanged.
+TEST(LrpEdges, EqualLoadsYieldEmptyPlan) {
+  const LrpProblem problem = LrpProblem::uniform({2.0, 2.0, 2.0, 2.0}, 8);
+  EXPECT_DOUBLE_EQ(problem.imbalance_ratio(), 0.0);
+  for (const char* name : {"greedy", "kk", "proactlb", "qcqm1", "qcqm2"}) {
+    const auto solver = make_solver(fast_spec(name), problem);
+    const SolverReport report = run_and_evaluate(*solver, problem);
+    EXPECT_EQ(report.metrics.total_migrated, 0) << name;
+    EXPECT_DOUBLE_EQ(report.metrics.imbalance_after,
+                     report.metrics.imbalance_before)
+        << name;
+  }
+}
+
+TEST(LrpEdges, KSelectOnBalancedProblemIsZero) {
+  const KSelection k = select_k(LrpProblem::uniform({2.0, 2.0, 2.0}, 8));
+  EXPECT_EQ(k.k1, 0);
+  EXPECT_EQ(k.k2, 0);
+}
+
+// ------------------------------------------------------------ registry -----
+
+TEST(LrpEdges, UnknownSolverNameFailsCleanly) {
+  const LrpProblem problem = LrpProblem::uniform({2.0, 1.0}, 4);
+  SolverSpec spec = fast_spec("leap-hybrid");  // plausible but unregistered
+  EXPECT_THROW(make_solver(spec, problem), util::InvalidArgument);
+  spec.name = "";
+  EXPECT_THROW(make_solver(spec, problem), util::InvalidArgument);
+}
+
+// ----------------------------------------------------------- iterative -----
+
+// The iterative rebalancer on a balanced, drift-free instance has nothing to
+// do in any epoch.
+TEST(LrpEdges, IterativeBalancedWithoutDriftStaysPut) {
+  const LrpProblem problem = LrpProblem::uniform({2.0, 2.0, 2.0, 2.0}, 8);
+  const auto solver = make_solver(fast_spec("greedy"), problem);
+  DriftModel drift;
+  drift.relative_sigma = 0.0;  // costs never change between epochs
+  const IterativeResult result =
+      IterativeRebalancer(*solver, drift).run(problem, 3);
+  ASSERT_EQ(result.epochs.size(), 3u);
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    EXPECT_EQ(result.epochs[e].migrated, 0) << "epoch " << e;
+    EXPECT_DOUBLE_EQ(result.epochs[e].imbalance_after, 0.0) << "epoch " << e;
+  }
+  EXPECT_EQ(result.total_migrated, 0);
+  EXPECT_DOUBLE_EQ(result.mean_imbalance_after, 0.0);
+}
+
+// On an imbalanced instance the aggregates must be consistent with the
+// per-epoch reports, and the first epoch must actually improve.
+TEST(LrpEdges, IterativeAggregatesAreConsistent) {
+  const LrpProblem problem = LrpProblem::uniform({6.0, 2.0, 2.0, 2.0}, 8);
+  const auto solver = make_solver(fast_spec("greedy"), problem);
+  DriftModel drift;
+  drift.relative_sigma = 0.0;
+  const IterativeResult result =
+      IterativeRebalancer(*solver, drift).run(problem, 3);
+  ASSERT_EQ(result.epochs.size(), 3u);
+  EXPECT_LT(result.epochs[0].imbalance_after, result.epochs[0].imbalance_before);
+  std::int64_t migrated = 0;
+  double sum_after = 0.0;
+  for (const EpochReport& epoch : result.epochs) {
+    migrated += epoch.migrated;
+    sum_after += epoch.imbalance_after;
+  }
+  EXPECT_EQ(result.total_migrated, migrated);
+  EXPECT_NEAR(result.mean_imbalance_after, sum_after / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qulrb::lrp

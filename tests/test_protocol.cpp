@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "io/json_value.hpp"
+#include "lrp/plan.hpp"
+#include "service/protocol.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::service {
+namespace {
+
+using io::JsonValue;
+
+// -------------------------------------------------------------- parse -----
+
+TEST(Protocol, ParsesFullSolveRequest) {
+  const ProtocolRequest r = parse_request_line(
+      R"({"op":"solve","id":7,"loads":[10,2,2,2],"counts":[8,8,8,8],)"
+      R"("variant":"qcqm2","k":4,"priority":2,"deadline_ms":50,)"
+      R"("sweeps":400,"restarts":2,"seed":9,"time_limit_ms":25,"plan":true})");
+  EXPECT_EQ(r.op, OpKind::kSolve);
+  EXPECT_EQ(r.client_id, 7u);
+  EXPECT_EQ(r.request.task_loads, (std::vector<double>{10, 2, 2, 2}));
+  EXPECT_EQ(r.request.task_counts, (std::vector<std::int64_t>{8, 8, 8, 8}));
+  EXPECT_EQ(r.request.variant, lrp::CqmVariant::kFull);
+  EXPECT_EQ(r.request.k, 4);
+  EXPECT_EQ(r.request.priority, 2);
+  EXPECT_DOUBLE_EQ(r.request.deadline_ms, 50.0);
+  EXPECT_EQ(r.request.hybrid.sweeps, 400u);
+  EXPECT_EQ(r.request.hybrid.num_restarts, 2u);
+  EXPECT_EQ(r.request.hybrid.seed, 9u);
+  EXPECT_DOUBLE_EQ(r.request.hybrid.time_limit_ms, 25.0);
+  EXPECT_TRUE(r.include_plan);
+}
+
+TEST(Protocol, SolveIsTheDefaultOpWithDefaults) {
+  const ProtocolRequest r =
+      parse_request_line(R"({"loads":[3,1],"counts":[4,4]})");
+  EXPECT_EQ(r.op, OpKind::kSolve);
+  EXPECT_EQ(r.client_id, 0u);
+  EXPECT_EQ(r.request.variant, lrp::CqmVariant::kReduced);
+  EXPECT_EQ(r.request.priority, 0);
+  EXPECT_DOUBLE_EQ(r.request.deadline_ms, 0.0);
+  EXPECT_FALSE(r.include_plan);
+}
+
+TEST(Protocol, ParsesControlOps) {
+  EXPECT_EQ(parse_request_line(R"({"op":"cancel","id":3})").op, OpKind::kCancel);
+  EXPECT_EQ(parse_request_line(R"({"op":"cancel","id":3})").client_id, 3u);
+  EXPECT_EQ(parse_request_line(R"({"op":"stats"})").op, OpKind::kStats);
+  EXPECT_EQ(parse_request_line(R"({"op":"shutdown"})").op, OpKind::kShutdown);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request_line("not json"), util::InvalidArgument);
+  EXPECT_THROW(parse_request_line("[1,2]"), util::InvalidArgument);
+  EXPECT_THROW(parse_request_line(R"({"op":"fly"})"), util::InvalidArgument);
+  // solve without loads/counts
+  EXPECT_THROW(parse_request_line(R"({"op":"solve","id":1})"),
+               util::InvalidArgument);
+  EXPECT_THROW(
+      parse_request_line(R"({"loads":[1,2],"counts":[4,4],"variant":"qubo"})"),
+      util::InvalidArgument);
+  // non-integer count
+  EXPECT_THROW(parse_request_line(R"({"loads":[1,2],"counts":[4.5,4]})"),
+               util::InvalidArgument);
+}
+
+// ------------------------------------------------------------- encode -----
+
+TEST(Protocol, ResponseRoundTripsThroughJson) {
+  RebalanceResponse response;
+  response.outcome = RequestOutcome::kOk;
+  response.feasible = true;
+  response.cache_hit = true;
+  response.cache_retargeted = true;
+  response.metrics.imbalance_before = 1.5;
+  response.metrics.imbalance_after = 0.125;
+  response.metrics.total_migrated = 6;
+  lrp::MigrationPlan plan(2);
+  plan.set_count(0, 1, 3);
+  response.plan = plan;
+  response.queue_ms = 0.5;
+  response.solve_ms = 2.25;
+  response.total_ms = 2.75;
+
+  const JsonValue doc = JsonValue::parse(encode_response(42, response, true));
+  EXPECT_EQ(doc.int_or("id", -1), 42);
+  EXPECT_EQ(doc.string_or("outcome", ""), "ok");
+  EXPECT_TRUE(doc.bool_or("feasible", false));
+  EXPECT_TRUE(doc.bool_or("cache_hit", false));
+  EXPECT_TRUE(doc.bool_or("retargeted", false));
+  EXPECT_DOUBLE_EQ(doc.number_or("imbalance_after", -1.0), 0.125);
+  EXPECT_EQ(doc.int_or("migrated", -1), 6);
+  EXPECT_DOUBLE_EQ(doc.number_or("solve_ms", -1.0), 2.25);
+  const JsonValue* matrix = doc.find("plan");
+  ASSERT_NE(matrix, nullptr);
+  ASSERT_EQ(matrix->as_array().size(), 2u);
+  EXPECT_EQ(matrix->as_array()[0].as_array()[1].as_int(), 3);
+}
+
+TEST(Protocol, PlanOmittedUnlessRequested) {
+  RebalanceResponse response;
+  response.outcome = RequestOutcome::kOk;
+  response.plan = lrp::MigrationPlan(2);
+  const JsonValue doc = JsonValue::parse(encode_response(1, response, false));
+  EXPECT_EQ(doc.find("plan"), nullptr);
+  EXPECT_NE(doc.find("feasible"), nullptr);  // summary fields still present
+}
+
+TEST(Protocol, RejectionCarriesErrorNotPlan) {
+  RebalanceResponse response;
+  response.outcome = RequestOutcome::kRejected;
+  response.error = "queue full";
+  const JsonValue doc = JsonValue::parse(encode_response(9, response, true));
+  EXPECT_EQ(doc.string_or("outcome", ""), "rejected");
+  EXPECT_EQ(doc.string_or("error", ""), "queue full");
+  EXPECT_EQ(doc.find("plan"), nullptr);
+  EXPECT_EQ(doc.find("feasible"), nullptr);
+}
+
+TEST(Protocol, StatsEncodeParses) {
+  ServiceStats stats;
+  stats.submitted = 10;
+  stats.completed = 8;
+  stats.cache.exact_hits = 5;
+  stats.solve_ms.add(1.0);
+  stats.solve_ms.add(3.0);
+  const JsonValue doc = JsonValue::parse(encode_stats(stats));
+  const JsonValue* inner = doc.find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->int_or("submitted", -1), 10);
+  EXPECT_EQ(inner->int_or("completed", -1), 8);
+  EXPECT_EQ(inner->find("cache")->int_or("exact_hits", -1), 5);
+  EXPECT_EQ(inner->find("solve_ms")->int_or("count", -1), 2);
+  EXPECT_DOUBLE_EQ(inner->find("solve_ms")->number_or("mean", -1.0), 2.0);
+}
+
+TEST(Protocol, ErrorEncodeParses) {
+  const JsonValue doc = JsonValue::parse(encode_error("bad \"line\"", 3));
+  EXPECT_EQ(doc.string_or("error", ""), "bad \"line\"");
+  EXPECT_EQ(doc.int_or("id", -1), 3);
+}
+
+}  // namespace
+}  // namespace qulrb::service

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lrp/cqm_builder.hpp"
+#include "lrp/problem.hpp"
+#include "model/cqm.hpp"
+#include "service/session_cache.hpp"
+#include "util/rng.hpp"
+
+namespace qulrb::service {
+namespace {
+
+using lrp::CqmVariant;
+using lrp::LrpCqm;
+using lrp::LrpProblem;
+
+LrpProblem problem_a() { return LrpProblem::uniform({9.0, 2.0, 2.0, 2.0}, 8); }
+LrpProblem problem_b() { return LrpProblem::uniform({3.0, 7.0, 1.0, 4.0}, 8); }
+
+model::State random_state(std::size_t n, util::Rng& rng) {
+  model::State state(n);
+  for (auto& bit : state) bit = rng.next_bool(0.5) ? 1 : 0;
+  return state;
+}
+
+// ----------------------------------------------------------- retarget -----
+
+// The heart of the cache: a retargeted model must be indistinguishable from
+// a freshly built one — same objective and same violations on any state.
+TEST(Retarget, MatchesFreshBuildOnRandomStates) {
+  for (const CqmVariant variant : {CqmVariant::kReduced, CqmVariant::kFull}) {
+    LrpCqm cached(problem_a(), variant, 6);
+    ASSERT_TRUE(cached.retarget(problem_b()));
+    const LrpCqm fresh(problem_b(), variant, 6);
+    ASSERT_EQ(cached.cqm().num_variables(), fresh.cqm().num_variables());
+    ASSERT_EQ(cached.cqm().num_constraints(), fresh.cqm().num_constraints());
+
+    util::Rng rng(7);
+    for (int trial = 0; trial < 50; ++trial) {
+      const model::State state = random_state(fresh.cqm().num_variables(), rng);
+      EXPECT_NEAR(cached.cqm().objective_value(state),
+                  fresh.cqm().objective_value(state), 1e-9);
+      EXPECT_NEAR(cached.cqm().total_violation(state),
+                  fresh.cqm().total_violation(state), 1e-9);
+    }
+  }
+}
+
+TEST(Retarget, RoundTripRestoresOriginal) {
+  LrpCqm cached(problem_a(), CqmVariant::kReduced, 6);
+  ASSERT_TRUE(cached.retarget(problem_b()));
+  ASSERT_TRUE(cached.retarget(problem_a()));
+  const LrpCqm fresh(problem_a(), CqmVariant::kReduced, 6);
+  util::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const model::State state = random_state(fresh.cqm().num_variables(), rng);
+    EXPECT_NEAR(cached.cqm().objective_value(state),
+                fresh.cqm().objective_value(state), 1e-9);
+    EXPECT_NEAR(cached.cqm().total_violation(state),
+                fresh.cqm().total_violation(state), 1e-9);
+  }
+}
+
+TEST(Retarget, RejectsDifferentTopology) {
+  LrpCqm cached(problem_a(), CqmVariant::kReduced, 6);
+  // Different task counts -> different variables.
+  EXPECT_FALSE(cached.retarget(LrpProblem::uniform({9.0, 2.0, 2.0, 2.0}, 16)));
+  // Different process count.
+  EXPECT_FALSE(cached.retarget(LrpProblem::uniform({9.0, 2.0, 2.0}, 8)));
+  // Different zero-load pattern -> different sparsity.
+  EXPECT_FALSE(cached.retarget(LrpProblem::uniform({9.0, 0.0, 2.0, 2.0}, 8)));
+  // The model must still be usable as problem_a afterwards.
+  const LrpCqm fresh(problem_a(), CqmVariant::kReduced, 6);
+  util::Rng rng(3);
+  const model::State state = random_state(fresh.cqm().num_variables(), rng);
+  EXPECT_NEAR(cached.cqm().objective_value(state),
+              fresh.cqm().objective_value(state), 1e-9);
+}
+
+// -------------------------------------------------------------- cache -----
+
+TEST(SessionCache, HitKindsProgressMissExactRetarget) {
+  SessionCache cache(4);
+  const lrp::CqmBuildOptions options;
+
+  auto first = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  EXPECT_EQ(first.hit, CacheHit::kMiss);
+  cache.give_back(std::move(first));
+  EXPECT_EQ(cache.size(), 1u);
+
+  auto second = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  EXPECT_EQ(second.hit, CacheHit::kExact);
+  cache.give_back(std::move(second));
+
+  auto third = cache.checkout(problem_b(), CqmVariant::kReduced, 6, options);
+  EXPECT_EQ(third.hit, CacheHit::kRetarget);
+  cache.give_back(std::move(third));
+
+  // Different k is a different model -> separate key, cold build.
+  auto fourth = cache.checkout(problem_a(), CqmVariant::kReduced, 3, options);
+  EXPECT_EQ(fourth.hit, CacheHit::kMiss);
+  cache.give_back(std::move(fourth));
+
+  const SessionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.exact_hits, 1u);
+  EXPECT_EQ(stats.retarget_hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SessionCache, WarmHintSurvivesRoundTrip) {
+  SessionCache cache(2);
+  const lrp::CqmBuildOptions options;
+  auto checkout = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  const std::size_t n = checkout.session->model.cqm().num_variables();
+  checkout.session->warm_hint = model::State(n, 1);
+  cache.give_back(std::move(checkout));
+
+  auto again = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  EXPECT_EQ(again.hit, CacheHit::kExact);
+  EXPECT_EQ(again.session->warm_hint, model::State(n, 1));
+}
+
+TEST(SessionCache, LruEvictsOldest) {
+  SessionCache cache(2);
+  const lrp::CqmBuildOptions options;
+  const LrpProblem p = problem_a();
+  cache.give_back(cache.checkout(p, CqmVariant::kReduced, 2, options));
+  cache.give_back(cache.checkout(p, CqmVariant::kReduced, 3, options));
+  // Touch k=2 so k=3 is the LRU entry.
+  cache.give_back(cache.checkout(p, CqmVariant::kReduced, 2, options));
+  // A third key evicts k=3.
+  cache.give_back(cache.checkout(p, CqmVariant::kReduced, 4, options));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.checkout(p, CqmVariant::kReduced, 2, options).hit,
+            CacheHit::kExact);
+  EXPECT_EQ(cache.checkout(p, CqmVariant::kReduced, 3, options).hit,
+            CacheHit::kMiss);
+}
+
+TEST(SessionCache, ConcurrentCheckoutsOfSameKeyAreIndependent) {
+  SessionCache cache(2);
+  const lrp::CqmBuildOptions options;
+  auto a = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  auto b = cache.checkout(problem_a(), CqmVariant::kReduced, 6, options);
+  EXPECT_EQ(a.hit, CacheHit::kMiss);
+  EXPECT_EQ(b.hit, CacheHit::kMiss);  // slot was checked out; builds its own
+  ASSERT_NE(a.session.get(), b.session.get());
+  cache.give_back(std::move(a));
+  cache.give_back(std::move(b));  // latest return wins the slot
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qulrb::service

@@ -8,6 +8,12 @@
 //   qulrb solvers
 //
 // Input/output files use the paper's Appendix-B CSV formats (Tables VI/VII).
+//
+// Exit codes (scripts branch on these):
+//   0  success
+//   2  usage error (unknown command / missing operands)
+//   3  invalid input (malformed file, bad option value, unknown solver)
+//   4  solve failed or produced an infeasible result
 
 #include <cstring>
 #include <iostream>
@@ -27,6 +33,10 @@
 namespace {
 
 using namespace qulrb;
+
+constexpr int kExitUsage = 2;
+constexpr int kExitInvalidInput = 3;
+constexpr int kExitSolveFailed = 4;
 
 struct Args {
   std::string command;
@@ -66,7 +76,7 @@ int usage() {
       "  qulrb compare --input in.csv [--seed S] [--json out.json]\n"
       "  qulrb gen     --scenario samoa|imb0..imb4|nodesM|tasksN --output in.csv\n"
       "  qulrb solvers\n";
-  return 2;
+  return kExitUsage;
 }
 
 lrp::SolverSpec spec_from_args(const Args& args) {
@@ -106,6 +116,13 @@ int cmd_solve(const Args& args) {
   if (args.has("output")) {
     io::write_output_file(args.get("output"), problem, report.output.plan);
     std::cout << "wrote " << args.get("output") << "\n";
+  }
+  if (!report.output.feasible) {
+    std::cerr << "error: solver '" << report.name
+              << "' did not reach a feasible solution";
+    if (!report.output.notes.empty()) std::cerr << " (" << report.output.notes << ")";
+    std::cerr << "\n";
+    return kExitSolveFailed;
   }
   return 0;
 }
@@ -191,8 +208,16 @@ int main(int argc, char** argv) {
     if (args.command == "gen") return cmd_gen(args);
     if (args.command == "solvers") return cmd_solvers();
     return usage();
+  } catch (const util::InvalidArgument& error) {
+    // Bad file contents, malformed option values, unknown solver names.
+    std::cerr << "error: " << error.what() << "\n";
+    return kExitInvalidInput;
+  } catch (const std::invalid_argument& error) {
+    // std::stoll and friends on non-numeric option values.
+    std::cerr << "error: invalid option value: " << error.what() << "\n";
+    return kExitInvalidInput;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
-    return 1;
+    return kExitSolveFailed;
   }
 }

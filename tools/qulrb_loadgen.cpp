@@ -1,0 +1,360 @@
+// qulrb_loadgen — load generator and latency reporter for the rebalancing
+// service.
+//
+//   qulrb_loadgen [--requests N] [--concurrency C] [--m M] [--n N] [--k K]
+//                 [--variant qcqm1|qcqm2] [--sweeps S] [--restarts R]
+//                 [--deadline-ms X] [--drift] [--seed S]
+//                 [--workers W] [--cache C] [--rate R]
+//                 [--connect PORT]
+//
+// Default is closed-loop against an in-process RebalanceService: C client
+// threads each keep exactly one request outstanding. --rate R switches to
+// open-loop (fixed R requests/sec regardless of completions — the honest way
+// to measure queueing behaviour). --connect PORT runs the closed loop over
+// TCP against a running `qulrb_serve --port PORT`, one connection per client
+// thread. --drift varies the load vector per request (exercising the session
+// cache's retarget path instead of exact hits).
+//
+// Reports throughput and client-observed p50/p95/p99 latency.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json_value.hpp"
+#include "service/protocol.hpp"
+#include "service/rebalance_service.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+struct LoadgenOptions {
+  std::size_t requests = 2000;
+  std::size_t concurrency = 8;
+  std::size_t m = 8;            ///< processes
+  std::int64_t n = 8;           ///< tasks per process
+  std::int64_t k = 8;
+  lrp::CqmVariant variant = lrp::CqmVariant::kReduced;
+  std::size_t sweeps = 50;
+  std::size_t restarts = 1;
+  double deadline_ms = 0.0;
+  bool drift = false;
+  std::uint64_t seed = 1;
+  // In-process service shape.
+  std::size_t workers = 0;
+  std::size_t cache = 16;
+  double rate = 0.0;  ///< open-loop requests/sec (in-process only); 0 = closed
+  int connect_port = 0;
+};
+
+/// Request #seq of the workload: one hot process, the rest uniform. With
+/// drift the hot slot rotates and its weight wobbles, so consecutive
+/// requests share a topology but not a load vector.
+service::RebalanceRequest make_request(const LoadgenOptions& options,
+                                       std::uint64_t seq) {
+  service::RebalanceRequest request;
+  request.task_counts.assign(options.m, options.n);
+  request.task_loads.assign(options.m, 1.0);
+  const std::size_t hot = options.drift ? seq % options.m : 0;
+  const double wobble =
+      options.drift ? 0.05 * static_cast<double>(seq % 17) : 0.0;
+  request.task_loads[hot] = 8.0 + wobble;
+  request.variant = options.variant;
+  request.k = options.k;
+  request.deadline_ms = options.deadline_ms;
+  request.hybrid.sweeps = options.sweeps;
+  request.hybrid.num_restarts = options.restarts;
+  request.hybrid.seed = options.seed + seq;
+  return request;
+}
+
+struct Tally {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0, rejected = 0, shed = 0, cancelled = 0, failed = 0;
+
+  void record(const std::string& outcome, double ms) {
+    std::lock_guard<std::mutex> lock(mutex);
+    latencies_ms.push_back(ms);
+    if (outcome == "ok") ++ok;
+    else if (outcome == "rejected") ++rejected;
+    else if (outcome == "shed") ++shed;
+    else if (outcome == "cancelled") ++cancelled;
+    else ++failed;
+  }
+};
+
+void report(const Tally& tally, double wall_seconds, const std::string& cache_line) {
+  std::vector<double> xs = tally.latencies_ms;
+  const double total = static_cast<double>(xs.size());
+  std::cout << "requests:    " << xs.size() << " in " << wall_seconds << " s  ("
+            << (wall_seconds > 0.0 ? total / wall_seconds : 0.0) << " req/s)\n";
+  if (!xs.empty()) {
+    std::cout << "latency ms:  p50 " << util::quantile(xs, 0.50) << "  p95 "
+              << util::quantile(xs, 0.95) << "  p99 " << util::quantile(xs, 0.99)
+              << "  mean " << util::mean(xs) << "  max "
+              << *std::max_element(xs.begin(), xs.end()) << "\n";
+  }
+  std::cout << "outcomes:    ok " << tally.ok << "  rejected " << tally.rejected
+            << "  shed " << tally.shed << "  cancelled " << tally.cancelled
+            << "  failed " << tally.failed << "\n";
+  if (!cache_line.empty()) std::cout << cache_line << "\n";
+}
+
+std::string cache_line_from(const service::ServiceStats& stats) {
+  return "cache:       exact " + std::to_string(stats.cache.exact_hits) +
+         "  retarget " + std::to_string(stats.cache.retarget_hits) + "  miss " +
+         std::to_string(stats.cache.misses) + "  ewma_solve_ms " +
+         std::to_string(stats.ewma_solve_ms);
+}
+
+int run_inproc_closed(const LoadgenOptions& options) {
+  service::ServiceParams params;
+  params.num_workers = options.workers;
+  params.cache_capacity = options.cache;
+  service::RebalanceService svc(params);
+
+  Tally tally;
+  std::atomic<std::uint64_t> next_seq{0};
+  util::WallTimer wall;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < options.concurrency; ++c) {
+    clients.emplace_back([&] {
+      while (true) {
+        const std::uint64_t seq = next_seq.fetch_add(1);
+        if (seq >= options.requests) return;
+        util::WallTimer timer;
+        auto future = svc.submit(make_request(options, seq));
+        const service::RebalanceResponse response = future.get();
+        tally.record(service::to_string(response.outcome), timer.elapsed_ms());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = wall.elapsed_seconds();
+  report(tally, seconds, cache_line_from(svc.stats()));
+  return 0;
+}
+
+int run_inproc_open(const LoadgenOptions& options) {
+  service::ServiceParams params;
+  params.num_workers = options.workers;
+  params.cache_capacity = options.cache;
+  service::RebalanceService svc(params);
+
+  Tally tally;
+  util::WallTimer wall;
+  const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / options.rate));
+  auto next_tick = std::chrono::steady_clock::now();
+  for (std::uint64_t seq = 0; seq < options.requests; ++seq) {
+    std::this_thread::sleep_until(next_tick);
+    next_tick += interval;
+    const auto submitted = std::chrono::steady_clock::now();
+    svc.submit(make_request(options, seq),
+               [&tally, submitted](service::RebalanceResponse response) {
+                 const double ms =
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - submitted)
+                         .count();
+                 tally.record(service::to_string(response.outcome), ms);
+               });
+  }
+  svc.drain();
+  const double seconds = wall.elapsed_seconds();
+  report(tally, seconds, cache_line_from(svc.stats()));
+  return 0;
+}
+
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::require(fd >= 0, "loadgen: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  util::require(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                "loadgen: connect() failed (is qulrb_serve --port running?)");
+  return fd;
+}
+
+/// Encode request #seq as a protocol line.
+std::string encode_request_line(const LoadgenOptions& options, std::uint64_t seq) {
+  const service::RebalanceRequest request = make_request(options, seq);
+  std::string line = "{\"op\":\"solve\",\"id\":" + std::to_string(seq + 1);
+  line += ",\"loads\":[";
+  for (std::size_t i = 0; i < request.task_loads.size(); ++i) {
+    if (i > 0) line += ",";
+    line += std::to_string(request.task_loads[i]);
+  }
+  line += "],\"counts\":[";
+  for (std::size_t i = 0; i < request.task_counts.size(); ++i) {
+    if (i > 0) line += ",";
+    line += std::to_string(request.task_counts[i]);
+  }
+  line += "],\"variant\":\"";
+  line += request.variant == lrp::CqmVariant::kReduced ? "qcqm1" : "qcqm2";
+  line += "\",\"k\":" + std::to_string(request.k);
+  line += ",\"sweeps\":" + std::to_string(request.hybrid.sweeps);
+  line += ",\"restarts\":" + std::to_string(request.hybrid.num_restarts);
+  line += ",\"seed\":" + std::to_string(request.hybrid.seed);
+  if (request.deadline_ms > 0.0) {
+    line += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  }
+  line += "}\n";
+  return line;
+}
+
+/// Read one line from fd into `line` using `buffer` as carry-over.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  while (true) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int run_tcp_closed(const LoadgenOptions& options) {
+  Tally tally;
+  std::atomic<std::uint64_t> next_seq{0};
+  util::WallTimer wall;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < options.concurrency; ++c) {
+    clients.emplace_back([&] {
+      const int fd = connect_to(options.connect_port);
+      std::string buffer, line;
+      while (true) {
+        const std::uint64_t seq = next_seq.fetch_add(1);
+        if (seq >= options.requests) break;
+        const std::string request = encode_request_line(options, seq);
+        util::WallTimer timer;
+        std::size_t sent = 0;
+        while (sent < request.size()) {
+          const ssize_t n = ::send(fd, request.data() + sent,
+                                   request.size() - sent, MSG_NOSIGNAL);
+          util::require(n > 0, "loadgen: send() failed");
+          sent += static_cast<std::size_t>(n);
+        }
+        util::require(read_line(fd, buffer, line),
+                      "loadgen: server closed the connection");
+        const io::JsonValue response = io::JsonValue::parse(line);
+        tally.record(response.string_or("outcome", "failed"), timer.elapsed_ms());
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = wall.elapsed_seconds();
+
+  // One extra connection to pull the server-side cache stats.
+  std::string cache_line;
+  try {
+    const int fd = connect_to(options.connect_port);
+    const std::string stats_req = "{\"op\":\"stats\"}\n";
+    (void)!::send(fd, stats_req.data(), stats_req.size(), MSG_NOSIGNAL);
+    std::string buffer, line;
+    if (read_line(fd, buffer, line)) {
+      const io::JsonValue doc = io::JsonValue::parse(line);
+      if (const io::JsonValue* stats = doc.find("stats")) {
+        if (const io::JsonValue* cache = stats->find("cache")) {
+          cache_line = "cache:       exact " +
+                       std::to_string(cache->int_or("exact_hits", 0)) +
+                       "  retarget " +
+                       std::to_string(cache->int_or("retarget_hits", 0)) +
+                       "  miss " + std::to_string(cache->int_or("misses", 0));
+        }
+      }
+    }
+    ::close(fd);
+  } catch (const std::exception&) {
+    // stats are best-effort
+  }
+  report(tally, seconds, cache_line);
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: qulrb_loadgen [--requests N] [--concurrency C] [--m M] [--n N]\n"
+         "                     [--k K] [--variant qcqm1|qcqm2] [--sweeps S]\n"
+         "                     [--restarts R] [--deadline-ms X] [--drift]\n"
+         "                     [--seed S] [--workers W] [--cache C] [--rate R]\n"
+         "                     [--connect PORT]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        util::require(i + 1 < argc, "loadgen: missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--requests") options.requests = std::stoul(next());
+      else if (arg == "--concurrency") options.concurrency = std::stoul(next());
+      else if (arg == "--m") options.m = std::stoul(next());
+      else if (arg == "--n") options.n = std::stoll(next());
+      else if (arg == "--k") options.k = std::stoll(next());
+      else if (arg == "--variant") {
+        const std::string v = next();
+        util::require(v == "qcqm1" || v == "qcqm2", "loadgen: bad variant");
+        options.variant = v == "qcqm1" ? lrp::CqmVariant::kReduced
+                                       : lrp::CqmVariant::kFull;
+      } else if (arg == "--sweeps") options.sweeps = std::stoul(next());
+      else if (arg == "--restarts") options.restarts = std::stoul(next());
+      else if (arg == "--deadline-ms") options.deadline_ms = std::stod(next());
+      else if (arg == "--drift") options.drift = true;
+      else if (arg == "--seed") options.seed = std::stoull(next());
+      else if (arg == "--workers") options.workers = std::stoul(next());
+      else if (arg == "--cache") options.cache = std::stoul(next());
+      else if (arg == "--rate") options.rate = std::stod(next());
+      else if (arg == "--connect") options.connect_port = std::stoi(next());
+      else if (arg == "--help") return usage();
+      else {
+        std::cerr << "error: unknown option '" << arg << "'\n";
+        return 2;
+      }
+    }
+    util::require(options.m >= 1 && options.n >= 1, "loadgen: need m, n >= 1");
+
+    if (options.connect_port > 0) {
+      util::require(options.rate == 0.0,
+                    "loadgen: --rate is in-process only (use --concurrency)");
+      return run_tcp_closed(options);
+    }
+    if (options.rate > 0.0) return run_inproc_open(options);
+    return run_inproc_closed(options);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 3;
+  }
+}

@@ -1,0 +1,259 @@
+// qulrb_serve — JSON-lines rebalancing service front-end.
+//
+//   qulrb_serve [--port P] [--workers N] [--max-pending N] [--cache N]
+//               [--default-deadline-ms X] [--solver-threads N] [--quiet]
+//
+// Without --port, speaks the protocol on stdin/stdout (one JSON object per
+// line; responses may arrive out of submission order). With --port, accepts
+// TCP connections on 127.0.0.1:P, one protocol session per connection.
+// {"op":"shutdown"} drains in-flight work and stops the whole server.
+//
+// See src/service/protocol.hpp for the line format.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/rebalance_service.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+struct ServeOptions {
+  int port = 0;  ///< 0 = stdin/stdout mode
+  service::ServiceParams service;
+  bool quiet = false;
+};
+
+/// One protocol session: parses request lines, forwards them to the service,
+/// and serialises response lines through a caller-provided writer. Thread
+/// safe against the service's worker callbacks.
+class ProtocolSession {
+ public:
+  ProtocolSession(service::RebalanceService& svc,
+                  std::function<void(const std::string&)> write_line,
+                  std::atomic<bool>& shutdown_flag)
+      : svc_(svc), write_line_(std::move(write_line)), shutdown_(shutdown_flag) {}
+
+  /// Handle one request line. Returns false when the session should end
+  /// (shutdown requested).
+  bool handle_line(const std::string& line) {
+    service::ProtocolRequest request;
+    try {
+      request = service::parse_request_line(line);
+    } catch (const std::exception& e) {
+      write(service::encode_error(e.what(), 0));
+      return true;
+    }
+    switch (request.op) {
+      case service::OpKind::kShutdown:
+        shutdown_.store(true, std::memory_order_relaxed);
+        return false;
+      case service::OpKind::kStats:
+        write(service::encode_stats(svc_.stats()));
+        return true;
+      case service::OpKind::kCancel: {
+        std::uint64_t service_id = 0;
+        {
+          std::lock_guard<std::mutex> lock(map_mutex_);
+          auto it = inflight_.find(request.client_id);
+          if (it != inflight_.end()) service_id = it->second;
+        }
+        if (service_id == 0 || !svc_.cancel(service_id)) {
+          write(service::encode_error("unknown or finished id", request.client_id));
+        }
+        return true;
+      }
+      case service::OpKind::kSolve: break;
+    }
+
+    const std::uint64_t client_id = request.client_id;
+    const bool include_plan = request.include_plan;
+    // `answered` guards the id map against the synchronous-rejection path:
+    // the callback may run before submit() returns the service id.
+    auto answered = std::make_shared<bool>(false);
+    const std::uint64_t service_id = svc_.submit(
+        std::move(request.request),
+        [this, client_id, include_plan, answered](service::RebalanceResponse r) {
+          {
+            std::lock_guard<std::mutex> lock(map_mutex_);
+            *answered = true;
+            inflight_.erase(client_id);
+          }
+          write(service::encode_response(client_id, r, include_plan));
+        });
+    {
+      std::lock_guard<std::mutex> lock(map_mutex_);
+      if (!*answered) inflight_[client_id] = service_id;
+    }
+    return true;
+  }
+
+ private:
+  void write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    write_line_(line);
+  }
+
+  service::RebalanceService& svc_;
+  std::function<void(const std::string&)> write_line_;
+  std::atomic<bool>& shutdown_;
+  std::mutex write_mutex_;
+  std::mutex map_mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight_;  ///< client -> service id
+};
+
+int run_stdio(service::RebalanceService& svc) {
+  std::atomic<bool> shutdown{false};
+  ProtocolSession session(
+      svc, [](const std::string& line) { std::cout << line << "\n" << std::flush; },
+      shutdown);
+  std::string line;
+  while (!shutdown.load(std::memory_order_relaxed) && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!session.handle_line(line)) break;
+  }
+  svc.drain();  // answer everything already admitted before exiting
+  return 0;
+}
+
+void send_all(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; responses are best-effort
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void serve_connection(service::RebalanceService& svc, int fd,
+                      std::atomic<bool>& shutdown) {
+  ProtocolSession session(
+      svc, [fd](const std::string& line) { send_all(fd, line); }, shutdown);
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !shutdown.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty() && !session.handle_line(line)) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // Answer in-flight requests of this connection before closing the socket:
+  // their callbacks write through fd.
+  svc.drain();
+  ::close(fd);
+}
+
+int run_tcp(service::RebalanceService& svc, int port, bool quiet) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  util::require(listen_fd >= 0, "serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  util::require(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "serve: bind() failed (port in use?)");
+  util::require(::listen(listen_fd, 128) == 0, "serve: listen() failed");
+  if (!quiet) {
+    std::cerr << "qulrb_serve: listening on 127.0.0.1:" << port << "\n";
+  }
+
+  std::atomic<bool> shutdown{false};
+  std::vector<std::thread> connections;
+  // The shutdown op trips the flag; closing the listen socket from a watcher
+  // unblocks accept() so the loop can exit.
+  std::thread watcher([&] {
+    while (!shutdown.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  });
+
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listen socket closed by the watcher
+    connections.emplace_back(
+        [&svc, fd, &shutdown] { serve_connection(svc, fd, shutdown); });
+  }
+  shutdown.store(true, std::memory_order_relaxed);
+  watcher.join();
+  for (auto& t : connections) t.join();
+  svc.drain();
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: qulrb_serve [--port P] [--workers N] [--max-pending N]\n"
+               "                   [--cache N] [--default-deadline-ms X]\n"
+               "                   [--solver-threads N] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        util::require(i + 1 < argc, "serve: missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--port") options.port = std::stoi(next());
+      else if (arg == "--workers") options.service.num_workers = std::stoul(next());
+      else if (arg == "--max-pending") options.service.max_pending = std::stoul(next());
+      else if (arg == "--cache") options.service.cache_capacity = std::stoul(next());
+      else if (arg == "--default-deadline-ms")
+        options.service.default_deadline_ms = std::stod(next());
+      else if (arg == "--solver-threads")
+        options.service.solver_threads = std::stoul(next());
+      else if (arg == "--quiet") options.quiet = true;
+      else if (arg == "--help") return usage();
+      else {
+        std::cerr << "error: unknown option '" << arg << "'\n";
+        return 2;
+      }
+    }
+
+    service::RebalanceService svc(options.service);
+    if (options.port > 0) return run_tcp(svc, options.port, options.quiet);
+    return run_stdio(svc);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 3;
+  }
+}
