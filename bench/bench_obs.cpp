@@ -1,0 +1,105 @@
+// Observability overhead benchmarks: the same annealer hot loop with
+// recording off (null Recorder pointer, the production default) and on
+// (spans + incumbent timeline + sweep counter). The acceptance bar is <2%
+// on BM_CqmAnnealSweep-shaped work at m=32; the primitive costs (counter
+// increment, histogram observe) are tracked separately.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "anneal/cqm_anneal.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "model/expr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "util/rng.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+// ----- primitives -----------------------------------------------------------
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::LogHistogram hist;
+  double v = 0.125;
+  for (auto _ : state) {
+    hist.observe(v);
+    v += 0.001;
+    if (v > 100.0) v = 0.125;
+  }
+  benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsNullSpan(benchmark::State& state) {
+  // The disabled path every instrumented call site pays when no recorder is
+  // attached: one pointer test, no allocation, no lock.
+  for (auto _ : state) {
+    obs::Recorder::Span span(nullptr, "noop", "bench", 0);
+    span.close();
+  }
+}
+BENCHMARK(BM_ObsNullSpan);
+
+// ----- annealer sweep, recording off vs on ----------------------------------
+
+struct SweepFixture {
+  explicit SweepFixture(std::size_t m)
+      : scenario(workloads::scenarios::node_scaling(m)),
+        cqm(scenario.problem, lrp::CqmVariant::kReduced, 500),
+        penalties(cqm.cqm().num_constraints(), 1.0),
+        pairs(anneal::PairMoveIndex::build(cqm.cqm())) {}
+
+  workloads::scenarios::Scenario scenario;
+  lrp::LrpCqm cqm;
+  std::vector<double> penalties;
+  anneal::PairMoveIndex pairs;
+};
+
+void BM_CqmAnnealSweepObsOff(benchmark::State& state) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  anneal::CqmAnnealParams params;
+  params.sweeps = 1;
+  const anneal::CqmAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annealer.anneal_once(fx.cqm.cqm(), fx.penalties,
+                                                  rng, {}, nullptr, &fx.pairs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
+}
+BENCHMARK(BM_CqmAnnealSweepObsOff)->Arg(8)->Arg(32);
+
+void BM_CqmAnnealSweepObsOn(benchmark::State& state) {
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  obs::Recorder recorder("bench");
+  obs::MetricsRegistry registry;
+  anneal::CqmAnnealParams params;
+  params.sweeps = 1;
+  params.recorder = &recorder;
+  params.sweep_counter = &registry.counter("qulrb_solver_sweeps_total", "");
+  const anneal::CqmAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annealer.anneal_once(fx.cqm.cqm(), fx.penalties,
+                                                  rng, {}, nullptr, &fx.pairs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
+}
+BENCHMARK(BM_CqmAnnealSweepObsOn)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -8,7 +8,9 @@
 # speedups per benchmark. Then runs bench_service and writes
 # BENCH_service.json with request latency cold vs cached (and the implied
 # cache speedup), per-kind session-checkout cost, and closed-loop throughput
-# by concurrency.
+# by concurrency. Finally runs bench_obs and writes BENCH_obs.json with the
+# recording-on vs recording-off annealer sweep times and the implied
+# observability overhead (the acceptance bar is <2% at m=32).
 #
 # Usage: bench/export_bench_json.sh [build-dir]   (default: ./build)
 set -eu
@@ -94,8 +96,77 @@ service_bin="$build_dir/bench/bench_service"
 service_out="$repo_root/BENCH_service.json"
 service_min_time=${QULRB_SERVICE_BENCH_MIN_TIME:-0.2}
 
+run_obs_bench() {
+  obs_bin="$build_dir/bench/bench_obs"
+  obs_out="$repo_root/BENCH_obs.json"
+  obs_min_time=${QULRB_OBS_BENCH_MIN_TIME:-0.3}
+
+  if [ ! -x "$obs_bin" ]; then
+    echo "warning: $obs_bin not found; skipping BENCH_obs.json" >&2
+    return 0
+  fi
+
+  obs_tmp=$(mktemp)
+  "$obs_bin" \
+    --benchmark_min_time="$obs_min_time" \
+    --benchmark_repetitions="${QULRB_OBS_BENCH_REPS:-3}" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$obs_tmp"
+
+  python3 - "$obs_tmp" "$obs_out" <<'PY'
+import json
+import sys
+
+current_path, out_path = sys.argv[1], sys.argv[2]
+
+with open(current_path) as f:
+    report = json.load(f)
+
+rows = {}
+for b in report.get("benchmarks", []):
+    # With repetitions we keep the median aggregate; without, the iteration.
+    if b.get("run_type") == "aggregate" and b.get("aggregate_name") != "median":
+        continue
+    name = b.get("run_name", b["name"])
+    rows[name] = {
+        "real_time": b["real_time"],
+        "cpu_time": b["cpu_time"],
+        "time_unit": b.get("time_unit", "ns"),
+    }
+
+summary = {}
+for m in (8, 32):
+    off = rows.get(f"BM_CqmAnnealSweepObsOff/{m}")
+    on = rows.get(f"BM_CqmAnnealSweepObsOn/{m}")
+    if off and on:
+        overhead = on["real_time"] / off["real_time"] - 1.0
+        summary[f"sweep_overhead_pct_m{m}"] = round(100.0 * overhead, 2)
+for prim in ("BM_ObsCounterInc", "BM_ObsHistogramObserve", "BM_ObsNullSpan"):
+    if prim in rows:
+        summary[f"{prim}_ns"] = round(rows[prim]["real_time"], 2)
+
+result = {
+    "bench": "bench_obs",
+    "note": "recording-on vs recording-off annealer sweep; overhead bar <2% at m=32",
+    "context": report.get("context", {}),
+    "summary": summary,
+    "benchmarks": rows,
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+for key, value in summary.items():
+    print(f"{key}: {value}")
+print(f"wrote {out_path}")
+PY
+  rm -f "$obs_tmp"
+}
+
 if [ ! -x "$service_bin" ]; then
   echo "warning: $service_bin not found; skipping BENCH_service.json" >&2
+  run_obs_bench
   exit 0
 fi
 
@@ -168,3 +239,6 @@ for key, value in summary.items():
     print(f"{key}: {value}")
 print(f"wrote {out_path}")
 PY
+
+# --------------------------------------------------------------- obs bench ---
+run_obs_bench

@@ -405,6 +405,12 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
 
   Sample best{walk.state(), walk.objective(), walk.total_violation(), walk.feasible()};
 
+  obs::Recorder::Span anneal_span(params_.recorder,
+                                  params_.refinement ? "refine" : "anneal",
+                                  "sampler", params_.trace_track);
+  const std::size_t sample_every = std::max<std::size_t>(1, params_.sweeps / 64);
+  std::size_t sweeps_done = 0;
+
   const PairMoveIndex local_pairs =
       (pairs == nullptr && params_.pair_move_prob > 0.0) ? PairMoveIndex::build(cqm)
                                                          : PairMoveIndex{};
@@ -447,6 +453,17 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
       trace->best_energy_per_sweep.push_back(best.energy + best.violation);
       trace->violation_per_sweep.push_back(walk.total_violation());
     }
+    ++sweeps_done;
+    if (params_.recorder != nullptr &&
+        (sweep % sample_every == 0 || sweep + 1 == schedule.sweeps())) {
+      params_.recorder->sample("incumbent_energy", params_.trace_track,
+                               best.energy + best.violation);
+      params_.recorder->sample("incumbent_violation", params_.trace_track,
+                               best.violation);
+    }
+  }
+  if (params_.sweep_counter != nullptr && sweeps_done > 0) {
+    params_.sweep_counter->inc(sweeps_done);
   }
   return best;
 }

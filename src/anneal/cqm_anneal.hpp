@@ -9,6 +9,8 @@
 #include "anneal/sampleset.hpp"
 #include "anneal/schedule.hpp"
 #include "model/cqm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -177,6 +179,15 @@ struct CqmAnnealParams {
   /// Polled once per sweep; when expired the best-seen sample is returned
   /// immediately (anytime semantics). Inert by default.
   util::CancelToken cancel;
+  /// Optional trace sink: records one span per anneal_once on `trace_track`
+  /// plus sampled incumbent-energy/violation timelines (~64 points). Same
+  /// discipline as `cancel`: consumes no RNG, never alters control flow, so
+  /// output is bitwise identical with or without it.
+  obs::Recorder* recorder = nullptr;
+  std::uint32_t trace_track = 0;
+  /// Optional metrics sink: bumped once per anneal_once by the number of
+  /// sweeps actually executed.
+  obs::Counter* sweep_counter = nullptr;
 };
 
 /// Per-run diagnostics: convergence trace and move statistics. Opt-in via

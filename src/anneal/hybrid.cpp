@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <numeric>
 #include <optional>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -109,6 +110,47 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   result.stats.num_constraints = cqm.num_constraints();
   result.stats.simulated_qpu_ms = params_.simulated_qpu_access_ms;
 
+  // Metrics handles are resolved once per solve (registration takes a
+  // mutex); everything below the portfolio only touches lock-free counters.
+  obs::Counter* m_restarts = nullptr;
+  obs::Counter* m_penalty_rounds = nullptr;
+  obs::Counter* m_budget_expired = nullptr;
+  obs::Counter* m_sweeps = nullptr;
+  obs::LogHistogram* m_solve_ms = nullptr;
+  if (params_.metrics != nullptr) {
+    auto& reg = *params_.metrics;
+    reg.counter("qulrb_solver_solves_total", "Hybrid CQM solves started").inc();
+    m_restarts = &reg.counter("qulrb_solver_restarts_total",
+                              "Portfolio restarts completed");
+    m_penalty_rounds = &reg.counter("qulrb_solver_penalty_rounds_total",
+                                    "Adaptive penalty escalation rounds run");
+    m_budget_expired =
+        &reg.counter("qulrb_solver_budget_expired_total",
+                     "Solves truncated by their budget or a cancellation");
+    m_sweeps = &reg.counter("qulrb_solver_sweeps_total",
+                            "Sampler sweeps executed across all portfolio members");
+    m_solve_ms = &reg.histogram("qulrb_solver_solve_ms",
+                                "Hybrid solve wall time in milliseconds");
+  }
+  obs::Recorder* const rec = params_.recorder;
+  if (rec != nullptr) {
+    rec->annotate("num_variables", std::to_string(cqm.num_variables()));
+    rec->annotate("num_constraints", std::to_string(cqm.num_constraints()));
+  }
+  const auto finalize = [&] {
+    result.stats.cpu_ms = timer.elapsed_ms();
+    if (m_restarts != nullptr && result.stats.restarts_used > 0) {
+      m_restarts->inc(result.stats.restarts_used);
+    }
+    if (m_penalty_rounds != nullptr && result.stats.penalty_rounds_used > 0) {
+      m_penalty_rounds->inc(result.stats.penalty_rounds_used);
+    }
+    if (m_budget_expired != nullptr && result.stats.budget_expired) {
+      m_budget_expired->inc();
+    }
+    if (m_solve_ms != nullptr) m_solve_ms->observe(result.stats.cpu_ms);
+  };
+
   // One effective budget: the caller's token (service deadline, client
   // cancel) tightened by the solver's own wall-clock limit. Every portfolio
   // member polls it per sweep, so running restarts stop near the budget
@@ -119,9 +161,11 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   }
 
   // --- classical presolve --------------------------------------------------
-  const model::PresolveResult local_pre =
-      params_.reuse_presolve != nullptr ? model::PresolveResult{}
-                                        : model::presolve(cqm);
+  const model::PresolveResult local_pre = [&] {
+    if (params_.reuse_presolve != nullptr) return model::PresolveResult{};
+    obs::Recorder::Span presolve_span(rec, "presolve", "hybrid", 0);
+    return model::presolve(cqm);
+  }();
   const model::PresolveResult& pre =
       params_.reuse_presolve != nullptr ? *params_.reuse_presolve : local_pre;
   result.stats.presolve_fixed = pre.num_fixed;
@@ -129,7 +173,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     result.stats.presolve_infeasible = true;
     model::State zero(cqm.num_variables(), 0);
     result.best = {zero, cqm.objective_value(zero), cqm.total_violation(zero), false};
-    result.stats.cpu_ms = timer.elapsed_ms();
+    finalize();
     return result;
   }
 
@@ -145,6 +189,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   }
   if (params_.exhaustive_max_vars > 0 && free_vars.size() < 64 &&
       free_vars.size() <= params_.exhaustive_max_vars) {
+    obs::Recorder::Span enum_span(rec, "exhaustive-enum", "hybrid", 0);
     model::State base(cqm.num_variables(), 0);
     apply_fixings(base, pre);
     CqmIncrementalState walk(cqm, base,
@@ -185,15 +230,18 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     result.samples.add(s);
     result.best = std::move(s);
     result.stats.restarts_used = 1;
-    result.stats.cpu_ms = timer.elapsed_ms();
+    enum_span.close();
+    finalize();
     return result;
   }
 
   const std::vector<double> base_penalties =
       initial_penalties(cqm, params_.penalty_scale);
-  const PairMoveIndex local_pairs = params_.reuse_pairs != nullptr
-                                        ? PairMoveIndex{}
-                                        : PairMoveIndex::build(cqm);
+  const PairMoveIndex local_pairs = [&] {
+    if (params_.reuse_pairs != nullptr) return PairMoveIndex{};
+    obs::Recorder::Span pairs_span(rec, "pair-index-build", "hybrid", 0);
+    return PairMoveIndex::build(cqm);
+  }();
   const PairMoveIndex& pair_index =
       params_.reuse_pairs != nullptr ? *params_.reuse_pairs : local_pairs;
 
@@ -241,6 +289,17 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     const bool tempered = params_.use_tempering && r == params_.num_restarts - 1 &&
                           !refine;
 
+    // Each restart renders on its own trace track so the portfolio members
+    // line up side by side in the viewer.
+    const auto track = static_cast<std::uint32_t>(r + 1);
+    if (rec != nullptr) {
+      std::string label = "restart " + std::to_string(r);
+      if (refine) label += " (refine)";
+      if (tempered) label += " (tempering)";
+      rec->name_track(track, std::move(label));
+    }
+    obs::Recorder::Span restart_span(rec, "restart", "hybrid", track);
+
     for (std::size_t round = 0; round < std::max<std::size_t>(1, params_.max_penalty_rounds);
          ++round) {
       ++rounds;
@@ -251,12 +310,18 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
         tp.sweeps = params_.sweeps / 2 + 1;
         tp.seed = rng.next_u64();
         tp.cancel = budget;
+        tp.recorder = rec;
+        tp.trace_track = track;
+        tp.sweep_counter = m_sweeps;
         s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
       } else {
         CqmAnnealParams ap;
         ap.sweeps = params_.sweeps;
         ap.refinement = refine;
         ap.cancel = budget;
+        ap.recorder = rec;
+        ap.trace_track = track;
+        ap.sweep_counter = m_sweeps;
         s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init, nullptr,
                                         &pair_index);
       }
@@ -264,6 +329,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       // Feasibility polish: steepest descent with current penalties, then
       // zero-temperature pair moves (constraint-preserving reroutes).
       {
+        obs::Recorder::Span polish_span(rec, "polish", "hybrid", track);
         CqmIncrementalState walk(cqm, s.state, penalties);
         greedy_descent(walk, rng, 32, &budget);
         if (!pair_index.empty()) {
@@ -293,6 +359,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       if (budget.expired()) break;  // keep the incumbent; skip escalation
 
       // Escalate penalties where the best state is still violating.
+      obs::Recorder::Span adapt_span(rec, "penalty-adapt", "hybrid", track);
       const CqmIncrementalState probe(cqm, s.state, penalties);
       for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
         if (probe.constraint_violation(c) > 1e-9) {
@@ -330,7 +397,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   util::ensure(best.has_value(), "HybridCqmSolver: no restart produced a sample");
   result.best = *best;
   if (budget.expired()) result.stats.budget_expired = true;
-  result.stats.cpu_ms = timer.elapsed_ms();
+  finalize();
   return result;
 }
 

@@ -66,6 +66,16 @@ struct HybridSolverParams {
   /// D-Wave's CQM logs show (~32 ms in the paper's Table V). Purely an
   /// accounting stand-in: no quantum hardware is involved.
   double simulated_qpu_access_ms = 32.0;
+  /// Optional trace sink: phase spans (presolve, pair-index build, each
+  /// restart on its own track, polish, penalty adaptation) plus the
+  /// samplers' incumbent timelines. Same discipline as `cancel`: consumes no
+  /// RNG and never changes control flow, so results are bitwise identical
+  /// with tracing on or off.
+  obs::Recorder* recorder = nullptr;
+  /// Optional metrics sink: solve/restart/penalty-round/sweep counters and a
+  /// solve-latency histogram, registered under qulrb_solver_*. Handles are
+  /// resolved once per solve; sweep loops only touch lock-free counters.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct HybridSolveStats {

@@ -6,6 +6,8 @@
 #include "anneal/sampleset.hpp"
 #include "model/ising.hpp"
 #include "model/qubo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 
 namespace qulrb::anneal {
@@ -20,6 +22,13 @@ struct PimcParams {
   /// Polled once per field-schedule sweep; when expired the best slice seen
   /// so far is quenched and returned. Inert by default.
   util::CancelToken cancel;
+  /// Optional trace sink: spans for the Trotter evolution and the readout
+  /// quench plus a sampled best-slice-energy timeline. Consumes no RNG;
+  /// output is bitwise identical with it on/off.
+  obs::Recorder* recorder = nullptr;
+  std::uint32_t trace_track = 0;
+  /// Optional metrics sink: bumped by field-schedule sweeps executed.
+  obs::Counter* sweep_counter = nullptr;
 };
 
 /// Path-integral Monte-Carlo simulated *quantum* annealing

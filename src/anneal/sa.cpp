@@ -1,5 +1,6 @@
 #include "anneal/sa.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -38,6 +39,11 @@ Sample SimulatedAnnealer::anneal_once(const model::QuboModel& qubo, util::Rng& r
   model::State best_state = state;
   double best_energy = cache.energy();
 
+  obs::Recorder::Span read_span(params_.recorder, "sa-read", "sampler",
+                                params_.trace_track);
+  const std::size_t sample_every = std::max<std::size_t>(1, params_.sweeps / 64);
+  std::size_t sweeps_done = 0;
+
   // Incumbent tracking without per-improvement copies: log accepted flips in
   // a journal and remember where in it the best energy occurred. At sweep
   // end, sync best_state with one copy of the current state plus an undo of
@@ -72,6 +78,15 @@ Sample SimulatedAnnealer::anneal_once(const model::QuboModel& qubo, util::Rng& r
     }
     journal.clear();
     best_pos = 0;
+    ++sweeps_done;
+    if (params_.recorder != nullptr &&
+        (sweep % sample_every == 0 || sweep + 1 == schedule.sweeps())) {
+      params_.recorder->sample("incumbent_energy", params_.trace_track,
+                               best_energy);
+    }
+  }
+  if (params_.sweep_counter != nullptr && sweeps_done > 0) {
+    params_.sweep_counter->inc(sweeps_done);
   }
   return {std::move(best_state), best_energy, 0.0, true};
 }

@@ -7,6 +7,8 @@
 #include "anneal/sampleset.hpp"
 #include "anneal/schedule.hpp"
 #include "model/qubo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +25,12 @@ struct SaParams {
   /// Polled once per sweep (and between reads); when expired the best
   /// incumbent so far is returned. Inert by default.
   util::CancelToken cancel;
+  /// Optional trace sink: one span per read plus a sampled incumbent-energy
+  /// timeline. Consumes no RNG; output is bitwise identical with it on/off.
+  obs::Recorder* recorder = nullptr;
+  std::uint32_t trace_track = 0;
+  /// Optional metrics sink: bumped by sweeps executed, once per read.
+  obs::Counter* sweep_counter = nullptr;
 };
 
 /// Plain single-flip Metropolis simulated annealing over a QUBO, with O(deg)

@@ -36,6 +36,12 @@ Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
   double best_energy = cache.energy();
   std::size_t stall = 0;
 
+  obs::Recorder::Span restart_span(params_.recorder, "tabu-restart", "sampler",
+                                   params_.trace_track);
+  const std::size_t sample_every =
+      std::max<std::size_t>(1, params_.max_iterations / 64);
+  std::size_t iterations_done = 0;
+
   const auto deltas = cache.deltas();
 
   for (std::size_t iteration = 1;
@@ -70,6 +76,14 @@ Sample TabuSampler::search_once(const model::QuboModel& qubo, util::Rng& rng,
     } else {
       ++stall;
     }
+    ++iterations_done;
+    if (params_.recorder != nullptr && iteration % sample_every == 0) {
+      params_.recorder->sample("incumbent_energy", params_.trace_track,
+                               best_energy);
+    }
+  }
+  if (params_.iteration_counter != nullptr && iterations_done > 0) {
+    params_.iteration_counter->inc(iterations_done);
   }
   return {std::move(best_state), best_energy, 0.0, true};
 }

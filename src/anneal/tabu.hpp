@@ -4,6 +4,8 @@
 
 #include "anneal/sampleset.hpp"
 #include "model/qubo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -21,6 +23,13 @@ struct TabuParams {
   /// Polled inside the iteration loop (and between restarts); when expired
   /// the best incumbent so far is returned. Inert by default.
   util::CancelToken cancel;
+  /// Optional trace sink: one span per restart plus a sampled
+  /// incumbent-energy timeline. Consumes no RNG; output is bitwise identical
+  /// with it on/off.
+  obs::Recorder* recorder = nullptr;
+  std::uint32_t trace_track = 0;
+  /// Optional metrics sink: bumped by iterations executed, once per restart.
+  obs::Counter* iteration_counter = nullptr;
 };
 
 /// Single-flip tabu search over a QUBO (Glover's metaheuristic — the actual

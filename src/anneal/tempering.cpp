@@ -74,6 +74,11 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
 
   if (n == 0) return best;
 
+  obs::Recorder::Span run_span(params_.recorder, "tempering", "sampler",
+                               params_.trace_track);
+  const std::size_t sample_every = std::max<std::size_t>(1, params_.sweeps / 64);
+  std::size_t sweeps_done = 0;
+
   for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
     if (params_.cancel.expired()) break;
     for (std::size_t r = 0; r < replicas.size(); ++r) {
@@ -109,6 +114,15 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
         }
       }
     }
+    ++sweeps_done;
+    if (params_.recorder != nullptr &&
+        (sweep % sample_every == 0 || sweep + 1 == params_.sweeps)) {
+      params_.recorder->sample("incumbent_energy", params_.trace_track,
+                               best.energy + best.violation);
+    }
+  }
+  if (params_.sweep_counter != nullptr && sweeps_done > 0) {
+    params_.sweep_counter->inc(sweeps_done);
   }
   return best;
 }

@@ -5,6 +5,8 @@
 
 #include "anneal/sampleset.hpp"
 #include "model/cqm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +24,13 @@ struct TemperingParams {
   /// Polled once per replica round; when expired the best sample seen by any
   /// replica so far is returned. Inert by default.
   util::CancelToken cancel;
+  /// Optional trace sink: one span per run plus a sampled incumbent-energy
+  /// timeline. Consumes no RNG; output is bitwise identical with it on/off.
+  obs::Recorder* recorder = nullptr;
+  std::uint32_t trace_track = 0;
+  /// Optional metrics sink: bumped by replica-rounds executed (sweeps over
+  /// the whole ladder), once per run.
+  obs::Counter* sweep_counter = nullptr;
 };
 
 /// Replica-exchange (parallel tempering) Monte Carlo on a CQM with penalty

@@ -127,6 +127,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  before_value();
+  out_ << json;
+  return *this;
+}
+
 std::string JsonWriter::str() const {
   util::require(stack_.empty(), "JsonWriter: unclosed containers remain");
   return out_.str();

@@ -32,6 +32,11 @@ class JsonWriter {
   JsonWriter& value(bool v);
   JsonWriter& null();
 
+  /// Splice pre-serialized JSON in as the next value, verbatim. The caller
+  /// vouches that `json` is a complete JSON value (typically another
+  /// JsonWriter's str()).
+  JsonWriter& raw_value(const std::string& json);
+
   /// Shorthand: key + scalar.
   template <typename T>
   JsonWriter& field(const std::string& name, T v) {

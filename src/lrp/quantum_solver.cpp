@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "util/timer.hpp"
 
 namespace qulrb::lrp {
@@ -67,8 +69,17 @@ SolveOutput solve_lrp_cqm(const LrpProblem& problem, const LrpCqm& lrp_cqm,
   const anneal::HybridCqmSolver hybrid(hybrid_params);
   const anneal::HybridSolveResult result = hybrid.solve(lrp_cqm.cqm());
 
+  obs::Recorder::Span decode_span(hybrid_params.recorder, "decode-and-repair",
+                                  "lrp", 0);
   MigrationPlan plan = lrp_cqm.decode(result.best.state);
   const bool repaired = repair_plan(problem, plan);
+  decode_span.close();
+  if (repaired && hybrid_params.metrics != nullptr) {
+    hybrid_params.metrics
+        ->counter("qulrb_solver_plans_repaired_total",
+                  "Decoded plans needing a conservation repair")
+        .inc();
+  }
 
   if (diagnostics != nullptr) {
     diagnostics->num_variables = lrp_cqm.num_binary_variables();
@@ -92,7 +103,9 @@ SolveOutput solve_lrp_cqm(const LrpProblem& problem, const LrpCqm& lrp_cqm,
 SolveOutput QcqmSolver::solve(const LrpProblem& problem) {
   util::WallTimer timer;
 
+  obs::Recorder::Span build_span(options_.hybrid.recorder, "cqm-build", "lrp", 0);
   const LrpCqm lrp_cqm(problem, options_.variant, options_.k, options_.build);
+  build_span.close();
   QcqmDiagnostics diag;
   SolveOutput out = solve_lrp_cqm(problem, lrp_cqm, options_.hybrid, &diag);
   diagnostics_ = diag;

@@ -35,6 +35,8 @@ std::unique_ptr<RebalanceSolver> make_solver(const SolverSpec& spec,
     options.hybrid.seed = spec.seed;
     options.hybrid.sweeps = spec.sweeps;
     options.hybrid.num_restarts = spec.restarts;
+    options.hybrid.recorder = spec.recorder;
+    options.hybrid.metrics = spec.metrics;
     return std::make_unique<QcqmSolver>(options);
   }
   if (spec.name == "qubo") {
@@ -43,6 +45,12 @@ std::unique_ptr<RebalanceSolver> make_solver(const SolverSpec& spec,
     options.sa.seed = spec.seed;
     options.sa.sweeps = spec.sweeps;
     options.sa.num_reads = spec.restarts * 2;
+    options.sa.recorder = spec.recorder;
+    if (spec.metrics != nullptr) {
+      options.sa.sweep_counter = &spec.metrics->counter(
+          "qulrb_solver_sweeps_total",
+          "Sampler sweeps executed across all portfolio members");
+    }
     return std::make_unique<QuboAnnealSolver>(options);
   }
   if (spec.name == "qaoa") {

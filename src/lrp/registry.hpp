@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "lrp/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace qulrb::lrp {
 
@@ -19,6 +21,10 @@ struct SolverSpec {
   std::uint64_t seed = 2024;
   std::size_t sweeps = 2000;     ///< anneal budget (quantum methods)
   std::size_t restarts = 3;
+  /// Optional observability sinks, threaded into the sampler-backed solvers
+  /// (null for the classical heuristics, which have nothing to record).
+  obs::Recorder* recorder = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// All names accepted by make_solver.

@@ -1,0 +1,73 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace qulrb::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string with_labels(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string merged_labels(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  std::string last_family;
+  for (const auto& e : entries_) {
+    if (e->name != last_family) {
+      last_family = e->name;
+      if (!e->help.empty()) out << "# HELP " << e->name << ' ' << e->help << '\n';
+      const char* type = e->kind == Kind::kCounter   ? "counter"
+                         : e->kind == Kind::kGauge   ? "gauge"
+                                                     : "histogram";
+      out << "# TYPE " << e->name << ' ' << type << '\n';
+    }
+    switch (e->kind) {
+      case Kind::kCounter:
+        out << with_labels(e->name, e->labels) << ' ' << e->counter->value()
+            << '\n';
+        break;
+      case Kind::kGauge:
+        out << with_labels(e->name, e->labels) << ' '
+            << fmt_double(e->gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const LogHistogram& h = *e->histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+          cumulative += h.bucket_count(b);
+          out << with_labels(e->name + "_bucket",
+                             merged_labels(e->labels, "le=\"" +
+                                                          fmt_double(h.upper_edge(b)) +
+                                                          "\""))
+              << ' ' << cumulative << '\n';
+        }
+        out << with_labels(e->name + "_sum", e->labels) << ' '
+            << fmt_double(h.sum()) << '\n';
+        out << with_labels(e->name + "_count", e->labels) << ' ' << cumulative
+            << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace qulrb::obs

@@ -1,0 +1,279 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+
+/// Stripe count for counters and histograms. Writers are spread round-robin
+/// across stripes by thread, so concurrent increments from the worker pool
+/// and the solver's restart pool touch different cache lines; scrapes sum
+/// the stripes. Eight stripes cover the restart/worker parallelism this
+/// codebase actually runs while keeping each histogram a few KB.
+inline constexpr std::size_t kMetricShards = 8;
+
+/// Stable per-thread stripe assignment (round-robin at first use).
+inline std::size_t metric_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+/// Monotonic counter. inc() is one relaxed fetch_add on a thread-striped
+/// cache line — safe to call from sweep loops. value() sums the stripes
+/// (monotone, but not a point-in-time snapshot across concurrent writers,
+/// which is all Prometheus semantics require).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    shards_[metric_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kMetricShards> shards_;
+};
+
+/// Last-value / extremum gauge over a single atomic double.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Raise the gauge to `v` if it is below (high-watermark tracking).
+  void update_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket log-scale histogram: bucket b >= 1 covers values in
+/// [lo * 2^((b-1)/per_octave), lo * 2^(b/per_octave)), bucket 0 everything
+/// at or below `lo`, and the last bucket is the +inf overflow. The bucket
+/// layout is fixed at construction, so merging shards (and merging scrapes
+/// across processes) is plain addition. observe() is one relaxed fetch_add
+/// plus a CAS-add on the striped sum — no mutex anywhere.
+///
+/// The default layout (lo = 1e-3, 2 buckets per octave, 58 buckets) spans
+/// 1 microsecond to ~4.5 minutes when fed milliseconds, which covers every
+/// latency this service can produce.
+struct HistogramLayout {
+  double lo = 1e-3;
+  std::size_t buckets = 58;  ///< including underflow and overflow
+  double buckets_per_octave = 2.0;
+};
+
+class LogHistogram {
+ public:
+  using Layout = HistogramLayout;
+
+  explicit LogHistogram(Layout layout = Layout()) : layout_(layout) {
+    util::require(layout_.buckets >= 3 && layout_.lo > 0.0 &&
+                      layout_.buckets_per_octave > 0.0,
+                  "LogHistogram: need lo > 0 and at least 3 buckets");
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(kMetricShards *
+                                                             layout_.buckets);
+    inv_log2_lo_ = 1.0 / std::log(2.0);
+  }
+
+  void observe(double v) noexcept {
+    const std::size_t shard = metric_shard();
+    counts_[shard * layout_.buckets + bucket_of(v)].fetch_add(
+        1, std::memory_order_relaxed);
+    auto& sum = sums_[shard].v;
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::size_t num_buckets() const noexcept { return layout_.buckets; }
+  const Layout& layout() const noexcept { return layout_; }
+
+  /// Index of the bucket `v` falls into.
+  std::size_t bucket_of(double v) const noexcept {
+    if (!(v > layout_.lo)) return 0;  // also catches NaN and non-positives
+    const double octaves = std::log(v / layout_.lo) * inv_log2_lo_;
+    const double idx = std::floor(octaves * layout_.buckets_per_octave) + 1.0;
+    const double last = static_cast<double>(layout_.buckets - 1);
+    return idx >= last ? layout_.buckets - 1 : static_cast<std::size_t>(idx);
+  }
+
+  /// Upper edge of bucket b (+inf for the overflow bucket).
+  double upper_edge(std::size_t b) const noexcept {
+    if (b + 1 >= layout_.buckets) return std::numeric_limits<double>::infinity();
+    return layout_.lo *
+           std::exp2(static_cast<double>(b) / layout_.buckets_per_octave);
+  }
+
+  std::uint64_t bucket_count(std::size_t b) const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < kMetricShards; ++s) {
+      total += counts_[s * layout_.buckets + b].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t b = 0; b < layout_.buckets; ++b) total += bucket_count(b);
+    return total;
+  }
+
+  double sum() const noexcept {
+    double total = 0.0;
+    for (const auto& s : sums_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// Quantile estimate from the bucket counts (geometric interpolation
+  /// inside the containing bucket). Good to a bucket width — enough for
+  /// latency reporting; use raw samples when exactness matters.
+  double quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    const double rank = q * static_cast<double>(total);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < layout_.buckets; ++b) {
+      const std::uint64_t c = bucket_count(b);
+      if (c == 0) continue;
+      if (static_cast<double>(seen + c) >= rank) {
+        const double lo = b == 0 ? layout_.lo / 2.0 : upper_edge(b - 1);
+        double hi = upper_edge(b);
+        if (std::isinf(hi)) hi = upper_edge(b - 1) * 2.0;
+        const double frac =
+            (rank - static_cast<double>(seen)) / static_cast<double>(c);
+        return lo * std::pow(hi / lo, frac);
+      }
+      seen += c;
+    }
+    return upper_edge(layout_.buckets - 2);
+  }
+
+ private:
+  Layout layout_;
+  double inv_log2_lo_ = 1.0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  ///< [shard][bucket]
+  struct alignas(64) SumSlot {
+    std::atomic<double> v{0.0};
+  };
+  std::array<SumSlot, kMetricShards> sums_;
+};
+
+/// Named metric store. Registration (counter()/gauge()/histogram()) takes a
+/// mutex and is meant to run once per metric — callers keep the returned
+/// reference, whose address is stable for the registry's lifetime, and hit
+/// only the lock-free increment paths afterwards. Scrapes walk the entries
+/// in registration order, so the exposition is deterministic.
+///
+/// `labels` is an optional raw Prometheus label body (e.g.
+/// `outcome="ok"`); entries sharing a name but differing in labels form one
+/// metric family in the exposition.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const std::string& labels = "") {
+    Entry& e = entry_for(Kind::kCounter, name, help, labels);
+    return *e.counter;
+  }
+
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const std::string& labels = "") {
+    Entry& e = entry_for(Kind::kGauge, name, help, labels);
+    return *e.gauge;
+  }
+
+  LogHistogram& histogram(const std::string& name, const std::string& help = "",
+                          HistogramLayout layout = HistogramLayout()) {
+    Entry& e = entry_for(Kind::kHistogram, name, help, "", layout);
+    return *e.histogram;
+  }
+
+  /// Prometheus text exposition (format version 0.0.4) of every registered
+  /// metric. Histograms emit cumulative `_bucket{le=...}` lines plus `_sum`
+  /// and `_count`. Defined in metrics.cpp (scrape-side only).
+  std::string to_prometheus() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string labels;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+
+  Entry& entry_for(Kind kind, const std::string& name, const std::string& help,
+                   const std::string& labels,
+                   HistogramLayout layout = HistogramLayout()) {
+    const std::string key = name + "\x1f" + labels;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      util::require(it->second->kind == kind,
+                    "MetricsRegistry: '" + name + "' re-registered as a "
+                    "different metric kind");
+      return *it->second;
+    }
+    auto e = std::make_unique<Entry>();
+    e->kind = kind;
+    e->name = name;
+    e->labels = labels;
+    e->help = help;
+    switch (kind) {
+      case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        e->histogram = std::make_unique<LogHistogram>(layout);
+        break;
+    }
+    entries_.push_back(std::move(e));
+    index_.emplace(key, entries_.back().get());
+    return *entries_.back();
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< registration order
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+}  // namespace qulrb::obs

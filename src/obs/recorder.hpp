@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace qulrb::obs {
+
+/// One closed span on a trace track (durations/timestamps in microseconds
+/// since the recorder's epoch).
+struct TraceSpan {
+  std::string name;
+  const char* category = "solve";  ///< must point at a static string
+  std::uint32_t track = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// One point on a counter timeline (e.g. incumbent energy over time).
+struct TraceSample {
+  const char* series = "";  ///< must point at a static string
+  std::uint32_t track = 0;
+  double t_us = 0.0;
+  double value = 0.0;
+};
+
+/// Per-solve trace collector: spans (phases) on numbered tracks plus sampled
+/// counter timelines, all timestamped against one steady-clock epoch so
+/// concurrent restart tracks line up in the viewer.
+///
+/// Null-object discipline — identical to util::CancelToken: solver params
+/// carry a `Recorder*` that is nullptr when tracing is off, and every call
+/// site guards with `if (recorder != nullptr)`. The guard is a single
+/// perfectly-predicted branch, the recorder consumes no RNG, and it never
+/// changes control flow, so sampler output is bitwise identical either way.
+///
+/// Recording methods take a mutex; they are called per phase or per sampled
+/// sweep batch, never per flip, so the lock is off the hot path.
+class Recorder {
+ public:
+  explicit Recorder(std::string name = "solve") : name_(std::move(name)) {}
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Microseconds since this recorder was constructed.
+  double now_us() const noexcept { return epoch_.elapsed_us(); }
+
+  const std::string& name() const noexcept { return name_; }
+
+  void span(std::string name, const char* category, std::uint32_t track,
+            double start_us, double end_us) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(TraceSpan{std::move(name), category, track, start_us,
+                               end_us > start_us ? end_us - start_us : 0.0});
+  }
+
+  void sample(const char* series, std::uint32_t track, double value) {
+    const double t = now_us();
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(TraceSample{series, track, t, value});
+  }
+
+  /// Human-readable label for a track row in the viewer (track 0 is labelled
+  /// automatically from the recorder name).
+  void name_track(std::uint32_t track, std::string label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [t, l] : track_names_) {
+      if (t == track) {
+        l = std::move(label);
+        return;
+      }
+    }
+    track_names_.emplace_back(track, std::move(label));
+  }
+
+  /// Free-form annotation exported into the trace's metadata object.
+  void annotate(const std::string& key, std::string value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [k, v] : annotations_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    annotations_.emplace_back(key, std::move(value));
+  }
+
+  std::vector<TraceSpan> spans() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+  }
+  std::vector<TraceSample> samples() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+  }
+  std::vector<std::pair<std::uint32_t, std::string>> track_names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return track_names_;
+  }
+  std::vector<std::pair<std::string, std::string>> annotations() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return annotations_;
+  }
+
+  /// RAII phase scope: records a span from construction to destruction (or
+  /// close()). Safe to construct with a null recorder — then it does
+  /// nothing, which is how the zero-cost disabled path reads at call sites:
+  ///
+  ///   obs::Recorder::Span phase(params.recorder, "presolve", "hybrid", 0);
+  class Span {
+   public:
+    Span(Recorder* recorder, const char* name, const char* category,
+         std::uint32_t track) noexcept
+        : recorder_(recorder), name_(name), category_(category), track_(track) {
+      if (recorder_ != nullptr) start_us_ = recorder_->now_us();
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    ~Span() { close(); }
+
+    void close() noexcept {
+      if (recorder_ == nullptr) return;
+      try {
+        recorder_->span(name_, category_, track_, start_us_,
+                        recorder_->now_us());
+      } catch (...) {
+        // Allocation failure while tracing must not take down the solve.
+      }
+      recorder_ = nullptr;
+    }
+
+   private:
+    Recorder* recorder_;
+    const char* name_;
+    const char* category_;
+    std::uint32_t track_;
+    double start_us_ = 0.0;
+  };
+
+ private:
+  std::string name_;
+  util::WallTimer epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceSample> samples_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+/// Perfetto/Chrome-trace JSON for one recorded solve: spans become complete
+/// events (track = tid), counter timelines become counter events (the series
+/// of track t > 0 are suffixed "/t<t>" so restart timelines stay separate),
+/// track labels become thread-name metadata, annotations land in the
+/// document's metadata object. Defined in recorder.cpp (export side only —
+/// the recording side above stays header-only so the samplers need no link
+/// dependency on qulrb_obs).
+std::string to_perfetto_json(const Recorder& recorder);
+
+}  // namespace qulrb::obs

@@ -1,0 +1,100 @@
+#include "obs/trace_writer.hpp"
+
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+
+TraceWriter::TraceWriter() {
+  events_.begin_object();
+  events_.key("traceEvents");
+  events_.begin_array();
+  meta_.begin_object();
+}
+
+void TraceWriter::begin_event(const char* ph, std::int64_t pid,
+                              std::int64_t tid) {
+  events_.begin_object();
+  events_.field("ph", ph);
+  events_.field("pid", pid);
+  events_.field("tid", tid);
+}
+
+void TraceWriter::complete(const std::string& name, const char* category,
+                           std::int64_t pid, std::int64_t tid, double start_us,
+                           double dur_us) {
+  if (dur_us <= 0.0) return;
+  begin_event("X", pid, tid);
+  events_.field("name", name);
+  events_.field("cat", category);
+  events_.field("ts", start_us);
+  events_.field("dur", dur_us);
+  events_.end_object();
+}
+
+void TraceWriter::counter(const std::string& series, std::int64_t pid,
+                          double t_us, double value) {
+  begin_event("C", pid, 0);
+  events_.field("name", series);
+  events_.field("ts", t_us);
+  events_.key("args");
+  events_.begin_object();
+  events_.field("value", value);
+  events_.end_object();
+  events_.end_object();
+}
+
+void TraceWriter::instant(const std::string& name, const char* category,
+                          std::int64_t pid, std::int64_t tid, double t_us) {
+  begin_event("i", pid, tid);
+  events_.field("name", name);
+  events_.field("cat", category);
+  events_.field("ts", t_us);
+  events_.field("s", "t");  // thread-scoped marker
+  events_.end_object();
+}
+
+void TraceWriter::process_name(std::int64_t pid, const std::string& name) {
+  begin_event("M", pid, 0);
+  events_.field("name", "process_name");
+  events_.key("args");
+  events_.begin_object();
+  events_.field("name", name);
+  events_.end_object();
+  events_.end_object();
+}
+
+void TraceWriter::thread_name(std::int64_t pid, std::int64_t tid,
+                              const std::string& name) {
+  begin_event("M", pid, tid);
+  events_.field("name", "thread_name");
+  events_.key("args");
+  events_.begin_object();
+  events_.field("name", name);
+  events_.end_object();
+  events_.end_object();
+}
+
+void TraceWriter::metadata(const std::string& key, const std::string& value) {
+  meta_.field(key, value);
+}
+
+void TraceWriter::metadata(const std::string& key, double value) {
+  meta_.field(key, value);
+}
+
+void TraceWriter::metadata(const std::string& key, std::int64_t value) {
+  meta_.field(key, value);
+}
+
+std::string TraceWriter::finish() {
+  util::require(!finished_, "TraceWriter: finish() called twice");
+  finished_ = true;
+  events_.end_array();
+  meta_.end_object();
+  events_.key("metadata");
+  events_.raw_value(meta_.str());
+  events_.end_object();
+  return events_.str();
+}
+
+}  // namespace qulrb::obs

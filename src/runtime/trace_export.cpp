@@ -2,73 +2,51 @@
 
 #include <fstream>
 
-#include "io/json.hpp"
+#include "obs/trace_writer.hpp"
 #include "util/error.hpp"
 
 namespace qulrb::runtime {
-
-namespace {
-
-/// Emit one complete ("X") event; Chrome tracing uses microseconds.
-void emit_event(io::JsonWriter& json, const std::string& name, std::size_t process,
-                double start_ms, double duration_ms, const char* category) {
-  if (duration_ms <= 0.0) return;
-  json.begin_object();
-  json.field("name", name);
-  json.field("cat", category);
-  json.field("ph", "X");
-  json.field("ts", start_ms * 1e3);
-  json.field("dur", duration_ms * 1e3);
-  json.field("pid", 1);
-  json.field("tid", static_cast<std::int64_t>(process));
-  json.end_object();
-}
-
-}  // namespace
 
 std::string to_chrome_trace(const lrp::LrpProblem& problem,
                             const lrp::MigrationPlan& plan, const BspResult& result) {
   util::require(result.processes.size() == problem.num_processes(),
                 "to_chrome_trace: result does not match the problem");
 
-  io::JsonWriter json;
-  json.begin_object();
-  json.key("traceEvents");
-  json.begin_array();
+  constexpr std::int64_t kPid = 1;
+  obs::TraceWriter writer;
+  writer.process_name(kPid, "bsp-sim");
 
   for (std::size_t p = 0; p < result.processes.size(); ++p) {
     const ProcessTrace& trace = result.processes[p];
-    double cursor = 0.0;
+    const auto tid = static_cast<std::int64_t>(p);
+    writer.thread_name(kPid, tid, "rank " + std::to_string(p));
     if (trace.send_ms > 0.0) {
-      emit_event(json, "migrate-send (" + std::to_string(trace.tasks_sent) + " tasks)",
-                 p, cursor, trace.send_ms, "comm");
+      writer.complete("migrate-send (" + std::to_string(trace.tasks_sent) +
+                          " tasks)",
+                      "comm", kPid, tid, 0.0, trace.send_ms * 1e3);
     }
     if (trace.recv_wait_ms > 0.0) {
-      emit_event(json,
-                 "await-inbound (" + std::to_string(trace.tasks_received) + " tasks)",
-                 p, cursor, trace.recv_wait_ms, "comm");
+      writer.complete("await-inbound (" + std::to_string(trace.tasks_received) +
+                          " tasks)",
+                      "comm", kPid, tid, 0.0, trace.recv_wait_ms * 1e3);
     }
     // Compute is rendered as one block ending at the process's finish time.
     const double compute_start = trace.finish_ms - trace.compute_ms < 0.0
                                      ? 0.0
                                      : trace.finish_ms - trace.compute_ms;
-    emit_event(json,
-               "compute (" + std::to_string(trace.tasks_executed) + " tasks)", p,
-               compute_start, trace.compute_ms, "compute");
-    cursor = trace.finish_ms;
-    emit_event(json, "barrier-wait", p, cursor, trace.idle_ms, "sync");
+    writer.complete("compute (" + std::to_string(trace.tasks_executed) +
+                        " tasks)",
+                    "compute", kPid, tid, compute_start * 1e3,
+                    trace.compute_ms * 1e3);
+    writer.complete("barrier-wait", "sync", kPid, tid, trace.finish_ms * 1e3,
+                    trace.idle_ms * 1e3);
   }
 
-  json.end_array();
-  json.key("metadata");
-  json.begin_object();
-  json.field("processes", problem.num_processes());
-  json.field("migrated_tasks", plan.total_migrated());
-  json.field("first_iteration_ms", result.first_iteration_ms);
-  json.field("steady_iteration_ms", result.steady_iteration_ms);
-  json.end_object();
-  json.end_object();
-  return json.str();
+  writer.metadata("processes", problem.num_processes());
+  writer.metadata("migrated_tasks", plan.total_migrated());
+  writer.metadata("first_iteration_ms", result.first_iteration_ms);
+  writer.metadata("steady_iteration_ms", result.steady_iteration_ms);
+  return writer.finish();
 }
 
 void write_chrome_trace_file(const std::string& path, const lrp::LrpProblem& problem,

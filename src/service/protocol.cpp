@@ -21,6 +21,13 @@ ProtocolRequest parse_request_line(const std::string& line) {
     out.op = OpKind::kCancel;
   } else if (op == "stats") {
     out.op = OpKind::kStats;
+  } else if (op == "metrics") {
+    out.op = OpKind::kMetrics;
+  } else if (op == "trace") {
+    out.op = OpKind::kTrace;
+    const std::int64_t n = doc.int_or("n", 8);
+    util::require(n > 0, "trace 'n' must be positive");
+    out.trace_count = static_cast<std::size_t>(n);
   } else if (op == "shutdown") {
     out.op = OpKind::kShutdown;
   } else if (op == "solve") {
@@ -125,6 +132,7 @@ std::string encode_stats(const ServiceStats& stats) {
   w.field("budget_expired", stats.budget_expired);
   w.field("pending", stats.pending);
   w.field("running", stats.running);
+  w.field("queue_depth_hwm", stats.queue_depth_hwm);
   w.field("ewma_solve_ms", stats.ewma_solve_ms);
   w.key("cache");
   w.begin_object();
@@ -148,6 +156,25 @@ std::string encode_stats(const ServiceStats& stats) {
   w.field("max", stats.total_ms.max());
   w.end_object();
   w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_metrics(const std::string& prometheus_text) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("metrics", prometheus_text);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_traces(const std::vector<std::string>& traces) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traces");
+  w.begin_array();
+  for (const std::string& t : traces) w.raw_value(t);
+  w.end_array();
   w.end_object();
   return w.str();
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "service/rebalance_service.hpp"
 #include "service/request.hpp"
@@ -16,6 +17,8 @@ namespace qulrb::service {
 ///    "sweeps":400,"restarts":2,"seed":1,"time_limit_ms":0,"plan":false}
 ///   {"op":"cancel","id":7}
 ///   {"op":"stats"}
+///   {"op":"metrics"}
+///   {"op":"trace","n":4}
 ///   {"op":"shutdown"}
 ///
 /// `id` is the client's correlation id (echoed verbatim); responses may
@@ -23,14 +26,19 @@ namespace qulrb::service {
 ///
 ///   {"id":7,"outcome":"ok","feasible":true,...}
 ///   {"stats":{...}}
+///   {"metrics":"<prometheus text>"}
+///   {"traces":[{...perfetto doc...},...]}
 ///   {"error":"...","id":7}
-enum class OpKind : std::uint8_t { kSolve, kCancel, kStats, kShutdown };
+enum class OpKind : std::uint8_t {
+  kSolve, kCancel, kStats, kMetrics, kTrace, kShutdown
+};
 
 struct ProtocolRequest {
   OpKind op = OpKind::kSolve;
   std::uint64_t client_id = 0;
   RebalanceRequest request;   ///< populated for kSolve
   bool include_plan = false;  ///< echo the migration matrix in the response
+  std::size_t trace_count = 8;  ///< "n" of a trace op
 };
 
 /// Parse one request line; throws util::InvalidArgument with a message fit
@@ -43,6 +51,13 @@ std::string encode_response(std::uint64_t client_id,
                             bool include_plan);
 
 std::string encode_stats(const ServiceStats& stats);
+
+/// {"metrics":"..."} — the Prometheus exposition text as one JSON string.
+std::string encode_metrics(const std::string& prometheus_text);
+
+/// {"traces":[...]} — each element is a Perfetto JSON document, spliced in
+/// verbatim (they are already serialized JSON objects).
+std::string encode_traces(const std::vector<std::string>& traces);
 
 std::string encode_error(const std::string& message, std::uint64_t client_id);
 

@@ -1,5 +1,6 @@
 #include "service/rebalance_service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <limits>
 #include <utility>
@@ -25,7 +26,53 @@ RebalanceService::RebalanceService(ServiceParams params)
     : params_(params),
       cache_(params.cache_capacity),
       stats_(params.latency_hist_max_ms, params.latency_hist_bins),
-      pool_(params.num_workers) {}
+      pool_(params.num_workers) {
+  const char* outcome_help = "Finished requests by outcome";
+  h_.submitted = &registry_.counter("qulrb_service_submitted_total",
+                                    "Requests offered to the service");
+  h_.completed = &registry_.counter("qulrb_service_requests_total",
+                                    outcome_help, "outcome=\"completed\"");
+  h_.rejected_queue_full =
+      &registry_.counter("qulrb_service_requests_total", outcome_help,
+                         "outcome=\"rejected_queue_full\"");
+  h_.rejected_deadline =
+      &registry_.counter("qulrb_service_requests_total", outcome_help,
+                         "outcome=\"rejected_deadline\"");
+  h_.shed = &registry_.counter("qulrb_service_requests_total", outcome_help,
+                               "outcome=\"shed_expired\"");
+  h_.cancelled = &registry_.counter("qulrb_service_requests_total",
+                                    outcome_help, "outcome=\"cancelled\"");
+  h_.failed = &registry_.counter("qulrb_service_requests_total", outcome_help,
+                                 "outcome=\"failed\"");
+  h_.deadline_met =
+      &registry_.counter("qulrb_service_deadline_total",
+                         "Completed requests vs their deadline",
+                         "result=\"met\"");
+  h_.deadline_missed =
+      &registry_.counter("qulrb_service_deadline_total",
+                         "Completed requests vs their deadline",
+                         "result=\"missed\"");
+  h_.budget_expired =
+      &registry_.counter("qulrb_service_budget_expired_total",
+                         "Solves truncated by their time budget");
+  h_.queue_depth = &registry_.gauge("qulrb_service_queue_depth",
+                                    "Requests pending right now");
+  h_.queue_depth_hwm =
+      &registry_.gauge("qulrb_service_queue_depth_hwm",
+                       "Most requests ever pending at once");
+  h_.running = &registry_.gauge("qulrb_service_running",
+                                "Requests being solved right now");
+  h_.ewma_solve_ms =
+      &registry_.gauge("qulrb_service_ewma_solve_ms",
+                       "Admission controller's solve-time predictor (ms)");
+  h_.queue_ms = &registry_.histogram("qulrb_service_queue_ms",
+                                     "Time spent queued before a worker (ms)");
+  h_.solve_ms = &registry_.histogram("qulrb_service_solve_ms",
+                                     "Solver wall time per request (ms)");
+  h_.total_ms = &registry_.histogram("qulrb_service_total_ms",
+                                     "Admission-to-response wall time (ms)");
+  cache_.attach_metrics(registry_);
+}
 
 RebalanceService::~RebalanceService() {
   std::vector<Pending> orphaned;
@@ -44,10 +91,7 @@ RebalanceService::~RebalanceService() {
     response.id = item.id;
     response.outcome = RequestOutcome::kCancelled;
     response.error = "service shutting down";
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.cancelled;
-    }
+    h_.cancelled->inc();
     if (item.callback) item.callback(std::move(response));
   }
   // ~ThreadPool (first member destroyed) drains the remaining drain-one
@@ -59,21 +103,21 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
   std::uint64_t id = 0;
   bool admitted = false;
 
+  h_.submitted->inc();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     id = next_id_++;
-    ++stats_.submitted;
 
     double deadline_ms = request.deadline_ms > 0.0 ? request.deadline_ms
                                                    : params_.default_deadline_ms;
     if (stopping_) {
       rejection.outcome = RequestOutcome::kRejected;
       rejection.error = "service shutting down";
-      ++stats_.rejected_queue_full;
+      h_.rejected_queue_full->inc();
     } else if (pending_.size() >= params_.max_pending) {
       rejection.outcome = RequestOutcome::kRejected;
       rejection.error = "queue full";
-      ++stats_.rejected_queue_full;
+      h_.rejected_queue_full->inc();
     } else if (params_.admission_deadline_check && deadline_ms > 0.0 &&
                stats_.ewma_solve_ms > 0.0 &&
                static_cast<double>(pending_.size()) * stats_.ewma_solve_ms /
@@ -83,7 +127,7 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
       // honest answer is an immediate rejection, not a future shed.
       rejection.outcome = RequestOutcome::kRejected;
       rejection.error = "deadline unattainable at current backlog";
-      ++stats_.rejected_deadline;
+      h_.rejected_deadline->inc();
     } else {
       Pending item;
       item.id = id;
@@ -95,6 +139,14 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
         // Anchored at admission: queue time spends the same budget.
         item.token = item.token.with_deadline_ms(deadline_ms);
       }
+      if (params_.record_traces) {
+        // Epoch = admission, so the trace's t=0 is when the request entered
+        // the service and the queue wait is visible as a span from 0.
+        item.recorder =
+            std::make_shared<obs::Recorder>("req-" + std::to_string(id));
+        item.recorder->annotate("priority",
+                                std::to_string(item.request.priority));
+      }
       const PendingKey key{item.request.priority,
                            deadline_ms > 0.0
                                ? deadline_ms
@@ -103,6 +155,9 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
       pending_index_.emplace(id, key);
       pending_.emplace(key, std::move(item));
       admitted = true;
+      const auto depth = static_cast<double>(pending_.size());
+      h_.queue_depth->set(depth);
+      h_.queue_depth_hwm->update_max(depth);
     }
   }
 
@@ -135,6 +190,7 @@ bool RebalanceService::cancel(std::uint64_t id) {
       item = std::move(it->second);
       pending_.erase(it);
       pending_index_.erase(idx);
+      h_.queue_depth->set(static_cast<double>(pending_.size()));
       // Count as running until finish() has delivered the callback, so
       // drain() cannot return under it.
       running_.emplace(item.id, item.token);
@@ -168,11 +224,17 @@ void RebalanceService::run_one() {
     pending_.erase(it);
     pending_index_.erase(item.id);
     running_.emplace(item.id, item.token);
+    h_.queue_depth->set(static_cast<double>(pending_.size()));
+    h_.running->set(static_cast<double>(running_.size()));
   }
 
   RebalanceResponse response;
   response.id = item.id;
   response.queue_ms = item.queued.elapsed_ms();
+  if (item.recorder != nullptr) {
+    item.recorder->span("queue-wait", "service", 0, 0.0,
+                        item.recorder->now_us());
+  }
 
   if (item.token.cancel_requested()) {
     response.outcome = RequestOutcome::kCancelled;
@@ -192,19 +254,30 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
   RebalanceResponse response;
   response.id = item.id;
   response.queue_ms = item.queued.elapsed_ms();
+  obs::Recorder* rec = item.recorder.get();
   try {
     const lrp::LrpProblem problem(item.request.task_loads,
                                   item.request.task_counts);
+    obs::Recorder::Span checkout_span(rec, "session-checkout", "service", 0);
     auto checkout = cache_.checkout(problem, item.request.variant,
                                     item.request.k, item.request.build);
+    checkout_span.close();
     response.cache_hit = checkout.hit != CacheHit::kMiss;
     response.cache_retargeted = checkout.hit == CacheHit::kRetarget;
+    if (rec != nullptr) {
+      rec->annotate("cache", checkout.hit == CacheHit::kExact ? "exact"
+                             : checkout.hit == CacheHit::kRetarget
+                                 ? "retarget"
+                                 : "miss");
+    }
 
     anneal::HybridSolverParams hybrid = item.request.hybrid;
     if (hybrid.threads == 0) hybrid.threads = params_.solver_threads;
     hybrid.cancel = item.token;
     hybrid.reuse_presolve = &checkout.session->presolve;
     hybrid.reuse_pairs = &checkout.session->pairs;
+    hybrid.recorder = rec;
+    hybrid.metrics = &registry_;
     if (hybrid.initial_hint.empty() && !checkout.session->warm_hint.empty()) {
       hybrid.initial_hint = checkout.session->warm_hint;
     }
@@ -234,36 +307,52 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
 }
 
 void RebalanceService::finish(Pending item, RebalanceResponse response) {
+  switch (response.outcome) {
+    case RequestOutcome::kOk:
+      h_.completed->inc();
+      if (item.deadline_ms > 0.0) {
+        if (response.total_ms <= item.deadline_ms) {
+          h_.deadline_met->inc();
+        } else {
+          h_.deadline_missed->inc();
+        }
+      }
+      break;
+    case RequestOutcome::kShed: h_.shed->inc(); break;
+    case RequestOutcome::kCancelled: h_.cancelled->inc(); break;
+    case RequestOutcome::kFailed: h_.failed->inc(); break;
+    case RequestOutcome::kRejected: break;  // counted at admission
+  }
+  if (response.budget_expired) h_.budget_expired->inc();
+  if (response.solve_ms > 0.0) h_.solve_ms->observe(response.solve_ms);
+  h_.queue_ms->observe(response.queue_ms);
+  h_.total_ms->observe(response.total_ms);
+
+  // Serialize the trace outside the lock — it is pure string building.
+  std::string trace;
+  if (item.recorder != nullptr) {
+    item.recorder->annotate("outcome", to_string(response.outcome));
+    trace = obs::to_perfetto_json(*item.recorder);
+  }
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    switch (response.outcome) {
-      case RequestOutcome::kOk:
-        ++stats_.completed;
-        if (item.deadline_ms > 0.0) {
-          if (response.total_ms <= item.deadline_ms) {
-            ++stats_.deadline_met;
-          } else {
-            ++stats_.deadline_missed;
-          }
-        }
-        break;
-      case RequestOutcome::kShed: ++stats_.shed; break;
-      case RequestOutcome::kCancelled: ++stats_.cancelled; break;
-      case RequestOutcome::kFailed: ++stats_.failed; break;
-      case RequestOutcome::kRejected: break;  // counted at admission
-    }
-    if (response.budget_expired) ++stats_.budget_expired;
     if (response.solve_ms > 0.0) {
       stats_.ewma_solve_ms = stats_.ewma_solve_ms == 0.0
                                  ? response.solve_ms
                                  : 0.8 * stats_.ewma_solve_ms +
                                        0.2 * response.solve_ms;
+      h_.ewma_solve_ms->set(stats_.ewma_solve_ms);
       stats_.solve_ms.add(response.solve_ms);
       stats_.solve_hist.add(response.solve_ms);
     }
     stats_.queue_ms.add(response.queue_ms);
     stats_.total_ms.add(response.total_ms);
     stats_.total_hist.add(response.total_ms);
+    if (!trace.empty()) {
+      traces_.push_back(std::move(trace));
+      while (traces_.size() > params_.trace_keep) traces_.pop_front();
+    }
   }
   if (item.callback) item.callback(std::move(response));
   // Only now is the request truly finished: drain() must not return while a
@@ -271,6 +360,7 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_.erase(item.id);
+    h_.running->set(static_cast<double>(running_.size()));
     idle_cv_.notify_all();
   }
 }
@@ -288,8 +378,43 @@ ServiceStats RebalanceService::stats() const {
     snapshot.pending = pending_.size();
     snapshot.running = running_.size();
   }
+  // The event counters live in the registry; the snapshot mirrors them so the
+  // ServiceStats API is unchanged for callers.
+  snapshot.submitted = h_.submitted->value();
+  snapshot.completed = h_.completed->value();
+  snapshot.rejected_queue_full = h_.rejected_queue_full->value();
+  snapshot.rejected_deadline = h_.rejected_deadline->value();
+  snapshot.shed = h_.shed->value();
+  snapshot.cancelled = h_.cancelled->value();
+  snapshot.failed = h_.failed->value();
+  snapshot.deadline_met = h_.deadline_met->value();
+  snapshot.deadline_missed = h_.deadline_missed->value();
+  snapshot.budget_expired = h_.budget_expired->value();
+  snapshot.queue_depth_hwm =
+      static_cast<std::size_t>(h_.queue_depth_hwm->value());
   snapshot.cache = cache_.stats();
   return snapshot;
+}
+
+std::string RebalanceService::metrics_text() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    h_.queue_depth->set(static_cast<double>(pending_.size()));
+    h_.running->set(static_cast<double>(running_.size()));
+    h_.ewma_solve_ms->set(stats_.ewma_solve_ms);
+  }
+  return registry_.to_prometheus();
+}
+
+std::vector<std::string> RebalanceService::last_traces(std::size_t n) const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count = std::min(n, traces_.size());
+  out.reserve(count);
+  for (std::size_t i = traces_.size() - count; i < traces_.size(); ++i) {
+    out.push_back(traces_[i]);
+  }
+  return out;
 }
 
 }  // namespace qulrb::service

@@ -2,12 +2,18 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "service/request.hpp"
 #include "service/session_cache.hpp"
 #include "util/cancel.hpp"
@@ -43,6 +49,12 @@ struct ServiceParams {
   /// Range of the latency histograms ([0, hi] ms).
   double latency_hist_max_ms = 250.0;
   std::size_t latency_hist_bins = 50;
+  /// Record a Perfetto trace per request (queue wait, session checkout,
+  /// solver phase spans, incumbent timelines), keeping the most recent
+  /// `trace_keep` completed requests for the `trace` op. Off by default —
+  /// the registry-backed metrics are always on.
+  bool record_traces = false;
+  std::size_t trace_keep = 8;
 };
 
 /// Aggregated service telemetry; a consistent snapshot from stats().
@@ -73,6 +85,7 @@ struct ServiceStats {
   double ewma_solve_ms = 0.0;  ///< the admission controller's wait predictor
   std::size_t pending = 0;
   std::size_t running = 0;
+  std::size_t queue_depth_hwm = 0;  ///< most requests ever pending at once
 };
 
 /// In-process asynchronous rebalancing service: bounded priority queue,
@@ -115,6 +128,18 @@ class RebalanceService {
   ServiceStats stats() const;
   const ServiceParams& params() const noexcept { return params_; }
 
+  /// The registry every component of this service reports into (solver,
+  /// session cache, queue). Scrape via metrics_text().
+  obs::MetricsRegistry& metrics_registry() noexcept { return registry_; }
+
+  /// Prometheus text exposition of the registry, with the point-in-time
+  /// gauges (queue depth, running, EWMA) refreshed first.
+  std::string metrics_text();
+
+  /// Perfetto JSON documents of the most recently finished requests (oldest
+  /// first, at most `n`). Empty unless params.record_traces.
+  std::vector<std::string> last_traces(std::size_t n) const;
+
  private:
   struct Pending {
     std::uint64_t id = 0;
@@ -123,6 +148,7 @@ class RebalanceService {
     util::WallTimer queued;        ///< started at admission
     double deadline_ms = 0.0;      ///< effective (request or default), 0 = none
     util::CancelToken token;       ///< created at admission so cancel() works
+    std::shared_ptr<obs::Recorder> recorder;  ///< per-request trace (optional)
   };
 
   /// Queue order: priority desc, deadline asc (none = last), arrival asc.
@@ -138,11 +164,37 @@ class RebalanceService {
     }
   };
 
+  /// Registry handles resolved once at construction — the request path pays
+  /// relaxed atomics, never a registry lookup.
+  struct MetricHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected_queue_full = nullptr;
+    obs::Counter* rejected_deadline = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* deadline_met = nullptr;
+    obs::Counter* deadline_missed = nullptr;
+    obs::Counter* budget_expired = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* queue_depth_hwm = nullptr;
+    obs::Gauge* running = nullptr;
+    obs::Gauge* ewma_solve_ms = nullptr;
+    obs::LogHistogram* queue_ms = nullptr;
+    obs::LogHistogram* solve_ms = nullptr;
+    obs::LogHistogram* total_ms = nullptr;
+  };
+
   void run_one();
   void finish(Pending item, RebalanceResponse response);
   RebalanceResponse solve_item(Pending& item);
 
   ServiceParams params_;
+  // Declared before everything that records into it (destruction is reverse
+  // order: the registry must outlive the cache and the worker pool).
+  obs::MetricsRegistry registry_;
+  MetricHandles h_;
   SessionCache cache_;
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
@@ -152,8 +204,11 @@ class RebalanceService {
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
 
-  // Telemetry (guarded by mutex_).
+  // Telemetry (guarded by mutex_). The event counters live in registry_
+  // (h_.*); this holds only the moment statistics, histograms, and EWMA that
+  // need a consistent mutex-guarded update.
   ServiceStats stats_;
+  std::deque<std::string> traces_;  ///< last params_.trace_keep Perfetto docs
 
   // Last: workers must die before the state they touch.
   util::ThreadPool pool_;

@@ -56,12 +56,14 @@ SessionCache::Checkout SessionCache::checkout(const lrp::LrpProblem& problem,
   if (out.session != nullptr) {
     if (out.session->loads == problem.task_loads()) {
       out.hit = CacheHit::kExact;
+      if (m_exact_hits_ != nullptr) m_exact_hits_->inc();
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.exact_hits;
       return out;
     }
     if (out.session->retarget(problem)) {
       out.hit = CacheHit::kRetarget;
+      if (m_retarget_hits_ != nullptr) m_retarget_hits_->inc();
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.retarget_hits;
       return out;
@@ -71,6 +73,7 @@ SessionCache::Checkout SessionCache::checkout(const lrp::LrpProblem& problem,
 
   out.session = std::make_unique<Session>(problem, variant, k, options);
   out.hit = CacheHit::kMiss;
+  if (m_misses_ != nullptr) m_misses_->inc();
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   return out;
@@ -93,7 +96,21 @@ void SessionCache::give_back(Checkout checkout) {
     slots_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    if (m_evictions_ != nullptr) m_evictions_->inc();
   }
+}
+
+void SessionCache::attach_metrics(obs::MetricsRegistry& registry) {
+  m_exact_hits_ = &registry.counter("qulrb_cache_hits_total",
+                                    "Session-cache hits by kind",
+                                    "kind=\"exact\"");
+  m_retarget_hits_ = &registry.counter("qulrb_cache_hits_total",
+                                       "Session-cache hits by kind",
+                                       "kind=\"retarget\"");
+  m_misses_ = &registry.counter("qulrb_cache_misses_total",
+                                "Session-cache cold builds");
+  m_evictions_ = &registry.counter("qulrb_cache_evictions_total",
+                                   "Session-cache LRU evictions");
 }
 
 SessionCache::Stats SessionCache::stats() const {

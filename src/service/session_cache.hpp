@@ -11,6 +11,7 @@
 #include "lrp/cqm_builder.hpp"
 #include "lrp/problem.hpp"
 #include "model/presolve.hpp"
+#include "obs/metrics.hpp"
 
 namespace qulrb::service {
 
@@ -89,6 +90,10 @@ class SessionCache {
   std::size_t size() const;
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Mirror hit/miss/eviction counts into `registry` (qulrb_cache_*) in
+  /// addition to the local Stats. Call once, before serving traffic.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct KeyHash {
     std::size_t operator()(const Key& key) const noexcept;
@@ -104,6 +109,12 @@ class SessionCache {
   std::unordered_map<Key, Slot, KeyHash> slots_;
   std::list<Key> lru_;  ///< front = most recently used
   Stats stats_;
+
+  // Optional registry mirrors (null until attach_metrics()).
+  obs::Counter* m_exact_hits_ = nullptr;
+  obs::Counter* m_retarget_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace qulrb::service

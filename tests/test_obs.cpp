@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/sa.hpp"
+#include "io/json_value.hpp"
+#include "model/qubo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+// ------------------------------------------------------------ counters -----
+
+TEST(Counter, ExactUnderConcurrency) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Counter, BulkIncrement) {
+  Counter counter;
+  counter.inc(41);
+  counter.inc();
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAddMax) {
+  Gauge g;
+  g.set(3.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  g.update_max(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);  // max never lowers
+  g.update_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+// ----------------------------------------------------------- histogram -----
+
+TEST(LogHistogram, ExactTotalsUnderConcurrency) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  LogHistogram hist;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        hist.observe(0.5 + static_cast<double>((t + i) % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+
+  // The double sum is an exact CAS accumulation of exactly representable
+  // halves, so the total is deterministic too (addition order varies, but
+  // every addend is a multiple of 0.5 well within the mantissa).
+  double expected_sum = 0.0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      expected_sum += 0.5 + static_cast<double>((t + i) % 100);
+    }
+  }
+  EXPECT_NEAR(hist.sum(), expected_sum, 1e-6 * expected_sum);
+
+  // Bucket counts add back up to the total.
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < hist.num_buckets(); ++b) {
+    bucket_total += hist.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(LogHistogram, BucketEdgesMonotone) {
+  LogHistogram hist;
+  double prev = 0.0;
+  for (std::size_t b = 0; b + 1 < hist.num_buckets(); ++b) {
+    const double edge = hist.upper_edge(b);
+    EXPECT_GT(edge, prev);
+    prev = edge;
+  }
+  EXPECT_TRUE(std::isinf(hist.upper_edge(hist.num_buckets() - 1)));
+}
+
+TEST(LogHistogram, QuantileBracketsObservations) {
+  LogHistogram hist;
+  for (int i = 0; i < 1000; ++i) hist.observe(10.0);
+  const double p50 = hist.quantile(0.5);
+  // One bucket holds everything; the quantile interpolates inside it.
+  EXPECT_GE(p50, hist.upper_edge(hist.bucket_of(10.0) - 1));
+  EXPECT_LE(p50, hist.upper_edge(hist.bucket_of(10.0)));
+}
+
+// ------------------------------------------------------------ registry -----
+
+TEST(MetricsRegistry, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("test_requests_total", "Requests", "kind=\"a\"").inc(3);
+  registry.counter("test_requests_total", "Requests", "kind=\"b\"").inc(1);
+  registry.gauge("test_depth", "Depth").set(7.0);
+  registry.histogram("test_ms", "Latency").observe(2.0);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE test_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_requests_total{kind=\"a\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("test_requests_total{kind=\"b\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_ms_count 1"), std::string::npos);
+  // HELP/TYPE appear once per family even with two labelled children.
+  const auto first = text.find("# TYPE test_requests_total");
+  EXPECT_EQ(text.find("# TYPE test_requests_total", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, StableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test_x_total", "X");
+  Counter& b = registry.counter("test_x_total", "X");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("test_y_total", "Y");
+  EXPECT_THROW(registry.gauge("test_y_total", "Y"), std::exception);
+}
+
+// ------------------------------------------------------------- recorder ----
+
+TEST(Recorder, PerfettoJsonWellFormed) {
+  Recorder rec("unit-test");
+  rec.annotate("case", "well-formed");
+  rec.name_track(1, "restart 0");
+  {
+    Recorder::Span span(&rec, "phase-a", "test", 0);
+  }
+  rec.sample("incumbent_energy", 1, 12.5);
+  rec.sample("incumbent_energy", 1, 11.0);
+
+  const std::string json = to_perfetto_json(rec);
+  const io::JsonValue doc = io::JsonValue::parse(json);
+  ASSERT_TRUE(doc.is_object());
+  const io::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_process_name = false, saw_complete = false, saw_counter = false;
+  for (const io::JsonValue& event : events->as_array()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "M" && event.string_or("name", "") == "process_name") {
+      saw_process_name = true;
+    }
+    if (ph == "X" && event.string_or("name", "") == "phase-a") {
+      saw_complete = true;
+      EXPECT_GE(event.number_or("dur", -1.0), 0.0);
+    }
+    if (ph == "C") saw_counter = true;
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_counter);
+  const io::JsonValue* metadata = doc.find("metadata");
+  ASSERT_NE(metadata, nullptr);
+  EXPECT_EQ(metadata->string_or("case", ""), "well-formed");
+}
+
+TEST(Recorder, NullRecorderSpansAreInert) {
+  // The null-object discipline of the disabled path: no recorder, no effect.
+  Recorder::Span outer(nullptr, "never", "test", 0);
+  outer.close();
+  SUCCEED();
+}
+
+// ---------------------------------------------------------- determinism ----
+
+model::QuboModel ring_qubo(std::size_t n) {
+  model::QuboModel q(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q.add_linear(static_cast<model::VarId>(i), (i % 2 == 0) ? -1.0 : 0.5);
+    q.add_quadratic(static_cast<model::VarId>(i),
+                    static_cast<model::VarId>((i + 1) % n), 0.75);
+  }
+  return q;
+}
+
+TEST(Recorder, SamplerOutputBitwiseIdenticalWithRecordingOn) {
+  const model::QuboModel qubo = ring_qubo(12);
+
+  anneal::SaParams plain;
+  plain.sweeps = 400;
+  plain.num_reads = 4;
+  plain.seed = 77;
+  const anneal::SampleSet base = anneal::SimulatedAnnealer(plain).sample(qubo);
+
+  Recorder rec("determinism");
+  obs::Counter sweeps;
+  anneal::SaParams recorded = plain;
+  recorded.recorder = &rec;
+  recorded.sweep_counter = &sweeps;
+  const anneal::SampleSet traced =
+      anneal::SimulatedAnnealer(recorded).sample(qubo);
+
+  // Recording consumes no RNG, so the runs are bitwise identical: same
+  // states in the same order, same energies to the last bit.
+  ASSERT_EQ(base.size(), traced.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.at(i).state, traced.at(i).state);
+    EXPECT_EQ(base.at(i).energy, traced.at(i).energy);
+    EXPECT_EQ(base.at(i).violation, traced.at(i).violation);
+  }
+  EXPECT_EQ(sweeps.value(), plain.sweeps * plain.num_reads);
+  EXPECT_FALSE(rec.spans().empty());
+}
+
+}  // namespace
+}  // namespace qulrb::obs

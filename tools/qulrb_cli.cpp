@@ -3,6 +3,7 @@
 //
 //   qulrb solve   --input input_lrp.csv --solver qcqm1 [--k N | --k2]
 //                 [--output out.csv] [--seed S] [--sweeps N] [--restarts N]
+//                 [--trace-out trace.json] [--metrics-out metrics.prom]
 //   qulrb compare --input input_lrp.csv [--seed S]
 //   qulrb gen     --scenario samoa|imb0..imb4|nodes<M>|tasks<N> --output in.csv
 //   qulrb solvers
@@ -16,12 +17,15 @@
 //   4  solve failed or produced an infeasible result
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <string>
 
 #include "io/lrp_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "io/report.hpp"
 #include "lrp/kselect.hpp"
 #include "lrp/registry.hpp"
@@ -73,6 +77,7 @@ int usage() {
       "  qulrb solve   --input in.csv --solver NAME [--k N | --k2] "
       "[--output out.csv]\n"
       "                [--seed S] [--sweeps N] [--restarts N]\n"
+      "                [--trace-out trace.json] [--metrics-out metrics.prom]\n"
       "  qulrb compare --input in.csv [--seed S] [--json out.json]\n"
       "  qulrb gen     --scenario samoa|imb0..imb4|nodesM|tasksN --output in.csv\n"
       "  qulrb solvers\n";
@@ -105,17 +110,47 @@ void print_report(const lrp::LrpProblem& problem, const lrp::SolverReport& repor
   table.print(std::cout);
 }
 
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  util::require(out.good(), "cannot open " + path + " for writing");
+  out << text;
+  util::require(out.good(), "write to " + path + " failed");
+}
+
 int cmd_solve(const Args& args) {
   util::require(args.has("input") && args.has("solver"),
                 "solve: --input and --solver are required");
   const lrp::LrpProblem problem = io::read_input_file(args.get("input"));
-  const lrp::SolverSpec spec = spec_from_args(args);
+  lrp::SolverSpec spec = spec_from_args(args);
+
+  // Observability sinks are opt-in and consume no RNG: the solve is
+  // bitwise-identical with or without them.
+  std::optional<obs::Recorder> recorder;
+  std::optional<obs::MetricsRegistry> metrics;
+  if (args.has("trace-out")) {
+    recorder.emplace("qulrb solve " + spec.name);
+    recorder->annotate("input", args.get("input"));
+    spec.recorder = &*recorder;
+  }
+  if (args.has("metrics-out")) {
+    metrics.emplace();
+    spec.metrics = &*metrics;
+  }
+
   const auto solver = lrp::make_solver(spec, problem);
   const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
   print_report(problem, report);
   if (args.has("output")) {
     io::write_output_file(args.get("output"), problem, report.output.plan);
     std::cout << "wrote " << args.get("output") << "\n";
+  }
+  if (recorder.has_value()) {
+    write_text_file(args.get("trace-out"), obs::to_perfetto_json(*recorder));
+    std::cout << "wrote " << args.get("trace-out") << "\n";
+  }
+  if (metrics.has_value()) {
+    write_text_file(args.get("metrics-out"), metrics->to_prometheus());
+    std::cout << "wrote " << args.get("metrics-out") << "\n";
   }
   if (!report.output.feasible) {
     std::cerr << "error: solver '" << report.name

@@ -5,7 +5,7 @@
 //                 [--variant qcqm1|qcqm2] [--sweeps S] [--restarts R]
 //                 [--deadline-ms X] [--drift] [--seed S]
 //                 [--workers W] [--cache C] [--rate R]
-//                 [--connect PORT]
+//                 [--connect PORT] [--json FILE]
 //
 // Default is closed-loop against an in-process RebalanceService: C client
 // threads each keep exactly one request outstanding. --rate R switches to
@@ -15,7 +15,10 @@
 // thread. --drift varies the load vector per request (exercising the session
 // cache's retarget path instead of exact hits).
 //
-// Reports throughput and client-observed p50/p95/p99 latency.
+// Reports throughput and client-observed p50/p95/p99 latency. --json FILE
+// additionally writes a machine-readable summary including the full
+// log-bucketed latency histogram (the same obs::LogHistogram layout the
+// service's Prometheus metrics use).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -27,13 +30,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/json.hpp"
 #include "io/json_value.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/rebalance_service.hpp"
 #include "util/error.hpp"
@@ -61,6 +67,7 @@ struct LoadgenOptions {
   std::size_t cache = 16;
   double rate = 0.0;  ///< open-loop requests/sec (in-process only); 0 = closed
   int connect_port = 0;
+  std::string json_out;  ///< machine-readable summary file ("" = none)
 };
 
 /// Request #seq of the workload: one hot process, the rest uniform. With
@@ -87,9 +94,11 @@ service::RebalanceRequest make_request(const LoadgenOptions& options,
 struct Tally {
   std::mutex mutex;
   std::vector<double> latencies_ms;
+  obs::LogHistogram hist;  ///< same log-bucketed layout as the service metrics
   std::uint64_t ok = 0, rejected = 0, shed = 0, cancelled = 0, failed = 0;
 
   void record(const std::string& outcome, double ms) {
+    hist.observe(ms);
     std::lock_guard<std::mutex> lock(mutex);
     latencies_ms.push_back(ms);
     if (outcome == "ok") ++ok;
@@ -115,6 +124,58 @@ void report(const Tally& tally, double wall_seconds, const std::string& cache_li
             << "  shed " << tally.shed << "  cancelled " << tally.cancelled
             << "  failed " << tally.failed << "\n";
   if (!cache_line.empty()) std::cout << cache_line << "\n";
+}
+
+/// Machine-readable run summary: outcomes, exact quantiles from the raw
+/// sample vector, and the full log-bucketed histogram (cumulative `le`
+/// edges, Prometheus-style) so downstream tooling can merge runs.
+void write_json_summary(const std::string& path, const Tally& tally,
+                        double wall_seconds) {
+  std::vector<double> xs = tally.latencies_ms;
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("requests", xs.size());
+  w.field("wall_seconds", wall_seconds);
+  w.field("throughput_rps",
+          wall_seconds > 0.0 ? static_cast<double>(xs.size()) / wall_seconds : 0.0);
+  w.key("outcomes");
+  w.begin_object();
+  w.field("ok", tally.ok);
+  w.field("rejected", tally.rejected);
+  w.field("shed", tally.shed);
+  w.field("cancelled", tally.cancelled);
+  w.field("failed", tally.failed);
+  w.end_object();
+  if (!xs.empty()) {
+    w.key("latency_ms");
+    w.begin_object();
+    w.field("mean", util::mean(xs));
+    w.field("p50", util::quantile(xs, 0.50));
+    w.field("p95", util::quantile(xs, 0.95));
+    w.field("p99", util::quantile(xs, 0.99));
+    w.field("max", *std::max_element(xs.begin(), xs.end()));
+    w.end_object();
+  }
+  w.key("histogram");
+  w.begin_object();
+  w.field("count", tally.hist.count());
+  w.field("sum_ms", tally.hist.sum());
+  w.key("buckets");
+  w.begin_array();
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < tally.hist.num_buckets(); ++b) {
+    cumulative += tally.hist.bucket_count(b);
+    w.begin_object();
+    w.field("le_ms", tally.hist.upper_edge(b));
+    w.field("count", cumulative);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  std::ofstream out(path);
+  util::require(out.good(), "loadgen: cannot open " + path);
+  out << w.str() << "\n";
 }
 
 std::string cache_line_from(const service::ServiceStats& stats) {
@@ -149,6 +210,9 @@ int run_inproc_closed(const LoadgenOptions& options) {
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_seconds();
   report(tally, seconds, cache_line_from(svc.stats()));
+  if (!options.json_out.empty()) {
+    write_json_summary(options.json_out, tally, seconds);
+  }
   return 0;
 }
 
@@ -179,6 +243,9 @@ int run_inproc_open(const LoadgenOptions& options) {
   svc.drain();
   const double seconds = wall.elapsed_seconds();
   report(tally, seconds, cache_line_from(svc.stats()));
+  if (!options.json_out.empty()) {
+    write_json_summary(options.json_out, tally, seconds);
+  }
   return 0;
 }
 
@@ -295,6 +362,9 @@ int run_tcp_closed(const LoadgenOptions& options) {
     // stats are best-effort
   }
   report(tally, seconds, cache_line);
+  if (!options.json_out.empty()) {
+    write_json_summary(options.json_out, tally, seconds);
+  }
   return 0;
 }
 
@@ -304,7 +374,7 @@ int usage() {
          "                     [--k K] [--variant qcqm1|qcqm2] [--sweeps S]\n"
          "                     [--restarts R] [--deadline-ms X] [--drift]\n"
          "                     [--seed S] [--workers W] [--cache C] [--rate R]\n"
-         "                     [--connect PORT]\n";
+         "                     [--connect PORT] [--json FILE]\n";
   return 2;
 }
 
@@ -338,6 +408,7 @@ int main(int argc, char** argv) {
       else if (arg == "--cache") options.cache = std::stoul(next());
       else if (arg == "--rate") options.rate = std::stod(next());
       else if (arg == "--connect") options.connect_port = std::stoi(next());
+      else if (arg == "--json") options.json_out = next();
       else if (arg == "--help") return usage();
       else {
         std::cerr << "error: unknown option '" << arg << "'\n";

@@ -1,7 +1,12 @@
 // qulrb_serve — JSON-lines rebalancing service front-end.
 //
 //   qulrb_serve [--port P] [--workers N] [--max-pending N] [--cache N]
-//               [--default-deadline-ms X] [--solver-threads N] [--quiet]
+//               [--default-deadline-ms X] [--solver-threads N]
+//               [--trace N] [--quiet]
+//
+// --trace N records a Perfetto trace per request and keeps the last N for
+// the {"op":"trace"} op; {"op":"metrics"} answers a Prometheus text scrape
+// either way.
 //
 // Without --port, speaks the protocol on stdin/stdout (one JSON object per
 // line; responses may arrive out of submission order). With --port, accepts
@@ -65,6 +70,12 @@ class ProtocolSession {
         return false;
       case service::OpKind::kStats:
         write(service::encode_stats(svc_.stats()));
+        return true;
+      case service::OpKind::kMetrics:
+        write(service::encode_metrics(svc_.metrics_text()));
+        return true;
+      case service::OpKind::kTrace:
+        write(service::encode_traces(svc_.last_traces(request.trace_count)));
         return true;
       case service::OpKind::kCancel: {
         std::uint64_t service_id = 0;
@@ -218,7 +229,7 @@ int run_tcp(service::RebalanceService& svc, int port, bool quiet) {
 int usage() {
   std::cerr << "usage: qulrb_serve [--port P] [--workers N] [--max-pending N]\n"
                "                   [--cache N] [--default-deadline-ms X]\n"
-               "                   [--solver-threads N] [--quiet]\n";
+               "                   [--solver-threads N] [--trace N] [--quiet]\n";
   return 2;
 }
 
@@ -241,6 +252,10 @@ int main(int argc, char** argv) {
         options.service.default_deadline_ms = std::stod(next());
       else if (arg == "--solver-threads")
         options.service.solver_threads = std::stoul(next());
+      else if (arg == "--trace") {
+        options.service.record_traces = true;
+        options.service.trace_keep = std::stoul(next());
+      }
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {
