@@ -64,6 +64,41 @@ std::vector<double> initial_penalties(const CqmModel& cqm, double penalty_scale)
   return penalties;
 }
 
+/// Per-constraint violation attribution for the final incumbent: one counter
+/// point per still-violated constraint, named after the model's constraint
+/// label (falling back to the index) so the trace answers *which* constraint
+/// an infeasible solve died on. Runs once per solve off the hot path, capped
+/// so a pathological model cannot bloat the document.
+void record_violation_attribution(obs::Recorder& rec, const CqmModel& cqm,
+                                  const model::State& state) {
+  constexpr std::size_t kMaxAttributed = 16;
+  struct Violated {
+    std::size_t c;
+    double v;
+  };
+  const CqmIncrementalState probe(
+      cqm, state, std::vector<double>(cqm.num_constraints(), 0.0));
+  std::vector<Violated> violated;
+  for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
+    const double v = probe.constraint_violation(c);
+    if (v > 1e-9) violated.push_back({c, v});
+  }
+  rec.annotate("violated_constraints", std::to_string(violated.size()));
+  if (violated.empty()) return;
+  const std::size_t keep = std::min(violated.size(), kMaxAttributed);
+  std::partial_sort(violated.begin(), violated.begin() + keep, violated.end(),
+                    [](const Violated& a, const Violated& b) {
+                      return a.v > b.v;
+                    });
+  const auto constraints = cqm.constraints();
+  const double t = rec.now_us();
+  for (std::size_t i = 0; i < keep; ++i) {
+    std::string label = constraints[violated[i].c].label;
+    if (label.empty()) label = "c" + std::to_string(violated[i].c);
+    rec.sample_at("violation/" + label, 0, t, violated[i].v);
+  }
+}
+
 model::State random_state(std::size_t n, util::Rng& rng) {
   model::State s(n);
   for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_below(2));
@@ -132,7 +167,11 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     m_solve_ms = &reg.histogram("qulrb_solver_solve_ms",
                                 "Hybrid solve wall time in milliseconds");
   }
-  obs::Recorder* const rec = params_.recorder;
+  // The recorder comes either from the explicit pointer or from the
+  // request's trace context; both follow the same null-object discipline.
+  obs::Recorder* const rec = params_.recorder != nullptr
+                                 ? params_.recorder
+                                 : params_.trace.recorder();
   if (rec != nullptr) {
     rec->annotate("num_variables", std::to_string(cqm.num_variables()));
     rec->annotate("num_constraints", std::to_string(cqm.num_constraints()));
@@ -231,6 +270,9 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     result.best = std::move(s);
     result.stats.restarts_used = 1;
     enum_span.close();
+    if (rec != nullptr) {
+      record_violation_attribution(*rec, cqm, result.best.state);
+    }
     finalize();
     return result;
   }
@@ -267,6 +309,16 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   streams.reserve(params_.num_restarts);
   for (std::size_t r = 0; r < params_.num_restarts; ++r) streams.push_back(master.split());
 
+  // Standalone solves render restarts on tracks 1..R; inside a request trace
+  // the block is claimed from the context's shared allocator so restart rows
+  // never collide with rows other layers (service queue, BSP ranks) claim in
+  // the same document.
+  const std::uint32_t restart_track_base =
+      params_.trace.active()
+          ? params_.trace.claim_tracks(
+                static_cast<std::uint32_t>(params_.num_restarts))
+          : 1;
+
   auto run_restart = [&](std::size_t r) {
     if (r > 0 && budget.expired()) {
       return;  // keep at least one restart so solve() always has an incumbent
@@ -291,7 +343,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
 
     // Each restart renders on its own trace track so the portfolio members
     // line up side by side in the viewer.
-    const auto track = static_cast<std::uint32_t>(r + 1);
+    const auto track = restart_track_base + static_cast<std::uint32_t>(r);
     if (rec != nullptr) {
       std::string label = "restart " + std::to_string(r);
       if (refine) label += " (refine)";
@@ -397,6 +449,9 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   util::ensure(best.has_value(), "HybridCqmSolver: no restart produced a sample");
   result.best = *best;
   if (budget.expired()) result.stats.budget_expired = true;
+  if (rec != nullptr) {
+    record_violation_attribution(*rec, cqm, result.best.state);
+  }
   finalize();
   return result;
 }

@@ -7,6 +7,7 @@
 #include "anneal/sampleset.hpp"
 #include "model/cqm.hpp"
 #include "model/presolve.hpp"
+#include "obs/trace_context.hpp"
 #include "util/cancel.hpp"
 
 namespace qulrb::anneal {
@@ -76,6 +77,13 @@ struct HybridSolverParams {
   /// solve-latency histogram, registered under qulrb_solver_*. Handles are
   /// resolved once per solve; sweep loops only touch lock-free counters.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Request-scoped trace context. When active it supplies the recorder
+  /// (unless `recorder` above is set explicitly) and — crucially — the
+  /// restart track ids are claimed from its shared allocator, so a solver
+  /// running inside a service request shares one Perfetto document with the
+  /// queue spans and the BSP rank tracks without row collisions. Same
+  /// zero-cost-off discipline as `recorder`.
+  obs::TraceContext trace;
 };
 
 struct HybridSolveStats {

@@ -17,6 +17,14 @@ double imbalance_ratio(const std::vector<double>& loads) {
   return (max_load - avg) / avg;
 }
 
+double objective_target_for_imbalance(const LrpProblem& problem,
+                                      double r_imb_target) {
+  if (r_imb_target < 0.0) r_imb_target = 0.0;
+  const double avg = problem.average_load();
+  const double bound = r_imb_target * avg;
+  return bound * bound;
+}
+
 RebalanceMetrics evaluate_plan(const LrpProblem& problem, const MigrationPlan& plan) {
   RebalanceMetrics metrics;
   metrics.imbalance_before = problem.imbalance_ratio();

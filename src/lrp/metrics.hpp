@@ -24,4 +24,14 @@ RebalanceMetrics evaluate_plan(const LrpProblem& problem, const MigrationPlan& p
 /// R_imb of an explicit load vector (helper shared with the runtime sim).
 double imbalance_ratio(const std::vector<double>& loads);
 
+/// Objective threshold for the CQM formulations that guarantees
+/// R_imb <= r_imb_target. Both Q_CQM1 and Q_CQM2 minimize
+/// sum_i (L'_i - L_avg)^2, so any state with objective E has every process
+/// within sqrt(E) of L_avg, i.e. L_max <= L_avg + sqrt(E); demanding
+/// E <= (r * L_avg)^2 therefore bounds R_imb = L_max/L_avg - 1 by r.
+/// (Conservative: the converse does not hold.) Feeds
+/// obs::ConvergenceConfig::target_objective for time-to-target-quality.
+double objective_target_for_imbalance(const LrpProblem& problem,
+                                      double r_imb_target);
+
 }  // namespace qulrb::lrp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <string>
 
 #include "lrp/metrics.hpp"
 #include "mpirt/communicator.hpp"
@@ -41,12 +42,28 @@ LiveExecResult run_live(const lrp::LrpProblem& problem, const lrp::MigrationPlan
   std::vector<std::int64_t> per_rank_tasks(m, 0);
   std::atomic<double> makespan{0.0};
 
+  // Per-rank trace tracks are claimed once, up front, so the rank threads
+  // only append spans (the Recorder serializes internally).
+  obs::Recorder* const rec = config.trace.recorder();
+  const std::uint32_t track_base =
+      config.trace.active()
+          ? config.trace.claim_tracks(static_cast<std::uint32_t>(m))
+          : 0;
+  if (rec != nullptr) {
+    for (std::size_t i = 0; i < m; ++i) {
+      rec->name_track(track_base + static_cast<std::uint32_t>(i),
+                      "live rank " + std::to_string(i));
+    }
+  }
+
   util::WallTimer wall;
   Communicator comm(m);
   comm.run([&](RankContext& ctx) {
     const auto rank = static_cast<std::size_t>(ctx.rank());
+    const std::uint32_t track = track_base + static_cast<std::uint32_t>(rank);
 
     // --- migration phase: ship batches as real messages ---------------------
+    obs::Recorder::Span migrate_span(rec, "migrate", "mpirt", track);
     // Local tasks that stay: plan.count(rank, rank) copies of w_rank.
     std::vector<double> tasks(
         static_cast<std::size_t>(plan.count(rank, rank)), problem.task_load(rank));
@@ -70,10 +87,12 @@ LiveExecResult run_live(const lrp::LrpProblem& problem, const lrp::MigrationPlan
       tasks.insert(tasks.end(), message.payload.begin(), message.payload.end());
     }
     ctx.barrier();  // everyone holds their final task set
+    migrate_span.close();
 
     // --- BSP iterations -------------------------------------------------------
     double compute_total = 0.0;
     for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+      obs::Recorder::Span iter_span(rec, "iteration", "mpirt", track);
       double iteration_compute = 0.0;
       for (const double task_ms : tasks) {
         busy_spin_ms(task_ms * config.work_scale);
@@ -96,6 +115,20 @@ LiveExecResult run_live(const lrp::LrpProblem& problem, const lrp::MigrationPlan
   result.tasks_executed = per_rank_tasks;
   result.virtual_makespan_ms = makespan.load();
   result.measured_imbalance = lrp::imbalance_ratio(per_rank_compute);
+
+  if (config.events != nullptr) {
+    obs::SolveEvent event;
+    event.source = "bsp_driver";
+    event.request_id = config.trace.request_id();
+    event.outcome = "ok";
+    event.feasible = true;
+    event.r_imb_before = problem.imbalance_ratio();
+    event.r_imb_after = result.measured_imbalance;
+    event.migrated = result.tasks_migrated;
+    event.runtime_ms = result.wall_ms;
+    event.extra.emplace_back("ranks", std::to_string(m));
+    config.events->log(event);
+  }
   return result;
 }
 

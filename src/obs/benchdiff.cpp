@@ -1,0 +1,171 @@
+#include "obs/benchdiff.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+
+namespace {
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  throw util::InvalidArgument("benchdiff: unknown time_unit '" + unit + "'");
+}
+
+/// Time of one benchmark row in ns, or NaN when the row carries none.
+double row_time_ns(const io::JsonValue& row) {
+  if (!row.is_object()) return std::numeric_limits<double>::quiet_NaN();
+  // BENCH_kernel.json flavor: {"after": {"real_time_ns": ...}, ...}
+  if (const io::JsonValue* after = row.find("after")) {
+    const double ns = after->number_or("real_time_ns", -1.0);
+    if (ns >= 0.0) return ns;
+  }
+  // BENCH_service/BENCH_obs flavor: {"real_time": ..., "time_unit": "ns"}
+  if (row.find("real_time") != nullptr) {
+    return row.number_or("real_time", 0.0) *
+           unit_to_ns(row.string_or("time_unit", "ns"));
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+std::string fmt(double v, const char* spec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+std::map<std::string, double> parse_bench_times(const io::JsonValue& doc) {
+  std::map<std::string, double> times;
+  const io::JsonValue* benchmarks = doc.find("benchmarks");
+  util::require(benchmarks != nullptr,
+                "benchdiff: document has no 'benchmarks' member");
+  if (benchmarks->is_object()) {
+    for (const auto& [name, row] : benchmarks->as_object()) {
+      const double ns = row_time_ns(row);
+      if (ns == ns) times[name] = ns;  // skip NaN rows (e.g. summary blobs)
+    }
+  } else if (benchmarks->is_array()) {
+    // Raw google-benchmark output: iteration rows only.
+    for (const io::JsonValue& row : benchmarks->as_array()) {
+      if (!row.is_object()) continue;
+      if (row.string_or("run_type", "iteration") != "iteration") continue;
+      const std::string name = row.string_or("name", "");
+      if (name.empty()) continue;
+      const double ns = row.number_or("real_time", -1.0) *
+                        unit_to_ns(row.string_or("time_unit", "ns"));
+      if (ns >= 0.0) times[name] = ns;
+    }
+  } else {
+    throw util::InvalidArgument(
+        "benchdiff: 'benchmarks' is neither an object nor an array");
+  }
+  util::require(!times.empty(),
+                "benchdiff: no benchmark timings found in document");
+  return times;
+}
+
+BenchDiffReport bench_diff(const io::JsonValue& baseline,
+                           const std::vector<io::JsonValue>& candidates,
+                           const BenchDiffOptions& options) {
+  util::require(!candidates.empty(), "benchdiff: need at least one candidate");
+  const std::map<std::string, double> base = parse_bench_times(baseline);
+
+  // min-of-N across candidate runs, per benchmark.
+  std::map<std::string, double> cand;
+  for (const io::JsonValue& doc : candidates) {
+    for (const auto& [name, ns] : parse_bench_times(doc)) {
+      auto it = cand.find(name);
+      if (it == cand.end() || ns < it->second) cand[name] = ns;
+    }
+  }
+
+  BenchDiffReport report;
+  for (const auto& [name, base_ns] : base) {
+    const auto it = cand.find(name);
+    if (it == cand.end()) {
+      report.missing_in_candidate.push_back(name);
+      continue;
+    }
+    BenchEntry e;
+    e.name = name;
+    e.baseline_ns = base_ns;
+    e.candidate_ns = it->second;
+    e.ratio = base_ns > 0.0 ? e.candidate_ns / base_ns
+                            : std::numeric_limits<double>::infinity();
+    const auto override_it = options.per_benchmark_pct.find(name);
+    e.threshold_pct = override_it != options.per_benchmark_pct.end()
+                          ? override_it->second
+                          : options.threshold_pct;
+    e.below_noise_floor = base_ns < options.min_time_ns;
+    e.regression = !e.below_noise_floor &&
+                   e.ratio > 1.0 + e.threshold_pct / 100.0;
+    report.entries.push_back(std::move(e));
+  }
+  for (const auto& [name, ns] : cand) {
+    (void)ns;
+    if (base.find(name) == base.end()) {
+      report.missing_in_baseline.push_back(name);
+    }
+  }
+  return report;
+}
+
+std::string BenchDiffReport::to_json() const {
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("regression", has_regression());
+  w.key("benchmarks");
+  w.begin_object();
+  for (const auto& e : entries) {
+    w.key(e.name);
+    w.begin_object();
+    w.field("baseline_ns", e.baseline_ns);
+    w.field("candidate_ns", e.candidate_ns);
+    w.field("ratio", e.ratio);
+    w.field("threshold_pct", e.threshold_pct);
+    w.field("below_noise_floor", e.below_noise_floor);
+    w.field("regression", e.regression);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("missing_in_candidate");
+  w.begin_array();
+  for (const auto& name : missing_in_candidate) w.value(name);
+  w.end_array();
+  w.key("missing_in_baseline");
+  w.begin_array();
+  for (const auto& name : missing_in_baseline) w.value(name);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchDiffReport::to_text() const {
+  std::string out;
+  for (const auto& e : entries) {
+    const char* verdict = e.regression          ? "REGRESSION"
+                          : e.below_noise_floor ? "noise-floor"
+                                                : "ok";
+    out += e.name + ": " + fmt(e.baseline_ns, "%.1f") + " ns -> " +
+           fmt(e.candidate_ns, "%.1f") + " ns  (x" + fmt(e.ratio, "%.3f") +
+           ", bar +" + fmt(e.threshold_pct, "%.1f") + "%)  " + verdict + "\n";
+  }
+  for (const auto& name : missing_in_candidate) {
+    out += name + ": missing in candidate\n";
+  }
+  for (const auto& name : missing_in_baseline) {
+    out += name + ": new (missing in baseline)\n";
+  }
+  return out;
+}
+
+}  // namespace qulrb::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/json_value.hpp"
+
+namespace qulrb::obs {
+
+/// Comparison knobs for the BENCH_*.json regression gate.
+struct BenchDiffOptions {
+  /// A benchmark regresses when its candidate time exceeds the baseline by
+  /// more than this many percent.
+  double threshold_pct = 10.0;
+  /// Per-benchmark overrides (exact benchmark name -> percent). Lets noisy
+  /// microbenchmarks carry a looser bar without loosening the whole gate.
+  std::map<std::string, double> per_benchmark_pct;
+  /// Benchmarks whose baseline is faster than this many nanoseconds are
+  /// reported but never gate — below the noise floor a relative threshold
+  /// is meaningless.
+  double min_time_ns = 0.0;
+};
+
+/// One compared benchmark.
+struct BenchEntry {
+  std::string name;
+  double baseline_ns = 0.0;
+  double candidate_ns = 0.0;  ///< min over the candidate runs
+  double ratio = 0.0;         ///< candidate / baseline
+  double threshold_pct = 0.0;
+  bool below_noise_floor = false;
+  bool regression = false;
+};
+
+struct BenchDiffReport {
+  std::vector<BenchEntry> entries;              ///< sorted by name
+  std::vector<std::string> missing_in_candidate;
+  std::vector<std::string> missing_in_baseline;
+
+  bool has_regression() const noexcept {
+    for (const auto& e : entries) {
+      if (e.regression) return true;
+    }
+    return false;
+  }
+
+  /// Machine-readable report (uploaded as the CI artifact).
+  std::string to_json() const;
+  /// Human-readable table for the job log.
+  std::string to_text() const;
+};
+
+/// Extract benchmark name -> real time in nanoseconds from any of the three
+/// BENCH_*.json flavors this repo exports:
+///   - BENCH_kernel.json:  benchmarks.{name}.after.real_time_ns
+///   - BENCH_service.json / BENCH_obs.json:
+///                         benchmarks.{name}.real_time (+ time_unit)
+/// plus raw google-benchmark output (benchmarks as an array). Throws
+/// util::InvalidArgument when no benchmark times can be found.
+std::map<std::string, double> parse_bench_times(const io::JsonValue& doc);
+
+/// Compare a baseline document against one or more candidate runs of the
+/// same benchmark suite. Noise-aware by construction: the candidate time per
+/// benchmark is the minimum across the candidate documents (min-of-N — the
+/// minimum of a latency measurement estimates the noise-free cost), and the
+/// regression predicate is relative with per-benchmark thresholds.
+BenchDiffReport bench_diff(const io::JsonValue& baseline,
+                           const std::vector<io::JsonValue>& candidates,
+                           const BenchDiffOptions& options = BenchDiffOptions());
+
+}  // namespace qulrb::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "obs/recorder.hpp"
+
+namespace qulrb::obs {
+
+/// Knobs for the post-hoc convergence analysis.
+struct ConvergenceConfig {
+  /// A sampled incumbent counts as feasible when its recorded constraint
+  /// violation is at or below this.
+  double feasibility_tol = 1e-9;
+  /// Objective value (not energy-with-penalty) that defines "target
+  /// quality". The LRP layer derives this from an R_imb threshold via
+  /// lrp::objective_target_for_imbalance(); NaN disables time-to-target.
+  double target_objective = std::numeric_limits<double>::quiet_NaN();
+  /// Relative incumbent improvement below which a step does not reset the
+  /// stagnation window.
+  double improvement_epsilon = 1e-9;
+};
+
+/// What the analysis found. Times are on the recorder's epoch,
+/// in milliseconds; a negative time means "never happened".
+struct ConvergenceReport {
+  double time_to_first_feasible_ms = -1.0;
+  double time_to_target_ms = -1.0;
+  /// Longest stretch with no meaningful incumbent improvement (ms). Includes
+  /// the trailing window between the last improvement and the last sample —
+  /// the common failure mode is a solver that converges early and then burns
+  /// the rest of its budget.
+  double longest_stagnation_ms = 0.0;
+  double final_objective = std::numeric_limits<double>::quiet_NaN();
+  double final_violation = std::numeric_limits<double>::quiet_NaN();
+  std::size_t samples_seen = 0;
+  std::size_t tracks_seen = 0;
+
+  bool reached_feasible() const noexcept {
+    return time_to_first_feasible_ms >= 0.0;
+  }
+  bool reached_target() const noexcept { return time_to_target_ms >= 0.0; }
+};
+
+/// Post-hoc analyzer for the incumbent timelines a solve left in its
+/// Recorder. The samplers record per-restart "incumbent_energy"
+/// (objective + violation penalty-free violation magnitude) and
+/// "incumbent_violation" counter tracks; this module merges them across
+/// restart tracks into one global best-so-far envelope and reads off the
+/// paper's comparison metrics: time-to-first-feasible, time-to-target-
+/// quality, and incumbent stagnation.
+///
+/// Running the analysis after the solve (instead of inline) is what keeps
+/// the zero-cost-off contract intact: with a null recorder there is nothing
+/// to analyze and no code runs; with a recorder the solve itself is
+/// unchanged and only already-recorded data is read.
+class ConvergenceDiagnostics {
+ public:
+  explicit ConvergenceDiagnostics(ConvergenceConfig config = ConvergenceConfig())
+      : config_(config) {}
+
+  const ConvergenceConfig& config() const noexcept { return config_; }
+
+  /// Analyze a (finished) recorder's incumbent timelines.
+  ConvergenceReport analyze(const Recorder& recorder) const;
+
+  /// analyze(), then write the results back into the recorder: the merged
+  /// best-so-far envelope as "best_objective"/"best_violation" counter
+  /// tracks on the main row, a 0/1 "feasible" step track, and the scalar
+  /// results as annotations — so the exported Perfetto document carries its
+  /// own convergence verdict.
+  ConvergenceReport annotate(Recorder& recorder) const;
+
+ private:
+  ConvergenceConfig config_;
+};
+
+}  // namespace qulrb::obs

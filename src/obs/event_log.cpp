@@ -1,0 +1,59 @@
+#include "obs/event_log.hpp"
+
+#include <cmath>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+
+std::string to_json_line(const SolveEvent& event) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("source", event.source);
+  if (event.request_id != 0) {
+    w.field("request_id", static_cast<std::int64_t>(event.request_id));
+  }
+  if (!event.solver.empty()) w.field("solver", event.solver);
+  if (!event.outcome.empty()) w.field("outcome", event.outcome);
+  w.field("feasible", event.feasible);
+  if (!std::isnan(event.r_imb_before)) {
+    w.field("r_imb_before", event.r_imb_before);
+  }
+  if (!std::isnan(event.r_imb_after)) {
+    w.field("r_imb_after", event.r_imb_after);
+  }
+  if (!std::isnan(event.speedup)) w.field("speedup", event.speedup);
+  if (event.migrated >= 0) w.field("migrated", event.migrated);
+  if (!std::isnan(event.runtime_ms)) w.field("runtime_ms", event.runtime_ms);
+  if (!std::isnan(event.queue_ms)) w.field("queue_ms", event.queue_ms);
+  if (!std::isnan(event.time_to_first_feasible_ms)) {
+    w.field("time_to_first_feasible_ms", event.time_to_first_feasible_ms);
+  }
+  if (!std::isnan(event.time_to_target_ms)) {
+    w.field("time_to_target_ms", event.time_to_target_ms);
+  }
+  for (const auto& [key, value] : event.extra) w.field(key, value);
+  w.end_object();
+  return w.str();
+}
+
+EventLog::EventLog(const std::string& path, bool append)
+    : out_(path, append ? std::ios::app : std::ios::trunc) {
+  util::require(out_.good(), "EventLog: cannot open '" + path + "'");
+}
+
+void EventLog::log(const SolveEvent& event) {
+  const std::string line = to_json_line(event);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  ++lines_;
+}
+
+std::uint64_t EventLog::lines_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+}  // namespace qulrb::obs

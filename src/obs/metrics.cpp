@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <sstream>
 
 namespace qulrb::obs {
@@ -24,46 +26,90 @@ std::string merged_labels(const std::string& labels, const std::string& extra) {
   return labels + "," + extra;
 }
 
+// HELP text escaping: the exposition format reserves backslash and newline
+// (label-value escaping is stricter and handled at registration time).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsRegistry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ostringstream out;
-  std::string last_family;
+
+  // Group children by family (metric name) in first-registration order so
+  // `# HELP`/`# TYPE` appear exactly once per family even when different
+  // label sets of one family were registered interleaved with other metrics
+  // (the exposition format forbids repeating a family header).
+  std::vector<std::pair<std::string, std::vector<const Entry*>>> families;
   for (const auto& e : entries_) {
-    if (e->name != last_family) {
-      last_family = e->name;
-      if (!e->help.empty()) out << "# HELP " << e->name << ' ' << e->help << '\n';
-      const char* type = e->kind == Kind::kCounter   ? "counter"
-                         : e->kind == Kind::kGauge   ? "gauge"
-                                                     : "histogram";
-      out << "# TYPE " << e->name << ' ' << type << '\n';
+    auto it = std::find_if(
+        families.begin(), families.end(),
+        [&](const auto& family) { return family.first == e->name; });
+    if (it == families.end()) {
+      families.emplace_back(e->name, std::vector<const Entry*>{});
+      it = std::prev(families.end());
     }
-    switch (e->kind) {
-      case Kind::kCounter:
-        out << with_labels(e->name, e->labels) << ' ' << e->counter->value()
-            << '\n';
+    it->second.push_back(e.get());
+  }
+
+  std::ostringstream out;
+  for (const auto& [name, children] : families) {
+    const Entry* first = children.front();
+    const Entry* with_help = first;
+    for (const Entry* e : children) {
+      if (!e->help.empty()) {
+        with_help = e;
         break;
-      case Kind::kGauge:
-        out << with_labels(e->name, e->labels) << ' '
-            << fmt_double(e->gauge->value()) << '\n';
-        break;
-      case Kind::kHistogram: {
-        const LogHistogram& h = *e->histogram;
-        std::uint64_t cumulative = 0;
-        for (std::size_t b = 0; b < h.num_buckets(); ++b) {
-          cumulative += h.bucket_count(b);
-          out << with_labels(e->name + "_bucket",
-                             merged_labels(e->labels, "le=\"" +
-                                                          fmt_double(h.upper_edge(b)) +
-                                                          "\""))
-              << ' ' << cumulative << '\n';
+      }
+    }
+    if (!with_help->help.empty()) {
+      out << "# HELP " << name << ' ' << escape_help(with_help->help) << '\n';
+    }
+    const char* type = first->kind == Kind::kCounter   ? "counter"
+                       : first->kind == Kind::kGauge   ? "gauge"
+                                                       : "histogram";
+    out << "# TYPE " << name << ' ' << type << '\n';
+    for (const Entry* entry : children) {
+      const Entry& e = *entry;
+      switch (e.kind) {
+        case Kind::kCounter:
+          out << with_labels(e.name, e.labels) << ' ' << e.counter->value()
+              << '\n';
+          break;
+        case Kind::kGauge:
+          out << with_labels(e.name, e.labels) << ' '
+              << fmt_double(e.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const LogHistogram& h = *e.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b < h.num_buckets(); ++b) {
+            cumulative += h.bucket_count(b);
+            out << with_labels(e.name + "_bucket",
+                               merged_labels(e.labels,
+                                             "le=\"" +
+                                                 fmt_double(h.upper_edge(b)) +
+                                                 "\""))
+                << ' ' << cumulative << '\n';
+          }
+          out << with_labels(e.name + "_sum", e.labels) << ' '
+              << fmt_double(h.sum()) << '\n';
+          out << with_labels(e.name + "_count", e.labels) << ' ' << cumulative
+              << '\n';
+          break;
         }
-        out << with_labels(e->name + "_sum", e->labels) << ' '
-            << fmt_double(h.sum()) << '\n';
-        out << with_labels(e->name + "_count", e->labels) << ' ' << cumulative
-            << '\n';
-        break;
       }
     }
   }

@@ -118,6 +118,31 @@ class LogHistogram {
     }
   }
 
+  /// Fold another histogram's totals into this one. Requires an identical
+  /// bucket layout (that is the point of fixing it at construction: merging
+  /// shards, scrapes, or per-worker histograms is plain addition). Safe to
+  /// call while either side is being observed concurrently — the additions
+  /// are atomic per bucket, so totals are exact once writers quiesce.
+  void merge(const LogHistogram& other) {
+    util::require(layout_.lo == other.layout_.lo &&
+                      layout_.buckets == other.layout_.buckets &&
+                      layout_.buckets_per_octave == other.layout_.buckets_per_octave,
+                  "LogHistogram::merge: bucket layouts differ");
+    const std::size_t shard = metric_shard();
+    for (std::size_t b = 0; b < layout_.buckets; ++b) {
+      const std::uint64_t c = other.bucket_count(b);
+      if (c != 0) {
+        counts_[shard * layout_.buckets + b].fetch_add(
+            c, std::memory_order_relaxed);
+      }
+    }
+    auto& sum = sums_[shard].v;
+    const double d = other.sum();
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+
   std::size_t num_buckets() const noexcept { return layout_.buckets; }
   const Layout& layout() const noexcept { return layout_; }
 
@@ -197,19 +222,59 @@ class LogHistogram {
 /// only the lock-free increment paths afterwards. Scrapes walk the entries
 /// in registration order, so the exposition is deterministic.
 ///
-/// `labels` is an optional raw Prometheus label body (e.g.
-/// `outcome="ok"`); entries sharing a name but differing in labels form one
-/// metric family in the exposition.
+/// `labels` is either a structured list of name/value pairs (preferred —
+/// values get Prometheus escaping applied) or a raw pre-serialized label
+/// body (e.g. `outcome="ok"`, for callers that already conform); entries
+/// sharing a name but differing in labels form one metric family in the
+/// exposition.
 class MetricsRegistry {
  public:
+  /// Structured label set; serialized as `name="value",...` with values
+  /// escaped per the exposition format.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Escape a label value for the text exposition: backslash, double quote
+  /// and newline must be escaped (`\\`, `\"`, `\n`); everything else passes
+  /// through verbatim.
+  static std::string escape_label_value(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  static std::string serialize_labels(const Labels& labels) {
+    std::string out;
+    for (const auto& [name, value] : labels) {
+      if (!out.empty()) out += ',';
+      out += name;
+      out += "=\"";
+      out += escape_label_value(value);
+      out += '"';
+    }
+    return out;
+  }
 
   Counter& counter(const std::string& name, const std::string& help = "",
                    const std::string& labels = "") {
     Entry& e = entry_for(Kind::kCounter, name, help, labels);
     return *e.counter;
+  }
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels) {
+    return counter(name, help, serialize_labels(labels));
   }
 
   Gauge& gauge(const std::string& name, const std::string& help = "",
@@ -218,15 +283,31 @@ class MetricsRegistry {
     return *e.gauge;
   }
 
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels) {
+    return gauge(name, help, serialize_labels(labels));
+  }
+
   LogHistogram& histogram(const std::string& name, const std::string& help = "",
                           HistogramLayout layout = HistogramLayout()) {
     Entry& e = entry_for(Kind::kHistogram, name, help, "", layout);
     return *e.histogram;
   }
 
+  LogHistogram& histogram(const std::string& name, const std::string& help,
+                          const Labels& labels,
+                          HistogramLayout layout = HistogramLayout()) {
+    Entry& e =
+        entry_for(Kind::kHistogram, name, help, serialize_labels(labels), layout);
+    return *e.histogram;
+  }
+
   /// Prometheus text exposition (format version 0.0.4) of every registered
-  /// metric. Histograms emit cumulative `_bucket{le=...}` lines plus `_sum`
-  /// and `_count`. Defined in metrics.cpp (scrape-side only).
+  /// metric. Families are grouped in first-registration order with `# HELP`
+  /// and `# TYPE` emitted exactly once per family (even when registrations
+  /// of the same family were interleaved with other metrics); histograms
+  /// emit cumulative `_bucket{le=...}` lines plus `_sum` and `_count`.
+  /// Defined in metrics.cpp (scrape-side only).
   std::string to_prometheus() const;
 
  private:

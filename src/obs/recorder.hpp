@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -28,6 +31,17 @@ struct TraceSample {
   double value = 0.0;
 };
 
+/// A counter point whose series name is owned (dynamic) and whose timestamp
+/// may be backdated — the cold-path variant used by post-hoc analyses
+/// (convergence envelopes, per-constraint violation attribution) where the
+/// series name is built at runtime. Never used from sweep loops.
+struct OwnedSample {
+  std::string series;
+  std::uint32_t track = 0;
+  double t_us = 0.0;
+  double value = 0.0;
+};
+
 /// Per-solve trace collector: spans (phases) on numbered tracks plus sampled
 /// counter timelines, all timestamped against one steady-clock epoch so
 /// concurrent restart tracks line up in the viewer.
@@ -47,8 +61,28 @@ class Recorder {
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
 
-  /// Microseconds since this recorder was constructed.
-  double now_us() const noexcept { return epoch_.elapsed_us(); }
+  /// Microseconds since this recorder was constructed. Strictly monotonic
+  /// across threads: two calls never return the same value, and a call that
+  /// happens-after another (e.g. a span's end after its begin, even when the
+  /// begin ran on a different thread) always reads a larger one. The clock
+  /// itself (steady_clock) is only non-decreasing and its reads can tie or
+  /// interleave with the stamp ordering under contention, so we serialize
+  /// through an atomic high-watermark: anything at or below the last issued
+  /// stamp is bumped to the next representable double. Without this,
+  /// Perfetto renders racing begin/end pairs as negative-duration spans.
+  double now_us() const noexcept {
+    const double t = epoch_.elapsed_us();
+    double prev = last_us_.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = t > prev
+                 ? t
+                 : std::nextafter(prev,
+                                  std::numeric_limits<double>::infinity());
+    } while (!last_us_.compare_exchange_weak(prev, next,
+                                             std::memory_order_acq_rel));
+    return next;
+  }
 
   const std::string& name() const noexcept { return name_; }
 
@@ -63,6 +97,23 @@ class Recorder {
     const double t = now_us();
     std::lock_guard<std::mutex> lock(mutex_);
     samples_.push_back(TraceSample{series, track, t, value});
+  }
+
+  /// Cold-path counter point with an owned series name and an explicit
+  /// (possibly backdated) timestamp — used by post-hoc analyses that replay
+  /// derived timelines (convergence envelopes, per-constraint violations)
+  /// into the trace. `t_us` is on this recorder's epoch, i.e. a value
+  /// obtained from now_us() or from another sample's timestamp.
+  void sample_at(std::string series, std::uint32_t track, double t_us,
+                 double value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    owned_samples_.push_back(
+        OwnedSample{std::move(series), track, t_us, value});
+  }
+
+  /// sample_at() stamped with the current time.
+  void sample_named(std::string series, std::uint32_t track, double value) {
+    sample_at(std::move(series), track, now_us(), value);
   }
 
   /// Human-readable label for a track row in the viewer (track 0 is labelled
@@ -97,6 +148,10 @@ class Recorder {
   std::vector<TraceSample> samples() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return samples_;
+  }
+  std::vector<OwnedSample> owned_samples() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return owned_samples_;
   }
   std::vector<std::pair<std::uint32_t, std::string>> track_names() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -147,9 +202,12 @@ class Recorder {
  private:
   std::string name_;
   util::WallTimer epoch_;
+  /// High-watermark of issued timestamps; see now_us().
+  mutable std::atomic<double> last_us_{0.0};
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
   std::vector<TraceSample> samples_;
+  std::vector<OwnedSample> owned_samples_;
   std::vector<std::pair<std::uint32_t, std::string>> track_names_;
   std::vector<std::pair<std::string, std::string>> annotations_;
 };

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "obs/recorder.hpp"
+
+namespace qulrb::obs {
+
+/// Request-scoped trace identity, minted once at service admission (or by the
+/// CLI) and threaded by value through every layer a request touches: the
+/// service queue, the session cache, the hybrid solver's restart pool and the
+/// simulated/live MPI ranks. All layers append to the same Recorder, so one
+/// Perfetto document shows the request end-to-end, and the request id minted
+/// here lands in the document's metadata.
+///
+/// A default-constructed context is inactive: recorder() is nullptr and every
+/// call site falls back to the established null-recorder discipline, so the
+/// zero-cost-off contract is untouched.
+///
+/// Track allocation: each layer that needs its own rows calls
+/// claim_tracks(n) and gets a contiguous, process-unique block of track ids.
+/// This is what keeps solver restart rows and BSP rank rows from colliding
+/// when both record into one request trace. Track 0 is never handed out — it
+/// stays the request's "main" row (queue/session/presolve spans).
+class TraceContext {
+ public:
+  TraceContext() = default;  ///< inactive — recorder() == nullptr
+
+  /// Mint a fresh context (and its Recorder) for one request. The request id
+  /// is annotated into the recorder so it survives into the exported trace.
+  static TraceContext mint(std::uint64_t request_id, std::string name) {
+    return adopt(request_id,
+                 std::make_shared<Recorder>(std::move(name)));
+  }
+
+  /// Wrap an existing recorder (e.g. one the CLI owns) in a context.
+  static TraceContext adopt(std::uint64_t request_id,
+                            std::shared_ptr<Recorder> recorder) {
+    TraceContext ctx;
+    if (recorder != nullptr) {
+      ctx.shared_ = std::make_shared<Shared>();
+      ctx.shared_->request_id = request_id;
+      ctx.shared_->recorder = std::move(recorder);
+      ctx.shared_->recorder->annotate("request_id",
+                                      std::to_string(request_id));
+    }
+    return ctx;
+  }
+
+  bool active() const noexcept { return shared_ != nullptr; }
+
+  Recorder* recorder() const noexcept {
+    return shared_ != nullptr ? shared_->recorder.get() : nullptr;
+  }
+
+  /// Shared ownership of the recorder (the service hands this to whoever
+  /// serializes the trace after the request callback has run).
+  std::shared_ptr<Recorder> recorder_ptr() const {
+    return shared_ != nullptr ? shared_->recorder : nullptr;
+  }
+
+  std::uint64_t request_id() const noexcept {
+    return shared_ != nullptr ? shared_->request_id : 0;
+  }
+
+  /// Reserve `n` consecutive track ids for one layer's rows and return the
+  /// first. Thread-safe; ids are unique for the lifetime of the context.
+  /// Inactive contexts return 0 (callers are already guarding on recorder()).
+  std::uint32_t claim_tracks(std::uint32_t n) const {
+    if (shared_ == nullptr || n == 0) return 0;
+    return shared_->next_track.fetch_add(n, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shared {
+    std::uint64_t request_id = 0;
+    std::shared_ptr<Recorder> recorder;
+    std::atomic<std::uint32_t> next_track{1};  ///< 0 is the main row
+  };
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace qulrb::obs

@@ -1,7 +1,9 @@
 #include "runtime/bsp_sim.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "lrp/metrics.hpp"
@@ -144,6 +146,43 @@ BspResult BspSimulator::run(const lrp::LrpProblem& problem,
   const double capacity = steady_barrier * static_cast<double>(m) *
                           static_cast<double>(config_.comp_threads);
   result.parallel_efficiency = capacity > 0.0 ? steady_busy_total / capacity : 1.0;
+
+  // --- trace replay ----------------------------------------------------------
+  // Render the simulated first iteration as per-rank tracks in the request's
+  // recorder: simulated milliseconds map onto the recorder's epoch starting
+  // now, so the rank rows appear right after the solver spans that produced
+  // the plan being simulated.
+  if (config_.trace.active()) {
+    obs::Recorder& rec = *config_.trace.recorder();
+    const std::uint32_t base =
+        config_.trace.claim_tracks(static_cast<std::uint32_t>(m));
+    const double t0 = rec.now_us();
+    const auto at = [&](double sim_ms) { return t0 + sim_ms * 1000.0; };
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t track = base + static_cast<std::uint32_t>(i);
+      rec.name_track(track, "rank " + std::to_string(i));
+      const ProcessTrace& p = result.processes[i];
+      if (p.send_ms > 0.0) {
+        rec.span("migrate-send", "bsp", track, at(0.0), at(p.send_ms));
+      }
+      const double workers_start = config_.overlap_migration ? 0.0 : p.send_ms;
+      rec.span("compute", "bsp", track, at(workers_start), at(p.finish_ms));
+      if (p.idle_ms > 0.0) {
+        rec.span("barrier-wait", "bsp", track, at(p.finish_ms),
+                 at(first_iter_barrier));
+      }
+      rec.sample_at("steady_compute_ms", track, at(first_iter_barrier),
+                    steady_compute[i]);
+    }
+    const auto fmt = [](double v) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.4f", v);
+      return std::string(buf);
+    };
+    rec.annotate("bsp_first_iteration_ms", fmt(result.first_iteration_ms));
+    rec.annotate("bsp_steady_iteration_ms", fmt(result.steady_iteration_ms));
+    rec.annotate("bsp_compute_imbalance", fmt(result.compute_imbalance));
+  }
   return result;
 }
 

@@ -73,6 +73,17 @@ ProtocolRequest parse_request_line(const std::string& line) {
       doc.int_or("seed", static_cast<std::int64_t>(hybrid.seed)));
   hybrid.time_limit_ms = doc.number_or("time_limit_ms", hybrid.time_limit_ms);
 
+  out.request.target_r_imb = doc.number_or("target_rimb", 0.0);
+  out.request.simulate = doc.bool_or("simulate", false);
+  const std::int64_t sim_iters = doc.int_or(
+      "sim_iterations", static_cast<std::int64_t>(out.request.sim_iterations));
+  util::require(sim_iters > 0, "'sim_iterations' must be positive");
+  out.request.sim_iterations = static_cast<std::size_t>(sim_iters);
+  const std::int64_t sim_threads = doc.int_or(
+      "sim_threads", static_cast<std::int64_t>(out.request.sim_comp_threads));
+  util::require(sim_threads > 0, "'sim_threads' must be positive");
+  out.request.sim_comp_threads = static_cast<std::size_t>(sim_threads);
+
   out.include_plan = doc.bool_or("plan", false);
   return out;
 }
@@ -107,6 +118,22 @@ std::string encode_response(std::uint64_t client_id,
       }
       w.end_array();
     }
+  }
+  if (response.time_to_first_feasible_ms >= 0.0) {
+    w.field("time_to_first_feasible_ms", response.time_to_first_feasible_ms);
+  }
+  if (response.time_to_target_ms >= 0.0) {
+    w.field("time_to_target_ms", response.time_to_target_ms);
+  }
+  if (response.simulated) {
+    w.key("sim");
+    w.begin_object();
+    w.field("first_iteration_ms", response.sim_first_iteration_ms);
+    w.field("steady_iteration_ms", response.sim_steady_iteration_ms);
+    w.field("migration_overhead_ms", response.sim_migration_overhead_ms);
+    w.field("compute_imbalance", response.sim_compute_imbalance);
+    w.field("parallel_efficiency", response.sim_parallel_efficiency);
+    w.end_object();
   }
   w.field("queue_ms", response.queue_ms);
   w.field("solve_ms", response.solve_ms);

@@ -1,15 +1,19 @@
 #include "service/rebalance_service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
 #include <limits>
 #include <utility>
 #include <vector>
 
 #include "lrp/quantum_solver.hpp"
+#include "runtime/bsp_sim.hpp"
 #include "util/error.hpp"
 
 namespace qulrb::service {
+
+using runtime::BspSimulator;
 
 const char* to_string(RequestOutcome outcome) {
   switch (outcome) {
@@ -27,31 +31,36 @@ RebalanceService::RebalanceService(ServiceParams params)
       cache_(params.cache_capacity),
       stats_(params.latency_hist_max_ms, params.latency_hist_bins),
       pool_(params.num_workers) {
+  // Structured labels: the registry serializes and escapes the values, so
+  // the exposition stays conformant even if a label ever carries quotes.
+  using Labels = obs::MetricsRegistry::Labels;
   const char* outcome_help = "Finished requests by outcome";
   h_.submitted = &registry_.counter("qulrb_service_submitted_total",
                                     "Requests offered to the service");
   h_.completed = &registry_.counter("qulrb_service_requests_total",
-                                    outcome_help, "outcome=\"completed\"");
+                                    outcome_help,
+                                    Labels{{"outcome", "completed"}});
   h_.rejected_queue_full =
       &registry_.counter("qulrb_service_requests_total", outcome_help,
-                         "outcome=\"rejected_queue_full\"");
+                         Labels{{"outcome", "rejected_queue_full"}});
   h_.rejected_deadline =
       &registry_.counter("qulrb_service_requests_total", outcome_help,
-                         "outcome=\"rejected_deadline\"");
+                         Labels{{"outcome", "rejected_deadline"}});
   h_.shed = &registry_.counter("qulrb_service_requests_total", outcome_help,
-                               "outcome=\"shed_expired\"");
+                               Labels{{"outcome", "shed_expired"}});
   h_.cancelled = &registry_.counter("qulrb_service_requests_total",
-                                    outcome_help, "outcome=\"cancelled\"");
+                                    outcome_help,
+                                    Labels{{"outcome", "cancelled"}});
   h_.failed = &registry_.counter("qulrb_service_requests_total", outcome_help,
-                                 "outcome=\"failed\"");
+                                 Labels{{"outcome", "failed"}});
   h_.deadline_met =
       &registry_.counter("qulrb_service_deadline_total",
                          "Completed requests vs their deadline",
-                         "result=\"met\"");
+                         Labels{{"result", "met"}});
   h_.deadline_missed =
       &registry_.counter("qulrb_service_deadline_total",
                          "Completed requests vs their deadline",
-                         "result=\"missed\"");
+                         Labels{{"result", "missed"}});
   h_.budget_expired =
       &registry_.counter("qulrb_service_budget_expired_total",
                          "Solves truncated by their time budget");
@@ -141,11 +150,12 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
       }
       if (params_.record_traces) {
         // Epoch = admission, so the trace's t=0 is when the request entered
-        // the service and the queue wait is visible as a span from 0.
-        item.recorder =
-            std::make_shared<obs::Recorder>("req-" + std::to_string(id));
-        item.recorder->annotate("priority",
-                                std::to_string(item.request.priority));
+        // the service and the queue wait is visible as a span from 0. The
+        // context carries the request id into every layer the solve touches.
+        item.trace =
+            obs::TraceContext::mint(id, "req-" + std::to_string(id));
+        item.trace.recorder()->annotate(
+            "priority", std::to_string(item.request.priority));
       }
       const PendingKey key{item.request.priority,
                            deadline_ms > 0.0
@@ -231,9 +241,8 @@ void RebalanceService::run_one() {
   RebalanceResponse response;
   response.id = item.id;
   response.queue_ms = item.queued.elapsed_ms();
-  if (item.recorder != nullptr) {
-    item.recorder->span("queue-wait", "service", 0, 0.0,
-                        item.recorder->now_us());
+  if (obs::Recorder* rec = item.trace.recorder()) {
+    rec->span("queue-wait", "service", 0, 0.0, rec->now_us());
   }
 
   if (item.token.cancel_requested()) {
@@ -254,13 +263,18 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
   RebalanceResponse response;
   response.id = item.id;
   response.queue_ms = item.queued.elapsed_ms();
-  obs::Recorder* rec = item.recorder.get();
+  obs::Recorder* rec = item.trace.recorder();
   try {
     const lrp::LrpProblem problem(item.request.task_loads,
                                   item.request.task_counts);
+    if (item.request.target_r_imb > 0.0) {
+      item.target_objective = lrp::objective_target_for_imbalance(
+          problem, item.request.target_r_imb);
+    }
     obs::Recorder::Span checkout_span(rec, "session-checkout", "service", 0);
     auto checkout = cache_.checkout(problem, item.request.variant,
-                                    item.request.k, item.request.build);
+                                    item.request.k, item.request.build,
+                                    item.trace);
     checkout_span.close();
     response.cache_hit = checkout.hit != CacheHit::kMiss;
     response.cache_retargeted = checkout.hit == CacheHit::kRetarget;
@@ -277,6 +291,7 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
     hybrid.reuse_presolve = &checkout.session->presolve;
     hybrid.reuse_pairs = &checkout.session->pairs;
     hybrid.recorder = rec;
+    hybrid.trace = item.trace;
     hybrid.metrics = &registry_;
     if (hybrid.initial_hint.empty() && !checkout.session->warm_hint.empty()) {
       hybrid.initial_hint = checkout.session->warm_hint;
@@ -294,10 +309,29 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
     response.metrics = lrp::evaluate_plan(problem, out.plan);
     response.feasible = out.feasible;
     response.budget_expired = diag.hybrid_stats.budget_expired;
-    response.plan = std::move(out.plan);
     response.outcome = item.token.cancel_requested()
                            ? RequestOutcome::kCancelled
                            : RequestOutcome::kOk;
+
+    if (item.request.simulate) {
+      // Drive the BSP simulator on the plan we just produced; with tracing
+      // on, its per-rank tracks land in this request's document right after
+      // the solver spans.
+      obs::Recorder::Span sim_span(rec, "bsp-sim", "service", 0);
+      runtime::BspConfig sim;
+      sim.iterations = std::max<std::size_t>(1, item.request.sim_iterations);
+      sim.comp_threads =
+          std::max<std::size_t>(1, item.request.sim_comp_threads);
+      sim.trace = item.trace;
+      const runtime::BspResult bsp = BspSimulator(sim).run(problem, out.plan);
+      response.simulated = true;
+      response.sim_first_iteration_ms = bsp.first_iteration_ms;
+      response.sim_steady_iteration_ms = bsp.steady_iteration_ms;
+      response.sim_migration_overhead_ms = bsp.migration_overhead_ms;
+      response.sim_compute_imbalance = bsp.compute_imbalance;
+      response.sim_parallel_efficiency = bsp.parallel_efficiency;
+    }
+    response.plan = std::move(out.plan);
   } catch (const std::exception& e) {
     response.outcome = RequestOutcome::kFailed;
     response.error = e.what();
@@ -328,11 +362,18 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
   h_.queue_ms->observe(response.queue_ms);
   h_.total_ms->observe(response.total_ms);
 
-  // Serialize the trace outside the lock — it is pure string building.
+  // Convergence analysis + trace serialization outside the lock — both are
+  // pure computation over the request's private recorder.
   std::string trace;
-  if (item.recorder != nullptr) {
-    item.recorder->annotate("outcome", to_string(response.outcome));
-    trace = obs::to_perfetto_json(*item.recorder);
+  if (obs::Recorder* rec = item.trace.recorder()) {
+    obs::ConvergenceConfig conv;
+    conv.target_objective = item.target_objective;
+    const obs::ConvergenceReport report =
+        obs::ConvergenceDiagnostics(conv).annotate(*rec);
+    response.time_to_first_feasible_ms = report.time_to_first_feasible_ms;
+    response.time_to_target_ms = report.time_to_target_ms;
+    rec->annotate("outcome", to_string(response.outcome));
+    trace = obs::to_perfetto_json(*rec);
   }
 
   {
@@ -354,6 +395,37 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
       while (traces_.size() > params_.trace_keep) traces_.pop_front();
     }
   }
+  if (params_.event_log != nullptr) {
+    obs::SolveEvent event;
+    event.source = params_.event_source;
+    event.request_id = item.id;
+    event.solver = lrp::to_string(item.request.variant);
+    event.outcome = to_string(response.outcome);
+    event.feasible = response.feasible;
+    if (response.plan.has_value()) {
+      event.r_imb_before = response.metrics.imbalance_before;
+      event.r_imb_after = response.metrics.imbalance_after;
+      event.speedup = response.metrics.speedup;
+      event.migrated = response.metrics.total_migrated;
+    }
+    event.runtime_ms = response.solve_ms;
+    event.queue_ms = response.queue_ms;
+    if (response.time_to_first_feasible_ms >= 0.0) {
+      event.time_to_first_feasible_ms = response.time_to_first_feasible_ms;
+    }
+    if (response.time_to_target_ms >= 0.0) {
+      event.time_to_target_ms = response.time_to_target_ms;
+    }
+    if (response.cache_hit) event.extra.emplace_back("cache", "hit");
+    if (response.simulated) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    response.sim_steady_iteration_ms);
+      event.extra.emplace_back("sim_steady_iteration_ms", buf);
+    }
+    params_.event_log->log(event);
+  }
+
   if (item.callback) item.callback(std::move(response));
   // Only now is the request truly finished: drain() must not return while a
   // callback is still writing (e.g. to a connection about to be closed).
@@ -363,6 +435,33 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
     h_.running->set(static_cast<double>(running_.size()));
     idle_cv_.notify_all();
   }
+}
+
+std::size_t RebalanceService::shed_pending() {
+  std::vector<Pending> shed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, item] : pending_) {
+      // Count as running until finish() has delivered the callback, so a
+      // following drain() cannot return under the delivery.
+      running_.emplace(item.id, item.token);
+      shed.push_back(std::move(item));
+    }
+    pending_.clear();
+    pending_index_.clear();
+    h_.queue_depth->set(0.0);
+    h_.running->set(static_cast<double>(running_.size()));
+  }
+  for (auto& item : shed) {
+    RebalanceResponse response;
+    response.id = item.id;
+    response.outcome = RequestOutcome::kCancelled;
+    response.error = "shed at shutdown";
+    response.queue_ms = item.queued.elapsed_ms();
+    response.total_ms = response.queue_ms;
+    finish(std::move(item), std::move(response));
+  }
+  return shed.size();
 }
 
 void RebalanceService::drain() {

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,8 +13,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/convergence.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "service/request.hpp"
 #include "service/session_cache.hpp"
 #include "util/cancel.hpp"
@@ -55,6 +59,11 @@ struct ServiceParams {
   /// the registry-backed metrics are always on.
   bool record_traces = false;
   std::size_t trace_keep = 8;
+  /// Structured JSONL sink: one SolveEvent line per finished request. Not
+  /// owned; must outlive the service. Null = off.
+  obs::EventLog* event_log = nullptr;
+  /// `source` field stamped on emitted events.
+  std::string event_source = "qulrb_serve";
 };
 
 /// Aggregated service telemetry; a consistent snapshot from stats().
@@ -125,6 +134,12 @@ class RebalanceService {
   /// Block until no request is pending or running.
   void drain();
 
+  /// Cancel everything still queued (running solves keep going) — the
+  /// graceful-shutdown path: shed the backlog, then drain() the in-flight
+  /// work. Each shed request is answered kCancelled through the normal
+  /// finish path. Returns how many requests were shed.
+  std::size_t shed_pending();
+
   ServiceStats stats() const;
   const ServiceParams& params() const noexcept { return params_; }
 
@@ -148,7 +163,12 @@ class RebalanceService {
     util::WallTimer queued;        ///< started at admission
     double deadline_ms = 0.0;      ///< effective (request or default), 0 = none
     util::CancelToken token;       ///< created at admission so cancel() works
-    std::shared_ptr<obs::Recorder> recorder;  ///< per-request trace (optional)
+    /// Per-request trace identity (owns the recorder when tracing is on);
+    /// inactive otherwise.
+    obs::TraceContext trace;
+    /// Objective threshold implied by the request's target_r_imb (NaN when
+    /// none) — feeds the convergence analysis at finish.
+    double target_objective = std::numeric_limits<double>::quiet_NaN();
   };
 
   /// Queue order: priority desc, deadline asc (none = last), arrival asc.

@@ -35,6 +35,19 @@ struct RebalanceRequest {
   /// thread count (the pool provides the concurrency; individual solves
   /// should not each claim the whole machine).
   anneal::HybridSolverParams hybrid;
+
+  /// Target quality for the convergence telemetry: when > 0 the service
+  /// reports time-to-target as the moment the solver's incumbent guaranteed
+  /// R_imb <= target_r_imb (via lrp::objective_target_for_imbalance). Only
+  /// meaningful when the request is traced.
+  double target_r_imb = 0.0;
+
+  /// Drive the BSP simulator on the solved plan and report the simulated
+  /// execution alongside the solve — with tracing on, the per-rank tracks
+  /// land in the same Perfetto document as the solver spans.
+  bool simulate = false;
+  std::size_t sim_iterations = 10;    ///< BSP outer time steps
+  std::size_t sim_comp_threads = 1;   ///< task-executing threads per process
 };
 
 enum class RequestOutcome : std::uint8_t {
@@ -63,6 +76,18 @@ struct RebalanceResponse {
   double queue_ms = 0.0;  ///< admission -> dispatch
   double solve_ms = 0.0;  ///< dispatch -> solver done
   double total_ms = 0.0;  ///< admission -> response
+
+  /// Convergence telemetry (traced requests only; -1 = not observed).
+  double time_to_first_feasible_ms = -1.0;
+  double time_to_target_ms = -1.0;
+
+  /// BSP simulation results (present when the request asked to simulate).
+  bool simulated = false;
+  double sim_first_iteration_ms = 0.0;
+  double sim_steady_iteration_ms = 0.0;
+  double sim_migration_overhead_ms = 0.0;
+  double sim_compute_imbalance = 0.0;
+  double sim_parallel_efficiency = 0.0;
 };
 
 }  // namespace qulrb::service

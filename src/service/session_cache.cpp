@@ -38,7 +38,9 @@ std::size_t SessionCache::KeyHash::operator()(const Key& key) const noexcept {
 SessionCache::Checkout SessionCache::checkout(const lrp::LrpProblem& problem,
                                               lrp::CqmVariant variant,
                                               std::int64_t k,
-                                              const lrp::CqmBuildOptions& options) {
+                                              const lrp::CqmBuildOptions& options,
+                                              const obs::TraceContext& trace) {
+  obs::Recorder* const rec = trace.recorder();
   Checkout out;
   out.key = Key{problem.task_counts(), variant, k,
                 options.use_paper_coefficient_set};
@@ -61,7 +63,12 @@ SessionCache::Checkout SessionCache::checkout(const lrp::LrpProblem& problem,
       ++stats_.exact_hits;
       return out;
     }
-    if (out.session->retarget(problem)) {
+    bool retargeted = false;
+    {
+      obs::Recorder::Span span(rec, "session-retarget", "cache", 0);
+      retargeted = out.session->retarget(problem);
+    }
+    if (retargeted) {
       out.hit = CacheHit::kRetarget;
       if (m_retarget_hits_ != nullptr) m_retarget_hits_->inc();
       std::lock_guard<std::mutex> lock(mutex_);
@@ -71,7 +78,10 @@ SessionCache::Checkout SessionCache::checkout(const lrp::LrpProblem& problem,
     out.session.reset();  // zero-load pattern changed: rebuild cold
   }
 
-  out.session = std::make_unique<Session>(problem, variant, k, options);
+  {
+    obs::Recorder::Span span(rec, "session-build", "cache", 0);
+    out.session = std::make_unique<Session>(problem, variant, k, options);
+  }
   out.hit = CacheHit::kMiss;
   if (m_misses_ != nullptr) m_misses_->inc();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -101,12 +111,13 @@ void SessionCache::give_back(Checkout checkout) {
 }
 
 void SessionCache::attach_metrics(obs::MetricsRegistry& registry) {
+  using Labels = obs::MetricsRegistry::Labels;
   m_exact_hits_ = &registry.counter("qulrb_cache_hits_total",
                                     "Session-cache hits by kind",
-                                    "kind=\"exact\"");
+                                    Labels{{"kind", "exact"}});
   m_retarget_hits_ = &registry.counter("qulrb_cache_hits_total",
                                        "Session-cache hits by kind",
-                                       "kind=\"retarget\"");
+                                       Labels{{"kind", "retarget"}});
   m_misses_ = &registry.counter("qulrb_cache_misses_total",
                                 "Session-cache cold builds");
   m_evictions_ = &registry.counter("qulrb_cache_evictions_total",

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/json_value.hpp"
+#include "obs/benchdiff.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+using io::JsonValue;
+
+// A document in the BENCH_kernel.json flavor (after.real_time_ns).
+JsonValue kernel_doc(double a_ns, double b_ns) {
+  const std::string json =
+      "{\"benchmarks\":{"
+      "\"BM_A\":{\"after\":{\"real_time_ns\":" + std::to_string(a_ns) + "}},"
+      "\"BM_B\":{\"after\":{\"real_time_ns\":" + std::to_string(b_ns) + "}}"
+      "}}";
+  return JsonValue::parse(json);
+}
+
+// A document in the BENCH_service.json flavor (real_time + time_unit).
+JsonValue service_doc(double a_us) {
+  const std::string json =
+      "{\"benchmarks\":{"
+      "\"BM_S\":{\"real_time\":" + std::to_string(a_us) +
+      ",\"time_unit\":\"us\"}}}";
+  return JsonValue::parse(json);
+}
+
+// Raw google-benchmark console JSON (benchmarks as an array).
+JsonValue raw_doc(double a_ns) {
+  const std::string json =
+      "{\"benchmarks\":["
+      "{\"name\":\"BM_R\",\"run_type\":\"iteration\",\"real_time\":" +
+      std::to_string(a_ns) + ",\"time_unit\":\"ns\"},"
+      "{\"name\":\"BM_R_mean\",\"run_type\":\"aggregate\",\"real_time\":" +
+      std::to_string(a_ns) + ",\"time_unit\":\"ns\"}"
+      "]}";
+  return JsonValue::parse(json);
+}
+
+TEST(BenchDiff, ParsesKernelFlavor) {
+  const auto times = parse_bench_times(kernel_doc(100.0, 200.0));
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times.at("BM_A"), 100.0);
+  EXPECT_DOUBLE_EQ(times.at("BM_B"), 200.0);
+}
+
+TEST(BenchDiff, ParsesTimeUnitFlavor) {
+  const auto times = parse_bench_times(service_doc(1.5));
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.at("BM_S"), 1500.0);  // us -> ns
+}
+
+TEST(BenchDiff, ParsesRawGoogleBenchmarkArray) {
+  const auto times = parse_bench_times(raw_doc(321.0));
+  // The aggregate row must be skipped, only the iteration row counts.
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times.at("BM_R"), 321.0);
+}
+
+TEST(BenchDiff, ThrowsWhenNoTimesFound) {
+  EXPECT_THROW(parse_bench_times(JsonValue::parse("{\"foo\":1}")),
+               util::InvalidArgument);
+}
+
+TEST(BenchDiff, IdenticalRunsDoNotRegress) {
+  const JsonValue base = kernel_doc(1000.0, 2000.0);
+  const BenchDiffReport report = bench_diff(base, {base});
+  EXPECT_FALSE(report.has_regression());
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.entries[0].ratio, 1.0);
+}
+
+TEST(BenchDiff, TwoTimesSlowerRegresses) {
+  const BenchDiffReport report =
+      bench_diff(kernel_doc(1000.0, 2000.0), {kernel_doc(2000.0, 4000.0)});
+  EXPECT_TRUE(report.has_regression());
+  for (const auto& e : report.entries) {
+    EXPECT_TRUE(e.regression);
+    EXPECT_DOUBLE_EQ(e.ratio, 2.0);
+  }
+}
+
+TEST(BenchDiff, MinOfNAbsorbsOneNoisyRun) {
+  // One slow candidate run and one clean one: min-of-N keeps the clean
+  // measurement, so no regression is reported.
+  const BenchDiffReport report =
+      bench_diff(kernel_doc(1000.0, 2000.0),
+                 {kernel_doc(2000.0, 4000.0), kernel_doc(1010.0, 2010.0)});
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(BenchDiff, PerBenchmarkThresholdOverride) {
+  BenchDiffOptions options;
+  options.threshold_pct = 10.0;
+  options.per_benchmark_pct["BM_A"] = 60.0;
+  // Both 50% slower: BM_A rides its looser bar, BM_B trips the global one.
+  const BenchDiffReport report = bench_diff(
+      kernel_doc(1000.0, 2000.0), {kernel_doc(1500.0, 3000.0)}, options);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_FALSE(report.entries[0].regression);  // BM_A
+  EXPECT_TRUE(report.entries[1].regression);   // BM_B
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(BenchDiff, NoiseFloorNeverGates) {
+  BenchDiffOptions options;
+  options.min_time_ns = 500.0;
+  // 100 ns baseline is below the floor; even 3x slower must not gate.
+  const BenchDiffReport report = bench_diff(
+      kernel_doc(100.0, 2000.0), {kernel_doc(300.0, 2000.0)}, options);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_TRUE(report.entries[0].below_noise_floor);
+  EXPECT_FALSE(report.entries[0].regression);
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(BenchDiff, ReportsMissingBenchmarks) {
+  const JsonValue base = kernel_doc(1000.0, 2000.0);
+  const JsonValue cand = JsonValue::parse(
+      "{\"benchmarks\":{\"BM_A\":{\"after\":{\"real_time_ns\":1000}},"
+      "\"BM_NEW\":{\"after\":{\"real_time_ns\":5}}}}");
+  const BenchDiffReport report = bench_diff(base, {cand});
+  ASSERT_EQ(report.missing_in_candidate.size(), 1u);
+  EXPECT_EQ(report.missing_in_candidate[0], "BM_B");
+  ASSERT_EQ(report.missing_in_baseline.size(), 1u);
+  EXPECT_EQ(report.missing_in_baseline[0], "BM_NEW");
+  // A benchmark that vanished is suspicious but not a timing regression.
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(BenchDiff, JsonReportRoundTrips) {
+  const BenchDiffReport report =
+      bench_diff(kernel_doc(1000.0, 2000.0), {kernel_doc(2000.0, 2100.0)});
+  const JsonValue doc = JsonValue::parse(report.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("regression") != nullptr);
+  const JsonValue* benchmarks = doc.find("benchmarks");
+  ASSERT_NE(benchmarks, nullptr);
+  EXPECT_EQ(benchmarks->as_object().size(), 2u);
+  EXPECT_FALSE(report.to_text().empty());
+}
+
+}  // namespace
+}  // namespace qulrb::obs

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anneal/hybrid.hpp"
+#include "io/json_value.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "lrp/metrics.hpp"
+#include "lrp/problem.hpp"
+#include "obs/convergence.hpp"
+#include "obs/event_log.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace_context.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+// ----------------------------------------------------- analysis mechanics ---
+
+TEST(Convergence, EmptyRecorderYieldsEmptyReport) {
+  Recorder rec;
+  const ConvergenceReport report = ConvergenceDiagnostics().analyze(rec);
+  EXPECT_FALSE(report.reached_feasible());
+  EXPECT_FALSE(report.reached_target());
+  EXPECT_EQ(report.samples_seen, 0u);
+  EXPECT_EQ(report.tracks_seen, 0u);
+}
+
+TEST(Convergence, TracksFeasibilityAndTarget) {
+  Recorder rec;
+  // The samplers record energy (= objective + violation) and violation back
+  // to back per sampled incumbent. Plant: infeasible, feasible-but-poor,
+  // feasible-at-target.
+  rec.sample("incumbent_energy", 1, 10.0 + 5.0);
+  rec.sample("incumbent_violation", 1, 5.0);
+  rec.sample("incumbent_energy", 1, 8.0);
+  rec.sample("incumbent_violation", 1, 0.0);
+  rec.sample("incumbent_energy", 1, 2.0);
+  rec.sample("incumbent_violation", 1, 0.0);
+
+  ConvergenceConfig config;
+  config.target_objective = 4.0;
+  const ConvergenceReport report = ConvergenceDiagnostics(config).analyze(rec);
+  EXPECT_EQ(report.samples_seen, 3u);
+  EXPECT_EQ(report.tracks_seen, 1u);
+  ASSERT_TRUE(report.reached_feasible());
+  ASSERT_TRUE(report.reached_target());
+  // Feasibility arrived with the second incumbent, the target with the
+  // third; timestamps are strictly monotonic, so the order is fixed.
+  EXPECT_LT(report.time_to_first_feasible_ms, report.time_to_target_ms);
+  EXPECT_DOUBLE_EQ(report.final_objective, 2.0);
+  EXPECT_DOUBLE_EQ(report.final_violation, 0.0);
+  EXPECT_GE(report.longest_stagnation_ms, 0.0);
+}
+
+TEST(Convergence, NeverFeasibleNeverTargets) {
+  Recorder rec;
+  rec.sample("incumbent_energy", 1, 9.0);
+  rec.sample("incumbent_violation", 1, 3.0);
+
+  ConvergenceConfig config;
+  config.target_objective = 100.0;  // even a generous target needs feasibility
+  const ConvergenceReport report = ConvergenceDiagnostics(config).analyze(rec);
+  EXPECT_FALSE(report.reached_feasible());
+  EXPECT_FALSE(report.reached_target());
+}
+
+TEST(Convergence, MergesAcrossRestartTracks) {
+  Recorder rec;
+  rec.sample("incumbent_energy", 1, 12.0);
+  rec.sample("incumbent_violation", 1, 0.0);
+  rec.sample("incumbent_energy", 2, 5.0);
+  rec.sample("incumbent_violation", 2, 0.0);
+
+  const ConvergenceReport report = ConvergenceDiagnostics().analyze(rec);
+  EXPECT_EQ(report.tracks_seen, 2u);
+  EXPECT_EQ(report.samples_seen, 2u);
+  EXPECT_DOUBLE_EQ(report.final_objective, 5.0);  // best across both tracks
+}
+
+TEST(Convergence, AnnotateWritesEnvelopeAndVerdicts) {
+  Recorder rec;
+  rec.sample("incumbent_energy", 1, 6.0);
+  rec.sample("incumbent_violation", 1, 0.0);
+  rec.sample("incumbent_energy", 1, 3.0);
+  rec.sample("incumbent_violation", 1, 0.0);
+
+  ConvergenceConfig config;
+  config.target_objective = 5.0;
+  const ConvergenceReport report =
+      ConvergenceDiagnostics(config).annotate(rec);
+  ASSERT_TRUE(report.reached_target());
+
+  bool saw_best_objective = false;
+  for (const auto& s : rec.owned_samples()) {
+    if (s.series == "best_objective") saw_best_objective = true;
+  }
+  EXPECT_TRUE(saw_best_objective);
+
+  bool saw_ttff = false, saw_stagnation = false;
+  for (const auto& [key, value] : rec.annotations()) {
+    if (key == "time_to_first_feasible_ms") saw_ttff = true;
+    if (key == "longest_stagnation_ms") saw_stagnation = true;
+  }
+  EXPECT_TRUE(saw_ttff);
+  EXPECT_TRUE(saw_stagnation);
+}
+
+// ----------------------------------------------------------- trace context --
+
+TEST(TraceContext, InactiveIsZeroCost) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.active());
+  EXPECT_EQ(ctx.recorder(), nullptr);
+  EXPECT_EQ(ctx.claim_tracks(4), 0u);
+  EXPECT_EQ(ctx.request_id(), 0u);
+}
+
+TEST(TraceContext, MintAnnotatesRequestId) {
+  TraceContext ctx = TraceContext::mint(42, "req-42");
+  ASSERT_TRUE(ctx.active());
+  EXPECT_EQ(ctx.request_id(), 42u);
+  bool saw = false;
+  for (const auto& [key, value] : ctx.recorder()->annotations()) {
+    if (key == "request_id" && value == "42") saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(TraceContext, ClaimedTrackBlocksNeverCollide) {
+  TraceContext ctx = TraceContext::mint(1, "req");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint32_t kPerClaim = 3;
+  std::vector<std::uint32_t> bases(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&ctx, &bases, t] { bases[t] = ctx.claim_tracks(kPerClaim); });
+  }
+  for (auto& t : threads) t.join();
+  std::set<std::uint32_t> tracks;
+  for (const std::uint32_t base : bases) {
+    EXPECT_GE(base, 1u);  // track 0 stays the main row
+    for (std::uint32_t i = 0; i < kPerClaim; ++i) tracks.insert(base + i);
+  }
+  EXPECT_EQ(tracks.size(), kThreads * kPerClaim);
+}
+
+// ----------------------------------------------------- zero-cost contract ---
+
+lrp::LrpProblem skewed_problem() {
+  // 6 processes, skewed loads; large enough that presolve leaves more than
+  // exhaustive_max_vars would tolerate anyway (we force annealing below).
+  return lrp::LrpProblem({30, 9, 8, 4, 3, 2}, {12, 12, 12, 12, 12, 12});
+}
+
+anneal::HybridSolverParams contract_params() {
+  anneal::HybridSolverParams p;
+  p.num_restarts = 2;
+  p.sweeps = 250;
+  p.seed = 123;
+  p.threads = 1;
+  // Force the annealing path: the exhaustive Gray-code path records no
+  // incumbent timelines, so it would make this test vacuous.
+  p.exhaustive_max_vars = 0;
+  return p;
+}
+
+void expect_bitwise_equal(const anneal::HybridSolveResult& a,
+                          const anneal::HybridSolveResult& b) {
+  EXPECT_EQ(a.best.state, b.best.state);
+  EXPECT_EQ(a.best.energy, b.best.energy);  // bitwise: EXPECT_EQ on doubles
+  EXPECT_EQ(a.best.violation, b.best.violation);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples.at(i).state, b.samples.at(i).state);
+    EXPECT_EQ(a.samples.at(i).energy, b.samples.at(i).energy);
+    EXPECT_EQ(a.samples.at(i).violation, b.samples.at(i).violation);
+  }
+}
+
+TEST(Convergence, TracedSolveIsBitwiseIdentical_QCQM1) {
+  const lrp::LrpProblem problem = skewed_problem();
+  const lrp::LrpCqm model =
+      lrp::build_lrp_cqm(problem, lrp::CqmVariant::kReduced, 8, {});
+
+  const anneal::HybridSolveResult plain =
+      anneal::HybridCqmSolver(contract_params()).solve(model.cqm());
+
+  anneal::HybridSolverParams traced_params = contract_params();
+  TraceContext trace = TraceContext::mint(7, "contract-qcqm1");
+  traced_params.trace = trace;
+  const anneal::HybridSolveResult traced =
+      anneal::HybridCqmSolver(traced_params).solve(model.cqm());
+
+  expect_bitwise_equal(plain, traced);
+  // And the traced run actually recorded incumbent timelines + restart spans.
+  EXPECT_FALSE(trace.recorder()->samples().empty());
+  EXPECT_FALSE(trace.recorder()->spans().empty());
+
+  // The recorded timelines support the convergence metrics end to end.
+  ConvergenceConfig config;
+  config.target_objective =
+      lrp::objective_target_for_imbalance(problem, 10.0);  // generous target
+  const ConvergenceReport report =
+      ConvergenceDiagnostics(config).analyze(*trace.recorder());
+  EXPECT_GT(report.samples_seen, 0u);
+  EXPECT_TRUE(report.reached_feasible());
+  EXPECT_TRUE(report.reached_target());
+  EXPECT_LE(report.time_to_first_feasible_ms, report.time_to_target_ms);
+}
+
+TEST(Convergence, TracedSolveIsBitwiseIdentical_QCQM2) {
+  const lrp::LrpProblem problem = skewed_problem();
+  const lrp::LrpCqm model =
+      lrp::build_lrp_cqm(problem, lrp::CqmVariant::kFull, 8, {});
+
+  const anneal::HybridSolveResult plain =
+      anneal::HybridCqmSolver(contract_params()).solve(model.cqm());
+
+  anneal::HybridSolverParams traced_params = contract_params();
+  TraceContext trace = TraceContext::mint(8, "contract-qcqm2");
+  traced_params.trace = trace;
+  const anneal::HybridSolveResult traced =
+      anneal::HybridCqmSolver(traced_params).solve(model.cqm());
+
+  expect_bitwise_equal(plain, traced);
+  EXPECT_FALSE(trace.recorder()->samples().empty());
+}
+
+TEST(Convergence, ObjectiveTargetMapsImbalanceConservatively) {
+  const lrp::LrpProblem problem = skewed_problem();
+  const double target = lrp::objective_target_for_imbalance(problem, 0.1);
+  const double avg = problem.average_load();
+  EXPECT_DOUBLE_EQ(target, (0.1 * avg) * (0.1 * avg));
+  // Negative thresholds clamp to 0 rather than going negative-squared.
+  EXPECT_DOUBLE_EQ(lrp::objective_target_for_imbalance(problem, -1.0), 0.0);
+}
+
+// -------------------------------------------------------------- event log ---
+
+TEST(EventLog, JsonLineOmitsUnsetFields) {
+  SolveEvent event;
+  event.source = "qulrb_solve";
+  event.request_id = 3;
+  event.solver = "Q_CQM1";
+  event.outcome = "ok";
+  event.feasible = true;
+  event.r_imb_before = 2.5;
+  // r_imb_after, speedup, runtime_ms... left NaN; migrated left -1.
+
+  const std::string line = to_json_line(event);
+  const io::JsonValue doc = io::JsonValue::parse(line);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.string_or("source", ""), "qulrb_solve");
+  EXPECT_EQ(doc.int_or("request_id", -1), 3);
+  EXPECT_DOUBLE_EQ(doc.number_or("r_imb_before", -1.0), 2.5);
+  EXPECT_EQ(doc.find("r_imb_after"), nullptr);
+  EXPECT_EQ(doc.find("speedup"), nullptr);
+  EXPECT_EQ(doc.find("migrated"), nullptr);
+  EXPECT_EQ(doc.find("time_to_target_ms"), nullptr);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(EventLog, AppendsParsableLines) {
+  const std::string path = testing::TempDir() + "qulrb_test_events.jsonl";
+  std::remove(path.c_str());
+  {
+    EventLog log(path, /*append=*/false);
+    SolveEvent event;
+    event.source = "test";
+    event.solver = "greedy";
+    event.outcome = "ok";
+    event.extra.emplace_back("note", "a \"quoted\" value");
+    log.log(event);
+    event.request_id = 2;
+    log.log(event);
+    EXPECT_EQ(log.lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const io::JsonValue doc = io::JsonValue::parse(line);  // throws if broken
+    EXPECT_EQ(doc.string_or("source", ""), "test");
+    EXPECT_EQ(doc.string_or("note", ""), "a \"quoted\" value");
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qulrb::obs

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -105,6 +107,70 @@ TEST(LogHistogram, QuantileBracketsObservations) {
   EXPECT_LE(p50, hist.upper_edge(hist.bucket_of(10.0)));
 }
 
+TEST(LogHistogram, MergeAddsExactTotals) {
+  LogHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.observe(1.0);
+  for (int i = 0; i < 50; ++i) b.observe(64.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 150u);
+  EXPECT_DOUBLE_EQ(a.sum(), 100.0 * 1.0 + 50.0 * 64.0);
+  EXPECT_EQ(a.bucket_count(a.bucket_of(64.0)), 50u);
+  // The source histogram is untouched.
+  EXPECT_EQ(b.count(), 50u);
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedLayouts) {
+  LogHistogram a;
+  HistogramLayout other;
+  other.buckets = 12;
+  LogHistogram b(other);
+  EXPECT_THROW(a.merge(b), std::exception);
+}
+
+TEST(LogHistogram, MergeIsExactUnderConcurrency) {
+  // Writers keep observing into `a` while other threads merge `b` into it
+  // repeatedly; once everyone quiesces the totals must be exact.
+  constexpr std::size_t kObservers = 2, kMergers = 2;
+  constexpr std::size_t kObserves = 20000, kMerges = 5;
+  LogHistogram a, b;
+  for (int i = 0; i < 1000; ++i) b.observe(2.0);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kObservers; ++t) {
+    threads.emplace_back([&a] {
+      for (std::size_t i = 0; i < kObserves; ++i) a.observe(8.0);
+    });
+  }
+  for (std::size_t t = 0; t < kMergers; ++t) {
+    threads.emplace_back([&a, &b] {
+      for (std::size_t i = 0; i < kMerges; ++i) a.merge(b);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(a.count(), kObservers * kObserves + kMergers * kMerges * 1000);
+  EXPECT_DOUBLE_EQ(a.sum(),
+                   static_cast<double>(kObservers * kObserves) * 8.0 +
+                       static_cast<double>(kMergers * kMerges * 1000) * 2.0);
+}
+
+TEST(LogHistogram, QuantileWithinOneBucketWidth) {
+  // The documented error bound: a quantile is good to one bucket width,
+  // i.e. within a factor 2^(1/buckets_per_octave) of the true value.
+  LogHistogram hist;
+  const double factor =
+      std::pow(2.0, 1.0 / hist.layout().buckets_per_octave);
+  for (const double v : {0.01, 0.7, 10.0, 900.0}) {
+    LogHistogram h;
+    for (int i = 0; i < 1000; ++i) h.observe(v);
+    for (const double q : {0.05, 0.5, 0.95}) {
+      const double estimate = h.quantile(q);
+      EXPECT_LE(estimate, v * factor) << "v=" << v << " q=" << q;
+      EXPECT_GE(estimate, v / factor) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
 // ------------------------------------------------------------ registry -----
 
 TEST(MetricsRegistry, PrometheusExposition) {
@@ -127,6 +193,58 @@ TEST(MetricsRegistry, PrometheusExposition) {
   const auto first = text.find("# TYPE test_requests_total");
   EXPECT_EQ(text.find("# TYPE test_requests_total", first + 1),
             std::string::npos);
+}
+
+TEST(MetricsRegistry, GroupsInterleavedFamilies) {
+  // Registration order interleaves two families; the exposition must still
+  // emit each family's HELP/TYPE exactly once, with all children together.
+  MetricsRegistry registry;
+  using Labels = MetricsRegistry::Labels;
+  registry.counter("test_fam_a_total", "A", Labels{{"k", "1"}}).inc();
+  registry.counter("test_fam_b_total", "B").inc();
+  registry.counter("test_fam_a_total", "A", Labels{{"k", "2"}}).inc(2);
+
+  const std::string text = registry.to_prometheus();
+  const auto type_a = text.find("# TYPE test_fam_a_total counter");
+  ASSERT_NE(type_a, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_fam_a_total", type_a + 1),
+            std::string::npos);
+  const auto child1 = text.find("test_fam_a_total{k=\"1\"} 1");
+  const auto child2 = text.find("test_fam_a_total{k=\"2\"} 2");
+  const auto type_b = text.find("# TYPE test_fam_b_total counter");
+  ASSERT_NE(child1, std::string::npos);
+  ASSERT_NE(child2, std::string::npos);
+  ASSERT_NE(type_b, std::string::npos);
+  // Both a-children precede family b: no family is split by another.
+  EXPECT_LT(child1, child2);
+  EXPECT_LT(child2, type_b);
+}
+
+TEST(MetricsRegistry, EscapesLabelValues) {
+  // Prometheus text exposition: label values must escape backslash, double
+  // quote, and newline.
+  MetricsRegistry registry;
+  using Labels = MetricsRegistry::Labels;
+  registry
+      .counter("test_escape_total", "Escapes",
+               Labels{{"path", "a\\b"}, {"msg", "say \"hi\"\nbye"}})
+      .inc();
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("path=\"a\\\\b\""), std::string::npos) << text;
+  EXPECT_NE(text.find("msg=\"say \\\"hi\\\"\\nbye\""), std::string::npos)
+      << text;
+  // The raw newline must NOT appear inside the sample line.
+  EXPECT_EQ(text.find("say \"hi\"\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EscapesHelpText) {
+  MetricsRegistry registry;
+  registry.counter("test_help_total", "line one\nline two").inc();
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# HELP test_help_total line one\\nline two"),
+            std::string::npos)
+      << text;
 }
 
 TEST(MetricsRegistry, StableHandles) {
@@ -179,6 +297,57 @@ TEST(Recorder, PerfettoJsonWellFormed) {
   const io::JsonValue* metadata = doc.find("metadata");
   ASSERT_NE(metadata, nullptr);
   EXPECT_EQ(metadata->string_or("case", ""), "well-formed");
+}
+
+TEST(Recorder, NowUsStrictlyMonotonicAcrossThreads) {
+  // The timestamp watermark: two calls never return the same value and every
+  // thread sees its own calls strictly increase, even under contention where
+  // raw steady_clock reads routinely tie.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kCalls = 20000;
+  Recorder rec;
+  std::vector<std::vector<double>> stamps(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, &stamps, t] {
+      stamps[t].reserve(kCalls);
+      for (std::size_t i = 0; i < kCalls; ++i) {
+        stamps[t].push_back(rec.now_us());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<double> all;
+  all.reserve(kThreads * kCalls);
+  for (const auto& per_thread : stamps) {
+    for (std::size_t i = 1; i < per_thread.size(); ++i) {
+      ASSERT_LT(per_thread[i - 1], per_thread[i]);
+    }
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate timestamp issued";
+}
+
+TEST(Recorder, OwnedSamplesExportAsCounters) {
+  Recorder rec("owned");
+  rec.sample_at("violation/capacity", 0, 5.0, 3.5);
+  rec.sample_named("violation/balance", 2, 1.0);
+  const std::string json = to_perfetto_json(rec);
+  const io::JsonValue doc = io::JsonValue::parse(json);
+  const io::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_main = false, saw_suffixed = false;
+  for (const io::JsonValue& event : events->as_array()) {
+    if (event.string_or("ph", "") != "C") continue;
+    const std::string name = event.string_or("name", "");
+    if (name == "violation/capacity") saw_main = true;
+    if (name == "violation/balance/t2") saw_suffixed = true;
+  }
+  EXPECT_TRUE(saw_main);
+  EXPECT_TRUE(saw_suffixed);
 }
 
 TEST(Recorder, NullRecorderSpansAreInert) {

@@ -1,0 +1,113 @@
+// qulrb_benchdiff — noise-aware benchmark regression gate over the repo's
+// committed BENCH_*.json baselines.
+//
+//   qulrb_benchdiff BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+//                   [--threshold PCT | --threshold NAME=PCT]...
+//                   [--min-time-ns NS] [--report out.json] [--quiet]
+//
+// The candidate time per benchmark is the minimum across all candidate
+// documents (min-of-N: the minimum of repeated latency measurements
+// estimates the noise-free cost), and the gate is relative — a benchmark
+// regresses when min-candidate > baseline * (1 + PCT/100). `--threshold`
+// without a name sets the global bar; with NAME=PCT it overrides one
+// benchmark. Baselines faster than --min-time-ns are reported but never
+// gate.
+//
+// Exit codes (CI branches on these):
+//   0  no regression
+//   1  at least one benchmark regressed
+//   2  usage error
+//   3  malformed input (unreadable file, no benchmark times found)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json_value.hpp"
+#include "obs/benchdiff.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+int usage() {
+  std::cerr
+      << "usage: qulrb_benchdiff BASELINE.json CANDIDATE.json [MORE.json...]\n"
+         "                       [--threshold PCT | --threshold NAME=PCT]...\n"
+         "                       [--min-time-ns NS] [--report out.json] "
+         "[--quiet]\n";
+  return 2;
+}
+
+io::JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  util::require(in.good(), "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return io::JsonValue::parse(buffer.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  obs::BenchDiffOptions options;
+  std::string report_path;
+  bool quiet = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        util::require(i + 1 < argc, "missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--threshold") {
+        const std::string value = next();
+        const std::size_t eq = value.find('=');
+        if (eq == std::string::npos) {
+          options.threshold_pct = std::stod(value);
+        } else {
+          options.per_benchmark_pct[value.substr(0, eq)] =
+              std::stod(value.substr(eq + 1));
+        }
+      } else if (arg == "--min-time-ns") {
+        options.min_time_ns = std::stod(next());
+      } else if (arg == "--report") {
+        report_path = next();
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--help") {
+        return usage();
+      } else if (arg.rfind("--", 0) == 0) {
+        std::cerr << "error: unknown option '" << arg << "'\n";
+        return 2;
+      } else {
+        files.push_back(arg);
+      }
+    }
+    if (files.size() < 2) return usage();
+
+    const io::JsonValue baseline = load_json(files[0]);
+    std::vector<io::JsonValue> candidates;
+    for (std::size_t i = 1; i < files.size(); ++i) {
+      candidates.push_back(load_json(files[i]));
+    }
+
+    const obs::BenchDiffReport report =
+        obs::bench_diff(baseline, candidates, options);
+    if (!quiet) std::cout << report.to_text();
+    if (!report_path.empty()) {
+      std::ofstream out(report_path, std::ios::trunc);
+      util::require(out.good(), "cannot write " + report_path);
+      out << report.to_json() << "\n";
+    }
+    return report.has_regression() ? 1 : 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 3;
+  }
+}

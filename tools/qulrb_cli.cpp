@@ -4,6 +4,7 @@
 //   qulrb solve   --input input_lrp.csv --solver qcqm1 [--k N | --k2]
 //                 [--output out.csv] [--seed S] [--sweeps N] [--restarts N]
 //                 [--trace-out trace.json] [--metrics-out metrics.prom]
+//                 [--events-out events.jsonl] [--target-rimb R]
 //   qulrb compare --input input_lrp.csv [--seed S]
 //   qulrb gen     --scenario samoa|imb0..imb4|nodes<M>|tasks<N> --output in.csv
 //   qulrb solvers
@@ -20,14 +21,19 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "io/lrp_io.hpp"
+#include "obs/convergence.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace_context.hpp"
 #include "io/report.hpp"
 #include "lrp/kselect.hpp"
+#include "lrp/metrics.hpp"
 #include "lrp/registry.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -78,6 +84,7 @@ int usage() {
       "[--output out.csv]\n"
       "                [--seed S] [--sweeps N] [--restarts N]\n"
       "                [--trace-out trace.json] [--metrics-out metrics.prom]\n"
+      "                [--events-out events.jsonl] [--target-rimb R]\n"
       "  qulrb compare --input in.csv [--seed S] [--json out.json]\n"
       "  qulrb gen     --scenario samoa|imb0..imb4|nodesM|tasksN --output in.csv\n"
       "  qulrb solvers\n";
@@ -124,13 +131,21 @@ int cmd_solve(const Args& args) {
   lrp::SolverSpec spec = spec_from_args(args);
 
   // Observability sinks are opt-in and consume no RNG: the solve is
-  // bitwise-identical with or without them.
-  std::optional<obs::Recorder> recorder;
+  // bitwise-identical with or without them. The convergence telemetry
+  // (--events-out, --target-rimb) reads the recorder's incumbent timelines,
+  // so either flag implies recording even without --trace-out.
+  const bool want_recorder = args.has("trace-out") || args.has("events-out") ||
+                             args.has("target-rimb");
+  std::shared_ptr<obs::Recorder> recorder;
+  obs::TraceContext trace;
   std::optional<obs::MetricsRegistry> metrics;
-  if (args.has("trace-out")) {
-    recorder.emplace("qulrb solve " + spec.name);
+  if (want_recorder) {
+    recorder = std::make_shared<obs::Recorder>("qulrb solve " + spec.name);
     recorder->annotate("input", args.get("input"));
-    spec.recorder = &*recorder;
+    // Request id 1: one CLI invocation is one request.
+    trace = obs::TraceContext::adopt(1, recorder);
+    spec.recorder = recorder.get();
+    spec.trace = trace;
   }
   if (args.has("metrics-out")) {
     metrics.emplace();
@@ -140,17 +155,59 @@ int cmd_solve(const Args& args) {
   const auto solver = lrp::make_solver(spec, problem);
   const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
   print_report(problem, report);
+
+  obs::ConvergenceReport convergence;
+  if (recorder != nullptr) {
+    obs::ConvergenceConfig conv;
+    if (args.has("target-rimb")) {
+      conv.target_objective = lrp::objective_target_for_imbalance(
+          problem, std::stod(args.get("target-rimb")));
+    }
+    convergence = obs::ConvergenceDiagnostics(conv).annotate(*recorder);
+    if (convergence.reached_feasible()) {
+      std::cout << "time to first feasible: "
+                << convergence.time_to_first_feasible_ms << " ms\n";
+    }
+    if (convergence.reached_target()) {
+      std::cout << "time to target R_imb:   " << convergence.time_to_target_ms
+                << " ms\n";
+    }
+  }
+
   if (args.has("output")) {
     io::write_output_file(args.get("output"), problem, report.output.plan);
     std::cout << "wrote " << args.get("output") << "\n";
   }
-  if (recorder.has_value()) {
+  if (args.has("trace-out")) {
     write_text_file(args.get("trace-out"), obs::to_perfetto_json(*recorder));
     std::cout << "wrote " << args.get("trace-out") << "\n";
   }
   if (metrics.has_value()) {
     write_text_file(args.get("metrics-out"), metrics->to_prometheus());
     std::cout << "wrote " << args.get("metrics-out") << "\n";
+  }
+  if (args.has("events-out")) {
+    obs::EventLog events(args.get("events-out"), /*append=*/true);
+    obs::SolveEvent event;
+    event.source = "qulrb_solve";
+    event.request_id = 1;
+    event.solver = report.name;
+    event.outcome = report.output.feasible ? "ok" : "infeasible";
+    event.feasible = report.output.feasible;
+    event.r_imb_before = report.metrics.imbalance_before;
+    event.r_imb_after = report.metrics.imbalance_after;
+    event.speedup = report.metrics.speedup;
+    event.migrated = report.metrics.total_migrated;
+    event.runtime_ms = report.output.cpu_ms;
+    if (convergence.reached_feasible()) {
+      event.time_to_first_feasible_ms = convergence.time_to_first_feasible_ms;
+    }
+    if (convergence.reached_target()) {
+      event.time_to_target_ms = convergence.time_to_target_ms;
+    }
+    event.extra.emplace_back("input", args.get("input"));
+    events.log(event);
+    std::cout << "wrote " << args.get("events-out") << "\n";
   }
   if (!report.output.feasible) {
     std::cerr << "error: solver '" << report.name

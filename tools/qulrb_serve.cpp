@@ -2,34 +2,51 @@
 //
 //   qulrb_serve [--port P] [--workers N] [--max-pending N] [--cache N]
 //               [--default-deadline-ms X] [--solver-threads N]
-//               [--trace N] [--quiet]
+//               [--trace N] [--metrics-out FILE] [--trace-out FILE]
+//               [--events-out FILE] [--quiet]
 //
 // --trace N records a Perfetto trace per request and keeps the last N for
 // the {"op":"trace"} op; {"op":"metrics"} answers a Prometheus text scrape
-// either way.
+// either way. --events-out appends one structured JSON line per finished
+// request (see obs::SolveEvent).
 //
 // Without --port, speaks the protocol on stdin/stdout (one JSON object per
 // line; responses may arrive out of submission order). With --port, accepts
 // TCP connections on 127.0.0.1:P, one protocol session per connection.
-// {"op":"shutdown"} drains in-flight work and stops the whole server.
+// {"op":"shutdown"} drains all admitted work (queued and running) and stops
+// the whole server.
+//
+// SIGINT/SIGTERM take a faster graceful path: the queue is shed (each
+// pending request answered kCancelled), running solves finish, and the final
+// metrics exposition / retained traces are flushed to --metrics-out /
+// --trace-out before the process exits 0. A supervisor restarting the
+// service therefore always finds the last scrape and the last traces on
+// disk, even when no scraper was attached.
 //
 // See src/service/protocol.hpp for the line format.
 
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "service/protocol.hpp"
 #include "service/rebalance_service.hpp"
 #include "util/error.hpp"
@@ -38,9 +55,30 @@ namespace {
 
 using namespace qulrb;
 
+/// Written by the signal handler, polled by every accept/read loop. A plain
+/// volatile sig_atomic_t is the only thing a handler may portably touch.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void on_signal(int signum) { g_signal = signum; }
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: blocking reads must EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool signalled() { return g_signal != 0; }
+
 struct ServeOptions {
   int port = 0;  ///< 0 = stdin/stdout mode
   service::ServiceParams service;
+  std::string metrics_out;  ///< final Prometheus exposition on shutdown
+  std::string trace_out;    ///< retained Perfetto docs (JSON array) on shutdown
+  std::string events_out;   ///< JSONL SolveEvent sink (live, appended)
   bool quiet = false;
 };
 
@@ -128,17 +166,81 @@ class ProtocolSession {
   std::unordered_map<std::uint64_t, std::uint64_t> inflight_;  ///< client -> service id
 };
 
-int run_stdio(service::RebalanceService& svc) {
+/// Graceful teardown shared by every exit path: optionally shed the backlog
+/// (signal-driven exits — a client that asked for `shutdown` still gets its
+/// queued answers), wait out in-flight solves, then flush the terminal
+/// observability artifacts.
+void shutdown_service(service::RebalanceService& svc,
+                      const ServeOptions& options, bool shed_backlog) {
+  const std::size_t shed = shed_backlog ? svc.shed_pending() : 0;
+  svc.drain();
+  if (!options.quiet && shed > 0) {
+    std::cerr << "qulrb_serve: shed " << shed << " queued request(s)\n";
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream out(options.metrics_out, std::ios::trunc);
+    if (out) {
+      out << svc.metrics_text();
+    } else if (!options.quiet) {
+      std::cerr << "qulrb_serve: cannot write " << options.metrics_out << "\n";
+    }
+  }
+  if (!options.trace_out.empty()) {
+    std::ofstream out(options.trace_out, std::ios::trunc);
+    if (out) {
+      const std::vector<std::string> traces =
+          svc.last_traces(svc.params().trace_keep);
+      out << "[";
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\n" << traces[i];
+      }
+      out << "\n]\n";
+    } else if (!options.quiet) {
+      std::cerr << "qulrb_serve: cannot write " << options.trace_out << "\n";
+    }
+  }
+}
+
+/// Read stdin line by line through poll() so SIGINT/SIGTERM and the
+/// protocol's shutdown op are both noticed promptly — a blocked getline would
+/// hold the drain hostage until the next newline arrived.
+int run_stdio(service::RebalanceService& svc, const ServeOptions& options) {
   std::atomic<bool> shutdown{false};
   ProtocolSession session(
       svc, [](const std::string& line) { std::cout << line << "\n" << std::flush; },
       shutdown);
-  std::string line;
-  while (!shutdown.load(std::memory_order_relaxed) && std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    if (!session.handle_line(line)) break;
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !shutdown.load(std::memory_order_relaxed) && !signalled()) {
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: loop condition decides
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check the flags
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error: treat as end of session
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty() && !session.handle_line(line)) {
+        open = false;
+        break;
+      }
+    }
+    buffer.erase(0, start);
   }
-  svc.drain();  // answer everything already admitted before exiting
+  shutdown_service(svc, options, signalled() != 0);
   return 0;
 }
 
@@ -156,14 +258,25 @@ void send_all(int fd, const std::string& line) {
 
 void serve_connection(service::RebalanceService& svc, int fd,
                       std::atomic<bool>& shutdown) {
+  // Bounded recv so the loop re-checks the shutdown flag and pending signals
+  // even on an idle connection.
+  struct timeval tv;
+  tv.tv_sec = 0;
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
   ProtocolSession session(
       svc, [fd](const std::string& line) { send_all(fd, line); }, shutdown);
   std::string buffer;
   char chunk[4096];
   bool open = true;
-  while (open && !shutdown.load(std::memory_order_relaxed)) {
+  while (open && !shutdown.load(std::memory_order_relaxed) && !signalled()) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer closed
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
@@ -184,7 +297,8 @@ void serve_connection(service::RebalanceService& svc, int fd,
   ::close(fd);
 }
 
-int run_tcp(service::RebalanceService& svc, int port, bool quiet) {
+int run_tcp(service::RebalanceService& svc, const ServeOptions& options) {
+  const int port = options.port;
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   util::require(listen_fd >= 0, "serve: socket() failed");
   const int one = 1;
@@ -197,16 +311,16 @@ int run_tcp(service::RebalanceService& svc, int port, bool quiet) {
                        sizeof(addr)) == 0,
                 "serve: bind() failed (port in use?)");
   util::require(::listen(listen_fd, 128) == 0, "serve: listen() failed");
-  if (!quiet) {
+  if (!options.quiet) {
     std::cerr << "qulrb_serve: listening on 127.0.0.1:" << port << "\n";
   }
 
   std::atomic<bool> shutdown{false};
   std::vector<std::thread> connections;
-  // The shutdown op trips the flag; closing the listen socket from a watcher
-  // unblocks accept() so the loop can exit.
+  // The shutdown op or a signal trips the flag; closing the listen socket
+  // from the watcher unblocks accept() so the loop can exit.
   std::thread watcher([&] {
-    while (!shutdown.load(std::memory_order_relaxed)) {
+    while (!shutdown.load(std::memory_order_relaxed) && !signalled()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
     ::shutdown(listen_fd, SHUT_RDWR);
@@ -215,21 +329,26 @@ int run_tcp(service::RebalanceService& svc, int port, bool quiet) {
 
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listen socket closed by the watcher
+    if (fd < 0) {
+      if (errno == EINTR && !signalled()) continue;
+      break;  // listen socket closed by the watcher, or a shutdown signal
+    }
     connections.emplace_back(
         [&svc, fd, &shutdown] { serve_connection(svc, fd, shutdown); });
   }
   shutdown.store(true, std::memory_order_relaxed);
   watcher.join();
   for (auto& t : connections) t.join();
-  svc.drain();
+  shutdown_service(svc, options, signalled() != 0);
   return 0;
 }
 
 int usage() {
   std::cerr << "usage: qulrb_serve [--port P] [--workers N] [--max-pending N]\n"
                "                   [--cache N] [--default-deadline-ms X]\n"
-               "                   [--solver-threads N] [--trace N] [--quiet]\n";
+               "                   [--solver-threads N] [--trace N]\n"
+               "                   [--metrics-out FILE] [--trace-out FILE]\n"
+               "                   [--events-out FILE] [--quiet]\n";
   return 2;
 }
 
@@ -256,6 +375,13 @@ int main(int argc, char** argv) {
         options.service.record_traces = true;
         options.service.trace_keep = std::stoul(next());
       }
+      else if (arg == "--metrics-out") options.metrics_out = next();
+      else if (arg == "--trace-out") {
+        options.trace_out = next();
+        // A trace flush file implies tracing even without --trace.
+        options.service.record_traces = true;
+      }
+      else if (arg == "--events-out") options.events_out = next();
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {
@@ -264,9 +390,18 @@ int main(int argc, char** argv) {
       }
     }
 
+    install_signal_handlers();
+
+    std::optional<obs::EventLog> events;
+    if (!options.events_out.empty()) {
+      events.emplace(options.events_out, /*append=*/true);
+      options.service.event_log = &*events;
+      options.service.event_source = "qulrb_serve";
+    }
+
     service::RebalanceService svc(options.service);
-    if (options.port > 0) return run_tcp(svc, options.port, options.quiet);
-    return run_stdio(svc);
+    if (options.port > 0) return run_tcp(svc, options);
+    return run_stdio(svc, options);
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 3;
