@@ -1,0 +1,120 @@
+// Replica-bank throughput: per-replica lockstep sweep time as a function of
+// the bank width R, for the dispatched SIMD kernels and the forced-scalar
+// fallback. The R=1 column is the amortisation floor (all bank overhead, no
+// sharing); R=8/16 show the across-lane win. Times are per replica (manual
+// timing divides the lockstep wall time by R), so every row is directly
+// comparable to the single-chain BM_CqmAnnealSweep baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "anneal/cqm_anneal.hpp"
+#include "anneal/replica_bank.hpp"
+#include "anneal/simd.hpp"
+#include "lrp/cqm_builder.hpp"
+#include "util/rng.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+const bool g_simd_context_registered = [] {
+  benchmark::AddCustomContext(
+      "qulrb_simd_level", anneal::simd::level_name(anneal::simd::active_level()));
+  return true;
+}();
+
+void run_bank_sweep(benchmark::State& state, anneal::simd::Level level) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto scenario = workloads::scenarios::node_scaling(32);
+  const lrp::LrpCqm cqm(scenario.problem, lrp::CqmVariant::kReduced, 500);
+  const std::vector<double> penalties(cqm.cqm().num_constraints(), 1.0);
+  const auto pairs = anneal::PairMoveIndex::build(cqm.cqm());
+
+  const auto saved = anneal::simd::active_level();
+  anneal::simd::set_active_level(level);
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(lanes);
+  for (std::size_t r = 0; r < lanes; ++r) rngs.emplace_back(5 + r);
+  util::Rng proposal(5);
+  anneal::BatchedCqmAnnealParams params;
+  params.sweeps = 1;
+  const anneal::BatchedCqmAnnealer annealer(params);
+  std::vector<anneal::BatchedLaneSpec> specs(lanes);
+  for (std::size_t r = 0; r < lanes; ++r) {
+    specs[r].rng = &rngs[r];
+    specs[r].penalties = &penalties;
+  }
+
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto out = annealer.anneal_lanes(cqm.cqm(), specs, &pairs, &proposal);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(out);
+    state.SetIterationTime(std::chrono::duration<double>(t1 - t0).count() /
+                           static_cast<double>(lanes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cqm.num_binary_variables()));
+
+  anneal::simd::set_active_level(saved);
+}
+
+void BM_ReplicaBankSweep(benchmark::State& state) {
+  run_bank_sweep(state, anneal::simd::detected_level());
+}
+BENCHMARK(BM_ReplicaBankSweep)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->UseManualTime();
+
+void BM_ReplicaBankSweepScalar(benchmark::State& state) {
+  run_bank_sweep(state, anneal::simd::Level::kScalar);
+}
+BENCHMARK(BM_ReplicaBankSweepScalar)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime();
+
+// Bank construction alone (the all-lane evaluation kernel): what a hybrid
+// restart chunk pays up front before sweeping.
+void run_bank_construct(benchmark::State& state, anneal::simd::Level level) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto scenario = workloads::scenarios::node_scaling(32);
+  const lrp::LrpCqm cqm(scenario.problem, lrp::CqmVariant::kReduced, 500);
+  const std::size_t n = cqm.num_binary_variables();
+
+  const auto saved = anneal::simd::active_level();
+  anneal::simd::set_active_level(level);
+
+  util::Rng rng(11);
+  std::vector<model::State> states(lanes);
+  for (auto& s : states) {
+    s.resize(n);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.next_below(2));
+  }
+  const std::vector<std::vector<double>> penalties(
+      lanes, std::vector<double>(cqm.cqm().num_constraints(), 1.0));
+
+  for (auto _ : state) {
+    anneal::CqmReplicaBank bank(cqm.cqm(), states, penalties);
+    benchmark::DoNotOptimize(bank.objective(lanes - 1));
+  }
+
+  anneal::simd::set_active_level(saved);
+}
+
+void BM_ReplicaBankConstruct(benchmark::State& state) {
+  run_bank_construct(state, anneal::simd::detected_level());
+}
+BENCHMARK(BM_ReplicaBankConstruct)->Arg(8);
+
+void BM_ReplicaBankConstructScalar(benchmark::State& state) {
+  run_bank_construct(state, anneal::simd::Level::kScalar);
+}
+BENCHMARK(BM_ReplicaBankConstructScalar)->Arg(8);
+
+}  // namespace

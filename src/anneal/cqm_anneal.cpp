@@ -281,41 +281,6 @@ PairMoveIndex PairMoveIndex::build(const CqmModel& cqm) {
   return index;
 }
 
-bool PairMoveIndex::attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
-                            bool feasible_only) const {
-  if (empty()) return false;
-  const auto members =
-      class_at(static_cast<std::size_t>(rng.next_below(num_classes())));
-  // Find a (set, clear) pair by rejection sampling.
-  VarId set_var = 0;
-  VarId clear_var = 0;
-  bool found = false;
-  for (int attempt_i = 0; attempt_i < 8 && !found; ++attempt_i) {
-    const VarId a = members[static_cast<std::size_t>(rng.next_below(members.size()))];
-    const VarId b = members[static_cast<std::size_t>(rng.next_below(members.size()))];
-    if (a == b) continue;
-    const bool sa = walk.state()[a] != 0;
-    const bool sb = walk.state()[b] != 0;
-    if (sa == sb) continue;
-    set_var = sa ? a : b;
-    clear_var = sa ? b : a;
-    found = true;
-  }
-  if (!found) return false;
-
-  // Evaluate the joint move without touching the state; apply only on accept.
-  const auto delta = walk.pair_delta_parts(set_var, clear_var);
-  const double criterion = feasible_only ? delta.objective : delta.total();
-  const bool vetoed = feasible_only && delta.penalty > 0.0;
-  if (!vetoed &&
-      (criterion <= 0.0 || rng.next_double() < std::exp(-beta * criterion))) {
-    walk.apply_flip(set_var);
-    walk.apply_flip(clear_var);
-    return true;
-  }
-  return false;
-}
-
 std::size_t PairMoveIndex::pair_scan_cost() const noexcept {
   std::size_t cost = 0;
   for (std::size_t c = 0; c + 1 < class_offsets_.size(); ++c) {
@@ -323,36 +288,6 @@ std::size_t PairMoveIndex::pair_scan_cost() const noexcept {
     cost += size * size;
   }
   return cost;
-}
-
-std::size_t PairMoveIndex::descend(CqmIncrementalState& walk,
-                                   std::size_t max_passes,
-                                   const util::CancelToken* cancel) const {
-  std::size_t applied = 0;
-  for (std::size_t pass = 0; pass < max_passes; ++pass) {
-    if (cancel != nullptr && cancel->expired()) break;
-    bool improved = false;
-    for (std::size_t c = 0; c < num_classes(); ++c) {
-      const auto members = class_at(c);
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        const VarId a = members[i];
-        if (walk.state()[a] == 0) continue;
-        for (std::size_t j = 0; j < members.size(); ++j) {
-          const VarId b = members[j];
-          if (b == a || walk.state()[b] != 0) continue;
-          if (walk.pair_delta_parts(a, b).total() < -1e-12) {
-            walk.apply_flip(a);
-            walk.apply_flip(b);
-            ++applied;
-            improved = true;
-            break;  // a is now clear; continue with the next set member
-          }
-        }
-      }
-    }
-    if (!improved) break;
-  }
-  return applied;
 }
 
 Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalties,

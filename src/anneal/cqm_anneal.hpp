@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -39,6 +40,9 @@ class CqmIncrementalState {
 
   std::size_t num_variables() const noexcept { return state_.size(); }
   const model::State& state() const noexcept { return state_; }
+  /// Current value of one variable. Part of the walk interface shared with
+  /// CqmReplicaBank lanes (which store packed bits, not a byte State).
+  bool state_bit(model::VarId v) const noexcept { return state_[v] != 0; }
   const model::CqmModel& cqm() const noexcept { return *cqm_; }
 
   double objective() const noexcept { return objective_; }
@@ -143,8 +147,11 @@ class PairMoveIndex {
   /// accept with the Metropolis criterion at `beta` on the combined energy
   /// delta. With `feasible_only`, any violation-increasing proposal is
   /// rejected and the criterion applies to the objective part alone.
-  /// Returns true when a move was applied.
-  bool attempt(CqmIncrementalState& walk, util::Rng& rng, double beta,
+  /// Returns true when a move was applied. `Walk` is any type exposing the
+  /// CqmIncrementalState walk interface (state_bit / pair_delta_parts /
+  /// apply_flip) — in particular a CqmReplicaBank::LaneRef.
+  template <class Walk>
+  bool attempt(Walk& walk, util::Rng& rng, double beta,
                bool feasible_only = false) const;
 
   /// Zero-temperature systematic polish: scan every class's (set, clear)
@@ -153,7 +160,8 @@ class PairMoveIndex {
   /// pass costs pair_scan_cost() delta evaluations — callers should prefer
   /// this over random attempt() sampling exactly when that is the cheaper
   /// budget. The cancel token (when given) is polled once per pass.
-  std::size_t descend(CqmIncrementalState& walk, std::size_t max_passes = 8,
+  template <class Walk>
+  std::size_t descend(Walk& walk, std::size_t max_passes = 8,
                       const util::CancelToken* cancel = nullptr) const;
 
   /// Ordered pair evaluations per descend() pass: sum of |class|^2.
@@ -231,5 +239,78 @@ class CqmAnnealer {
  private:
   CqmAnnealParams params_;
 };
+
+// ---------------------------------------------------------------------------
+// PairMoveIndex template bodies (shared by CqmIncrementalState walks and
+// CqmReplicaBank lanes).
+// ---------------------------------------------------------------------------
+
+template <class Walk>
+bool PairMoveIndex::attempt(Walk& walk, util::Rng& rng, double beta,
+                            bool feasible_only) const {
+  if (empty()) return false;
+  const auto members =
+      class_at(static_cast<std::size_t>(rng.next_below(num_classes())));
+  // Find a (set, clear) pair by rejection sampling.
+  model::VarId set_var = 0;
+  model::VarId clear_var = 0;
+  bool found = false;
+  for (int attempt_i = 0; attempt_i < 8 && !found; ++attempt_i) {
+    const model::VarId a =
+        members[static_cast<std::size_t>(rng.next_below(members.size()))];
+    const model::VarId b =
+        members[static_cast<std::size_t>(rng.next_below(members.size()))];
+    if (a == b) continue;
+    const bool sa = walk.state_bit(a);
+    const bool sb = walk.state_bit(b);
+    if (sa == sb) continue;
+    set_var = sa ? a : b;
+    clear_var = sa ? b : a;
+    found = true;
+  }
+  if (!found) return false;
+
+  // Evaluate the joint move without touching the state; apply only on accept.
+  const auto delta = walk.pair_delta_parts(set_var, clear_var);
+  const double criterion = feasible_only ? delta.objective : delta.total();
+  const bool vetoed = feasible_only && delta.penalty > 0.0;
+  if (!vetoed &&
+      (criterion <= 0.0 || rng.next_double() < std::exp(-beta * criterion))) {
+    walk.apply_flip(set_var);
+    walk.apply_flip(clear_var);
+    return true;
+  }
+  return false;
+}
+
+template <class Walk>
+std::size_t PairMoveIndex::descend(Walk& walk, std::size_t max_passes,
+                                   const util::CancelToken* cancel) const {
+  std::size_t applied = 0;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    if (cancel != nullptr && cancel->expired()) break;
+    bool improved = false;
+    for (std::size_t c = 0; c < num_classes(); ++c) {
+      const auto members = class_at(c);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const model::VarId a = members[i];
+        if (!walk.state_bit(a)) continue;
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          const model::VarId b = members[j];
+          if (b == a || walk.state_bit(b)) continue;
+          if (walk.pair_delta_parts(a, b).total() < -1e-12) {
+            walk.apply_flip(a);
+            walk.apply_flip(b);
+            ++applied;
+            improved = true;
+            break;  // a is now clear; continue with the next set member
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return applied;
+}
 
 }  // namespace qulrb::anneal

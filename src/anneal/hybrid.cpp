@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "anneal/replica_bank.hpp"
 #include "anneal/tempering.hpp"
 #include "model/presolve.hpp"
 #include "util/error.hpp"
@@ -151,6 +152,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   obs::Counter* m_penalty_rounds = nullptr;
   obs::Counter* m_budget_expired = nullptr;
   obs::Counter* m_sweeps = nullptr;
+  obs::Counter* m_replica_sweeps = nullptr;
   obs::LogHistogram* m_solve_ms = nullptr;
   if (params_.metrics != nullptr) {
     auto& reg = *params_.metrics;
@@ -164,6 +166,9 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
                      "Solves truncated by their budget or a cancellation");
     m_sweeps = &reg.counter("qulrb_solver_sweeps_total",
                             "Sampler sweeps executed across all portfolio members");
+    m_replica_sweeps =
+        &reg.counter("qulrb_solver_replica_sweeps",
+                     "Lane-sweeps executed through the replica bank");
     m_solve_ms = &reg.histogram("qulrb_solver_solve_ms",
                                 "Hybrid solve wall time in milliseconds");
   }
@@ -319,120 +324,223 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
                 static_cast<std::uint32_t>(params_.num_restarts))
           : 1;
 
-  auto run_restart = [&](std::size_t r) {
+  // Feasibility polish: steepest descent with current penalties, then
+  // zero-temperature pair moves (constraint-preserving reroutes). Shared by
+  // banked and tempered restarts; always runs on the restart's own stream so
+  // the draw sequence matches the scalar per-restart chain exactly.
+  auto polish = [&](Sample& s, const std::vector<double>& penalties,
+                    util::Rng& rng, std::uint32_t track) {
+    obs::Recorder::Span polish_span(rec, "polish", "hybrid", track);
+    CqmIncrementalState walk(cqm, s.state, penalties);
+    greedy_descent(walk, rng, 32, &budget);
+    if (!pair_index.empty()) {
+      const std::size_t attempts = 8 * std::max<std::size_t>(1, walk.num_variables());
+      if (pair_index.pair_scan_cost() <= attempts) {
+        // Enumerating every (set, clear) pair is cheaper than sampling
+        // the same budget at random — and never misses an improving move.
+        pair_index.descend(walk, 8, &budget);
+      } else {
+        for (std::size_t t = 0; t < attempts; ++t) {
+          if ((t & 0xFFu) == 0 && budget.expired()) break;
+          pair_index.attempt(walk, rng, 1e30);
+        }
+      }
+      greedy_descent(walk, rng, 32, &budget);
+    }
+    Sample polished{walk.state(), walk.objective(), walk.total_violation(),
+                    walk.feasible()};
+    if (polished.better_than(s)) s = std::move(polished);
+  };
+
+  // Escalate penalties where the best state is still violating.
+  auto escalate = [&](const Sample& s, std::vector<double>& penalties,
+                      std::uint32_t track) {
+    obs::Recorder::Span adapt_span(rec, "penalty-adapt", "hybrid", track);
+    const CqmIncrementalState probe(cqm, s.state, penalties);
+    for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
+      if (probe.constraint_violation(c) > 1e-9) {
+        penalties[c] *= params_.penalty_growth;
+      }
+    }
+  };
+
+  // Non-tempered restarts run as lanes of one CqmReplicaBank per chunk. Each
+  // lane keeps its own pre-split stream and replays the scalar restart chain
+  // bit for bit (anneal through the bank in per-lane mode, then the scalar
+  // polish on the same stream), so chunking — like threading — never changes
+  // the samples.
+  auto run_bank_chunk = [&](std::size_t r_begin, std::size_t r_end) {
+    struct Lane {
+      std::size_t r = 0;
+      util::Rng rng{0};
+      std::vector<double> penalties;
+      bool refine = false;
+      model::State init;
+      Sample best;
+      bool have_sample = false;
+      std::size_t rounds = 0;
+      std::uint32_t track = 0;
+      std::unique_ptr<obs::Recorder::Span> span;
+      bool done = false;
+    };
+    std::vector<Lane> lanes;
+    lanes.reserve(r_end - r_begin);
+    for (std::size_t r = r_begin; r < r_end; ++r) {
+      if (r > 0 && budget.expired()) {
+        continue;  // keep at least one restart so solve() always has an incumbent
+      }
+      Lane lane;
+      lane.r = r;
+      lane.rng = streams[r];
+      lane.penalties = base_penalties;
+      lane.refine = r == 0 && refinement_available;
+      if (lane.refine) {
+        lane.init =
+            have_hint ? params_.initial_hint : model::State(cqm.num_variables(), 0);
+      } else {
+        lane.init = random_state(cqm.num_variables(), lane.rng);
+      }
+      apply_fixings(lane.init, pre);
+      // Each restart renders on its own trace track so the portfolio members
+      // line up side by side in the viewer.
+      lane.track = restart_track_base + static_cast<std::uint32_t>(r);
+      if (rec != nullptr) {
+        std::string label = "restart " + std::to_string(r);
+        if (lane.refine) label += " (refine)";
+        rec->name_track(lane.track, std::move(label));
+      }
+      lane.span = std::make_unique<obs::Recorder::Span>(rec, "restart", "hybrid",
+                                                        lane.track);
+      lanes.push_back(std::move(lane));
+    }
+
+    BatchedCqmAnnealParams bp;
+    bp.sweeps = params_.sweeps;
+    bp.cancel = budget;
+    bp.recorder = rec;
+    bp.sweep_counter = m_sweeps;
+    bp.replica_sweep_counter = m_replica_sweeps;
+    const BatchedCqmAnnealer annealer(bp);
+
+    const std::size_t max_rounds =
+        std::max<std::size_t>(1, params_.max_penalty_rounds);
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+      std::vector<BatchedLaneSpec> specs;
+      std::vector<Lane*> active;
+      for (auto& lane : lanes) {
+        if (lane.done) continue;
+        BatchedLaneSpec spec;
+        spec.rng = &lane.rng;
+        spec.initial = &lane.init;
+        spec.penalties = &lane.penalties;
+        spec.refinement = lane.refine;
+        spec.trace_track = lane.track;
+        specs.push_back(spec);
+        active.push_back(&lane);
+        ++lane.rounds;
+      }
+      if (active.empty()) break;
+      auto samples = annealer.anneal_lanes(cqm, specs, &pair_index);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        Lane& lane = *active[i];
+        Sample s = std::move(samples[i]);
+        polish(s, lane.penalties, lane.rng, lane.track);
+        if (!lane.have_sample || s.better_than(lane.best)) {
+          lane.best = s;
+          lane.have_sample = true;
+        }
+        if (s.feasible || budget.expired()) {
+          lane.done = true;  // keep the incumbent; skip escalation
+          continue;
+        }
+        escalate(s, lane.penalties, lane.track);
+        lane.init = std::move(s.state);  // warm start the next round
+      }
+    }
+    for (auto& lane : lanes) {
+      if (lane.have_sample) results[lane.r] = std::move(lane.best);
+      rounds_by_restart[lane.r] = lane.rounds;
+    }
+  };
+
+  // The tempering restart keeps resident replicas of its own (inside
+  // ParallelTempering's bank) and so runs as its own unit.
+  auto run_tempered_restart = [&](std::size_t r) {
     if (r > 0 && budget.expired()) {
       return;  // keep at least one restart so solve() always has an incumbent
     }
     util::Rng rng = streams[r];
     std::vector<double> penalties = base_penalties;
-    const bool refine = r == 0 && refinement_available;
-    model::State init;
-    if (refine) {
-      init = have_hint ? params_.initial_hint : model::State(cqm.num_variables(), 0);
-    } else {
-      init = random_state(cqm.num_variables(), rng);
-    }
+    model::State init = random_state(cqm.num_variables(), rng);
     apply_fixings(init, pre);
 
     Sample best_of_restart;
     bool have_sample = false;
     std::size_t rounds = 0;
-
-    const bool tempered = params_.use_tempering && r == params_.num_restarts - 1 &&
-                          !refine;
-
-    // Each restart renders on its own trace track so the portfolio members
-    // line up side by side in the viewer.
     const auto track = restart_track_base + static_cast<std::uint32_t>(r);
     if (rec != nullptr) {
-      std::string label = "restart " + std::to_string(r);
-      if (refine) label += " (refine)";
-      if (tempered) label += " (tempering)";
-      rec->name_track(track, std::move(label));
+      rec->name_track(track, "restart " + std::to_string(r) + " (tempering)");
     }
     obs::Recorder::Span restart_span(rec, "restart", "hybrid", track);
 
-    for (std::size_t round = 0; round < std::max<std::size_t>(1, params_.max_penalty_rounds);
-         ++round) {
+    for (std::size_t round = 0;
+         round < std::max<std::size_t>(1, params_.max_penalty_rounds); ++round) {
       ++rounds;
-      Sample s;
-      if (tempered) {
-        TemperingParams tp;
-        tp.num_replicas = params_.tempering_replicas;
-        tp.sweeps = params_.sweeps / 2 + 1;
-        tp.seed = rng.next_u64();
-        tp.cancel = budget;
-        tp.recorder = rec;
-        tp.trace_track = track;
-        tp.sweep_counter = m_sweeps;
-        s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
-      } else {
-        CqmAnnealParams ap;
-        ap.sweeps = params_.sweeps;
-        ap.refinement = refine;
-        ap.cancel = budget;
-        ap.recorder = rec;
-        ap.trace_track = track;
-        ap.sweep_counter = m_sweeps;
-        s = CqmAnnealer(ap).anneal_once(cqm, penalties, rng, init, nullptr,
-                                        &pair_index);
-      }
+      TemperingParams tp;
+      tp.num_replicas = params_.tempering_replicas;
+      tp.sweeps = params_.sweeps / 2 + 1;
+      tp.seed = rng.next_u64();
+      tp.cancel = budget;
+      tp.recorder = rec;
+      tp.trace_track = track;
+      tp.sweep_counter = m_sweeps;
+      tp.replica_sweep_counter = m_replica_sweeps;
+      Sample s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
 
-      // Feasibility polish: steepest descent with current penalties, then
-      // zero-temperature pair moves (constraint-preserving reroutes).
-      {
-        obs::Recorder::Span polish_span(rec, "polish", "hybrid", track);
-        CqmIncrementalState walk(cqm, s.state, penalties);
-        greedy_descent(walk, rng, 32, &budget);
-        if (!pair_index.empty()) {
-          const std::size_t attempts = 8 * std::max<std::size_t>(1, walk.num_variables());
-          if (pair_index.pair_scan_cost() <= attempts) {
-            // Enumerating every (set, clear) pair is cheaper than sampling
-            // the same budget at random — and never misses an improving move.
-            pair_index.descend(walk, 8, &budget);
-          } else {
-            for (std::size_t t = 0; t < attempts; ++t) {
-              if ((t & 0xFFu) == 0 && budget.expired()) break;
-              pair_index.attempt(walk, rng, 1e30);
-            }
-          }
-          greedy_descent(walk, rng, 32, &budget);
-        }
-        Sample polished{walk.state(), walk.objective(), walk.total_violation(),
-                        walk.feasible()};
-        if (polished.better_than(s)) s = std::move(polished);
-      }
-
+      polish(s, penalties, rng, track);
       if (!have_sample || s.better_than(best_of_restart)) {
         best_of_restart = s;
         have_sample = true;
       }
       if (s.feasible) break;
       if (budget.expired()) break;  // keep the incumbent; skip escalation
-
-      // Escalate penalties where the best state is still violating.
-      obs::Recorder::Span adapt_span(rec, "penalty-adapt", "hybrid", track);
-      const CqmIncrementalState probe(cqm, s.state, penalties);
-      for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
-        if (probe.constraint_violation(c) > 1e-9) {
-          penalties[c] *= params_.penalty_growth;
-        }
-      }
-      init = s.state;  // warm start the next round
+      escalate(s, penalties, track);
+      init = std::move(s.state);  // warm start the next round
     }
-
     if (have_sample) results[r] = std::move(best_of_restart);
     rounds_by_restart[r] = rounds;
+  };
+
+  // Fixed chunking: restarts [0, banked) group into banks of `replica_lanes`
+  // regardless of the thread count, and the last restart runs tempered when
+  // enabled (unless it is the refinement restart). Work units — chunks and
+  // the tempered restart — are what the pool distributes.
+  const std::size_t total_restarts = params_.num_restarts;
+  const bool tempered_last = params_.use_tempering && total_restarts > 0 &&
+                             !(total_restarts == 1 && refinement_available);
+  const std::size_t banked_restarts = total_restarts - (tempered_last ? 1 : 0);
+  const std::size_t bank_width = std::max<std::size_t>(1, params_.replica_lanes);
+  result.stats.replica_lanes = bank_width;
+  const std::size_t num_chunks = (banked_restarts + bank_width - 1) / bank_width;
+  const std::size_t num_units = num_chunks + (tempered_last ? 1 : 0);
+
+  auto run_unit = [&](std::size_t u) {
+    if (u < num_chunks) {
+      const std::size_t r_begin = u * bank_width;
+      run_bank_chunk(r_begin, std::min(banked_restarts, r_begin + bank_width));
+    } else {
+      run_tempered_restart(total_restarts - 1);
+    }
   };
 
   const std::size_t threads = params_.threads == 0
                                   ? std::max(1u, std::thread::hardware_concurrency())
                                   : params_.threads;
-  if (threads <= 1 || params_.num_restarts <= 1) {
-    for (std::size_t r = 0; r < params_.num_restarts; ++r) run_restart(r);
+  if (threads <= 1 || num_units <= 1) {
+    for (std::size_t u = 0; u < num_units; ++u) run_unit(u);
   } else {
-    util::ThreadPool pool(std::min(threads, params_.num_restarts));
-    pool.parallel_for(params_.num_restarts, run_restart);
+    util::ThreadPool pool(std::min(threads, num_units));
+    pool.parallel_for(num_units, run_unit);
   }
 
   // Ordered merge: identical regardless of which thread finished first.

@@ -38,6 +38,12 @@ struct HybridSolverParams {
   /// restart draws from a pre-split RNG stream and results merge in restart
   /// order, so the outcome is identical for any thread count.
   std::size_t threads = 0;
+  /// Replica-bank width: non-tempered restarts run as lanes of one
+  /// CqmReplicaBank in fixed chunks of this size (chunking is independent of
+  /// `threads`). Each lane replays the scalar per-restart chain bit for bit —
+  /// the bank only amortises the model scan — so any width produces the same
+  /// samples. 0 or 1 degenerates to one restart per bank.
+  std::size_t replica_lanes = 8;
   /// Free-variable count (after presolve) at or below which the solver skips
   /// sampling entirely and enumerates every assignment with a Gray-code walk
   /// (one incremental flip per state). Tiny models get the provable CQM
@@ -95,6 +101,10 @@ struct HybridSolveStats {
   std::size_t num_constraints = 0;
   std::size_t presolve_fixed = 0;
   bool presolve_infeasible = false;
+  /// Replica-bank width the portfolio ran with (0 when the solve never
+  /// reached the sampling portfolio, e.g. presolve-infeasible or exhaustive
+  /// enumeration).
+  std::size_t replica_lanes = 0;
   /// True when the time budget or a cancellation cut the solve short (the
   /// reported best is the incumbent at that point).
   bool budget_expired = false;

@@ -16,13 +16,15 @@ namespace {
 
 /// Local fields h_i + sum_j J_ij s_j for one spin configuration, maintained
 /// incrementally: reading a candidate flip is O(1), committing one is
-/// O(deg). Each Trotter slice owns an instance; the quench reuses one for
-/// the readout configuration.
+/// O(deg). Field storage is borrowed from the caller, so all Trotter slices
+/// can share one contiguous P x n buffer (structure-of-arrays, slice-major)
+/// instead of P separately allocated vectors; the quench lends a slice-sized
+/// buffer of its own for the readout configuration.
 class FieldCache {
  public:
-  FieldCache(const model::IsingModel& ising, std::span<const std::int8_t> spins)
-      : adjacency_(&ising.adjacency()) {
-    field_.resize(ising.num_spins());
+  FieldCache(const model::IsingModel& ising, std::span<const std::int8_t> spins,
+             std::span<double> field)
+      : adjacency_(&ising.adjacency()), field_(field) {
     for (VarId i = 0; i < field_.size(); ++i) {
       field_[i] = ising.local_field(spins, i);
     }
@@ -31,7 +33,7 @@ class FieldCache {
   double at(VarId i) const noexcept { return field_[i]; }
 
   /// Negate spin i in `spins` and propagate to the neighbours' fields.
-  void flip(std::vector<std::int8_t>& spins, VarId i) noexcept {
+  void flip(std::span<std::int8_t> spins, VarId i) noexcept {
     spins[i] = static_cast<std::int8_t>(-spins[i]);
     const double two_s = 2.0 * spins[i];
     for (const auto& nb : (*adjacency_)[i]) {
@@ -41,7 +43,7 @@ class FieldCache {
 
  private:
   const model::CsrRows<model::IsingModel::Neighbor>* adjacency_;
-  std::vector<double> field_;
+  std::span<double> field_;
 };
 
 }  // namespace
@@ -58,25 +60,34 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
     return {model::State{}, ising.offset(), 0.0, true};
   }
 
-  // spins[k][i] for slice k.
-  std::vector<std::vector<std::int8_t>> spins(P, std::vector<std::int8_t>(n));
-  for (auto& slice : spins) {
-    for (auto& s : slice) s = rng.next_bool(0.5) ? std::int8_t{1} : std::int8_t{-1};
+  // Slice-major SoA storage: spin (k, i) lives at spins_flat[k * n + i] and
+  // its local field at fields_flat[k * n + i] — one allocation each instead
+  // of P, and slice k is the contiguous span [k * n, (k + 1) * n).
+  std::vector<std::int8_t> spins_flat(P * n);
+  for (auto& s : spins_flat) {
+    s = rng.next_bool(0.5) ? std::int8_t{1} : std::int8_t{-1};
   }
+  std::vector<double> fields_flat(P * n);
+  auto spins = [&](std::size_t k) {
+    return std::span<std::int8_t>(spins_flat.data() + k * n, n);
+  };
 
   std::vector<FieldCache> fields;
   fields.reserve(P);
-  for (std::size_t k = 0; k < P; ++k) fields.emplace_back(ising, spins[k]);
+  for (std::size_t k = 0; k < P; ++k) {
+    fields.emplace_back(ising, spins(k),
+                        std::span<double>(fields_flat.data() + k * n, n));
+  }
 
   std::vector<double> slice_energy(P);
-  for (std::size_t k = 0; k < P; ++k) slice_energy[k] = ising.energy(spins[k]);
+  for (std::size_t k = 0; k < P; ++k) slice_energy[k] = ising.energy(spins(k));
 
   double best_energy = slice_energy[0];
-  std::vector<std::int8_t> best_spins = spins[0];
+  std::vector<std::int8_t> best_spins(spins(0).begin(), spins(0).end());
   for (std::size_t k = 1; k < P; ++k) {
     if (slice_energy[k] < best_energy) {
       best_energy = slice_energy[k];
-      best_spins = spins[k];
+      best_spins.assign(spins(k).begin(), spins(k).end());
     }
   }
 
@@ -109,17 +120,17 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
       for (std::size_t step = 0; step < n; ++step) {
         const auto i = static_cast<VarId>(rng.next_below(n));
         const double h_local = fields[k].at(i);
-        const double s = spins[k][i];
+        const double s = spins_flat[k * n + i];
         // Problem part is scaled by 1/P in the Trotter decomposition.
         const double delta = 2.0 * s * h_local / Pd +
                              2.0 * s * j_perp *
-                                 (spins[up][i] + spins[down][i]);
+                                 (spins_flat[up * n + i] + spins_flat[down * n + i]);
         if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
-          fields[k].flip(spins[k], i);
+          fields[k].flip(spins(k), i);
           slice_energy[k] += 2.0 * (-s) * h_local;  // flip changes E by -2 s h
           if (slice_energy[k] < best_energy) {
             best_energy = slice_energy[k];
-            best_spins = spins[k];
+            best_spins.assign(spins(k).begin(), spins(k).end());
           }
         }
       }
@@ -131,17 +142,17 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
       const auto i = static_cast<VarId>(rng.next_below(n));
       double delta = 0.0;
       for (std::size_t k = 0; k < P; ++k) {
-        delta += 2.0 * spins[k][i] * fields[k].at(i) / Pd;
+        delta += 2.0 * spins_flat[k * n + i] * fields[k].at(i) / Pd;
       }
       if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
         for (std::size_t k = 0; k < P; ++k) {
-          const double s = spins[k][i];
+          const double s = spins_flat[k * n + i];
           const double h_local = fields[k].at(i);
-          fields[k].flip(spins[k], i);
+          fields[k].flip(spins(k), i);
           slice_energy[k] += 2.0 * (-s) * h_local;
           if (slice_energy[k] < best_energy) {
             best_energy = slice_energy[k];
-            best_spins = spins[k];
+            best_spins.assign(spins(k).begin(), spins(k).end());
           }
         }
       }
@@ -164,7 +175,8 @@ Sample PimcAnnealer::sample_ising(const model::IsingModel& ising) const {
   {
     obs::Recorder::Span quench_span(params_.recorder, "pimc-quench", "sampler",
                                     params_.trace_track);
-    FieldCache quench_fields(ising, best_spins);
+    std::vector<double> quench_field(n);
+    FieldCache quench_fields(ising, best_spins, quench_field);
     double energy = ising.energy(best_spins);
     for (std::size_t pass = 0; pass < 20 * n; ++pass) {
       const auto i = static_cast<VarId>(rng.next_below(n));

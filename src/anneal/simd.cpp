@@ -1,0 +1,48 @@
+#include "anneal/simd.hpp"
+
+#include <atomic>
+
+namespace qulrb::anneal::simd {
+
+namespace {
+
+Level probe() noexcept {
+#if QULRB_HAVE_AVX2
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#endif
+  return Level::kScalar;
+}
+
+std::atomic<Level>& active_slot() noexcept {
+  static std::atomic<Level> level{probe()};
+  return level;
+}
+
+}  // namespace
+
+Level detected_level() noexcept {
+  static const Level detected = probe();
+  return detected;
+}
+
+Level active_level() noexcept {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Level set_active_level(Level level) noexcept {
+  if (level > detected_level()) level = detected_level();
+  active_slot().store(level, std::memory_order_relaxed);
+  return level;
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace qulrb::anneal::simd

@@ -1,10 +1,12 @@
 #include "anneal/tempering.hpp"
 
 #include <cmath>
-#include <memory>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "anneal/cqm_anneal.hpp"
+#include "anneal/replica_bank.hpp"
 #include "util/error.hpp"
 
 namespace qulrb::anneal {
@@ -22,21 +24,35 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
 
   util::Rng master(params_.seed);
 
-  // Build replicas, each with its own RNG stream and start state.
-  std::vector<std::unique_ptr<CqmIncrementalState>> replicas;
+  // Per-replica RNG streams and start states, drawn in the same order as the
+  // per-walker construction this replaces (streams are independent, so
+  // splitting them all before the init draws yields identical values).
   std::vector<util::Rng> rngs;
-  replicas.reserve(params_.num_replicas);
+  rngs.reserve(params_.num_replicas);
   for (std::size_t r = 0; r < params_.num_replicas; ++r) {
     rngs.push_back(master.split());
+  }
+  std::vector<model::State> starts(params_.num_replicas);
+  for (std::size_t r = 0; r < params_.num_replicas; ++r) {
     model::State start(n);
     if (initial.empty()) {
       for (auto& b : start) b = static_cast<std::uint8_t>(rngs[r].next_below(2));
     } else {
       start = initial;
     }
-    replicas.push_back(
-        std::make_unique<CqmIncrementalState>(cqm, std::move(start), penalties));
+    starts[r] = std::move(start);
   }
+
+  // All replicas share one penalty vector; the ladder lives in one SoA bank.
+  const std::vector<std::vector<double>> lane_penalties(params_.num_replicas,
+                                                        penalties);
+  CqmReplicaBank bank(cqm, starts, lane_penalties);
+
+  // Ladder position -> bank lane. Replica exchange swaps configurations
+  // between adjacent temperatures; with the bank the configurations stay in
+  // their lanes and only this permutation moves.
+  std::vector<std::size_t> perm(params_.num_replicas);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
 
   // Beta ladder (geometric between hot and cold).
   double beta_hot = params_.beta_hot;
@@ -47,7 +63,7 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
       const std::size_t probes = std::min<std::size_t>(n, 256);
       for (std::size_t p = 0; p < probes; ++p) {
         const auto v = static_cast<VarId>(rngs[0].next_below(n));
-        max_abs = std::max(max_abs, std::abs(replicas[0]->flip_delta(v)));
+        max_abs = std::max(max_abs, std::abs(bank.flip_delta(perm[0], v)));
       }
     }
     beta_hot = std::log(2.0) / max_abs;
@@ -67,10 +83,11 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
   const PairMoveIndex& pairs =
       prebuilt_pairs != nullptr ? *prebuilt_pairs : local_pairs;
 
-  auto snapshot = [](const CqmIncrementalState& w) {
-    return Sample{w.state(), w.objective(), w.total_violation(), w.feasible()};
+  auto snapshot = [&](std::size_t lane) {
+    return Sample{bank.extract_state(lane), bank.objective(lane),
+                  bank.total_violation(lane), bank.feasible(lane)};
   };
-  Sample best = snapshot(*replicas.back());
+  Sample best = snapshot(perm.back());
 
   if (n == 0) return best;
 
@@ -81,8 +98,8 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
 
   for (std::size_t sweep = 0; sweep < params_.sweeps; ++sweep) {
     if (params_.cancel.expired()) break;
-    for (std::size_t r = 0; r < replicas.size(); ++r) {
-      auto& walk = *replicas[r];
+    for (std::size_t r = 0; r < perm.size(); ++r) {
+      auto walk = bank.lane(perm[r]);
       auto& rng = rngs[r];
       const double beta = betas[r];
       for (std::size_t step = 0; step < n; ++step) {
@@ -91,26 +108,29 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
           continue;
         }
         const auto v = static_cast<VarId>(rng.next_below(n));
-        const double delta = walk.flip_delta(v);
+        const double delta = bank.flip_delta(perm[r], v);
         if (delta <= 0.0 || rng.next_double() < std::exp(-beta * delta)) {
           walk.apply_flip(v);
         }
       }
-      Sample current{{}, walk.objective(), walk.total_violation(), walk.feasible()};
+      Sample current{{},
+                     bank.objective(perm[r]),
+                     bank.total_violation(perm[r]),
+                     bank.feasible(perm[r])};
       if (current.better_than(best)) {
-        current.state = walk.state();
+        current.state = bank.extract_state(perm[r]);
         best = std::move(current);
       }
     }
 
     if ((sweep + 1) % params_.swap_interval == 0) {
-      for (std::size_t r = 0; r + 1 < replicas.size(); ++r) {
-        const double ea = replicas[r]->total_energy();
-        const double eb = replicas[r + 1]->total_energy();
+      for (std::size_t r = 0; r + 1 < perm.size(); ++r) {
+        const double ea = bank.total_energy(perm[r]);
+        const double eb = bank.total_energy(perm[r + 1]);
         const double log_accept = (betas[r] - betas[r + 1]) * (ea - eb);
         if (log_accept >= 0.0 ||
             rngs[0].next_double() < std::exp(log_accept)) {
-          std::swap(replicas[r], replicas[r + 1]);
+          std::swap(perm[r], perm[r + 1]);
         }
       }
     }
@@ -123,6 +143,9 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
   }
   if (params_.sweep_counter != nullptr && sweeps_done > 0) {
     params_.sweep_counter->inc(sweeps_done);
+  }
+  if (params_.replica_sweep_counter != nullptr && sweeps_done > 0) {
+    params_.replica_sweep_counter->inc(sweeps_done * params_.num_replicas);
   }
   return best;
 }

@@ -31,6 +31,9 @@ struct TemperingParams {
   /// Optional metrics sink: bumped by replica-rounds executed (sweeps over
   /// the whole ladder), once per run.
   obs::Counter* sweep_counter = nullptr;
+  /// Optional metrics sink: bumped by lane-sweeps executed through the
+  /// replica bank (rounds x replicas); feeds qulrb_solver_replica_sweeps.
+  obs::Counter* replica_sweep_counter = nullptr;
 };
 
 /// Replica-exchange (parallel tempering) Monte Carlo on a CQM with penalty

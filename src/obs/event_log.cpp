@@ -25,6 +25,7 @@ std::string to_json_line(const SolveEvent& event) {
   }
   if (!std::isnan(event.speedup)) w.field("speedup", event.speedup);
   if (event.migrated >= 0) w.field("migrated", event.migrated);
+  if (event.replicas >= 0) w.field("replicas", event.replicas);
   if (!std::isnan(event.runtime_ms)) w.field("runtime_ms", event.runtime_ms);
   if (!std::isnan(event.queue_ms)) w.field("queue_ms", event.queue_ms);
   if (!std::isnan(event.time_to_first_feasible_ms)) {

@@ -101,6 +101,9 @@ std::string encode_response(std::uint64_t client_id,
     w.field("budget_expired", response.budget_expired);
     w.field("cache_hit", response.cache_hit);
     w.field("retargeted", response.cache_retargeted);
+    if (response.replica_lanes > 0) {
+      w.field("replicas", response.replica_lanes);
+    }
     w.field("imbalance_before", response.metrics.imbalance_before);
     w.field("imbalance_after", response.metrics.imbalance_after);
     w.field("speedup", response.metrics.speedup);

@@ -309,6 +309,7 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
     response.metrics = lrp::evaluate_plan(problem, out.plan);
     response.feasible = out.feasible;
     response.budget_expired = diag.hybrid_stats.budget_expired;
+    response.replica_lanes = diag.hybrid_stats.replica_lanes;
     response.outcome = item.token.cancel_requested()
                            ? RequestOutcome::kCancelled
                            : RequestOutcome::kOk;
@@ -407,6 +408,9 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
       event.r_imb_after = response.metrics.imbalance_after;
       event.speedup = response.metrics.speedup;
       event.migrated = response.metrics.total_migrated;
+    }
+    if (response.replica_lanes > 0) {
+      event.replicas = static_cast<std::int64_t>(response.replica_lanes);
     }
     event.runtime_ms = response.solve_ms;
     event.queue_ms = response.queue_ms;
