@@ -1,0 +1,159 @@
+// Router hot-path micro-benchmarks: policy pick cost per kind, consistent-
+// hash ring rebuild and lookup, coalescer join/complete bookkeeping, and the
+// per-response string surgery (id rewrite, raw-field splice). These are the
+// operations the router pays per routed request on top of the backend's
+// solve, so they bound the front door's overhead. Exported to
+// BENCH_router.json by bench/export_bench_json.sh.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "router/coalesce.hpp"
+#include "router/policy.hpp"
+#include "router/router.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace qulrb;
+
+std::vector<router::BackendView> fleet_views(std::size_t n) {
+  std::vector<router::BackendView> views(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    views[i].queue_depth = (i * 7) % 5;
+    views[i].inflight = (i * 3) % 4;
+    views[i].cache_hit_rate = 0.5;
+  }
+  return views;
+}
+
+// ------------------------------------------------------------ policy pick ---
+
+void BM_PolicyPick(benchmark::State& state, router::PolicyKind kind) {
+  auto policy = router::make_policy(kind);
+  const auto views = fleet_views(8);
+  std::uint64_t topo = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->pick(router::mix64(topo++), views));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_PolicyPick, random, router::PolicyKind::kRandom);
+BENCHMARK_CAPTURE(BM_PolicyPick, round_robin, router::PolicyKind::kRoundRobin);
+BENCHMARK_CAPTURE(BM_PolicyPick, shortest_queue,
+                  router::PolicyKind::kShortestQueue);
+BENCHMARK_CAPTURE(BM_PolicyPick, shortest_queue_stale,
+                  router::PolicyKind::kShortestQueueStale);
+BENCHMARK_CAPTURE(BM_PolicyPick, cache_affinity,
+                  router::PolicyKind::kCacheAffinity);
+
+// -------------------------------------------------------------- hash ring ---
+
+void BM_HashRingRebuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = i;
+  router::HashRing ring(64);
+  for (auto _ : state) {
+    ring.rebuild(members);
+    benchmark::DoNotOptimize(ring.empty());
+  }
+}
+BENCHMARK(BM_HashRingRebuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HashRingOwner(benchmark::State& state) {
+  std::vector<std::size_t> members(16);
+  for (std::size_t i = 0; i < members.size(); ++i) members[i] = i;
+  router::HashRing ring(64);
+  ring.rebuild(members);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.owner(router::mix64(key++)));
+  }
+}
+BENCHMARK(BM_HashRingOwner);
+
+// -------------------------------------------------------------- coalescer ---
+
+// Leader path: open a group, complete it, deliver to the sole waiter. The
+// cost every un-shared request pays for coalescing eligibility.
+void BM_CoalescerJoinComplete(benchmark::State& state) {
+  router::Coalescer coalescer;
+  const std::string key = "canonical-solve-body";
+  std::size_t delivered = 0;
+  for (auto _ : state) {
+    const auto join =
+        coalescer.join(key, 1, [&](const std::string&) { ++delivered; });
+    auto waiters = coalescer.complete(join.group);
+    for (auto& w : waiters) w.deliver(key);
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoalescerJoinComplete);
+
+// Follower path: ride an existing group and detach — the marginal cost of a
+// coalesced duplicate.
+void BM_CoalescerFollowerJoinDetach(benchmark::State& state) {
+  router::Coalescer coalescer;
+  const std::string key = "canonical-solve-body";
+  const auto leader = coalescer.join(key, 1, [](const std::string&) {});
+  std::uint64_t client = 2;
+  for (auto _ : state) {
+    const auto join = coalescer.join(key, client, [](const std::string&) {});
+    benchmark::DoNotOptimize(coalescer.detach(join.group, client));
+    ++client;
+  }
+  coalescer.complete(leader.group);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoalescerFollowerJoinDetach);
+
+// -------------------------------------------------------- response surgery ---
+
+void BM_RewriteResponseId(benchmark::State& state) {
+  const std::string line =
+      R"({"id":184467,"outcome":"ok","feasible":true,"cache_hit":true,)"
+      R"("retargeted":false,"imbalance_before":1.5,"imbalance_after":0.125,)"
+      R"("migrated":6,"queue_ms":0.5,"solve_ms":2.25,"total_ms":2.75})";
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router::rewrite_response_id(line, ++id));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RewriteResponseId);
+
+void BM_ExtractRawField(benchmark::State& state) {
+  const std::string line =
+      R"({"stats":{"submitted":120,"completed":118,"queue_depth":2,)"
+      R"("inflight":1,"cache_hit_rate":0.83,"cache":{"exact_hits":70,)"
+      R"("retarget_hits":28,"misses":20},"solve_ms":{"count":118,)"
+      R"("mean":1.9}}})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router::extract_raw_field(line, "stats"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExtractRawField);
+
+// ---------------------------------------------------------- topology hash ---
+
+void BM_RouterTopologyHash(benchmark::State& state) {
+  service::RebalanceRequest request;
+  request.task_counts.assign(64, 16);
+  request.task_loads.assign(64, 1.0);
+  request.k = 16;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    request.task_counts[seq % 64] = 16 + static_cast<std::int64_t>(seq % 3);
+    benchmark::DoNotOptimize(router::Router::topology_hash(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RouterTopologyHash);
+
+}  // namespace

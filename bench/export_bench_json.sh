@@ -191,9 +191,91 @@ PY
   rm -f "$obs_tmp"
 }
 
+run_router_bench() {
+  router_bin="$build_dir/bench/bench_router_policy"
+  router_out="$repo_root/BENCH_router.json"
+  router_min_time=${QULRB_ROUTER_BENCH_MIN_TIME:-0.2}
+
+  if [ ! -x "$router_bin" ]; then
+    echo "warning: $router_bin not found; skipping BENCH_router.json" >&2
+    return 0
+  fi
+
+  router_tmp=$(mktemp)
+  fleet_tmp=$(mktemp)
+  "$router_bin" \
+    --benchmark_min_time="$router_min_time" \
+    --benchmark_format=json > "$router_tmp"
+
+  # Fleet measurement (real backends + router + loadgen). Skippable for
+  # micro-only refreshes with QULRB_SKIP_FLEET_BENCH=1.
+  if [ "${QULRB_SKIP_FLEET_BENCH:-0}" = "1" ]; then
+    printf '{}\n' > "$fleet_tmp"
+  else
+    python3 "$repo_root/bench/router_fleet_bench.py" "$build_dir" "$fleet_tmp" \
+      "${QULRB_FLEET_REQUESTS:-800}" "${QULRB_FLEET_CONCURRENCY:-8}"
+  fi
+
+  python3 - "$router_tmp" "$fleet_tmp" "$router_out" <<'PY'
+import json
+import sys
+
+current_path, fleet_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+with open(current_path) as f:
+    report = json.load(f)
+with open(fleet_path) as f:
+    fleet = json.load(f)
+
+rows = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    row = {
+        "real_time": b["real_time"],
+        "cpu_time": b["cpu_time"],
+        "time_unit": b.get("time_unit", "ns"),
+    }
+    if "items_per_second" in b:
+        row["items_per_second"] = round(b["items_per_second"], 1)
+    rows[b["name"]] = row
+
+summary = {}
+for name in ("random", "round_robin", "shortest_queue",
+             "shortest_queue_stale", "cache_affinity"):
+    row = rows.get(f"BM_PolicyPick/{name}")
+    if row:
+        summary[f"pick_ns_{name}"] = round(row["real_time"], 1)
+if fleet:
+    summary["fleet"] = fleet
+
+result = {
+    "bench": "bench_router_policy",
+    "note": ("router hot-path micro costs plus fleet-level sharding: "
+             "bounded per-backend caches, 16-topology Zipf universe — "
+             "scale-out grows aggregate cache capacity, cache-affinity "
+             "keeps each shard's working set resident"),
+    "context": report.get("context", {}),
+    "summary": summary,
+    "benchmarks": rows,
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+for key, value in summary.items():
+    if not isinstance(value, dict):
+        print(f"{key}: {value}")
+print(f"wrote {out_path}")
+PY
+  rm -f "$router_tmp" "$fleet_tmp"
+}
+
 if [ ! -x "$service_bin" ]; then
   echo "warning: $service_bin not found; skipping BENCH_service.json" >&2
   run_obs_bench
+  run_router_bench
   exit 0
 fi
 
@@ -269,3 +351,6 @@ PY
 
 # --------------------------------------------------------------- obs bench ---
 run_obs_bench
+
+# ------------------------------------------------------------ router bench ---
+run_router_bench

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Fleet-level router benchmark: real qulrb_serve backends behind a real
+qulrb_router, driven closed-loop by qulrb_loadgen.
+
+Measures the two claims the sharded serving tier makes:
+
+  1. Scale-out beats one backend. Each backend's SessionCache is capacity-
+     bounded (--cache 4 here, 16-topology Zipf universe), so a single
+     backend thrashes: most requests pay the cold model-build path. Four
+     affinity-sharded backends hold the whole working set in aggregate.
+     Reported as throughput_rps_1_backend vs throughput_rps_4_backends.
+  2. Cache-affinity beats random on hit rate. Random routing sprays the
+     same Zipf stream over every shard (each sees all 16 topologies, holds
+     4); consistent-hash affinity partitions the universe so each shard
+     serves only its own keys. Reported as server-side hit rates, summed
+     across the fleet through the router's aggregated stats.
+
+Writes a JSON fragment (summary numbers only) to the output path; the
+export script merges it with the bench_router_policy micro rows into
+BENCH_router.json.
+
+Usage: router_fleet_bench.py <build-dir> <out.json> [requests] [concurrency]
+"""
+
+import json
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+BASE_PORT = 18470
+CACHE_PER_BACKEND = 4
+ZIPF_S = 1.1
+
+
+def connect(port, attempts=100):
+    for _ in range(attempts):
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=10)
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit("could not connect to port %d" % port)
+
+
+def ask(port, line):
+    s = connect(port)
+    try:
+        s.sendall(line.encode())
+        return json.loads(s.makefile("rb").readline())
+    finally:
+        s.close()
+
+
+class Fleet:
+    """N backends behind one router, torn down on exit."""
+
+    def __init__(self, build, backends, policy, seed):
+        serve = build + "/tools/qulrb_serve"
+        router = build + "/tools/qulrb_router"
+        self.front = BASE_PORT
+        self.procs = []
+        ports = [str(BASE_PORT + 1 + i) for i in range(backends)]
+        for port in ports:
+            self.procs.append(
+                subprocess.Popen(
+                    [serve, "--port", port, "--workers", "1",
+                     "--cache", str(CACHE_PER_BACKEND), "--quiet"],
+                    stdout=subprocess.DEVNULL,
+                )
+            )
+        self.procs.append(
+            subprocess.Popen(
+                [router, "--port", str(self.front),
+                 "--backends", ",".join(ports),
+                 "--policy", policy, "--probe-ms", "25",
+                 "--seed", str(seed), "--quiet"]
+            )
+        )
+        deadline = time.time() + 15
+        while time.time() < deadline:
+            try:
+                if ask(self.front, '{"op":"stats"}\n')["stats"]["healthy"] == backends:
+                    return
+            except (OSError, SystemExit):
+                pass
+            time.sleep(0.1)
+        raise SystemExit("fleet never became healthy")
+
+    def stop(self):
+        for p in self.procs:
+            if p.poll() is None:
+                p.send_signal(signal.SIGTERM)
+        for p in self.procs:
+            try:
+                p.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                p.kill()
+
+
+def run_scenario(build, backends, policy, requests, concurrency, label):
+    fleet = Fleet(build, backends, policy, seed=7)
+    try:
+        with tempfile.NamedTemporaryFile(suffix=".json") as out:
+            subprocess.run(
+                [build + "/tools/qulrb_loadgen",
+                 "--connect", str(fleet.front),
+                 "--requests", str(requests),
+                 "--concurrency", str(concurrency),
+                 "--topo-zipf", str(ZIPF_S),
+                 "--seed", "11",
+                 "--label", label,
+                 "--json", out.name],
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+            summary = json.load(open(out.name))
+    finally:
+        fleet.stop()
+    assert summary["outcomes"]["failed"] == 0, summary
+    return summary
+
+
+def main():
+    build, out_path = sys.argv[1], sys.argv[2]
+    requests = int(sys.argv[3]) if len(sys.argv) > 3 else 800
+    concurrency = int(sys.argv[4]) if len(sys.argv) > 4 else 8
+
+    one = run_scenario(build, 1, "cache-affinity", requests, concurrency,
+                       "1-backend")
+    four = run_scenario(build, 4, "cache-affinity", requests, concurrency,
+                        "4-backend-affinity")
+    rand = run_scenario(build, 4, "random", requests, concurrency,
+                        "4-backend-random")
+
+    summary = {
+        "workload": {
+            "requests": requests,
+            "concurrency": concurrency,
+            "topo_zipf": ZIPF_S,
+            "topology_universe": 16,
+            "cache_per_backend": CACHE_PER_BACKEND,
+        },
+        "throughput_rps_1_backend": round(one["throughput_rps"], 1),
+        "throughput_rps_4_backends": round(four["throughput_rps"], 1),
+        "fleet_speedup": round(
+            four["throughput_rps"] / one["throughput_rps"], 3
+        ),
+        "hit_rate_1_backend": round(one["server_cache"]["hit_rate"], 4),
+        "hit_rate_4_random": round(rand["server_cache"]["hit_rate"], 4),
+        "hit_rate_4_cache_affinity": round(
+            four["server_cache"]["hit_rate"], 4
+        ),
+        "latency_p50_ms_4_backends": round(four["latency_ms"]["p50"], 3),
+        "latency_p99_ms_4_backends": round(four["latency_ms"]["p99"], 3),
+    }
+    with open(out_path, "w") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+    for key, value in summary.items():
+        if not isinstance(value, dict):
+            print("%s: %s" % (key, value))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

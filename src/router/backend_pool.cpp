@@ -1,0 +1,365 @@
+#include "router/backend_pool.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace qulrb::router {
+
+std::vector<BackendAddress> parse_backend_list(const std::string& csv) {
+  std::vector<BackendAddress> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = csv.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    BackendAddress addr;
+    const std::size_t colon = item.rfind(':');
+    try {
+      if (colon == std::string::npos) {
+        addr.port = std::stoi(item);
+      } else {
+        addr.host = item.substr(0, colon);
+        addr.port = std::stoi(item.substr(colon + 1));
+      }
+    } catch (const std::exception&) {
+      throw util::InvalidArgument("bad backend '" + item +
+                                  "' (want PORT or HOST:PORT)");
+    }
+    util::require(addr.port > 0 && addr.port < 65536,
+                  "bad backend port in '" + item + "'");
+    out.push_back(std::move(addr));
+  }
+  util::require(!out.empty(), "backend list is empty");
+  return out;
+}
+
+namespace {
+
+/// Write the whole line + newline; retries EINTR, treats a send timeout the
+/// same as a dead peer. Returns false on any unrecoverable failure.
+bool send_all(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE, timeout (EAGAIN with SO_SNDTIMEO), EBADF, ...
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+BackendPool::BackendPool(Params params, obs::MetricsRegistry& registry)
+    : params_(std::move(params)), epoch_(std::chrono::steady_clock::now()) {
+  util::require(!params_.backends.empty(), "BackendPool: no backends");
+  using Labels = obs::MetricsRegistry::Labels;
+  backends_.reserve(params_.backends.size());
+  for (const BackendAddress& addr : params_.backends) {
+    auto b = std::make_unique<Backend>();
+    b->addr = addr;
+    const Labels labels{{"backend", addr.label()}};
+    b->g_healthy = &registry.gauge("qulrb_router_backend_healthy",
+                                   "1 when the backend connection is up",
+                                   labels);
+    b->g_queue_depth =
+        &registry.gauge("qulrb_router_backend_queue_depth",
+                        "Backend-reported queue depth (last probe)", labels);
+    b->g_inflight =
+        &registry.gauge("qulrb_router_backend_inflight",
+                        "Router-side in-flight requests on this backend",
+                        labels);
+    backends_.push_back(std::move(b));
+  }
+}
+
+BackendPool::~BackendPool() { stop(); }
+
+double BackendPool::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void BackendPool::start(LineHandler on_line, DownHandler on_down) {
+  on_line_ = std::move(on_line);
+  on_down_ = std::move(on_down);
+  for (std::size_t b = 0; b < backends_.size(); ++b) connect_backend(b);
+  maintenance_ = std::thread([this] { maintenance_loop(); });
+}
+
+void BackendPool::stop() {
+  if (stopping_.exchange(true)) return;
+  if (maintenance_.joinable()) maintenance_.join();
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    Backend& backend = *backends_[b];
+    const int fd = backend.fd.load(std::memory_order_relaxed);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (backend.reader.joinable()) backend.reader.join();
+    if (fd >= 0) {
+      ::close(fd);
+      backend.fd.store(-1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool BackendPool::connect_backend(std::size_t b) {
+  Backend& backend = *backends_[b];
+  backend.last_attempt = std::chrono::steady_clock::now();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // A backend that stops reading must not wedge the router's client
+  // sessions: bound the send side, and bound recv so the reader thread can
+  // poll the stop flag.
+  struct timeval send_tv;
+  send_tv.tv_sec = static_cast<time_t>(params_.send_timeout_ms / 1000.0);
+  send_tv.tv_usec = static_cast<suseconds_t>(
+      static_cast<long>(params_.send_timeout_ms * 1000.0) % 1000000);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv, sizeof(send_tv));
+  struct timeval recv_tv;
+  recv_tv.tv_sec = 0;
+  recv_tv.tv_usec = 100 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recv_tv, sizeof(recv_tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(backend.addr.port));
+  if (::inet_pton(AF_INET, backend.addr.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  // The previous reader (if any) exited when its connection died; reap it
+  // before handing the slot a new thread.
+  if (backend.reader.joinable()) backend.reader.join();
+  backend.fd.store(fd, std::memory_order_release);
+  backend.healthy.store(true, std::memory_order_release);
+  backend.g_healthy->set(1.0);
+  backend.reader = std::thread([this, b, fd] { reader_loop(b, fd); });
+  probe(b);  // refresh stats immediately so the policies see the new member
+  return true;
+}
+
+void BackendPool::mark_down(std::size_t b) {
+  Backend& backend = *backends_[b];
+  if (!backend.healthy.exchange(false)) return;  // someone else already did
+  backend.g_healthy->set(0.0);
+  const int fd = backend.fd.load(std::memory_order_acquire);
+  // Shut down, do NOT close: concurrent writers may still hold the fd, and a
+  // recycled descriptor number is the worst failure mode a router can have.
+  // The maintenance thread closes it once the reader has exited.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+
+  std::deque<ControlCallback> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(backend.control_mutex);
+    orphaned.swap(backend.control_waiters);
+  }
+  for (const auto& cb : orphaned) {
+    if (cb) cb(nullptr, nullptr);
+  }
+  if (on_down_) on_down_(b);
+}
+
+bool BackendPool::send(std::size_t backend_idx, const std::string& line) {
+  Backend& backend = *backends_[backend_idx];
+  std::lock_guard<std::mutex> lock(backend.write_mutex);
+  if (!backend.healthy.load(std::memory_order_acquire)) return false;
+  const int fd = backend.fd.load(std::memory_order_acquire);
+  if (fd < 0) return false;
+  if (!send_all(fd, line)) {
+    mark_down(backend_idx);
+    return false;
+  }
+  return true;
+}
+
+bool BackendPool::send_control(std::size_t backend_idx, const std::string& line,
+                               ControlCallback callback) {
+  Backend& backend = *backends_[backend_idx];
+  // Register before sending: the response cannot overtake its waiter.
+  {
+    std::lock_guard<std::mutex> lock(backend.control_mutex);
+    backend.control_waiters.push_back(std::move(callback));
+  }
+  if (send(backend_idx, line)) return true;
+  // Nothing will answer; withdraw the waiter (unless mark_down drained it
+  // already, in which case it has been answered with nullptr).
+  std::lock_guard<std::mutex> lock(backend.control_mutex);
+  if (!backend.control_waiters.empty()) backend.control_waiters.pop_back();
+  return false;
+}
+
+void BackendPool::reader_loop(std::size_t b, int fd) {
+  Backend& backend = *backends_[b];
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         backend.healthy.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // backend closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      io::JsonValue doc;
+      try {
+        doc = io::JsonValue::parse(line);
+      } catch (const std::exception&) {
+        continue;  // a torn line means the stream is sick, but keep reading
+      }
+      if (doc.find("stats") != nullptr || doc.find("metrics") != nullptr ||
+          doc.find("traces") != nullptr) {
+        // Control responses come back in send order on this connection.
+        ControlCallback cb;
+        {
+          std::lock_guard<std::mutex> lock(backend.control_mutex);
+          if (!backend.control_waiters.empty()) {
+            cb = std::move(backend.control_waiters.front());
+            backend.control_waiters.pop_front();
+          }
+        }
+        if (cb) cb(&line, &doc);
+      } else if (on_line_) {
+        on_line_(b, line, doc);
+      }
+    }
+    buffer.erase(0, start);
+  }
+  if (!stopping_.load(std::memory_order_relaxed)) mark_down(b);
+}
+
+void BackendPool::probe(std::size_t b) {
+  Backend& backend = *backends_[b];
+  send_control(b, "{\"op\":\"stats\"}", [this, &backend](const std::string*,
+                                                        const io::JsonValue* doc) {
+    if (doc == nullptr) return;
+    const io::JsonValue* stats = doc->find("stats");
+    if (stats == nullptr) return;
+    backend.queue_depth.store(
+        static_cast<std::size_t>(stats->int_or("queue_depth", 0)),
+        std::memory_order_relaxed);
+    backend.cache_hit_rate.store(stats->number_or("cache_hit_rate", 0.0),
+                                 std::memory_order_relaxed);
+    backend.last_probe_ms.store(now_ms(), std::memory_order_relaxed);
+    backend.g_queue_depth->set(
+        static_cast<double>(backend.queue_depth.load(std::memory_order_relaxed)));
+  });
+}
+
+void BackendPool::maintenance_loop() {
+  double last_probe = -1e9;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const double now = now_ms();
+    if (now - last_probe >= params_.probe_interval_ms) {
+      last_probe = now;
+      for (std::size_t b = 0; b < backends_.size(); ++b) {
+        if (backends_[b]->healthy.load(std::memory_order_acquire)) probe(b);
+      }
+    }
+    for (std::size_t b = 0; b < backends_.size(); ++b) {
+      Backend& backend = *backends_[b];
+      if (backend.healthy.load(std::memory_order_acquire)) continue;
+      const auto since = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() -
+                             backend.last_attempt)
+                             .count();
+      if (backend.last_attempt.time_since_epoch().count() != 0 &&
+          since < params_.reconnect_ms) {
+        continue;
+      }
+      // Sole closer: the old reader has exited (or never started); retire
+      // the dead fd before dialing again.
+      const int old_fd = backend.fd.load(std::memory_order_acquire);
+      if (old_fd >= 0) {
+        if (backend.reader.joinable()) backend.reader.join();
+        std::lock_guard<std::mutex> lock(backend.write_mutex);
+        ::close(old_fd);
+        backend.fd.store(-1, std::memory_order_release);
+      }
+      connect_backend(b);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::vector<BackendView> BackendPool::views() const {
+  std::vector<BackendView> out(backends_.size());
+  const double now = now_ms();
+  for (std::size_t b = 0; b < backends_.size(); ++b) {
+    const Backend& backend = *backends_[b];
+    BackendView& v = out[b];
+    v.healthy = backend.healthy.load(std::memory_order_acquire);
+    v.queue_depth = backend.queue_depth.load(std::memory_order_relaxed);
+    v.inflight = backend.inflight.load(std::memory_order_relaxed);
+    v.cache_hit_rate = backend.cache_hit_rate.load(std::memory_order_relaxed);
+    const double probed = backend.last_probe_ms.load(std::memory_order_relaxed);
+    v.stats_age_ms = probed >= 0.0 ? now - probed : -1.0;
+  }
+  return out;
+}
+
+bool BackendPool::healthy(std::size_t backend) const {
+  return backends_[backend]->healthy.load(std::memory_order_acquire);
+}
+
+std::size_t BackendPool::healthy_count() const {
+  std::size_t n = 0;
+  for (const auto& b : backends_) {
+    if (b->healthy.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+void BackendPool::inflight_add(std::size_t backend, std::int64_t delta) {
+  Backend& b = *backends_[backend];
+  b.inflight.fetch_add(static_cast<std::size_t>(delta),
+                       std::memory_order_relaxed);
+  b.g_inflight->set(
+      static_cast<double>(b.inflight.load(std::memory_order_relaxed)));
+}
+
+std::size_t BackendPool::inflight(std::size_t backend) const {
+  return backends_[backend]->inflight.load(std::memory_order_relaxed);
+}
+
+std::uint64_t BackendPool::routed_total(std::size_t backend) const {
+  return backends_[backend]->routed.load(std::memory_order_relaxed);
+}
+
+void BackendPool::note_routed(std::size_t backend) {
+  backends_[backend]->routed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace qulrb::router

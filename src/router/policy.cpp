@@ -1,0 +1,243 @@
+#include "router/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace qulrb::router {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  if (name == "random") return PolicyKind::kRandom;
+  if (name == "round-robin") return PolicyKind::kRoundRobin;
+  if (name == "shortest-queue") return PolicyKind::kShortestQueue;
+  if (name == "shortest-queue-stale") return PolicyKind::kShortestQueueStale;
+  if (name == "cache-affinity") return PolicyKind::kCacheAffinity;
+  throw util::InvalidArgument(
+      "unknown policy '" + name +
+      "' (want random, round-robin, shortest-queue, shortest-queue-stale, "
+      "or cache-affinity)");
+}
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kRoundRobin: return "round-robin";
+    case PolicyKind::kShortestQueue: return "shortest-queue";
+    case PolicyKind::kShortestQueueStale: return "shortest-queue-stale";
+    case PolicyKind::kCacheAffinity: return "cache-affinity";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ hash ring ---
+
+void HashRing::rebuild(const std::vector<std::size_t>& members) {
+  points_.clear();
+  points_.reserve(members.size() * vnodes_);
+  for (const std::size_t backend : members) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      // Point position depends only on (backend index, replica number):
+      // adding or removing a member leaves every other member's points
+      // exactly where they were — that is the whole trick.
+      const std::uint64_t h =
+          mix64(hash_combine(mix64(backend + 1), v + 1));
+      points_.push_back(Point{h, backend});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.backend < b.backend;
+            });
+}
+
+std::size_t HashRing::owner(std::uint64_t key_hash) const {
+  util::require(!points_.empty(), "HashRing: no members");
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->backend;
+}
+
+std::vector<std::size_t> HashRing::owners(std::uint64_t key_hash,
+                                          std::size_t count) const {
+  util::require(!points_.empty(), "HashRing: no members");
+  std::vector<std::size_t> out;
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), key_hash,
+      [](const Point& p, std::uint64_t h) { return p.hash < h; });
+  for (std::size_t walked = 0; walked < points_.size() && out.size() < count;
+       ++walked, ++it) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(out.begin(), out.end(), it->backend) == out.end()) {
+      out.push_back(it->backend);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+class RandomPolicy final : public RoutingPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : state_(seed + 0x2545f4914f6cdd1dULL) {}
+
+  PolicyKind kind() const noexcept override { return PolicyKind::kRandom; }
+
+  std::size_t pick(std::uint64_t,
+                   const std::vector<BackendView>& views) override {
+    std::size_t healthy = 0;
+    for (const BackendView& v : views) healthy += v.healthy ? 1 : 0;
+    if (healthy == 0) return views.size();
+    std::size_t target = mix64(state_++) % healthy;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (views[i].healthy && target-- == 0) return i;
+    }
+    return views.size();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class RoundRobinPolicy final : public RoutingPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kRoundRobin; }
+
+  std::size_t pick(std::uint64_t,
+                   const std::vector<BackendView>& views) override {
+    for (std::size_t tried = 0; tried < views.size(); ++tried) {
+      const std::size_t i = next_++ % views.size();
+      if (views[i].healthy) return i;
+    }
+    return views.size();
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Shared by the fresh and stale shortest-queue variants; they differ only
+/// in whether the router-local in-flight count (always current) joins the
+/// probed depth. The stale variant sees *only* probe data, so everything it
+/// knows is stats_age_ms old — with a large staleness window every arrival
+/// in the window herds onto whichever backend looked shortest at the last
+/// probe, which is exactly the degradation the tests measure.
+std::size_t pick_shortest(const std::vector<BackendView>& views,
+                          bool add_fresh_inflight) {
+  std::size_t best = kNone;
+  std::size_t best_depth = 0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    if (!views[i].healthy) continue;
+    const std::size_t depth =
+        views[i].queue_depth + (add_fresh_inflight ? views[i].inflight : 0);
+    if (best == kNone || depth < best_depth) {
+      best = i;
+      best_depth = depth;
+    }
+  }
+  return best == kNone ? views.size() : best;
+}
+
+class ShortestQueuePolicy final : public RoutingPolicy {
+ public:
+  PolicyKind kind() const noexcept override {
+    return PolicyKind::kShortestQueue;
+  }
+
+  std::size_t pick(std::uint64_t,
+                   const std::vector<BackendView>& views) override {
+    return pick_shortest(views, /*add_fresh_inflight=*/true);
+  }
+};
+
+class ShortestQueueStalePolicy final : public RoutingPolicy {
+ public:
+  PolicyKind kind() const noexcept override {
+    return PolicyKind::kShortestQueueStale;
+  }
+
+  std::size_t pick(std::uint64_t,
+                   const std::vector<BackendView>& views) override {
+    return pick_shortest(views, /*add_fresh_inflight=*/false);
+  }
+};
+
+class CacheAffinityPolicy final : public RoutingPolicy {
+ public:
+  explicit CacheAffinityPolicy(const PolicyConfig& config)
+      : ring_(config.vnodes), load_factor_(config.load_factor) {}
+
+  PolicyKind kind() const noexcept override {
+    return PolicyKind::kCacheAffinity;
+  }
+
+  std::size_t pick(std::uint64_t topo_hash,
+                   const std::vector<BackendView>& views) override {
+    std::vector<std::size_t> members;
+    std::size_t total_inflight = 0;
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (views[i].healthy) {
+        members.push_back(i);
+        total_inflight += views[i].inflight;
+      }
+    }
+    if (members.empty()) return views.size();
+    if (members != members_) {
+      // Membership changed (mark-down or mark-up): rebuild. Points of
+      // surviving members never move, so only the dead backend's keys
+      // relocate.
+      ring_.rebuild(members);
+      members_ = members;
+    }
+    // Bounded load: follow the ring from the key's owner and take the first
+    // backend under the spill threshold; a fleet that is uniformly slammed
+    // falls back to the true owner (affinity beats perfect levelling when
+    // every choice is equally bad).
+    const double avg =
+        static_cast<double>(total_inflight) / static_cast<double>(members.size());
+    const double limit = load_factor_ * (avg + 1.0);
+    const std::vector<std::size_t> order = ring_.owners(topo_hash, members.size());
+    for (const std::size_t backend : order) {
+      if (static_cast<double>(views[backend].inflight) <= limit) return backend;
+    }
+    return order.front();
+  }
+
+ private:
+  HashRing ring_;
+  double load_factor_;
+  std::vector<std::size_t> members_;  ///< healthy set the ring was built for
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> make_policy(PolicyKind kind,
+                                           const PolicyConfig& config) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(config.seed);
+    case PolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kShortestQueue:
+      return std::make_unique<ShortestQueuePolicy>();
+    case PolicyKind::kShortestQueueStale:
+      return std::make_unique<ShortestQueueStalePolicy>();
+    case PolicyKind::kCacheAffinity:
+      return std::make_unique<CacheAffinityPolicy>(config);
+  }
+  throw util::InvalidArgument("make_policy: unknown kind");
+}
+
+}  // namespace qulrb::router

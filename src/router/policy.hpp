@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qulrb::router {
+
+/// What a routing policy sees of one backend when it picks. The router
+/// builds these views from two sources with very different freshness: the
+/// `inflight` count is its own bookkeeping (exact, always current), while
+/// `queue_depth` and `cache_hit_rate` come from the last `{"op":"stats"}`
+/// probe and are `stats_age_ms` old. The stale-information policy is the one
+/// that deliberately keys on the old data — that is the degradation the
+/// ImrulKayes stale-queue model studies.
+struct BackendView {
+  bool healthy = true;
+  std::size_t queue_depth = 0;   ///< backend-reported, from the last probe
+  std::size_t inflight = 0;      ///< router-side outstanding requests (fresh)
+  double cache_hit_rate = 0.0;   ///< backend-reported, from the last probe
+  double stats_age_ms = 0.0;     ///< how old queue_depth / cache_hit_rate are
+};
+
+enum class PolicyKind : std::uint8_t {
+  kRandom,              ///< uniform over healthy backends
+  kRoundRobin,          ///< cycle over healthy backends
+  kShortestQueue,       ///< min (probed queue depth + fresh router inflight)
+  kShortestQueueStale,  ///< min probed queue depth only, snapshots d ms old
+  kCacheAffinity,       ///< consistent hash on topology key, bounded-load spill
+};
+
+/// Parse "--policy" values: random | round-robin | shortest-queue |
+/// shortest-queue-stale | cache-affinity. Throws util::InvalidArgument.
+PolicyKind parse_policy(const std::string& name);
+const char* to_string(PolicyKind kind);
+
+/// Consistent-hash ring over backend indices: each backend owns `vnodes`
+/// points on a 64-bit ring, a key maps to the first point clockwise of its
+/// hash. Membership changes move only the keys whose owning arc changed
+/// (≈ 1/N of the keyspace per added or removed backend), which is what keeps
+/// per-backend SessionCache contents valid across scale-out — the property
+/// the ring tests pin down.
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes = 64) : vnodes_(vnodes) {}
+
+  /// Rebuild the ring for the given member set. `members[i]` is a backend
+  /// index; order does not matter (points depend only on the index value).
+  void rebuild(const std::vector<std::size_t>& members);
+
+  bool empty() const noexcept { return points_.size() == 0; }
+
+  /// Owning backend index for `key_hash`.
+  std::size_t owner(std::uint64_t key_hash) const;
+
+  /// Owner plus up to `count - 1` distinct fallback backends in ring walk
+  /// order — the spill sequence for bounded-load placement.
+  std::vector<std::size_t> owners(std::uint64_t key_hash,
+                                  std::size_t count) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t backend;
+  };
+  std::size_t vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash
+};
+
+/// Stateless 64-bit mix used for ring points and topology keys (splitmix64
+/// finalizer — deterministic across runs and platforms, unlike std::hash).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Combine a hash with the next value (boost-style, on the mixed value).
+inline std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// One backend choice. The policies are pure decision functions over the
+/// view vector — no sockets, no clocks — so the unit tests can replay any
+/// fleet state against them deterministically.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual PolicyKind kind() const noexcept = 0;
+
+  /// Backend index for a request whose topology key hashes to `topo_hash`,
+  /// or `views.size()` when no backend is eligible (all marked down).
+  virtual std::size_t pick(std::uint64_t topo_hash,
+                           const std::vector<BackendView>& views) = 0;
+};
+
+struct PolicyConfig {
+  std::uint64_t seed = 1;       ///< random policy's RNG seed
+  std::size_t vnodes = 64;      ///< cache-affinity ring points per backend
+  /// Bounded-load factor for cache-affinity: spill off the ring owner when
+  /// its in-flight count exceeds load_factor * (avg inflight + 1). Keeps one
+  /// hot topology key from drowning its home backend while every other key
+  /// stays put.
+  double load_factor = 1.25;
+};
+
+std::unique_ptr<RoutingPolicy> make_policy(PolicyKind kind,
+                                           const PolicyConfig& config = {});
+
+}  // namespace qulrb::router

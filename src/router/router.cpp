@@ -1,0 +1,594 @@
+#include "router/router.hpp"
+
+#include <condition_variable>
+#include <limits>
+#include <utility>
+
+namespace qulrb::router {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+std::string cancel_line(std::uint64_t group) {
+  return "{\"op\":\"cancel\",\"id\":" + std::to_string(group) + "}";
+}
+
+}  // namespace
+
+std::string extract_raw_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '{': case '[': ++depth; continue;
+      case '}': case ']': --depth; continue;
+      case '"': break;
+      default: continue;
+    }
+    if (depth != 1 || line.compare(i, needle.size(), needle) != 0) {
+      in_string = true;  // some other key or string value; skip it
+      continue;
+    }
+    const std::size_t start = i + needle.size();
+    if (start >= line.size()) return "";
+    const char v = line[start];
+    if (v == '{' || v == '[') {
+      int d = 0;
+      bool ins = false;
+      bool esc = false;
+      for (std::size_t j = start; j < line.size(); ++j) {
+        const char cc = line[j];
+        if (ins) {
+          if (esc) esc = false;
+          else if (cc == '\\') esc = true;
+          else if (cc == '"') ins = false;
+          continue;
+        }
+        if (cc == '"') { ins = true; continue; }
+        if (cc == '{' || cc == '[') {
+          ++d;
+        } else if (cc == '}' || cc == ']') {
+          if (--d == 0) return line.substr(start, j - start + 1);
+        }
+      }
+      return "";  // unbalanced
+    }
+    if (v == '"') {
+      bool esc = false;
+      for (std::size_t j = start + 1; j < line.size(); ++j) {
+        const char cc = line[j];
+        if (esc) esc = false;
+        else if (cc == '\\') esc = true;
+        else if (cc == '"') return line.substr(start, j - start + 1);
+      }
+      return "";
+    }
+    std::size_t j = start;  // bare scalar: number / true / false / null
+    while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+    return line.substr(start, j - start);
+  }
+  return "";
+}
+
+std::uint64_t Router::topology_hash(const service::RebalanceRequest& request) {
+  std::uint64_t h = mix64(0x71b7u ^ static_cast<std::uint64_t>(request.variant));
+  h = hash_combine(h, static_cast<std::uint64_t>(request.k));
+  h = hash_combine(h, request.build.use_paper_coefficient_set ? 1u : 2u);
+  h = hash_combine(h, request.task_counts.size());
+  for (const std::int64_t c : request.task_counts) {
+    h = hash_combine(h, static_cast<std::uint64_t>(c));
+  }
+  return h;
+}
+
+Router::Router(Params params)
+    : params_(std::move(params)),
+      pool_(params_.pool, registry_),
+      coalescer_(params_.coalesce),
+      policy_(make_policy(params_.policy, params_.policy_config)),
+      epoch_(std::chrono::steady_clock::now()) {
+  using Labels = obs::MetricsRegistry::Labels;
+  const Labels policy_label{{"policy", to_string(params_.policy)}};
+  c_requests_ = &registry_.counter("qulrb_router_requests_total",
+                                   "Client requests admitted", policy_label);
+  c_responses_ = &registry_.counter("qulrb_router_responses_total",
+                                    "Responses delivered to clients");
+  c_errors_ = &registry_.counter("qulrb_router_errors_total",
+                                 "Error responses delivered to clients");
+  c_coalesced_ = &registry_.counter(
+      "qulrb_router_coalesced_total",
+      "Requests that shared an already-in-flight identical solve");
+  c_retries_ = &registry_.counter("qulrb_router_retries_total",
+                                  "Failover resubmits after a backend died");
+  c_no_backend_ = &registry_.counter(
+      "qulrb_router_no_backend_total",
+      "Requests failed because no healthy backend was available");
+  h_request_ms_ = &registry_.histogram(
+      "qulrb_router_request_ms",
+      "Routed request latency, router admission to response fan-out (ms)");
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    c_routed_.push_back(&registry_.counter(
+        "qulrb_router_routed_total", "Requests forwarded to this backend",
+        Labels{{"backend", pool_.address(b).label()}}));
+  }
+}
+
+Router::~Router() { stop(); }
+
+double Router::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Router::start() {
+  pool_.start(
+      [this](std::size_t b, const std::string& line, const io::JsonValue& doc) {
+        on_backend_line(b, line, doc);
+      },
+      [this](std::size_t b) { on_backend_down(b); });
+}
+
+void Router::stop() {
+  if (stopped_.exchange(true)) return;
+  pool_.stop();
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    routes_.clear();
+  }
+  const std::string farewell = service::encode_error("router shutting down", 0);
+  for (Coalescer::Waiter& w : coalescer_.take_all()) {
+    if (w.deliver) w.deliver(farewell);
+  }
+}
+
+std::uint64_t Router::register_session(WriteLine write) {
+  auto session = std::make_shared<Session>();
+  session->write = std::move(write);
+  const std::uint64_t id = next_session_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void Router::unregister_session(std::uint64_t session_id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->write_mutex);
+    session->closed = true;  // late deliveries become no-ops
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending;  // group, token
+  {
+    std::lock_guard<std::mutex> lock(session->pending_mutex);
+    pending.reserve(session->pending.size());
+    for (const auto& [client_id, entry] : session->pending) {
+      pending.push_back(entry);
+    }
+    session->pending.clear();
+  }
+  for (const auto& [group, token] : pending) {
+    const std::size_t left = coalescer_.detach(group, token);
+    if (left != 0) continue;  // others still waiting, or group unknown
+    // Sole waiter gone: free the backend's capacity and drop the route; the
+    // backend's (cancelled) response finds no route and is discarded.
+    std::size_t backend = kNone;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      auto it = routes_.find(group);
+      if (it != routes_.end()) {
+        backend = it->second.backend;
+        routes_.erase(it);
+      }
+    }
+    if (backend != kNone) {
+      pool_.inflight_add(backend, -1);
+      pool_.send(backend, cancel_line(group));
+    }
+  }
+}
+
+std::vector<BackendView> Router::policy_views() {
+  std::vector<BackendView> views = pool_.views();
+  if (params_.policy != PolicyKind::kShortestQueueStale ||
+      params_.stale_ms <= 0.0) {
+    return views;
+  }
+  // Stale-information model: the policy decides on a snapshot up to d ms
+  // old. Health is kept live — staleness degrades placement quality, it must
+  // not resurrect a dead backend.
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  const double now = now_ms();
+  if (snapshot_ms_ < 0.0 || now - snapshot_ms_ >= params_.stale_ms) {
+    snapshot_ = views;
+    snapshot_ms_ = now;
+    return views;
+  }
+  std::vector<BackendView> stale = snapshot_;
+  for (std::size_t i = 0; i < stale.size() && i < views.size(); ++i) {
+    stale[i].healthy = views[i].healthy;
+  }
+  return stale;
+}
+
+bool Router::handle_client_line(std::uint64_t session_id,
+                                const std::string& line) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    auto it = sessions_.find(session_id);
+    if (it != sessions_.end()) session = it->second;
+  }
+  if (!session) return true;
+
+  service::ProtocolRequest parsed;
+  try {
+    parsed = service::parse_request_line(line);
+  } catch (const std::exception& e) {
+    deliver_to(session, service::encode_error(e.what(), 0));
+    return true;
+  }
+  switch (parsed.op) {
+    case service::OpKind::kShutdown:
+      return false;
+    case service::OpKind::kMetrics:
+      deliver_to(session, service::encode_metrics(metrics_text()));
+      return true;
+    case service::OpKind::kStats:
+      handle_stats(session);
+      return true;
+    case service::OpKind::kTrace:
+      handle_trace(session, parsed.trace_count);
+      return true;
+    case service::OpKind::kCancel:
+      handle_cancel(session, parsed.client_id);
+      return true;
+    case service::OpKind::kSolve:
+      handle_solve(session, std::move(parsed));
+      return true;
+  }
+  return true;
+}
+
+void Router::handle_solve(const std::shared_ptr<Session>& session,
+                          service::ProtocolRequest parsed) {
+  const double arrival = now_ms();
+  const std::uint64_t client_id = parsed.client_id;
+  service::RebalanceRequest request = std::move(parsed.request);
+  // Canonicalize: the router owns trace identity; whatever rid the client
+  // set must not leak into the coalesce key or downstream.
+  request.trace_id = 0;
+  request.router_ms = 0.0;
+  const std::string key =
+      service::encode_solve_request(request, 0, parsed.include_plan);
+  const std::uint64_t topo = topology_hash(request);
+  const std::uint64_t token = next_token_.fetch_add(1);
+  c_requests_->inc();
+
+  auto deliver = [this, session, client_id](const std::string& response) {
+    {
+      std::lock_guard<std::mutex> lock(session->pending_mutex);
+      session->pending.erase(client_id);
+    }
+    deliver_to(session, rewrite_response_id(response, client_id));
+  };
+  const Coalescer::Join join = coalescer_.join(key, token, std::move(deliver));
+  {
+    std::lock_guard<std::mutex> lock(session->pending_mutex);
+    session->pending[client_id] = {join.group, token};
+  }
+  if (!join.leader) {
+    c_coalesced_->inc();
+    return;
+  }
+  Route route;
+  route.request = std::move(request);
+  route.request.trace_id = join.group;
+  route.include_plan = parsed.include_plan;
+  route.topo_hash = topo;
+  route.arrival_ms = arrival;
+  forward(join.group, std::move(route));
+}
+
+void Router::forward(std::uint64_t group, Route route) {
+  while (true) {
+    std::size_t pick;
+    {
+      std::lock_guard<std::mutex> lock(policy_mutex_);
+      const std::vector<BackendView> views = policy_views();
+      pick = policy_->pick(route.topo_hash, views);
+      if (pick >= views.size()) {
+        c_no_backend_->inc();
+        fail_group(group, "no healthy backend");
+        return;
+      }
+    }
+    route.backend = pick;
+    route.request.router_ms = now_ms() - route.arrival_ms;
+    const std::string wire =
+        service::encode_solve_request(route.request, group, route.include_plan);
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      routes_[group] = route;
+    }
+    pool_.inflight_add(pick, +1);
+    if (pool_.send(pick, wire)) {
+      pool_.note_routed(pick);
+      c_routed_[pick]->inc();
+      return;
+    }
+    // The send marked the backend down; on_backend_down may have collected
+    // our just-inserted route already (it owns the inflight decrement and
+    // the resubmit in that case). Retry here only if we still own it.
+    bool mine = false;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      auto it = routes_.find(group);
+      if (it != routes_.end() && it->second.backend == pick) {
+        routes_.erase(it);
+        mine = true;
+      }
+    }
+    if (!mine) return;
+    pool_.inflight_add(pick, -1);
+    if (++route.retries > params_.max_retries) {
+      fail_group(group, "backend unavailable after retries");
+      return;
+    }
+    c_retries_->inc();
+  }
+}
+
+void Router::fail_group(std::uint64_t group, const std::string& message) {
+  std::vector<Coalescer::Waiter> waiters = coalescer_.complete(group);
+  if (waiters.empty()) return;
+  const std::string line = service::encode_error(message, group);
+  c_errors_->inc(waiters.size());
+  c_responses_->inc(waiters.size());
+  for (Coalescer::Waiter& w : waiters) {
+    if (w.deliver) w.deliver(line);
+  }
+}
+
+void Router::on_backend_line(std::size_t backend, const std::string& line,
+                             const io::JsonValue& doc) {
+  const std::int64_t id = doc.int_or("id", -1);
+  if (id < 0) return;
+  const std::uint64_t group = static_cast<std::uint64_t>(id);
+  Route route;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    auto it = routes_.find(group);
+    if (it == routes_.end()) return;  // cancelled / already failed over
+    route = std::move(it->second);
+    routes_.erase(it);
+  }
+  pool_.inflight_add(route.backend, -1);
+  h_request_ms_->observe(now_ms() - route.arrival_ms);
+  (void)backend;
+  std::vector<Coalescer::Waiter> waiters = coalescer_.complete(group);
+  c_responses_->inc(waiters.size());
+  if (doc.find("error") != nullptr) c_errors_->inc(waiters.size());
+  for (Coalescer::Waiter& w : waiters) {
+    if (w.deliver) w.deliver(line);
+  }
+}
+
+void Router::on_backend_down(std::size_t backend) {
+  std::vector<std::pair<std::uint64_t, Route>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      if (it->second.backend == backend) {
+        orphans.emplace_back(it->first, std::move(it->second));
+        it = routes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& [group, route] : orphans) {
+    pool_.inflight_add(backend, -1);
+    if (++route.retries > params_.max_retries) {
+      fail_group(group, "backend failed");
+      continue;
+    }
+    c_retries_->inc();
+    forward(group, std::move(route));
+  }
+}
+
+void Router::handle_cancel(const std::shared_ptr<Session>& session,
+                           std::uint64_t client_id) {
+  std::uint64_t group = 0;
+  std::uint64_t token = 0;
+  bool known = false;
+  {
+    std::lock_guard<std::mutex> lock(session->pending_mutex);
+    auto it = session->pending.find(client_id);
+    if (it != session->pending.end()) {
+      group = it->second.first;
+      token = it->second.second;
+      known = true;
+    }
+  }
+  if (!known) {
+    deliver_to(session, service::encode_error("unknown or finished id", client_id));
+    return;
+  }
+  if (coalescer_.waiter_count(group) <= 1) {
+    // Sole waiter: forward the cancel; the backend answers with the
+    // cancelled solve response on the group id, which fans out normally.
+    std::size_t backend = kNone;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      auto it = routes_.find(group);
+      if (it != routes_.end()) backend = it->second.backend;
+    }
+    if (backend == kNone || !pool_.send(backend, cancel_line(group))) {
+      deliver_to(session,
+                 service::encode_error("unknown or finished id", client_id));
+    }
+    return;
+  }
+  // Shared solve: detach just this waiter, the others still want the result.
+  coalescer_.detach(group, token);
+  {
+    std::lock_guard<std::mutex> lock(session->pending_mutex);
+    session->pending.erase(client_id);
+  }
+  deliver_to(session, service::encode_error("cancelled (shared solve continues)",
+                                            client_id));
+}
+
+namespace {
+
+/// Fan a control op to every backend and gather one raw field per backend.
+struct ControlGather {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;
+  std::vector<std::string> raw;  ///< by backend index; empty = no answer
+};
+
+}  // namespace
+
+void Router::handle_stats(const std::shared_ptr<Session>& session) {
+  auto gather = std::make_shared<ControlGather>();
+  gather->raw.resize(pool_.size());
+  gather->outstanding = pool_.size();
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    BackendPool::ControlCallback finish =
+        [gather, b, fired](const std::string* line, const io::JsonValue*) {
+          if (fired->exchange(true)) return;
+          std::lock_guard<std::mutex> lock(gather->mutex);
+          if (line != nullptr) gather->raw[b] = extract_raw_field(*line, "stats");
+          --gather->outstanding;
+          gather->cv.notify_all();
+        };
+    if (!pool_.send_control(b, "{\"op\":\"stats\"}", finish)) {
+      finish(nullptr, nullptr);
+    }
+  }
+  std::vector<std::string> raw;
+  {
+    std::unique_lock<std::mutex> lock(gather->mutex);
+    gather->cv.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(params_.control_timeout_ms),
+        [&] { return gather->outstanding == 0; });
+    raw = gather->raw;
+  }
+
+  const std::vector<BackendView> views = pool_.views();
+  std::size_t healthy = 0;
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;
+  std::uint64_t routed = 0;
+  double hit_sum = 0.0;
+  std::size_t hit_n = 0;
+  for (std::size_t b = 0; b < views.size(); ++b) {
+    if (views[b].healthy) {
+      ++healthy;
+      hit_sum += views[b].cache_hit_rate;
+      ++hit_n;
+    }
+    queue_depth += views[b].queue_depth;
+    inflight += views[b].inflight;
+    routed += pool_.routed_total(b);
+  }
+
+  std::string out = "{\"stats\":{\"role\":\"router\",\"policy\":\"";
+  out += to_string(params_.policy);
+  out += "\",\"backends\":" + std::to_string(pool_.size());
+  out += ",\"healthy\":" + std::to_string(healthy);
+  out += ",\"queue_depth\":" + std::to_string(queue_depth);
+  out += ",\"inflight\":" + std::to_string(inflight);
+  out += ",\"routed_total\":" + std::to_string(routed);
+  out += ",\"cache_hit_rate\":" +
+         std::to_string(hit_n > 0 ? hit_sum / static_cast<double>(hit_n) : 0.0);
+  out += ",\"coalesced_total\":" + std::to_string(coalescer_.coalesced_total());
+  out += ",\"inflight_groups\":" + std::to_string(coalescer_.inflight_groups());
+  out += ",\"backend_stats\":[";
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    if (b > 0) out += ",";
+    out += "{\"backend\":\"" + pool_.address(b).label() + "\"";
+    out += ",\"healthy\":";
+    out += views[b].healthy ? "true" : "false";
+    out += ",\"stats\":";
+    out += raw[b].empty() ? "null" : raw[b];
+    out += "}";
+  }
+  out += "]}}";
+  deliver_to(session, out);
+}
+
+void Router::handle_trace(const std::shared_ptr<Session>& session,
+                          std::size_t n) {
+  auto gather = std::make_shared<ControlGather>();
+  gather->raw.resize(pool_.size());
+  gather->outstanding = pool_.size();
+  const std::string op = "{\"op\":\"trace\",\"n\":" + std::to_string(n) + "}";
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    BackendPool::ControlCallback finish =
+        [gather, b, fired](const std::string* line, const io::JsonValue*) {
+          if (fired->exchange(true)) return;
+          std::lock_guard<std::mutex> lock(gather->mutex);
+          if (line != nullptr) {
+            gather->raw[b] = extract_raw_field(*line, "traces");
+          }
+          --gather->outstanding;
+          gather->cv.notify_all();
+        };
+    if (!pool_.send_control(b, op, finish)) finish(nullptr, nullptr);
+  }
+  std::vector<std::string> raw;
+  {
+    std::unique_lock<std::mutex> lock(gather->mutex);
+    gather->cv.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(params_.control_timeout_ms),
+        [&] { return gather->outstanding == 0; });
+    raw = gather->raw;
+  }
+  // Each element is a "[doc,doc,...]" array; splice the inner lists.
+  std::string joined;
+  for (const std::string& arr : raw) {
+    if (arr.size() < 2) continue;  // absent or "[]"-too-short
+    const std::string inner = arr.substr(1, arr.size() - 2);
+    if (inner.empty()) continue;
+    if (!joined.empty()) joined += ",";
+    joined += inner;
+  }
+  deliver_to(session, "{\"traces\":[" + joined + "]}");
+}
+
+void Router::deliver_to(const std::shared_ptr<Session>& session,
+                        const std::string& line) {
+  std::lock_guard<std::mutex> lock(session->write_mutex);
+  if (!session->closed && session->write) session->write(line);
+}
+
+}  // namespace qulrb::router

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "router/backend_pool.hpp"
+#include "router/coalesce.hpp"
+#include "router/policy.hpp"
+#include "service/protocol.hpp"
+
+namespace qulrb::router {
+
+/// The sharded-serving front door: client sessions speak the same JSON-lines
+/// protocol as qulrb_serve, and the router fans their solves across N
+/// backends through a BackendPool, picking targets with a RoutingPolicy and
+/// sharing identical in-flight solves through the Coalescer.
+///
+/// One routed request keeps one identity end to end: the coalesce group id
+/// is the wire id toward the backend AND the trace id ("rid") the backend
+/// mints its Perfetto document with, so `{"op":"trace"}` through the router
+/// returns documents whose request ids match what the router logged — one
+/// routed request, one correlated trace, including the router-admission span
+/// ("router_ms" forwarded on the wire).
+///
+/// Failover: when a backend goes down, its in-flight solves are re-routed to
+/// the surviving backends (bounded by Params::max_retries per request);
+/// requests that exhaust the fleet are answered with an {"error":...} line.
+class Router {
+ public:
+  struct Params {
+    BackendPool::Params pool;
+    PolicyKind policy = PolicyKind::kShortestQueue;
+    PolicyConfig policy_config;
+    bool coalesce = true;
+    /// Staleness window d for shortest-queue-stale: the policy sees a view
+    /// snapshot refreshed at most every d ms (health stays live — stale
+    /// routing must not resurrect dead backends). 0 = always-fresh snapshot,
+    /// which makes the stale policy behave like shortest-queue minus the
+    /// router-local inflight term.
+    double stale_ms = 0.0;
+    std::size_t max_retries = 2;   ///< failover resubmits per request
+    double control_timeout_ms = 2000.0;  ///< stats/trace aggregation wait
+  };
+
+  /// Writes one response line to a client session. Called from backend
+  /// reader threads and from the session's own thread; the Router serialises
+  /// calls per session.
+  using WriteLine = std::function<void(const std::string&)>;
+
+  explicit Router(Params params);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Connect the pool and start health probing. Call once before any
+  /// client session is served.
+  void start();
+  void stop();
+
+  /// Register a client session; the returned handle scopes every
+  /// handle_client_line/unregister call for that connection.
+  std::uint64_t register_session(WriteLine write);
+
+  /// Session closed: waiters of this session are detached from their groups
+  /// (sole-waiter groups are cancelled on the backend) and late responses
+  /// are dropped instead of written to a dead socket.
+  void unregister_session(std::uint64_t session);
+
+  /// Handle one client request line. Returns false when the client asked
+  /// for shutdown (the caller should stop accepting and exit).
+  bool handle_client_line(std::uint64_t session, const std::string& line);
+
+  obs::MetricsRegistry& registry() noexcept { return registry_; }
+  std::string metrics_text() const { return registry_.to_prometheus(); }
+  const Coalescer& coalescer() const noexcept { return coalescer_; }
+  BackendPool& pool() noexcept { return pool_; }
+
+  /// Topology key of a request — mirrors SessionCache::Key (task_counts,
+  /// variant, k, paper_coefficients), so cache-affinity routing sends every
+  /// request that would share a cached model build to the same backend.
+  static std::uint64_t topology_hash(const service::RebalanceRequest& request);
+
+ private:
+  struct Session {
+    WriteLine write;
+    std::mutex write_mutex;
+    bool closed = false;
+    /// client correlation id -> (group, detach token) for cancel/teardown.
+    std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>>
+        pending;
+    std::mutex pending_mutex;
+  };
+
+  /// One leader-forwarded solve in flight toward a backend.
+  struct Route {
+    service::RebalanceRequest request;  ///< trace_id already = group id
+    bool include_plan = false;
+    std::uint64_t topo_hash = 0;
+    std::size_t backend = 0;
+    double arrival_ms = 0.0;
+    std::size_t retries = 0;
+  };
+
+  double now_ms() const;
+  std::vector<BackendView> policy_views();
+  void handle_solve(const std::shared_ptr<Session>& session,
+                    service::ProtocolRequest parsed);
+  void handle_cancel(const std::shared_ptr<Session>& session,
+                     std::uint64_t client_id);
+  void handle_stats(const std::shared_ptr<Session>& session);
+  void handle_trace(const std::shared_ptr<Session>& session, std::size_t n);
+  /// Forward (or re-forward) a group's request; on exhaustion answers every
+  /// waiter with an error line and drops the route.
+  void forward(std::uint64_t group, Route route);
+  void fail_group(std::uint64_t group, const std::string& message);
+  void on_backend_line(std::size_t backend, const std::string& line,
+                       const io::JsonValue& doc);
+  void on_backend_down(std::size_t backend);
+  void deliver_to(const std::shared_ptr<Session>& session,
+                  const std::string& line);
+
+  Params params_;
+  obs::MetricsRegistry registry_;
+  BackendPool pool_;
+  Coalescer coalescer_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::mutex policy_mutex_;  ///< policies are stateful (rings, RR counters)
+
+  std::mutex routes_mutex_;
+  std::unordered_map<std::uint64_t, Route> routes_;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<std::uint64_t> next_session_{1};
+  std::atomic<std::uint64_t> next_token_{1};
+
+  // Stale-policy view snapshot (see Params::stale_ms).
+  std::mutex snapshot_mutex_;
+  std::vector<BackendView> snapshot_;
+  double snapshot_ms_ = -1.0;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stopped_{false};
+
+  obs::Counter* c_requests_ = nullptr;
+  obs::Counter* c_responses_ = nullptr;
+  obs::Counter* c_errors_ = nullptr;
+  obs::Counter* c_coalesced_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_no_backend_ = nullptr;
+  obs::LogHistogram* h_request_ms_ = nullptr;
+  std::vector<obs::Counter*> c_routed_;  ///< per backend
+};
+
+/// Depth-aware extraction of a top-level field's raw JSON value from a
+/// response line (e.g. the `[...]` after `"traces":` or the `{...}` after
+/// `"stats":`). Empty string when the key is absent. Exposed for tests.
+std::string extract_raw_field(const std::string& line, const std::string& key);
+
+}  // namespace qulrb::router

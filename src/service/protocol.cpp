@@ -84,8 +84,55 @@ ProtocolRequest parse_request_line(const std::string& line) {
   util::require(sim_threads > 0, "'sim_threads' must be positive");
   out.request.sim_comp_threads = static_cast<std::size_t>(sim_threads);
 
+  out.request.trace_id = static_cast<std::uint64_t>(doc.int_or("rid", 0));
+  out.request.router_ms = doc.number_or("router_ms", 0.0);
+
   out.include_plan = doc.bool_or("plan", false);
   return out;
+}
+
+std::string encode_solve_request(const RebalanceRequest& request,
+                                 std::uint64_t client_id, bool include_plan) {
+  static const RebalanceRequest defaults;
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", "solve");
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.key("loads");
+  w.begin_array();
+  for (const double v : request.task_loads) w.value(v);
+  w.end_array();
+  w.key("counts");
+  w.begin_array();
+  for (const std::int64_t v : request.task_counts) w.value(v);
+  w.end_array();
+  w.field("variant",
+          request.variant == lrp::CqmVariant::kReduced ? "qcqm1" : "qcqm2");
+  w.field("k", request.k);
+  if (!request.build.use_paper_coefficient_set) {
+    w.field("paper_coefficients", false);
+  }
+  if (request.priority != 0) w.field("priority", request.priority);
+  if (request.deadline_ms > 0.0) w.field("deadline_ms", request.deadline_ms);
+  w.field("sweeps", request.hybrid.sweeps);
+  w.field("restarts", request.hybrid.num_restarts);
+  w.field("seed", static_cast<std::int64_t>(request.hybrid.seed));
+  if (request.hybrid.time_limit_ms != defaults.hybrid.time_limit_ms) {
+    w.field("time_limit_ms", request.hybrid.time_limit_ms);
+  }
+  if (request.target_r_imb > 0.0) w.field("target_rimb", request.target_r_imb);
+  if (request.simulate) {
+    w.field("simulate", true);
+    w.field("sim_iterations", request.sim_iterations);
+    w.field("sim_threads", request.sim_comp_threads);
+  }
+  if (request.trace_id != 0) {
+    w.field("rid", static_cast<std::int64_t>(request.trace_id));
+  }
+  if (request.router_ms > 0.0) w.field("router_ms", request.router_ms);
+  if (include_plan) w.field("plan", true);
+  w.end_object();
+  return w.str();
 }
 
 std::string encode_response(std::uint64_t client_id,
@@ -162,6 +209,11 @@ std::string encode_stats(const ServiceStats& stats) {
   w.field("budget_expired", stats.budget_expired);
   w.field("pending", stats.pending);
   w.field("running", stats.running);
+  // Router-facing health fields: a front-end probing N backends keys its
+  // shortest-queue decisions on these.
+  w.field("queue_depth", stats.pending);
+  w.field("inflight", stats.running);
+  w.field("cache_hit_rate", stats.cache_hit_rate);
   w.field("queue_depth_hwm", stats.queue_depth_hwm);
   w.field("ewma_solve_ms", stats.ewma_solve_ms);
   w.key("cache");

@@ -15,6 +15,9 @@ namespace qulrb::service {
 ///   {"op":"solve","id":7,"loads":[10,2,2,2],"counts":[8,8,8,8],
 ///    "variant":"qcqm1","k":4,"priority":0,"deadline_ms":50,
 ///    "sweeps":400,"restarts":2,"seed":1,"time_limit_ms":0,"plan":false}
+///     (+ optional "rid": upstream trace id a router forwards so the
+///        backend's trace correlates with the routed request, and
+///        "router_ms": time spent in the router before forwarding)
 ///   {"op":"cancel","id":7}
 ///   {"op":"stats"}
 ///   {"op":"metrics"}
@@ -44,6 +47,17 @@ struct ProtocolRequest {
 /// Parse one request line; throws util::InvalidArgument with a message fit
 /// for an {"error":...} reply on malformed input.
 ProtocolRequest parse_request_line(const std::string& line);
+
+/// Canonical wire form of a solve request (no trailing newline): exactly the
+/// fields parse_request_line understands, defaults omitted, deterministic
+/// field order. Both halves of the sharded tier depend on this canonicality:
+/// qulrb_loadgen emits requests through it, and qulrb_router re-encodes
+/// parsed requests so that two byte-identical canonical bodies (id/rid
+/// stripped) are the same solve — the coalescer's equality check is a string
+/// compare, not a field-by-field diff. Round-trips through
+/// parse_request_line for every wire-representable field.
+std::string encode_solve_request(const RebalanceRequest& request,
+                                 std::uint64_t client_id, bool include_plan);
 
 /// One response line (no trailing newline).
 std::string encode_response(std::uint64_t client_id,

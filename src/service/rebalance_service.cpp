@@ -91,6 +91,7 @@ RebalanceService::~RebalanceService() {
     for (auto& [key, item] : pending_) orphaned.push_back(std::move(item));
     pending_.clear();
     pending_index_.clear();
+    queue_depth_relaxed_.store(0, std::memory_order_relaxed);
     // Trip running solves so shutdown is prompt; they answer kCancelled with
     // their incumbent through the normal finish path.
     for (auto& [id, token] : running_) token.cancel();
@@ -152,10 +153,21 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
         // Epoch = admission, so the trace's t=0 is when the request entered
         // the service and the queue wait is visible as a span from 0. The
         // context carries the request id into every layer the solve touches.
-        item.trace =
-            obs::TraceContext::mint(id, "req-" + std::to_string(id));
+        // A router-forwarded request supplies its own id ("rid"), so the
+        // exported document correlates with the router's books rather than
+        // this backend's local sequence.
+        const std::uint64_t rid =
+            item.request.trace_id != 0 ? item.request.trace_id : id;
+        item.trace = obs::TraceContext::mint(rid, "req-" + std::to_string(rid));
         item.trace.recorder()->annotate(
             "priority", std::to_string(item.request.priority));
+        if (item.request.router_ms > 0.0) {
+          // The routed hop happened before this recorder's epoch; render it
+          // as a span at t=0 so the document still reads router -> queue ->
+          // solve left to right.
+          item.trace.recorder()->span("router-admission", "router", 0, 0.0,
+                                      item.request.router_ms * 1000.0);
+        }
       }
       const PendingKey key{item.request.priority,
                            deadline_ms > 0.0
@@ -165,6 +177,7 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
       pending_index_.emplace(id, key);
       pending_.emplace(key, std::move(item));
       admitted = true;
+      queue_depth_relaxed_.store(pending_.size(), std::memory_order_relaxed);
       const auto depth = static_cast<double>(pending_.size());
       h_.queue_depth->set(depth);
       h_.queue_depth_hwm->update_max(depth);
@@ -200,10 +213,12 @@ bool RebalanceService::cancel(std::uint64_t id) {
       item = std::move(it->second);
       pending_.erase(it);
       pending_index_.erase(idx);
+      queue_depth_relaxed_.store(pending_.size(), std::memory_order_relaxed);
       h_.queue_depth->set(static_cast<double>(pending_.size()));
       // Count as running until finish() has delivered the callback, so
       // drain() cannot return under it.
       running_.emplace(item.id, item.token);
+      running_relaxed_.store(running_.size(), std::memory_order_relaxed);
       was_pending = true;
     } else {
       auto run = running_.find(id);
@@ -234,6 +249,8 @@ void RebalanceService::run_one() {
     pending_.erase(it);
     pending_index_.erase(item.id);
     running_.emplace(item.id, item.token);
+    queue_depth_relaxed_.store(pending_.size(), std::memory_order_relaxed);
+    running_relaxed_.store(running_.size(), std::memory_order_relaxed);
     h_.queue_depth->set(static_cast<double>(pending_.size()));
     h_.running->set(static_cast<double>(running_.size()));
   }
@@ -436,6 +453,7 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     running_.erase(item.id);
+    running_relaxed_.store(running_.size(), std::memory_order_relaxed);
     h_.running->set(static_cast<double>(running_.size()));
     idle_cv_.notify_all();
   }
@@ -453,6 +471,8 @@ std::size_t RebalanceService::shed_pending() {
     }
     pending_.clear();
     pending_index_.clear();
+    queue_depth_relaxed_.store(0, std::memory_order_relaxed);
+    running_relaxed_.store(running_.size(), std::memory_order_relaxed);
     h_.queue_depth->set(0.0);
     h_.running->set(static_cast<double>(running_.size()));
   }
@@ -496,6 +516,12 @@ ServiceStats RebalanceService::stats() const {
   snapshot.queue_depth_hwm =
       static_cast<std::size_t>(h_.queue_depth_hwm->value());
   snapshot.cache = cache_.stats();
+  const std::uint64_t hits =
+      snapshot.cache.exact_hits + snapshot.cache.retarget_hits;
+  const std::uint64_t lookups = hits + snapshot.cache.misses;
+  snapshot.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                  : 0.0;
   return snapshot;
 }
 

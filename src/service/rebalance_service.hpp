@@ -84,6 +84,8 @@ struct ServiceStats {
   std::uint64_t budget_expired = 0;   ///< solves truncated by their budget
 
   SessionCache::Stats cache;
+  /// (exact + retarget hits) / lookups, 0 when no lookup happened yet.
+  double cache_hit_rate = 0.0;
 
   util::RunningStats queue_ms;
   util::RunningStats solve_ms;
@@ -141,6 +143,18 @@ class RebalanceService {
   std::size_t shed_pending();
 
   ServiceStats stats() const;
+
+  /// Queue depth / in-flight solves right now, from relaxed atomics — no
+  /// lock, no histogram copies. This is the health-probe path: a router
+  /// polling N backends every few milliseconds must not contend with the
+  /// request path the way the full stats() snapshot does.
+  std::size_t queue_depth() const noexcept {
+    return queue_depth_relaxed_.load(std::memory_order_relaxed);
+  }
+  std::size_t inflight() const noexcept {
+    return running_relaxed_.load(std::memory_order_relaxed);
+  }
+
   const ServiceParams& params() const noexcept { return params_; }
 
   /// The registry every component of this service reports into (solver,
@@ -223,6 +237,10 @@ class RebalanceService {
   std::unordered_map<std::uint64_t, util::CancelToken> running_;
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
+  /// Mirrors of pending_.size() / running_.size(), maintained under mutex_
+  /// but readable without it (queue_depth() / inflight()).
+  std::atomic<std::size_t> queue_depth_relaxed_{0};
+  std::atomic<std::size_t> running_relaxed_{0};
 
   // Telemetry (guarded by mutex_). The event counters live in registry_
   // (h_.*); this holds only the moment statistics, histograms, and EWMA that

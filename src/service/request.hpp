@@ -48,6 +48,18 @@ struct RebalanceRequest {
   bool simulate = false;
   std::size_t sim_iterations = 10;    ///< BSP outer time steps
   std::size_t sim_comp_threads = 1;   ///< task-executing threads per process
+
+  /// Upstream-assigned trace identity (wire field "rid"). When a front-end
+  /// router fans requests across backends, it mints one globally unique id
+  /// per routed request and forwards it here, so the backend's Perfetto
+  /// document carries the router's request id in its metadata instead of the
+  /// backend-local sequence number — one routed request, one correlated
+  /// trace. 0 = none; the service uses its own id.
+  std::uint64_t trace_id = 0;
+  /// Time the request spent in the upstream router before it was forwarded
+  /// (wire field "router_ms"). Recorded as a "router-admission" span at the
+  /// start of the trace so the routed hop is visible in the same document.
+  double router_ms = 0.0;
 };
 
 enum class RequestOutcome : std::uint8_t {

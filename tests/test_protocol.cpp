@@ -141,5 +141,86 @@ TEST(Protocol, ErrorEncodeParses) {
   EXPECT_EQ(doc.int_or("id", -1), 3);
 }
 
+// ------------------------------------------- router extensions (wire) -----
+
+TEST(Protocol, ParsesRouterTraceFields) {
+  const ProtocolRequest r = parse_request_line(
+      R"({"op":"solve","id":3,"loads":[5,1],"counts":[4,4],"k":2,)"
+      R"("rid":9001,"router_ms":1.5})");
+  EXPECT_EQ(r.request.trace_id, 9001u);
+  EXPECT_DOUBLE_EQ(r.request.router_ms, 1.5);
+}
+
+TEST(Protocol, TraceFieldsDefaultToUnset) {
+  const ProtocolRequest r =
+      parse_request_line(R"({"loads":[3,1],"counts":[4,4]})");
+  EXPECT_EQ(r.request.trace_id, 0u);
+  EXPECT_DOUBLE_EQ(r.request.router_ms, 0.0);
+}
+
+TEST(Protocol, SolveRequestRoundTripsThroughCanonicalEncoder) {
+  const std::string wire =
+      R"({"op":"solve","id":7,"loads":[10,2,2,2],"counts":[8,8,8,8],)"
+      R"("variant":"qcqm2","k":4,"priority":2,"deadline_ms":50,)"
+      R"("sweeps":400,"restarts":2,"seed":9,"time_limit_ms":25,)"
+      R"("target_rimb":1.25,"simulate":true,"sim_iterations":5,)"
+      R"("rid":77,"router_ms":0.25,"plan":true})";
+  const ProtocolRequest first = parse_request_line(wire);
+  const std::string canonical =
+      encode_solve_request(first.request, first.client_id, first.include_plan);
+  const ProtocolRequest second = parse_request_line(canonical);
+
+  EXPECT_EQ(second.client_id, first.client_id);
+  EXPECT_EQ(second.include_plan, first.include_plan);
+  EXPECT_EQ(second.request.task_loads, first.request.task_loads);
+  EXPECT_EQ(second.request.task_counts, first.request.task_counts);
+  EXPECT_EQ(second.request.variant, first.request.variant);
+  EXPECT_EQ(second.request.k, first.request.k);
+  EXPECT_EQ(second.request.priority, first.request.priority);
+  EXPECT_DOUBLE_EQ(second.request.deadline_ms, first.request.deadline_ms);
+  EXPECT_EQ(second.request.hybrid.sweeps, first.request.hybrid.sweeps);
+  EXPECT_EQ(second.request.hybrid.num_restarts,
+            first.request.hybrid.num_restarts);
+  EXPECT_EQ(second.request.hybrid.seed, first.request.hybrid.seed);
+  EXPECT_DOUBLE_EQ(second.request.hybrid.time_limit_ms,
+                   first.request.hybrid.time_limit_ms);
+  EXPECT_DOUBLE_EQ(second.request.target_r_imb, first.request.target_r_imb);
+  EXPECT_EQ(second.request.simulate, first.request.simulate);
+  EXPECT_EQ(second.request.sim_iterations, first.request.sim_iterations);
+  EXPECT_EQ(second.request.trace_id, first.request.trace_id);
+  EXPECT_DOUBLE_EQ(second.request.router_ms, first.request.router_ms);
+
+  // Canonicality: the encoder is a fixed point — re-encoding the re-parsed
+  // request reproduces the same bytes. This is the coalescer's equality.
+  EXPECT_EQ(encode_solve_request(second.request, second.client_id,
+                                 second.include_plan),
+            canonical);
+}
+
+TEST(Protocol, CanonicalEncoderIsInsensitiveToClientFieldOrder) {
+  const ProtocolRequest a = parse_request_line(
+      R"({"op":"solve","id":1,"loads":[5,1],"counts":[4,4],"k":2,"seed":3})");
+  const ProtocolRequest b = parse_request_line(
+      R"({"seed":3,"k":2,"counts":[4,4],"loads":[5,1],"id":2,"op":"solve"})");
+  // Same solve, different client id and key order: canonical bodies with the
+  // id pinned must be byte-identical.
+  EXPECT_EQ(encode_solve_request(a.request, 0, false),
+            encode_solve_request(b.request, 0, false));
+}
+
+TEST(Protocol, StatsExposeHealthProbeFields) {
+  ServiceStats stats;
+  stats.pending = 3;
+  stats.running = 2;
+  stats.cache_hit_rate = 0.75;
+  const JsonValue doc = JsonValue::parse(encode_stats(stats));
+  const JsonValue* inner = doc.find("stats");
+  ASSERT_NE(inner, nullptr);
+  // Top-level (not nested) so a router health probe reads them in one hop.
+  EXPECT_EQ(inner->int_or("queue_depth", -1), 3);
+  EXPECT_EQ(inner->int_or("inflight", -1), 2);
+  EXPECT_DOUBLE_EQ(inner->number_or("cache_hit_rate", -1.0), 0.75);
+}
+
 }  // namespace
 }  // namespace qulrb::service

@@ -3,17 +3,24 @@
 //
 //   qulrb_loadgen [--requests N] [--concurrency C] [--m M] [--n N] [--k K]
 //                 [--variant qcqm1|qcqm2] [--sweeps S] [--restarts R]
-//                 [--deadline-ms X] [--drift] [--seed S]
+//                 [--deadline-ms X] [--drift] [--topo-zipf S] [--seed S]
 //                 [--workers W] [--cache C] [--rate R]
-//                 [--connect PORT] [--json FILE]
+//                 [--connect PORT] [--targets HOST:PORT,...]
+//                 [--label NAME] [--json FILE]
 //
 // Default is closed-loop against an in-process RebalanceService: C client
 // threads each keep exactly one request outstanding. --rate R switches to
 // open-loop (fixed R requests/sec regardless of completions — the honest way
 // to measure queueing behaviour). --connect PORT runs the closed loop over
-// TCP against a running `qulrb_serve --port PORT`, one connection per client
-// thread. --drift varies the load vector per request (exercising the session
-// cache's retarget path instead of exact hits).
+// TCP against a running `qulrb_serve --port PORT` or `qulrb_router`, one
+// connection per client thread; --targets spreads the client threads
+// round-robin over several servers (the "no router" baseline for the sharded
+// tier). --drift varies the load vector per request (exercising the session
+// cache's retarget path instead of exact hits). --topo-zipf S draws each
+// request's topology from a 16-member universe with Zipf(S) popularity —
+// skewed topology traffic is what separates cache-affinity routing from
+// random placement. --label tags the --json summary so per-policy runs can
+// be told apart downstream.
 //
 // Reports throughput and client-observed p50/p95/p99 latency. --json FILE
 // additionally writes a machine-readable summary including the full
@@ -29,6 +36,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,6 +48,8 @@
 #include "io/json.hpp"
 #include "io/json_value.hpp"
 #include "obs/metrics.hpp"
+#include "router/backend_pool.hpp"
+#include "router/policy.hpp"
 #include "service/protocol.hpp"
 #include "service/rebalance_service.hpp"
 #include "util/error.hpp"
@@ -61,14 +71,44 @@ struct LoadgenOptions {
   std::size_t restarts = 1;
   double deadline_ms = 0.0;
   bool drift = false;
+  double topo_zipf = 0.0;  ///< Zipf exponent for topology popularity; 0 = off
   std::uint64_t seed = 1;
   // In-process service shape.
   std::size_t workers = 0;
   std::size_t cache = 16;
   double rate = 0.0;  ///< open-loop requests/sec (in-process only); 0 = closed
-  int connect_port = 0;
+  /// TCP servers; client threads spread round-robin. Empty = in-process.
+  std::vector<router::BackendAddress> targets;
+  std::string label;     ///< tag echoed into the --json summary
   std::string json_out;  ///< machine-readable summary file ("" = none)
 };
+
+/// Topology universe for --topo-zipf: each member gets a distinct task-count
+/// vector (so distinct SessionCache keys) with Zipf(S) popularity.
+constexpr std::size_t kTopoUniverse = 16;
+
+/// Zipf(S)-distributed topology id for request #seq — deterministic in
+/// (seed, seq) so runs are reproducible and every policy sees the same
+/// request stream.
+std::size_t zipf_topology(const LoadgenOptions& options, std::uint64_t seq) {
+  static thread_local std::vector<double> cdf;
+  if (cdf.empty()) {
+    cdf.resize(kTopoUniverse);
+    double total = 0.0;
+    for (std::size_t r = 0; r < kTopoUniverse; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), options.topo_zipf);
+      cdf[r] = total;
+    }
+    for (double& c : cdf) c /= total;
+  }
+  const double u = static_cast<double>(
+                       router::mix64(options.seed * 0x9e37u + seq) >> 11) *
+                   0x1.0p-53;
+  for (std::size_t r = 0; r < kTopoUniverse; ++r) {
+    if (u <= cdf[r]) return r;
+  }
+  return kTopoUniverse - 1;
+}
 
 /// Request #seq of the workload: one hot process, the rest uniform. With
 /// drift the hot slot rotates and its weight wobbles, so consecutive
@@ -78,7 +118,15 @@ service::RebalanceRequest make_request(const LoadgenOptions& options,
   service::RebalanceRequest request;
   request.task_counts.assign(options.m, options.n);
   request.task_loads.assign(options.m, 1.0);
-  const std::size_t hot = options.drift ? seq % options.m : 0;
+  std::size_t hot = options.drift ? seq % options.m : 0;
+  if (options.topo_zipf > 0.0) {
+    // Distinct topology per universe member: bump one slot's task count so
+    // the SessionCache (and cache-affinity routing) key differs per member.
+    const std::size_t topo = zipf_topology(options, seq);
+    request.task_counts[topo % options.m] +=
+        1 + static_cast<std::int64_t>(topo / options.m);
+    hot = (hot + topo) % options.m;
+  }
   const double wobble =
       options.drift ? 0.05 * static_cast<double>(seq % 17) : 0.0;
   request.task_loads[hot] = 8.0 + wobble;
@@ -126,14 +174,46 @@ void report(const Tally& tally, double wall_seconds, const std::string& cache_li
   if (!cache_line.empty()) std::cout << cache_line << "\n";
 }
 
+/// Server-side SessionCache totals pulled after a run — summed across every
+/// target (and, through a router, across its whole backend fleet).
+struct ServerCache {
+  bool present = false;
+  std::int64_t exact = 0;
+  std::int64_t retarget = 0;
+  std::int64_t miss = 0;
+
+  void add(const io::JsonValue& cache) {
+    present = true;
+    exact += cache.int_or("exact_hits", 0);
+    retarget += cache.int_or("retarget_hits", 0);
+    miss += cache.int_or("misses", 0);
+  }
+
+  void add_counts(std::uint64_t e, std::uint64_t r, std::uint64_t m) {
+    present = true;
+    exact += static_cast<std::int64_t>(e);
+    retarget += static_cast<std::int64_t>(r);
+    miss += static_cast<std::int64_t>(m);
+  }
+
+  double hit_rate() const {
+    const std::int64_t total = exact + retarget + miss;
+    return total > 0
+               ? static_cast<double>(exact + retarget) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
 /// Machine-readable run summary: outcomes, exact quantiles from the raw
 /// sample vector, and the full log-bucketed histogram (cumulative `le`
 /// edges, Prometheus-style) so downstream tooling can merge runs.
 void write_json_summary(const std::string& path, const Tally& tally,
-                        double wall_seconds) {
+                        double wall_seconds, const std::string& label,
+                        const ServerCache& cache) {
   std::vector<double> xs = tally.latencies_ms;
   io::JsonWriter w;
   w.begin_object();
+  if (!label.empty()) w.field("label", label);
   w.field("requests", xs.size());
   w.field("wall_seconds", wall_seconds);
   w.field("throughput_rps",
@@ -146,6 +226,15 @@ void write_json_summary(const std::string& path, const Tally& tally,
   w.field("cancelled", tally.cancelled);
   w.field("failed", tally.failed);
   w.end_object();
+  if (cache.present) {
+    w.key("server_cache");
+    w.begin_object();
+    w.field("exact_hits", cache.exact);
+    w.field("retarget_hits", cache.retarget);
+    w.field("misses", cache.miss);
+    w.field("hit_rate", cache.hit_rate());
+    w.end_object();
+  }
   if (!xs.empty()) {
     w.key("latency_ms");
     w.begin_object();
@@ -209,9 +298,13 @@ int run_inproc_closed(const LoadgenOptions& options) {
   }
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_seconds();
-  report(tally, seconds, cache_line_from(svc.stats()));
+  const service::ServiceStats stats = svc.stats();
+  report(tally, seconds, cache_line_from(stats));
   if (!options.json_out.empty()) {
-    write_json_summary(options.json_out, tally, seconds);
+    ServerCache cache;
+    cache.add_counts(stats.cache.exact_hits, stats.cache.retarget_hits,
+                     stats.cache.misses);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache);
   }
   return 0;
 }
@@ -242,52 +335,39 @@ int run_inproc_open(const LoadgenOptions& options) {
   }
   svc.drain();
   const double seconds = wall.elapsed_seconds();
-  report(tally, seconds, cache_line_from(svc.stats()));
+  const service::ServiceStats stats = svc.stats();
+  report(tally, seconds, cache_line_from(stats));
   if (!options.json_out.empty()) {
-    write_json_summary(options.json_out, tally, seconds);
+    ServerCache cache;
+    cache.add_counts(stats.cache.exact_hits, stats.cache.retarget_hits,
+                     stats.cache.misses);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache);
   }
   return 0;
 }
 
-int connect_to(int port) {
+int connect_to(const router::BackendAddress& target) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   util::require(fd >= 0, "loadgen: socket() failed");
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_port = htons(static_cast<std::uint16_t>(target.port));
+  util::require(::inet_pton(AF_INET, target.host.c_str(), &addr.sin_addr) == 1,
+                "loadgen: bad host " + target.host);
   util::require(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
-                "loadgen: connect() failed (is qulrb_serve --port running?)");
+                "loadgen: connect to " + target.label() +
+                    " failed (is the server running?)");
   return fd;
 }
 
-/// Encode request #seq as a protocol line.
+/// Encode request #seq as a protocol line — the canonical encoder the router
+/// coalesces on, so loadgen traffic is coalescible by construction.
 std::string encode_request_line(const LoadgenOptions& options, std::uint64_t seq) {
-  const service::RebalanceRequest request = make_request(options, seq);
-  std::string line = "{\"op\":\"solve\",\"id\":" + std::to_string(seq + 1);
-  line += ",\"loads\":[";
-  for (std::size_t i = 0; i < request.task_loads.size(); ++i) {
-    if (i > 0) line += ",";
-    line += std::to_string(request.task_loads[i]);
-  }
-  line += "],\"counts\":[";
-  for (std::size_t i = 0; i < request.task_counts.size(); ++i) {
-    if (i > 0) line += ",";
-    line += std::to_string(request.task_counts[i]);
-  }
-  line += "],\"variant\":\"";
-  line += request.variant == lrp::CqmVariant::kReduced ? "qcqm1" : "qcqm2";
-  line += "\",\"k\":" + std::to_string(request.k);
-  line += ",\"sweeps\":" + std::to_string(request.hybrid.sweeps);
-  line += ",\"restarts\":" + std::to_string(request.hybrid.num_restarts);
-  line += ",\"seed\":" + std::to_string(request.hybrid.seed);
-  if (request.deadline_ms > 0.0) {
-    line += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
-  }
-  line += "}\n";
-  return line;
+  return service::encode_solve_request(make_request(options, seq), seq + 1,
+                                       /*include_plan=*/false) +
+         "\n";
 }
 
 /// Read one line from fd into `line` using `buffer` as carry-over.
@@ -312,8 +392,8 @@ int run_tcp_closed(const LoadgenOptions& options) {
   util::WallTimer wall;
   std::vector<std::thread> clients;
   for (std::size_t c = 0; c < options.concurrency; ++c) {
-    clients.emplace_back([&] {
-      const int fd = connect_to(options.connect_port);
+    clients.emplace_back([&, c] {
+      const int fd = connect_to(options.targets[c % options.targets.size()]);
       std::string buffer, line;
       while (true) {
         const std::uint64_t seq = next_seq.fetch_add(1);
@@ -338,32 +418,44 @@ int run_tcp_closed(const LoadgenOptions& options) {
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_seconds();
 
-  // One extra connection to pull the server-side cache stats.
-  std::string cache_line;
-  try {
-    const int fd = connect_to(options.connect_port);
-    const std::string stats_req = "{\"op\":\"stats\"}\n";
-    (void)!::send(fd, stats_req.data(), stats_req.size(), MSG_NOSIGNAL);
-    std::string buffer, line;
-    if (read_line(fd, buffer, line)) {
-      const io::JsonValue doc = io::JsonValue::parse(line);
-      if (const io::JsonValue* stats = doc.find("stats")) {
-        if (const io::JsonValue* cache = stats->find("cache")) {
-          cache_line = "cache:       exact " +
-                       std::to_string(cache->int_or("exact_hits", 0)) +
-                       "  retarget " +
-                       std::to_string(cache->int_or("retarget_hits", 0)) +
-                       "  miss " + std::to_string(cache->int_or("misses", 0));
+  // One extra connection per target to pull the server-side cache stats —
+  // handles both shapes: qulrb_serve answers {"stats":{"cache":{...}}},
+  // qulrb_router answers {"stats":{"backend_stats":[{"stats":{...}},...]}}.
+  ServerCache cache;
+  for (const router::BackendAddress& target : options.targets) {
+    try {
+      const int fd = connect_to(target);
+      const std::string stats_req = "{\"op\":\"stats\"}\n";
+      (void)!::send(fd, stats_req.data(), stats_req.size(), MSG_NOSIGNAL);
+      std::string buffer, line;
+      if (read_line(fd, buffer, line)) {
+        const io::JsonValue doc = io::JsonValue::parse(line);
+        if (const io::JsonValue* stats = doc.find("stats")) {
+          if (const io::JsonValue* c = stats->find("cache")) cache.add(*c);
+          if (const io::JsonValue* backends = stats->find("backend_stats")) {
+            for (const io::JsonValue& entry : backends->as_array()) {
+              if (const io::JsonValue* s = entry.find("stats")) {
+                if (const io::JsonValue* c = s->find("cache")) cache.add(*c);
+              }
+            }
+          }
         }
       }
+      ::close(fd);
+    } catch (const std::exception&) {
+      // stats are best-effort
     }
-    ::close(fd);
-  } catch (const std::exception&) {
-    // stats are best-effort
+  }
+  std::string cache_line;
+  if (cache.present) {
+    cache_line = "cache:       exact " + std::to_string(cache.exact) +
+                 "  retarget " + std::to_string(cache.retarget) + "  miss " +
+                 std::to_string(cache.miss) + "  hit_rate " +
+                 std::to_string(cache.hit_rate());
   }
   report(tally, seconds, cache_line);
   if (!options.json_out.empty()) {
-    write_json_summary(options.json_out, tally, seconds);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache);
   }
   return 0;
 }
@@ -373,8 +465,10 @@ int usage() {
       << "usage: qulrb_loadgen [--requests N] [--concurrency C] [--m M] [--n N]\n"
          "                     [--k K] [--variant qcqm1|qcqm2] [--sweeps S]\n"
          "                     [--restarts R] [--deadline-ms X] [--drift]\n"
-         "                     [--seed S] [--workers W] [--cache C] [--rate R]\n"
-         "                     [--connect PORT] [--json FILE]\n";
+         "                     [--topo-zipf S] [--seed S] [--workers W]\n"
+         "                     [--cache C] [--rate R] [--connect PORT]\n"
+         "                     [--targets HOST:PORT,...] [--label NAME]\n"
+         "                     [--json FILE]\n";
   return 2;
 }
 
@@ -403,11 +497,18 @@ int main(int argc, char** argv) {
       else if (arg == "--restarts") options.restarts = std::stoul(next());
       else if (arg == "--deadline-ms") options.deadline_ms = std::stod(next());
       else if (arg == "--drift") options.drift = true;
+      else if (arg == "--topo-zipf") options.topo_zipf = std::stod(next());
       else if (arg == "--seed") options.seed = std::stoull(next());
       else if (arg == "--workers") options.workers = std::stoul(next());
       else if (arg == "--cache") options.cache = std::stoul(next());
       else if (arg == "--rate") options.rate = std::stod(next());
-      else if (arg == "--connect") options.connect_port = std::stoi(next());
+      else if (arg == "--connect") {
+        options.targets.push_back(
+            router::BackendAddress{"127.0.0.1", std::stoi(next())});
+      }
+      else if (arg == "--targets")
+        options.targets = router::parse_backend_list(next());
+      else if (arg == "--label") options.label = next();
       else if (arg == "--json") options.json_out = next();
       else if (arg == "--help") return usage();
       else {
@@ -417,7 +518,7 @@ int main(int argc, char** argv) {
     }
     util::require(options.m >= 1 && options.n >= 1, "loadgen: need m, n >= 1");
 
-    if (options.connect_port > 0) {
+    if (!options.targets.empty()) {
       util::require(options.rate == 0.0,
                     "loadgen: --rate is in-process only (use --concurrency)");
       return run_tcp_closed(options);

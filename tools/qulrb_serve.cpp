@@ -69,6 +69,11 @@ void install_signal_handlers() {
   sa.sa_flags = 0;  // deliberately no SA_RESTART: blocking reads must EINTR
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
+  // A client that closes (or half-closes) its socket while a response is in
+  // flight must surface as EPIPE from send(), not kill the server. send()
+  // also passes MSG_NOSIGNAL, but the signal disposition covers any write
+  // path that doesn't.
+  ::signal(SIGPIPE, SIG_IGN);
 }
 
 bool signalled() { return g_signal != 0; }
@@ -251,7 +256,11 @@ void send_all(int fd, const std::string& line) {
   while (sent < framed.size()) {
     const ssize_t n =
         ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; responses are best-effort
+    if (n < 0) {
+      if (errno == EINTR) continue;  // a signal must not tear a response line
+      return;  // EPIPE / timeout: peer gone or wedged; responses are best-effort
+    }
+    if (n == 0) return;
     sent += static_cast<std::size_t>(n);
   }
 }
@@ -264,6 +273,14 @@ void serve_connection(service::RebalanceService& svc, int fd,
   tv.tv_sec = 0;
   tv.tv_usec = 200 * 1000;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  // Bound sends too: a client that stops draining its socket (or a dying one
+  // whose window never reopens) must not park a worker callback in send()
+  // forever — after the timeout the response is dropped and the worker moves
+  // on to requests whose clients are still alive.
+  struct timeval snd_tv;
+  snd_tv.tv_sec = 2;
+  snd_tv.tv_usec = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &snd_tv, sizeof(snd_tv));
 
   ProtocolSession session(
       svc, [fd](const std::string& line) { send_all(fd, line); }, shutdown);
