@@ -156,16 +156,25 @@ bool BackendPool::connect_backend(std::size_t b) {
   // The previous reader (if any) exited when its connection died; reap it
   // before handing the slot a new thread.
   if (backend.reader.joinable()) backend.reader.join();
+  // Bump the generation before publishing healthy: anyone who observes the
+  // new healthy=true also observes the new generation.
+  const std::uint64_t gen =
+      backend.conn_gen.load(std::memory_order_relaxed) + 1;
+  backend.conn_gen.store(gen, std::memory_order_relaxed);
   backend.fd.store(fd, std::memory_order_release);
   backend.healthy.store(true, std::memory_order_release);
   backend.g_healthy->set(1.0);
-  backend.reader = std::thread([this, b, fd] { reader_loop(b, fd); });
+  backend.reader = std::thread([this, b, fd, gen] { reader_loop(b, fd, gen); });
   probe(b);  // refresh stats immediately so the policies see the new member
   return true;
 }
 
-void BackendPool::mark_down(std::size_t b) {
+void BackendPool::mark_down(std::size_t b, std::uint64_t gen) {
   Backend& backend = *backends_[b];
+  // A failure observer that stalled long enough for the maintenance thread to
+  // reconnect carries a stale generation — it must not tear down the fresh
+  // connection it never talked to.
+  if (backend.conn_gen.load(std::memory_order_relaxed) != gen) return;
   if (!backend.healthy.exchange(false)) return;  // someone else already did
   backend.g_healthy->set(0.0);
   const int fd = backend.fd.load(std::memory_order_acquire);
@@ -174,47 +183,79 @@ void BackendPool::mark_down(std::size_t b) {
   // The maintenance thread closes it once the reader has exited.
   if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 
-  std::deque<ControlCallback> orphaned;
+  std::deque<ControlWaiter> orphaned;
   {
     std::lock_guard<std::mutex> lock(backend.control_mutex);
     orphaned.swap(backend.control_waiters);
   }
-  for (const auto& cb : orphaned) {
-    if (cb) cb(nullptr, nullptr);
+  for (const auto& w : orphaned) {
+    if (w.callback) w.callback(nullptr, nullptr);
   }
   if (on_down_) on_down_(b);
 }
 
 bool BackendPool::send(std::size_t backend_idx, const std::string& line) {
   Backend& backend = *backends_[backend_idx];
-  std::lock_guard<std::mutex> lock(backend.write_mutex);
-  if (!backend.healthy.load(std::memory_order_acquire)) return false;
-  const int fd = backend.fd.load(std::memory_order_acquire);
-  if (fd < 0) return false;
-  if (!send_all(fd, line)) {
-    mark_down(backend_idx);
-    return false;
+  bool sent = false;
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(backend.write_mutex);
+    if (!backend.healthy.load(std::memory_order_acquire)) return false;
+    gen = backend.conn_gen.load(std::memory_order_relaxed);
+    const int fd = backend.fd.load(std::memory_order_acquire);
+    if (fd < 0) return false;
+    sent = send_all(fd, line);
   }
-  return true;
+  // The down-path runs with no write_mutex held: on_down_ re-forwards this
+  // backend's orphaned routes through send() to OTHER backends, so two
+  // backends failing concurrently on different threads would deadlock on
+  // each other's write_mutex if mark_down ran under the lock.
+  if (!sent) mark_down(backend_idx, gen);
+  return sent;
 }
 
 bool BackendPool::send_control(std::size_t backend_idx, const std::string& line,
                                ControlCallback callback) {
   Backend& backend = *backends_[backend_idx];
-  // Register before sending: the response cannot overtake its waiter.
+  bool sent = false;
+  std::uint64_t token = 0;
+  std::uint64_t gen = 0;
   {
-    std::lock_guard<std::mutex> lock(backend.control_mutex);
-    backend.control_waiters.push_back(std::move(callback));
+    std::lock_guard<std::mutex> lock(backend.write_mutex);
+    if (!backend.healthy.load(std::memory_order_acquire)) return false;
+    gen = backend.conn_gen.load(std::memory_order_relaxed);
+    const int fd = backend.fd.load(std::memory_order_acquire);
+    if (fd < 0) return false;
+    // Register and send under one hold of write_mutex: the reader matches
+    // responses to waiters FIFO, so registration order must equal wire
+    // order. As two separate critical sections, concurrent callers could
+    // register in one order and send in the other, cross-wiring responses.
+    {
+      std::lock_guard<std::mutex> control_lock(backend.control_mutex);
+      token = backend.next_control_token++;
+      backend.control_waiters.push_back({token, std::move(callback)});
+    }
+    sent = send_all(fd, line);
   }
-  if (send(backend_idx, line)) return true;
-  // Nothing will answer; withdraw the waiter (unless mark_down drained it
-  // already, in which case it has been answered with nullptr).
-  std::lock_guard<std::mutex> lock(backend.control_mutex);
-  if (!backend.control_waiters.empty()) backend.control_waiters.pop_back();
+  if (sent) return true;
+  // Nothing will answer; withdraw exactly our waiter by token (mark_down may
+  // have drained it already, answering it with nullptr), then take the
+  // down-path outside write_mutex (see send()).
+  {
+    std::lock_guard<std::mutex> control_lock(backend.control_mutex);
+    for (auto it = backend.control_waiters.begin();
+         it != backend.control_waiters.end(); ++it) {
+      if (it->token == token) {
+        backend.control_waiters.erase(it);
+        break;
+      }
+    }
+  }
+  mark_down(backend_idx, gen);
   return false;
 }
 
-void BackendPool::reader_loop(std::size_t b, int fd) {
+void BackendPool::reader_loop(std::size_t b, int fd, std::uint64_t gen) {
   Backend& backend = *backends_[b];
   std::string buffer;
   char chunk[4096];
@@ -246,7 +287,7 @@ void BackendPool::reader_loop(std::size_t b, int fd) {
         {
           std::lock_guard<std::mutex> lock(backend.control_mutex);
           if (!backend.control_waiters.empty()) {
-            cb = std::move(backend.control_waiters.front());
+            cb = std::move(backend.control_waiters.front().callback);
             backend.control_waiters.pop_front();
           }
         }
@@ -257,12 +298,12 @@ void BackendPool::reader_loop(std::size_t b, int fd) {
     }
     buffer.erase(0, start);
   }
-  if (!stopping_.load(std::memory_order_relaxed)) mark_down(b);
+  if (!stopping_.load(std::memory_order_relaxed)) mark_down(b, gen);
 }
 
 void BackendPool::probe(std::size_t b) {
   Backend& backend = *backends_[b];
-  send_control(b, "{\"op\":\"stats\"}", [this, &backend](const std::string*,
+  send_control(b, "{\"op\":\"health\"}", [this, &backend](const std::string*,
                                                         const io::JsonValue* doc) {
     if (doc == nullptr) return;
     const io::JsonValue* stats = doc->find("stats");

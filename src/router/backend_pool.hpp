@@ -29,7 +29,8 @@ std::vector<BackendAddress> parse_backend_list(const std::string& csv);
 
 /// Persistent connections to N qulrb_serve backends: one socket per backend,
 /// a reader thread per live connection, a maintenance thread that probes
-/// health ({"op":"stats"} → queue depth, inflight, cache hit rate) and
+/// health ({"op":"health"} → queue depth, inflight, cache hit rate — the
+/// backend answers it from relaxed atomics, off its request-path lock) and
 /// reconnects marked-down backends.
 ///
 /// Mark-down is immediate on any send/read failure: the socket is shut down
@@ -85,7 +86,12 @@ class BackendPool {
 
   /// Send a control op whose response is answered in order on the backend
   /// connection (the serve session handles control ops inline, so FIFO per
-  /// connection holds). The callback runs on the backend's reader thread.
+  /// connection holds). Registration and send are one atomic step, so waiter
+  /// order always equals wire order even with concurrent callers. The
+  /// callback runs on the backend's reader thread. On a false return the
+  /// callback is NOT retained: either it was never registered (backend
+  /// already down) or it has already been answered with nullptr by the
+  /// mark-down drain.
   bool send_control(std::size_t backend, const std::string& line,
                     ControlCallback callback);
 
@@ -102,10 +108,24 @@ class BackendPool {
   void note_routed(std::size_t backend);
 
  private:
+  /// A registered control-op response slot. The token lets the failing
+  /// sender withdraw exactly its own waiter — popping an end of the deque
+  /// could withdraw a concurrent caller's slot and hang that caller.
+  struct ControlWaiter {
+    std::uint64_t token = 0;
+    ControlCallback callback;
+  };
+
   struct Backend {
     BackendAddress addr;
     std::atomic<int> fd{-1};
     std::atomic<bool> healthy{false};
+    /// Bumped by every successful (re)connect. Failure observers carry the
+    /// generation they were talking to into mark_down, which ignores stale
+    /// generations — a sender that noticed a failure, lost the CPU, and woke
+    /// after the maintenance thread already reconnected must not tear down
+    /// the fresh connection.
+    std::atomic<std::uint64_t> conn_gen{0};
     std::mutex write_mutex;
     std::thread reader;
 
@@ -119,7 +139,8 @@ class BackendPool {
     std::atomic<std::uint64_t> routed{0};
 
     std::mutex control_mutex;
-    std::deque<ControlCallback> control_waiters;
+    std::deque<ControlWaiter> control_waiters;
+    std::uint64_t next_control_token = 1;  ///< guarded by control_mutex
 
     std::chrono::steady_clock::time_point last_attempt{};
 
@@ -130,8 +151,8 @@ class BackendPool {
 
   double now_ms() const;
   bool connect_backend(std::size_t b);
-  void mark_down(std::size_t b);
-  void reader_loop(std::size_t b, int fd);
+  void mark_down(std::size_t b, std::uint64_t gen);
+  void reader_loop(std::size_t b, int fd, std::uint64_t gen);
   void maintenance_loop();
   void probe(std::size_t b);
 

@@ -257,6 +257,9 @@ bool Router::handle_client_line(std::uint64_t session_id,
     case service::OpKind::kStats:
       handle_stats(session);
       return true;
+    case service::OpKind::kHealth:
+      handle_health(session);
+      return true;
     case service::OpKind::kTrace:
       handle_trace(session, parsed.trace_count);
       return true;
@@ -285,17 +288,42 @@ void Router::handle_solve(const std::shared_ptr<Session>& session,
   const std::uint64_t token = next_token_.fetch_add(1);
   c_requests_->inc();
 
-  auto deliver = [this, session, client_id](const std::string& response) {
+  auto deliver = [this, session, client_id, token](const std::string& response) {
     {
       std::lock_guard<std::mutex> lock(session->pending_mutex);
-      session->pending.erase(client_id);
+      auto it = session->pending.find(client_id);
+      // Erase only this solve's own entry (matched by token): by the time a
+      // late line drains, the client may have reused the id for a new solve.
+      if (it != session->pending.end() && it->second.second == token) {
+        session->pending.erase(it);
+      }
     }
     deliver_to(session, rewrite_response_id(response, client_id));
   };
-  const Coalescer::Join join = coalescer_.join(key, token, std::move(deliver));
+  bool duplicate = false;
+  Coalescer::Join join;
   {
+    // Reserve the id and join the group under one pending_mutex hold, so a
+    // response delivered on a backend reader thread cannot erase the entry
+    // between the join and the map insert (which would leave a stale entry
+    // shadowing the id forever).
     std::lock_guard<std::mutex> lock(session->pending_mutex);
-    session->pending[client_id] = {join.group, token};
+    auto [it, inserted] = session->pending.emplace(
+        client_id, std::make_pair(std::uint64_t{0}, token));
+    if (inserted) {
+      join = coalescer_.join(key, token, std::move(deliver));
+      it->second.first = join.group;
+    } else {
+      // Overwriting would orphan the first solve's (group, token): cancel
+      // and session teardown could no longer detach that waiter, leaking it
+      // in the coalescer until its response arrives.
+      duplicate = true;
+    }
+  }
+  if (duplicate) {
+    deliver_to(session,
+               service::encode_error("id already in flight", client_id));
+    return;
   }
   if (!join.leader) {
     c_coalesced_->inc();
@@ -327,11 +355,14 @@ void Router::forward(std::uint64_t group, Route route) {
     route.request.router_ms = now_ms() - route.arrival_ms;
     const std::string wire =
         service::encode_solve_request(route.request, group, route.include_plan);
+    // Inflight goes up before the route is published: once the route is in
+    // routes_, on_backend_down may consume it and decrement, and a decrement
+    // preceding our increment would underflow the count to SIZE_MAX.
+    pool_.inflight_add(pick, +1);
     {
       std::lock_guard<std::mutex> lock(routes_mutex_);
       routes_[group] = route;
     }
-    pool_.inflight_add(pick, +1);
     if (pool_.send(pick, wire)) {
       pool_.note_routed(pick);
       c_routed_[pick]->inc();
@@ -541,6 +572,33 @@ void Router::handle_stats(const std::shared_ptr<Session>& session) {
     out += "}";
   }
   out += "]}}";
+  deliver_to(session, out);
+}
+
+void Router::handle_health(const std::shared_ptr<Session>& session) {
+  const std::vector<BackendView> views = pool_.views();
+  std::size_t healthy = 0;
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;
+  double hit_sum = 0.0;
+  std::size_t hit_n = 0;
+  for (const BackendView& v : views) {
+    if (v.healthy) {
+      ++healthy;
+      hit_sum += v.cache_hit_rate;
+      ++hit_n;
+    }
+    queue_depth += v.queue_depth;
+    inflight += v.inflight;
+  }
+  std::string out = "{\"stats\":{\"role\":\"router\"";
+  out += ",\"backends\":" + std::to_string(views.size());
+  out += ",\"healthy\":" + std::to_string(healthy);
+  out += ",\"queue_depth\":" + std::to_string(queue_depth);
+  out += ",\"inflight\":" + std::to_string(inflight);
+  out += ",\"cache_hit_rate\":" +
+         std::to_string(hit_n > 0 ? hit_sum / static_cast<double>(hit_n) : 0.0);
+  out += "}}";
   deliver_to(session, out);
 }
 

@@ -117,6 +117,9 @@ class Router {
   void handle_cancel(const std::shared_ptr<Session>& session,
                      std::uint64_t client_id);
   void handle_stats(const std::shared_ptr<Session>& session);
+  /// Answered from the pool's probed view alone — no backend round trip, so
+  /// a supervisor can health-check the router itself at probe frequency.
+  void handle_health(const std::shared_ptr<Session>& session);
   void handle_trace(const std::shared_ptr<Session>& session, std::size_t n);
   /// Forward (or re-forward) a group's request; on exhaustion answers every
   /// waiter with an error line and drops the route.

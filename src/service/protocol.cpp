@@ -21,6 +21,8 @@ ProtocolRequest parse_request_line(const std::string& line) {
     out.op = OpKind::kCancel;
   } else if (op == "stats") {
     out.op = OpKind::kStats;
+  } else if (op == "health") {
+    out.op = OpKind::kHealth;
   } else if (op == "metrics") {
     out.op = OpKind::kMetrics;
   } else if (op == "trace") {
@@ -237,6 +239,20 @@ std::string encode_stats(const ServiceStats& stats) {
   w.field("min", stats.total_ms.min());
   w.field("max", stats.total_ms.max());
   w.end_object();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_health(std::size_t queue_depth, std::size_t inflight,
+                          double cache_hit_rate) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("stats");
+  w.begin_object();
+  w.field("queue_depth", queue_depth);
+  w.field("inflight", inflight);
+  w.field("cache_hit_rate", cache_hit_rate);
   w.end_object();
   w.end_object();
   return w.str();

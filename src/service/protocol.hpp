@@ -20,6 +20,7 @@ namespace qulrb::service {
 ///        "router_ms": time spent in the router before forwarding)
 ///   {"op":"cancel","id":7}
 ///   {"op":"stats"}
+///   {"op":"health"}
 ///   {"op":"metrics"}
 ///   {"op":"trace","n":4}
 ///   {"op":"shutdown"}
@@ -32,8 +33,13 @@ namespace qulrb::service {
 ///   {"metrics":"<prometheus text>"}
 ///   {"traces":[{...perfetto doc...},...]}
 ///   {"error":"...","id":7}
+///
+/// `health` is the high-frequency probe variant of `stats`: a three-field
+/// {"stats":{"queue_depth","inflight","cache_hit_rate"}} answered from
+/// relaxed atomics, so a router polling N backends every few milliseconds
+/// never contends with the request-path lock the full stats snapshot takes.
 enum class OpKind : std::uint8_t {
-  kSolve, kCancel, kStats, kMetrics, kTrace, kShutdown
+  kSolve, kCancel, kStats, kHealth, kMetrics, kTrace, kShutdown
 };
 
 struct ProtocolRequest {
@@ -65,6 +71,11 @@ std::string encode_response(std::uint64_t client_id,
                             bool include_plan);
 
 std::string encode_stats(const ServiceStats& stats);
+
+/// The `health` probe response: the shortest-queue routing fields only, in
+/// the same {"stats":{...}} envelope (a prober parses both shapes alike).
+std::string encode_health(std::size_t queue_depth, std::size_t inflight,
+                          double cache_hit_rate);
 
 /// {"metrics":"..."} — the Prometheus exposition text as one JSON string.
 std::string encode_metrics(const std::string& prometheus_text);

@@ -295,6 +295,10 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
     checkout_span.close();
     response.cache_hit = checkout.hit != CacheHit::kMiss;
     response.cache_retargeted = checkout.hit == CacheHit::kRetarget;
+    cache_lookups_relaxed_.fetch_add(1, std::memory_order_relaxed);
+    if (response.cache_hit) {
+      cache_hits_relaxed_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (rec != nullptr) {
       rec->annotate("cache", checkout.hit == CacheHit::kExact ? "exact"
                              : checkout.hit == CacheHit::kRetarget

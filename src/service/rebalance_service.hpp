@@ -144,15 +144,24 @@ class RebalanceService {
 
   ServiceStats stats() const;
 
-  /// Queue depth / in-flight solves right now, from relaxed atomics — no
-  /// lock, no histogram copies. This is the health-probe path: a router
-  /// polling N backends every few milliseconds must not contend with the
-  /// request path the way the full stats() snapshot does.
+  /// Queue depth / in-flight solves / cache hit rate right now, from relaxed
+  /// atomics — no lock, no histogram copies. This is the health-probe path
+  /// (the `{"op":"health"}` protocol op): a router polling N backends every
+  /// few milliseconds must not contend with the request path the way the
+  /// full stats() snapshot does.
   std::size_t queue_depth() const noexcept {
     return queue_depth_relaxed_.load(std::memory_order_relaxed);
   }
   std::size_t inflight() const noexcept {
     return running_relaxed_.load(std::memory_order_relaxed);
+  }
+  double cache_hit_rate() const noexcept {
+    const std::uint64_t lookups =
+        cache_lookups_relaxed_.load(std::memory_order_relaxed);
+    if (lookups == 0) return 0.0;
+    return static_cast<double>(
+               cache_hits_relaxed_.load(std::memory_order_relaxed)) /
+           static_cast<double>(lookups);
   }
 
   const ServiceParams& params() const noexcept { return params_; }
@@ -241,6 +250,10 @@ class RebalanceService {
   /// but readable without it (queue_depth() / inflight()).
   std::atomic<std::size_t> queue_depth_relaxed_{0};
   std::atomic<std::size_t> running_relaxed_{0};
+  /// Relaxed mirror of the session-cache hit counters (cache_hit_rate()) —
+  /// the authoritative counts stay in SessionCache behind its own mutex.
+  std::atomic<std::uint64_t> cache_lookups_relaxed_{0};
+  std::atomic<std::uint64_t> cache_hits_relaxed_{0};
 
   // Telemetry (guarded by mutex_). The event counters live in registry_
   // (h_.*); this holds only the moment statistics, histograms, and EWMA that

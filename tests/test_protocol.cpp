@@ -47,6 +47,7 @@ TEST(Protocol, ParsesControlOps) {
   EXPECT_EQ(parse_request_line(R"({"op":"cancel","id":3})").op, OpKind::kCancel);
   EXPECT_EQ(parse_request_line(R"({"op":"cancel","id":3})").client_id, 3u);
   EXPECT_EQ(parse_request_line(R"({"op":"stats"})").op, OpKind::kStats);
+  EXPECT_EQ(parse_request_line(R"({"op":"health"})").op, OpKind::kHealth);
   EXPECT_EQ(parse_request_line(R"({"op":"shutdown"})").op, OpKind::kShutdown);
 }
 
@@ -206,6 +207,17 @@ TEST(Protocol, CanonicalEncoderIsInsensitiveToClientFieldOrder) {
   // id pinned must be byte-identical.
   EXPECT_EQ(encode_solve_request(a.request, 0, false),
             encode_solve_request(b.request, 0, false));
+}
+
+TEST(Protocol, HealthEncodeUsesTheStatsEnvelope) {
+  // The probe fields ride in the same {"stats":{...}} envelope as the full
+  // snapshot, so a prober parses both response shapes alike.
+  const JsonValue doc = JsonValue::parse(encode_health(4, 2, 0.5));
+  const JsonValue* inner = doc.find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->int_or("queue_depth", -1), 4);
+  EXPECT_EQ(inner->int_or("inflight", -1), 2);
+  EXPECT_DOUBLE_EQ(inner->number_or("cache_hit_rate", -1.0), 0.5);
 }
 
 TEST(Protocol, StatsExposeHealthProbeFields) {

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "io/json_value.hpp"
 #include "router/coalesce.hpp"
 #include "router/policy.hpp"
 #include "router/router.hpp"
@@ -403,6 +410,125 @@ TEST(Router, TopologyHashKeysOnCacheIdentityNotLoads) {
   EXPECT_NE(Router::topology_hash(base), Router::topology_hash(new_counts));
   EXPECT_NE(Router::topology_hash(base), Router::topology_hash(new_k));
   EXPECT_NE(Router::topology_hash(base), Router::topology_hash(new_variant));
+}
+
+// ------------------------------------------------------ routed sessions ----
+
+/// A minimal TCP listener standing in for a backend: accepts connections and
+/// drains whatever arrives without ever answering, so routed solves stay in
+/// flight for as long as a test needs them to.
+class SilentBackend {
+ public:
+  SilentBackend() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(listen_fd_, 8);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accepter_ = std::thread([this] {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        fds_.push_back(fd);
+        readers_.emplace_back([fd] {
+          char buf[4096];
+          while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+          }
+        });
+      }
+    });
+  }
+
+  ~SilentBackend() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accepter_.joinable()) accepter_.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+    for (std::thread& t : readers_) t.join();
+    for (const int fd : fds_) ::close(fd);
+  }
+
+  int port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accepter_;
+  std::mutex mutex_;
+  std::vector<int> fds_;
+  std::vector<std::thread> readers_;
+};
+
+TEST(Router, DuplicateInFlightIdIsRejectedNotOverwritten) {
+  SilentBackend backend;
+  Router::Params params;
+  params.pool.backends = {BackendAddress{"127.0.0.1", backend.port()}};
+  params.policy = PolicyKind::kRoundRobin;
+  Router router(params);
+  router.start();
+
+  std::mutex mutex;
+  std::vector<std::string> lines;
+  const std::uint64_t session =
+      router.register_session([&](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mutex);
+        lines.push_back(line);
+      });
+
+  const std::string solve =
+      R"({"op":"solve","id":1,"loads":[4,1],"counts":[2,2],"k":2})";
+  router.handle_client_line(session, solve);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_TRUE(lines.empty());  // the backend never answers: still in flight
+  }
+
+  // Reusing the correlation id while the first solve is in flight is an
+  // error — silently overwriting the pending entry would orphan the first
+  // solve's coalescer waiter (cancel/teardown could no longer detach it).
+  router.handle_client_line(session, solve);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("error"), std::string::npos);
+    EXPECT_NE(lines[0].find("in flight"), std::string::npos);
+  }
+  // The rejected duplicate never joined the group...
+  EXPECT_EQ(router.coalescer().coalesced_total(), 0u);
+  // ...but the same solve under a fresh id coalesces as usual.
+  router.handle_client_line(
+      session, R"({"op":"solve","id":2,"loads":[4,1],"counts":[2,2],"k":2})");
+  EXPECT_EQ(router.coalescer().coalesced_total(), 1u);
+
+  router.unregister_session(session);
+  router.stop();
+}
+
+TEST(Router, HealthAnswersLocallyFromTheProbedView) {
+  Router::Params params;
+  params.pool.backends = parse_backend_list("1,2");  // nothing listening
+  Router router(params);  // deliberately not start()ed: both backends down
+  std::vector<std::string> lines;
+  const std::uint64_t session = router.register_session(
+      [&](const std::string& line) { lines.push_back(line); });
+  router.handle_client_line(session, R"({"op":"health"})");
+  ASSERT_EQ(lines.size(), 1u);
+  const io::JsonValue doc = io::JsonValue::parse(lines[0]);
+  const io::JsonValue* stats = doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->string_or("role", ""), "router");
+  EXPECT_EQ(stats->int_or("backends", -1), 2);
+  EXPECT_EQ(stats->int_or("healthy", -1), 0);
+  EXPECT_EQ(stats->int_or("queue_depth", -1), 0);
+  EXPECT_EQ(stats->int_or("inflight", -1), 0);
+  router.unregister_session(session);
 }
 
 }  // namespace

@@ -66,6 +66,24 @@ TEST(Service, RepeatRequestsHitTheCache) {
   EXPECT_TRUE(retargeted.feasible);
 }
 
+TEST(Service, LockFreeHealthAccessorsTrackTheService) {
+  RebalanceService svc({.num_workers = 1});
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  EXPECT_EQ(svc.inflight(), 0u);
+  EXPECT_DOUBLE_EQ(svc.cache_hit_rate(), 0.0);
+
+  svc.submit(small_request(1)).get();  // cold: miss
+  svc.submit(small_request(2)).get();  // warm: exact hit
+  // The future resolves inside the finish callback, just before the running
+  // set shrinks — drain() is the barrier after which the mirrors read 0.
+  svc.drain();
+  EXPECT_EQ(svc.queue_depth(), 0u);
+  EXPECT_EQ(svc.inflight(), 0u);
+  EXPECT_DOUBLE_EQ(svc.cache_hit_rate(), 0.5);
+  // The relaxed mirror agrees with the authoritative mutex-taking snapshot.
+  EXPECT_DOUBLE_EQ(svc.stats().cache_hit_rate, svc.cache_hit_rate());
+}
+
 TEST(Service, QueueFullRejectsImmediately) {
   ServiceParams params;
   params.num_workers = 1;

@@ -11,9 +11,10 @@
 // Clients speak the same JSON-lines protocol as qulrb_serve; solves fan out
 // across the backends (picked per --policy), identical concurrent solves
 // coalesce onto one backend solve, and {"op":"stats"} / {"op":"trace"}
-// aggregate the fleet. {"op":"metrics"} answers the router's own
-// qulrb_router_* Prometheus exposition. {"op":"shutdown"} stops the router
-// (the backends keep running — they are managed separately).
+// aggregate the fleet. {"op":"health"} answers from the router's probed
+// view without touching the backends; {"op":"metrics"} answers the router's
+// own qulrb_router_* Prometheus exposition. {"op":"shutdown"} stops the
+// router (the backends keep running — they are managed separately).
 //
 // Each routed request is forwarded with "rid" (the router's request id) and
 // "router_ms" (time spent in the router), so the owning backend's Perfetto

@@ -114,6 +114,12 @@ class ProtocolSession {
       case service::OpKind::kStats:
         write(service::encode_stats(svc_.stats()));
         return true;
+      case service::OpKind::kHealth:
+        // The router's 50ms probe: relaxed-atomic reads only, never the
+        // mutex-taking stats() snapshot.
+        write(service::encode_health(svc_.queue_depth(), svc_.inflight(),
+                                     svc_.cache_hit_rate()));
+        return true;
       case service::OpKind::kMetrics:
         write(service::encode_metrics(svc_.metrics_text()));
         return true;
