@@ -41,6 +41,19 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsHistogramObserve);
 
+void BM_FlightRecord(benchmark::State& state) {
+  // One seqlock ring write: the cost every flight-instrumented call site
+  // pays when the recorder is attached.
+  obs::FlightRecorder flight(4096);
+  const std::uint16_t name = flight.intern("bench");
+  std::uint64_t rid = 0;
+  for (auto _ : state) {
+    flight.record(name, obs::FlightKind::kInstant, 0, ++rid, 1.0, 0.0, 0.0);
+  }
+  benchmark::DoNotOptimize(flight.total_records());
+}
+BENCHMARK(BM_FlightRecord);
+
 void BM_ObsNullSpan(benchmark::State& state) {
   // The disabled path every instrumented call site pays when no recorder is
   // attached: one pointer test, no allocation, no lock.
@@ -101,5 +114,28 @@ void BM_CqmAnnealSweepObsOn(benchmark::State& state) {
       static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
 }
 BENCHMARK(BM_CqmAnnealSweepObsOn)->Arg(8)->Arg(32);
+
+void BM_CqmAnnealSweepFlightOn(benchmark::State& state) {
+  // The always-on serving configuration: no span recorder, but every
+  // anneal_once drops one compact record into the flight ring. The
+  // acceptance bar is <2% over BM_CqmAnnealSweepObsOff at m=32.
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  obs::FlightRecorder flight;
+  anneal::CqmAnnealParams params;
+  params.sweeps = 1;
+  params.flight = &flight;
+  params.flight_name = flight.intern("anneal_once");
+  params.flight_rid = 1;
+  const anneal::CqmAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annealer.anneal_once(fx.cqm.cqm(), fx.penalties,
+                                                  rng, {}, nullptr, &fx.pairs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
+}
+BENCHMARK(BM_CqmAnnealSweepFlightOn)->Arg(8)->Arg(32);
 
 }  // namespace

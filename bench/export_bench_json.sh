@@ -168,13 +168,19 @@ for m in (8, 32):
     if off and on:
         overhead = on["real_time"] / off["real_time"] - 1.0
         summary[f"sweep_overhead_pct_m{m}"] = round(100.0 * overhead, 2)
-for prim in ("BM_ObsCounterInc", "BM_ObsHistogramObserve", "BM_ObsNullSpan"):
+    flight = rows.get(f"BM_CqmAnnealSweepFlightOn/{m}")
+    if off and flight:
+        overhead = flight["real_time"] / off["real_time"] - 1.0
+        summary[f"flight_overhead_pct_m{m}"] = round(100.0 * overhead, 2)
+for prim in ("BM_ObsCounterInc", "BM_ObsHistogramObserve", "BM_ObsNullSpan",
+             "BM_FlightRecord"):
     if prim in rows:
         summary[f"{prim}_ns"] = round(rows[prim]["real_time"], 2)
 
 result = {
     "bench": "bench_obs",
-    "note": "recording-on vs recording-off annealer sweep; overhead bar <2% at m=32",
+    "note": "recording-on and flight-ring-on vs recording-off annealer "
+            "sweep; overhead bar <2% at m=32",
     "context": report.get("context", {}),
     "summary": summary,
     "benchmarks": rows,

@@ -343,6 +343,8 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
   obs::Recorder::Span anneal_span(params_.recorder,
                                   params_.refinement ? "refine" : "anneal",
                                   "sampler", params_.trace_track);
+  const double flight_start_us =
+      params_.flight != nullptr ? params_.flight->now_us() : 0.0;
   const std::size_t sample_every = std::max<std::size_t>(1, params_.sweeps / 64);
   std::size_t sweeps_done = 0;
 
@@ -399,6 +401,13 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
   }
   if (params_.sweep_counter != nullptr && sweeps_done > 0) {
     params_.sweep_counter->inc(sweeps_done);
+  }
+  if (params_.flight != nullptr) {
+    const double end_us = params_.flight->now_us();
+    params_.flight->record(params_.flight_name, obs::FlightKind::kSpan,
+                           params_.trace_track, params_.flight_rid, end_us,
+                           end_us - flight_start_us,
+                           static_cast<double>(sweeps_done));
   }
   return best;
 }

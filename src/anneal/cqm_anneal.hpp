@@ -11,6 +11,7 @@
 #include "anneal/schedule.hpp"
 #include "model/cqm.hpp"
 #include "obs/metrics.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/recorder.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
@@ -196,6 +197,14 @@ struct CqmAnnealParams {
   /// Optional metrics sink: bumped once per anneal_once by the number of
   /// sweeps actually executed.
   obs::Counter* sweep_counter = nullptr;
+  /// Optional always-on flight ring: one compact span per anneal_once
+  /// (carrying the executed sweep count), stamped with `flight_rid` so a
+  /// retroactive dump slices out the triggering request's solver activity.
+  /// Same null-object discipline as `recorder`: one predicted branch when
+  /// off, no RNG, bitwise-identical output either way.
+  obs::FlightRecorder* flight = nullptr;
+  std::uint16_t flight_name = 0;  ///< interned record name (flight->intern)
+  std::uint64_t flight_rid = 0;
 };
 
 /// Per-run diagnostics: convergence trace and move statistics. Opt-in via

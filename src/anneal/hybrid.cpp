@@ -177,6 +177,11 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   obs::Recorder* const rec = params_.recorder != nullptr
                                  ? params_.recorder
                                  : params_.trace.recorder();
+  // Flight-ring name codes, interned once per solve (cold path).
+  const std::uint16_t f_batch =
+      params_.flight != nullptr ? params_.flight->intern("anneal-batch") : 0;
+  const std::uint16_t f_temper =
+      params_.flight != nullptr ? params_.flight->intern("tempering") : 0;
   if (rec != nullptr) {
     rec->annotate("num_variables", std::to_string(cqm.num_variables()));
     rec->annotate("num_constraints", std::to_string(cqm.num_constraints()));
@@ -420,6 +425,9 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     bp.recorder = rec;
     bp.sweep_counter = m_sweeps;
     bp.replica_sweep_counter = m_replica_sweeps;
+    bp.flight = params_.flight;
+    bp.flight_name = f_batch;
+    bp.flight_rid = params_.flight_rid;
     const BatchedCqmAnnealer annealer(bp);
 
     const std::size_t max_rounds =
@@ -495,6 +503,9 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       tp.trace_track = track;
       tp.sweep_counter = m_sweeps;
       tp.replica_sweep_counter = m_replica_sweeps;
+      tp.flight = params_.flight;
+      tp.flight_name = f_temper;
+      tp.flight_rid = params_.flight_rid;
       Sample s = ParallelTempering(tp).run(cqm, penalties, init, &pair_index);
 
       polish(s, penalties, rng, track);

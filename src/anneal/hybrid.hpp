@@ -90,6 +90,12 @@ struct HybridSolverParams {
   /// queue spans and the BSP rank tracks without row collisions. Same
   /// zero-cost-off discipline as `recorder`.
   obs::TraceContext trace;
+  /// Optional always-on flight ring: the portfolio's batched/tempering
+  /// engines each leave one compact span per call, stamped with
+  /// `flight_rid` so an anomaly dump can slice out the triggering request's
+  /// solver activity retroactively. Same null discipline as `recorder`.
+  obs::FlightRecorder* flight = nullptr;
+  std::uint64_t flight_rid = 0;
 };
 
 struct HybridSolveStats {

@@ -603,6 +603,8 @@ std::vector<Sample> BatchedCqmAnnealer::anneal_lanes(
   const std::size_t n = cqm.num_variables();
   const std::size_t L = lanes.size();
   if (L == 0) return {};
+  const double flight_start_us =
+      params_.flight != nullptr ? params_.flight->now_us() : 0.0;
 
   // Per-lane start states, drawn (when absent) from the lane's own stream in
   // the same order the scalar annealer would: lane l's draws are untouched by
@@ -850,6 +852,13 @@ std::vector<Sample> BatchedCqmAnnealer::anneal_lanes(
   }
   if (params_.replica_sweep_counter != nullptr && lane_sweeps > 0) {
     params_.replica_sweep_counter->inc(lane_sweeps);
+  }
+  if (params_.flight != nullptr) {
+    const double end_us = params_.flight->now_us();
+    params_.flight->record(params_.flight_name, obs::FlightKind::kSpan, 0,
+                           params_.flight_rid, end_us,
+                           end_us - flight_start_us,
+                           static_cast<double>(lane_sweeps));
   }
   return best;
 }

@@ -306,6 +306,11 @@ struct BatchedCqmAnnealParams {
   /// Bumped by lane-sweeps executed through the bank (sweeps x lanes); feeds
   /// qulrb_solver_replica_sweeps.
   obs::Counter* replica_sweep_counter = nullptr;
+  /// Optional always-on flight ring: one compact span per anneal_lanes call
+  /// (value = lane-sweeps executed). Same null discipline as `recorder`.
+  obs::FlightRecorder* flight = nullptr;
+  std::uint16_t flight_name = 0;
+  std::uint64_t flight_rid = 0;
 };
 
 /// Lockstep multi-replica twin of CqmAnnealer: R lanes anneal over one

@@ -18,6 +18,8 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
                               const model::State& initial,
                               const PairMoveIndex* prebuilt_pairs) const {
   const std::size_t n = cqm.num_variables();
+  const double flight_start_us =
+      params_.flight != nullptr ? params_.flight->now_us() : 0.0;
   util::require(params_.num_replicas >= 2, "ParallelTempering: need >= 2 replicas");
   util::require(initial.empty() || initial.size() == n,
                 "ParallelTempering: initial state size mismatch");
@@ -146,6 +148,13 @@ Sample ParallelTempering::run(const model::CqmModel& cqm,
   }
   if (params_.replica_sweep_counter != nullptr && sweeps_done > 0) {
     params_.replica_sweep_counter->inc(sweeps_done * params_.num_replicas);
+  }
+  if (params_.flight != nullptr) {
+    const double end_us = params_.flight->now_us();
+    params_.flight->record(params_.flight_name, obs::FlightKind::kSpan,
+                           params_.trace_track, params_.flight_rid, end_us,
+                           end_us - flight_start_us,
+                           static_cast<double>(sweeps_done));
   }
   return best;
 }

@@ -5,6 +5,7 @@
 
 #include "anneal/sampleset.hpp"
 #include "model/cqm.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "util/cancel.hpp"
@@ -34,6 +35,11 @@ struct TemperingParams {
   /// Optional metrics sink: bumped by lane-sweeps executed through the
   /// replica bank (rounds x replicas); feeds qulrb_solver_replica_sweeps.
   obs::Counter* replica_sweep_counter = nullptr;
+  /// Optional always-on flight ring: one compact span per run (value =
+  /// ladder rounds executed). Same null discipline as `recorder`.
+  obs::FlightRecorder* flight = nullptr;
+  std::uint16_t flight_name = 0;
+  std::uint64_t flight_rid = 0;
 };
 
 /// Replica-exchange (parallel tempering) Monte Carlo on a CQM with penalty

@@ -1,6 +1,7 @@
 #include "obs/event_log.hpp"
 
 #include <cmath>
+#include <cstdio>
 
 #include "io/json.hpp"
 #include "util/error.hpp"
@@ -39,22 +40,47 @@ std::string to_json_line(const SolveEvent& event) {
   return w.str();
 }
 
-EventLog::EventLog(const std::string& path, bool append)
-    : out_(path, append ? std::ios::app : std::ios::trunc) {
+EventLog::EventLog(const std::string& path, bool append,
+                   std::uint64_t max_bytes)
+    : path_(path),
+      max_bytes_(max_bytes),
+      out_(path, append ? std::ios::app | std::ios::ate : std::ios::trunc) {
   util::require(out_.good(), "EventLog: cannot open '" + path + "'");
+  const std::streampos pos = out_.tellp();
+  if (pos > 0) bytes_ = static_cast<std::uint64_t>(pos);
 }
 
 void EventLog::log(const SolveEvent& event) {
   const std::string line = to_json_line(event);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (max_bytes_ > 0 && bytes_ > 0 &&
+      bytes_ + line.size() + 1 > max_bytes_) {
+    rotate_locked();
+  }
   out_ << line << '\n';
   out_.flush();
+  bytes_ += line.size() + 1;
   ++lines_;
+}
+
+void EventLog::rotate_locked() {
+  out_.close();
+  // One atomic rename: the previous generation is complete at `path.1` the
+  // instant the live path disappears — no window where half a log exists.
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  out_.open(path_, std::ios::trunc);
+  bytes_ = 0;
+  ++rotations_;
 }
 
 std::uint64_t EventLog::lines_written() const noexcept {
   std::lock_guard<std::mutex> lock(mutex_);
   return lines_;
+}
+
+std::uint64_t EventLog::rotations() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rotations_;
 }
 
 }  // namespace qulrb::obs

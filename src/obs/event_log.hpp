@@ -49,11 +49,20 @@ std::string to_json_line(const SolveEvent& event);
 /// Append-only JSONL sink, safe to share across the service worker pool.
 /// Lines are flushed as they are written so a crashed or signalled process
 /// loses at most the line being formatted.
+///
+/// With `max_bytes` > 0 the sink is size-capped: when the next line would
+/// push the live file past the cap, the file moves aside in one atomic
+/// rename (`path` -> `path.1`, replacing the previous generation) and a
+/// fresh truncated `path` is opened — so the log's total footprint is
+/// bounded by ~2x the cap and a tailing reader always finds complete lines
+/// in both generations.
 class EventLog {
  public:
   /// Opens `path` for appending (truncates when `append` is false). Throws
-  /// util::Error via util::require on open failure.
-  explicit EventLog(const std::string& path, bool append = true);
+  /// util::Error via util::require on open failure. `max_bytes` = 0 leaves
+  /// the log unbounded.
+  explicit EventLog(const std::string& path, bool append = true,
+                    std::uint64_t max_bytes = 0);
 
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
@@ -61,11 +70,19 @@ class EventLog {
   void log(const SolveEvent& event);
 
   std::uint64_t lines_written() const noexcept;
+  /// Rollovers performed so far (0 until the cap is first hit).
+  std::uint64_t rotations() const noexcept;
 
  private:
+  void rotate_locked();
+
   mutable std::mutex mutex_;
+  std::string path_;
+  std::uint64_t max_bytes_ = 0;
   std::ofstream out_;
   std::uint64_t lines_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t rotations_ = 0;
 };
 
 }  // namespace qulrb::obs

@@ -1,0 +1,73 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unordered_map>
+
+#include "io/json.hpp"
+
+namespace qulrb::obs {
+
+std::string flight_to_perfetto_json(const FlightRecorder& recorder,
+                                    double window_s, std::uint64_t trigger_rid,
+                                    const std::string& trigger_kind,
+                                    const std::string& source) {
+  const std::vector<FlightRecord> records =
+      recorder.snapshot(window_s > 0.0 ? window_s * 1e6 : -1.0);
+
+  // Resolve the interned names once; the table is tiny.
+  std::unordered_map<std::uint16_t, std::string> names;
+  for (const FlightRecord& r : records) {
+    if (names.find(r.name) == names.end()) {
+      names.emplace(r.name, recorder.name_of(r.name));
+    }
+  }
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const FlightRecord& r : records) {
+    w.begin_object();
+    const std::string& name = names[r.name];
+    switch (r.kind) {
+      case FlightKind::kSpan:
+        w.field("name", name)
+            .field("ph", "X")
+            .field("ts", r.t_us - r.dur_us)
+            .field("dur", r.dur_us);
+        break;
+      case FlightKind::kInstant:
+        w.field("name", name).field("ph", "i").field("ts", r.t_us);
+        w.field("s", "t");
+        break;
+      case FlightKind::kCounter:
+        w.field("name", name).field("ph", "C").field("ts", r.t_us);
+        break;
+    }
+    w.field("pid", 1).field("tid", static_cast<std::int64_t>(r.track));
+    w.field("cat", "flight");
+    w.key("args").begin_object();
+    w.field("rid", static_cast<std::int64_t>(r.rid));
+    w.field("ticket", static_cast<std::int64_t>(r.ticket));
+    if (r.kind == FlightKind::kCounter) {
+      w.field(name, r.value);
+    } else if (r.value != 0.0) {
+      w.field("value", r.value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metadata").begin_object();
+  w.field("source", source);
+  w.field("trigger_rid", static_cast<std::int64_t>(trigger_rid));
+  w.field("trigger", trigger_kind);
+  w.field("window_s", window_s);
+  w.field("records", records.size());
+  w.field("total_records", static_cast<std::int64_t>(
+                               recorder.total_records()));
+  w.field("capacity", recorder.capacity());
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace qulrb::obs

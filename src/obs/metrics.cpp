@@ -116,4 +116,25 @@ std::string MetricsRegistry::to_prometheus() const {
   return out.str();
 }
 
+void MetricsRegistry::visit(
+    const std::function<void(const std::string& name,
+                             const std::string& labels, const Counter* counter,
+                             const Gauge* gauge,
+                             const LogHistogram* histogram)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        fn(e->name, e->labels, e->counter.get(), nullptr, nullptr);
+        break;
+      case Kind::kGauge:
+        fn(e->name, e->labels, nullptr, e->gauge.get(), nullptr);
+        break;
+      case Kind::kHistogram:
+        fn(e->name, e->labels, nullptr, nullptr, e->histogram.get());
+        break;
+    }
+  }
+}
+
 }  // namespace qulrb::obs

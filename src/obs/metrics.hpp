@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -141,6 +142,36 @@ class LogHistogram {
     double cur = sum.load(std::memory_order_relaxed);
     while (!sum.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
     }
+  }
+
+  /// Add `c` observations directly into bucket `b` (no per-value sum — pair
+  /// with add_sum). This is the deserialization half of the wire codec: a
+  /// histogram that crossed a process boundary arrives as (bucket, count)
+  /// pairs plus a sum, and folding it in must be plain addition exactly like
+  /// merge(). Atomic per bucket, so safe against concurrent observers.
+  void add_bucket(std::size_t b, std::uint64_t c) noexcept {
+    if (b >= layout_.buckets || c == 0) return;
+    counts_[metric_shard() * layout_.buckets + b].fetch_add(
+        c, std::memory_order_relaxed);
+  }
+
+  /// Add `d` to the striped sum (the other half of add_bucket).
+  void add_sum(double d) noexcept {
+    auto& sum = sums_[metric_shard()].v;
+    double cur = sum.load(std::memory_order_relaxed);
+    while (!sum.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Zero every bucket and sum stripe. Owner-synchronized: the caller must
+  /// guarantee no concurrent observe()/merge() (e.g. the SLO engine resets a
+  /// rotated window bucket under its own mutex). Not for registry-registered
+  /// histograms on live scrape paths.
+  void reset() noexcept {
+    for (std::size_t i = 0; i < kMetricShards * layout_.buckets; ++i) {
+      counts_[i].store(0, std::memory_order_relaxed);
+    }
+    for (auto& s : sums_) s.v.store(0.0, std::memory_order_relaxed);
   }
 
   std::size_t num_buckets() const noexcept { return layout_.buckets; }
@@ -302,6 +333,15 @@ class MetricsRegistry {
     return *e.histogram;
   }
 
+  /// Raw-label-body overload (labels already serialized — e.g. replayed
+  /// verbatim from a wire snapshot during federation).
+  LogHistogram& histogram(const std::string& name, const std::string& help,
+                          const std::string& labels,
+                          HistogramLayout layout = HistogramLayout()) {
+    Entry& e = entry_for(Kind::kHistogram, name, help, labels, layout);
+    return *e.histogram;
+  }
+
   /// Prometheus text exposition (format version 0.0.4) of every registered
   /// metric. Families are grouped in first-registration order with `# HELP`
   /// and `# TYPE` emitted exactly once per family (even when registrations
@@ -309,6 +349,16 @@ class MetricsRegistry {
   /// emit cumulative `_bucket{le=...}` lines plus `_sum` and `_count`.
   /// Defined in metrics.cpp (scrape-side only).
   std::string to_prometheus() const;
+
+  /// Visit every entry in registration order. Exactly one of the three
+  /// pointers is non-null per entry. Scrape-side (takes the registration
+  /// mutex); entry addresses are stable, but the visitor must not register
+  /// metrics. Defined in metrics.cpp. Used by the obs wire serializer so a
+  /// whole registry can cross a process boundary for federation.
+  void visit(const std::function<void(
+                 const std::string& name, const std::string& labels,
+                 const Counter* counter, const Gauge* gauge,
+                 const LogHistogram* histogram)>& fn) const;
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

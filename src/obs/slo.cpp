@@ -1,0 +1,282 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace qulrb::obs {
+
+const char* to_string(TriggerKind kind) {
+  switch (kind) {
+    case TriggerKind::kSloBurn: return "slo_burn";
+    case TriggerKind::kDeadlineMissBurst: return "deadline_miss_burst";
+    case TriggerKind::kBackendMarkDown: return "backend_mark_down";
+    case TriggerKind::kQueueDepthHwm: return "queue_depth_hwm";
+  }
+  return "unknown";
+}
+
+std::string to_json(const SloTrigger& trigger) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("kind", to_string(trigger.kind));
+  w.field("priority", trigger.priority);
+  w.field("rid", static_cast<std::int64_t>(trigger.rid));
+  w.field("now_ms", trigger.now_ms);
+  w.field("fast_burn", trigger.fast_burn);
+  w.field("slow_burn", trigger.slow_burn);
+  w.field("detail", trigger.detail);
+  w.end_object();
+  return w.str();
+}
+
+SloEngine::SloEngine(Params params, TriggerHandler handler)
+    : params_(params), handler_(std::move(handler)) {
+  util::require(params_.num_classes >= 1 && params_.fast_window_s > 0.0 &&
+                    params_.slow_window_s >= params_.fast_window_s &&
+                    params_.target > 0.0 && params_.target < 1.0,
+                "SloEngine: need >=1 class, fast <= slow windows, "
+                "target in (0,1)");
+  // The ring covers the slow window at fast-window/4 granularity (at least
+  // 1 s per bucket), so the fast window always spans >= 4 live buckets and
+  // rotating one bucket forgets at most a quarter of the fast window.
+  bucket_ms_ = std::max(params_.fast_window_s / 4.0, 1.0) * 1000.0;
+  const auto ring_len = static_cast<std::size_t>(
+      std::ceil(params_.slow_window_s * 1000.0 / bucket_ms_)) + 1;
+  classes_.resize(params_.num_classes);
+  for (ClassState& cls : classes_) {
+    cls.ring.reserve(ring_len);
+    for (std::size_t i = 0; i < ring_len; ++i) {
+      cls.ring.push_back(std::make_unique<Bucket>(params_.layout));
+    }
+  }
+  last_trigger_ms_.assign(4 * (params_.num_classes + 1),
+                          -std::numeric_limits<double>::infinity());
+}
+
+std::size_t SloEngine::clamp_class(int priority) const noexcept {
+  if (priority < 0) return 0;
+  const auto p = static_cast<std::size_t>(priority);
+  return p < params_.num_classes ? p : params_.num_classes - 1;
+}
+
+SloEngine::Bucket& SloEngine::bucket_for(ClassState& cls, double now_ms) {
+  const auto index = static_cast<std::int64_t>(std::floor(now_ms / bucket_ms_));
+  const std::size_t slot = static_cast<std::size_t>(
+      index % static_cast<std::int64_t>(cls.ring.size()));
+  Bucket& b = *cls.ring[slot];
+  if (b.index != index) {  // lazily rotate: reclaim the expired slot
+    b.index = index;
+    b.total = 0;
+    b.good = 0;
+    b.deadline_missed = 0;
+    b.hist.reset();  // owner-synchronized: engine mutex is held
+  }
+  return b;
+}
+
+void SloEngine::window_totals(const ClassState& cls, double window_s,
+                              double now_ms, std::uint64_t& total,
+                              std::uint64_t& good,
+                              std::uint64_t& missed) const {
+  total = good = missed = 0;
+  const double cutoff_ms = now_ms - window_s * 1000.0;
+  for (const auto& b : cls.ring) {
+    if (b->index < 0) continue;
+    // A bucket is in the window when any part of it overlaps (cutoff, now].
+    const double b_end = static_cast<double>(b->index + 1) * bucket_ms_;
+    const double b_start = static_cast<double>(b->index) * bucket_ms_;
+    if (b_end <= cutoff_ms || b_start > now_ms) continue;
+    total += b->total;
+    good += b->good;
+    missed += b->deadline_missed;
+  }
+}
+
+double SloEngine::burn_locked(const ClassState& cls, double window_s,
+                              double now_ms) const {
+  std::uint64_t total = 0, good = 0, missed = 0;
+  window_totals(cls, window_s, now_ms, total, good, missed);
+  if (total == 0) return 0.0;
+  const double bad_fraction =
+      1.0 - static_cast<double>(good) / static_cast<double>(total);
+  return bad_fraction / (1.0 - params_.target);
+}
+
+void SloEngine::arm_trigger(std::vector<SloTrigger>& pending,
+                            SloTrigger trigger) {
+  const std::size_t cls_col =
+      trigger.priority < 0 ? params_.num_classes : clamp_class(trigger.priority);
+  const std::size_t row = static_cast<std::size_t>(trigger.kind);
+  double& last = last_trigger_ms_[row * (params_.num_classes + 1) + cls_col];
+  if (trigger.now_ms - last < params_.cooldown_s * 1000.0) return;
+  last = trigger.now_ms;
+  pending.push_back(std::move(trigger));
+}
+
+void SloEngine::record(int priority, double latency_ms, bool ok,
+                       bool deadline_missed, std::uint64_t rid,
+                       double now_ms) {
+  std::vector<SloTrigger> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t c = clamp_class(priority);
+    ClassState& cls = classes_[c];
+    Bucket& b = bucket_for(cls, now_ms);
+    b.total += 1;
+    if (ok && latency_ms <= params_.latency_slo_ms) b.good += 1;
+    if (deadline_missed) b.deadline_missed += 1;
+    b.hist.observe(latency_ms);
+
+    const double fast = burn_locked(cls, params_.fast_window_s, now_ms);
+    const double slow = burn_locked(cls, params_.slow_window_s, now_ms);
+    if (fast >= params_.burn_threshold && slow >= params_.burn_threshold) {
+      SloTrigger t;
+      t.kind = TriggerKind::kSloBurn;
+      t.priority = static_cast<int>(c);
+      t.rid = rid;
+      t.now_ms = now_ms;
+      t.fast_burn = fast;
+      t.slow_burn = slow;
+      std::ostringstream detail;
+      detail << "class " << c << " burn " << fast << "x/" << slow
+             << "x (threshold " << params_.burn_threshold << "x, slo "
+             << params_.latency_slo_ms << " ms)";
+      t.detail = detail.str();
+      arm_trigger(pending, std::move(t));
+    }
+    if (deadline_missed) {
+      std::uint64_t total = 0, good = 0, missed = 0;
+      window_totals(cls, params_.fast_window_s, now_ms, total, good, missed);
+      if (missed >= params_.deadline_burst) {
+        SloTrigger t;
+        t.kind = TriggerKind::kDeadlineMissBurst;
+        t.priority = static_cast<int>(c);
+        t.rid = rid;
+        t.now_ms = now_ms;
+        t.fast_burn = burn_locked(cls, params_.fast_window_s, now_ms);
+        t.slow_burn = burn_locked(cls, params_.slow_window_s, now_ms);
+        std::ostringstream detail;
+        detail << missed << " deadline misses in class " << c
+               << " inside the fast window (burst threshold "
+               << params_.deadline_burst << ")";
+        t.detail = detail.str();
+        arm_trigger(pending, std::move(t));
+      }
+    }
+  }
+  if (handler_) {
+    for (const SloTrigger& t : pending) handler_(t);
+  }
+}
+
+void SloEngine::note_queue_depth(std::size_t depth, std::uint64_t rid,
+                                 double now_ms) {
+  if (params_.queue_hwm == 0 || depth <= params_.queue_hwm) return;
+  std::vector<SloTrigger> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SloTrigger t;
+    t.kind = TriggerKind::kQueueDepthHwm;
+    t.rid = rid;
+    t.now_ms = now_ms;
+    std::ostringstream detail;
+    detail << "queue depth " << depth << " breached high-watermark "
+           << params_.queue_hwm;
+    t.detail = detail.str();
+    arm_trigger(pending, std::move(t));
+  }
+  if (handler_) {
+    for (const SloTrigger& t : pending) handler_(t);
+  }
+}
+
+void SloEngine::note_backend_down(const std::string& label, double now_ms) {
+  std::vector<SloTrigger> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SloTrigger t;
+    t.kind = TriggerKind::kBackendMarkDown;
+    t.now_ms = now_ms;
+    t.detail = "backend " + label + " marked down";
+    arm_trigger(pending, std::move(t));
+  }
+  if (handler_) {
+    for (const SloTrigger& t : pending) handler_(t);
+  }
+}
+
+double SloEngine::burn_rate(int priority, double window_s,
+                            double now_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return burn_locked(classes_[clamp_class(priority)], window_s, now_ms);
+}
+
+void SloEngine::merged_window(int priority, double window_s, double now_ms,
+                              LogHistogram& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const ClassState& cls = classes_[clamp_class(priority)];
+  const double cutoff_ms = now_ms - window_s * 1000.0;
+  for (const auto& b : cls.ring) {
+    if (b->index < 0) continue;
+    const double b_end = static_cast<double>(b->index + 1) * bucket_ms_;
+    const double b_start = static_cast<double>(b->index) * bucket_ms_;
+    if (b_end <= cutoff_ms || b_start > now_ms) continue;
+    out.merge(b->hist);
+  }
+}
+
+void SloEngine::write_json(io::JsonWriter& w, double now_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  w.begin_object();
+  w.field("latency_slo_ms", params_.latency_slo_ms);
+  w.field("target", params_.target);
+  w.field("fast_window_s", params_.fast_window_s);
+  w.field("slow_window_s", params_.slow_window_s);
+  w.field("burn_threshold", params_.burn_threshold);
+  w.key("classes").begin_array();
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const ClassState& cls = classes_[c];
+    std::uint64_t f_total = 0, f_good = 0, f_missed = 0;
+    window_totals(cls, params_.fast_window_s, now_ms, f_total, f_good,
+                  f_missed);
+    std::uint64_t s_total = 0, s_good = 0, s_missed = 0;
+    window_totals(cls, params_.slow_window_s, now_ms, s_total, s_good,
+                  s_missed);
+    LogHistogram merged(params_.layout);
+    const double cutoff_ms = now_ms - params_.fast_window_s * 1000.0;
+    for (const auto& b : cls.ring) {
+      if (b->index < 0) continue;
+      const double b_end = static_cast<double>(b->index + 1) * bucket_ms_;
+      const double b_start = static_cast<double>(b->index) * bucket_ms_;
+      if (b_end <= cutoff_ms || b_start > now_ms) continue;
+      merged.merge(b->hist);
+    }
+    w.begin_object();
+    w.field("class", c);
+    w.field("fast_total", static_cast<std::int64_t>(f_total));
+    w.field("fast_good", static_cast<std::int64_t>(f_good));
+    w.field("fast_deadline_missed", static_cast<std::int64_t>(f_missed));
+    w.field("slow_total", static_cast<std::int64_t>(s_total));
+    w.field("slow_good", static_cast<std::int64_t>(s_good));
+    w.field("fast_burn", burn_locked(cls, params_.fast_window_s, now_ms));
+    w.field("slow_burn", burn_locked(cls, params_.slow_window_s, now_ms));
+    w.field("fast_p50_ms", merged.quantile(0.5));
+    w.field("fast_p99_ms", merged.quantile(0.99));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string SloEngine::to_json(double now_ms) const {
+  io::JsonWriter w;
+  write_json(w, now_ms);
+  return w.str();
+}
+
+}  // namespace qulrb::obs

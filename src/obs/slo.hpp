@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qulrb::io {
+class JsonWriter;
+}  // namespace qulrb::io
+
+namespace qulrb::obs {
+
+/// Structured anomaly taxonomy — these are the flight recorder's dump
+/// signals. Every trigger kind maps to one stable wire string (to_string)
+/// used in incident bundles, event-log lines and CI assertions.
+enum class TriggerKind : std::uint8_t {
+  kSloBurn = 0,           ///< multi-window burn-rate breach for a class
+  kDeadlineMissBurst = 1, ///< deadline misses clustered in the fast window
+  kBackendMarkDown = 2,   ///< a fleet member went down (router-side)
+  kQueueDepthHwm = 3,     ///< admission queue crossed its high-watermark
+};
+
+const char* to_string(TriggerKind kind);
+
+/// One emitted anomaly trigger.
+struct SloTrigger {
+  TriggerKind kind = TriggerKind::kSloBurn;
+  int priority = -1;        ///< priority class, -1 = not class-scoped
+  std::uint64_t rid = 0;    ///< request whose observation tripped the wire
+  double now_ms = 0.0;      ///< engine clock at emission
+  double fast_burn = 0.0;   ///< burn rate over the fast window
+  double slow_burn = 0.0;   ///< burn rate over the slow window
+  std::string detail;       ///< human-readable one-liner
+};
+
+/// Serialize a trigger as one JSON object string.
+std::string to_json(const SloTrigger& trigger);
+
+/// Rolling-window SLO engine: per priority class it keeps a time-bucketed
+/// ring of LogHistograms plus good/total/deadline counters, merges the live
+/// buckets into fast (default 5 min) and slow (default 1 h) windows, and
+/// computes multi-window burn rates
+///
+///   burn = (1 - good/total) / (1 - target)
+///
+/// (burn 1.0 = exactly consuming the error budget; the engine pages when
+/// BOTH windows exceed `burn_threshold`, the standard multi-window guard
+/// against paging on a blip or on long-stale history). Triggers are
+/// delivered through the handler passed at construction, rate-limited by a
+/// per-(kind, class) cooldown.
+///
+/// The clock is explicit — every mutating call takes `now_ms` on the
+/// caller's epoch — so tests drive it deterministically and the service
+/// feeds it the same epoch it stamps requests with. All state is guarded by
+/// one mutex; callers are request-completion paths (per solve, not per
+/// sweep), so the lock is off every hot loop. Handlers run outside the lock.
+class SloEngine {
+ public:
+  struct Params {
+    double latency_slo_ms = 50.0;  ///< a request is "good" iff total <= this
+    double target = 0.99;          ///< objective fraction of good requests
+    double fast_window_s = 300.0;  ///< fast burn window (5 m)
+    double slow_window_s = 3600.0; ///< slow burn window (1 h)
+    double burn_threshold = 2.0;   ///< page when both windows >= this
+    double cooldown_s = 30.0;      ///< per-(kind, class) trigger spacing
+    std::size_t num_classes = 4;   ///< priority classes tracked separately
+    /// Deadline-miss burst: this many misses inside the fast window.
+    std::uint64_t deadline_burst = 8;
+    /// Queue-depth high-watermark; 0 disables the kQueueDepthHwm trigger.
+    std::size_t queue_hwm = 0;
+    /// Histogram layout for the window buckets (must match any histogram
+    /// the windows are compared against).
+    HistogramLayout layout;
+  };
+
+  using TriggerHandler = std::function<void(const SloTrigger&)>;
+
+  explicit SloEngine(Params params, TriggerHandler handler = nullptr);
+
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  const Params& params() const noexcept { return params_; }
+
+  /// Record one finished request. `priority` is clamped into
+  /// [0, num_classes); a request is "good" iff `ok` (it produced a usable
+  /// answer) AND its latency met the objective; `deadline_missed` feeds the
+  /// burst trigger independently of the latency objective.
+  void record(int priority, double latency_ms, bool ok, bool deadline_missed,
+              std::uint64_t rid, double now_ms);
+
+  /// Admission-side queue depth observation (kQueueDepthHwm source).
+  void note_queue_depth(std::size_t depth, std::uint64_t rid, double now_ms);
+
+  /// Fleet-membership observation (kBackendMarkDown source, router-side).
+  void note_backend_down(const std::string& label, double now_ms);
+
+  /// Burn rate of one class over the trailing `window_s` (0 when the window
+  /// holds no requests).
+  double burn_rate(int priority, double window_s, double now_ms) const;
+
+  /// Merge the live buckets of one class's trailing window into `out`
+  /// (layouts must match; `out` is NOT cleared first). This is the "merged
+  /// LogHistogram windows" the engine's quantiles are built on, exposed so
+  /// tests can assert window algebra directly.
+  void merged_window(int priority, double window_s, double now_ms,
+                     LogHistogram& out) const;
+
+  /// Current SLO view (per class: totals, burn rates, latency quantiles)
+  /// written as the next JSON value.
+  void write_json(io::JsonWriter& w, double now_ms) const;
+  std::string to_json(double now_ms) const;
+
+ private:
+  struct Bucket {
+    std::int64_t index = -1;  ///< absolute time-bucket index, -1 = empty
+    std::uint64_t total = 0;
+    std::uint64_t good = 0;
+    std::uint64_t deadline_missed = 0;
+    LogHistogram hist;
+    explicit Bucket(const HistogramLayout& layout) : hist(layout) {}
+  };
+  struct ClassState {
+    std::vector<std::unique_ptr<Bucket>> ring;
+  };
+
+  std::size_t clamp_class(int priority) const noexcept;
+  Bucket& bucket_for(ClassState& cls, double now_ms);
+  /// Sum of (total, good, missed) over the trailing window. Lock held.
+  void window_totals(const ClassState& cls, double window_s, double now_ms,
+                     std::uint64_t& total, std::uint64_t& good,
+                     std::uint64_t& missed) const;
+  double burn_locked(const ClassState& cls, double window_s,
+                     double now_ms) const;
+  /// Emit through the handler if the (kind, class) cooldown allows. Must be
+  /// called with the lock held; the actual handler runs after unlock (the
+  /// caller drains `pending`).
+  void arm_trigger(std::vector<SloTrigger>& pending, SloTrigger trigger);
+
+  Params params_;
+  TriggerHandler handler_;
+  double bucket_ms_ = 0.0;
+  mutable std::mutex mutex_;
+  std::vector<ClassState> classes_;
+  /// last trigger time per kind (rows) and class (+1 column for classless).
+  std::vector<double> last_trigger_ms_;
+};
+
+}  // namespace qulrb::obs

@@ -281,7 +281,8 @@ void BackendPool::reader_loop(std::size_t b, int fd, std::uint64_t gen) {
         continue;  // a torn line means the stream is sick, but keep reading
       }
       if (doc.find("stats") != nullptr || doc.find("metrics") != nullptr ||
-          doc.find("traces") != nullptr) {
+          doc.find("traces") != nullptr || doc.find("obs") != nullptr ||
+          doc.find("flight") != nullptr) {
         // Control responses come back in send order on this connection.
         ControlCallback cb;
         {

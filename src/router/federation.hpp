@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace qulrb::io {
+class JsonValue;
+class JsonWriter;
+}  // namespace qulrb::io
+
+namespace qulrb::router {
+
+/// Cross-backend metric federation: the router periodically pulls every
+/// backend's serialized registry ({"op":"obs"}) and this class keeps the
+/// latest parsed snapshot per backend. The fleet-level exposition is
+/// computed at scrape time by folding all live snapshots into a fresh
+/// temporary MetricsRegistry — histogram folding goes through
+/// LogHistogram::add_bucket/add_sum, the same plain addition merge() uses,
+/// so the merged quantiles match an exact bucket-wise merge by construction.
+///
+/// Names are rewritten `qulrb_*` -> `qulrb_fleet_*` so the fleet families
+/// never collide with the router's own registry in one exposition. The one
+/// exception is `qulrb_build_info`: identity must stay per-process, so it is
+/// re-emitted unmerged with an extra `instance` label instead.
+class Federation {
+ public:
+  explicit Federation(std::size_t num_backends);
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Ingest one backend's obs document (the object under "obs" in its
+  /// response; `raw` is its verbatim text for splicing, `doc` the parsed
+  /// form). Returns false — snapshot untouched — when the doc is not a
+  /// registry serialization.
+  bool update(std::size_t backend, const std::string& backend_label,
+              const std::string& raw, const io::JsonValue& doc,
+              double now_ms);
+
+  /// Backend marked down: drop its snapshot, so the fleet view never keeps
+  /// counting a dead backend's stale metrics.
+  void invalidate(std::size_t backend);
+
+  /// Backends with a live snapshot right now.
+  std::size_t reporting() const;
+
+  /// Fleet-level Prometheus families (see class comment). Appends
+  /// `qulrb_fleet_backends` / `qulrb_fleet_backends_reporting` gauges so the
+  /// scrape shows federation coverage.
+  std::string fleet_prometheus() const;
+
+  /// Fleet JSON view for the router's own {"op":"obs"} response: one entry
+  /// per backend with freshness and the verbatim obs document (null when the
+  /// backend has not reported). Written as the next value (an array).
+  void write_fleet_json(io::JsonWriter& w, double now_ms) const;
+
+  /// `qulrb_foo` -> `qulrb_fleet_foo`; names outside the qulrb_ namespace
+  /// get the `qulrb_fleet_` prefix whole.
+  static std::string fleet_name(const std::string& name);
+
+ private:
+  struct ScalarSample {
+    std::string name;
+    std::string labels;  ///< raw serialized label body, verbatim
+    double value = 0.0;
+  };
+  struct HistSample {
+    std::string name;
+    std::string labels;
+    obs::HistogramLayout layout;
+    std::vector<std::pair<std::size_t, std::uint64_t>> counts;  ///< sparse
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    bool valid = false;
+    std::string label;       ///< backend address ("host:port")
+    double updated_ms = -1.0;
+    std::string raw;         ///< verbatim obs doc for JSON splicing
+    std::vector<ScalarSample> counters;
+    std::vector<ScalarSample> gauges;
+    std::vector<HistSample> hists;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace qulrb::router

@@ -1,8 +1,12 @@
 #include "router/router.hpp"
 
 #include <condition_variable>
+#include <fstream>
 #include <limits>
 #include <utility>
+
+#include "io/json.hpp"
+#include "obs/histogram_wire.hpp"
 
 namespace qulrb::router {
 
@@ -100,7 +104,17 @@ Router::Router(Params params)
       pool_(params_.pool, registry_),
       coalescer_(params_.coalesce),
       policy_(make_policy(params_.policy, params_.policy_config)),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(std::chrono::steady_clock::now()),
+      flight_(params_.flight ? std::make_unique<obs::FlightRecorder>(
+                                   params_.flight_capacity)
+                             : nullptr),
+      slo_(params_.slo,
+           [this](const obs::SloTrigger& trigger) { on_trigger(trigger); }),
+      federation_(pool_.size()) {
+  if (flight_ != nullptr) {
+    f_route_ = flight_->intern("route");
+    f_markdown_ = flight_->intern("backend-down");
+  }
   using Labels = obs::MetricsRegistry::Labels;
   const Labels policy_label{{"policy", to_string(params_.policy)}};
   c_requests_ = &registry_.counter("qulrb_router_requests_total",
@@ -120,6 +134,12 @@ Router::Router(Params params)
   h_request_ms_ = &registry_.histogram(
       "qulrb_router_request_ms",
       "Routed request latency, router admission to response fan-out (ms)");
+  c_incidents_ = &registry_.counter(
+      "qulrb_router_incidents_total",
+      "Cross-process incident bundles assembled from SLO triggers");
+  c_federate_pulls_ = &registry_.counter(
+      "qulrb_router_federate_pulls_total",
+      "Per-backend obs snapshots successfully federated");
   for (std::size_t b = 0; b < pool_.size(); ++b) {
     c_routed_.push_back(&registry_.counter(
         "qulrb_router_routed_total", "Requests forwarded to this backend",
@@ -135,16 +155,35 @@ double Router::now_ms() const {
       .count();
 }
 
+std::string Router::metrics_text() const {
+  std::string out = registry_.to_prometheus();
+  out += federation_.fleet_prometheus();
+  return out;
+}
+
 void Router::start() {
   pool_.start(
       [this](std::size_t b, const std::string& line, const io::JsonValue& doc) {
         on_backend_line(b, line, doc);
       },
       [this](std::size_t b) { on_backend_down(b); });
+  if (params_.federate_ms > 0.0 && pool_.size() > 0) {
+    federate_thread_ = std::thread([this] { federate_loop(); });
+  }
+  incident_thread_ = std::thread([this] { incident_loop(); });
 }
 
 void Router::stop() {
   if (stopped_.exchange(true)) return;
+  // Wake the periodic threads first: the incident thread may still be
+  // mid-assembly (its fan-out times out against the live pool), so join it
+  // before tearing the pool down.
+  { std::lock_guard<std::mutex> lock(stop_mutex_); }
+  { std::lock_guard<std::mutex> lock(incident_mutex_); }
+  stop_cv_.notify_all();
+  incident_cv_.notify_all();
+  if (federate_thread_.joinable()) federate_thread_.join();
+  if (incident_thread_.joinable()) incident_thread_.join();
   pool_.stop();
   {
     std::lock_guard<std::mutex> lock(routes_mutex_);
@@ -262,6 +301,12 @@ bool Router::handle_client_line(std::uint64_t session_id,
       return true;
     case service::OpKind::kTrace:
       handle_trace(session, parsed.trace_count);
+      return true;
+    case service::OpKind::kObs:
+      handle_obs(session, parsed.client_id);
+      return true;
+    case service::OpKind::kFlightDump:
+      handle_flight_dump(session, std::move(parsed));
       return true;
     case service::OpKind::kCancel:
       handle_cancel(session, parsed.client_id);
@@ -415,7 +460,20 @@ void Router::on_backend_line(std::size_t backend, const std::string& line,
     routes_.erase(it);
   }
   pool_.inflight_add(route.backend, -1);
-  h_request_ms_->observe(now_ms() - route.arrival_ms);
+  const double total_ms = now_ms() - route.arrival_ms;
+  h_request_ms_->observe(total_ms);
+  const bool ok = doc.find("error") == nullptr;
+  const bool deadline_missed = ok && route.request.deadline_ms > 0.0 &&
+                               total_ms > route.request.deadline_ms;
+  if (flight_ != nullptr) {
+    const double end_us = flight_->now_us();
+    flight_->record(f_route_, obs::FlightKind::kSpan, 0, group, end_us,
+                    total_ms * 1000.0, total_ms);
+  }
+  // The fleet SLO sees end-to-end latency; its triggers enqueue for the
+  // incident thread (this runs on a backend reader thread — never block).
+  slo_.record(route.request.priority, total_ms, ok, deadline_missed, group,
+              now_ms());
   (void)backend;
   std::vector<Coalescer::Waiter> waiters = coalescer_.complete(group);
   c_responses_->inc(waiters.size());
@@ -426,6 +484,11 @@ void Router::on_backend_line(std::size_t backend, const std::string& line,
 }
 
 void Router::on_backend_down(std::size_t backend) {
+  federation_.invalidate(backend);
+  if (flight_ != nullptr) {
+    flight_->instant(f_markdown_, 0, 0, static_cast<double>(backend));
+  }
+  slo_.note_backend_down(pool_.address(backend).label(), now_ms());
   std::vector<std::pair<std::uint64_t, Route>> orphans;
   {
     std::lock_guard<std::mutex> lock(routes_mutex_);
@@ -641,6 +704,194 @@ void Router::handle_trace(const std::shared_ptr<Session>& session,
     joined += inner;
   }
   deliver_to(session, "{\"traces\":[" + joined + "]}");
+}
+
+void Router::handle_obs(const std::shared_ptr<Session>& session,
+                        std::uint64_t client_id) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("role", "router");
+  w.key("registry");
+  obs::write_registry_obs_json(registry_, w);
+  w.key("slo");
+  slo_.write_json(w, now_ms());
+  w.key("fleet");
+  federation_.write_fleet_json(w, now_ms());
+  w.end_object();
+  deliver_to(session, service::encode_obs_response(client_id, w.str()));
+}
+
+void Router::handle_flight_dump(const std::shared_ptr<Session>& session,
+                                service::ProtocolRequest parsed) {
+  // Client sessions run on their own threads (never a backend reader), so
+  // the blocking fan-out inside assemble_incident is safe here.
+  obs::SloTrigger trigger;
+  trigger.kind = obs::TriggerKind::kSloBurn;  // shape only; kind unused below
+  trigger.rid = parsed.flight_rid;
+  trigger.now_ms = now_ms();
+  trigger.detail = "client-requested flight dump";
+  const std::string bundle =
+      assemble_bundle(trigger, "manual",
+                      parsed.window_s > 0.0 ? parsed.window_s
+                                            : params_.flight_window_s);
+  deliver_to(session,
+             service::encode_flight_response(parsed.client_id, bundle));
+}
+
+std::string Router::assemble_incident(const obs::SloTrigger& trigger) {
+  return assemble_bundle(trigger, obs::to_string(trigger.kind),
+                         params_.flight_window_s);
+}
+
+std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
+                                    const std::string& kind,
+                                    double window_s) {
+  auto gather = std::make_shared<ControlGather>();
+  gather->raw.resize(pool_.size());
+  gather->outstanding = pool_.size();
+  const std::string op =
+      service::encode_flight_dump_request(0, window_s, trigger.rid);
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    BackendPool::ControlCallback finish =
+        [gather, b, fired](const std::string* line, const io::JsonValue*) {
+          if (fired->exchange(true)) return;
+          std::lock_guard<std::mutex> lock(gather->mutex);
+          if (line != nullptr) {
+            gather->raw[b] = extract_raw_field(*line, "flight");
+          }
+          --gather->outstanding;
+          gather->cv.notify_all();
+        };
+    if (!pool_.send_control(b, op, finish)) finish(nullptr, nullptr);
+  }
+  std::vector<std::string> raw;
+  {
+    std::unique_lock<std::mutex> lock(gather->mutex);
+    gather->cv.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(params_.control_timeout_ms),
+        [&] { return gather->outstanding == 0; });
+    raw = gather->raw;
+  }
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("incident").begin_object();
+  w.field("rid", static_cast<std::int64_t>(trigger.rid));
+  w.field("kind", kind);
+  w.field("priority", trigger.priority);
+  w.field("ts_ms", trigger.now_ms);
+  w.field("fast_burn", trigger.fast_burn);
+  w.field("slow_burn", trigger.slow_burn);
+  w.field("detail", trigger.detail);
+  w.field("window_s", window_s);
+  w.key("router").begin_object();
+  if (flight_ != nullptr) {
+    w.key("flight").raw_value(obs::flight_to_perfetto_json(
+        *flight_, window_s, trigger.rid, kind, "qulrb_router"));
+  } else {
+    w.key("flight").null();
+  }
+  w.end_object();
+  w.key("backends").begin_array();
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    w.begin_object();
+    w.field("backend", pool_.address(b).label());
+    if (raw[b].empty()) {
+      w.key("flight").null();
+    } else {
+      w.key("flight").raw_value(raw[b]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+void Router::on_trigger(const obs::SloTrigger& trigger) {
+  if (stopped_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(incident_mutex_);
+    // Bound the backlog: triggers are already cooldown-limited per
+    // (kind, class), a deeper queue means the incident thread is stuck.
+    if (incident_queue_.size() >= 16) return;
+    incident_queue_.push_back(trigger);
+  }
+  incident_cv_.notify_one();
+}
+
+void Router::incident_loop() {
+  while (true) {
+    obs::SloTrigger trigger;
+    {
+      std::unique_lock<std::mutex> lock(incident_mutex_);
+      incident_cv_.wait(lock, [&] {
+        return stopped_.load(std::memory_order_relaxed) ||
+               !incident_queue_.empty();
+      });
+      if (incident_queue_.empty()) return;  // stopping and drained
+      trigger = std::move(incident_queue_.front());
+      incident_queue_.pop_front();
+    }
+    const std::string bundle = assemble_incident(trigger);
+    c_incidents_->inc();
+    incidents_total_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(incident_mutex_);
+      last_incident_ = bundle;
+    }
+    if (!params_.incident_dir.empty()) {
+      const std::string path = params_.incident_dir + "/incident-" +
+                               std::to_string(trigger.rid) + "-" +
+                               obs::to_string(trigger.kind) + ".json";
+      std::ofstream out(path, std::ios::trunc);
+      if (out) out << bundle << "\n";
+    }
+  }
+}
+
+std::string Router::last_incident() const {
+  std::lock_guard<std::mutex> lock(incident_mutex_);
+  return last_incident_;
+}
+
+void Router::federate_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    federate_once();
+    lock.lock();
+    stop_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(params_.federate_ms),
+        [&] { return stopped_.load(std::memory_order_relaxed); });
+  }
+}
+
+void Router::federate_once() {
+  const std::string op = service::encode_obs_request(0);
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    if (!pool_.healthy(b)) {
+      federation_.invalidate(b);
+      continue;
+    }
+    // Fire-and-forget: the callback folds the snapshot in on the backend's
+    // reader thread; a missed cycle just leaves the previous snapshot live.
+    BackendPool::ControlCallback finish =
+        [this, b](const std::string* line, const io::JsonValue* doc) {
+          if (line == nullptr || doc == nullptr) return;
+          const io::JsonValue* obs_doc = doc->find("obs");
+          if (obs_doc == nullptr) return;
+          const std::string raw = extract_raw_field(*line, "obs");
+          if (raw.empty()) return;
+          if (federation_.update(b, pool_.address(b).label(), raw, *obs_doc,
+                                 now_ms())) {
+            c_federate_pulls_->inc();
+          }
+        };
+    if (!pool_.send_control(b, op, finish)) federation_.invalidate(b);
+  }
 }
 
 void Router::deliver_to(const std::shared_ptr<Session>& session,

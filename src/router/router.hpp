@@ -2,17 +2,23 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "router/backend_pool.hpp"
 #include "router/coalesce.hpp"
+#include "router/federation.hpp"
 #include "router/policy.hpp"
 #include "service/protocol.hpp"
 
@@ -48,6 +54,24 @@ class Router {
     double stale_ms = 0.0;
     std::size_t max_retries = 2;   ///< failover resubmits per request
     double control_timeout_ms = 2000.0;  ///< stats/trace aggregation wait
+    /// Federation pull cadence: every `federate_ms` the router sends
+    /// {"op":"obs"} to each healthy backend and folds the answers into the
+    /// fleet snapshot (metrics_text() appends the qulrb_fleet_* families).
+    /// 0 disables federation.
+    double federate_ms = 1000.0;
+    /// Always-on flight ring over routed requests. Off = zero-cost (no ring
+    /// is allocated, every hook is one null test).
+    bool flight = true;
+    std::size_t flight_capacity = 8192;
+    /// Seconds of ring history snapshotted into an incident bundle.
+    double flight_window_s = 30.0;
+    /// Directory incident bundles are written to
+    /// (incident-<rid>-<kind>.json). Empty = keep only the in-memory last
+    /// bundle (served by the client-facing flight_dump op).
+    std::string incident_dir;
+    /// Fleet-level SLO objectives, evaluated on the router's own end-to-end
+    /// request latency; its triggers fire the cross-process incident dump.
+    obs::SloEngine::Params slo;
   };
 
   /// Writes one response line to a client session. Called from backend
@@ -80,9 +104,28 @@ class Router {
   bool handle_client_line(std::uint64_t session, const std::string& line);
 
   obs::MetricsRegistry& registry() noexcept { return registry_; }
-  std::string metrics_text() const { return registry_.to_prometheus(); }
+  /// Router registry exposition plus the federated qulrb_fleet_* families.
+  std::string metrics_text() const;
   const Coalescer& coalescer() const noexcept { return coalescer_; }
   BackendPool& pool() noexcept { return pool_; }
+  Federation& federation() noexcept { return federation_; }
+  obs::SloEngine& slo() noexcept { return slo_; }
+  /// Null when Params::flight is off.
+  obs::FlightRecorder* flight() noexcept { return flight_.get(); }
+
+  /// Assemble one cross-process incident bundle right now: the router's own
+  /// flight ring plus a {"op":"flight_dump"} fan-out to every backend, all
+  /// correlated by `rid`. Blocks up to control_timeout_ms; must not be
+  /// called from a backend reader thread (the response would be delivered by
+  /// the blocked thread itself).
+  std::string assemble_incident(const obs::SloTrigger& trigger);
+
+  /// Incident bundles written so far (files + in-memory).
+  std::uint64_t incidents_total() const noexcept {
+    return incidents_total_.load(std::memory_order_relaxed);
+  }
+  /// The most recent incident bundle ("" when none fired yet).
+  std::string last_incident() const;
 
   /// Topology key of a request — mirrors SessionCache::Key (task_counts,
   /// variant, k, paper_coefficients), so cache-affinity routing sends every
@@ -121,6 +164,12 @@ class Router {
   /// a supervisor can health-check the router itself at probe frequency.
   void handle_health(const std::shared_ptr<Session>& session);
   void handle_trace(const std::shared_ptr<Session>& session, std::size_t n);
+  /// Fleet obs view: the router's own registry/SLO plus every backend's
+  /// latest federated snapshot.
+  void handle_obs(const std::shared_ptr<Session>& session,
+                  std::uint64_t client_id);
+  void handle_flight_dump(const std::shared_ptr<Session>& session,
+                          service::ProtocolRequest parsed);
   /// Forward (or re-forward) a group's request; on exhaustion answers every
   /// waiter with an error line and drops the route.
   void forward(std::uint64_t group, Route route);
@@ -130,6 +179,19 @@ class Router {
   void on_backend_down(std::size_t backend);
   void deliver_to(const std::shared_ptr<Session>& session,
                   const std::string& line);
+  /// SLO trigger handler: enqueue for the incident thread. Runs on whatever
+  /// thread observed the breach (often a backend reader thread), so it must
+  /// never block on a backend round trip itself.
+  void on_trigger(const obs::SloTrigger& trigger);
+  /// Dedicated incident thread: drains the trigger queue, assembles the
+  /// cross-process bundle (blocking fan-out is safe here) and persists it.
+  void incident_loop();
+  /// Federation poll thread: {"op":"obs"} toward every backend each cycle.
+  void federate_loop();
+  void federate_once();
+  /// Shared bundle assembly behind assemble_incident / client flight_dump.
+  std::string assemble_bundle(const obs::SloTrigger& trigger,
+                              const std::string& kind, double window_s);
 
   Params params_;
   obs::MetricsRegistry registry_;
@@ -154,6 +216,24 @@ class Router {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> stopped_{false};
 
+  // Observability v3: flight ring over routed requests, fleet SLO engine
+  // (its triggers feed the incident thread), and the federation snapshot.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::uint16_t f_route_ = 0;      ///< interned "route" span name
+  std::uint16_t f_markdown_ = 0;   ///< interned "backend-down" instant name
+  obs::SloEngine slo_;
+  Federation federation_;
+
+  mutable std::mutex incident_mutex_;
+  std::condition_variable incident_cv_;
+  std::deque<obs::SloTrigger> incident_queue_;
+  std::string last_incident_;      ///< guarded by incident_mutex_
+  std::atomic<std::uint64_t> incidents_total_{0};
+  std::thread incident_thread_;
+  std::thread federate_thread_;
+  std::mutex stop_mutex_;          ///< pairs with stop_cv_ for timed sleeps
+  std::condition_variable stop_cv_;
+
   obs::Counter* c_requests_ = nullptr;
   obs::Counter* c_responses_ = nullptr;
   obs::Counter* c_errors_ = nullptr;
@@ -161,6 +241,8 @@ class Router {
   obs::Counter* c_retries_ = nullptr;
   obs::Counter* c_no_backend_ = nullptr;
   obs::LogHistogram* h_request_ms_ = nullptr;
+  obs::Counter* c_incidents_ = nullptr;
+  obs::Counter* c_federate_pulls_ = nullptr;
   std::vector<obs::Counter*> c_routed_;  ///< per backend
 };
 

@@ -30,6 +30,12 @@ ProtocolRequest parse_request_line(const std::string& line) {
     const std::int64_t n = doc.int_or("n", 8);
     util::require(n > 0, "trace 'n' must be positive");
     out.trace_count = static_cast<std::size_t>(n);
+  } else if (op == "obs") {
+    out.op = OpKind::kObs;
+  } else if (op == "flight_dump") {
+    out.op = OpKind::kFlightDump;
+    out.window_s = doc.number_or("window_s", 0.0);
+    out.flight_rid = static_cast<std::uint64_t>(doc.int_or("rid", 0));
   } else if (op == "shutdown") {
     out.op = OpKind::kShutdown;
   } else if (op == "solve") {
@@ -273,6 +279,49 @@ std::string encode_traces(const std::vector<std::string>& traces) {
   w.begin_array();
   for (const std::string& t : traces) w.raw_value(t);
   w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_obs_request(std::uint64_t client_id) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", "obs");
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_obs_response(std::uint64_t client_id,
+                                const std::string& obs_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.key("obs");
+  w.raw_value(obs_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_flight_dump_request(std::uint64_t client_id,
+                                       double window_s, std::uint64_t rid) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", "flight_dump");
+  w.field("id", static_cast<std::int64_t>(client_id));
+  if (window_s > 0.0) w.field("window_s", window_s);
+  if (rid != 0) w.field("rid", static_cast<std::int64_t>(rid));
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_flight_response(std::uint64_t client_id,
+                                   const std::string& flight_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.key("flight");
+  w.raw_value(flight_json);
   w.end_object();
   return w.str();
 }

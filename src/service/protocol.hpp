@@ -23,6 +23,8 @@ namespace qulrb::service {
 ///   {"op":"health"}
 ///   {"op":"metrics"}
 ///   {"op":"trace","n":4}
+///   {"op":"obs"}
+///   {"op":"flight_dump","window_s":30,"rid":42}
 ///   {"op":"shutdown"}
 ///
 /// `id` is the client's correlation id (echoed verbatim); responses may
@@ -32,14 +34,25 @@ namespace qulrb::service {
 ///   {"stats":{...}}
 ///   {"metrics":"<prometheus text>"}
 ///   {"traces":[{...perfetto doc...},...]}
+///   {"obs":{"role":...,"counters":[...],"gauges":[...],
+///           "histograms":[...],"slo":{...}}}
+///   {"flight":{...perfetto doc of the recent flight ring...}}
 ///   {"error":"...","id":7}
+///
+/// `obs` is the federation pull: the process's whole metric registry in the
+/// stripe-agnostic wire form of obs/histogram_wire.hpp (so the router can
+/// merge histograms bucket-wise, exactly), plus its SLO view. `flight_dump`
+/// snapshots the last `window_s` seconds of the flight-recorder ring as a
+/// Perfetto document tagged with the triggering request's `rid`; both
+/// fields are optional (0 = everything in the ring / no rid).
 ///
 /// `health` is the high-frequency probe variant of `stats`: a three-field
 /// {"stats":{"queue_depth","inflight","cache_hit_rate"}} answered from
 /// relaxed atomics, so a router polling N backends every few milliseconds
 /// never contends with the request-path lock the full stats snapshot takes.
 enum class OpKind : std::uint8_t {
-  kSolve, kCancel, kStats, kHealth, kMetrics, kTrace, kShutdown
+  kSolve, kCancel, kStats, kHealth, kMetrics, kTrace, kObs, kFlightDump,
+  kShutdown
 };
 
 struct ProtocolRequest {
@@ -48,6 +61,8 @@ struct ProtocolRequest {
   RebalanceRequest request;   ///< populated for kSolve
   bool include_plan = false;  ///< echo the migration matrix in the response
   std::size_t trace_count = 8;  ///< "n" of a trace op
+  double window_s = 0.0;        ///< "window_s" of a flight_dump op (0 = all)
+  std::uint64_t flight_rid = 0; ///< "rid" tag of a flight_dump op
 };
 
 /// Parse one request line; throws util::InvalidArgument with a message fit
@@ -83,6 +98,24 @@ std::string encode_metrics(const std::string& prometheus_text);
 /// {"traces":[...]} — each element is a Perfetto JSON document, spliced in
 /// verbatim (they are already serialized JSON objects).
 std::string encode_traces(const std::vector<std::string>& traces);
+
+/// {"op":"obs","id":N} — federation pull of a process's metric registry.
+std::string encode_obs_request(std::uint64_t client_id);
+
+/// {"id":N,"obs":...} — `obs_json` is the pre-serialized obs object (built
+/// with obs::write_registry_obs_json plus role/build/slo fields), spliced in
+/// verbatim.
+std::string encode_obs_response(std::uint64_t client_id,
+                                const std::string& obs_json);
+
+/// {"op":"flight_dump","id":N,...} — snapshot request toward a backend.
+std::string encode_flight_dump_request(std::uint64_t client_id,
+                                       double window_s, std::uint64_t rid);
+
+/// {"id":N,"flight":...} — `flight_json` is a Perfetto document
+/// (obs::flight_to_perfetto_json), spliced in verbatim.
+std::string encode_flight_response(std::uint64_t client_id,
+                                   const std::string& flight_json);
 
 std::string encode_error(const std::string& message, std::uint64_t client_id);
 

@@ -81,6 +81,11 @@ RebalanceService::RebalanceService(ServiceParams params)
   h_.total_ms = &registry_.histogram("qulrb_service_total_ms",
                                      "Admission-to-response wall time (ms)");
   cache_.attach_metrics(registry_);
+  if (params_.flight != nullptr) {
+    f_.request = params_.flight->intern("request");
+    f_.deadline_miss = params_.flight->intern("deadline-miss");
+    f_.queue_depth = params_.flight->intern("queue-depth");
+  }
 }
 
 RebalanceService::~RebalanceService() {
@@ -188,6 +193,13 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
     rejection.id = id;
     if (callback) callback(std::move(rejection));
     return id;
+  }
+  if (params_.flight != nullptr) {
+    params_.flight->counter(f_.queue_depth, 0, id,
+                            static_cast<double>(queue_depth()));
+  }
+  if (params_.slo != nullptr) {
+    params_.slo->note_queue_depth(queue_depth(), id, epoch_.elapsed_ms());
   }
   pool_.submit([this] { run_one(); });
   return id;
@@ -314,6 +326,9 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
     hybrid.recorder = rec;
     hybrid.trace = item.trace;
     hybrid.metrics = &registry_;
+    hybrid.flight = params_.flight;
+    hybrid.flight_rid =
+        item.request.trace_id != 0 ? item.request.trace_id : item.id;
     if (hybrid.initial_hint.empty() && !checkout.session->warm_hint.empty()) {
       hybrid.initial_hint = checkout.session->warm_hint;
     }
@@ -383,6 +398,30 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
   if (response.solve_ms > 0.0) h_.solve_ms->observe(response.solve_ms);
   h_.queue_ms->observe(response.queue_ms);
   h_.total_ms->observe(response.total_ms);
+
+  const bool deadline_missed = response.outcome == RequestOutcome::kOk &&
+                               item.deadline_ms > 0.0 &&
+                               response.total_ms > item.deadline_ms;
+  const std::uint64_t rid =
+      item.request.trace_id != 0 ? item.request.trace_id : item.id;
+  if (params_.flight != nullptr) {
+    const double end_us = params_.flight->now_us();
+    params_.flight->record(f_.request, obs::FlightKind::kSpan, 0, rid, end_us,
+                           response.total_ms * 1000.0, response.total_ms);
+    if (deadline_missed) {
+      params_.flight->instant(f_.deadline_miss, 0, rid,
+                              response.total_ms - item.deadline_ms);
+    }
+  }
+  if (params_.slo != nullptr &&
+      response.outcome != RequestOutcome::kCancelled) {
+    // Cancelled requests are the client's choice, not a service failure;
+    // everything else (ok, shed, failed) counts against the objective. A
+    // non-ok outcome is never "good" regardless of how fast it failed.
+    params_.slo->record(item.request.priority, response.total_ms,
+                        response.outcome == RequestOutcome::kOk,
+                        deadline_missed, rid, epoch_.elapsed_ms());
+  }
 
   // Convergence analysis + trace serialization outside the lock — both are
   // pure computation over the request's private recorder.

@@ -15,8 +15,10 @@
 
 #include "obs/convergence.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace_context.hpp"
 #include "service/request.hpp"
 #include "service/session_cache.hpp"
@@ -64,6 +66,16 @@ struct ServiceParams {
   obs::EventLog* event_log = nullptr;
   /// `source` field stamped on emitted events.
   std::string event_source = "qulrb_serve";
+  /// Always-on flight ring: per-request admission/solve/finish records plus
+  /// the solver engines' per-call spans, all stamped with the request's rid.
+  /// Not owned; must outlive the service. Null = off (and the zero-cost-OFF
+  /// contract holds — no branch beyond the null test, no RNG).
+  obs::FlightRecorder* flight = nullptr;
+  /// Rolling-window SLO engine fed one observation per finished request
+  /// (latency vs objective, deadline outcome) and the admission queue depth.
+  /// Its triggers are the flight recorder's dump signals. Not owned; must
+  /// outlive the service. Null = off.
+  obs::SloEngine* slo = nullptr;
 };
 
 /// Aggregated service telemetry; a consistent snapshot from stats().
@@ -174,6 +186,11 @@ class RebalanceService {
   /// gauges (queue depth, running, EWMA) refreshed first.
   std::string metrics_text();
 
+  /// Milliseconds since the service was constructed — the epoch the SLO
+  /// engine's observations are stamped with (callers feeding the same engine
+  /// from outside, e.g. the serve shell, must use the same clock).
+  double now_ms() const noexcept { return epoch_.elapsed_ms(); }
+
   /// Perfetto JSON documents of the most recently finished requests (oldest
   /// first, at most `n`). Empty unless params.record_traces.
   std::vector<std::string> last_traces(std::size_t n) const;
@@ -229,6 +246,13 @@ class RebalanceService {
     obs::LogHistogram* total_ms = nullptr;
   };
 
+  /// Flight-ring name codes, interned once at construction.
+  struct FlightNames {
+    std::uint16_t request = 0;
+    std::uint16_t deadline_miss = 0;
+    std::uint16_t queue_depth = 0;
+  };
+
   void run_one();
   void finish(Pending item, RebalanceResponse response);
   RebalanceResponse solve_item(Pending& item);
@@ -238,6 +262,8 @@ class RebalanceService {
   // order: the registry must outlive the cache and the worker pool).
   obs::MetricsRegistry registry_;
   MetricHandles h_;
+  FlightNames f_;
+  util::WallTimer epoch_;  ///< the SLO engine's observation clock
   SessionCache cache_;
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""End-to-end observability-v3 smoke: two qulrb_serve backends behind one
+qulrb_router with a deliberately impossible SLO.
+
+Exercises the whole incident chain:
+  - the router's federation loop pulls both backends' {"op":"obs"} registry
+    snapshots and the router's {"op":"obs"} fleet view reports both live;
+  - the federated Prometheus exposition carries qulrb_fleet_* families plus
+    per-instance qulrb_build_info identities;
+  - solves past the (unmeetable) latency SLO burn both windows, the router's
+    SLO engine trips, and the incident thread writes one cross-process
+    bundle: router flight spans plus every backend's recent ring, all
+    correlated by the triggering request's rid;
+  - a client {"op":"flight_dump"} against a backend returns its ring as a
+    Perfetto document on demand.
+
+Usage: obs_incident_test.py <qulrb_serve> <qulrb_router> <base-port> <dir>
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import time
+
+SOLVE = (
+    '{"op":"solve","id":%d,"loads":[30,4,4,4],"counts":[8,8,8,8],'
+    '"k":4,"sweeps":200,"restarts":1,"seed":7}\n'
+)
+
+
+def connect(port, attempts=100):
+    import socket
+
+    for _ in range(attempts):
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=10)
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit("could not connect to port %d" % port)
+
+
+def ask(port, line):
+    s = connect(port)
+    try:
+        s.sendall(line.encode())
+        return json.loads(s.makefile("rb").readline())
+    finally:
+        s.close()
+
+
+def wait_for(predicate, what, attempts=150):
+    for _ in range(attempts):
+        try:
+            if predicate():
+                return
+        except (OSError, ValueError, KeyError):
+            pass
+        time.sleep(0.1)
+    raise SystemExit("timed out waiting for " + what)
+
+
+def rids_in_flight(flight):
+    return {e["args"]["rid"] for e in flight["traceEvents"] if "args" in e}
+
+
+def main():
+    serve, router = sys.argv[1], sys.argv[2]
+    base, incident_dir = int(sys.argv[3]), sys.argv[4]
+    front, b1, b2 = base, base + 1, base + 2
+    os.makedirs(incident_dir, exist_ok=True)
+    for stale in glob.glob(os.path.join(incident_dir, "incident-*.json")):
+        os.remove(stale)
+
+    procs = []
+    try:
+        for port in (b1, b2):
+            procs.append(
+                subprocess.Popen(
+                    [serve, "--port", str(port), "--workers", "1", "--quiet"],
+                    stdout=subprocess.DEVNULL,
+                )
+            )
+        procs.append(
+            subprocess.Popen(
+                [
+                    router,
+                    "--port", str(front),
+                    "--backends", "%d,%d" % (b1, b2),
+                    # Round-robin so both backends serve traffic and both
+                    # rings carry records for the bundle assertions.
+                    "--policy", "round-robin",
+                    "--probe-ms", "25",
+                    "--federate-ms", "100",
+                    "--incident-dir", incident_dir,
+                    # No real solve can finish in a microsecond: every
+                    # completion burns both SLO windows at 100x.
+                    "--slo-latency-ms", "0.001",
+                    "--quiet",
+                ]
+            )
+        )
+
+        wait_for(
+            lambda: ask(front, '{"op":"stats"}\n')["stats"]["healthy"] == 2,
+            "both backends healthy",
+        )
+
+        # Warm each backend's flight ring with one direct solve: the SLO is
+        # unmeetable, so the very first routed completion trips the trigger
+        # and the incident fan-out must find records on BOTH backends.
+        for i, port in enumerate((b1, b2)):
+            doc = ask(port, SOLVE % (1 + i))
+            assert doc["outcome"] == "ok", doc
+
+        # Traffic past the SLO. Distinct ids so coalescing cannot fold them.
+        for i in range(6):
+            doc = ask(front, SOLVE % (100 + i))
+            assert doc["outcome"] == "ok", doc
+
+        # Federation: the fleet view reports both backends' obs snapshots.
+        wait_for(
+            lambda: sum(
+                1
+                for entry in ask(front, '{"op":"obs"}\n')["obs"]["fleet"]
+                if entry["reporting"]
+            )
+            == 2,
+            "both backends federated",
+        )
+        obs = ask(front, '{"op":"obs"}\n')["obs"]
+        assert obs["role"] == "router", obs
+        assert "registry" in obs and "slo" in obs, list(obs)
+        for entry in obs["fleet"]:
+            assert entry["obs"]["role"] == "serve", entry
+            assert "histograms" in entry["obs"]["registry"], entry
+
+        # Federated exposition: fleet families merged bucket-wise, build
+        # identities kept per instance.
+        metrics = ask(front, '{"op":"metrics"}\n')["metrics"]
+        assert "qulrb_fleet_service_requests_total" in metrics, metrics
+        assert "qulrb_fleet_backends_reporting 2" in metrics, metrics
+        assert 'qulrb_build_info{' in metrics, metrics
+        assert 'role="router"' in metrics, metrics
+        assert 'instance="127.0.0.1:%d"' % b1 in metrics, metrics
+        assert 'instance="127.0.0.1:%d"' % b2 in metrics, metrics
+
+        # The impossible SLO must have tripped: one incident bundle with the
+        # router's spans and BOTH backends' rings, correlated by rid.
+        wait_for(
+            lambda: glob.glob(os.path.join(incident_dir, "incident-*.json")),
+            "incident bundle written",
+        )
+        bundle_path = sorted(
+            glob.glob(os.path.join(incident_dir, "incident-*.json"))
+        )[0]
+        with open(bundle_path) as f:
+            incident = json.load(f)["incident"]
+        assert incident["kind"] == "slo_burn", incident["kind"]
+        assert incident["fast_burn"] >= 2.0, incident
+        rid = incident["rid"]
+        assert rid > 0, incident
+
+        router_flight = incident["router"]["flight"]
+        assert router_flight is not None, incident
+        assert router_flight["metadata"]["trigger_rid"] == rid, router_flight
+        assert rid in rids_in_flight(router_flight), "rid not in router ring"
+
+        backends = incident["backends"]
+        assert len(backends) == 2, backends
+        backend_rids = set()
+        for entry in backends:
+            assert entry["flight"] is not None, entry
+            events = entry["flight"]["traceEvents"]
+            assert events, "backend ring empty: %s" % entry["backend"]
+            backend_rids |= rids_in_flight(entry["flight"])
+        assert rid in backend_rids, "triggering rid absent from backend rings"
+
+        # On-demand flight dump straight off a backend.
+        dump = ask(b1, '{"op":"flight_dump","window_s":30}\n')
+        assert dump["flight"]["traceEvents"], dump
+        assert dump["flight"]["metadata"]["source"] == "qulrb_serve", dump
+
+        # Clean shutdown all around.
+        for port in (front, b1, b2):
+            s = connect(port)
+            s.sendall(b'{"op":"shutdown"}\n')
+            s.close()
+        for p in procs:
+            assert p.wait(timeout=20) == 0, "process exited non-zero"
+        print("ok: federation, fleet metrics, incident bundle, flight dump")
+        return 0
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,49 @@ TEST(Protocol, ParsesControlOps) {
   EXPECT_EQ(parse_request_line(R"({"op":"shutdown"})").op, OpKind::kShutdown);
 }
 
+TEST(Protocol, ParsesObsAndFlightDumpOps) {
+  EXPECT_EQ(parse_request_line(R"({"op":"obs"})").op, OpKind::kObs);
+
+  const ProtocolRequest dump = parse_request_line(
+      R"({"op":"flight_dump","id":5,"window_s":30,"rid":42})");
+  EXPECT_EQ(dump.op, OpKind::kFlightDump);
+  EXPECT_EQ(dump.client_id, 5u);
+  EXPECT_DOUBLE_EQ(dump.window_s, 30.0);
+  EXPECT_EQ(dump.flight_rid, 42u);
+
+  // Defaults: whole ring, untagged.
+  const ProtocolRequest bare = parse_request_line(R"({"op":"flight_dump"})");
+  EXPECT_DOUBLE_EQ(bare.window_s, 0.0);
+  EXPECT_EQ(bare.flight_rid, 0u);
+}
+
+TEST(Protocol, ObsAndFlightEncodersRoundTrip) {
+  const ProtocolRequest obs_req =
+      parse_request_line(encode_obs_request(9));
+  EXPECT_EQ(obs_req.op, OpKind::kObs);
+  EXPECT_EQ(obs_req.client_id, 9u);
+
+  const ProtocolRequest dump_req =
+      parse_request_line(encode_flight_dump_request(7, 12.5, 99));
+  EXPECT_EQ(dump_req.op, OpKind::kFlightDump);
+  EXPECT_EQ(dump_req.client_id, 7u);
+  EXPECT_DOUBLE_EQ(dump_req.window_s, 12.5);
+  EXPECT_EQ(dump_req.flight_rid, 99u);
+
+  // Responses splice the payload document verbatim under a stable key.
+  const JsonValue obs_resp = JsonValue::parse(
+      encode_obs_response(9, R"({"role":"serve","registry":{}})"));
+  EXPECT_EQ(obs_resp.int_or("id", -1), 9);
+  ASSERT_NE(obs_resp.find("obs"), nullptr);
+  EXPECT_EQ(obs_resp.find("obs")->string_or("role", ""), "serve");
+
+  const JsonValue flight_resp = JsonValue::parse(
+      encode_flight_response(7, R"({"traceEvents":[],"metadata":{}})"));
+  EXPECT_EQ(flight_resp.int_or("id", -1), 7);
+  ASSERT_NE(flight_resp.find("flight"), nullptr);
+  ASSERT_NE(flight_resp.find("flight")->find("traceEvents"), nullptr);
+}
+
 TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request_line("not json"), util::InvalidArgument);
   EXPECT_THROW(parse_request_line("[1,2]"), util::InvalidArgument);

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/json_value.hpp"
+#include "obs/slo.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+// Every test drives the engine's explicit clock, so window rotation and
+// cooldowns are exact — no sleeps, no wall-clock flakiness.
+
+SloEngine::Params test_params() {
+  SloEngine::Params p;
+  p.latency_slo_ms = 50.0;
+  p.target = 0.9;  // error budget = 10% => burn = bad_fraction * 10
+  p.fast_window_s = 60.0;
+  p.slow_window_s = 600.0;
+  p.burn_threshold = 2.0;
+  p.cooldown_s = 1e9;  // one trigger per (kind, class) unless a test lowers it
+  p.num_classes = 4;
+  p.deadline_burst = 3;
+  p.queue_hwm = 10;
+  return p;
+}
+
+struct Collector {
+  std::vector<SloTrigger> triggers;
+  SloEngine::TriggerHandler handler() {
+    return [this](const SloTrigger& t) { triggers.push_back(t); };
+  }
+};
+
+TEST(SloTrigger, TaxonomyHasStableWireStrings) {
+  EXPECT_STREQ(to_string(TriggerKind::kSloBurn), "slo_burn");
+  EXPECT_STREQ(to_string(TriggerKind::kDeadlineMissBurst),
+               "deadline_miss_burst");
+  EXPECT_STREQ(to_string(TriggerKind::kBackendMarkDown), "backend_mark_down");
+  EXPECT_STREQ(to_string(TriggerKind::kQueueDepthHwm), "queue_depth_hwm");
+
+  SloTrigger t;
+  t.kind = TriggerKind::kDeadlineMissBurst;
+  t.rid = 42;
+  t.detail = "unit";
+  const io::JsonValue doc = io::JsonValue::parse(to_json(t));
+  EXPECT_EQ(doc.string_or("kind", ""), "deadline_miss_burst");
+  EXPECT_EQ(doc.int_or("rid", -1), 42);
+  EXPECT_EQ(doc.string_or("detail", ""), "unit");
+}
+
+TEST(SloEngine, BurnRateIsBadFractionOverErrorBudget) {
+  SloEngine engine(test_params());
+  const double now = 1e6;
+  // 10 requests, 5 good (fast + ok), 5 bad: bad fraction 0.5, budget 0.1.
+  for (int i = 0; i < 5; ++i) engine.record(0, 1.0, true, false, 1, now);
+  for (int i = 0; i < 5; ++i) engine.record(0, 500.0, true, false, 2, now);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 60.0, now), 5.0);
+  // An empty window burns nothing; other classes are independent.
+  EXPECT_DOUBLE_EQ(engine.burn_rate(1, 60.0, now), 0.0);
+}
+
+TEST(SloEngine, FailedRequestsAreNeverGood) {
+  SloEngine engine(test_params());
+  const double now = 1e6;
+  // Fast but failed: latency meets the objective, ok=false must still burn.
+  for (int i = 0; i < 10; ++i) engine.record(0, 1.0, false, false, 1, now);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 60.0, now), 10.0);
+}
+
+TEST(SloEngine, PagesOnlyWhenBothWindowsBurn) {
+  Collector collector;
+  SloEngine engine(test_params(), collector.handler());
+  const double t_good = 1e6;
+  // 200 good requests fill the slow window's history.
+  for (int i = 0; i < 200; ++i) engine.record(0, 1.0, true, false, 1, t_good);
+
+  // 100 s later a failure burst starts: the fast window sees only failures
+  // (burn 10x) but the slow window is still diluted by the good history —
+  // the multi-window guard must hold the page until BOTH breach.
+  const double t_bad = t_good + 100e3;
+  for (int i = 0; i < 49; ++i) {
+    engine.record(0, 500.0, true, false, 1000 + static_cast<std::uint64_t>(i),
+                  t_bad);
+  }
+  EXPECT_GE(engine.burn_rate(0, 60.0, t_bad), 2.0);
+  EXPECT_LT(engine.burn_rate(0, 600.0, t_bad), 2.0);
+  EXPECT_TRUE(collector.triggers.empty());
+
+  // The 50th failure tips the slow window to exactly 2.0x — page now.
+  engine.record(0, 500.0, true, false, 1049, t_bad);
+  ASSERT_EQ(collector.triggers.size(), 1u);
+  const SloTrigger& trigger = collector.triggers[0];
+  EXPECT_EQ(trigger.kind, TriggerKind::kSloBurn);
+  EXPECT_EQ(trigger.priority, 0);
+  EXPECT_EQ(trigger.rid, 1049u);  // tagged with the tripping request
+  EXPECT_GE(trigger.fast_burn, 2.0);
+  EXPECT_GE(trigger.slow_burn, 2.0);
+  EXPECT_NE(trigger.detail.find("class 0"), std::string::npos);
+}
+
+TEST(SloEngine, CooldownSpacesRepeatedTriggers) {
+  SloEngine::Params params = test_params();
+  params.cooldown_s = 30.0;
+  Collector collector;
+  SloEngine engine(params, collector.handler());
+  const double t0 = 1e6;
+  engine.record(0, 500.0, true, false, 1, t0);  // burn 10x/10x: page
+  ASSERT_EQ(collector.triggers.size(), 1u);
+  // Still burning 1 s later: suppressed by the cooldown.
+  engine.record(0, 500.0, true, false, 2, t0 + 1e3);
+  EXPECT_EQ(collector.triggers.size(), 1u);
+  // Past the cooldown: page again.
+  engine.record(0, 500.0, true, false, 3, t0 + 31e3);
+  ASSERT_EQ(collector.triggers.size(), 2u);
+  EXPECT_EQ(collector.triggers[1].rid, 3u);
+}
+
+TEST(SloEngine, CooldownIsPerClass) {
+  SloEngine::Params params = test_params();
+  Collector collector;
+  SloEngine engine(params, collector.handler());
+  const double t0 = 1e6;
+  engine.record(0, 500.0, true, false, 1, t0);
+  engine.record(2, 500.0, true, false, 2, t0);  // other class, own cooldown
+  ASSERT_EQ(collector.triggers.size(), 2u);
+  EXPECT_EQ(collector.triggers[0].priority, 0);
+  EXPECT_EQ(collector.triggers[1].priority, 2);
+}
+
+TEST(SloEngine, DeadlineMissBurstTrigger) {
+  Collector collector;
+  SloEngine engine(test_params(), collector.handler());
+  const double now = 1e6;
+  // Latency-good requests that still missed their deadlines: the burst
+  // trigger must fire independently of the latency objective.
+  engine.record(0, 1.0, true, true, 1, now);
+  engine.record(0, 1.0, true, true, 2, now);
+  EXPECT_TRUE(collector.triggers.empty());  // burst threshold is 3
+  engine.record(0, 1.0, true, true, 3, now);
+  ASSERT_EQ(collector.triggers.size(), 1u);
+  EXPECT_EQ(collector.triggers[0].kind, TriggerKind::kDeadlineMissBurst);
+  EXPECT_EQ(collector.triggers[0].rid, 3u);
+  EXPECT_NE(collector.triggers[0].detail.find("3 deadline misses"),
+            std::string::npos);
+}
+
+TEST(SloEngine, QueueDepthHighWatermarkTrigger) {
+  Collector collector;
+  SloEngine engine(test_params(), collector.handler());
+  engine.note_queue_depth(10, 1, 1e6);  // at the watermark: no trigger
+  EXPECT_TRUE(collector.triggers.empty());
+  engine.note_queue_depth(11, 2, 1e6);
+  ASSERT_EQ(collector.triggers.size(), 1u);
+  EXPECT_EQ(collector.triggers[0].kind, TriggerKind::kQueueDepthHwm);
+
+  // hwm = 0 disables the source entirely.
+  SloEngine::Params off = test_params();
+  off.queue_hwm = 0;
+  Collector none;
+  SloEngine disabled(off, none.handler());
+  disabled.note_queue_depth(1000000, 1, 1e6);
+  EXPECT_TRUE(none.triggers.empty());
+}
+
+TEST(SloEngine, BackendMarkDownTrigger) {
+  Collector collector;
+  SloEngine engine(test_params(), collector.handler());
+  engine.note_backend_down("127.0.0.1:7471", 1e6);
+  ASSERT_EQ(collector.triggers.size(), 1u);
+  EXPECT_EQ(collector.triggers[0].kind, TriggerKind::kBackendMarkDown);
+  EXPECT_EQ(collector.triggers[0].priority, -1);  // not class-scoped
+  EXPECT_NE(collector.triggers[0].detail.find("127.0.0.1:7471"),
+            std::string::npos);
+}
+
+TEST(SloEngine, WindowsForgetExpiredBuckets) {
+  SloEngine engine(test_params());
+  const double t0 = 1e6;
+  for (int i = 0; i < 10; ++i) engine.record(0, 500.0, true, false, 1, t0);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 600.0, t0), 10.0);
+  // Past the slow window, both burns read an empty window.
+  const double later = t0 + 700e3;
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 60.0, later), 0.0);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 600.0, later), 0.0);
+  // New traffic in a reused ring slot counts only itself.
+  for (int i = 0; i < 4; ++i) engine.record(0, 1.0, true, false, 2, later);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 600.0, later), 0.0);
+  for (int i = 0; i < 4; ++i) engine.record(0, 500.0, true, false, 3, later);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 600.0, later), 5.0);
+}
+
+TEST(SloEngine, MergedWindowSumsLiveBucketsExactly) {
+  SloEngine engine(test_params());
+  const double t0 = 1e6;
+  // Two separate time buckets (fast window 60 s => 15 s buckets).
+  for (int i = 0; i < 5; ++i) engine.record(0, 10.0, true, false, 1, t0);
+  const double t1 = t0 + 30e3;
+  for (int i = 0; i < 7; ++i) engine.record(0, 20.0, true, false, 2, t1);
+
+  LogHistogram both;
+  engine.merged_window(0, 60.0, t1, both);
+  EXPECT_EQ(both.count(), 12u);
+  EXPECT_DOUBLE_EQ(both.sum(), 5 * 10.0 + 7 * 20.0);
+
+  // A narrower window that starts after t0's bucket sees only the second.
+  LogHistogram recent;
+  engine.merged_window(0, 20.0, t1, recent);
+  EXPECT_EQ(recent.count(), 7u);
+  EXPECT_DOUBLE_EQ(recent.sum(), 7 * 20.0);
+
+  // Other classes contribute nothing.
+  LogHistogram other;
+  engine.merged_window(3, 60.0, t1, other);
+  EXPECT_EQ(other.count(), 0u);
+}
+
+TEST(SloEngine, ClampsOutOfRangePriorities) {
+  SloEngine engine(test_params());
+  const double now = 1e6;
+  engine.record(-5, 500.0, true, false, 1, now);   // -> class 0
+  engine.record(99, 500.0, true, false, 2, now);   // -> last class
+  EXPECT_DOUBLE_EQ(engine.burn_rate(0, 60.0, now), 10.0);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(3, 60.0, now), 10.0);
+  EXPECT_DOUBLE_EQ(engine.burn_rate(1, 60.0, now), 0.0);
+}
+
+TEST(SloEngine, JsonViewExposesPerClassState) {
+  SloEngine engine(test_params());
+  const double now = 1e6;
+  for (int i = 0; i < 8; ++i) engine.record(1, 10.0, true, false, 1, now);
+  for (int i = 0; i < 2; ++i) engine.record(1, 500.0, true, false, 2, now);
+
+  const io::JsonValue doc = io::JsonValue::parse(engine.to_json(now));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.number_or("latency_slo_ms", 0.0), 50.0);
+  const io::JsonValue* classes = doc.find("classes");
+  ASSERT_NE(classes, nullptr);
+  ASSERT_EQ(classes->as_array().size(), 4u);
+  const io::JsonValue& cls1 = classes->as_array()[1];
+  EXPECT_EQ(cls1.int_or("fast_total", -1), 10);
+  EXPECT_EQ(cls1.int_or("fast_good", -1), 8);
+  EXPECT_DOUBLE_EQ(cls1.number_or("fast_burn", 0.0), 2.0);
+  EXPECT_GT(cls1.number_or("fast_p99_ms", 0.0), 10.0);
+}
+
+}  // namespace
+}  // namespace qulrb::obs

@@ -6,7 +6,7 @@
 //                 [--deadline-ms X] [--drift] [--topo-zipf S] [--seed S]
 //                 [--workers W] [--cache C] [--rate R]
 //                 [--connect PORT] [--targets HOST:PORT,...]
-//                 [--label NAME] [--json FILE]
+//                 [--priority-classes N] [--label NAME] [--json FILE]
 //
 // Default is closed-loop against an in-process RebalanceService: C client
 // threads each keep exactly one request outstanding. --rate R switches to
@@ -25,7 +25,11 @@
 // Reports throughput and client-observed p50/p95/p99 latency. --json FILE
 // additionally writes a machine-readable summary including the full
 // log-bucketed latency histogram (the same obs::LogHistogram layout the
-// service's Prometheus metrics use).
+// service's Prometheus metrics use). --priority-classes N cycles request
+// priority over N classes (request #seq gets priority seq % N) and the
+// summary reports one quantiles+histogram entry per class under "classes"
+// — per-class latency is what the server-side SLO engine pages on, so the
+// client view must be sliced the same way.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -40,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -79,6 +84,9 @@ struct LoadgenOptions {
   double rate = 0.0;  ///< open-loop requests/sec (in-process only); 0 = closed
   /// TCP servers; client threads spread round-robin. Empty = in-process.
   std::vector<router::BackendAddress> targets;
+  /// Priority classes cycled over the request stream (request #seq gets
+  /// priority seq % N). 1 = everything priority 0, the old behaviour.
+  std::size_t priority_classes = 1;
   std::string label;     ///< tag echoed into the --json summary
   std::string json_out;  ///< machine-readable summary file ("" = none)
 };
@@ -133,6 +141,9 @@ service::RebalanceRequest make_request(const LoadgenOptions& options,
   request.variant = options.variant;
   request.k = options.k;
   request.deadline_ms = options.deadline_ms;
+  if (options.priority_classes > 1) {
+    request.priority = static_cast<int>(seq % options.priority_classes);
+  }
   request.hybrid.sweeps = options.sweeps;
   request.hybrid.num_restarts = options.restarts;
   request.hybrid.seed = options.seed + seq;
@@ -140,15 +151,36 @@ service::RebalanceRequest make_request(const LoadgenOptions& options,
 }
 
 struct Tally {
+  /// Per-priority-class slice of the run — the --json summary reports one
+  /// histogram per class, not just the global blend (a tight p99 SLO on the
+  /// high class is invisible in a blended histogram).
+  struct PerClass {
+    std::vector<double> latencies_ms;
+    obs::LogHistogram hist;
+  };
+
+  explicit Tally(std::size_t classes) {
+    per_class.reserve(classes == 0 ? 1 : classes);
+    for (std::size_t c = 0; c < (classes == 0 ? 1 : classes); ++c) {
+      per_class.push_back(std::make_unique<PerClass>());
+    }
+  }
+
   std::mutex mutex;
   std::vector<double> latencies_ms;
   obs::LogHistogram hist;  ///< same log-bucketed layout as the service metrics
+  std::vector<std::unique_ptr<PerClass>> per_class;
   std::uint64_t ok = 0, rejected = 0, shed = 0, cancelled = 0, failed = 0;
 
-  void record(const std::string& outcome, double ms) {
+  void record(int priority, const std::string& outcome, double ms) {
     hist.observe(ms);
+    PerClass& pc =
+        *per_class[static_cast<std::size_t>(priority < 0 ? 0 : priority) %
+                   per_class.size()];
+    pc.hist.observe(ms);
     std::lock_guard<std::mutex> lock(mutex);
     latencies_ms.push_back(ms);
+    pc.latencies_ms.push_back(ms);
     if (outcome == "ok") ++ok;
     else if (outcome == "rejected") ++rejected;
     else if (outcome == "shed") ++shed;
@@ -204,9 +236,39 @@ struct ServerCache {
   }
 };
 
+/// Emit one log-bucketed histogram object (cumulative `le` edges,
+/// Prometheus-style) — shared by the global and per-class summaries.
+void write_histogram_json(io::JsonWriter& w, const obs::LogHistogram& hist) {
+  w.begin_object();
+  w.field("count", hist.count());
+  w.field("sum_ms", hist.sum());
+  w.key("buckets");
+  w.begin_array();
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < hist.num_buckets(); ++b) {
+    cumulative += hist.bucket_count(b);
+    w.begin_object();
+    w.field("le_ms", hist.upper_edge(b));
+    w.field("count", cumulative);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_quantiles_json(io::JsonWriter& w, const std::vector<double>& xs) {
+  w.begin_object();
+  w.field("mean", util::mean(xs));
+  w.field("p50", util::quantile(xs, 0.50));
+  w.field("p95", util::quantile(xs, 0.95));
+  w.field("p99", util::quantile(xs, 0.99));
+  w.field("max", *std::max_element(xs.begin(), xs.end()));
+  w.end_object();
+}
+
 /// Machine-readable run summary: outcomes, exact quantiles from the raw
-/// sample vector, and the full log-bucketed histogram (cumulative `le`
-/// edges, Prometheus-style) so downstream tooling can merge runs.
+/// sample vector, the full log-bucketed global histogram, and one
+/// quantiles+histogram entry per priority class under "classes".
 void write_json_summary(const std::string& path, const Tally& tally,
                         double wall_seconds, const std::string& label,
                         const ServerCache& cache) {
@@ -237,30 +299,26 @@ void write_json_summary(const std::string& path, const Tally& tally,
   }
   if (!xs.empty()) {
     w.key("latency_ms");
-    w.begin_object();
-    w.field("mean", util::mean(xs));
-    w.field("p50", util::quantile(xs, 0.50));
-    w.field("p95", util::quantile(xs, 0.95));
-    w.field("p99", util::quantile(xs, 0.99));
-    w.field("max", *std::max_element(xs.begin(), xs.end()));
-    w.end_object();
+    write_quantiles_json(w, xs);
   }
   w.key("histogram");
-  w.begin_object();
-  w.field("count", tally.hist.count());
-  w.field("sum_ms", tally.hist.sum());
-  w.key("buckets");
+  write_histogram_json(w, tally.hist);
+  w.key("classes");
   w.begin_array();
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < tally.hist.num_buckets(); ++b) {
-    cumulative += tally.hist.bucket_count(b);
+  for (std::size_t c = 0; c < tally.per_class.size(); ++c) {
+    const Tally::PerClass& pc = *tally.per_class[c];
     w.begin_object();
-    w.field("le_ms", tally.hist.upper_edge(b));
-    w.field("count", cumulative);
+    w.field("priority", c);
+    w.field("requests", pc.latencies_ms.size());
+    if (!pc.latencies_ms.empty()) {
+      w.key("latency_ms");
+      write_quantiles_json(w, pc.latencies_ms);
+    }
+    w.key("histogram");
+    write_histogram_json(w, pc.hist);
     w.end_object();
   }
   w.end_array();
-  w.end_object();
   w.end_object();
   std::ofstream out(path);
   util::require(out.good(), "loadgen: cannot open " + path);
@@ -280,7 +338,7 @@ int run_inproc_closed(const LoadgenOptions& options) {
   params.cache_capacity = options.cache;
   service::RebalanceService svc(params);
 
-  Tally tally;
+  Tally tally(options.priority_classes);
   std::atomic<std::uint64_t> next_seq{0};
   util::WallTimer wall;
   std::vector<std::thread> clients;
@@ -289,10 +347,13 @@ int run_inproc_closed(const LoadgenOptions& options) {
       while (true) {
         const std::uint64_t seq = next_seq.fetch_add(1);
         if (seq >= options.requests) return;
+        service::RebalanceRequest request = make_request(options, seq);
+        const int priority = request.priority;
         util::WallTimer timer;
-        auto future = svc.submit(make_request(options, seq));
+        auto future = svc.submit(std::move(request));
         const service::RebalanceResponse response = future.get();
-        tally.record(service::to_string(response.outcome), timer.elapsed_ms());
+        tally.record(priority, service::to_string(response.outcome),
+                     timer.elapsed_ms());
       }
     });
   }
@@ -315,7 +376,7 @@ int run_inproc_open(const LoadgenOptions& options) {
   params.cache_capacity = options.cache;
   service::RebalanceService svc(params);
 
-  Tally tally;
+  Tally tally(options.priority_classes);
   util::WallTimer wall;
   const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(1.0 / options.rate));
@@ -324,13 +385,15 @@ int run_inproc_open(const LoadgenOptions& options) {
     std::this_thread::sleep_until(next_tick);
     next_tick += interval;
     const auto submitted = std::chrono::steady_clock::now();
-    svc.submit(make_request(options, seq),
-               [&tally, submitted](service::RebalanceResponse response) {
+    service::RebalanceRequest request = make_request(options, seq);
+    const int priority = request.priority;
+    svc.submit(std::move(request),
+               [&tally, submitted, priority](service::RebalanceResponse response) {
                  const double ms =
                      std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - submitted)
                          .count();
-                 tally.record(service::to_string(response.outcome), ms);
+                 tally.record(priority, service::to_string(response.outcome), ms);
                });
   }
   svc.drain();
@@ -387,7 +450,7 @@ bool read_line(int fd, std::string& buffer, std::string& line) {
 }
 
 int run_tcp_closed(const LoadgenOptions& options) {
-  Tally tally;
+  Tally tally(options.priority_classes);
   std::atomic<std::uint64_t> next_seq{0};
   util::WallTimer wall;
   std::vector<std::thread> clients;
@@ -410,7 +473,13 @@ int run_tcp_closed(const LoadgenOptions& options) {
         util::require(read_line(fd, buffer, line),
                       "loadgen: server closed the connection");
         const io::JsonValue response = io::JsonValue::parse(line);
-        tally.record(response.string_or("outcome", "failed"), timer.elapsed_ms());
+        // Same (seed-free) class mapping make_request used when encoding #seq.
+        const int priority =
+            options.priority_classes > 1
+                ? static_cast<int>(seq % options.priority_classes)
+                : 0;
+        tally.record(priority, response.string_or("outcome", "failed"),
+                     timer.elapsed_ms());
       }
       ::close(fd);
     });
@@ -467,7 +536,8 @@ int usage() {
          "                     [--restarts R] [--deadline-ms X] [--drift]\n"
          "                     [--topo-zipf S] [--seed S] [--workers W]\n"
          "                     [--cache C] [--rate R] [--connect PORT]\n"
-         "                     [--targets HOST:PORT,...] [--label NAME]\n"
+         "                     [--targets HOST:PORT,...]\n"
+         "                     [--priority-classes N] [--label NAME]\n"
          "                     [--json FILE]\n";
   return 2;
 }
@@ -508,6 +578,8 @@ int main(int argc, char** argv) {
       }
       else if (arg == "--targets")
         options.targets = router::parse_backend_list(next());
+      else if (arg == "--priority-classes")
+        options.priority_classes = std::stoul(next());
       else if (arg == "--label") options.label = next();
       else if (arg == "--json") options.json_out = next();
       else if (arg == "--help") return usage();
@@ -517,6 +589,8 @@ int main(int argc, char** argv) {
       }
     }
     util::require(options.m >= 1 && options.n >= 1, "loadgen: need m, n >= 1");
+    util::require(options.priority_classes >= 1,
+                  "loadgen: need --priority-classes >= 1");
 
     if (!options.targets.empty()) {
       util::require(options.rate == 0.0,

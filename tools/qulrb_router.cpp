@@ -20,6 +20,17 @@
 // "router_ms" (time spent in the router), so the owning backend's Perfetto
 // trace carries the router's identity and admission hop — one routed
 // request, one correlated trace.
+//
+// Observability v3: every --federate-ms the router pulls each backend's
+// {"op":"obs"} registry snapshot and folds it bucket-wise into fleet-level
+// qulrb_fleet_* families (appended to {"op":"metrics"}); {"op":"obs"} on the
+// router returns its own registry, the fleet SLO view, and every backend's
+// latest snapshot. The router keeps a flight ring over routed requests and
+// runs a fleet SLO engine on end-to-end latency; when a trigger fires (SLO
+// burn, deadline-miss burst, backend mark-down) a dedicated incident thread
+// assembles one cross-process bundle — router spans plus every backend's
+// recent ring via {"op":"flight_dump"}, correlated by rid — and writes it to
+// --incident-dir/incident-<rid>-<kind>.json.
 
 #include <arpa/inet.h>
 #include <csignal>
@@ -38,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "router/router.hpp"
 #include "util/error.hpp"
 
@@ -138,6 +150,9 @@ void serve_connection(router::Router& router, int fd,
 
 int run(const RouterOptions& options) {
   router::Router router(options.router);
+  // The router moves no solver kernels itself — its SIMD level is "scalar".
+  obs::register_build_info(router.registry(), obs::build_info("scalar"),
+                           "router");
   router.start();
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -200,7 +215,12 @@ int usage() {
          "                    [--reconnect-ms X] [--vnodes N]\n"
          "                    [--load-factor F] [--max-retries N]\n"
          "                    [--no-coalesce] [--seed S]\n"
-         "                    [--metrics-out FILE] [--quiet]\n";
+         "                    [--metrics-out FILE] [--federate-ms X]\n"
+         "                    [--no-flight] [--flight-window-s X]\n"
+         "                    [--incident-dir DIR] [--slo-latency-ms X]\n"
+         "                    [--slo-target X] [--slo-fast-s X]\n"
+         "                    [--slo-slow-s X] [--slo-burn-threshold X]\n"
+         "                    [--deadline-burst N] [--quiet]\n";
   return 2;
 }
 
@@ -235,6 +255,25 @@ int main(int argc, char** argv) {
       else if (arg == "--seed")
         options.router.policy_config.seed = std::stoull(next());
       else if (arg == "--metrics-out") options.metrics_out = next();
+      else if (arg == "--federate-ms")
+        options.router.federate_ms = std::stod(next());
+      else if (arg == "--no-flight") options.router.flight = false;
+      else if (arg == "--flight-window-s")
+        options.router.flight_window_s = std::stod(next());
+      else if (arg == "--incident-dir")
+        options.router.incident_dir = next();
+      else if (arg == "--slo-latency-ms")
+        options.router.slo.latency_slo_ms = std::stod(next());
+      else if (arg == "--slo-target")
+        options.router.slo.target = std::stod(next());
+      else if (arg == "--slo-fast-s")
+        options.router.slo.fast_window_s = std::stod(next());
+      else if (arg == "--slo-slow-s")
+        options.router.slo.slow_window_s = std::stod(next());
+      else if (arg == "--slo-burn-threshold")
+        options.router.slo.burn_threshold = std::stod(next());
+      else if (arg == "--deadline-burst")
+        options.router.slo.deadline_burst = std::stoull(next());
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {

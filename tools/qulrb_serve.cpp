@@ -46,7 +46,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "anneal/simd.hpp"
+#include "io/json.hpp"
+#include "obs/build_info.hpp"
 #include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram_wire.hpp"
+#include "obs/slo.hpp"
 #include "service/protocol.hpp"
 #include "service/rebalance_service.hpp"
 #include "util/error.hpp"
@@ -84,7 +90,24 @@ struct ServeOptions {
   std::string metrics_out;  ///< final Prometheus exposition on shutdown
   std::string trace_out;    ///< retained Perfetto docs (JSON array) on shutdown
   std::string events_out;   ///< JSONL SolveEvent sink (live, appended)
+  double events_max_mb = 0.0;  ///< size cap per events file (0 = unbounded)
   bool quiet = false;
+
+  // Flight recorder: always on unless --no-flight (the ring is lock-light
+  // and costs <2% on the recorded sweep path — see bench_obs).
+  bool flight = true;
+  std::size_t flight_capacity = 4096;
+  double flight_window_s = 30.0;  ///< seconds snapshotted per anomaly dump
+  std::string flight_dir;         ///< anomaly dump directory ("" = no dumps)
+
+  // SLO engine objectives (triggers are the flight recorder's dump signal).
+  double slo_latency_ms = 50.0;
+  double slo_target = 0.99;
+  double slo_fast_s = 300.0;
+  double slo_slow_s = 3600.0;
+  double slo_burn_threshold = 2.0;
+  std::uint64_t deadline_burst = 8;
+  std::size_t queue_hwm = 0;
 };
 
 /// One protocol session: parses request lines, forwards them to the service,
@@ -126,6 +149,48 @@ class ProtocolSession {
       case service::OpKind::kTrace:
         write(service::encode_traces(svc_.last_traces(request.trace_count)));
         return true;
+      case service::OpKind::kObs: {
+        // Federation pull: the whole registry in wire form, this binary's
+        // identity, and the live SLO view. Refresh the point-in-time gauges
+        // first so the snapshot matches what a metrics scrape would see.
+        (void)svc_.metrics_text();
+        io::JsonWriter w;
+        w.begin_object();
+        w.field("role", "serve");
+        const obs::BuildInfo info = obs::build_info(
+            anneal::simd::level_name(anneal::simd::active_level()));
+        w.key("build").begin_object();
+        w.field("version", info.version);
+        w.field("revision", info.revision);
+        w.field("build", info.build_type);
+        w.field("simd_level", info.simd_level);
+        w.end_object();
+        w.key("registry");
+        obs::write_registry_obs_json(svc_.metrics_registry(), w);
+        if (svc_.params().slo != nullptr) {
+          w.key("slo");
+          svc_.params().slo->write_json(w, svc_.now_ms());
+        }
+        w.end_object();
+        write(service::encode_obs_response(request.client_id, w.str()));
+        return true;
+      }
+      case service::OpKind::kFlightDump: {
+        obs::FlightRecorder* flight = svc_.params().flight;
+        if (flight == nullptr) {
+          // A "flight" key even when disabled: the router classifies
+          // control responses by their top-level key, so an error-shaped
+          // reply here would desync its per-connection FIFO.
+          write(service::encode_flight_response(request.client_id, "null"));
+          return true;
+        }
+        write(service::encode_flight_response(
+            request.client_id,
+            obs::flight_to_perfetto_json(*flight, request.window_s,
+                                         request.flight_rid, "manual",
+                                         "qulrb_serve")));
+        return true;
+      }
       case service::OpKind::kCancel: {
         std::uint64_t service_id = 0;
         {
@@ -371,7 +436,14 @@ int usage() {
                "                   [--cache N] [--default-deadline-ms X]\n"
                "                   [--solver-threads N] [--trace N]\n"
                "                   [--metrics-out FILE] [--trace-out FILE]\n"
-               "                   [--events-out FILE] [--quiet]\n";
+               "                   [--events-out FILE] [--events-max-mb X]\n"
+               "                   [--no-flight] [--flight-capacity N]\n"
+               "                   [--flight-window-s X] [--flight-dir DIR]\n"
+               "                   [--slo-latency-ms X] [--slo-target X]\n"
+               "                   [--slo-fast-s X] [--slo-slow-s X]\n"
+               "                   [--slo-burn-threshold X]\n"
+               "                   [--deadline-burst N] [--queue-hwm N]\n"
+               "                   [--quiet]\n";
   return 2;
 }
 
@@ -405,6 +477,22 @@ int main(int argc, char** argv) {
         options.service.record_traces = true;
       }
       else if (arg == "--events-out") options.events_out = next();
+      else if (arg == "--events-max-mb") options.events_max_mb = std::stod(next());
+      else if (arg == "--no-flight") options.flight = false;
+      else if (arg == "--flight-capacity")
+        options.flight_capacity = std::stoul(next());
+      else if (arg == "--flight-window-s")
+        options.flight_window_s = std::stod(next());
+      else if (arg == "--flight-dir") options.flight_dir = next();
+      else if (arg == "--slo-latency-ms") options.slo_latency_ms = std::stod(next());
+      else if (arg == "--slo-target") options.slo_target = std::stod(next());
+      else if (arg == "--slo-fast-s") options.slo_fast_s = std::stod(next());
+      else if (arg == "--slo-slow-s") options.slo_slow_s = std::stod(next());
+      else if (arg == "--slo-burn-threshold")
+        options.slo_burn_threshold = std::stod(next());
+      else if (arg == "--deadline-burst")
+        options.deadline_burst = std::stoull(next());
+      else if (arg == "--queue-hwm") options.queue_hwm = std::stoul(next());
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {
@@ -417,12 +505,56 @@ int main(int argc, char** argv) {
 
     std::optional<obs::EventLog> events;
     if (!options.events_out.empty()) {
-      events.emplace(options.events_out, /*append=*/true);
+      events.emplace(options.events_out, /*append=*/true,
+                     static_cast<std::uint64_t>(options.events_max_mb *
+                                                1024.0 * 1024.0));
       options.service.event_log = &*events;
       options.service.event_source = "qulrb_serve";
     }
 
+    // Flight recorder and SLO engine outlive the service (declared first;
+    // workers record into both until the service destructs).
+    std::optional<obs::FlightRecorder> flight;
+    if (options.flight) {
+      flight.emplace(options.flight_capacity);
+      options.service.flight = &*flight;
+    }
+    obs::SloEngine::Params slo_params;
+    slo_params.latency_slo_ms = options.slo_latency_ms;
+    slo_params.target = options.slo_target;
+    slo_params.fast_window_s = options.slo_fast_s;
+    slo_params.slow_window_s = options.slo_slow_s;
+    slo_params.burn_threshold = options.slo_burn_threshold;
+    slo_params.deadline_burst = options.deadline_burst;
+    slo_params.queue_hwm = options.queue_hwm;
+    obs::SloEngine slo(
+        slo_params, [&options, &flight](const obs::SloTrigger& t) {
+          // Anomaly trigger: snapshot the recent ring, tagged with the
+          // triggering request's rid, into --flight-dir.
+          if (!options.quiet) {
+            std::cerr << "qulrb_serve: trigger " << obs::to_string(t.kind)
+                      << " (rid " << t.rid << "): " << t.detail << "\n";
+          }
+          if (!flight || options.flight_dir.empty()) return;
+          const std::string path = options.flight_dir + "/flight-" +
+                                   std::to_string(t.rid) + "-" +
+                                   obs::to_string(t.kind) + ".json";
+          std::ofstream out(path, std::ios::trunc);
+          if (out) {
+            out << obs::flight_to_perfetto_json(
+                       *flight, options.flight_window_s, t.rid,
+                       obs::to_string(t.kind), "qulrb_serve")
+                << "\n";
+          }
+        });
+    options.service.slo = &slo;
+
     service::RebalanceService svc(options.service);
+    obs::register_build_info(
+        svc.metrics_registry(),
+        obs::build_info(
+            anneal::simd::level_name(anneal::simd::active_level())),
+        "serve");
     if (options.port > 0) return run_tcp(svc, options);
     return run_stdio(svc, options);
   } catch (const std::exception& error) {
