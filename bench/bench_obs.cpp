@@ -12,6 +12,7 @@
 #include "lrp/cqm_builder.hpp"
 #include "model/expr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "util/rng.hpp"
 #include "workloads/scenarios.hpp"
@@ -137,5 +138,30 @@ void BM_CqmAnnealSweepFlightOn(benchmark::State& state) {
       static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
 }
 BENCHMARK(BM_CqmAnnealSweepFlightOn)->Arg(8)->Arg(32);
+
+void BM_CqmAnnealSweepProfOn(benchmark::State& state) {
+  // The continuous-profiling configuration: a 99 Hz SIGPROF sampler walks
+  // this thread's stack while the sweep runs. The steady-state cost is the
+  // signal delivery plus the frame-pointer unwind, amortised over ~10 ms of
+  // kernel work per sample. The acceptance bar is <1% over
+  // BM_CqmAnnealSweepObsOff at m=32.
+  const SweepFixture fx(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(5);
+  obs::Profiler profiler;
+  const bool sampling = profiler.start();
+  if (!sampling) state.SkipWithError("profiler slot already taken");
+  anneal::CqmAnnealParams params;
+  params.sweeps = 1;
+  const anneal::CqmAnnealer annealer(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(annealer.anneal_once(fx.cqm.cqm(), fx.penalties,
+                                                  rng, {}, nullptr, &fx.pairs));
+  }
+  if (sampling) profiler.stop();
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(fx.cqm.num_binary_variables()));
+}
+BENCHMARK(BM_CqmAnnealSweepProfOn)->Arg(8)->Arg(32);
 
 }  // namespace

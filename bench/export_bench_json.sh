@@ -172,6 +172,10 @@ for m in (8, 32):
     if off and flight:
         overhead = flight["real_time"] / off["real_time"] - 1.0
         summary[f"flight_overhead_pct_m{m}"] = round(100.0 * overhead, 2)
+    prof = rows.get(f"BM_CqmAnnealSweepProfOn/{m}")
+    if off and prof:
+        overhead = prof["real_time"] / off["real_time"] - 1.0
+        summary[f"profiler_overhead_pct_m{m}"] = round(100.0 * overhead, 2)
 for prim in ("BM_ObsCounterInc", "BM_ObsHistogramObserve", "BM_ObsNullSpan",
              "BM_FlightRecord"):
     if prim in rows:
@@ -179,8 +183,9 @@ for prim in ("BM_ObsCounterInc", "BM_ObsHistogramObserve", "BM_ObsNullSpan",
 
 result = {
     "bench": "bench_obs",
-    "note": "recording-on and flight-ring-on vs recording-off annealer "
-            "sweep; overhead bar <2% at m=32",
+    "note": "recording-on, flight-ring-on, and 99 Hz profiler-on vs "
+            "recording-off annealer sweep; overhead bars <2% (recording, "
+            "flight) and <1% (profiler) at m=32",
     "context": report.get("context", {}),
     "summary": summary,
     "benchmarks": rows,

@@ -340,6 +340,10 @@ Sample CqmAnnealer::anneal_once(const CqmModel& cqm, std::vector<double> penalti
 
   Sample best{walk.state(), walk.objective(), walk.total_violation(), walk.feasible()};
 
+  // Explicit profiler phase (not via the Span, which only pushes when a
+  // recorder is attached): the sweep loop is where serving CPU goes, and it
+  // must be attributable in always-on profiles with tracing off.
+  obs::prof::PhaseScope anneal_phase(params_.refinement ? "refine" : "anneal");
   obs::Recorder::Span anneal_span(params_.recorder,
                                   params_.refinement ? "refine" : "anneal",
                                   "sampler", params_.trace_track);

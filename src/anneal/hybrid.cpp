@@ -212,6 +212,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   // --- classical presolve --------------------------------------------------
   const model::PresolveResult local_pre = [&] {
     if (params_.reuse_presolve != nullptr) return model::PresolveResult{};
+    obs::prof::PhaseScope presolve_phase("presolve");
     obs::Recorder::Span presolve_span(rec, "presolve", "hybrid", 0);
     return model::presolve(cqm);
   }();
@@ -238,6 +239,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   }
   if (params_.exhaustive_max_vars > 0 && free_vars.size() < 64 &&
       free_vars.size() <= params_.exhaustive_max_vars) {
+    obs::prof::PhaseScope enum_phase("exhaustive-enum");
     obs::Recorder::Span enum_span(rec, "exhaustive-enum", "hybrid", 0);
     model::State base(cqm.num_variables(), 0);
     apply_fixings(base, pre);
@@ -291,6 +293,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
       initial_penalties(cqm, params_.penalty_scale);
   const PairMoveIndex local_pairs = [&] {
     if (params_.reuse_pairs != nullptr) return PairMoveIndex{};
+    obs::prof::PhaseScope pairs_phase("pair-index-build");
     obs::Recorder::Span pairs_span(rec, "pair-index-build", "hybrid", 0);
     return PairMoveIndex::build(cqm);
   }();
@@ -335,6 +338,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   // the draw sequence matches the scalar per-restart chain exactly.
   auto polish = [&](Sample& s, const std::vector<double>& penalties,
                     util::Rng& rng, std::uint32_t track) {
+    obs::prof::PhaseScope polish_phase("polish");
     obs::Recorder::Span polish_span(rec, "polish", "hybrid", track);
     CqmIncrementalState walk(cqm, s.state, penalties);
     greedy_descent(walk, rng, 32, &budget);
@@ -360,6 +364,7 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   // Escalate penalties where the best state is still violating.
   auto escalate = [&](const Sample& s, std::vector<double>& penalties,
                       std::uint32_t track) {
+    obs::prof::PhaseScope adapt_phase("penalty-adapt");
     obs::Recorder::Span adapt_span(rec, "penalty-adapt", "hybrid", track);
     const CqmIncrementalState probe(cqm, s.state, penalties);
     for (std::size_t c = 0; c < probe.num_constraints(); ++c) {
@@ -375,6 +380,10 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
   // polish on the same stream), so chunking — like threading — never changes
   // the samples.
   auto run_bank_chunk = [&](std::size_t r_begin, std::size_t r_end) {
+    // Runs on a pool worker thread; the phase/rid scopes must live here, not
+    // on the submitting thread, for samples of this chunk to attribute.
+    obs::prof::RidScope rid_scope(params_.flight_rid);
+    obs::prof::PhaseScope restart_phase("restart");
     struct Lane {
       std::size_t r = 0;
       util::Rng rng{0};
@@ -489,6 +498,8 @@ HybridSolveResult HybridCqmSolver::solve(const CqmModel& cqm) const {
     if (rec != nullptr) {
       rec->name_track(track, "restart " + std::to_string(r) + " (tempering)");
     }
+    obs::prof::RidScope rid_scope(params_.flight_rid);
+    obs::prof::PhaseScope tempered_phase("restart");
     obs::Recorder::Span restart_span(rec, "restart", "hybrid", track);
 
     for (std::size_t round = 0;

@@ -603,6 +603,7 @@ std::vector<Sample> BatchedCqmAnnealer::anneal_lanes(
   const std::size_t n = cqm.num_variables();
   const std::size_t L = lanes.size();
   if (L == 0) return {};
+  obs::prof::PhaseScope lanes_phase("anneal-lanes");
   const double flight_start_us =
       params_.flight != nullptr ? params_.flight->now_us() : 0.0;
 

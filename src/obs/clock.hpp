@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace qulrb::obs {
+
+/// One process-wide monotonic timebase for every obs component.
+///
+/// Before PR 10 the Recorder, the FlightRecorder and the SloEngine each ran
+/// on their own epoch (object construction time), so a profiler sample, a
+/// flight record and a span from the same incident could not be compared
+/// without knowing three different zero points. Everything now stamps
+/// against a single steady-clock epoch latched on first use, which makes
+/// timestamps from different components directly subtractable inside one
+/// incident bundle. Components that used to expose "since construction"
+/// semantics (ConvergenceDiagnostics' time-to-first-feasible) keep them by
+/// remembering their own creation stamp and normalizing on read.
+namespace clock {
+
+namespace detail {
+inline std::chrono::steady_clock::time_point epoch() noexcept {
+  static const std::chrono::steady_clock::time_point e =
+      std::chrono::steady_clock::now();
+  return e;
+}
+inline std::atomic<double>& watermark() noexcept {
+  static std::atomic<double> w{0.0};
+  return w;
+}
+}  // namespace detail
+
+/// Microseconds since the process obs epoch. Non-decreasing (steady_clock),
+/// but reads from racing threads can tie — use strict_us() when the caller
+/// needs an ordering-unique stamp. This is the cheap form the profiler's
+/// signal handler uses (one clock read, no CAS loop).
+inline double raw_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - detail::epoch())
+      .count();
+}
+
+inline double raw_ms() noexcept { return raw_us() / 1000.0; }
+
+/// Strictly monotonic stamp: two calls never return the same value, and a
+/// call that happens-after another (even on a different thread) always
+/// reads a larger one. steady_clock alone only guarantees non-decreasing
+/// reads that can tie or interleave with the stamp ordering under
+/// contention, so we serialize through one process-wide atomic
+/// high-watermark: anything at or below the last issued stamp is bumped to
+/// the next representable double. Without this, Perfetto renders racing
+/// begin/end pairs as negative-duration spans. Shared by Recorder and
+/// FlightRecorder so their stamps interleave consistently too.
+inline double strict_us() noexcept {
+  const double t = raw_us();
+  std::atomic<double>& last = detail::watermark();
+  double prev = last.load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = t > prev
+               ? t
+               : std::nextafter(prev, std::numeric_limits<double>::infinity());
+  } while (!last.compare_exchange_weak(prev, next,
+                                       std::memory_order_acq_rel));
+  return next;
+}
+
+/// Latch the epoch from a known-safe (non-signal) context. The function-
+/// local static in detail::epoch() is guarded by a lock on first
+/// initialization, which is not async-signal-safe, so the profiler calls
+/// this before arming its timer.
+inline void touch() noexcept { (void)raw_us(); }
+
+}  // namespace clock
+}  // namespace qulrb::obs

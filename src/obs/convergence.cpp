@@ -88,13 +88,16 @@ ConvergenceReport ConvergenceDiagnostics::analyze(
   auto score = [](const Point& p) { return p.objective + p.violation; };
 
   for (const Point& p : points) {
+    // Sample stamps are on the process-wide obs timebase; subtracting the
+    // recorder's creation stamp recovers "ms into this solve".
     if (report.time_to_first_feasible_ms < 0.0 && p.violation <= tol) {
-      report.time_to_first_feasible_ms = p.t_us / 1000.0;
+      report.time_to_first_feasible_ms =
+          (p.t_us - recorder.epoch_us()) / 1000.0;
     }
     if (report.time_to_target_ms < 0.0 && p.violation <= tol &&
         !std::isnan(config_.target_objective) &&
         p.objective <= config_.target_objective) {
-      report.time_to_target_ms = p.t_us / 1000.0;
+      report.time_to_target_ms = (p.t_us - recorder.epoch_us()) / 1000.0;
     }
     if (better(p, best, tol)) {
       // A feasibility flip always counts as progress; otherwise demand a

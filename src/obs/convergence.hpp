@@ -21,8 +21,10 @@ struct ConvergenceConfig {
   double improvement_epsilon = 1e-9;
 };
 
-/// What the analysis found. Times are on the recorder's epoch,
-/// in milliseconds; a negative time means "never happened".
+/// What the analysis found. Times are milliseconds since the recorder was
+/// constructed (i.e. since the solve started — sample stamps on the
+/// process-wide obs timebase are normalized by Recorder::epoch_us());
+/// a negative time means "never happened".
 struct ConvergenceReport {
   double time_to_first_feasible_ms = -1.0;
   double time_to_target_ms = -1.0;

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
 
 namespace qulrb::obs {
 
@@ -78,21 +78,11 @@ class FlightRecorder {
     return head_.load(std::memory_order_relaxed);
   }
 
-  /// Microseconds since construction, strictly monotonic across threads via
-  /// the same atomic high-watermark scheme as Recorder::now_us().
-  double now_us() const noexcept {
-    const double t = epoch_.elapsed_us();
-    double prev = last_us_.load(std::memory_order_relaxed);
-    double next;
-    do {
-      next = t > prev
-                 ? t
-                 : std::nextafter(prev,
-                                  std::numeric_limits<double>::infinity());
-    } while (!last_us_.compare_exchange_weak(prev, next,
-                                             std::memory_order_acq_rel));
-    return next;
-  }
+  /// Microseconds on the process-wide obs timebase, strictly monotonic
+  /// across threads — the same obs::clock::strict_us() stamp the Recorder
+  /// issues, so flight records, spans and profiler samples line up without
+  /// per-component epoch bookkeeping.
+  double now_us() const noexcept { return clock::strict_us(); }
 
   /// Intern a record name (cold path — call once at setup and keep the
   /// code). The table is append-only and capped; over-capacity names fold
@@ -238,8 +228,6 @@ class FlightRecorder {
   std::size_t mask_ = 0;
   std::unique_ptr<Slot[]> slots_;
   std::atomic<std::uint64_t> head_{0};
-  util::WallTimer epoch_;
-  mutable std::atomic<double> last_us_{0.0};
   mutable std::mutex names_mutex_;
   std::vector<std::string> names_;
 };

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qulrb::obs::prof {
+
+/// Thread-local phase/rid attribution state shared between the solver hot
+/// paths (writers) and the sampling profiler's SIGPROF handler (reader on
+/// the same thread, asynchronously).
+///
+/// Signal-safety rules, which every member of this header obeys:
+///  - the handler only ever reads the state of the thread it interrupted,
+///    so plain same-thread ordering via std::atomic_signal_fence suffices —
+///    no cross-thread synchronization, no locks, no allocation;
+///  - labels must point at static strings (same contract as the Recorder's
+///    span names), so the handler can stash the pointer and the exporter
+///    can read it later without lifetime questions;
+///  - push writes the label slot *before* publishing the new depth, and the
+///    handler reads depth first, so a sample taken mid-push sees either the
+///    old phase or the complete new one, never a torn entry.
+///
+/// Overflow past kMaxPhaseDepth keeps counting depth but stops storing
+/// labels; samples taken there attribute to the deepest stored label, and
+/// pops unwind symmetrically. State is all trivially-initializable, so the
+/// thread_local lives in static TLS and touching it from a signal handler
+/// never allocates.
+inline constexpr int kMaxPhaseDepth = 16;
+
+struct ThreadPhaseState {
+  const char* labels[kMaxPhaseDepth] = {};
+  std::atomic<std::uint64_t> rid{0};
+  std::atomic<int> depth{0};
+};
+
+inline ThreadPhaseState& thread_phase_state() noexcept {
+  thread_local ThreadPhaseState state;
+  return state;
+}
+
+inline void push_phase(const char* label) noexcept {
+  ThreadPhaseState& s = thread_phase_state();
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d >= 0 && d < kMaxPhaseDepth) s.labels[d] = label;
+  std::atomic_signal_fence(std::memory_order_release);
+  s.depth.store(d + 1, std::memory_order_relaxed);
+}
+
+inline void pop_phase() noexcept {
+  ThreadPhaseState& s = thread_phase_state();
+  const int d = s.depth.load(std::memory_order_relaxed);
+  if (d > 0) s.depth.store(d - 1, std::memory_order_relaxed);
+}
+
+/// The innermost phase label of the calling thread (nullptr when outside
+/// every phase). Async-signal-safe; this is what the SIGPROF handler calls.
+inline const char* current_phase() noexcept {
+  ThreadPhaseState& s = thread_phase_state();
+  int d = s.depth.load(std::memory_order_relaxed);
+  std::atomic_signal_fence(std::memory_order_acquire);
+  if (d <= 0) return nullptr;
+  if (d > kMaxPhaseDepth) d = kMaxPhaseDepth;
+  return s.labels[d - 1];
+}
+
+inline void set_rid(std::uint64_t rid) noexcept {
+  thread_phase_state().rid.store(rid, std::memory_order_relaxed);
+}
+
+inline std::uint64_t current_rid() noexcept {
+  return thread_phase_state().rid.load(std::memory_order_relaxed);
+}
+
+/// RAII phase label. Unconditional and allocation-free (two TLS stores), so
+/// it is safe to put directly in solver hot paths regardless of whether a
+/// profiler, a Recorder or neither is attached — it consumes no RNG and
+/// never branches on observability state, preserving the bitwise-identical
+/// output contract.
+class PhaseScope {
+ public:
+  explicit PhaseScope(const char* label) noexcept { push_phase(label); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() { pop_phase(); }
+};
+
+/// RAII request-id attribution for the calling thread; restores the
+/// previous rid on exit so nested scopes (retry paths, inline sub-solves)
+/// compose.
+class RidScope {
+ public:
+  explicit RidScope(std::uint64_t rid) noexcept : saved_(current_rid()) {
+    set_rid(rid);
+  }
+  RidScope(const RidScope&) = delete;
+  RidScope& operator=(const RidScope&) = delete;
+  ~RidScope() { set_rid(saved_); }
+
+ private:
+  std::uint64_t saved_;
+};
+
+}  // namespace qulrb::obs::prof

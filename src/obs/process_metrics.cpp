@@ -1,0 +1,114 @@
+#include "obs/process_metrics.hpp"
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace qulrb::obs {
+namespace {
+
+double cpu_seconds_now() {
+  rusage usage;
+  std::memset(&usage, 0, sizeof(usage));
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  const auto tv_seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return tv_seconds(usage.ru_utime) + tv_seconds(usage.ru_stime);
+}
+
+double resident_bytes_now() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long total_pages = 0;
+  long resident_pages = 0;
+  const int got = std::fscanf(f, "%ld %ld", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  return static_cast<double>(resident_pages) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE));
+}
+
+double open_fds_now() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  long count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  return static_cast<double>(count);
+}
+
+/// Unix start time of this process: boot time (/proc/stat btime) plus the
+/// process start offset in clock ticks (/proc/self/stat field 22 — parsed
+/// after the ')' closing the comm field, which may itself contain spaces).
+/// Falls back to "now" when procfs is unreadable, which at least anchors
+/// uptime math for this process's lifetime.
+double start_time_seconds_now() {
+  long long btime = -1;
+  if (std::FILE* f = std::fopen("/proc/stat", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "btime %lld", &btime) == 1) break;
+    }
+    std::fclose(f);
+  }
+  unsigned long long start_ticks = 0;
+  bool have_ticks = false;
+  if (std::FILE* f = std::fopen("/proc/self/stat", "r")) {
+    char buf[1024];
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    if (const char* close_paren = std::strrchr(buf, ')')) {
+      // After ") " comes field 3 (state); starttime is field 22.
+      const char* p = close_paren + 1;
+      int field = 2;
+      while (*p != '\0' && field < 21) {
+        if (*p == ' ') ++field;
+        ++p;
+      }
+      have_ticks = std::sscanf(p, "%llu", &start_ticks) == 1;
+    }
+  }
+  if (btime < 0 || !have_ticks) {
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  return static_cast<double>(btime) +
+         static_cast<double>(start_ticks) /
+             static_cast<double>(::sysconf(_SC_CLK_TCK));
+}
+
+}  // namespace
+
+ProcessMetrics::ProcessMetrics(MetricsRegistry& registry)
+    : cpu_seconds_(registry.gauge(
+          "qulrb_process_cpu_seconds_total",
+          "Total user and system CPU time spent in seconds.")),
+      resident_bytes_(registry.gauge("qulrb_process_resident_memory_bytes",
+                                     "Resident memory size in bytes.")),
+      open_fds_(registry.gauge("qulrb_process_open_fds",
+                               "Number of open file descriptors.")),
+      start_time_(registry.gauge(
+          "qulrb_process_start_time_seconds",
+          "Start time of the process since unix epoch in seconds.")) {
+  start_time_.set(start_time_seconds_now());
+  update();
+}
+
+void ProcessMetrics::update() {
+  cpu_seconds_.set(cpu_seconds_now());
+  resident_bytes_.set(resident_bytes_now());
+  open_fds_.set(open_fds_now());
+}
+
+}  // namespace qulrb::obs

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace qulrb::obs {
+
+/// The standard process self-metrics every Prometheus client library
+/// exports, registered into the process's MetricsRegistry:
+///
+///   qulrb_process_cpu_seconds_total      user+system CPU (getrusage)
+///   qulrb_process_resident_memory_bytes  RSS (/proc/self/statm)
+///   qulrb_process_open_fds               open descriptors (/proc/self/fd)
+///   qulrb_process_start_time_seconds     unix start time (/proc btime +
+///                                        /proc/self/stat starttime)
+///
+/// All four are registered as gauges (cpu_seconds is monotone but the
+/// registry's integer Counter cannot carry fractional seconds; scrapers
+/// treat it as a counter by name, which Prometheus permits). Callers
+/// refresh with update() at exposition time — the values are point-in-time
+/// reads, not accumulated state, so there is nothing to sample between
+/// scrapes. Federation re-emits these per-instance (like
+/// qulrb_build_info) rather than summing them across the fleet.
+class ProcessMetrics {
+ public:
+  explicit ProcessMetrics(MetricsRegistry& registry);
+
+  /// Refresh all gauges from getrusage + /proc/self. Cheap (three small
+  /// procfs reads); called per metrics exposition.
+  void update();
+
+ private:
+  Gauge& cpu_seconds_;
+  Gauge& resident_bytes_;
+  Gauge& open_fds_;
+  Gauge& start_time_;
+};
+
+}  // namespace qulrb::obs

@@ -1,0 +1,125 @@
+#include "obs/profile_export.hpp"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "io/json.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+/// Build the folded key for one sample: source, then the rid/phase
+/// attribution roots, then the symbolized frames root-to-leaf. pcs[0] is
+/// the exact interrupted pc; deeper entries are return addresses and
+/// resolve to their call site (pc - 1).
+std::string folded_key(const ProfileSample& s, prof::Symbolizer& symbolizer,
+                       const std::string& source) {
+  std::string key = source;
+  if (s.rid != 0) {
+    key += ";rid:";
+    key += std::to_string(s.rid);
+  }
+  if (s.phase != nullptr) {
+    key += ";phase:";
+    key += s.phase;
+  }
+  for (int i = s.depth - 1; i >= 0; --i) {
+    key += ';';
+    key += i == 0 ? symbolizer.resolve(s.pcs[i])
+                  : symbolizer.resolve_return_address(s.pcs[i]);
+  }
+  if (s.depth == 0) key += ";[unwound:none]";
+  return key;
+}
+
+struct Attribution {
+  std::string phase;
+  std::uint64_t rid = 0;
+  bool operator<(const Attribution& o) const {
+    return phase != o.phase ? phase < o.phase : rid < o.rid;
+  }
+};
+
+}  // namespace
+
+std::string profile_to_folded(const std::vector<ProfileSample>& samples,
+                              prof::Symbolizer& symbolizer,
+                              const ProfileExportOptions& options) {
+  std::map<std::string, std::uint64_t> stacks;
+  for (const ProfileSample& s : samples) {
+    ++stacks[folded_key(s, symbolizer, options.source)];
+  }
+  std::string out;
+  for (const auto& [key, count] : stacks) {
+    out += key;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string profile_to_json(const std::vector<ProfileSample>& samples,
+                            prof::Symbolizer& symbolizer,
+                            const ProfileExportOptions& options) {
+  std::map<std::string, std::uint64_t> stacks;
+  std::map<Attribution, std::uint64_t> phases;
+  for (const ProfileSample& s : samples) {
+    ++stacks[folded_key(s, symbolizer, options.source)];
+    Attribution a;
+    a.phase = s.phase != nullptr ? s.phase : "";
+    a.rid = s.rid;
+    ++phases[a];
+  }
+
+  std::string folded;
+  for (const auto& [key, count] : stacks) {
+    folded += key;
+    folded += ' ';
+    folded += std::to_string(count);
+    folded += '\n';
+  }
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("source", options.source);
+  w.field("hz", options.hz);
+  w.field("window_s", options.window_s);
+  w.field("samples", samples.size());
+  w.field("distinct_stacks", stacks.size());
+  w.key("phases").begin_array();
+  for (const auto& [a, count] : phases) {
+    w.begin_object();
+    w.field("phase", a.phase);
+    w.field("rid", static_cast<std::int64_t>(a.rid));
+    w.field("samples", static_cast<std::int64_t>(count));
+    w.end_object();
+  }
+  w.end_array();
+  w.field("folded", folded);
+  w.end_object();
+  return w.str();
+}
+
+std::string folded_with_instance(const std::string& folded,
+                                 const std::string& instance) {
+  std::string out;
+  out.reserve(folded.size() + instance.size() * 8);
+  std::size_t pos = 0;
+  while (pos < folded.size()) {
+    std::size_t eol = folded.find('\n', pos);
+    if (eol == std::string::npos) eol = folded.size();
+    if (eol > pos) {
+      out += "instance:";
+      out += instance;
+      out += ';';
+      out.append(folded, pos, eol - pos);
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+}  // namespace qulrb::obs

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/profiler.hpp"
+#include "obs/stack_unwind.hpp"
+
+namespace qulrb::obs {
+
+/// Knobs for the folded/JSON profile exports.
+struct ProfileExportOptions {
+  /// Root frame of every folded line — the producing process ("qulrb_serve",
+  /// "qulrb_router", "qulrb"). The router's merge prepends a further
+  /// "instance:<label>" root per backend.
+  std::string source = "qulrb";
+  /// Sampling rate the capture ran at (metadata only).
+  int hz = 0;
+  /// Capture window in seconds (metadata only; <= 0 = whole ring).
+  double window_s = 0.0;
+};
+
+/// Collapsed/folded stacks (Brendan Gregg's flamegraph.pl input — also what
+/// speedscope imports): one line per distinct stack,
+///
+///   <source>;rid:<n>;phase:<label>;<outer>;...;<leaf> <count>
+///
+/// Frames run root to leaf; the synthetic rid:/phase: roots appear only for
+/// samples that carried them, so un-attributed CPU folds under the bare
+/// source root. Lines are sorted lexicographically (deterministic output
+/// for a given sample set).
+std::string profile_to_folded(const std::vector<ProfileSample>& samples,
+                              prof::Symbolizer& symbolizer,
+                              const ProfileExportOptions& options);
+
+/// JSON profile document:
+///   {"source":..,"hz":..,"window_s":..,"samples":N,"distinct_stacks":M,
+///    "phases":[{"phase":..,"rid":..,"samples":n}, ...],
+///    "folded":"<the folded text, newline-separated>"}
+/// The phases array is the {rid, phase} join aggregated over all stacks —
+/// the direct answer to "where did req-17's CPU go".
+std::string profile_to_json(const std::vector<ProfileSample>& samples,
+                            prof::Symbolizer& symbolizer,
+                            const ProfileExportOptions& options);
+
+/// Prefix every non-empty folded line with "instance:<label>;" — how the
+/// router tags per-backend folded profiles before concatenating them into
+/// one fleet document (folded consumers sum duplicate stacks, so plain
+/// concatenation is a correct merge).
+std::string folded_with_instance(const std::string& folded,
+                                 const std::string& instance);
+
+}  // namespace qulrb::obs

@@ -1,0 +1,171 @@
+#include "obs/profiler.hpp"
+
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "obs/clock.hpp"
+#include "obs/phase.hpp"
+
+namespace qulrb::obs {
+namespace {
+
+/// The active profiler and an in-handler count, both seq_cst so stop() can
+/// prove quiescence: a handler increments g_in_handler *before* loading
+/// g_active, and stop() clears g_active *before* spinning on the count —
+/// in the single total order, any handler that observed a non-null pointer
+/// has its increment visible to the spin loop until it finishes.
+std::atomic<Profiler*> g_active{nullptr};
+std::atomic<int> g_in_handler{0};
+
+std::uint32_t gettid_now() noexcept {
+  return static_cast<std::uint32_t>(::syscall(SYS_gettid));
+}
+
+}  // namespace
+
+Profiler::Profiler(Params params) : params_(params) {
+  std::size_t cap = 64;
+  while (cap < params_.ring_capacity && cap < (std::size_t{1} << 22)) {
+    cap <<= 1;
+  }
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+}
+
+Profiler::~Profiler() { stop(); }
+
+bool Profiler::start() {
+  if (params_.hz <= 0) return false;
+  if (running_.load(std::memory_order_relaxed)) return true;
+
+  // Everything that is not async-signal-safe happens here, before the
+  // first signal can fire: latch the clock epoch (guarded static) and
+  // probe the frame-read strategy.
+  clock::touch();
+  prof::init_unwinder();
+
+  Profiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_seq_cst)) {
+    return false;  // another profiler owns the process-wide timer
+  }
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &Profiler::signal_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (::sigaction(SIGPROF, &sa, &old_action_) != 0) {
+    g_active.store(nullptr, std::memory_order_seq_cst);
+    return false;
+  }
+
+  long period_us = 1000000L / params_.hz;
+  if (period_us < 100) period_us = 100;
+  itimerval timer;
+  timer.it_interval.tv_sec = period_us / 1000000;
+  timer.it_interval.tv_usec = period_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::sigaction(SIGPROF, &old_action_, nullptr);
+    g_active.store(nullptr, std::memory_order_seq_cst);
+    return false;
+  }
+
+  running_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Profiler::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+
+  itimerval zero;
+  std::memset(&zero, 0, sizeof(zero));
+  ::setitimer(ITIMER_PROF, &zero, nullptr);
+
+  g_active.store(nullptr, std::memory_order_seq_cst);
+  // A signal already in flight may still be running handle(); wait it out
+  // before the caller is allowed to destroy the ring.
+  while (g_in_handler.load(std::memory_order_seq_cst) != 0) {
+  }
+  ::sigaction(SIGPROF, &old_action_, nullptr);
+}
+
+void Profiler::signal_handler(int /*signum*/, siginfo_t* /*info*/,
+                              void* ucontext) {
+  const int saved_errno = errno;
+  g_in_handler.fetch_add(1, std::memory_order_seq_cst);
+  Profiler* p = g_active.load(std::memory_order_seq_cst);
+  if (p != nullptr) p->handle(ucontext);
+  g_in_handler.fetch_sub(1, std::memory_order_seq_cst);
+  errno = saved_errno;
+}
+
+void Profiler::handle(void* ucontext) noexcept {
+  std::uintptr_t pcs[prof::kMaxFrames];
+  const int depth = prof::unwind_ucontext(ucontext, pcs, prof::kMaxFrames);
+  const double t_us = clock::raw_us();
+  const std::uint64_t rid = prof::current_rid();
+  const char* phase = prof::current_phase();
+  const std::uint32_t tid = gettid_now();
+
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket & mask_];
+  s.begin.store(ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.t_us.store(t_us, std::memory_order_relaxed);
+  s.rid.store(rid, std::memory_order_relaxed);
+  s.phase.store(phase, std::memory_order_relaxed);
+  s.tid.store(tid, std::memory_order_relaxed);
+  s.depth.store(depth, std::memory_order_relaxed);
+  for (int i = 0; i < depth; ++i) {
+    s.pcs[i].store(pcs[i], std::memory_order_relaxed);
+  }
+  s.end.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<ProfileSample> Profiler::snapshot(double window_s) const {
+  const double cutoff = window_s > 0.0
+                            ? clock::raw_us() - window_s * 1e6
+                            : -std::numeric_limits<double>::infinity();
+  std::vector<ProfileSample> out;
+  const std::size_t cap = mask_ + 1;
+  out.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t e = s.end.load(std::memory_order_acquire);
+    if (e == 0) continue;  // never written
+    ProfileSample r;
+    r.t_us = s.t_us.load(std::memory_order_relaxed);
+    r.rid = s.rid.load(std::memory_order_relaxed);
+    r.phase = s.phase.load(std::memory_order_relaxed);
+    r.tid = s.tid.load(std::memory_order_relaxed);
+    int depth = s.depth.load(std::memory_order_relaxed);
+    if (depth < 0) depth = 0;
+    if (depth > prof::kMaxFrames) depth = prof::kMaxFrames;
+    r.depth = depth;
+    for (int f = 0; f < depth; ++f) {
+      r.pcs[f] = s.pcs[f].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.begin.load(std::memory_order_relaxed) != e) continue;  // torn
+    r.ticket = e - 1;
+    if ((r.ticket & mask_) != i) continue;  // stamp from a lapped writer
+    if (r.t_us < cutoff) continue;
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileSample& a, const ProfileSample& b) {
+              return a.t_us != b.t_us ? a.t_us < b.t_us
+                                      : a.ticket < b.ticket;
+            });
+  return out;
+}
+
+}  // namespace qulrb::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/stack_unwind.hpp"
+
+namespace qulrb::obs {
+
+/// One decoded CPU sample (the reader-side plain copy of a ring slot).
+struct ProfileSample {
+  std::uint64_t ticket = 0;        ///< global sample sequence (monotone)
+  double t_us = 0.0;               ///< obs::clock timestamp
+  std::uint64_t rid = 0;           ///< request id active on the thread (0 = none)
+  const char* phase = nullptr;     ///< innermost phase label (static string)
+  std::uint32_t tid = 0;           ///< kernel thread id
+  int depth = 0;                   ///< frames in pcs (0 = unwind failed)
+  std::uintptr_t pcs[prof::kMaxFrames] = {};  ///< leaf first
+};
+
+/// Continuous sampling CPU profiler: a POSIX CPU-time interval timer
+/// (ITIMER_PROF) delivers SIGPROF to whichever thread is burning CPU; the
+/// handler frame-pointer-unwinds the interrupted context and drops one
+/// fixed-size raw-PC record into a lock-free ring using the same per-slot
+/// seqlock discipline as FlightRecorder. Everything on the signal path is
+/// async-signal-safe: atomics, the fp walk (process_vm_readv or guarded
+/// direct loads), one clock_gettime, one gettid — no locks, no allocation,
+/// no symbolization (that happens offline at export time).
+///
+/// Each sample is tagged with the interrupted thread's current prof phase
+/// label and request id (obs/phase.hpp), which is the join that lets the
+/// export answer "38% of req-17's CPU went to pair deltas under
+/// restart-polish".
+///
+/// At most one profiler is active per process (the timer and the signal
+/// disposition are process-wide); start() on a second instance fails.
+/// Stopping disarms the timer, restores the previous SIGPROF disposition
+/// and waits out in-flight handlers, so destruction is safe while sampling.
+class Profiler {
+ public:
+  struct Params {
+    /// Sampling rate; the serving default is 99 Hz (the classic just-off-
+    /// 100 rate that avoids lockstep with 10 ms periodic work). <= 0
+    /// disables start().
+    int hz = 99;
+    /// Ring capacity in samples, rounded up to a power of two. 4096 at
+    /// 99 Hz holds ~41 s of process-wide history.
+    std::size_t ring_capacity = 4096;
+  };
+
+  explicit Profiler(Params params);
+  Profiler() : Profiler(Params{}) {}
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arm the timer and install the SIGPROF handler. Returns false if hz <=
+  /// 0, another Profiler is already active, or the timer could not be
+  /// installed. Idempotent while running.
+  bool start();
+
+  /// Disarm, restore the previous SIGPROF disposition, and wait for
+  /// in-flight handlers to drain. Idempotent.
+  void stop();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_relaxed);
+  }
+  int hz() const noexcept { return params_.hz; }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Total samples ever taken (>= capacity once the ring has wrapped).
+  std::uint64_t total_samples() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Consistent copies of every intact sample with t_us >= now - window_s
+  /// (window_s <= 0 = everything still in the ring), sorted by timestamp
+  /// then ticket. Torn slots (overwritten mid-read) are skipped.
+  std::vector<ProfileSample> snapshot(double window_s) const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> begin{0};
+    std::atomic<std::uint64_t> end{0};
+    std::atomic<double> t_us{0.0};
+    std::atomic<std::uint64_t> rid{0};
+    std::atomic<const char*> phase{nullptr};
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<std::int32_t> depth{0};
+    std::atomic<std::uintptr_t> pcs[prof::kMaxFrames] = {};
+  };
+
+  static void signal_handler(int signum, siginfo_t* info, void* ucontext);
+  void handle(void* ucontext) noexcept;
+
+  Params params_;
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<bool> running_{false};
+  struct sigaction old_action_ {};
+};
+
+}  // namespace qulrb::obs

@@ -9,7 +9,8 @@
 #include <utility>
 #include <vector>
 
-#include "util/timer.hpp"
+#include "obs/clock.hpp"
+#include "obs/phase.hpp"
 
 namespace qulrb::obs {
 
@@ -61,28 +62,21 @@ class Recorder {
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
 
-  /// Microseconds since this recorder was constructed. Strictly monotonic
-  /// across threads: two calls never return the same value, and a call that
-  /// happens-after another (e.g. a span's end after its begin, even when the
-  /// begin ran on a different thread) always reads a larger one. The clock
-  /// itself (steady_clock) is only non-decreasing and its reads can tie or
-  /// interleave with the stamp ordering under contention, so we serialize
-  /// through an atomic high-watermark: anything at or below the last issued
-  /// stamp is bumped to the next representable double. Without this,
-  /// Perfetto renders racing begin/end pairs as negative-duration spans.
-  double now_us() const noexcept {
-    const double t = epoch_.elapsed_us();
-    double prev = last_us_.load(std::memory_order_relaxed);
-    double next;
-    do {
-      next = t > prev
-                 ? t
-                 : std::nextafter(prev,
-                                  std::numeric_limits<double>::infinity());
-    } while (!last_us_.compare_exchange_weak(prev, next,
-                                             std::memory_order_acq_rel));
-    return next;
-  }
+  /// Microseconds on the process-wide obs timebase (obs::clock), strictly
+  /// monotonic across threads: two calls never return the same value, and a
+  /// call that happens-after another (e.g. a span's end after its begin,
+  /// even when the begin ran on a different thread) always reads a larger
+  /// one — the CAS high-watermark lives in obs::clock::strict_us(). Sharing
+  /// the timebase with the FlightRecorder and the profiler is what makes
+  /// spans, flight records and CPU samples directly comparable in one
+  /// incident bundle. Callers that need "since this solve started" subtract
+  /// epoch_us().
+  double now_us() const noexcept { return clock::strict_us(); }
+
+  /// The timebase reading when this recorder was constructed — the zero
+  /// point for "how long into the solve" analyses (ConvergenceDiagnostics'
+  /// time-to-first-feasible subtracts this).
+  double epoch_us() const noexcept { return epoch_us_; }
 
   const std::string& name() const noexcept { return name_; }
 
@@ -167,12 +161,21 @@ class Recorder {
   /// nothing, which is how the zero-cost disabled path reads at call sites:
   ///
   ///   obs::Recorder::Span phase(params.recorder, "presolve", "hybrid", 0);
+  ///
+  /// When a recorder is attached the span also pushes its name onto the
+  /// thread's prof phase stack, so CPU samples taken inside a traced phase
+  /// are attributed to it without separate instrumentation. The disabled
+  /// path stays one pointer test (always-on serving phases come from
+  /// explicit prof::PhaseScope sites in the solvers instead).
   class Span {
    public:
     Span(Recorder* recorder, const char* name, const char* category,
          std::uint32_t track) noexcept
         : recorder_(recorder), name_(name), category_(category), track_(track) {
-      if (recorder_ != nullptr) start_us_ = recorder_->now_us();
+      if (recorder_ != nullptr) {
+        start_us_ = recorder_->now_us();
+        prof::push_phase(name_);
+      }
     }
 
     Span(const Span&) = delete;
@@ -182,6 +185,7 @@ class Recorder {
 
     void close() noexcept {
       if (recorder_ == nullptr) return;
+      prof::pop_phase();
       try {
         recorder_->span(name_, category_, track_, start_us_,
                         recorder_->now_us());
@@ -201,9 +205,8 @@ class Recorder {
 
  private:
   std::string name_;
-  util::WallTimer epoch_;
-  /// High-watermark of issued timestamps; see now_us().
-  mutable std::atomic<double> last_us_{0.0};
+  /// Timebase reading at construction; see epoch_us().
+  double epoch_us_ = clock::raw_us();
   mutable std::mutex mutex_;
   std::vector<TraceSpan> spans_;
   std::vector<TraceSample> samples_;

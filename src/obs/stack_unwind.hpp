@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qulrb::obs::prof {
+
+/// Maximum frames captured per CPU sample (fixed-size ring slots).
+inline constexpr int kMaxFrames = 40;
+
+/// Probe once (from a normal, non-signal context — Profiler::start calls
+/// it) which frame-read strategy is available: process_vm_readv on the own
+/// process gives crash-proof reads that fail with EFAULT instead of
+/// SIGSEGV when a frame-pointer chain wanders into unmapped memory (frames
+/// from translation units built without -fno-omit-frame-pointer leave rbp
+/// holding arbitrary data); when the syscall is unavailable (seccomp,
+/// Yama), the walker falls back to direct loads guarded by alignment and
+/// span checks. Idempotent and cheap after the first call.
+void init_unwinder() noexcept;
+
+/// Async-signal-safe frame-pointer unwind starting from a signal handler's
+/// ucontext (the interrupted thread's pc/fp/sp). pcs[0] is the exact
+/// interrupted pc; the rest are return addresses from the fp chain.
+/// Returns the number of frames written (0 on unsupported architectures).
+int unwind_ucontext(void* ucontext, std::uintptr_t* pcs,
+                    int max_frames) noexcept;
+
+/// Unwind the caller's own stack via __builtin_frame_address — the first
+/// frame is the caller of unwind_here, after dropping `skip` further
+/// frames. Not used by the signal path; this is the deterministic test
+/// hook for the walker and symbolizer.
+int unwind_here(std::uintptr_t* pcs, int max_frames, int skip = 0) noexcept;
+
+/// Offline PC → frame-name resolution: dladdr (needs -rdynamic /
+/// CMAKE_ENABLE_EXPORTS for static symbols in the main executable) with
+/// __cxa_demangle, falling back to "module+0xoff" from /proc/self/maps,
+/// and finally a bare hex PC — unresolvable frames degrade, never fail.
+/// Caches per PC; not thread-safe (exports run on one control thread).
+class Symbolizer {
+ public:
+  Symbolizer();
+
+  /// Resolve an exact pc (a sample's leaf frame).
+  std::string resolve(std::uintptr_t pc);
+
+  /// Resolve a return address: symbolizes pc - 1 so the frame attributes
+  /// to the call site rather than the instruction after it (which can be
+  /// the next function when the call is a tail position).
+  std::string resolve_return_address(std::uintptr_t pc);
+
+ private:
+  struct Mapping {
+    std::uintptr_t begin = 0;
+    std::uintptr_t end = 0;
+    std::string name;
+  };
+
+  std::string symbolize(std::uintptr_t pc) const;
+
+  std::vector<Mapping> maps_;
+  std::unordered_map<std::uintptr_t, std::string> cache_;
+};
+
+}  // namespace qulrb::obs::prof

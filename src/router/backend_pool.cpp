@@ -282,7 +282,7 @@ void BackendPool::reader_loop(std::size_t b, int fd, std::uint64_t gen) {
       }
       if (doc.find("stats") != nullptr || doc.find("metrics") != nullptr ||
           doc.find("traces") != nullptr || doc.find("obs") != nullptr ||
-          doc.find("flight") != nullptr) {
+          doc.find("flight") != nullptr || doc.find("profile") != nullptr) {
         // Control responses come back in send order on this connection.
         ControlCallback cb;
         {

@@ -128,8 +128,11 @@ std::string Federation::fleet_prometheus() const {
             .inc(static_cast<std::uint64_t>(c.value));
       }
       for (const ScalarSample& g : snap.gauges) {
-        if (g.name == "qulrb_build_info") {
+        if (g.name == "qulrb_build_info" ||
+            g.name.rfind("qulrb_process_", 0) == 0) {
           // Identity stays per-process: re-emit unmerged, instance-labelled.
+          // Process self-metrics (RSS, fds, start time) describe one process
+          // — a fleet sum would be nonsense, so they federate like identity.
           std::string labels = g.labels;
           if (!labels.empty()) labels += ',';
           labels += "instance=\"" +

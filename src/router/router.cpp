@@ -7,6 +7,7 @@
 
 #include "io/json.hpp"
 #include "obs/histogram_wire.hpp"
+#include "obs/profile_export.hpp"
 
 namespace qulrb::router {
 
@@ -115,6 +116,12 @@ Router::Router(Params params)
     f_route_ = flight_->intern("route");
     f_markdown_ = flight_->intern("backend-down");
   }
+  if (params_.profile_hz > 0) {
+    obs::Profiler::Params prof_params;
+    prof_params.hz = params_.profile_hz;
+    prof_params.ring_capacity = params_.profile_capacity;
+    profiler_ = std::make_unique<obs::Profiler>(prof_params);
+  }
   using Labels = obs::MetricsRegistry::Labels;
   const Labels policy_label{{"policy", to_string(params_.policy)}};
   c_requests_ = &registry_.counter("qulrb_router_requests_total",
@@ -156,12 +163,17 @@ double Router::now_ms() const {
 }
 
 std::string Router::metrics_text() const {
+  proc_metrics_.update();
   std::string out = registry_.to_prometheus();
   out += federation_.fleet_prometheus();
   return out;
 }
 
 void Router::start() {
+  // The sampler slot is process-wide; if another profiler already owns it
+  // (e.g. an in-process backend in tests), run without a router-side sampler
+  // rather than failing startup.
+  if (profiler_ != nullptr && !profiler_->start()) profiler_.reset();
   pool_.start(
       [this](std::size_t b, const std::string& line, const io::JsonValue& doc) {
         on_backend_line(b, line, doc);
@@ -184,6 +196,7 @@ void Router::stop() {
   incident_cv_.notify_all();
   if (federate_thread_.joinable()) federate_thread_.join();
   if (incident_thread_.joinable()) incident_thread_.join();
+  if (profiler_ != nullptr) profiler_->stop();
   pool_.stop();
   {
     std::lock_guard<std::mutex> lock(routes_mutex_);
@@ -307,6 +320,9 @@ bool Router::handle_client_line(std::uint64_t session_id,
       return true;
     case service::OpKind::kFlightDump:
       handle_flight_dump(session, std::move(parsed));
+      return true;
+    case service::OpKind::kProfile:
+      handle_profile(session, std::move(parsed));
       return true;
     case service::OpKind::kCancel:
       handle_cancel(session, parsed.client_id);
@@ -562,7 +578,8 @@ struct ControlGather {
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t outstanding = 0;
-  std::vector<std::string> raw;  ///< by backend index; empty = no answer
+  std::vector<std::string> raw;    ///< by backend index; empty = no answer
+  std::vector<std::string> extra;  ///< second per-backend field, when used
 };
 
 }  // namespace
@@ -738,6 +755,103 @@ void Router::handle_flight_dump(const std::shared_ptr<Session>& session,
              service::encode_flight_response(parsed.client_id, bundle));
 }
 
+std::string Router::own_profile_json(double window_s, std::string* folded_out) {
+  if (folded_out != nullptr) folded_out->clear();
+  if (profiler_ == nullptr) return "null";
+  const std::vector<obs::ProfileSample> samples =
+      profiler_->snapshot(window_s);
+  obs::prof::Symbolizer symbolizer;
+  obs::ProfileExportOptions opts;
+  opts.source = "qulrb_router";
+  opts.hz = profiler_->hz();
+  opts.window_s = window_s;
+  if (folded_out != nullptr) {
+    *folded_out = obs::profile_to_folded(samples, symbolizer, opts);
+  }
+  return obs::profile_to_json(samples, symbolizer, opts);
+}
+
+void Router::handle_profile(const std::shared_ptr<Session>& session,
+                            service::ProtocolRequest parsed) {
+  // Client sessions run on their own threads (never a backend reader), so
+  // the blocking fan-out is safe here — same situation as flight_dump.
+  const double window_s = parsed.profile_seconds;
+  auto gather = std::make_shared<ControlGather>();
+  gather->raw.resize(pool_.size());
+  gather->extra.resize(pool_.size());
+  gather->outstanding = pool_.size();
+  const std::string op = service::encode_profile_request(0, window_s);
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    auto fired = std::make_shared<std::atomic<bool>>(false);
+    BackendPool::ControlCallback finish =
+        [gather, b, fired](const std::string* line, const io::JsonValue* doc) {
+          if (fired->exchange(true)) return;
+          std::lock_guard<std::mutex> lock(gather->mutex);
+          if (line != nullptr) {
+            gather->raw[b] = extract_raw_field(*line, "profile");
+            if (doc != nullptr) {
+              const io::JsonValue* profile = doc->find("profile");
+              if (profile != nullptr && profile->is_object()) {
+                gather->extra[b] = profile->string_or("folded", "");
+              }
+            }
+          }
+          --gather->outstanding;
+          gather->cv.notify_all();
+        };
+    if (!pool_.send_control(b, op, finish)) finish(nullptr, nullptr);
+  }
+  std::vector<std::string> raw;
+  std::vector<std::string> folded;
+  {
+    std::unique_lock<std::mutex> lock(gather->mutex);
+    gather->cv.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(params_.control_timeout_ms),
+        [&] { return gather->outstanding == 0; });
+    raw = gather->raw;
+    folded = gather->extra;
+  }
+
+  std::string router_folded;
+  const std::string router_profile = own_profile_json(window_s, &router_folded);
+
+  // Folded merge: each process's folded text re-rooted at instance:<label>
+  // and concatenated — folded consumers sum duplicate stacks, so plain
+  // concatenation is a correct fleet merge.
+  std::string merged = obs::folded_with_instance(router_folded, "router");
+  std::size_t reporting = 0;
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    if (!raw[b].empty()) ++reporting;
+    merged +=
+        obs::folded_with_instance(folded[b], pool_.address(b).label());
+  }
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.field("source", "qulrb_router");
+  w.field("window_s", window_s);
+  w.field("backends", static_cast<std::int64_t>(pool_.size()));
+  w.field("backends_reporting", static_cast<std::int64_t>(reporting));
+  w.key("router").raw_value(router_profile);
+  w.key("backend_profiles").begin_array();
+  for (std::size_t b = 0; b < pool_.size(); ++b) {
+    w.begin_object();
+    w.field("backend", pool_.address(b).label());
+    if (raw[b].empty()) {
+      w.key("profile").null();
+    } else {
+      w.key("profile").raw_value(raw[b]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.field("folded", merged);
+  w.end_object();
+  deliver_to(session,
+             service::encode_profile_response(parsed.client_id, w.str()));
+}
+
 std::string Router::assemble_incident(const obs::SloTrigger& trigger) {
   return assemble_bundle(trigger, obs::to_string(trigger.kind),
                          params_.flight_window_s);
@@ -746,14 +860,19 @@ std::string Router::assemble_incident(const obs::SloTrigger& trigger) {
 std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
                                     const std::string& kind,
                                     double window_s) {
+  // Two control ops per backend — flight ring and profile capture — matched
+  // FIFO on each backend connection (control responses come back in send
+  // order), gathered into raw (flight) and extra (profile).
   auto gather = std::make_shared<ControlGather>();
   gather->raw.resize(pool_.size());
-  gather->outstanding = pool_.size();
-  const std::string op =
+  gather->extra.resize(pool_.size());
+  gather->outstanding = 2 * pool_.size();
+  const std::string flight_op =
       service::encode_flight_dump_request(0, window_s, trigger.rid);
+  const std::string profile_op = service::encode_profile_request(0, window_s);
   for (std::size_t b = 0; b < pool_.size(); ++b) {
     auto fired = std::make_shared<std::atomic<bool>>(false);
-    BackendPool::ControlCallback finish =
+    BackendPool::ControlCallback finish_flight =
         [gather, b, fired](const std::string* line, const io::JsonValue*) {
           if (fired->exchange(true)) return;
           std::lock_guard<std::mutex> lock(gather->mutex);
@@ -763,9 +882,26 @@ std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
           --gather->outstanding;
           gather->cv.notify_all();
         };
-    if (!pool_.send_control(b, op, finish)) finish(nullptr, nullptr);
+    if (!pool_.send_control(b, flight_op, finish_flight)) {
+      finish_flight(nullptr, nullptr);
+    }
+    auto fired_prof = std::make_shared<std::atomic<bool>>(false);
+    BackendPool::ControlCallback finish_profile =
+        [gather, b, fired_prof](const std::string* line, const io::JsonValue*) {
+          if (fired_prof->exchange(true)) return;
+          std::lock_guard<std::mutex> lock(gather->mutex);
+          if (line != nullptr) {
+            gather->extra[b] = extract_raw_field(*line, "profile");
+          }
+          --gather->outstanding;
+          gather->cv.notify_all();
+        };
+    if (!pool_.send_control(b, profile_op, finish_profile)) {
+      finish_profile(nullptr, nullptr);
+    }
   }
   std::vector<std::string> raw;
+  std::vector<std::string> profiles;
   {
     std::unique_lock<std::mutex> lock(gather->mutex);
     gather->cv.wait_for(
@@ -773,7 +909,9 @@ std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
         std::chrono::duration<double, std::milli>(params_.control_timeout_ms),
         [&] { return gather->outstanding == 0; });
     raw = gather->raw;
+    profiles = gather->extra;
   }
+  const std::string router_profile = own_profile_json(window_s, nullptr);
   io::JsonWriter w;
   w.begin_object();
   w.key("incident").begin_object();
@@ -792,6 +930,7 @@ std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
   } else {
     w.key("flight").null();
   }
+  w.key("profile").raw_value(router_profile);
   w.end_object();
   w.key("backends").begin_array();
   for (std::size_t b = 0; b < pool_.size(); ++b) {
@@ -801,6 +940,11 @@ std::string Router::assemble_bundle(const obs::SloTrigger& trigger,
       w.key("flight").null();
     } else {
       w.key("flight").raw_value(raw[b]);
+    }
+    if (profiles[b].empty()) {
+      w.key("profile").null();
+    } else {
+      w.key("profile").raw_value(profiles[b]);
     }
     w.end_object();
   }

@@ -15,6 +15,8 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "router/backend_pool.hpp"
 #include "router/coalesce.hpp"
@@ -69,6 +71,11 @@ class Router {
     /// (incident-<rid>-<kind>.json). Empty = keep only the in-memory last
     /// bundle (served by the client-facing flight_dump op).
     std::string incident_dir;
+    /// Router-side sampling CPU profiler rate (Hz); 0 disables the router's
+    /// own sampler. The {"op":"profile"} fan-out aggregates the backends
+    /// either way, and incident bundles then carry a null router profile.
+    int profile_hz = 99;
+    std::size_t profile_capacity = 4096;
     /// Fleet-level SLO objectives, evaluated on the router's own end-to-end
     /// request latency; its triggers fire the cross-process incident dump.
     obs::SloEngine::Params slo;
@@ -112,6 +119,9 @@ class Router {
   obs::SloEngine& slo() noexcept { return slo_; }
   /// Null when Params::flight is off.
   obs::FlightRecorder* flight() noexcept { return flight_.get(); }
+  /// Null when Params::profile_hz is 0 or the process-wide sampler slot was
+  /// already taken (at most one Profiler per process).
+  obs::Profiler* profiler() noexcept { return profiler_.get(); }
 
   /// Assemble one cross-process incident bundle right now: the router's own
   /// flight ring plus a {"op":"flight_dump"} fan-out to every backend, all
@@ -170,6 +180,15 @@ class Router {
                   std::uint64_t client_id);
   void handle_flight_dump(const std::shared_ptr<Session>& session,
                           service::ProtocolRequest parsed);
+  /// Fleet profile: the router's own sampler snapshot plus a
+  /// {"op":"profile"} fan-out to every backend, merged into one folded-stack
+  /// document where each line is rooted at instance:<label>.
+  void handle_profile(const std::shared_ptr<Session>& session,
+                      service::ProtocolRequest parsed);
+  /// The router's own profile document (obs::profile_to_json), plus the
+  /// folded text by out-param for the fleet merge. "null" when the sampler
+  /// is off.
+  std::string own_profile_json(double window_s, std::string* folded_out);
   /// Forward (or re-forward) a group's request; on exhaustion answers every
   /// waiter with an error line and drops the route.
   void forward(std::uint64_t group, Route route);
@@ -195,6 +214,9 @@ class Router {
 
   Params params_;
   obs::MetricsRegistry registry_;
+  /// Process self-metrics, refreshed at exposition time (metrics_text is
+  /// logically const — the refresh only re-reads /proc into gauges).
+  mutable obs::ProcessMetrics proc_metrics_{registry_};
   BackendPool pool_;
   Coalescer coalescer_;
   std::unique_ptr<RoutingPolicy> policy_;
@@ -221,6 +243,7 @@ class Router {
   std::unique_ptr<obs::FlightRecorder> flight_;
   std::uint16_t f_route_ = 0;      ///< interned "route" span name
   std::uint16_t f_markdown_ = 0;   ///< interned "backend-down" instant name
+  std::unique_ptr<obs::Profiler> profiler_;  ///< router's own CPU sampler
   obs::SloEngine slo_;
   Federation federation_;
 

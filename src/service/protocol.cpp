@@ -36,6 +36,11 @@ ProtocolRequest parse_request_line(const std::string& line) {
     out.op = OpKind::kFlightDump;
     out.window_s = doc.number_or("window_s", 0.0);
     out.flight_rid = static_cast<std::uint64_t>(doc.int_or("rid", 0));
+  } else if (op == "profile") {
+    out.op = OpKind::kProfile;
+    out.profile_seconds = doc.number_or("seconds", 0.0);
+    util::require(out.profile_seconds >= 0.0,
+                  "profile 'seconds' must be non-negative");
   } else if (op == "shutdown") {
     out.op = OpKind::kShutdown;
   } else if (op == "solve") {
@@ -322,6 +327,27 @@ std::string encode_flight_response(std::uint64_t client_id,
   w.field("id", static_cast<std::int64_t>(client_id));
   w.key("flight");
   w.raw_value(flight_json);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_profile_request(std::uint64_t client_id, double seconds) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("op", "profile");
+  w.field("id", static_cast<std::int64_t>(client_id));
+  if (seconds > 0.0) w.field("seconds", seconds);
+  w.end_object();
+  return w.str();
+}
+
+std::string encode_profile_response(std::uint64_t client_id,
+                                    const std::string& profile_json) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("id", static_cast<std::int64_t>(client_id));
+  w.key("profile");
+  w.raw_value(profile_json);
   w.end_object();
   return w.str();
 }

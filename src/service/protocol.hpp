@@ -25,6 +25,7 @@ namespace qulrb::service {
 ///   {"op":"trace","n":4}
 ///   {"op":"obs"}
 ///   {"op":"flight_dump","window_s":30,"rid":42}
+///   {"op":"profile","seconds":2}
 ///   {"op":"shutdown"}
 ///
 /// `id` is the client's correlation id (echoed verbatim); responses may
@@ -37,6 +38,8 @@ namespace qulrb::service {
 ///   {"obs":{"role":...,"counters":[...],"gauges":[...],
 ///           "histograms":[...],"slo":{...}}}
 ///   {"flight":{...perfetto doc of the recent flight ring...}}
+///   {"profile":{"source":...,"hz":...,"samples":N,"phases":[...],
+///               "folded":"<collapsed stacks>"}}
 ///   {"error":"...","id":7}
 ///
 /// `obs` is the federation pull: the process's whole metric registry in the
@@ -44,7 +47,10 @@ namespace qulrb::service {
 /// merge histograms bucket-wise, exactly), plus its SLO view. `flight_dump`
 /// snapshots the last `window_s` seconds of the flight-recorder ring as a
 /// Perfetto document tagged with the triggering request's `rid`; both
-/// fields are optional (0 = everything in the ring / no rid).
+/// fields are optional (0 = everything in the ring / no rid). `profile`
+/// exports the last `seconds` of the continuous sampling profiler's ring
+/// (obs::Profiler) as folded stacks plus a {rid, phase} sample breakdown —
+/// `{"profile":null}` when the process runs with profiling disabled.
 ///
 /// `health` is the high-frequency probe variant of `stats`: a three-field
 /// {"stats":{"queue_depth","inflight","cache_hit_rate"}} answered from
@@ -52,7 +58,7 @@ namespace qulrb::service {
 /// never contends with the request-path lock the full stats snapshot takes.
 enum class OpKind : std::uint8_t {
   kSolve, kCancel, kStats, kHealth, kMetrics, kTrace, kObs, kFlightDump,
-  kShutdown
+  kProfile, kShutdown
 };
 
 struct ProtocolRequest {
@@ -63,6 +69,7 @@ struct ProtocolRequest {
   std::size_t trace_count = 8;  ///< "n" of a trace op
   double window_s = 0.0;        ///< "window_s" of a flight_dump op (0 = all)
   std::uint64_t flight_rid = 0; ///< "rid" tag of a flight_dump op
+  double profile_seconds = 0.0; ///< "seconds" of a profile op (0 = whole ring)
 };
 
 /// Parse one request line; throws util::InvalidArgument with a message fit
@@ -116,6 +123,15 @@ std::string encode_flight_dump_request(std::uint64_t client_id,
 /// (obs::flight_to_perfetto_json), spliced in verbatim.
 std::string encode_flight_response(std::uint64_t client_id,
                                    const std::string& flight_json);
+
+/// {"op":"profile","id":N,"seconds":S} — profile capture toward a backend.
+std::string encode_profile_request(std::uint64_t client_id, double seconds);
+
+/// {"id":N,"profile":...} — `profile_json` is a profile document
+/// (obs::profile_to_json) or the literal "null" when profiling is off,
+/// spliced in verbatim.
+std::string encode_profile_response(std::uint64_t client_id,
+                                    const std::string& profile_json);
 
 std::string encode_error(const std::string& message, std::uint64_t client_id);
 

@@ -199,7 +199,7 @@ std::uint64_t RebalanceService::submit(RebalanceRequest request, Callback callba
                             static_cast<double>(queue_depth()));
   }
   if (params_.slo != nullptr) {
-    params_.slo->note_queue_depth(queue_depth(), id, epoch_.elapsed_ms());
+    params_.slo->note_queue_depth(queue_depth(), id, now_ms());
   }
   pool_.submit([this] { run_one(); });
   return id;
@@ -292,6 +292,14 @@ RebalanceResponse RebalanceService::solve_item(Pending& item) {
   RebalanceResponse response;
   response.id = item.id;
   response.queue_ms = item.queued.elapsed_ms();
+  // Tag this worker thread (and, via HybridSolverParams::flight_rid, the
+  // solver pool threads) so CPU samples taken during the solve attribute to
+  // this request. Unconditional and allocation-free: bitwise-identical
+  // output with or without a profiler attached.
+  obs::prof::RidScope rid_scope(item.request.trace_id != 0
+                                    ? item.request.trace_id
+                                    : item.id);
+  obs::prof::PhaseScope solve_phase("solve");
   obs::Recorder* rec = item.trace.recorder();
   try {
     const lrp::LrpProblem problem(item.request.task_loads,
@@ -420,7 +428,7 @@ void RebalanceService::finish(Pending item, RebalanceResponse response) {
     // non-ok outcome is never "good" regardless of how fast it failed.
     params_.slo->record(item.request.priority, response.total_ms,
                         response.outcome == RequestOutcome::kOk,
-                        deadline_missed, rid, epoch_.elapsed_ms());
+                        deadline_missed, rid, now_ms());
   }
 
   // Convergence analysis + trace serialization outside the lock — both are
@@ -575,6 +583,7 @@ std::string RebalanceService::metrics_text() {
     h_.running->set(static_cast<double>(running_.size()));
     h_.ewma_solve_ms->set(stats_.ewma_solve_ms);
   }
+  proc_metrics_.update();
   return registry_.to_prometheus();
 }
 

@@ -13,10 +13,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/clock.hpp"
 #include "obs/convergence.hpp"
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace_context.hpp"
@@ -76,6 +79,13 @@ struct ServiceParams {
   /// Its triggers are the flight recorder's dump signals. Not owned; must
   /// outlive the service. Null = off.
   obs::SloEngine* slo = nullptr;
+  /// Continuous sampling CPU profiler the serve shell answers the `profile`
+  /// op from. The service itself never reads it (samples land via the
+  /// process-wide SIGPROF timer; solve threads only tag themselves with
+  /// prof phase/rid scopes) — this pointer just rides along so protocol
+  /// handlers reach the profiler the same way they reach the flight ring.
+  /// Not owned; must outlive the service. Null = profiling off.
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Aggregated service telemetry; a consistent snapshot from stats().
@@ -186,10 +196,11 @@ class RebalanceService {
   /// gauges (queue depth, running, EWMA) refreshed first.
   std::string metrics_text();
 
-  /// Milliseconds since the service was constructed — the epoch the SLO
+  /// Milliseconds on the process-wide obs timebase — the clock the SLO
   /// engine's observations are stamped with (callers feeding the same engine
-  /// from outside, e.g. the serve shell, must use the same clock).
-  double now_ms() const noexcept { return epoch_.elapsed_ms(); }
+  /// from outside, e.g. the serve shell, use the same obs::clock), and the
+  /// same timebase profiler samples and flight records carry.
+  double now_ms() const noexcept { return obs::clock::raw_ms(); }
 
   /// Perfetto JSON documents of the most recently finished requests (oldest
   /// first, at most `n`). Empty unless params.record_traces.
@@ -263,7 +274,9 @@ class RebalanceService {
   obs::MetricsRegistry registry_;
   MetricHandles h_;
   FlightNames f_;
-  util::WallTimer epoch_;  ///< the SLO engine's observation clock
+  /// Standard process self-metrics (CPU, RSS, fds, start time), refreshed
+  /// at exposition time.
+  obs::ProcessMetrics proc_metrics_{registry_};
   SessionCache cache_;
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;

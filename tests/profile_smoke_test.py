@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Continuous-profiling smoke: two qulrb_serve backends behind one
+qulrb_router, driven by qulrb_loadgen, then one fleet profile capture.
+
+Exercises the whole profiling chain:
+  - each backend runs its always-on SIGPROF sampler (99 Hz default) and the
+    router fans {"op":"profile"} out to both, merging the folded stacks;
+  - the merged folded document roots every backend line at
+    instance:<label>, and the solver's CPU shows up as named frames with an
+    `anneal` phase tag (phase attribution survives the wire);
+  - the per-backend profile documents carry {rid, phase} joins for real
+    routed request ids;
+  - loadgen's --json summary stamps the run's wall-clock start_ts/end_ts
+    window (top level and per class), so the capture can be aligned with
+    the load post-hoc.
+
+Usage: profile_smoke_test.py <qulrb_serve> <qulrb_router> <qulrb_loadgen>
+                             <base-port> <json-out-dir>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def connect(port, attempts=100):
+    import socket
+
+    for _ in range(attempts):
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=30)
+        except OSError:
+            time.sleep(0.1)
+    raise SystemExit("could not connect to port %d" % port)
+
+
+def ask(port, line):
+    s = connect(port)
+    try:
+        s.sendall(line.encode())
+        return json.loads(s.makefile("rb").readline())
+    finally:
+        s.close()
+
+
+def wait_for(predicate, what, attempts=150):
+    for _ in range(attempts):
+        try:
+            if predicate():
+                return
+        except (OSError, ValueError, KeyError):
+            pass
+        time.sleep(0.1)
+    raise SystemExit("timed out waiting for " + what)
+
+
+def main():
+    serve, router, loadgen = sys.argv[1], sys.argv[2], sys.argv[3]
+    base, out_dir = int(sys.argv[4]), sys.argv[5]
+    front, b1, b2 = base, base + 1, base + 2
+    os.makedirs(out_dir, exist_ok=True)
+    summary_path = os.path.join(out_dir, "profile_smoke_loadgen.json")
+
+    procs = []
+    try:
+        for port in (b1, b2):
+            procs.append(
+                subprocess.Popen(
+                    [serve, "--port", str(port), "--workers", "2", "--quiet"],
+                    stdout=subprocess.DEVNULL,
+                )
+            )
+        procs.append(
+            subprocess.Popen(
+                [
+                    router,
+                    "--port", str(front),
+                    "--backends", "%d,%d" % (b1, b2),
+                    # Round-robin so both backends burn CPU and both appear
+                    # in the merged profile.
+                    "--policy", "round-robin",
+                    "--probe-ms", "25",
+                    "--quiet",
+                ]
+            )
+        )
+
+        wait_for(
+            lambda: ask(front, '{"op":"stats"}\n')["stats"]["healthy"] == 2,
+            "both backends healthy",
+        )
+
+        # Sustained solver load through the router: enough sweeps that the
+        # 99 Hz samplers land plenty of samples inside the anneal kernels.
+        before = time.time()
+        subprocess.run(
+            [
+                loadgen,
+                "--connect", str(front),
+                "--requests", "24",
+                "--concurrency", "4",
+                "--sweeps", "4000",
+                "--restarts", "4",
+                "--priority-classes", "2",
+                "--json", summary_path,
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        after = time.time()
+
+        # Loadgen summary: the wall-clock window is stamped at the run
+        # boundaries, top level and in every per-class block.
+        with open(summary_path) as f:
+            summary = json.load(f)
+        assert before - 1 <= summary["start_ts"] <= summary["end_ts"], summary
+        assert summary["end_ts"] <= after + 1, summary
+        assert summary["classes"], summary
+        for cls in summary["classes"]:
+            assert cls["start_ts"] == summary["start_ts"], cls
+            assert cls["end_ts"] == summary["end_ts"], cls
+
+        # One command against the running fleet: merged folded profile.
+        doc = ask(front, '{"op":"profile","seconds":60}\n')
+        profile = doc["profile"]
+        assert profile["backends"] == 2, profile
+        assert profile["backends_reporting"] == 2, profile
+        folded = profile["folded"]
+        assert folded.strip(), "merged folded profile is empty"
+        lines = folded.splitlines()
+        for expect in ("instance:127.0.0.1:%d;" % b1,
+                       "instance:127.0.0.1:%d;" % b2):
+            assert any(l.startswith(expect) for l in lines), (
+                "missing %s in merged profile" % expect)
+        anneal_lines = [l for l in lines if "anneal" in l]
+        assert anneal_lines, "no anneal frames in the fleet profile"
+        # Phase attribution survives end to end: at least one stack is
+        # tagged with a solver phase and a real routed request id.
+        assert any(";phase:" in l for l in anneal_lines), anneal_lines[:3]
+
+        rid_tagged = [l for l in lines if ";rid:" in l]
+        assert rid_tagged, "no rid-attributed stacks in the fleet profile"
+
+        # Per-backend documents carry the {rid, phase} join.
+        phases = [
+            p
+            for entry in profile["backend_profiles"]
+            if entry["profile"]
+            for p in entry["profile"]["phases"]
+        ]
+        assert any(p["rid"] > 0 and p["phase"] for p in phases), phases
+
+        # Direct backend capture still answers (window snapshot, instant).
+        direct = ask(b1, '{"op":"profile","seconds":60}\n')["profile"]
+        assert direct["source"] == "qulrb_serve", direct
+        assert direct["samples"] > 0, direct
+
+        # Clean shutdown all around.
+        for port in (front, b1, b2):
+            s = connect(port)
+            s.sendall(b'{"op":"shutdown"}\n')
+            s.close()
+        for p in procs:
+            assert p.wait(timeout=20) == 0, "process exited non-zero"
+        print("ok: fleet profile merged, phases attributed, window stamped")
+        return 0
+    finally:
+        for p in procs:
+            if p.poll() is None:
+                p.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+

@@ -17,6 +17,8 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 
 namespace qulrb::obs {
@@ -401,6 +403,36 @@ TEST(Recorder, SamplerOutputBitwiseIdenticalWithRecordingOn) {
   }
   EXPECT_EQ(sweeps.value(), plain.sweeps * plain.num_reads);
   EXPECT_FALSE(rec.spans().empty());
+}
+
+TEST(Recorder, SamplerOutputBitwiseIdenticalWithProfilingOn) {
+  const model::QuboModel qubo = ring_qubo(12);
+
+  anneal::SaParams plain;
+  plain.sweeps = 400;
+  plain.num_reads = 4;
+  plain.seed = 77;
+  const anneal::SampleSet base = anneal::SimulatedAnnealer(plain).sample(qubo);
+
+  // The CPU sampler interrupts the solve asynchronously but touches no RNG
+  // and no solver state — the same zero-cost-off contract recording has:
+  // profiled runs are bitwise identical to bare ones.
+  Profiler profiler;
+  ASSERT_TRUE(profiler.start());
+  anneal::SampleSet profiled;
+  {
+    prof::RidScope rid_scope(9);
+    prof::PhaseScope phase_scope("determinism");
+    profiled = anneal::SimulatedAnnealer(plain).sample(qubo);
+  }
+  profiler.stop();
+
+  ASSERT_EQ(base.size(), profiled.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base.at(i).state, profiled.at(i).state);
+    EXPECT_EQ(base.at(i).energy, profiled.at(i).energy);
+    EXPECT_EQ(base.at(i).violation, profiled.at(i).violation);
+  }
 }
 
 // ------------------------------------------------------ flight recorder ----

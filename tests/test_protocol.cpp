@@ -94,6 +94,43 @@ TEST(Protocol, ObsAndFlightEncodersRoundTrip) {
   ASSERT_NE(flight_resp.find("flight")->find("traceEvents"), nullptr);
 }
 
+TEST(Protocol, ParsesProfileOp) {
+  const ProtocolRequest req = parse_request_line(
+      R"({"op":"profile","id":3,"seconds":2.5})");
+  EXPECT_EQ(req.op, OpKind::kProfile);
+  EXPECT_EQ(req.client_id, 3u);
+  EXPECT_DOUBLE_EQ(req.profile_seconds, 2.5);
+
+  // Default: snapshot the whole ring.
+  const ProtocolRequest bare = parse_request_line(R"({"op":"profile"})");
+  EXPECT_EQ(bare.op, OpKind::kProfile);
+  EXPECT_DOUBLE_EQ(bare.profile_seconds, 0.0);
+
+  EXPECT_THROW(parse_request_line(R"({"op":"profile","seconds":-1})"),
+               std::exception);
+}
+
+TEST(Protocol, ProfileEncodersRoundTrip) {
+  const ProtocolRequest req =
+      parse_request_line(encode_profile_request(11, 4.0));
+  EXPECT_EQ(req.op, OpKind::kProfile);
+  EXPECT_EQ(req.client_id, 11u);
+  EXPECT_DOUBLE_EQ(req.profile_seconds, 4.0);
+
+  const JsonValue resp = JsonValue::parse(
+      encode_profile_response(11, R"({"source":"qulrb_serve","samples":7})"));
+  EXPECT_EQ(resp.int_or("id", -1), 11);
+  ASSERT_NE(resp.find("profile"), nullptr);
+  EXPECT_EQ(resp.find("profile")->int_or("samples", 0), 7);
+
+  // Profiling off: the response still answers the op (FIFO control-response
+  // alignment through the router depends on it) with a null profile.
+  const JsonValue off = JsonValue::parse(encode_profile_response(12, "null"));
+  EXPECT_EQ(off.int_or("id", -1), 12);
+  ASSERT_NE(off.find("profile"), nullptr);
+  EXPECT_TRUE(off.find("profile")->is_null());
+}
+
 TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_THROW(parse_request_line("not json"), util::InvalidArgument);
   EXPECT_THROW(parse_request_line("[1,2]"), util::InvalidArgument);

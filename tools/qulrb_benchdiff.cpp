@@ -37,8 +37,8 @@ int usage() {
   std::cerr
       << "usage: qulrb_benchdiff BASELINE.json CANDIDATE.json [MORE.json...]\n"
          "                       [--threshold PCT | --threshold NAME=PCT]...\n"
-         "                       [--min-time-ns NS] [--report out.json] "
-         "[--quiet]\n";
+         "                       [--min-time-ns NS] [--report out.json |\n"
+         "                       --json-out out.json] [--quiet]\n";
   return 2;
 }
 
@@ -76,7 +76,9 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--min-time-ns") {
         options.min_time_ns = std::stod(next());
-      } else if (arg == "--report") {
+      } else if (arg == "--report" || arg == "--json-out") {
+        // --json-out is the CI-facing spelling; both write the same
+        // machine-readable comparison document.
         report_path = next();
       } else if (arg == "--quiet") {
         quiet = true;

@@ -5,6 +5,7 @@
 //                 [--output out.csv] [--seed S] [--sweeps N] [--restarts N]
 //                 [--trace-out trace.json] [--metrics-out metrics.prom]
 //                 [--events-out events.jsonl] [--target-rimb R]
+//                 [--profile-out solve.folded] [--profile-hz N]
 //   qulrb compare --input input_lrp.csv [--seed S]
 //   qulrb gen     --scenario samoa|imb0..imb4|nodes<M>|tasks<N> --output in.csv
 //   qulrb solvers
@@ -29,6 +30,9 @@
 #include "obs/convergence.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process_metrics.hpp"
+#include "obs/profile_export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace_context.hpp"
 #include "io/report.hpp"
@@ -85,6 +89,7 @@ int usage() {
       "                [--seed S] [--sweeps N] [--restarts N]\n"
       "                [--trace-out trace.json] [--metrics-out metrics.prom]\n"
       "                [--events-out events.jsonl] [--target-rimb R]\n"
+      "                [--profile-out solve.folded] [--profile-hz N]\n"
       "  qulrb compare --input in.csv [--seed S] [--json out.json]\n"
       "  qulrb gen     --scenario samoa|imb0..imb4|nodesM|tasksN --output in.csv\n"
       "  qulrb solvers\n";
@@ -151,9 +156,25 @@ int cmd_solve(const Args& args) {
     metrics.emplace();
     spec.metrics = &*metrics;
   }
+  // One-shot CPU profile of this solve: sample for the whole run, write
+  // folded stacks on the way out (profiling consumes no RNG either — the
+  // plan is bitwise-identical with or without it).
+  std::optional<obs::Profiler> profiler;
+  if (args.has("profile-out")) {
+    obs::Profiler::Params prof_params;
+    if (args.has("profile-hz")) {
+      prof_params.hz = std::stoi(args.get("profile-hz"));
+    }
+    profiler.emplace(prof_params);
+    if (!profiler->start()) {
+      std::cerr << "warning: could not start the CPU profiler; "
+                   "--profile-out will hold no samples\n";
+    }
+  }
 
   const auto solver = lrp::make_solver(spec, problem);
   const lrp::SolverReport report = lrp::run_and_evaluate(*solver, problem);
+  if (profiler.has_value()) profiler->stop();
   print_report(problem, report);
 
   obs::ConvergenceReport convergence;
@@ -183,8 +204,20 @@ int cmd_solve(const Args& args) {
     std::cout << "wrote " << args.get("trace-out") << "\n";
   }
   if (metrics.has_value()) {
+    obs::ProcessMetrics(*metrics).update();
     write_text_file(args.get("metrics-out"), metrics->to_prometheus());
     std::cout << "wrote " << args.get("metrics-out") << "\n";
+  }
+  if (profiler.has_value()) {
+    const std::vector<obs::ProfileSample> samples = profiler->snapshot(0.0);
+    obs::prof::Symbolizer symbolizer;
+    obs::ProfileExportOptions opts;
+    opts.source = "qulrb";
+    opts.hz = profiler->hz();
+    write_text_file(args.get("profile-out"),
+                    obs::profile_to_folded(samples, symbolizer, opts));
+    std::cout << "wrote " << args.get("profile-out") << " (" << samples.size()
+              << " samples)\n";
   }
   if (args.has("events-out")) {
     obs::EventLog events(args.get("events-out"), /*append=*/true);

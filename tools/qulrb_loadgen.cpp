@@ -266,18 +266,36 @@ void write_quantiles_json(io::JsonWriter& w, const std::vector<double>& xs) {
   w.end_object();
 }
 
+/// Wall-clock (unix epoch) seconds — the post-hoc alignment key between a
+/// loadgen run and profile/flight captures taken during it.
+double unix_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The run's wall-clock window, stamped once at the run boundaries.
+struct RunWindow {
+  double start_ts = 0.0;  ///< unix seconds at first request submission
+  double end_ts = 0.0;    ///< unix seconds after the last response
+};
+
 /// Machine-readable run summary: outcomes, exact quantiles from the raw
 /// sample vector, the full log-bucketed global histogram, and one
-/// quantiles+histogram entry per priority class under "classes".
+/// quantiles+histogram entry per priority class under "classes". Every
+/// block carries the run's start_ts/end_ts window so external captures
+/// (fleet profiles, flight dumps) can be aligned with it post-hoc.
 void write_json_summary(const std::string& path, const Tally& tally,
                         double wall_seconds, const std::string& label,
-                        const ServerCache& cache) {
+                        const ServerCache& cache, const RunWindow& window) {
   std::vector<double> xs = tally.latencies_ms;
   io::JsonWriter w;
   w.begin_object();
   if (!label.empty()) w.field("label", label);
   w.field("requests", xs.size());
   w.field("wall_seconds", wall_seconds);
+  w.field("start_ts", window.start_ts);
+  w.field("end_ts", window.end_ts);
   w.field("throughput_rps",
           wall_seconds > 0.0 ? static_cast<double>(xs.size()) / wall_seconds : 0.0);
   w.key("outcomes");
@@ -310,6 +328,8 @@ void write_json_summary(const std::string& path, const Tally& tally,
     w.begin_object();
     w.field("priority", c);
     w.field("requests", pc.latencies_ms.size());
+    w.field("start_ts", window.start_ts);
+    w.field("end_ts", window.end_ts);
     if (!pc.latencies_ms.empty()) {
       w.key("latency_ms");
       write_quantiles_json(w, pc.latencies_ms);
@@ -340,6 +360,8 @@ int run_inproc_closed(const LoadgenOptions& options) {
 
   Tally tally(options.priority_classes);
   std::atomic<std::uint64_t> next_seq{0};
+  RunWindow window;
+  window.start_ts = unix_now_s();
   util::WallTimer wall;
   std::vector<std::thread> clients;
   for (std::size_t c = 0; c < options.concurrency; ++c) {
@@ -359,13 +381,15 @@ int run_inproc_closed(const LoadgenOptions& options) {
   }
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_seconds();
+  window.end_ts = unix_now_s();
   const service::ServiceStats stats = svc.stats();
   report(tally, seconds, cache_line_from(stats));
   if (!options.json_out.empty()) {
     ServerCache cache;
     cache.add_counts(stats.cache.exact_hits, stats.cache.retarget_hits,
                      stats.cache.misses);
-    write_json_summary(options.json_out, tally, seconds, options.label, cache);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache,
+                       window);
   }
   return 0;
 }
@@ -377,6 +401,8 @@ int run_inproc_open(const LoadgenOptions& options) {
   service::RebalanceService svc(params);
 
   Tally tally(options.priority_classes);
+  RunWindow window;
+  window.start_ts = unix_now_s();
   util::WallTimer wall;
   const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(1.0 / options.rate));
@@ -398,13 +424,15 @@ int run_inproc_open(const LoadgenOptions& options) {
   }
   svc.drain();
   const double seconds = wall.elapsed_seconds();
+  window.end_ts = unix_now_s();
   const service::ServiceStats stats = svc.stats();
   report(tally, seconds, cache_line_from(stats));
   if (!options.json_out.empty()) {
     ServerCache cache;
     cache.add_counts(stats.cache.exact_hits, stats.cache.retarget_hits,
                      stats.cache.misses);
-    write_json_summary(options.json_out, tally, seconds, options.label, cache);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache,
+                       window);
   }
   return 0;
 }
@@ -452,6 +480,8 @@ bool read_line(int fd, std::string& buffer, std::string& line) {
 int run_tcp_closed(const LoadgenOptions& options) {
   Tally tally(options.priority_classes);
   std::atomic<std::uint64_t> next_seq{0};
+  RunWindow window;
+  window.start_ts = unix_now_s();
   util::WallTimer wall;
   std::vector<std::thread> clients;
   for (std::size_t c = 0; c < options.concurrency; ++c) {
@@ -486,6 +516,7 @@ int run_tcp_closed(const LoadgenOptions& options) {
   }
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_seconds();
+  window.end_ts = unix_now_s();
 
   // One extra connection per target to pull the server-side cache stats —
   // handles both shapes: qulrb_serve answers {"stats":{"cache":{...}}},
@@ -524,7 +555,8 @@ int run_tcp_closed(const LoadgenOptions& options) {
   }
   report(tally, seconds, cache_line);
   if (!options.json_out.empty()) {
-    write_json_summary(options.json_out, tally, seconds, options.label, cache);
+    write_json_summary(options.json_out, tally, seconds, options.label, cache,
+                       window);
   }
   return 0;
 }

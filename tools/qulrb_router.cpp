@@ -29,8 +29,15 @@
 // runs a fleet SLO engine on end-to-end latency; when a trigger fires (SLO
 // burn, deadline-miss burst, backend mark-down) a dedicated incident thread
 // assembles one cross-process bundle — router spans plus every backend's
-// recent ring via {"op":"flight_dump"}, correlated by rid — and writes it to
+// recent ring via {"op":"flight_dump"} and profile capture via
+// {"op":"profile"}, correlated by rid — and writes it to
 // --incident-dir/incident-<rid>-<kind>.json.
+//
+// Continuous profiling: the router runs its own --profile-hz sampler (99 Hz
+// default, 0 disables), and {"op":"profile","seconds":S} fans out to every
+// backend and answers one fleet profile whose "folded" text roots every
+// stack at instance:<backend-label> (instance:router for the router's own
+// samples) — feed it straight to flamegraph.pl or speedscope.
 
 #include <arpa/inet.h>
 #include <csignal>
@@ -220,7 +227,8 @@ int usage() {
          "                    [--incident-dir DIR] [--slo-latency-ms X]\n"
          "                    [--slo-target X] [--slo-fast-s X]\n"
          "                    [--slo-slow-s X] [--slo-burn-threshold X]\n"
-         "                    [--deadline-burst N] [--quiet]\n";
+         "                    [--deadline-burst N] [--profile-hz N]\n"
+         "                    [--profile-capacity N] [--quiet]\n";
   return 2;
 }
 
@@ -274,6 +282,10 @@ int main(int argc, char** argv) {
         options.router.slo.burn_threshold = std::stod(next());
       else if (arg == "--deadline-burst")
         options.router.slo.deadline_burst = std::stoull(next());
+      else if (arg == "--profile-hz")
+        options.router.profile_hz = std::stoi(next());
+      else if (arg == "--profile-capacity")
+        options.router.profile_capacity = std::stoul(next());
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {

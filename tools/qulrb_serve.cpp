@@ -3,7 +3,7 @@
 //   qulrb_serve [--port P] [--workers N] [--max-pending N] [--cache N]
 //               [--default-deadline-ms X] [--solver-threads N]
 //               [--trace N] [--metrics-out FILE] [--trace-out FILE]
-//               [--events-out FILE] [--quiet]
+//               [--events-out FILE] [--profile-hz N] [--quiet]
 //
 // --trace N records a Perfetto trace per request and keeps the last N for
 // the {"op":"trace"} op; {"op":"metrics"} answers a Prometheus text scrape
@@ -52,6 +52,8 @@
 #include "obs/event_log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/histogram_wire.hpp"
+#include "obs/profile_export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "service/protocol.hpp"
 #include "service/rebalance_service.hpp"
@@ -99,6 +101,12 @@ struct ServeOptions {
   std::size_t flight_capacity = 4096;
   double flight_window_s = 30.0;  ///< seconds snapshotted per anomaly dump
   std::string flight_dir;         ///< anomaly dump directory ("" = no dumps)
+
+  // Continuous sampling profiler: on by default at the classic 99 Hz
+  // (<1% sweep overhead — see BENCH_obs.json); 0 disables. The {"op":
+  // "profile","seconds":S} op snapshots the last S seconds of the ring.
+  int profile_hz = 99;
+  std::size_t profile_capacity = 4096;
 
   // SLO engine objectives (triggers are the flight recorder's dump signal).
   double slo_latency_ms = 50.0;
@@ -173,6 +181,25 @@ class ProtocolSession {
         }
         w.end_object();
         write(service::encode_obs_response(request.client_id, w.str()));
+        return true;
+      }
+      case service::OpKind::kProfile: {
+        obs::Profiler* profiler = svc_.params().profiler;
+        if (profiler == nullptr) {
+          // Same FIFO-alignment rule as flight_dump below: always answer
+          // with a "profile" key, null when the sampler is off.
+          write(service::encode_profile_response(request.client_id, "null"));
+          return true;
+        }
+        obs::ProfileExportOptions opts;
+        opts.source = "qulrb_serve";
+        opts.hz = profiler->hz();
+        opts.window_s = request.profile_seconds;
+        obs::prof::Symbolizer symbolizer;
+        write(service::encode_profile_response(
+            request.client_id,
+            obs::profile_to_json(profiler->snapshot(request.profile_seconds),
+                                 symbolizer, opts)));
         return true;
       }
       case service::OpKind::kFlightDump: {
@@ -443,6 +470,7 @@ int usage() {
                "                   [--slo-fast-s X] [--slo-slow-s X]\n"
                "                   [--slo-burn-threshold X]\n"
                "                   [--deadline-burst N] [--queue-hwm N]\n"
+               "                   [--profile-hz N] [--profile-capacity N]\n"
                "                   [--quiet]\n";
   return 2;
 }
@@ -493,6 +521,9 @@ int main(int argc, char** argv) {
       else if (arg == "--deadline-burst")
         options.deadline_burst = std::stoull(next());
       else if (arg == "--queue-hwm") options.queue_hwm = std::stoul(next());
+      else if (arg == "--profile-hz") options.profile_hz = std::stoi(next());
+      else if (arg == "--profile-capacity")
+        options.profile_capacity = std::stoul(next());
       else if (arg == "--quiet") options.quiet = true;
       else if (arg == "--help") return usage();
       else {
@@ -512,12 +543,25 @@ int main(int argc, char** argv) {
       options.service.event_source = "qulrb_serve";
     }
 
-    // Flight recorder and SLO engine outlive the service (declared first;
-    // workers record into both until the service destructs).
+    // Flight recorder, profiler and SLO engine outlive the service
+    // (declared first; workers record into them until the service
+    // destructs).
     std::optional<obs::FlightRecorder> flight;
     if (options.flight) {
       flight.emplace(options.flight_capacity);
       options.service.flight = &*flight;
+    }
+    std::optional<obs::Profiler> profiler;
+    if (options.profile_hz > 0) {
+      obs::Profiler::Params prof_params;
+      prof_params.hz = options.profile_hz;
+      prof_params.ring_capacity = options.profile_capacity;
+      profiler.emplace(prof_params);
+      if (profiler->start()) {
+        options.service.profiler = &*profiler;
+      } else if (!options.quiet) {
+        std::cerr << "qulrb_serve: profiler failed to start; profiling off\n";
+      }
     }
     obs::SloEngine::Params slo_params;
     slo_params.latency_slo_ms = options.slo_latency_ms;
@@ -528,23 +572,41 @@ int main(int argc, char** argv) {
     slo_params.deadline_burst = options.deadline_burst;
     slo_params.queue_hwm = options.queue_hwm;
     obs::SloEngine slo(
-        slo_params, [&options, &flight](const obs::SloTrigger& t) {
-          // Anomaly trigger: snapshot the recent ring, tagged with the
-          // triggering request's rid, into --flight-dir.
+        slo_params, [&options, &flight, &profiler](const obs::SloTrigger& t) {
+          // Anomaly trigger: snapshot the recent flight ring — and, when
+          // the sampler is on, the matching CPU profile window — tagged
+          // with the triggering request's rid, into --flight-dir.
           if (!options.quiet) {
             std::cerr << "qulrb_serve: trigger " << obs::to_string(t.kind)
                       << " (rid " << t.rid << "): " << t.detail << "\n";
           }
-          if (!flight || options.flight_dir.empty()) return;
-          const std::string path = options.flight_dir + "/flight-" +
-                                   std::to_string(t.rid) + "-" +
-                                   obs::to_string(t.kind) + ".json";
-          std::ofstream out(path, std::ios::trunc);
-          if (out) {
-            out << obs::flight_to_perfetto_json(
-                       *flight, options.flight_window_s, t.rid,
-                       obs::to_string(t.kind), "qulrb_serve")
-                << "\n";
+          if (options.flight_dir.empty()) return;
+          const std::string suffix = std::to_string(t.rid) + "-" +
+                                     obs::to_string(t.kind) + ".json";
+          if (flight) {
+            std::ofstream out(options.flight_dir + "/flight-" + suffix,
+                              std::ios::trunc);
+            if (out) {
+              out << obs::flight_to_perfetto_json(
+                         *flight, options.flight_window_s, t.rid,
+                         obs::to_string(t.kind), "qulrb_serve")
+                  << "\n";
+            }
+          }
+          if (profiler && profiler->running()) {
+            std::ofstream out(options.flight_dir + "/profile-" + suffix,
+                              std::ios::trunc);
+            if (out) {
+              obs::ProfileExportOptions opts;
+              opts.source = "qulrb_serve";
+              opts.hz = profiler->hz();
+              opts.window_s = options.flight_window_s;
+              obs::prof::Symbolizer symbolizer;
+              out << obs::profile_to_json(
+                         profiler->snapshot(options.flight_window_s),
+                         symbolizer, opts)
+                  << "\n";
+            }
           }
         });
     options.service.slo = &slo;
